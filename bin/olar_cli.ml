@@ -1,0 +1,860 @@
+(* The olar command-line tool: generate data, preprocess it into an
+   adjacency lattice, and run online queries against the lattice —
+   the full "preprocess once, query many" workflow from a shell. *)
+
+open Cmdliner
+open Olar_data
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument converters and helpers *)
+
+let itemset_conv =
+  let parse s =
+    let parts = String.split_on_char ',' s in
+    try
+      Ok
+        (Itemset.of_list
+           (List.filter_map
+              (fun p ->
+                let p = String.trim p in
+                if p = "" then None
+                else
+                  match int_of_string_opt p with
+                  | Some i when i >= 0 -> Some i
+                  | _ -> failwith p)
+              parts))
+    with Failure p -> Error (`Msg (Printf.sprintf "invalid item id %S" p))
+  in
+  Arg.conv (parse, Itemset.pp)
+
+let fraction_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when f > 0.0 && f <= 1.0 -> Ok f
+    | _ -> Error (`Msg "expected a fraction in (0, 1]")
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let fraction_arg ~doc names =
+  Arg.(
+    required & opt (some fraction_conv) None & info names ~doc ~docv:"FRACTION")
+
+let db_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "d"; "database" ] ~doc:"Transaction database file." ~docv:"FILE")
+
+let lattice_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "l"; "lattice" ] ~doc:"Preprocessed lattice file." ~docv:"FILE")
+
+let containing_arg =
+  Arg.(
+    value
+    & opt itemset_conv Itemset.empty
+    & info [ "containing" ]
+        ~doc:"Restrict to itemsets containing these items (e.g. 3,17,42)."
+        ~docv:"ITEMS")
+
+let load_db path =
+  try Ok (Db_io.load path) with
+  | Db_io.Malformed msg -> Error (Printf.sprintf "%s: %s" path msg)
+  | Sys_error msg -> Error msg
+
+let load_engine path =
+  try Ok (Olar_core.Engine.load path) with
+  | Olar_core.Serialize.Malformed msg -> Error (Printf.sprintf "%s: %s" path msg)
+  | Sys_error msg -> Error msg
+
+let or_die = function
+  | Ok x -> x
+  | Error msg ->
+    Format.eprintf "olar: %s@." msg;
+    exit 1
+
+let handle_below_threshold f =
+  try f ()
+  with Olar_core.Query.Below_primary_threshold { requested; primary } ->
+    Format.eprintf
+      "olar: requested support (count %d) is below the primary threshold \
+       (count %d); itemsets in that range were not prestored@."
+      requested primary;
+    exit 2
+
+(* ------------------------------------------------------------------ *)
+(* gen *)
+
+let gen_cmd =
+  let name_arg =
+    Arg.(
+      value
+      & opt string "T10.I4.D10K"
+      & info [ "name" ] ~doc:"Dataset annotation Tt.Ii.Dn (paper notation)."
+          ~docv:"NAME")
+  in
+  let items_arg =
+    Arg.(value & opt int 1000 & info [ "items" ] ~doc:"Universe size." ~docv:"N")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed." ~docv:"SEED")
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~doc:"Output file." ~docv:"FILE")
+  in
+  let run name items seed out =
+    match Olar_datagen.Params.of_name name with
+    | None ->
+      Format.eprintf "olar: cannot parse dataset name %S (expected Tt.Ii.Dn)@." name;
+      exit 1
+    | Some p ->
+      let params = { p with Olar_datagen.Params.num_items = items; seed } in
+      let db = Olar_datagen.Quest.generate params in
+      Db_io.save db out;
+      Format.printf "wrote %s: %d transactions, %d items, avg size %.2f@." out
+        (Database.size db) (Database.num_items db)
+        (Database.avg_transaction_size db)
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic transaction database (Section 6.1).")
+    Term.(const run $ name_arg $ items_arg $ seed_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* preprocess *)
+
+let miner_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("dhp", Olar_mining.Threshold.Use_dhp);
+             ("apriori", Olar_mining.Threshold.Use_apriori);
+             ("fpgrowth", Olar_mining.Threshold.Use_fpgrowth) ])
+        Olar_mining.Threshold.Use_dhp
+    & info [ "miner" ]
+        ~doc:"Mining subroutine: $(b,dhp), $(b,apriori) or $(b,fpgrowth)."
+        ~docv:"MINER")
+
+type any_miner = M_dhp | M_apriori | M_partition | M_sampling | M_fpgrowth
+
+let any_miner_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("dhp", M_dhp); ("apriori", M_apriori); ("partition", M_partition);
+             ("sampling", M_sampling); ("fpgrowth", M_fpgrowth) ])
+        M_dhp
+    & info [ "miner" ]
+        ~doc:
+          "Mining algorithm: $(b,dhp), $(b,apriori), $(b,partition), $(b,fpgrowth) \
+           or $(b,sampling) (Toivonen). FP-Growth and Partition mine exactly;"
+        ~docv:"MINER")
+
+let run_any_miner ?stats miner db ~minsup =
+  match miner with
+  | M_dhp -> Olar_mining.Dhp.mine ?stats db ~minsup
+  | M_apriori -> Olar_mining.Apriori.mine ?stats db ~minsup
+  | M_partition -> Olar_mining.Partition.mine ?stats db ~minsup
+  | M_sampling ->
+    (Olar_mining.Sampling.mine ?stats db ~minsup).Olar_mining.Sampling.result
+  | M_fpgrowth -> Olar_mining.Fpgrowth.mine ?stats db ~minsup
+
+(* Output formats shared by items/rules. *)
+type format = Text | Csv | Json
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", Text); ("csv", Csv); ("json", Json) ]) Text
+    & info [ "format" ] ~doc:"Output format: $(b,text), $(b,csv) or $(b,json).")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~doc:"Write the result to a file instead of stdout."
+        ~docv:"FILE")
+
+let vocab_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "vocab" ]
+        ~doc:"Item-name vocabulary file (one name per line); output uses names."
+        ~docv:"FILE")
+
+let load_vocab = function
+  | None -> None
+  | Some path -> (
+    try Some (Item.Vocab.load path) with
+    | Invalid_argument msg ->
+      Format.eprintf "olar: %s: %s@." path msg;
+      exit 1
+    | Sys_error msg ->
+      Format.eprintf "olar: %s@." msg;
+      exit 1)
+
+let emit output text =
+  match output with
+  | None -> print_string text
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc text);
+    Format.printf "wrote %s@." path
+
+let preprocess_cmd =
+  let max_itemsets_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-itemsets" ]
+          ~doc:"Itemset budget N; a binary search finds the threshold."
+          ~docv:"N")
+  in
+  let support_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "support" ]
+          ~doc:"Explicit primary support fraction (skips the budget search)."
+          ~docv:"FRACTION")
+  in
+  let max_bytes_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-bytes" ]
+          ~doc:"Memory budget in bytes for the lattice (the paper's real constraint)."
+          ~docv:"BYTES")
+  in
+  let slack_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "slack" ] ~doc:"Search window Ns (default N/20)." ~docv:"NS")
+  in
+  let search_arg =
+    Arg.(
+      value
+      & opt (enum [ ("optimized", `Optimized); ("naive", `Naive) ]) `Optimized
+      & info [ "search" ]
+          ~doc:"Threshold search variant: $(b,optimized) or $(b,naive).")
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~doc:"Output lattice file." ~docv:"FILE")
+  in
+  let run db_path max_itemsets support max_bytes slack search miner out =
+    let db = or_die (load_db db_path) in
+    let stats = Olar_mining.Stats.create () in
+    let engine, dt =
+      Olar_util.Timer.time (fun () ->
+          match (max_itemsets, support, max_bytes) with
+          | Some n, None, None ->
+            Olar_core.Engine.preprocess ~stats ~miner ~search ?slack db
+              ~max_itemsets:n
+          | None, Some s, None ->
+            Olar_core.Engine.at_threshold ~stats ~miner db ~primary_support:s
+          | None, None, Some b ->
+            Olar_core.Engine.preprocess_bytes ~stats ~miner db ~max_bytes:b
+          | _ ->
+            Format.eprintf
+              "olar: pass exactly one of --max-itemsets, --support and \
+               --max-bytes@.";
+            exit 1)
+    in
+    Olar_core.Engine.save engine out;
+    Format.printf
+      "wrote %s: %d primary itemsets, threshold %.4f%% (count %d), ~%d KiB, %.2fs@."
+      out
+      (Olar_core.Engine.num_primary_itemsets engine)
+      (100.0 *. Olar_core.Engine.primary_threshold engine)
+      (Olar_core.Engine.primary_threshold_count engine)
+      (Olar_core.Lattice.estimated_bytes (Olar_core.Engine.lattice engine) / 1024)
+      dt;
+    Format.printf "work: %a@." Olar_mining.Stats.pp stats
+  in
+  Cmd.v
+    (Cmd.info "preprocess"
+       ~doc:"Mine the primary itemsets and build the adjacency lattice (Section 5).")
+    Term.(
+      const run $ db_arg $ max_itemsets_arg $ support_arg $ max_bytes_arg
+      $ slack_arg $ search_arg $ miner_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* info *)
+
+let info_cmd =
+  let run lattice_path =
+    let engine = or_die (load_engine lattice_path) in
+    let lat = Olar_core.Engine.lattice engine in
+    Format.printf "database size:      %d transactions@." (Olar_core.Lattice.db_size lat);
+    Format.printf "primary threshold:  %.4f%% (count %d)@."
+      (100.0 *. Olar_core.Engine.primary_threshold engine)
+      (Olar_core.Lattice.threshold lat);
+    Format.printf "primary itemsets:   %d@." (Olar_core.Engine.num_primary_itemsets engine);
+    Format.printf "lattice edges:      %d@." (Olar_core.Lattice.num_edges lat);
+    (* level histogram *)
+    let hist = Hashtbl.create 8 in
+    Olar_core.Lattice.iter_vertices
+      (fun v ->
+        if v <> Olar_core.Lattice.root lat then begin
+          let k = Olar_core.Lattice.cardinal lat v in
+          Hashtbl.replace hist k (1 + Option.value ~default:0 (Hashtbl.find_opt hist k))
+        end)
+      lat;
+    let levels = List.sort Int.compare (Hashtbl.fold (fun k _ l -> k :: l) hist []) in
+    List.iter
+      (fun k -> Format.printf "  %d-itemsets:       %d@." k (Hashtbl.find hist k))
+      levels
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Describe a preprocessed lattice.")
+    Term.(const run $ lattice_arg)
+
+(* ------------------------------------------------------------------ *)
+(* items *)
+
+let items_cmd =
+  let minsup = fraction_arg ~doc:"Minimum support fraction." [ "minsup" ] in
+  let limit_arg =
+    Arg.(value & opt int 50 & info [ "limit" ] ~doc:"Print at most this many." ~docv:"N")
+  in
+  let run lattice_path minsup containing limit format output vocab_path =
+    let engine = or_die (load_engine lattice_path) in
+    let vocab = load_vocab vocab_path in
+    handle_below_threshold (fun () ->
+        let lat = Olar_core.Engine.lattice engine in
+        let db_size = Olar_core.Engine.db_size engine in
+        let entries, dt =
+          Olar_util.Timer.time (fun () ->
+              Olar_core.Query.to_entries lat
+                (Olar_core.Query.find_itemsets lat ~containing
+                   ~minsup:(Olar_core.Engine.count_of_support engine minsup)))
+        in
+        match format with
+        | Csv -> emit output (Olar_core.Export.itemsets_to_csv ?vocab ~db_size entries)
+        | Json -> emit output (Olar_core.Export.itemsets_to_json ?vocab ~db_size entries)
+        | Text ->
+          let pp_set fmt x =
+            match vocab with
+            | None -> Itemset.pp fmt x
+            | Some v -> Itemset.pp_named v fmt x
+          in
+          Format.printf "%d itemsets (%.4fs):@." (List.length entries) dt;
+          List.iteri
+            (fun i (x, c) ->
+              if i < limit then
+                Format.printf "  %a  %.4f%%@." pp_set x
+                  (100.0 *. float_of_int c /. float_of_int db_size))
+            entries;
+          if List.length entries > limit then
+            Format.printf "  ... and %d more (raise --limit)@."
+              (List.length entries - limit))
+  in
+  Cmd.v
+    (Cmd.info "items"
+       ~doc:"Online itemset query: all itemsets above a support level (Figure 2).")
+    Term.(
+      const run $ lattice_arg $ minsup $ containing_arg $ limit_arg $ format_arg
+      $ output_arg $ vocab_arg)
+
+(* ------------------------------------------------------------------ *)
+(* rules *)
+
+let rules_cmd =
+  let minsup = fraction_arg ~doc:"Minimum support fraction." [ "minsup" ] in
+  let minconf = fraction_arg ~doc:"Minimum confidence." [ "minconf" ] in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Include redundant rules (default: essential only).")
+  in
+  let single_arg =
+    Arg.(
+      value & flag
+      & info [ "single-consequent" ] ~doc:"Only rules with one item in the consequent.")
+  in
+  let antecedent_arg =
+    Arg.(
+      value
+      & opt itemset_conv Itemset.empty
+      & info [ "antecedent" ] ~doc:"Items the antecedent must include." ~docv:"ITEMS")
+  in
+  let consequent_arg =
+    Arg.(
+      value
+      & opt itemset_conv Itemset.empty
+      & info [ "consequent" ] ~doc:"Items the consequent must include." ~docv:"ITEMS")
+  in
+  let limit_arg =
+    Arg.(value & opt int 50 & info [ "limit" ] ~doc:"Print at most this many." ~docv:"N")
+  in
+  let min_lift_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-lift" ]
+          ~doc:"Drop rules below this lift (e.g. 1.0 removes negative correlations)."
+          ~docv:"LIFT")
+  in
+  let sort_arg =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [ ("lift", `Lift); ("confidence", `Confidence);
+                  ("support", `Support); ("leverage", `Leverage);
+                  ("conviction", `Conviction) ]))
+          None
+      & info [ "sort-by" ]
+          ~doc:"Order by an interestingness measure, strongest first."
+          ~docv:"MEASURE")
+  in
+  let measures_arg =
+    Arg.(
+      value & flag
+      & info [ "measures" ] ~doc:"Include lift/leverage/conviction in the output.")
+  in
+  let run lattice_path minsup minconf containing all single antecedent consequent
+      limit format output min_lift sort_by measures vocab_path =
+    let engine = or_die (load_engine lattice_path) in
+    let vocab = load_vocab vocab_path in
+    let lat = Olar_core.Engine.lattice engine in
+    let constraints =
+      {
+        Olar_core.Boundary.unconstrained with
+        Olar_core.Boundary.antecedent_includes = antecedent;
+        consequent_includes = consequent;
+      }
+    in
+    handle_below_threshold (fun () ->
+        let rules, dt =
+          Olar_util.Timer.time (fun () ->
+              if single then
+                Olar_core.Engine.single_consequent_rules engine ~containing
+                  ~minsup ~minconf
+              else if all then
+                Olar_core.Engine.all_rules engine ~containing ~constraints
+                  ~minsup ~minconf
+              else
+                Olar_core.Engine.essential_rules engine ~containing ~constraints
+                  ~minsup ~minconf)
+        in
+        let rules =
+          match min_lift with
+          | None -> rules
+          | Some min_lift -> Olar_core.Interest.filter_by lat rules ~min_lift
+        in
+        let rules =
+          match sort_by with
+          | None -> rules
+          | Some measure -> Olar_core.Interest.sort_by measure lat rules
+        in
+        let db_size = Olar_core.Engine.db_size engine in
+        let measures_lattice = if measures then Some lat else None in
+        let pp_rule fmt r =
+          match vocab with
+          | None -> Olar_core.Rule.pp fmt r
+          | Some v -> Olar_core.Rule.pp_named v fmt r
+        in
+        match format with
+        | Csv ->
+          emit output
+            (Olar_core.Export.rules_to_csv ?vocab ?measures:measures_lattice
+               ~db_size rules)
+        | Json ->
+          emit output
+            (Olar_core.Export.rules_to_json ?vocab ?measures:measures_lattice
+               ~db_size rules)
+        | Text ->
+          Format.printf "%d rules (%.4fs):@." (List.length rules) dt;
+          List.iteri
+            (fun i r ->
+              if i < limit then
+                if measures then
+                  Format.printf "  %a  [%a]@." pp_rule r Olar_core.Interest.pp
+                    (Olar_core.Interest.measures lat r)
+                else Format.printf "  %a@." pp_rule r)
+            rules;
+          if List.length rules > limit then
+            Format.printf "  ... and %d more (raise --limit)@."
+              (List.length rules - limit))
+  in
+  Cmd.v
+    (Cmd.info "rules"
+       ~doc:"Online rule query: essential rules at a support/confidence level (Figure 6).")
+    Term.(
+      const run $ lattice_arg $ minsup $ minconf $ containing_arg $ all_arg
+      $ single_arg $ antecedent_arg $ consequent_arg $ limit_arg $ format_arg
+      $ output_arg $ min_lift_arg $ sort_arg $ measures_arg $ vocab_arg)
+
+(* ------------------------------------------------------------------ *)
+(* count *)
+
+let count_cmd =
+  let minsup = fraction_arg ~doc:"Minimum support fraction." [ "minsup" ] in
+  let minconf_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "minconf" ] ~doc:"Also count rules at this confidence." ~docv:"C")
+  in
+  let run lattice_path minsup containing minconf =
+    let engine = or_die (load_engine lattice_path) in
+    handle_below_threshold (fun () ->
+        Format.printf "itemsets: %d@."
+          (Olar_core.Engine.count_itemsets engine ~containing ~minsup);
+        match minconf with
+        | None -> ()
+        | Some c ->
+          let r = Olar_core.Engine.redundancy ~containing engine ~minsup ~minconf:c in
+          Format.printf "rules:    %d total, %d essential (redundancy ratio %.2f)@."
+            r.Olar_core.Rulegen.total_rules r.Olar_core.Rulegen.essential_count
+            r.Olar_core.Rulegen.redundancy_ratio)
+  in
+  Cmd.v
+    (Cmd.info "count"
+       ~doc:"Predict output sizes without materialising them (query type 3).")
+    Term.(const run $ lattice_arg $ minsup $ containing_arg $ minconf_arg)
+
+(* ------------------------------------------------------------------ *)
+(* support-for *)
+
+let support_for_cmd =
+  let k_arg =
+    Arg.(required & opt (some int) None & info [ "k" ] ~doc:"Target count." ~docv:"K")
+  in
+  let minconf_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "minconf" ]
+          ~doc:"Ask about single-consequent rules at this confidence instead of itemsets."
+          ~docv:"C")
+  in
+  let run lattice_path k containing minconf =
+    let engine = or_die (load_engine lattice_path) in
+    match minconf with
+    | None -> (
+      match Olar_core.Engine.support_for_k_itemsets engine ~containing ~k with
+      | Some level ->
+        Format.printf "exactly %d itemsets containing %a exist at minsup = %.4f%%@."
+          k Itemset.pp containing (100.0 *. level)
+      | None ->
+        Format.printf "fewer than %d itemsets containing %a are prestored@." k
+          Itemset.pp containing)
+    | Some c -> (
+      match
+        Olar_core.Engine.support_for_k_rules engine ~involving:containing
+          ~minconf:c ~k
+      with
+      | Some level ->
+        Format.printf
+          "%d single-consequent rules at conf %.0f%% exist at minsup = %.4f%%@."
+          k (100.0 *. c) (100.0 *. level)
+      | None ->
+        Format.printf "fewer than %d such rules can be generated@." k)
+  in
+  Cmd.v
+    (Cmd.info "support-for"
+       ~doc:"Reverse query: the support level yielding exactly K answers (Figure 3).")
+    Term.(const run $ lattice_arg $ k_arg $ containing_arg $ minconf_arg)
+
+(* ------------------------------------------------------------------ *)
+(* direct *)
+
+let direct_cmd =
+  let minsup = fraction_arg ~doc:"Minimum support fraction." [ "minsup" ] in
+  let minconf = fraction_arg ~doc:"Minimum confidence." [ "minconf" ] in
+  let run db_path minsup minconf miner =
+    let db = or_die (load_db db_path) in
+    let minsup_count = Database.count_of_fraction db minsup in
+    let frequent, mining_s =
+      Olar_util.Timer.time (fun () -> run_any_miner miner db ~minsup:minsup_count)
+    in
+    let rules, rulegen_s =
+      Olar_util.Timer.time (fun () ->
+          let entries = Olar_mining.Frequent.to_list frequent in
+          let support a =
+            if Itemset.is_empty a then Database.size db
+            else Option.value ~default:0 (Olar_mining.Frequent.count frequent a)
+          in
+          Olar_baseline.Naive_rules.all_rules ~support ~frequent:entries
+            ~confidence:(Olar_core.Conf.of_float minconf))
+    in
+    Format.printf
+      "direct (no preprocessing): %d itemsets, %d rules; mining %.2fs + rulegen %.4fs@."
+      (Olar_mining.Frequent.total frequent)
+      (List.length rules) mining_s rulegen_s
+  in
+  Cmd.v
+    (Cmd.info "direct"
+       ~doc:"Answer one query the classical way: re-mine the database from scratch.")
+    Term.(const run $ db_arg $ minsup $ minconf $ any_miner_arg)
+
+(* ------------------------------------------------------------------ *)
+(* baskets *)
+
+let baskets_cmd =
+  let in_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "i"; "input" ]
+          ~doc:"Named basket file: one basket per line, comma-separated item names."
+          ~docv:"FILE")
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~doc:"Output database file." ~docv:"FILE")
+  in
+  let vocab_out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "vocab-out" ] ~doc:"Where to write the derived vocabulary."
+          ~docv:"FILE")
+  in
+  let run input out vocab_out =
+    match Basket_io.load input with
+    | exception Basket_io.Malformed msg ->
+      Format.eprintf "olar: %s: %s@." input msg;
+      exit 1
+    | exception Sys_error msg ->
+      Format.eprintf "olar: %s@." msg;
+      exit 1
+    | vocab, db ->
+      Db_io.save db out;
+      Item.Vocab.save vocab vocab_out;
+      Format.printf "wrote %s (%d baskets, %d distinct items) and %s@." out
+        (Database.size db) (Item.Vocab.size vocab) vocab_out
+  in
+  Cmd.v
+    (Cmd.info "baskets"
+       ~doc:
+         "Convert a named basket file into a database + vocabulary usable by \
+          every other command.")
+    Term.(const run $ in_arg $ out_arg $ vocab_out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* dbinfo *)
+
+let dbinfo_cmd =
+  let top_arg =
+    Arg.(value & opt int 10 & info [ "top" ] ~doc:"Show the N most frequent items." ~docv:"N")
+  in
+  let run db_path vocab_path top =
+    let db = or_die (load_db db_path) in
+    let vocab = load_vocab vocab_path in
+    Format.printf "transactions:     %d@." (Database.size db);
+    Format.printf "item universe:    %d@." (Database.num_items db);
+    Format.printf "avg basket size:  %.2f@." (Database.avg_transaction_size db);
+    let freq = Database.item_frequencies db in
+    let present = Array.fold_left (fun n c -> if c > 0 then n + 1 else n) 0 freq in
+    Format.printf "items present:    %d@." present;
+    let density =
+      Database.avg_transaction_size db /. float_of_int (max 1 (Database.num_items db))
+    in
+    Format.printf "density:          %.4f%%@." (100.0 *. density);
+    let ranked =
+      List.sort
+        (fun (_, a) (_, b) -> Int.compare b a)
+        (List.init (Array.length freq) (fun i -> (i, freq.(i))))
+    in
+    Format.printf "top items:@.";
+    List.iteri
+      (fun rank (i, c) ->
+        if rank < top && c > 0 then begin
+          let label =
+            match vocab with
+            | Some v when i < Item.Vocab.size v -> Item.Vocab.name v i
+            | _ -> string_of_int i
+          in
+          Format.printf "  %-24s %6d  (%.2f%%)@." label c
+            (100.0 *. float_of_int c /. float_of_int (max 1 (Database.size db)))
+        end)
+      ranked
+  in
+  Cmd.v
+    (Cmd.info "dbinfo" ~doc:"Describe a transaction database.")
+    Term.(const run $ db_arg $ vocab_arg $ top_arg)
+
+(* ------------------------------------------------------------------ *)
+(* extend (generalized rules: taxonomy) *)
+
+let extend_cmd =
+  let baskets_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "baskets" ] ~doc:"Named basket file (see $(b,olar baskets))."
+          ~docv:"FILE")
+  in
+  let taxonomy_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "taxonomy" ]
+          ~doc:"Taxonomy file: one \"child -> parent\" edge per line."
+          ~docv:"FILE")
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~doc:"Output extended database." ~docv:"FILE")
+  in
+  let vocab_out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "vocab-out" ]
+          ~doc:"Where to write the vocabulary grown with category names."
+          ~docv:"FILE")
+  in
+  let run baskets_path taxonomy_path out vocab_out =
+    match Basket_io.load baskets_path with
+    | exception Basket_io.Malformed msg ->
+      Format.eprintf "olar: %s: %s@." baskets_path msg;
+      exit 1
+    | vocab, db -> (
+      match Olar_taxonomy.Taxonomy_io.load ~vocab taxonomy_path with
+      | exception Olar_taxonomy.Taxonomy_io.Malformed msg ->
+        Format.eprintf "olar: %s: %s@." taxonomy_path msg;
+        exit 1
+      | exception Invalid_argument msg ->
+        Format.eprintf "olar: %s: %s@." taxonomy_path msg;
+        exit 1
+      | vocab, taxonomy ->
+        let extended = Olar_taxonomy.Generalize.extend_database taxonomy db in
+        Db_io.save extended out;
+        Item.Vocab.save vocab vocab_out;
+        Format.printf
+          "wrote %s: %d baskets extended over %d items (%d categories); vocab in %s@."
+          out (Database.size extended)
+          (Item.Vocab.size vocab)
+          (List.length
+             (List.filter
+                (fun i -> Olar_taxonomy.Taxonomy.children taxonomy i <> [])
+                (List.init (Olar_taxonomy.Taxonomy.num_items taxonomy) Fun.id)))
+          vocab_out)
+  in
+  Cmd.v
+    (Cmd.info "extend"
+       ~doc:
+         "Extend named baskets with taxonomy ancestors for generalized-rule \
+          mining (reference [21]).")
+    Term.(const run $ baskets_arg $ taxonomy_arg $ out_arg $ vocab_out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* update *)
+
+let update_cmd =
+  let delta_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "delta" ] ~doc:"Batch of new transactions (database file)."
+          ~docv:"FILE")
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~doc:"Output lattice file." ~docv:"FILE")
+  in
+  let run lattice_path delta_path out =
+    let engine = or_die (load_engine lattice_path) in
+    let delta = or_die (load_db delta_path) in
+    let update, dt =
+      Olar_util.Timer.time (fun () ->
+          Olar_core.Maintenance.append (Olar_core.Engine.lattice engine) delta)
+    in
+    Olar_core.Serialize.save update.Olar_core.Maintenance.lattice out;
+    Format.printf
+      "wrote %s: %d transactions folded in %.3fs (database now %d)@." out
+      update.Olar_core.Maintenance.delta_size dt
+      (Olar_core.Lattice.db_size update.Olar_core.Maintenance.lattice);
+    match update.Olar_core.Maintenance.promoted_candidates with
+    | [] -> Format.printf "no new itemsets crossed the threshold@."
+    | promoted ->
+      Format.printf
+        "%d new itemset families crossed the threshold in the batch alone — \
+         consider a full re-preprocess:@."
+        (List.length promoted);
+      List.iteri
+        (fun i x -> if i < 10 then Format.printf "  %a@." Itemset.pp x)
+        promoted
+  in
+  Cmd.v
+    (Cmd.info "update"
+       ~doc:
+         "Fold a batch of new transactions into an existing lattice in one \
+          pass over the batch.")
+    Term.(const run $ lattice_arg $ delta_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* condense *)
+
+let condense_cmd =
+  let minsup = fraction_arg ~doc:"Minimum support fraction." [ "minsup" ] in
+  let kind_arg =
+    Arg.(
+      value
+      & opt (enum [ ("maximal", `Maximal); ("closed", `Closed) ]) `Maximal
+      & info [ "kind" ] ~doc:"$(b,maximal) or $(b,closed) frequent itemsets.")
+  in
+  let limit_arg =
+    Arg.(value & opt int 50 & info [ "limit" ] ~doc:"Print at most this many." ~docv:"N")
+  in
+  let run db_path minsup kind miner limit =
+    let db = or_die (load_db db_path) in
+    let frequent =
+      run_any_miner miner db ~minsup:(Database.count_of_fraction db minsup)
+    in
+    let condensed =
+      match kind with
+      | `Maximal -> Olar_mining.Condense.maximal frequent
+      | `Closed -> Olar_mining.Condense.closed frequent
+    in
+    Format.printf "%d frequent itemsets condense to %d %s itemsets:@."
+      (Olar_mining.Frequent.total frequent)
+      (List.length condensed)
+      (match kind with `Maximal -> "maximal" | `Closed -> "closed");
+    List.iteri
+      (fun i (x, c) ->
+        if i < limit then Format.printf "  %a  count=%d@." Itemset.pp x c)
+      condensed
+  in
+  Cmd.v
+    (Cmd.info "condense"
+       ~doc:"Mine and condense to maximal or closed frequent itemsets.")
+    Term.(const run $ db_arg $ minsup $ kind_arg $ any_miner_arg $ limit_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "online generation of association rules (Aggarwal & Yu, ICDE 1998)" in
+  let info = Cmd.info "olar" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            gen_cmd; preprocess_cmd; info_cmd; items_cmd; rules_cmd; count_cmd;
+            support_for_cmd; direct_cmd; update_cmd; condense_cmd; baskets_cmd;
+            extend_cmd; dbinfo_cmd;
+          ]))

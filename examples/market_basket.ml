@@ -1,0 +1,121 @@
+(* Market-basket analysis with named items and targeted queries.
+
+   Models the paper's motivating scenario: a store analyst asks focused
+   questions — "what do beer buyers also take?", "which rules put
+   diapers in the consequent?" — against a preprocessed lattice of a
+   hand-crafted shopping dataset with planted correlations.
+
+   Run with: dune exec examples/market_basket.exe *)
+
+open Olar_data
+
+let item_names =
+  [
+    "beer"; "chips"; "salsa"; "diapers"; "wipes"; "bread"; "butter"; "jam";
+    "coffee"; "milk"; "sugar"; "tea"; "cereal"; "bananas"; "yogurt";
+  ]
+
+(* Build a shopping history with deliberate co-purchase patterns on top
+   of random noise: {beer,chips,salsa}, {diapers,wipes} (+beer),
+   {bread,butter,jam}, {coffee,milk,sugar}. *)
+let build_history () =
+  let vocab = Item.Vocab.of_names item_names in
+  let id name = Option.get (Item.Vocab.id vocab name) in
+  let rng = Olar_util.Rng.of_int 7_2026 in
+  let patterns =
+    [
+      ([ "beer"; "chips"; "salsa" ], 0.18);
+      ([ "diapers"; "wipes" ], 0.22);
+      ([ "diapers"; "wipes"; "beer" ], 0.06);
+      ([ "bread"; "butter" ], 0.25);
+      ([ "bread"; "butter"; "jam" ], 0.12);
+      ([ "coffee"; "milk"; "sugar" ], 0.15);
+      ([ "tea"; "milk" ], 0.10);
+    ]
+  in
+  let num_txns = 4_000 in
+  let transactions =
+    Array.init num_txns (fun _ ->
+        let basket = Hashtbl.create 8 in
+        List.iter
+          (fun (names, p) ->
+            if Olar_util.Rng.float rng < p then
+              List.iter (fun n -> Hashtbl.replace basket (id n) ()) names)
+          patterns;
+        (* a couple of impulse buys *)
+        for _ = 1 to 1 + Olar_util.Rng.int rng 3 do
+          Hashtbl.replace basket (Olar_util.Rng.int rng (List.length item_names)) ()
+        done;
+        Itemset.of_list (Hashtbl.fold (fun i () acc -> i :: acc) basket []))
+  in
+  (vocab, Database.create ~num_items:(List.length item_names) transactions)
+
+let () =
+  let vocab, db = build_history () in
+  let id name = Option.get (Item.Vocab.id vocab name) in
+  Format.printf "shopping history: %d baskets, avg %.1f items@."
+    (Database.size db) (Database.avg_transaction_size db);
+
+  let engine = Olar_core.Engine.at_threshold db ~primary_support:0.01 in
+  Format.printf "lattice: %d itemsets prestored at >= 1%% support@.@."
+    (Olar_core.Engine.num_primary_itemsets engine);
+
+  let pp_rule = Olar_core.Rule.pp_named vocab in
+
+  (* Query type (2): all rules concerned with beer. *)
+  let beer = Itemset.singleton (id "beer") in
+  let rules =
+    Olar_core.Engine.essential_rules engine ~containing:beer ~minsup:0.02
+      ~minconf:0.5
+  in
+  Format.printf "essential rules about beer (sup >= 2%%, conf >= 50%%):@.";
+  List.iter (fun r -> Format.printf "  %a@." pp_rule r) rules;
+
+  (* Section 4.1 constraints: diapers in the consequent — "what predicts
+     a diaper purchase?" *)
+  let constraints =
+    {
+      Olar_core.Boundary.unconstrained with
+      Olar_core.Boundary.consequent_includes = Itemset.singleton (id "diapers");
+    }
+  in
+  let rules =
+    Olar_core.Engine.essential_rules engine ~constraints ~minsup:0.02
+      ~minconf:0.5
+  in
+  Format.printf "@.rules putting diapers in the consequent:@.";
+  List.iter (fun r -> Format.printf "  %a@." pp_rule r) rules;
+
+  (* Antecedent constraint: what does a {bread} basket lead to? *)
+  let constraints =
+    {
+      Olar_core.Boundary.unconstrained with
+      Olar_core.Boundary.antecedent_includes = Itemset.singleton (id "bread");
+    }
+  in
+  let rules =
+    Olar_core.Engine.essential_rules engine ~constraints ~minsup:0.02
+      ~minconf:0.4
+  in
+  Format.printf "@.rules with bread in the antecedent:@.";
+  List.iter (fun r -> Format.printf "  %a@." pp_rule r) rules;
+
+  (* Query type (4): how selective must support be to see exactly 5
+     itemsets involving coffee? *)
+  (match
+     Olar_core.Engine.support_for_k_itemsets engine
+       ~containing:(Itemset.singleton (id "coffee"))
+       ~k:5
+   with
+  | Some level ->
+    Format.printf "@.exactly 5 itemsets contain coffee at minsup = %.2f%%@."
+      (100.0 *. level)
+  | None -> Format.printf "@.fewer than 5 coffee itemsets are prestored@.");
+
+  (* Persist for the next session. *)
+  let path = Filename.temp_file "market_basket" ".lattice" in
+  Olar_core.Engine.save engine path;
+  let reloaded = Olar_core.Engine.load path in
+  Format.printf "@.lattice saved and reloaded from %s (%d itemsets)@." path
+    (Olar_core.Engine.num_primary_itemsets reloaded);
+  Sys.remove path

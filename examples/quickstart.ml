@@ -1,0 +1,67 @@
+(* Quickstart: preprocess once, query many.
+
+   Generates a small synthetic market-basket dataset, preprocesses it
+   into an adjacency lattice under an itemset budget, then answers a
+   series of online queries at different supports and confidences —
+   without ever rescanning the transactions.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Olar_data
+
+let () =
+  (* 1. A synthetic dataset: 5k transactions, ~10 items each (T10.I4). *)
+  let params =
+    {
+      (Option.get (Olar_datagen.Params.of_name "T10.I4.D5K")) with
+      Olar_datagen.Params.num_items = 300;
+      seed = 2026;
+    }
+  in
+  let db = Olar_datagen.Quest.generate params in
+  Format.printf "dataset %s: %d transactions, %d items, avg size %.1f@."
+    (Olar_datagen.Params.name params)
+    (Database.size db) (Database.num_items db)
+    (Database.avg_transaction_size db);
+
+  (* 2. Preprocess once: find the lowest support threshold that fits a
+     budget of 2000 prestored itemsets, mine them with DHP, and build
+     the adjacency lattice. *)
+  let stats = Olar_mining.Stats.create () in
+  let engine, preprocess_s =
+    Olar_util.Timer.time (fun () ->
+        Olar_core.Engine.preprocess ~stats db ~max_itemsets:2000)
+  in
+  Format.printf
+    "preprocessed in %.2fs: %d primary itemsets at threshold %.3f%% (%a)@."
+    preprocess_s
+    (Olar_core.Engine.num_primary_itemsets engine)
+    (100.0 *. Olar_core.Engine.primary_threshold engine)
+    Olar_mining.Stats.pp stats;
+
+  (* 3. Query many: each of these hits only the lattice. *)
+  let queries = [ (0.02, 0.8); (0.01, 0.8); (0.01, 0.5); (0.005, 0.9) ] in
+  List.iter
+    (fun (minsup, minconf) ->
+      match
+        Olar_util.Timer.time (fun () ->
+            Olar_core.Engine.essential_rules engine ~minsup ~minconf)
+      with
+      | rules, dt ->
+        Format.printf "@.(minsup=%.3f%%, minconf=%.0f%%): %d essential rules in %.4fs@."
+          (100.0 *. minsup) (100.0 *. minconf) (List.length rules) dt;
+        List.iteri
+          (fun i r -> if i < 5 then Format.printf "  %a@." Olar_core.Rule.pp r)
+          rules;
+        if List.length rules > 5 then
+          Format.printf "  ... and %d more@." (List.length rules - 5)
+      | exception Olar_core.Query.Below_primary_threshold { requested; primary } ->
+        Format.printf
+          "@.(minsup=%.3f%%): below the primary threshold (%d < %d) — not prestored@."
+          (100.0 *. minsup) requested primary)
+    queries;
+
+  (* 4. Count queries are just as cheap. *)
+  Format.printf "@.itemsets at 1%%: %d; at 2%%: %d@."
+    (Olar_core.Engine.count_itemsets engine ~minsup:0.01)
+    (Olar_core.Engine.count_itemsets engine ~minsup:0.02)

@@ -1,0 +1,36 @@
+open Olar_data
+
+type answer = {
+  itemsets : (Itemset.t * int) list;
+  rules : Olar_core.Rule.t list;
+  mining_seconds : float;
+  rulegen_seconds : float;
+}
+
+let query ?stats ?(miner = Olar_mining.Threshold.Use_dhp) ?containing db ~minsup
+    ~confidence =
+  let mine () =
+    match miner with
+    | Olar_mining.Threshold.Use_apriori -> Olar_mining.Apriori.mine ?stats db ~minsup
+    | Olar_mining.Threshold.Use_dhp -> Olar_mining.Dhp.mine ?stats db ~minsup
+    | Olar_mining.Threshold.Use_fpgrowth -> Olar_mining.Fpgrowth.mine ?stats db ~minsup
+  in
+  let frequent, mining_seconds = Olar_util.Timer.time mine in
+  let generate () =
+    let keep (x, _) =
+      match containing with
+      | None -> true
+      | Some z -> Itemset.subset z x
+    in
+    let all = List.filter keep (Olar_mining.Frequent.to_list frequent) in
+    let support a =
+      if Itemset.is_empty a then Olar_mining.Frequent.db_size frequent
+      else
+        match Olar_mining.Frequent.count frequent a with
+        | Some c -> c
+        | None -> assert false (* downward closure of a complete result *)
+    in
+    (all, Naive_rules.all_rules ~support ~frequent:all ~confidence)
+  in
+  let (itemsets, rules), rulegen_seconds = Olar_util.Timer.time generate in
+  { itemsets; rules; mining_seconds; rulegen_seconds }

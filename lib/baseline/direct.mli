@@ -1,0 +1,34 @@
+(** The paper's comparator: answer each query from scratch.
+
+    For every (minsup, minconf) the analyst tries, re-run the itemset
+    miner over the full transaction database and then generate the rules
+    — no preprocessing, no lattice. This is the "direct itemset
+    generation approach like DHP" of Table 3; the online engine is
+    benchmarked against it. *)
+
+open Olar_data
+
+type answer = {
+  itemsets : (Itemset.t * int) list;  (** frequent itemsets with counts *)
+  rules : Olar_core.Rule.t list;  (** all rules clearing the confidence *)
+  mining_seconds : float;  (** time spent in the miner (phase 1) *)
+  rulegen_seconds : float;  (** time spent generating rules (phase 2) *)
+}
+
+(** [query db ~minsup ~confidence] mines [db] at the absolute support
+    count [minsup] and generates all rules at [confidence].
+
+    @param miner defaults to DHP.
+    @param containing restrict phase 1's output to itemsets containing
+      this set {e after} mining (the direct method cannot exploit the
+      constraint during the scan — that asymmetry is the point).
+    @param stats mining work counters.
+    Raises [Invalid_argument] when [minsup < 1]. *)
+val query :
+  ?stats:Olar_mining.Stats.t ->
+  ?miner:Olar_mining.Threshold.miner ->
+  ?containing:Itemset.t ->
+  Database.t ->
+  minsup:int ->
+  confidence:Olar_core.Conf.t ->
+  answer

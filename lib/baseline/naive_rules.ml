@@ -1,0 +1,34 @@
+open Olar_data
+
+let all_rules ~support ~frequent ~confidence =
+  let rules = ref [] in
+  List.iter
+    (fun (x, count_x) ->
+      if Itemset.cardinal x >= 2 then
+        List.iter
+          (fun antecedent ->
+            let count_a = support antecedent in
+            if
+              Olar_core.Conf.satisfied confidence ~union_count:count_x
+                ~antecedent_count:count_a
+            then
+              rules :=
+                Olar_core.Rule.make ~antecedent
+                  ~consequent:(Itemset.diff x antecedent)
+                  ~support_count:count_x ~antecedent_count:count_a
+                :: !rules)
+          (Itemset.proper_nonempty_subsets x))
+    frequent;
+  List.sort Olar_core.Rule.compare !rules
+
+let essential_filter rules =
+  let arr = Array.of_list rules in
+  List.filter
+    (fun candidate ->
+      not
+        (Array.exists
+           (fun wrt ->
+             (not (Olar_core.Rule.equal candidate wrt))
+             && Olar_core.Rule.redundant ~candidate ~wrt)
+           arr))
+    rules

@@ -1,0 +1,28 @@
+(** Naive rule generation and brute-force redundancy classification.
+
+    The reference implementations everything else is validated against:
+    generate rules by enumerating every antecedent subset of every
+    frequent itemset (the classical two-phase method's second phase), and
+    classify essential rules directly from Definition 4.2 by pairwise
+    redundancy tests. Exponential in itemset size and quadratic in rule
+    count — for baselines and tests, not for the online path. *)
+
+open Olar_data
+
+(** [all_rules ~support ~frequent ~confidence] generates, for every
+    itemset X in [frequent] and every proper non-empty subset A of X with
+    support(X)/support(A) >= confidence, the rule A ⇒ X \ A. [support]
+    must return the exact count for every subset of a frequent itemset
+    (downward closure makes them all frequent); it is called as
+    [support a]. Raises [Invalid_argument] (via {!Olar_data.Itemset})
+    when an itemset exceeds 20 items. Sorted by {!Olar_core.Rule.compare}. *)
+val all_rules :
+  support:(Itemset.t -> int) ->
+  frequent:(Itemset.t * int) list ->
+  confidence:Olar_core.Conf.t ->
+  Olar_core.Rule.t list
+
+(** [essential_filter rules] keeps exactly the rules that are not
+    redundant (simple or strict, Theorems 4.1-4.2) with respect to any
+    other rule in [rules] — Definition 4.2 verbatim. O(n²). *)
+val essential_filter : Olar_core.Rule.t list -> Olar_core.Rule.t list

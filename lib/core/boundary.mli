@@ -1,0 +1,61 @@
+(** Boundary computation — algorithm [FindBoundary] (Figure 5) and its
+    constrained form (Section 4.1).
+
+    The boundary F(X, c) of a large itemset X at confidence c is the set
+    of {e maximal ancestors} of v(X): ancestors Y with
+    S(Y) <= S(X) / c such that no strict ancestor of Y also satisfies the
+    bound. By Theorem 4.4 the rules Y ⇒ X \ Y for Y in the boundary are
+    exactly the rules from X free of simple redundancy.
+
+    Constraints: with an antecedent inclusion set P and a consequent
+    inclusion set Q, only ancestors Y ⊇ P with Y ∩ Q = ∅ qualify, and
+    maximality is relative to ancestors satisfying the same constraints.
+    Because supports rise monotonically toward the root and both
+    constraints transport along some parent path, checking a vertex's
+    immediate parents suffices for maximality (and downward closure of
+    the primary set guarantees those parents are present). *)
+
+open Olar_data
+
+type constraints = {
+  antecedent_includes : Itemset.t;  (** P — items the antecedent must contain *)
+  consequent_includes : Itemset.t;  (** Q — items the consequent must contain *)
+  allow_empty_antecedent : bool;
+      (** admit the degenerate rule ∅ ⇒ X (default in {!unconstrained}:
+          false) *)
+}
+
+(** No inclusion sets, empty antecedents rejected. *)
+val unconstrained : constraints
+
+(** [find_boundary lattice ~target ~confidence] is F(X, c) for the
+    itemset X at vertex [target], as vertex ids sorted by (cardinality,
+    lexicographic). The target itself is never a member (the consequent
+    would be empty). Returns [] when P ⊄ X, Q ⊄ X, or P ∩ Q ≠ ∅ — no
+    antecedent can satisfy the constraints.
+
+    Raises [Invalid_argument] on a bad vertex id.
+
+    @param work incremented per vertex expansion and per parent
+      inspection. *)
+val find_boundary :
+  ?work:Olar_util.Timer.Counter.t ->
+  ?constraints:constraints ->
+  Lattice.t ->
+  target:Lattice.vertex_id ->
+  confidence:Conf.t ->
+  Lattice.vertex_id list
+
+(** [all_ancestor_antecedents lattice ~target ~confidence] drops the
+    maximality requirement: every ancestor Y of X satisfying the
+    confidence bound and the constraints — the antecedents of {e all}
+    rules (redundant ones included) that X generates at confidence c.
+    Used to measure the redundancy ratio of Section 6. Same conventions
+    as {!find_boundary}. *)
+val all_ancestor_antecedents :
+  ?work:Olar_util.Timer.Counter.t ->
+  ?constraints:constraints ->
+  Lattice.t ->
+  target:Lattice.vertex_id ->
+  confidence:Conf.t ->
+  Lattice.vertex_id list

@@ -1,0 +1,15 @@
+type t = float
+
+let of_float c =
+  if Float.is_nan c || c <= 0.0 || c > 1.0 then invalid_arg "Conf.of_float";
+  c
+
+let to_float c = c
+
+let satisfied c ~union_count ~antecedent_count =
+  if antecedent_count <= 0 then invalid_arg "Conf.satisfied: antecedent_count";
+  if union_count < 0 then invalid_arg "Conf.satisfied: union_count";
+  (* Counts are exact in float up to 2^53; the tolerance only absorbs the
+     rounding of the product. *)
+  let bound = c *. float_of_int antecedent_count in
+  float_of_int union_count >= bound -. (1e-12 *. bound)

@@ -1,0 +1,23 @@
+(** Confidence thresholds.
+
+    A single comparison underlies every confidence test in the paper: the
+    rule A ⇒ B holds at minimum confidence c iff
+    S(A ∪ B) >= c · S(A), equivalently iff the ancestor label satisfies
+    S(A) <= S(A ∪ B) / c (Section 4). Centralising it here keeps the
+    float/int boundary — and its tolerance — in one place. *)
+
+type t = private float
+
+(** [of_float c] validates 0 < c <= 1. Raises [Invalid_argument]
+    otherwise. *)
+val of_float : float -> t
+
+(** [to_float c] is the raw threshold. *)
+val to_float : t -> float
+
+(** [satisfied c ~union_count ~antecedent_count] is
+    union_count >= c · antecedent_count, with a relative tolerance of
+    1e-12 so that exact-ratio queries (e.g. c = 0.75 against 3/4) are not
+    lost to float rounding. [antecedent_count] must be positive and
+    [union_count] non-negative; raises [Invalid_argument] otherwise. *)
+val satisfied : t -> union_count:int -> antecedent_count:int -> bool

@@ -1,0 +1,118 @@
+open Olar_data
+
+type t = { lattice : Lattice.t }
+
+let of_lattice lattice = { lattice }
+
+let lattice_of_frequent frequent =
+  assert (Olar_mining.Frequent.complete frequent);
+  Lattice.of_entries
+    ~db_size:(Olar_mining.Frequent.db_size frequent)
+    ~threshold:(Olar_mining.Frequent.threshold frequent)
+    (Array.of_list (Olar_mining.Frequent.to_list frequent))
+
+let preprocess ?stats ?miner ?(search = `Optimized) ?slack db ~max_itemsets =
+  if max_itemsets < 1 then invalid_arg "Engine.preprocess: max_itemsets";
+  let slack =
+    match slack with
+    | Some s -> s
+    | None -> min (max_itemsets - 1) (max 0 (max_itemsets / 20))
+  in
+  let result =
+    match search with
+    | `Naive -> Olar_mining.Threshold.naive ?stats ?miner db ~target:max_itemsets ~slack
+    | `Optimized ->
+      Olar_mining.Threshold.optimized ?stats ?miner db ~target:max_itemsets ~slack
+  in
+  of_lattice (lattice_of_frequent result.Olar_mining.Threshold.itemsets)
+
+let preprocess_bytes ?stats ?miner ?slack_bytes db ~max_bytes =
+  if max_bytes < 1 then invalid_arg "Engine.preprocess_bytes: max_bytes";
+  let slack_bytes =
+    match slack_bytes with
+    | Some s -> s
+    | None -> min (max_bytes - 1) (max 0 (max_bytes / 20))
+  in
+  let result =
+    Olar_mining.Threshold.optimized_bytes ?stats ?miner db
+      ~budget_bytes:max_bytes ~slack_bytes
+  in
+  of_lattice (lattice_of_frequent result.Olar_mining.Threshold.itemsets)
+
+let at_threshold ?stats ?(miner = Olar_mining.Threshold.Use_dhp) db
+    ~primary_support =
+  if primary_support <= 0.0 || primary_support > 1.0 then
+    invalid_arg "Engine.at_threshold: primary_support";
+  let minsup = Database.count_of_fraction db primary_support in
+  let frequent =
+    match miner with
+    | Olar_mining.Threshold.Use_apriori -> Olar_mining.Apriori.mine ?stats db ~minsup
+    | Olar_mining.Threshold.Use_dhp -> Olar_mining.Dhp.mine ?stats db ~minsup
+    | Olar_mining.Threshold.Use_fpgrowth -> Olar_mining.Fpgrowth.mine ?stats db ~minsup
+  in
+  of_lattice (lattice_of_frequent frequent)
+
+let lattice t = t.lattice
+let db_size t = Lattice.db_size t.lattice
+let primary_threshold_count t = Lattice.threshold t.lattice
+
+let primary_threshold t =
+  float_of_int (primary_threshold_count t) /. float_of_int (max 1 (db_size t))
+
+let num_primary_itemsets t = Lattice.num_vertices t.lattice - 1
+
+let count_of_support t s =
+  if s < 0.0 || s > 1.0 || Float.is_nan s then
+    invalid_arg "Engine.count_of_support";
+  max 1 (int_of_float (ceil (s *. float_of_int (db_size t))))
+
+let fraction t count = float_of_int count /. float_of_int (max 1 (db_size t))
+
+let itemsets ?work ?(containing = Itemset.empty) t ~minsup =
+  let minsup = count_of_support t minsup in
+  let ids = Query.find_itemsets ?work t.lattice ~containing ~minsup in
+  List.map
+    (fun (x, c) -> (x, fraction t c))
+    (Query.to_entries t.lattice ids)
+
+let count_itemsets ?work ?(containing = Itemset.empty) t ~minsup =
+  let minsup = count_of_support t minsup in
+  Query.count_itemsets ?work t.lattice ~containing ~minsup
+
+let essential_rules ?work ?containing ?constraints t ~minsup ~minconf =
+  Rulegen.essential_rules ?work ?containing ?constraints t.lattice
+    ~minsup:(count_of_support t minsup)
+    ~confidence:(Conf.of_float minconf)
+
+let all_rules ?work ?containing ?constraints t ~minsup ~minconf =
+  Rulegen.all_rules ?work ?containing ?constraints t.lattice
+    ~minsup:(count_of_support t minsup)
+    ~confidence:(Conf.of_float minconf)
+
+let single_consequent_rules ?work ?containing t ~minsup ~minconf =
+  Rulegen.single_consequent_rules ?work ?containing t.lattice
+    ~minsup:(count_of_support t minsup)
+    ~confidence:(Conf.of_float minconf)
+
+let redundancy ?containing t ~minsup ~minconf =
+  Rulegen.redundancy ?containing t.lattice
+    ~minsup:(count_of_support t minsup)
+    ~confidence:(Conf.of_float minconf)
+
+let support_for_k_itemsets ?work t ~containing ~k =
+  let answer = Support_query.find_support ?work t.lattice ~containing ~k in
+  Option.map (fraction t) answer.Support_query.support_level
+
+let support_for_k_rules ?work t ~involving ~minconf ~k =
+  let answer =
+    Support_query.find_support_for_rules ?work t.lattice ~involving
+      ~confidence:(Conf.of_float minconf) ~k
+  in
+  Option.map (fraction t) answer.Support_query.rule_support_level
+
+let append t delta =
+  let update = Maintenance.append t.lattice delta in
+  (of_lattice update.Maintenance.lattice, update.Maintenance.promoted_candidates)
+
+let save t path = Serialize.save t.lattice path
+let load path = of_lattice (Serialize.load path)

@@ -1,0 +1,175 @@
+(** The online mining engine — the "preprocess once, query many" façade.
+
+    Ties the pieces together: preprocessing (threshold search + mining +
+    lattice construction, Section 5), then the online queries of Section
+    1.2 against the resulting lattice, with supports expressed as
+    fractions at this level. All query functions answer without touching
+    the transaction data. *)
+
+open Olar_data
+
+type t
+
+(** {1 Preprocessing} *)
+
+(** [preprocess db ~max_itemsets] finds the lowest primary threshold
+    fitting roughly [max_itemsets] itemsets (binary search of Section 5),
+    mines the primary itemsets and builds the adjacency lattice.
+
+    @param slack the search window Ns (default: [max_itemsets / 20]).
+    @param miner mining subroutine (default DHP, as in the paper).
+    @param search [`Optimized] (default) uses early termination and
+      cross-probe reuse; [`Naive] is the paper's [NaiveFindThreshold].
+    @param stats accumulates preprocessing work.
+    Raises [Invalid_argument] when [max_itemsets < 1]. *)
+val preprocess :
+  ?stats:Olar_mining.Stats.t ->
+  ?miner:Olar_mining.Threshold.miner ->
+  ?search:[ `Naive | `Optimized ] ->
+  ?slack:int ->
+  Database.t ->
+  max_itemsets:int ->
+  t
+
+(** [preprocess_bytes db ~max_bytes] is {!preprocess} with the paper's
+    actual constraint — a memory budget in bytes rather than an itemset
+    count. The binary search accepts a lattice whose estimated footprint
+    lies within [slack_bytes] (default [max_bytes / 20]) of the budget
+    and never exceeds it. Raises [Invalid_argument] when
+    [max_bytes < 1]. *)
+val preprocess_bytes :
+  ?stats:Olar_mining.Stats.t ->
+  ?miner:Olar_mining.Threshold.miner ->
+  ?slack_bytes:int ->
+  Database.t ->
+  max_bytes:int ->
+  t
+
+(** [at_threshold db ~primary_support] skips the budget search and mines
+    directly at the given fractional support (0 < s <= 1). Raises
+    [Invalid_argument] outside that range. *)
+val at_threshold :
+  ?stats:Olar_mining.Stats.t ->
+  ?miner:Olar_mining.Threshold.miner ->
+  Database.t ->
+  primary_support:float ->
+  t
+
+(** [of_lattice lattice] wraps an existing (e.g. deserialized) lattice. *)
+val of_lattice : Lattice.t -> t
+
+(** {1 Introspection} *)
+
+val lattice : t -> Lattice.t
+val db_size : t -> int
+
+(** [primary_threshold_count t] / [primary_threshold t] are the primary
+    threshold as a count and as a fraction of the database. *)
+val primary_threshold_count : t -> int
+
+val primary_threshold : t -> float
+
+(** [num_primary_itemsets t] excludes the root. *)
+val num_primary_itemsets : t -> int
+
+(** [count_of_support t s] converts a fractional minimum support into the
+    absolute count the engine uses: ⌈s·db⌉, at least 1. Raises
+    [Invalid_argument] outside [0, 1]. *)
+val count_of_support : t -> float -> int
+
+(** {1 Online queries (Section 1.2)}
+
+    Every query takes fractional [minsup] and raises
+    {!Query.Below_primary_threshold} when it lies below the primary
+    threshold, [Invalid_argument] on values outside [0, 1] (or a
+    confidence outside (0, 1]). *)
+
+(** Query (1)/(2): itemsets ⊇ [containing] (default: all) at [minsup],
+    with fractional supports, strongest first. *)
+val itemsets :
+  ?work:Olar_util.Timer.Counter.t ->
+  ?containing:Itemset.t ->
+  t ->
+  minsup:float ->
+  (Itemset.t * float) list
+
+(** Query (3): the number of such itemsets, without materialising. *)
+val count_itemsets :
+  ?work:Olar_util.Timer.Counter.t ->
+  ?containing:Itemset.t ->
+  t ->
+  minsup:float ->
+  int
+
+(** Query (1)/(2) for rules: the essential rules at ([minsup],
+    [minconf]), optionally from itemsets ⊇ [containing] and under
+    antecedent/consequent constraints. *)
+val essential_rules :
+  ?work:Olar_util.Timer.Counter.t ->
+  ?containing:Itemset.t ->
+  ?constraints:Boundary.constraints ->
+  t ->
+  minsup:float ->
+  minconf:float ->
+  Rule.t list
+
+(** All rules, redundant included. *)
+val all_rules :
+  ?work:Olar_util.Timer.Counter.t ->
+  ?containing:Itemset.t ->
+  ?constraints:Boundary.constraints ->
+  t ->
+  minsup:float ->
+  minconf:float ->
+  Rule.t list
+
+(** Rules with a one-item consequent. *)
+val single_consequent_rules :
+  ?work:Olar_util.Timer.Counter.t ->
+  ?containing:Itemset.t ->
+  t ->
+  minsup:float ->
+  minconf:float ->
+  Rule.t list
+
+(** Redundancy measurement (Figures 11-12). *)
+val redundancy :
+  ?containing:Itemset.t -> t -> minsup:float -> minconf:float -> Rulegen.redundancy_report
+
+(** Query (4): the fractional support at which exactly [k] itemsets
+    containing [containing] exist; [None] when the lattice holds fewer
+    than [k]. *)
+val support_for_k_itemsets :
+  ?work:Olar_util.Timer.Counter.t ->
+  t ->
+  containing:Itemset.t ->
+  k:int ->
+  float option
+
+(** Query (5): the fractional support at which [k] single-consequent
+    rules at [minconf] involving [involving] exist. *)
+val support_for_k_rules :
+  ?work:Olar_util.Timer.Counter.t ->
+  t ->
+  involving:Itemset.t ->
+  minconf:float ->
+  k:int ->
+  float option
+
+(** {1 Maintenance} *)
+
+(** [append t delta] folds a batch of new transactions into the engine in
+    one pass over the batch (see {!Maintenance.append}): the returned
+    engine serves old ∪ delta with exact counts for every previously
+    primary itemset, and the itemset list reports the promotion frontier
+    (new itemsets provably frequent from the batch alone — non-empty
+    means a full re-preprocess would add vertices). *)
+val append : t -> Database.t -> t * Itemset.t list
+
+(** {1 Persistence} *)
+
+(** [save t path] / [load path] persist the underlying lattice via
+    {!Serialize}. *)
+val save : t -> string -> unit
+
+val load : string -> t

@@ -1,0 +1,162 @@
+open Olar_data
+
+let item_text vocab i =
+  match vocab with
+  | None -> string_of_int i
+  | Some v -> Item.Vocab.name v i
+
+let itemset_words vocab x =
+  String.concat " " (List.map (item_text vocab) (Itemset.to_list x))
+
+(* RFC 4180: quote a field when it contains comma, quote or newline;
+   double embedded quotes. *)
+let csv_field s =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  in
+  if not needs_quoting then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let csv_row fields = String.concat "," (List.map csv_field fields) ^ "\r\n"
+
+let check_db_size db_size name = if db_size <= 0 then invalid_arg name
+
+let fraction ~db_size c = float_of_int c /. float_of_int db_size
+
+let itemsets_to_csv ?vocab ~db_size entries =
+  check_db_size db_size "Export.itemsets_to_csv";
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (csv_row [ "itemset"; "size"; "count"; "support" ]);
+  List.iter
+    (fun (x, c) ->
+      Buffer.add_string buf
+        (csv_row
+           [
+             itemset_words vocab x;
+             string_of_int (Itemset.cardinal x);
+             string_of_int c;
+             Printf.sprintf "%.6f" (fraction ~db_size c);
+           ]))
+    entries;
+  Buffer.contents buf
+
+let measure_fields measures r =
+  match measures with
+  | None -> []
+  | Some lattice ->
+    let m = Interest.measures lattice r in
+    [
+      Printf.sprintf "%.6f" m.Interest.lift;
+      Printf.sprintf "%.6f" m.Interest.leverage;
+      (if Float.is_finite m.Interest.conviction then
+         Printf.sprintf "%.6f" m.Interest.conviction
+       else "inf");
+    ]
+
+let rules_to_csv ?vocab ?measures ~db_size rules =
+  check_db_size db_size "Export.rules_to_csv";
+  let buf = Buffer.create 1024 in
+  let header =
+    [ "antecedent"; "consequent"; "support_count"; "support"; "confidence" ]
+    @ (if measures = None then [] else [ "lift"; "leverage"; "conviction" ])
+  in
+  Buffer.add_string buf (csv_row header);
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (csv_row
+           ([
+              itemset_words vocab r.Rule.antecedent;
+              itemset_words vocab r.Rule.consequent;
+              string_of_int r.Rule.support_count;
+              Printf.sprintf "%.6f" (fraction ~db_size r.Rule.support_count);
+              Printf.sprintf "%.6f" (Rule.confidence r);
+            ]
+           @ measure_fields measures r)))
+    rules;
+  Buffer.contents buf
+
+(* Minimal JSON printing: strings escape the two mandatory characters
+   and control codes; numbers print in OCaml float/int syntax (valid
+   JSON). *)
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let json_items vocab x =
+  "["
+  ^ String.concat ","
+      (List.map
+         (fun i ->
+           match vocab with
+           | None -> string_of_int i
+           | Some v -> json_string (Item.Vocab.name v i))
+         (Itemset.to_list x))
+  ^ "]"
+
+let json_array elements = "[" ^ String.concat ",\n " elements ^ "]\n"
+
+let json_number f =
+  if Float.is_finite f then Printf.sprintf "%.6g" f else json_string "inf"
+
+let itemsets_to_json ?vocab ~db_size entries =
+  check_db_size db_size "Export.itemsets_to_json";
+  json_array
+    (List.map
+       (fun (x, c) ->
+         Printf.sprintf "{\"items\": %s, \"count\": %d, \"support\": %s}"
+           (json_items vocab x) c
+           (json_number (fraction ~db_size c)))
+       entries)
+
+let rules_to_json ?vocab ?measures ~db_size rules =
+  check_db_size db_size "Export.rules_to_json";
+  json_array
+    (List.map
+       (fun r ->
+         let base =
+           Printf.sprintf
+             "{\"antecedent\": %s, \"consequent\": %s, \"support_count\": %d, \
+              \"support\": %s, \"confidence\": %s"
+             (json_items vocab r.Rule.antecedent)
+             (json_items vocab r.Rule.consequent)
+             r.Rule.support_count
+             (json_number (fraction ~db_size r.Rule.support_count))
+             (json_number (Rule.confidence r))
+         in
+         let extra =
+           match measures with
+           | None -> ""
+           | Some lattice ->
+             let m = Interest.measures lattice r in
+             Printf.sprintf
+               ", \"lift\": %s, \"leverage\": %s, \"conviction\": %s"
+               (json_number m.Interest.lift)
+               (json_number m.Interest.leverage)
+               (json_number m.Interest.conviction)
+         in
+         base ^ extra ^ "}")
+       rules)

@@ -1,0 +1,40 @@
+(** Exporting query results to interchange formats.
+
+    Rules and itemsets render to CSV (RFC-4180 quoting) and JSON (plain
+    text, UTF-8 pass-through, control characters escaped) for
+    consumption by spreadsheets and downstream pipelines. Items print as
+    ids, or as names when a vocabulary is supplied. All functions build
+    strings; callers own the I/O. *)
+
+open Olar_data
+
+(** [itemsets_to_csv ?vocab ~db_size entries] has header
+    [itemset,size,count,support]; the itemset cell joins items with
+    spaces. Raises [Invalid_argument] when [db_size <= 0]. *)
+val itemsets_to_csv :
+  ?vocab:Item.Vocab.t -> db_size:int -> (Itemset.t * int) list -> string
+
+(** [rules_to_csv ?vocab ~db_size rules] has header
+    [antecedent,consequent,support_count,support,confidence]; with
+    [measures] it appends [lift,leverage,conviction] computed against
+    the lattice. *)
+val rules_to_csv :
+  ?vocab:Item.Vocab.t ->
+  ?measures:Lattice.t ->
+  db_size:int ->
+  Rule.t list ->
+  string
+
+(** [itemsets_to_json ?vocab ~db_size entries] is a JSON array of
+    objects [{"items": [...], "count": n, "support": s}]. *)
+val itemsets_to_json :
+  ?vocab:Item.Vocab.t -> db_size:int -> (Itemset.t * int) list -> string
+
+(** [rules_to_json ?vocab ?measures ~db_size rules] is a JSON array of
+    objects with antecedent/consequent arrays, counts and measures. *)
+val rules_to_json :
+  ?vocab:Item.Vocab.t ->
+  ?measures:Lattice.t ->
+  db_size:int ->
+  Rule.t list ->
+  string

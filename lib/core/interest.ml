@@ -1,0 +1,64 @@
+open Olar_data
+
+type t = {
+  support : float;
+  confidence : float;
+  lift : float;
+  leverage : float;
+  conviction : float;
+}
+
+let count_of lattice x what =
+  if Itemset.is_empty x then Lattice.db_size lattice
+  else
+    match Lattice.support_of lattice x with
+    | Some c -> c
+    | None -> invalid_arg ("Interest.measures: " ^ what ^ " not primary")
+
+let measures lattice rule =
+  let n = float_of_int (Lattice.db_size lattice) in
+  if n = 0.0 then invalid_arg "Interest.measures: empty database";
+  let p_union = float_of_int rule.Rule.support_count /. n in
+  let p_ante = float_of_int rule.Rule.antecedent_count /. n in
+  let p_cons =
+    float_of_int (count_of lattice rule.Rule.consequent "consequent") /. n
+  in
+  let confidence = Rule.confidence rule in
+  let lift = if p_cons = 0.0 then Float.infinity else confidence /. p_cons in
+  let leverage = p_union -. (p_ante *. p_cons) in
+  let conviction =
+    if confidence >= 1.0 then Float.infinity
+    else (1.0 -. p_cons) /. (1.0 -. confidence)
+  in
+  { support = p_union; confidence; lift; leverage; conviction }
+
+let pp fmt m =
+  Format.fprintf fmt "sup=%.4f conf=%.2f lift=%.2f lev=%.4f conv=%s" m.support
+    m.confidence m.lift m.leverage
+    (if Float.is_integer m.conviction || Float.is_nan m.conviction then
+       Printf.sprintf "%.0f" m.conviction
+     else Printf.sprintf "%.2f" m.conviction)
+
+let annotate lattice rules = List.map (fun r -> (r, measures lattice r)) rules
+
+let filter_by lattice rules ~min_lift =
+  if Float.is_nan min_lift || min_lift < 0.0 then
+    invalid_arg "Interest.filter_by: min_lift";
+  List.filter (fun r -> (measures lattice r).lift >= min_lift) rules
+
+let sort_by measure lattice rules =
+  let key m =
+    match measure with
+    | `Support -> m.support
+    | `Confidence -> m.confidence
+    | `Lift -> m.lift
+    | `Leverage -> m.leverage
+    | `Conviction -> m.conviction
+  in
+  let annotated = annotate lattice rules in
+  List.map fst
+    (List.sort
+       (fun (r1, m1) (r2, m2) ->
+         let c = Float.compare (key m2) (key m1) in
+         if c <> 0 then c else Rule.compare r1 r2)
+       annotated)

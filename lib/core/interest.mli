@@ -1,0 +1,47 @@
+(** Interestingness measures beyond support and confidence.
+
+    Support/confidence (the paper's two knobs) famously admit rules that
+    are confident only because the consequent is common. These standard
+    corrections are all computable from the lattice alone — the
+    consequent of any generated rule is a subset of a primary itemset,
+    hence primary itself (downward closure), so its exact count is one
+    lookup away. *)
+
+
+type t = {
+  support : float;  (** fraction of transactions with antecedent ∪ consequent *)
+  confidence : float;
+  lift : float;
+      (** confidence / P(consequent): 1 = independence, > 1 positive
+          correlation *)
+  leverage : float;
+      (** P(A ∪ C) − P(A)·P(C): additive version of lift *)
+  conviction : float;
+      (** (1 − P(C)) / (1 − confidence); [infinity] for exact rules *)
+}
+
+(** [measures lattice rule] computes all measures. Raises
+    [Invalid_argument] when the rule's parts are not primary in
+    [lattice] (a rule produced by querying the same lattice always
+    is). *)
+val measures : Lattice.t -> Rule.t -> t
+
+(** [pp] prints like "sup=0.012 conf=0.90 lift=3.41 lev=0.008 conv=7.50". *)
+val pp : Format.formatter -> t -> unit
+
+(** [annotate lattice rules] pairs each rule with its measures,
+    preserving order. *)
+val annotate : Lattice.t -> Rule.t list -> (Rule.t * t) list
+
+(** [filter_by lattice rules ~min_lift] keeps rules whose lift reaches
+    [min_lift] (use e.g. 1.0 to drop negatively-correlated rules).
+    Raises [Invalid_argument] when [min_lift] is negative or NaN. *)
+val filter_by : Lattice.t -> Rule.t list -> min_lift:float -> Rule.t list
+
+(** [sort_by measure lattice rules] orders the rules by the chosen
+    measure, strongest first (ties by {!Rule.compare}). *)
+val sort_by :
+  [ `Support | `Confidence | `Lift | `Leverage | `Conviction ] ->
+  Lattice.t ->
+  Rule.t list ->
+  Rule.t list

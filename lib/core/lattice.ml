@@ -1,0 +1,131 @@
+open Olar_data
+
+type vertex_id = int
+
+type t = {
+  db_size : int;
+  threshold : int;
+  itemsets : Itemset.t array; (* by vertex id; index 0 = empty set *)
+  supports : int array;
+  children : vertex_id array array; (* decreasing support, ties lex *)
+  parents : vertex_id array array; (* increasing id *)
+  index : vertex_id Itemset.Table.t;
+  num_edges : int;
+}
+
+let of_entries ~db_size ~threshold entries =
+  if db_size < 0 then invalid_arg "Lattice.of_entries: db_size";
+  if threshold < 1 then invalid_arg "Lattice.of_entries: threshold";
+  let entries = Array.copy entries in
+  Array.sort (fun (x, _) (y, _) -> Itemset.compare x y) entries;
+  let n = Array.length entries + 1 in
+  let itemsets = Array.make n Itemset.empty in
+  let supports = Array.make n db_size in
+  let index = Itemset.Table.create (2 * n) in
+  Itemset.Table.add index Itemset.empty 0;
+  Array.iteri
+    (fun k (x, c) ->
+      let v = k + 1 in
+      if Itemset.is_empty x then
+        invalid_arg "Lattice.of_entries: explicit empty itemset";
+      if c < threshold || c > db_size then
+        invalid_arg "Lattice.of_entries: support out of range";
+      if Itemset.Table.mem index x then
+        invalid_arg "Lattice.of_entries: duplicate itemset";
+      itemsets.(v) <- x;
+      supports.(v) <- c;
+      Itemset.Table.add index x v)
+    entries;
+  let child_bufs = Array.init n (fun _ -> Olar_util.Vec.create ()) in
+  let parent_bufs = Array.init n (fun _ -> Olar_util.Vec.create ()) in
+  let num_edges = ref 0 in
+  for v = 1 to n - 1 do
+    List.iter
+      (fun (_, parent) ->
+        match Itemset.Table.find_opt index parent with
+        | None -> invalid_arg "Lattice.of_entries: not downward closed"
+        | Some p ->
+          if supports.(p) < supports.(v) then
+            invalid_arg "Lattice.of_entries: support not monotone";
+          Olar_util.Vec.push child_bufs.(p) v;
+          Olar_util.Vec.push parent_bufs.(v) p;
+          incr num_edges)
+      (Itemset.parents itemsets.(v))
+  done;
+  let order_children a b =
+    let c = Int.compare supports.(b) supports.(a) in
+    if c <> 0 then c else Itemset.compare_lex itemsets.(a) itemsets.(b)
+  in
+  Array.iter (fun buf -> Olar_util.Vec.sort order_children buf) child_bufs;
+  Array.iter (fun buf -> Olar_util.Vec.sort Int.compare buf) parent_bufs;
+  {
+    db_size;
+    threshold;
+    itemsets;
+    supports;
+    children = Array.map Olar_util.Vec.to_array child_bufs;
+    parents = Array.map Olar_util.Vec.to_array parent_bufs;
+    index;
+    num_edges = !num_edges;
+  }
+
+let db_size t = t.db_size
+let threshold t = t.threshold
+let num_vertices t = Array.length t.itemsets
+let num_edges t = t.num_edges
+let root _ = 0
+
+let find t x = Itemset.Table.find_opt t.index x
+let mem t x = Itemset.Table.mem t.index x
+
+let check_id t v name = if v < 0 || v >= num_vertices t then invalid_arg name
+
+let itemset t v =
+  check_id t v "Lattice.itemset";
+  t.itemsets.(v)
+
+let support t v =
+  check_id t v "Lattice.support";
+  t.supports.(v)
+
+let support_of t x = Option.map (fun v -> t.supports.(v)) (find t x)
+
+let cardinal t v =
+  check_id t v "Lattice.cardinal";
+  Itemset.cardinal t.itemsets.(v)
+
+let children t v =
+  check_id t v "Lattice.children";
+  t.children.(v)
+
+let parents t v =
+  check_id t v "Lattice.parents";
+  t.parents.(v)
+
+let iter_vertices f t =
+  for v = 0 to num_vertices t - 1 do
+    f v
+  done
+
+let entries t =
+  Array.init
+    (num_vertices t - 1)
+    (fun k -> (t.itemsets.(k + 1), t.supports.(k + 1)))
+
+let fresh_marks t = Olar_util.Bitset.create (num_vertices t)
+
+(* Heap cost model (64-bit words): every array costs a header word plus
+   one word per element; a vertex owns its itemset array, one slot in
+   each of the four top-level arrays, and hash-index overhead (~4 words
+   per binding). Each edge occupies one child slot and one parent
+   slot. *)
+let estimated_bytes t =
+  let word = 8 in
+  let vertices = num_vertices t in
+  let itemset_words =
+    Array.fold_left (fun acc x -> acc + 1 + Itemset.cardinal x) 0 t.itemsets
+  in
+  let adjacency_words = (2 * t.num_edges) + (2 * vertices) in
+  let table_words = 4 * vertices in
+  let top_level = 4 * vertices in
+  word * (itemset_words + adjacency_words + table_words + top_level)

@@ -1,0 +1,105 @@
+(** The adjacency lattice (Section 2 of the paper).
+
+    One vertex per {e primary itemset} — every itemset whose support
+    reaches the primary threshold — labelled with its exact support
+    count, plus a root vertex for the empty itemset labelled with the
+    database size. A directed edge runs from v(X) to v(Y) exactly when Y
+    extends X by one item ("X is a parent of Y"), so ancestors are
+    subsets and descendants are supersets, and supports are non-increasing
+    along every edge (Remark 2.2).
+
+    The structure is immutable after construction. Children of a vertex
+    are exposed in decreasing order of support — the invariant the
+    paper's search algorithms exploit to stop scanning a child list at
+    the first child below the support cut. Vertex ids are dense integers
+    in [0, num_vertices), with the root always id 0, so searches can use
+    O(1) bitset visited-marks. *)
+
+open Olar_data
+
+type t
+
+type vertex_id = int
+
+(** [of_entries ~db_size ~threshold entries] builds the lattice over the
+    given (itemset, support count) pairs — the primary itemsets, {e not}
+    including the empty set. Requirements, checked, with
+    [Invalid_argument] raised on violation:
+    - [1 <= threshold], [threshold <= count <= db_size] for every entry;
+    - no duplicate itemsets;
+    - downward closure: every parent of an entry is an entry (the empty
+      set is implicit) — this is what makes local parent checks
+      sufficient for boundary maximality;
+    - support monotonicity: an entry's count never exceeds a parent's.
+
+    Complete level-wise mining output satisfies all four by construction. *)
+val of_entries : db_size:int -> threshold:int -> (Itemset.t * int) array -> t
+
+(** [db_size t] is the number of transactions behind the supports. *)
+val db_size : t -> int
+
+(** [threshold t] is the primary threshold (absolute count). *)
+val threshold : t -> int
+
+(** [num_vertices t] includes the root. *)
+val num_vertices : t -> int
+
+(** [num_edges t] is the number of parent-child edges; by Theorem 2.1 it
+    equals the sum of the cardinalities of the primary itemsets. *)
+val num_edges : t -> int
+
+(** [root t] is the vertex of the empty itemset (always id 0). *)
+val root : t -> vertex_id
+
+(** [find t x] is the vertex of itemset [x], if primary ([Some (root t)]
+    for the empty set). *)
+val find : t -> Itemset.t -> vertex_id option
+
+(** [mem t x] is [find t x <> None]. *)
+val mem : t -> Itemset.t -> bool
+
+(** [itemset t v] is the itemset at [v]. Raises [Invalid_argument] on a
+    bad id. *)
+val itemset : t -> vertex_id -> Itemset.t
+
+(** [support t v] is the support count label S at [v]. Raises
+    [Invalid_argument] on a bad id. *)
+val support : t -> vertex_id -> int
+
+(** [support_of t x] is the support count of itemset [x] when primary. *)
+val support_of : t -> Itemset.t -> int option
+
+(** [cardinal t v] is the number of items at [v]. *)
+val cardinal : t -> vertex_id -> int
+
+(** [children t v] are the child vertices (supersets by one item) in
+    decreasing order of support, ties broken lexicographically. The
+    returned array is owned by the lattice — do not mutate. *)
+val children : t -> vertex_id -> vertex_id array
+
+(** [parents t v] are the parent vertices (subsets by one item) in
+    increasing id order. Owned by the lattice — do not mutate. Every
+    non-root vertex has exactly [cardinal t v] parents. *)
+val parents : t -> vertex_id -> vertex_id array
+
+(** [iter_vertices f t] applies [f] to every vertex id, root first, then
+    non-root vertices in (cardinality, lex) order. *)
+val iter_vertices : (vertex_id -> unit) -> t -> unit
+
+(** [entries t] is all non-root (itemset, support) pairs in
+    (cardinality, lex) order — the inverse of {!of_entries} up to
+    ordering. *)
+val entries : t -> (Itemset.t * int) array
+
+(** [fresh_marks t] is a cleared bitset sized for vertex ids — the
+    visited set used by the graph searches. *)
+val fresh_marks : t -> Olar_util.Bitset.t
+
+(** [estimated_bytes t] estimates the resident size of the lattice: per
+    vertex the itemset array, support label and adjacency slots; per
+    edge one child and one parent slot (Theorem 2.1 makes the edge count
+    the sum of primary itemset sizes, so this is dominated by the
+    itemsets themselves — the paper's observation that the lattice costs
+    about as much as the itemsets it stores). Heap words, boxed
+    conservatively; an estimate, not an exact accounting. *)
+val estimated_bytes : t -> int

@@ -1,0 +1,90 @@
+open Olar_data
+
+type update = {
+  lattice : Lattice.t;
+  delta_size : int;
+  promoted_candidates : Itemset.t list;
+}
+
+(* Count every primary itemset over the delta in one pass: one trie per
+   cardinality, filled from the lattice entries. *)
+let delta_counts lattice delta =
+  let by_level = Hashtbl.create 8 in
+  Array.iter
+    (fun (x, _) ->
+      let k = Itemset.cardinal x in
+      let trie =
+        match Hashtbl.find_opt by_level k with
+        | Some t -> t
+        | None ->
+          let t = Olar_mining.Trie.create ~depth:k in
+          Hashtbl.add by_level k t;
+          t
+      in
+      Olar_mining.Trie.insert trie x)
+    (Lattice.entries lattice);
+  Database.iter
+    (fun txn ->
+      Hashtbl.iter
+        (fun _ trie -> Olar_mining.Trie.count_transaction trie txn)
+        by_level)
+    delta;
+  let counts = Itemset.Table.create 1024 in
+  Hashtbl.iter
+    (fun _ trie ->
+      Array.iter
+        (fun (x, c) -> Itemset.Table.replace counts x c)
+        (Olar_mining.Trie.to_sorted_array trie))
+    by_level;
+  fun x -> Option.value ~default:0 (Itemset.Table.find_opt counts x)
+
+(* Itemsets certainly frequent now but absent from the lattice: frequent
+   within the delta alone (counts in the old data can only help) and
+   minimal, i.e. every parent already primary. *)
+let promotion_frontier lattice delta =
+  let threshold = Lattice.threshold lattice in
+  if Database.size delta < threshold then []
+  else begin
+    let delta_frequent = Olar_mining.Apriori.mine delta ~minsup:threshold in
+    let candidates = ref [] in
+    Olar_mining.Frequent.iter
+      (fun x _ ->
+        if
+          (not (Lattice.mem lattice x))
+          && List.for_all
+               (fun (_, parent) -> Lattice.mem lattice parent)
+               (Itemset.parents x)
+        then candidates := x :: !candidates)
+      delta_frequent;
+    List.sort Itemset.compare !candidates
+  end
+
+let append lattice delta =
+  let count = delta_counts lattice delta in
+  let entries =
+    Array.map
+      (fun (x, c) -> (x, c + count x))
+      (Lattice.entries lattice)
+  in
+  let lattice' =
+    Lattice.of_entries
+      ~db_size:(Lattice.db_size lattice + Database.size delta)
+      ~threshold:(Lattice.threshold lattice) entries
+  in
+  {
+    lattice = lattice';
+    delta_size = Database.size delta;
+    promoted_candidates = promotion_frontier lattice delta;
+  }
+
+let rebuild ?stats ~threshold ~old_db ~delta () =
+  let num_items = max (Database.num_items old_db) (Database.num_items delta) in
+  let merged =
+    Database.create ~num_items
+      (Array.append
+         (Array.init (Database.size old_db) (Database.get old_db))
+         (Array.init (Database.size delta) (Database.get delta)))
+  in
+  let frequent = Olar_mining.Dhp.mine ?stats merged ~minsup:threshold in
+  Lattice.of_entries ~db_size:(Database.size merged) ~threshold
+    (Array.of_list (Olar_mining.Frequent.to_list frequent))

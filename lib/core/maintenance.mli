@@ -1,0 +1,55 @@
+(** Incremental maintenance of a preprocessed lattice.
+
+    Transaction data grows; re-running the whole preprocessing for every
+    batch of new sales defeats the preprocess-once economics. In the
+    spirit of FUP (Cheung et al., ICDE 1996), {!append} refreshes a
+    lattice against a batch of {e new} transactions in a single pass
+    over the batch only:
+
+    - the support count of every existing primary itemset is updated
+      exactly (one trie-counting pass over the delta);
+    - itemsets that were {e not} primary before cannot be discovered
+      without touching the old data; {!append} therefore reports the
+      {e promotion frontier} — the immediate extensions of surviving
+      vertices whose delta counts alone prove they now clear the
+      threshold — so the caller knows whether a full {!rebuild} is
+      worth scheduling.
+
+    The updated lattice keeps the same {e absolute} count threshold; as
+    a fraction of the grown database it is lower, so previously-served
+    query ranges remain served. Vertices whose itemsets are genuinely
+    primary keep exact counts — queries against the updated lattice are
+    exact over old ∪ delta for every itemset that was primary before
+    the append. *)
+
+open Olar_data
+
+type update = {
+  lattice : Lattice.t;  (** refreshed lattice over old ∪ delta *)
+  delta_size : int;
+  promoted_candidates : Itemset.t list;
+      (** one-item extensions of retained vertices whose count {e within
+          the delta alone} reaches the threshold — certainly frequent
+          now, but absent from the lattice because their old-data counts
+          were never stored; non-empty means {!rebuild} would add
+          vertices *)
+}
+
+(** [append lattice delta] folds the batch into the lattice. The delta
+    must use the same item universe semantics (item ids beyond the old
+    universe are fine — they are new products — but they can only enter
+    the lattice via {!rebuild}). *)
+val append : Lattice.t -> Database.t -> update
+
+(** [rebuild ~old_db ~delta] re-mines old ∪ delta at the lattice's
+    threshold and returns the exact new lattice — the slow path
+    {!append} avoids. [threshold] defaults to the count threshold of
+    the lattice being replaced; pass it explicitly when rebuilding
+    without one. *)
+val rebuild :
+  ?stats:Olar_mining.Stats.t ->
+  threshold:int ->
+  old_db:Database.t ->
+  delta:Database.t ->
+  unit ->
+  Lattice.t

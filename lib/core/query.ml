@@ -1,0 +1,83 @@
+open Olar_data
+module Counter = Olar_util.Timer.Counter
+
+exception Below_primary_threshold of { requested : int; primary : int }
+
+let check_minsup lattice s =
+  if s < 1 then invalid_arg "Query: minsup must be positive";
+  let primary = Lattice.threshold lattice in
+  if s < primary then raise (Below_primary_threshold { requested = s; primary })
+
+let bump work = match work with Some c -> Counter.incr c | None -> ()
+
+(* Core search (Figure 2). Calls [emit] on every reachable vertex with
+   support >= minsup, the start vertex excluded. Children are scanned in
+   decreasing-support order, so the scan of a child list stops at the
+   first child below the threshold. *)
+let search ?work lattice ~start ~minsup ~emit =
+  let marks = Lattice.fresh_marks lattice in
+  let stack = Olar_util.Vec.create () in
+  Olar_util.Bitset.add marks start;
+  Olar_util.Vec.push stack start;
+  while not (Olar_util.Vec.is_empty stack) do
+    let v = Olar_util.Vec.pop stack in
+    bump work;
+    let kids = Lattice.children lattice v in
+    let continue_scan = ref true in
+    let i = ref 0 in
+    let n = Array.length kids in
+    while !continue_scan && !i < n do
+      let child = kids.(!i) in
+      bump work;
+      if Lattice.support lattice child >= minsup then begin
+        if not (Olar_util.Bitset.mem marks child) then begin
+          Olar_util.Bitset.add marks child;
+          emit child;
+          Olar_util.Vec.push stack child
+        end;
+        incr i
+      end
+      else continue_scan := false (* all later children are weaker *)
+    done
+  done
+
+let order lattice a b =
+  let c = Int.compare (Lattice.support lattice b) (Lattice.support lattice a) in
+  if c <> 0 then c
+  else
+    let c = Int.compare (Lattice.cardinal lattice a) (Lattice.cardinal lattice b) in
+    if c <> 0 then c
+    else Itemset.compare_lex (Lattice.itemset lattice a) (Lattice.itemset lattice b)
+
+let find_itemsets ?work ?(include_start = true) lattice ~containing ~minsup =
+  check_minsup lattice minsup;
+  match Lattice.find lattice containing with
+  | None -> []
+  | Some start ->
+    let out = Olar_util.Vec.create () in
+    if
+      include_start
+      && (not (Itemset.is_empty containing))
+      && Lattice.support lattice start >= minsup
+    then Olar_util.Vec.push out start;
+    search ?work lattice ~start ~minsup ~emit:(Olar_util.Vec.push out);
+    let result = Olar_util.Vec.to_array out in
+    Array.sort (order lattice) result;
+    Array.to_list result
+
+let count_itemsets ?work ?(include_start = true) lattice ~containing ~minsup =
+  check_minsup lattice minsup;
+  match Lattice.find lattice containing with
+  | None -> 0
+  | Some start ->
+    let count = ref 0 in
+    if
+      include_start
+      && (not (Itemset.is_empty containing))
+      && Lattice.support lattice start >= minsup
+    then incr count;
+    search ?work lattice ~start ~minsup ~emit:(fun _ -> incr count);
+    !count
+
+let to_entries lattice ids =
+  List.map (fun v -> (Lattice.itemset lattice v, Lattice.support lattice v)) ids

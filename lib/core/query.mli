@@ -1,0 +1,57 @@
+(** Online itemset generation — algorithm [FindItemsets] (Figure 2).
+
+    Given a starting itemset I and a minimum support s, find every primary
+    itemset J ⊇ I with S(J) >= s by a forward graph search from v(I):
+    only children whose support clears s are expanded, and since child
+    lists are sorted by decreasing support the scan of each list stops at
+    the first failure. The work — and hence the response time — is
+    proportional to the size of the output, not to the number of itemsets
+    prestored (Problem 3.1). *)
+
+open Olar_data
+
+(** Raised when a query asks for a support below the primary threshold:
+    itemsets in that range were never prestored, so the lattice cannot
+    answer (Section 1.1 of the paper). *)
+exception Below_primary_threshold of { requested : int; primary : int }
+
+(** [check_minsup lattice s] raises {!Below_primary_threshold} when
+    [s < Lattice.threshold lattice], and [Invalid_argument] when
+    [s < 1]. *)
+val check_minsup : Lattice.t -> int -> unit
+
+(** [find_itemsets lattice ~containing ~minsup] is the vertices of all
+    itemsets J ⊇ [containing] with support count >= [minsup], sorted by
+    decreasing support (ties: smaller cardinality first, then
+    lexicographic). The starting itemset itself is included when it
+    qualifies and [include_start] is true (default) — the empty itemset is
+    never included. Raises {!Below_primary_threshold} as per
+    {!check_minsup}.
+
+    When [containing] is not primary the result is empty: every superset
+    has support below the primary threshold <= [minsup].
+
+    @param work incremented once per vertex expanded and once per child
+      link inspected — the paper's output-sensitivity metric. *)
+val find_itemsets :
+  ?work:Olar_util.Timer.Counter.t ->
+  ?include_start:bool ->
+  Lattice.t ->
+  containing:Itemset.t ->
+  minsup:int ->
+  Lattice.vertex_id list
+
+(** [count_itemsets lattice ~containing ~minsup] is
+    [List.length (find_itemsets ...)] without building the list — query
+    type (3) of Section 1.2. *)
+val count_itemsets :
+  ?work:Olar_util.Timer.Counter.t ->
+  ?include_start:bool ->
+  Lattice.t ->
+  containing:Itemset.t ->
+  minsup:int ->
+  int
+
+(** [to_entries lattice ids] resolves vertices to (itemset, support)
+    pairs, preserving order. *)
+val to_entries : Lattice.t -> Lattice.vertex_id list -> (Itemset.t * int) list

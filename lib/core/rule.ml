@@ -1,0 +1,71 @@
+open Olar_data
+
+type t = {
+  antecedent : Itemset.t;
+  consequent : Itemset.t;
+  support_count : int;
+  antecedent_count : int;
+}
+
+let make ~antecedent ~consequent ~support_count ~antecedent_count =
+  if Itemset.is_empty consequent then invalid_arg "Rule.make: empty consequent";
+  if not (Itemset.disjoint antecedent consequent) then
+    invalid_arg "Rule.make: overlapping antecedent and consequent";
+  if support_count < 0 then invalid_arg "Rule.make: negative support";
+  if antecedent_count < support_count then
+    invalid_arg "Rule.make: support exceeds antecedent support";
+  if antecedent_count <= 0 then invalid_arg "Rule.make: zero antecedent support";
+  { antecedent; consequent; support_count; antecedent_count }
+
+let union r = Itemset.union r.antecedent r.consequent
+
+let confidence r = float_of_int r.support_count /. float_of_int r.antecedent_count
+
+let support r ~db_size =
+  if db_size <= 0 || db_size < r.support_count then invalid_arg "Rule.support";
+  float_of_int r.support_count /. float_of_int db_size
+
+let single_consequent r = Itemset.cardinal r.consequent = 1
+
+let simple_redundant ~candidate ~wrt =
+  Itemset.equal (union candidate) (union wrt)
+  && Itemset.strict_subset wrt.antecedent candidate.antecedent
+
+let strict_redundant ~candidate ~wrt =
+  Itemset.strict_subset (union candidate) (union wrt)
+  && Itemset.subset wrt.antecedent candidate.antecedent
+
+let redundant ~candidate ~wrt =
+  simple_redundant ~candidate ~wrt || strict_redundant ~candidate ~wrt
+
+let check_consequent_size m name =
+  if m < 1 || m > 30 then invalid_arg name
+
+let pow base e =
+  let rec loop acc e = if e = 0 then acc else loop (acc * base) (e - 1) in
+  loop 1 e
+
+let count_simple_redundant ~consequent_size =
+  check_consequent_size consequent_size "Rule.count_simple_redundant";
+  pow 2 consequent_size - 2
+
+let count_all_redundant ~consequent_size =
+  check_consequent_size consequent_size "Rule.count_all_redundant";
+  (pow 3 consequent_size - pow 2 consequent_size) - 1
+
+let compare a b =
+  let c = Itemset.compare (union a) (union b) in
+  if c <> 0 then c else Itemset.compare a.antecedent b.antecedent
+
+let equal a b = compare a b = 0
+
+let pp fmt r =
+  Format.fprintf fmt "%a => %a (sup=%d, conf=%.4f)" Itemset.pp r.antecedent
+    Itemset.pp r.consequent r.support_count (confidence r)
+
+let pp_named vocab fmt r =
+  Format.fprintf fmt "%a => %a (sup=%d, conf=%.4f)" (Itemset.pp_named vocab)
+    r.antecedent (Itemset.pp_named vocab) r.consequent r.support_count
+    (confidence r)
+
+let to_string r = Format.asprintf "%a" pp r

@@ -1,0 +1,91 @@
+(** Association rules and the paper's redundancy theory (Section 4).
+
+    A rule X ⇒ Y carries its exact support count (transactions containing
+    X ∪ Y) and the support count of its antecedent, from which the
+    confidence follows. Redundancy between rules is purely structural
+    (Theorems 4.1 and 4.2): it never needs the transaction data. *)
+
+open Olar_data
+
+type t = {
+  antecedent : Itemset.t;
+  consequent : Itemset.t;
+  support_count : int;  (** transactions containing antecedent ∪ consequent *)
+  antecedent_count : int;  (** transactions containing the antecedent *)
+}
+
+(** [make ~antecedent ~consequent ~support_count ~antecedent_count]
+    validates and builds a rule: the parts must be disjoint, the
+    consequent non-empty, and 0 <= support_count <= antecedent_count
+    (with antecedent_count > 0). Raises [Invalid_argument] otherwise.
+    An empty antecedent is allowed (the degenerate rule ∅ ⇒ Y whose
+    confidence is the support fraction of Y, with [antecedent_count] the
+    database size). *)
+val make :
+  antecedent:Itemset.t ->
+  consequent:Itemset.t ->
+  support_count:int ->
+  antecedent_count:int ->
+  t
+
+(** [union r] is antecedent ∪ consequent — the generating itemset. *)
+val union : t -> Itemset.t
+
+(** [confidence r] is support_count / antecedent_count. *)
+val confidence : t -> float
+
+(** [support r ~db_size] is the fractional support. Raises
+    [Invalid_argument] if [db_size < support_count] or [db_size <= 0]. *)
+val support : t -> db_size:int -> float
+
+(** [single_consequent r] is true iff the consequent has exactly one
+    item (Section 3.2's rule class). *)
+val single_consequent : t -> bool
+
+(** {1 Redundancy (Definitions 4.1-4.2, Theorems 4.1-4.3)}
+
+    In the paper's orientation, [candidate] is redundant {e with respect
+    to} [wrt] when [candidate]'s truth at any (support, confidence) level
+    follows from [wrt]'s — [candidate]'s support and confidence are both
+    at least as large, independent of the data. *)
+
+(** [simple_redundant ~candidate ~wrt] — Theorem 4.1: same generating
+    itemset and [candidate]'s antecedent strictly contains [wrt]'s. *)
+val simple_redundant : candidate:t -> wrt:t -> bool
+
+(** [strict_redundant ~candidate ~wrt] — Theorem 4.2: [wrt]'s generating
+    itemset strictly contains [candidate]'s, and [candidate]'s antecedent
+    contains [wrt]'s. *)
+val strict_redundant : candidate:t -> wrt:t -> bool
+
+(** [redundant ~candidate ~wrt] is the disjunction of the two. *)
+val redundant : candidate:t -> wrt:t -> bool
+
+(** [count_simple_redundant ~consequent_size] is 2^m − 2, the number of
+    rules bearing simple redundancy w.r.t. a rule with an m-item
+    consequent (Theorem 4.3). Raises [Invalid_argument] if [m < 1] or
+    [m > 30]. *)
+val count_simple_redundant : consequent_size:int -> int
+
+(** [count_all_redundant ~consequent_size] is 3^m − 2^m − 1, the number
+    of rules bearing simple or strict redundancy w.r.t. a rule with an
+    m-item consequent (Theorem 4.3). Same bounds. *)
+val count_all_redundant : consequent_size:int -> int
+
+(** {1 Order, equality, printing} *)
+
+(** Total order: by generating itemset, then antecedent. Two distinct
+    rules never compare equal; counts are not part of the identity (a
+    rule's counts are determined by its itemsets on a fixed database). *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+(** [pp fmt r] prints like "{1,2} => {3} (sup=12, conf=0.75)". *)
+val pp : Format.formatter -> t -> unit
+
+(** [pp_named vocab fmt r] prints with item names. *)
+val pp_named : Item.Vocab.t -> Format.formatter -> t -> unit
+
+(** [to_string r] renders {!pp}. *)
+val to_string : t -> string

@@ -1,0 +1,76 @@
+(** Online rule generation (Section 4, Figure 6).
+
+    Phase 1 finds the large itemsets with [FindItemsets]; phase 2 turns
+    each large itemset X into rules Y ⇒ X \ Y by computing its boundary
+    F(X, c) — eliminating simple redundancy (Theorem 4.4) — and then
+    pruning from F(X, c) everything that also lies in the boundary of a
+    large child of X — eliminating strict redundancy (Theorem 4.5). What
+    remains generates exactly the {e essential} rules of Definition 4.2.
+
+    Boundaries are memoised across the itemset family: the boundary of a
+    child is computed once, serving both as that child's own rule source
+    and as the pruning set of its parents. *)
+
+open Olar_data
+
+(** [essential_rules lattice ~minsup ~confidence] is the essential rules
+    at the given thresholds, sorted by {!Rule.compare}.
+
+    @param containing restrict to rules generated from itemsets ⊇ this
+      set (query type (2) of Section 1.2); default: no restriction.
+    @param constraints antecedent/consequent inclusion sets (Section
+      4.1). Their union must be contained in the generating itemsets for
+      a rule to appear.
+    @param work incremented as in {!Query.find_itemsets} and
+      {!Boundary.find_boundary}.
+    Raises {!Query.Below_primary_threshold} when [minsup] is below the
+    primary threshold, [Invalid_argument] when [minsup < 1]. *)
+val essential_rules :
+  ?work:Olar_util.Timer.Counter.t ->
+  ?containing:Itemset.t ->
+  ?constraints:Boundary.constraints ->
+  Lattice.t ->
+  minsup:int ->
+  confidence:Conf.t ->
+  Rule.t list
+
+(** [all_rules lattice ~minsup ~confidence] generates every rule at the
+    thresholds, redundant ones included — one rule per (large itemset X,
+    satisfying ancestor Y) pair. Same parameters as {!essential_rules}. *)
+val all_rules :
+  ?work:Olar_util.Timer.Counter.t ->
+  ?containing:Itemset.t ->
+  ?constraints:Boundary.constraints ->
+  Lattice.t ->
+  minsup:int ->
+  confidence:Conf.t ->
+  Rule.t list
+
+(** [single_consequent_rules lattice ~minsup ~confidence] is every rule
+    with a one-item consequent at the thresholds (Section 3.2's rule
+    class, generated directly without boundary machinery). Sorted by
+    {!Rule.compare}. *)
+val single_consequent_rules :
+  ?work:Olar_util.Timer.Counter.t ->
+  ?containing:Itemset.t ->
+  Lattice.t ->
+  minsup:int ->
+  confidence:Conf.t ->
+  Rule.t list
+
+type redundancy_report = {
+  total_rules : int;
+  essential_count : int;
+  redundancy_ratio : float;
+      (** total / essential (Section 6.1's benchmark); 1.0 when no rules
+          exist at all *)
+}
+
+(** [redundancy lattice ~minsup ~confidence] measures how many redundant
+    rules the thresholds produce (Figures 11 and 12). *)
+val redundancy :
+  ?containing:Itemset.t ->
+  Lattice.t ->
+  minsup:int ->
+  confidence:Conf.t ->
+  redundancy_report

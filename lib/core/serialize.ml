@@ -1,0 +1,93 @@
+open Olar_data
+
+exception Malformed of string
+
+let magic = "# olar adjacency lattice v1"
+
+let print lattice out =
+  Printf.fprintf out "%s\n" magic;
+  Printf.fprintf out "dbsize %d\n" (Lattice.db_size lattice);
+  Printf.fprintf out "threshold %d\n" (Lattice.threshold lattice);
+  let entries = Lattice.entries lattice in
+  Printf.fprintf out "itemsets %d\n" (Array.length entries);
+  Array.iter
+    (fun (x, c) ->
+      output_string out (string_of_int c);
+      Itemset.iter
+        (fun i ->
+          output_char out ' ';
+          output_string out (string_of_int i))
+        x;
+      output_char out '\n')
+    entries
+
+let save lattice path =
+  let out = open_out path in
+  Fun.protect ~finally:(fun () -> close_out out) (fun () -> print lattice out)
+
+let malformed lineno fmt =
+  Printf.ksprintf
+    (fun s -> raise (Malformed (Printf.sprintf "line %d: %s" lineno s)))
+    fmt
+
+let header_int ~lineno ~key line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ k; v ] when k = key -> (
+    match int_of_string_opt v with
+    | Some n when n >= 0 -> n
+    | _ -> malformed lineno "invalid %s value %S" key v)
+  | _ -> malformed lineno "expected %S header, got %S" key line
+
+let entry_of_line ~lineno line =
+  let fields =
+    List.filter (fun f -> f <> "") (String.split_on_char ' ' (String.trim line))
+  in
+  match fields with
+  | [] -> malformed lineno "empty itemset line"
+  | count :: items -> (
+    match int_of_string_opt count with
+    | None -> malformed lineno "invalid support %S" count
+    | Some c ->
+      let items =
+        List.map
+          (fun f ->
+            match int_of_string_opt f with
+            | Some i when i >= 0 -> i
+            | _ -> malformed lineno "invalid item %S" f)
+          items
+      in
+      if items = [] then malformed lineno "itemset with no items";
+      (Itemset.of_list items, c))
+
+let parse lines =
+  match lines with
+  | magic_line :: dbsize_line :: threshold_line :: count_line :: body ->
+    if String.trim magic_line <> magic then
+      malformed 1 "bad magic, expected %S" magic;
+    let db_size = header_int ~lineno:2 ~key:"dbsize" dbsize_line in
+    let threshold = header_int ~lineno:3 ~key:"threshold" threshold_line in
+    let expected = header_int ~lineno:4 ~key:"itemsets" count_line in
+    let entries =
+      List.mapi (fun k line -> entry_of_line ~lineno:(k + 5) line) body
+    in
+    if List.length entries <> expected then
+      raise
+        (Malformed
+           (Printf.sprintf "expected %d itemsets, found %d" expected
+              (List.length entries)));
+    (try Lattice.of_entries ~db_size ~threshold (Array.of_list entries)
+     with Invalid_argument msg -> raise (Malformed msg))
+  | _ -> raise (Malformed "truncated header")
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      parse (List.rev !lines))

@@ -1,0 +1,28 @@
+(** Persistence of preprocessed lattices ("preprocess once, query many").
+
+    The lattice is stored as its primary itemsets with supports; edges
+    are a function of the vertex set and are rebuilt on load (and with
+    them every construction-time invariant is re-validated). Text format:
+    {v
+    # olar adjacency lattice v1
+    dbsize <transactions>
+    threshold <primary support count>
+    itemsets <count>
+    <support> <item> <item> ...   (one line per primary itemset)
+    v} *)
+
+(** Raised on malformed input, with the offending line. *)
+exception Malformed of string
+
+(** [save lattice path] writes the lattice, truncating [path]. *)
+val save : Lattice.t -> string -> unit
+
+(** [load path] reads a lattice back. Raises [Malformed] (bad syntax or
+    invariant violation) or [Sys_error]. *)
+val load : string -> Lattice.t
+
+(** [print lattice out] / [parse lines] are the channel/string-level
+    counterparts used by [save]/[load]. *)
+val print : Lattice.t -> out_channel -> unit
+
+val parse : string list -> Lattice.t

@@ -1,0 +1,104 @@
+open Olar_data
+module Counter = Olar_util.Timer.Counter
+
+type itemsets_answer = {
+  itemsets : (Itemset.t * int) list;
+  support_level : int option;
+}
+
+type rules_answer = {
+  rules : Rule.t list;
+  rule_support_level : int option;
+}
+
+let bump work = match work with Some c -> Counter.incr c | None -> ()
+
+(* Best-first walk from v(Z): repeatedly pop the frontier vertex of
+   highest support and feed it to [visit]; [visit] returns [true] to keep
+   going. The root (empty itemset) is expanded but never visited. Vertices
+   are marked when pushed, so each enters the heap once. *)
+let best_first ?work lattice ~start ~visit =
+  let order a b =
+    let c = Int.compare (Lattice.support lattice b) (Lattice.support lattice a) in
+    if c <> 0 then c
+    else
+      let c = Int.compare (Lattice.cardinal lattice a) (Lattice.cardinal lattice b) in
+      if c <> 0 then c
+      else Itemset.compare_lex (Lattice.itemset lattice a) (Lattice.itemset lattice b)
+  in
+  let heap = Olar_util.Heap.create order in
+  let marks = Lattice.fresh_marks lattice in
+  Olar_util.Bitset.add marks start;
+  Olar_util.Heap.push heap start;
+  let continue_search = ref true in
+  while !continue_search && not (Olar_util.Heap.is_empty heap) do
+    let v = Olar_util.Heap.pop_exn heap in
+    bump work;
+    if v <> Lattice.root lattice then continue_search := visit v;
+    if !continue_search then
+      Array.iter
+        (fun child ->
+          bump work;
+          if not (Olar_util.Bitset.mem marks child) then begin
+            Olar_util.Bitset.add marks child;
+            Olar_util.Heap.push heap child
+          end)
+        (Lattice.children lattice v)
+  done
+
+let find_support ?work lattice ~containing ~k =
+  if k < 1 then invalid_arg "Support_query.find_support: k";
+  match Lattice.find lattice containing with
+  | None -> { itemsets = []; support_level = None }
+  | Some start ->
+    let found = Olar_util.Vec.create () in
+    best_first ?work lattice ~start ~visit:(fun v ->
+        Olar_util.Vec.push found (Lattice.itemset lattice v, Lattice.support lattice v);
+        Olar_util.Vec.length found < k);
+    let itemsets = Olar_util.Vec.to_list found in
+    let support_level =
+      if Olar_util.Vec.length found = k then Some (snd (Olar_util.Vec.last found))
+      else None
+    in
+    { itemsets; support_level }
+
+(* All single-consequent rules of the itemset at [v] clearing
+   [confidence]: for each item i, antecedent X \ {i} is a parent vertex
+   (present by downward closure), and the rule confidence is
+   S(X) / S(X \ {i}). *)
+let single_consequent_rules lattice ~confidence v =
+  let x = Lattice.itemset lattice v in
+  let sup_x = Lattice.support lattice v in
+  if Itemset.cardinal x < 2 then []
+  else
+    List.filter_map
+      (fun (dropped, antecedent) ->
+        let sup_a =
+          match Lattice.support_of lattice antecedent with
+          | Some s -> s
+          | None -> assert false (* downward closure *)
+        in
+        if Conf.satisfied confidence ~union_count:sup_x ~antecedent_count:sup_a
+        then
+          Some
+            (Rule.make ~antecedent ~consequent:(Itemset.singleton dropped)
+               ~support_count:sup_x ~antecedent_count:sup_a)
+        else None)
+      (Itemset.parents x)
+
+let find_support_for_rules ?work lattice ~involving ~confidence ~k =
+  if k < 1 then invalid_arg "Support_query.find_support_for_rules: k";
+  match Lattice.find lattice involving with
+  | None -> { rules = []; rule_support_level = None }
+  | Some start ->
+    let rules = Olar_util.Vec.create () in
+    let level = ref None in
+    best_first ?work lattice ~start ~visit:(fun v ->
+        List.iter (Olar_util.Vec.push rules)
+          (single_consequent_rules lattice ~confidence v);
+        if Olar_util.Vec.length rules >= k then begin
+          level := Some (Lattice.support lattice v);
+          false
+        end
+        else true);
+    { rules = Olar_util.Vec.to_list rules; rule_support_level = !level }

@@ -1,0 +1,33 @@
+(** Named-basket text files.
+
+    The format real point-of-sale exports tend to arrive in: one basket
+    per line, item {e names} separated by commas, [#]-comments and blank
+    lines ignored:
+    {v
+    # monday morning
+    bread, butter, jam
+    coffee,milk
+    v}
+    Loading interns names into an {!Olar_data.Item.Vocab.t} (ids in
+    order of first appearance) and yields a database over that
+    vocabulary, so the whole engine can be driven by human-readable
+    data. *)
+
+(** Raised on unreadable content (e.g. an empty item name between two
+    commas), with the line number. *)
+exception Malformed of string
+
+(** [load path] reads a basket file. Raises [Malformed] or
+    [Sys_error]. *)
+val load : string -> Item.Vocab.t * Database.t
+
+(** [parse lines] is [load] on in-memory lines. *)
+val parse : string list -> Item.Vocab.t * Database.t
+
+(** [save vocab db path] writes the database with item names, one basket
+    per line. Raises [Invalid_argument] if the database mentions an id
+    the vocabulary does not know. *)
+val save : Item.Vocab.t -> Database.t -> string -> unit
+
+(** [print vocab db out] is [save] onto a channel. *)
+val print : Item.Vocab.t -> Database.t -> out_channel -> unit

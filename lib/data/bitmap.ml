@@ -1,0 +1,35 @@
+type t = {
+  num_items : int;
+  num_transactions : int;
+  bitmaps : Olar_util.Bitset.t array;
+}
+
+let build db =
+  let n_items = Database.num_items db in
+  let n_txns = Database.size db in
+  let bitmaps = Array.init n_items (fun _ -> Olar_util.Bitset.create n_txns) in
+  Database.iteri
+    (fun tid txn -> Itemset.iter (fun i -> Olar_util.Bitset.add bitmaps.(i) tid) txn)
+    db;
+  { num_items = n_items; num_transactions = n_txns; bitmaps }
+
+let num_items idx = idx.num_items
+let num_transactions idx = idx.num_transactions
+
+let bitmap idx i =
+  if i < 0 || i >= idx.num_items then invalid_arg "Bitmap.bitmap";
+  idx.bitmaps.(i)
+
+let support_count idx x =
+  match Itemset.to_list x with
+  | [] -> idx.num_transactions
+  | [ i ] -> Olar_util.Bitset.cardinal (bitmap idx i)
+  | items ->
+    let maps = Array.of_list (List.map (bitmap idx) items) in
+    let n = Array.length maps in
+    (* intersect all but the last; the final step only needs a count *)
+    let acc = ref maps.(0) in
+    for i = 1 to n - 2 do
+      acc := Olar_util.Bitset.inter !acc maps.(i)
+    done;
+    Olar_util.Bitset.inter_cardinal !acc maps.(n - 1)

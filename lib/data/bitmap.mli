@@ -1,0 +1,26 @@
+(** Bitmap index: one bit set per item over the transaction ids.
+
+    The dense counterpart of {!Tidlist}: item i's bitmap has bit t set
+    iff transaction t contains i, so the support of an itemset is the
+    popcount of the AND of its items' bitmaps. Preferable to tid-lists
+    when items are frequent (bitmaps stay |D|/8 bytes regardless of
+    density); used by the verification passes and as a second
+    independent support oracle in the tests. *)
+
+type t
+
+(** [build db] indexes the database in one pass. *)
+val build : Database.t -> t
+
+(** [num_items idx] / [num_transactions idx] mirror the source. *)
+val num_items : t -> int
+
+val num_transactions : t -> int
+
+(** [bitmap idx i] is item [i]'s transaction bitmap (shared — do not
+    mutate). Raises [Invalid_argument] out of range. *)
+val bitmap : t -> Item.t -> Olar_util.Bitset.t
+
+(** [support_count idx x] is the support count of [x] by bitmap ANDs
+    (the empty itemset has support [num_transactions idx]). *)
+val support_count : t -> Itemset.t -> int

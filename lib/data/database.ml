@@ -1,0 +1,53 @@
+type t = {
+  num_items : int;
+  transactions : Itemset.t array;
+}
+
+let create ~num_items transactions =
+  if num_items <= 0 then invalid_arg "Database.create: num_items";
+  Array.iter
+    (fun txn ->
+      if not (Itemset.is_empty txn) && Itemset.max_item txn >= num_items then
+        invalid_arg "Database.create: item id out of range")
+    transactions;
+  { num_items; transactions }
+
+let of_lists ~num_items rows =
+  create ~num_items (Array.of_list (List.map Itemset.of_list rows))
+
+let num_items db = db.num_items
+let size db = Array.length db.transactions
+
+let get db i =
+  if i < 0 || i >= size db then invalid_arg "Database.get";
+  db.transactions.(i)
+
+let iter f db = Array.iter f db.transactions
+let iteri f db = Array.iteri f db.transactions
+let fold f acc db = Array.fold_left f acc db.transactions
+
+let support_count db x =
+  let count = ref 0 in
+  iter (fun txn -> if Itemset.subset x txn then incr count) db;
+  !count
+
+let support db x =
+  let n = size db in
+  if n = 0 then 0.0 else float_of_int (support_count db x) /. float_of_int n
+
+let count_of_fraction db f =
+  if f < 0.0 || f > 1.0 then invalid_arg "Database.count_of_fraction";
+  max 1 (int_of_float (ceil (f *. float_of_int (size db))))
+
+let avg_transaction_size db =
+  let n = size db in
+  if n = 0 then 0.0
+  else begin
+    let total = fold (fun acc txn -> acc + Itemset.cardinal txn) 0 db in
+    float_of_int total /. float_of_int n
+  end
+
+let item_frequencies db =
+  let freq = Array.make db.num_items 0 in
+  iter (fun txn -> Itemset.iter (fun i -> freq.(i) <- freq.(i) + 1) txn) db;
+  freq

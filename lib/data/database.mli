@@ -1,0 +1,57 @@
+(** In-memory transaction databases.
+
+    A database is an immutable array of transactions, each a set of items
+    (the 0-1 model of the paper: a transaction either contains an item or
+    it does not). Supports are measured as absolute transaction counts
+    throughout the engine — exact integer comparisons, no floating-point
+    thresholds; fractional supports are derived only at the API surface. *)
+
+type t
+
+(** [create ~num_items transactions] builds a database. Every item id in
+    every transaction must be < [num_items]; raises [Invalid_argument]
+    otherwise, or when [num_items <= 0]. *)
+val create : num_items:int -> Itemset.t array -> t
+
+(** [of_lists ~num_items rows] is [create] on itemsets built from lists. *)
+val of_lists : num_items:int -> Item.t list list -> t
+
+(** [num_items db] is the size of the item universe. *)
+val num_items : t -> int
+
+(** [size db] is the number of transactions. *)
+val size : t -> int
+
+(** [get db i] is the [i]-th transaction. Raises [Invalid_argument] when
+    out of bounds. *)
+val get : t -> int -> Itemset.t
+
+(** [iter f db] applies [f] to every transaction in order. *)
+val iter : (Itemset.t -> unit) -> t -> unit
+
+(** [iteri f db] applies [f tid txn] to every transaction. *)
+val iteri : (int -> Itemset.t -> unit) -> t -> unit
+
+(** [fold f acc db] folds over transactions in order. *)
+val fold : ('acc -> Itemset.t -> 'acc) -> 'acc -> t -> 'acc
+
+(** [support_count db x] is |{T : X ⊆ T}| by a full scan — O(|db|·|T|);
+    the mining algorithms use batched counting instead, this is the
+    reference implementation used in tests and for spot queries. *)
+val support_count : t -> Itemset.t -> int
+
+(** [support db x] is [support_count db x] as a fraction of [size db].
+    0 for an empty database. *)
+val support : t -> Itemset.t -> float
+
+(** [count_of_fraction db f] is the smallest absolute count a fractional
+    minimum support [f] ∈ [0,1] demands, i.e. ⌈f·size⌉ (and at least 1).
+    Raises [Invalid_argument] outside [0,1]. *)
+val count_of_fraction : t -> float -> int
+
+(** [avg_transaction_size db] is the mean |T| (0 for an empty db). *)
+val avg_transaction_size : t -> float
+
+(** [item_frequencies db] is an array [freq] with [freq.(i)] = number of
+    transactions containing item [i]. One pass. *)
+val item_frequencies : t -> int array

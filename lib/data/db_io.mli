@@ -1,0 +1,30 @@
+(** Text serialization of transaction databases.
+
+    Format (one file = one database):
+    {v
+    # olar transaction database v1
+    items <num_items>
+    transactions <count>
+    <space-separated item ids, one transaction per line>
+    v}
+    Blank lines after the header denote empty transactions. The format is
+    line-oriented so databases can be produced and inspected with standard
+    Unix tools. *)
+
+(** Raised by {!load}/{!parse} on malformed input, with a description
+    including the offending line number. *)
+exception Malformed of string
+
+(** [save db path] writes [db] to [path], truncating it. *)
+val save : Database.t -> string -> unit
+
+(** [load path] reads a database back. Raises [Malformed] or
+    [Sys_error]. *)
+val load : string -> Database.t
+
+(** [print db out] writes the textual form to a channel. *)
+val print : Database.t -> out_channel -> unit
+
+(** [parse lines] builds a database from the textual lines (header
+    included). Raises [Malformed]. *)
+val parse : string list -> Database.t

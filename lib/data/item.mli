@@ -1,0 +1,56 @@
+(** Items and item vocabularies.
+
+    An item is a small non-negative integer id, as in the paper's
+    market-basket model where I = {i_1, ..., i_m}. A {!Vocab.t} maps
+    human-readable item names (e.g. "bread") to ids and back, so the demo
+    applications and CLI can speak in names while the engine works on
+    dense ids. *)
+
+type t = int
+
+(** [pp] formats an item id. *)
+val pp : Format.formatter -> t -> unit
+
+(** [compare] is integer comparison. *)
+val compare : t -> t -> int
+
+(** [equal] is integer equality. *)
+val equal : t -> t -> bool
+
+(** Bidirectional name <-> id mapping. Ids are assigned densely in order
+    of first registration, starting from 0. *)
+module Vocab : sig
+  type item = t
+  type t
+
+  (** [create ()] is an empty vocabulary. *)
+  val create : unit -> t
+
+  (** [of_names names] registers each name in order. Raises
+      [Invalid_argument] on a duplicate name. *)
+  val of_names : string list -> t
+
+  (** [size v] is the number of registered items. *)
+  val size : t -> int
+
+  (** [intern v name] is the id for [name], registering it if new. *)
+  val intern : t -> string -> item
+
+  (** [id v name] is the id for [name], or [None] if unregistered. *)
+  val id : t -> string -> item option
+
+  (** [name v i] is the name of item [i]. Raises [Invalid_argument] for an
+      unregistered id. *)
+  val name : t -> item -> string
+
+  (** [names v] is all registered names in id order. *)
+  val names : t -> string list
+
+  (** [save v path] writes one name per line, in id order. *)
+  val save : t -> string -> unit
+
+  (** [load path] reads a vocabulary back (ids are line numbers).
+      Raises [Invalid_argument] on duplicate names, [Sys_error] on I/O
+      failure. *)
+  val load : string -> t
+end

@@ -1,0 +1,76 @@
+type t = {
+  num_items : int;
+  num_transactions : int;
+  lists : int array array; (* lists.(i) = sorted tids containing item i *)
+}
+
+let build db =
+  let n_items = Database.num_items db in
+  let bufs = Array.init n_items (fun _ -> Olar_util.Vec.create ()) in
+  Database.iteri
+    (fun tid txn -> Itemset.iter (fun i -> Olar_util.Vec.push bufs.(i) tid) txn)
+    db;
+  (* Tids were appended in increasing transaction order, so each list is
+     already sorted. *)
+  {
+    num_items = n_items;
+    num_transactions = Database.size db;
+    lists = Array.map Olar_util.Vec.to_array bufs;
+  }
+
+let num_items idx = idx.num_items
+let num_transactions idx = idx.num_transactions
+
+let tids idx i =
+  if i < 0 || i >= idx.num_items then invalid_arg "Tidlist.tids";
+  idx.lists.(i)
+
+let item_support idx i = Array.length (tids idx i)
+
+let intersect_count a b =
+  let na = Array.length a and nb = Array.length b in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  while !i < na && !j < nb do
+    let x = a.(!i) and y = b.(!j) in
+    if x < y then incr i
+    else if x > y then incr j
+    else begin incr i; incr j; incr k end
+  done;
+  !k
+
+let intersect a b =
+  let na = Array.length a and nb = Array.length b in
+  let out = Array.make (min na nb) 0 in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  while !i < na && !j < nb do
+    let x = a.(!i) and y = b.(!j) in
+    if x < y then incr i
+    else if x > y then incr j
+    else begin
+      out.(!k) <- x;
+      incr i; incr j; incr k
+    end
+  done;
+  if !k = Array.length out then out else Array.sub out 0 !k
+
+let support_count idx x =
+  match Itemset.to_list x with
+  | [] -> idx.num_transactions
+  | [ i ] -> item_support idx i
+  | items ->
+    (* Rarest-first ordering keeps intermediate intersections small. *)
+    let lists = List.map (tids idx) items in
+    let lists =
+      List.sort (fun a b -> Int.compare (Array.length a) (Array.length b)) lists
+    in
+    begin
+      match lists with
+      | [] | [ _ ] -> assert false
+      | first :: second :: rest ->
+        let rec loop acc = function
+          | [] -> Array.length acc
+          | [ last ] -> intersect_count acc last
+          | l :: rest -> loop (intersect acc l) rest
+        in
+        loop (intersect first second) rest
+    end

@@ -1,0 +1,31 @@
+(** Vertical database index (tid-lists).
+
+    For each item, the sorted list of ids of transactions containing it.
+    The support of an itemset is the size of the intersection of its
+    items' tid-lists — much faster than scanning the database when
+    itemsets are small and the index is resident. Used for exact support
+    lookups when building the example lattices and as an independent
+    oracle in the test suite. *)
+
+type t
+
+(** [build db] indexes [db] in one pass. *)
+val build : Database.t -> t
+
+(** [num_items idx] / [num_transactions idx] mirror the source database. *)
+val num_items : t -> int
+
+val num_transactions : t -> int
+
+(** [tids idx i] is the sorted array of transaction ids containing item
+    [i] (shared, do not mutate). Raises [Invalid_argument] for an out of
+    range item. *)
+val tids : t -> Item.t -> int array
+
+(** [item_support idx i] is the number of transactions containing [i]. *)
+val item_support : t -> Item.t -> int
+
+(** [support_count idx x] is the support count of [x] by k-way tid-list
+    intersection (items processed rarest-first). The empty itemset has
+    support [num_transactions idx]. *)
+val support_count : t -> Itemset.t -> int

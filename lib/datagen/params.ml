@@ -1,0 +1,85 @@
+type t = {
+  num_items : int;
+  num_potential : int;
+  avg_itemset_size : float;
+  avg_transaction_size : float;
+  num_transactions : int;
+  correlation : float;
+  noise_mean : float;
+  noise_variance : float;
+  seed : int;
+}
+
+let default =
+  {
+    num_items = 1000;
+    num_potential = 2000;
+    avg_itemset_size = 4.0;
+    avg_transaction_size = 10.0;
+    num_transactions = 10_000;
+    correlation = 0.5;
+    noise_mean = 0.5;
+    noise_variance = 0.1;
+    seed = 42;
+  }
+
+let make ?(over = default) ~avg_transaction_size ~avg_itemset_size
+    ~num_transactions () =
+  { over with avg_transaction_size; avg_itemset_size; num_transactions }
+
+let validate t =
+  let fail msg = invalid_arg ("Params.validate: " ^ msg) in
+  if t.num_items < 1 then fail "num_items";
+  if t.num_potential < 1 then fail "num_potential";
+  if t.avg_itemset_size <= 0.0 then fail "avg_itemset_size";
+  if t.avg_itemset_size > float_of_int t.num_items then
+    fail "avg_itemset_size above universe";
+  if t.avg_transaction_size <= 0.0 then fail "avg_transaction_size";
+  if t.num_transactions < 0 then fail "num_transactions";
+  if t.correlation < 0.0 || t.correlation > 1.0 then fail "correlation";
+  if t.noise_mean < 0.0 || t.noise_mean > 1.0 then fail "noise_mean";
+  if t.noise_variance < 0.0 then fail "noise_variance"
+
+let float_knob f =
+  if Float.is_integer f then string_of_int (int_of_float f)
+  else Printf.sprintf "%g" f
+
+let name t =
+  let d =
+    if t.num_transactions mod 1000 = 0 && t.num_transactions > 0 then
+      Printf.sprintf "%dK" (t.num_transactions / 1000)
+    else string_of_int t.num_transactions
+  in
+  Printf.sprintf "T%s.I%s.D%s"
+    (float_knob t.avg_transaction_size)
+    (float_knob t.avg_itemset_size)
+    d
+
+let of_name s =
+  match String.split_on_char '.' (String.trim s) with
+  | [ tpart; ipart; dpart ]
+    when String.length tpart > 1
+         && String.length ipart > 1
+         && String.length dpart > 1
+         && (tpart.[0] = 'T' || tpart.[0] = 't')
+         && (ipart.[0] = 'I' || ipart.[0] = 'i')
+         && (dpart.[0] = 'D' || dpart.[0] = 'd') -> (
+    let tail str = String.sub str 1 (String.length str - 1) in
+    let parse_count str =
+      let str = tail str in
+      let n = String.length str in
+      if n = 0 then None
+      else if str.[n - 1] = 'K' || str.[n - 1] = 'k' then
+        Option.map (fun k -> k * 1000) (int_of_string_opt (String.sub str 0 (n - 1)))
+      else int_of_string_opt str
+    in
+    match
+      (float_of_string_opt (tail tpart), float_of_string_opt (tail ipart),
+       parse_count dpart)
+    with
+    | Some avg_t, Some avg_i, Some d when avg_t > 0.0 && avg_i > 0.0 && d >= 0 ->
+      Some
+        (make ~avg_transaction_size:avg_t ~avg_itemset_size:avg_i
+           ~num_transactions:d ())
+    | _ -> None)
+  | _ -> None

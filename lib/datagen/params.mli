@@ -1,0 +1,48 @@
+(** Parameters of the synthetic data generator (Section 6.1).
+
+    The paper annotates datasets as Tμ_T.Iμ_L.DnK: average transaction
+    size, average maximal potentially-large-itemset size, and number of
+    transactions. The remaining knobs (universe size, number of potential
+    itemsets, correlation and noise levels) follow the Agrawal-Srikant
+    conventions the paper cites. *)
+
+type t = {
+  num_items : int;  (** size of the item universe (default 1000) *)
+  num_potential : int;  (** L, number of potential itemsets (paper: 2000) *)
+  avg_itemset_size : float;  (** μ_L, Poisson mean of itemset sizes *)
+  avg_transaction_size : float;  (** μ_T, Poisson mean of transaction sizes *)
+  num_transactions : int;
+  correlation : float;
+      (** fraction of each potential itemset drawn from its predecessor
+          (paper: one half) *)
+  noise_mean : float;  (** mean of the per-itemset noise level (0.5) *)
+  noise_variance : float;  (** variance of the noise level (0.1) *)
+  seed : int;  (** RNG seed; same seed, same database *)
+}
+
+(** [default] is T10.I4.D10K with the paper's constants and seed 42. *)
+val default : t
+
+(** [make ?over ~avg_transaction_size ~avg_itemset_size ~num_transactions ()]
+    overrides the three headline knobs on [over] (default {!default}). *)
+val make :
+  ?over:t ->
+  avg_transaction_size:float ->
+  avg_itemset_size:float ->
+  num_transactions:int ->
+  unit ->
+  t
+
+(** [validate t] raises [Invalid_argument] describing the first broken
+    constraint (positive sizes and counts, correlation in [0,1], variance
+    >= 0, itemset size not above the universe). *)
+val validate : t -> unit
+
+(** [name t] is the paper's annotation, e.g. "T10.I4.D100K" (the count is
+    printed exactly when not a multiple of 1000). *)
+val name : t -> string
+
+(** [of_name s] parses an annotation like "T10.I4.D100K" or
+    "T20.I6.D2500" onto {!default}'s other fields. [None] on syntax
+    errors. *)
+val of_name : string -> t option

@@ -1,0 +1,166 @@
+open Olar_data
+module Rng = Olar_util.Rng
+module Dist = Olar_util.Dist
+
+type potential = {
+  itemsets : Itemset.t array;
+  weights : float array;
+  noise : float array;
+}
+
+(* Draw [n] distinct items uniformly, avoiding those already in [taken];
+   rejection sampling is fine because n << num_items in all realistic
+   parameterisations, and we fall back to a sweep when the universe is
+   nearly exhausted. *)
+let draw_fresh_items rng ~num_items ~taken n =
+  let drawn = ref [] in
+  let got = ref 0 in
+  let attempts = ref 0 in
+  while !got < n && !attempts < 50 * (n + 1) do
+    incr attempts;
+    let i = Rng.int rng num_items in
+    if not (Hashtbl.mem taken i) then begin
+      Hashtbl.add taken i ();
+      drawn := i :: !drawn;
+      incr got
+    end
+  done;
+  if !got < n then begin
+    (* Universe almost full: take the first free items deterministically. *)
+    let i = ref 0 in
+    while !got < n && !i < num_items do
+      if not (Hashtbl.mem taken !i) then begin
+        Hashtbl.add taken !i ();
+        drawn := !i :: !drawn;
+        incr got
+      end;
+      incr i
+    done
+  end;
+  !drawn
+
+let itemset_size rng params =
+  let size = max 1 (Dist.poisson rng params.Params.avg_itemset_size) in
+  min size params.Params.num_items
+
+let potential_itemsets params =
+  Params.validate params;
+  let rng = Rng.of_int params.Params.seed in
+  let l = params.Params.num_potential in
+  let itemsets = Array.make l Itemset.empty in
+  let weights = Array.init l (fun _ -> Dist.exponential rng 1.0) in
+  let stddev = sqrt params.Params.noise_variance in
+  let noise =
+    Array.init l (fun _ ->
+        if stddev = 0.0 then max 0.01 (min 0.99 params.Params.noise_mean)
+        else
+          Dist.normal_clamped rng ~mean:params.Params.noise_mean ~stddev
+            ~lo:0.0 ~hi:1.0)
+  in
+  let prev = ref [||] in
+  for j = 0 to l - 1 do
+    let size = itemset_size rng params in
+    let taken = Hashtbl.create (2 * size) in
+    (* Carry over a [correlation] fraction from the predecessor: a random
+       sample without replacement of its items. *)
+    let carried =
+      let want =
+        min (Array.length !prev)
+          (int_of_float (Float.round (params.Params.correlation *. float_of_int size)))
+      in
+      if want = 0 then []
+      else begin
+        let pool = Array.copy !prev in
+        let n = Array.length pool in
+        for i = 0 to want - 1 do
+          let k = i + Rng.int rng (n - i) in
+          let tmp = pool.(i) in
+          pool.(i) <- pool.(k);
+          pool.(k) <- tmp
+        done;
+        let sample = Array.to_list (Array.sub pool 0 want) in
+        List.iter (fun i -> Hashtbl.replace taken i ()) sample;
+        sample
+      end
+    in
+    let fresh =
+      draw_fresh_items rng ~num_items:params.Params.num_items ~taken
+        (size - List.length carried)
+    in
+    let itemset = Itemset.of_list (carried @ fresh) in
+    itemsets.(j) <- itemset;
+    prev := Itemset.to_array itemset
+  done;
+  { itemsets; weights; noise }
+
+(* Corrupt a chosen itemset: drop min(G, |I|) random items, G geometric
+   with the itemset's noise level. Returns the surviving items. *)
+let corrupt rng ~noise itemset =
+  let items = Itemset.to_array itemset in
+  let n = Array.length items in
+  let g = Dist.geometric rng noise in
+  let drop = min g n in
+  if drop = 0 then items
+  else begin
+    (* Partial Fisher-Yates: move [drop] random victims to the front. *)
+    for i = 0 to drop - 1 do
+      let k = i + Rng.int rng (n - i) in
+      let tmp = items.(i) in
+      items.(i) <- items.(k);
+      items.(k) <- tmp
+    done;
+    Array.sub items drop (n - drop)
+  end
+
+let generate params =
+  let pot = potential_itemsets params in
+  let rng = Rng.of_int (params.Params.seed lxor 0x5eed) in
+  let die = Dist.Cdf.of_weights pot.weights in
+  let carried = ref None in
+  let next_itemset () =
+    match !carried with
+    | Some j ->
+      carried := None;
+      j
+    | None -> Dist.Cdf.sample die rng
+  in
+  let build_transaction () =
+    let size =
+      min params.Params.num_items
+        (max 1 (Dist.poisson rng params.Params.avg_transaction_size))
+    in
+    let contents = Hashtbl.create (2 * size) in
+    let add items = Array.iter (fun i -> Hashtbl.replace contents i ()) items in
+    let finished = ref false in
+    let attempts = ref 0 in
+    while (not !finished) && !attempts < 10 * (size + 1) do
+      incr attempts;
+      let j = next_itemset () in
+      let survivors = corrupt rng ~noise:pot.noise.(j) pot.itemsets.(j) in
+      let new_size =
+        Hashtbl.length contents
+        + Array.fold_left
+            (fun acc i -> if Hashtbl.mem contents i then acc else acc + 1)
+            0 survivors
+      in
+      if new_size <= size then begin
+        add survivors;
+        if Hashtbl.length contents >= size then finished := true
+      end
+      else if Rng.bool rng then begin
+        (* Does not fit: added anyway half the time... *)
+        add survivors;
+        finished := true
+      end
+      else begin
+        (* ...and moved to the next transaction the other half. *)
+        carried := Some j;
+        finished := true
+      end
+    done;
+    Itemset.of_list (Hashtbl.fold (fun i () acc -> i :: acc) contents [])
+  in
+  let transactions =
+    Array.init params.Params.num_transactions (fun _ -> build_transaction ())
+  in
+  Database.create ~num_items:params.Params.num_items transactions

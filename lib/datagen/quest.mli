@@ -1,0 +1,37 @@
+(** The synthetic transaction generator of Section 6.1 (IBM Quest style).
+
+    Two stages, implemented exactly as the paper describes:
+
+    1. {e Potential itemsets}: L maximal potentially large itemsets, sizes
+       Poisson(μ_L); each successive itemset takes a [correlation]
+       fraction of its items from its predecessor and draws the rest
+       uniformly — so potential itemsets share items. Each gets a weight
+       from an exponential distribution with unit mean (the "L-sided
+       weighted die") and a noise level n_I from a clamped
+       N(noise_mean, noise_variance).
+
+    2. {e Transactions}: sizes Poisson(μ_T); a transaction is filled by
+       repeatedly rolling the weighted die; each chosen itemset is
+       corrupted by dropping min(G, |I|) random items, G geometric with
+       parameter n_I; an itemset that does not fit is added anyway half
+       the time and otherwise carried over to the next transaction.
+
+    Everything is driven by the seed in {!Params.t}: the same parameters
+    always produce the same database. *)
+
+open Olar_data
+
+(** The intermediate stage-1 artifacts, exposed for inspection and
+    testing. *)
+type potential = {
+  itemsets : Itemset.t array;
+  weights : float array;  (** exponential, unit mean; unnormalised *)
+  noise : float array;  (** per-itemset corruption level in (0, 1) *)
+}
+
+(** [potential_itemsets params] runs stage 1. Raises [Invalid_argument]
+    via {!Params.validate}. *)
+val potential_itemsets : Params.t -> potential
+
+(** [generate params] runs both stages and returns the database. *)
+val generate : Params.t -> Database.t

@@ -1,0 +1,18 @@
+(** Plain Apriori (Agrawal & Srikant 1994): level-wise mining with
+    apriori-gen candidates, no hash filtering, no transaction trimming.
+    Kept as the reference miner and the DHP ablation baseline. *)
+
+open Olar_data
+
+(** [mine db ~minsup] is all itemsets with support count >= [minsup].
+    Optional arguments as in {!Levelwise.mine}. *)
+val mine :
+  ?stats:Stats.t ->
+  ?cap:int ->
+  ?max_level:int ->
+  ?seed:Frequent.t ->
+  ?counting:Levelwise.counting ->
+  ?domains:int ->
+  Database.t ->
+  minsup:int ->
+  Frequent.t

@@ -1,0 +1,66 @@
+open Olar_data
+
+let validate frequent =
+  let n = Array.length frequent in
+  if n = 0 then invalid_arg "Candidate.generate: empty level";
+  let k = Itemset.cardinal frequent.(0) in
+  if k < 1 then invalid_arg "Candidate.generate: empty itemset";
+  Array.iteri
+    (fun i x ->
+      if Itemset.cardinal x <> k then invalid_arg "Candidate.generate: mixed arity";
+      if i > 0 && Itemset.compare_lex frequent.(i - 1) x >= 0 then
+        invalid_arg "Candidate.generate: not sorted")
+    frequent;
+  k
+
+let share_prefix k x y =
+  (* First k-1 items equal; both sorted, so positional comparison works. *)
+  let rec loop i = i >= k - 1 || (Itemset.nth x i = Itemset.nth y i && loop (i + 1)) in
+  loop 0
+
+let all_subsets_frequent ~is_frequent candidate =
+  List.for_all (fun (_, parent) -> is_frequent parent) (Itemset.parents candidate)
+
+let generate ~frequent ~is_frequent =
+  let k = validate frequent in
+  let out = Olar_util.Vec.create () in
+  let n = Array.length frequent in
+  let i = ref 0 in
+  while !i < n do
+    (* Find the block [i, j) of itemsets sharing the first k-1 items. *)
+    let j = ref (!i + 1) in
+    while !j < n && share_prefix k frequent.(!i) frequent.(!j) do
+      incr j
+    done;
+    for a = !i to !j - 1 do
+      for b = a + 1 to !j - 1 do
+        let x = frequent.(a) and y = frequent.(b) in
+        (* x < y lexicographically with equal prefixes, so the union is
+           x extended by y's last item: still sorted. *)
+        let cand =
+          Itemset.of_sorted_array_unchecked
+            (Array.append (Itemset.to_array x) [| Itemset.nth y (k - 1) |])
+        in
+        if all_subsets_frequent ~is_frequent cand then Olar_util.Vec.push out cand
+      done
+    done;
+    i := !j
+  done;
+  (* Blocks are visited in lexicographic order, and within a block the
+     (a, b) double loop emits extensions in increasing last item, so the
+     output is already sorted. *)
+  Olar_util.Vec.to_array out
+
+let pairs_of_items items =
+  let n = Array.length items in
+  for i = 1 to n - 1 do
+    if items.(i - 1) >= items.(i) then invalid_arg "Candidate.pairs_of_items"
+  done;
+  let out = Olar_util.Vec.with_capacity (max 1 (n * (n - 1) / 2)) in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      Olar_util.Vec.push out
+        (Itemset.of_sorted_array_unchecked [| items.(a); items.(b) |])
+    done
+  done;
+  Olar_util.Vec.to_array out

@@ -1,0 +1,23 @@
+(** Apriori candidate generation (the apriori-gen join + prune).
+
+    Given the frequent k-itemsets, produce the candidate (k+1)-itemsets:
+    join pairs sharing their first k-1 items, then discard any candidate
+    with an infrequent k-subset (downward closure). Input and output are
+    sorted by {!Olar_data.Itemset.compare_lex}, which makes the join a
+    scan over contiguous prefix blocks. *)
+
+open Olar_data
+
+(** [generate ~frequent ~is_frequent] is the candidates of cardinality
+    k+1, sorted lexicographically, where [frequent] is the sorted array of
+    frequent k-itemsets and [is_frequent] tests membership of a k-itemset
+    in the frequent set (used by the prune step). [frequent] must be
+    non-empty, uniform in cardinality, and sorted; raises
+    [Invalid_argument] otherwise. *)
+val generate :
+  frequent:Itemset.t array -> is_frequent:(Itemset.t -> bool) -> Itemset.t array
+
+(** [pairs_of_items items] is the candidate 2-itemsets over the given
+    frequent 1-items (all pairs), sorted lexicographically. [items] must
+    be strictly increasing. *)
+val pairs_of_items : Item.t array -> Itemset.t array

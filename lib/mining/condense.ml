@@ -1,0 +1,53 @@
+open Olar_data
+
+let require_complete frequent name =
+  if not (Frequent.complete frequent) then
+    invalid_arg (name ^ ": requires a complete mining result")
+
+(* Shared sweep: walk levels top-down and mark, for each (k+1)-itemset,
+   the k-subsets that [dominates] says it covers. Unmarked itemsets
+   survive. *)
+let survivors frequent ~dominates =
+  let doomed = Itemset.Table.create 1024 in
+  let out = ref [] in
+  let max_level = Frequent.max_level frequent in
+  for k = max_level downto 1 do
+    Array.iter
+      (fun (x, c) ->
+        if not (Itemset.Table.mem doomed x) then out := (x, c) :: !out;
+        if k > 1 then
+          List.iter
+            (fun (_, parent) ->
+              match Frequent.count frequent parent with
+              | Some parent_count when dominates ~child_count:c ~parent_count ->
+                Itemset.Table.replace doomed parent ()
+              | Some _ | None -> ())
+            (Itemset.parents x))
+      (Frequent.level frequent k)
+  done;
+  List.sort (fun (a, _) (b, _) -> Itemset.compare a b) !out
+
+(* An itemset is non-maximal iff some frequent superset exists; a
+   frequent (k+1)-superset implies a frequent (k+1)-superset one item
+   larger, so marking immediate parents level by level suffices. *)
+let maximal frequent =
+  require_complete frequent "Condense.maximal";
+  survivors frequent ~dominates:(fun ~child_count:_ ~parent_count:_ -> true)
+
+(* Non-closed iff some strict superset has equal support; supports only
+   shrink upward in cardinality, so an equal-support superset implies an
+   equal-support superset one item larger. *)
+let closed frequent =
+  require_complete frequent "Condense.closed";
+  survivors frequent ~dominates:(fun ~child_count ~parent_count ->
+      child_count = parent_count)
+
+let support_from_closed closed_sets x =
+  List.fold_left
+    (fun acc (y, c) ->
+      if Itemset.subset x y then
+        match acc with
+        | None -> Some c
+        | Some best -> Some (max best c)
+      else acc)
+    None closed_sets

@@ -1,0 +1,30 @@
+(** Condensed representations of a mining result.
+
+    Two classic summaries of a frequent-itemset family:
+    - {e maximal} itemsets: frequent with no frequent strict superset —
+      the paper's synthetic generator is itself parameterised by
+      "maximal potentially large itemsets";
+    - {e closed} itemsets: no strict superset with the same support —
+      the support of any frequent itemset is recoverable as the maximum
+      support of a closed superset, so closed itemsets are a lossless
+      compression (they relate to rule redundancy the same way the
+      paper's essential rules do).
+
+    Both are derived from a complete {!Frequent.t} without touching the
+    database. *)
+
+open Olar_data
+
+(** [maximal frequent] is the maximal frequent itemsets with counts, in
+    (cardinality, lexicographic) order. Requires a complete result;
+    raises [Invalid_argument] otherwise. *)
+val maximal : Frequent.t -> (Itemset.t * int) list
+
+(** [closed frequent] is the closed frequent itemsets with counts, in
+    (cardinality, lexicographic) order. Same completeness requirement. *)
+val closed : Frequent.t -> (Itemset.t * int) list
+
+(** [support_from_closed closed x] recovers the support of [x] as the
+    maximal count among closed supersets of [x]; [None] when [x] is not
+    frequent (no closed superset). O(|closed|·|x|). *)
+val support_from_closed : (Itemset.t * int) list -> Itemset.t -> int option

@@ -1,0 +1,31 @@
+(** DHP — the Direct Hashing and Pruning miner of Park, Chen & Yu
+    (SIGMOD 1995), the subroutine the paper's preprocessing stage calls.
+
+    Two additions over Apriori: during pass k every (k+1)-subset of each
+    transaction is hashed into a bucket-count table used to discard
+    level-(k+1) candidates whose bucket cannot reach minimum support
+    (deployed for pass 2 by default, where candidate explosion is worst),
+    and transactions are progressively trimmed to items that still occur
+    in some frequent itemset of the current level. *)
+
+open Olar_data
+
+(** [mine db ~minsup] is all itemsets with support count >= [minsup].
+
+    @param buckets size of the hash-count table (default 65536).
+    @param hash_all_levels build a filter table for every level, not just
+      pass 2 (costs an enumeration of all (k+1)-combinations of each
+      trimmed transaction per pass; default false).
+    Other optional arguments as in {!Levelwise.mine}. *)
+val mine :
+  ?stats:Stats.t ->
+  ?cap:int ->
+  ?max_level:int ->
+  ?seed:Frequent.t ->
+  ?buckets:int ->
+  ?hash_all_levels:bool ->
+  ?counting:Levelwise.counting ->
+  ?domains:int ->
+  Database.t ->
+  minsup:int ->
+  Frequent.t

@@ -1,0 +1,201 @@
+open Olar_data
+module Counter = Olar_util.Timer.Counter
+
+(* FP-tree node. The [parent] chain yields the prefix path of a node;
+   nodes of the same item are threaded through the header table. *)
+type node = {
+  item : int;
+  mutable count : int;
+  parent : node option;
+  children : (int, node) Hashtbl.t;
+}
+
+type tree = {
+  root : node;
+  (* per item: every node carrying it, plus the item's total count *)
+  header : (int, node list ref * int ref) Hashtbl.t;
+}
+
+let new_node ~item ~parent = { item; count = 0; parent; children = Hashtbl.create 4 }
+
+let new_tree () =
+  { root = new_node ~item:(-1) ~parent:None; header = Hashtbl.create 64 }
+
+let header_slot tree item =
+  match Hashtbl.find_opt tree.header item with
+  | Some slot -> slot
+  | None ->
+    let slot = (ref [], ref 0) in
+    Hashtbl.add tree.header item slot;
+    slot
+
+(* Insert a frequency-ordered item list with multiplicity [count]. *)
+let insert tree items count =
+  let rec go node = function
+    | [] -> ()
+    | item :: rest ->
+      let child =
+        match Hashtbl.find_opt node.children item with
+        | Some c -> c
+        | None ->
+          let c = new_node ~item ~parent:(Some node) in
+          Hashtbl.add node.children item c;
+          let nodes, _ = header_slot tree item in
+          nodes := c :: !nodes;
+          c
+      in
+      child.count <- child.count + count;
+      let _, total = header_slot tree item in
+      total := !total + count;
+      go child rest
+  in
+  go tree.root items
+
+(* The prefix path of a node, root side first, excluding the node
+   itself. *)
+let prefix_path node =
+  let rec up n acc =
+    match n.parent with
+    | None -> acc
+    | Some p -> if p.item = -1 then acc else up p (p.item :: acc)
+  in
+  up node []
+
+(* Items of [tree] in increasing total count (ties: decreasing id), the
+   order in which conditional trees are grown. *)
+let items_ascending tree =
+  let entries =
+    Hashtbl.fold (fun item (_, total) acc -> (item, !total) :: acc) tree.header []
+  in
+  List.sort
+    (fun (i1, c1) (i2, c2) ->
+      if c1 <> c2 then Int.compare c1 c2 else Int.compare i2 i1)
+    entries
+
+(* True when the tree is one chain from the root. *)
+let single_path tree =
+  let rec walk node acc =
+    match Hashtbl.length node.children with
+    | 0 -> Some (List.rev acc)
+    | 1 ->
+      let child = Hashtbl.fold (fun _ c _ -> Some c) node.children None in
+      let child = Option.get child in
+      walk child ((child.item, child.count) :: acc)
+    | _ -> None
+  in
+  walk tree.root []
+
+(* All non-empty subsets of a counted single path, each with the count
+   of its deepest member. Emitted via [yield suffix_items count]. *)
+let rec path_subsets path yield =
+  match path with
+  | [] -> ()
+  | (item, count) :: rest ->
+    yield [ item ] count;
+    path_subsets rest yield;
+    path_subsets rest (fun items c -> yield (item :: items) (min count c))
+
+let mine ?stats db ~minsup =
+  if minsup < 1 then invalid_arg "Fpgrowth.mine: minsup";
+  let bump_pass () =
+    match stats with
+    | Some s -> Counter.incr s.Stats.passes
+    | None -> ()
+  in
+  (* Pass 1: item frequencies, the global frequency order. *)
+  bump_pass ();
+  let freq = Database.item_frequencies db in
+  let order_rank = Array.make (Database.num_items db) max_int in
+  let frequent_items =
+    let all = List.init (Database.num_items db) Fun.id in
+    let kept = List.filter (fun i -> freq.(i) >= minsup) all in
+    List.sort
+      (fun a b ->
+        if freq.(a) <> freq.(b) then Int.compare freq.(b) freq.(a)
+        else Int.compare a b)
+      kept
+  in
+  List.iteri (fun rank item -> order_rank.(item) <- rank) frequent_items;
+  (* Pass 2: build the FP-tree from frequency-ordered filtered
+     transactions. *)
+  bump_pass ();
+  let tree = new_tree () in
+  Database.iter
+    (fun txn ->
+      let items =
+        List.filter (fun i -> order_rank.(i) <> max_int) (Itemset.to_list txn)
+      in
+      let items =
+        List.sort (fun a b -> Int.compare order_rank.(a) order_rank.(b)) items
+      in
+      if items <> [] then insert tree items 1)
+    db;
+  (* Recursive growth. [suffix] is the itemset being extended (as a
+     list); every (itemset, exact count) pair is accumulated. *)
+  let found : (Itemset.t * int) list ref = ref [] in
+  let emit items count =
+    found := (Itemset.of_list items, count) :: !found
+  in
+  let rec grow tree suffix =
+    match single_path tree with
+    | Some path ->
+      (* every subset of the path extends the suffix *)
+      path_subsets
+        (List.filter (fun (_, c) -> c >= minsup) path)
+        (fun items count -> if count >= minsup then emit (items @ suffix) count)
+    | None ->
+      List.iter
+        (fun (item, total) ->
+          if total >= minsup then begin
+            let suffix' = item :: suffix in
+            emit suffix' total;
+            (* conditional pattern base -> conditional tree *)
+            let conditional = new_tree () in
+            let nodes, _ = header_slot tree item in
+            (* local frequencies inside the pattern base decide which
+               prefix items survive *)
+            let local = Hashtbl.create 16 in
+            List.iter
+              (fun n ->
+                List.iter
+                  (fun i ->
+                    Hashtbl.replace local i
+                      (n.count + Option.value ~default:0 (Hashtbl.find_opt local i)))
+                  (prefix_path n))
+              !nodes;
+            List.iter
+              (fun n ->
+                let path =
+                  List.filter
+                    (fun i -> Hashtbl.find local i >= minsup)
+                    (prefix_path n)
+                in
+                if path <> [] then insert conditional path n.count)
+              !nodes;
+            grow conditional suffix'
+          end)
+        (items_ascending tree)
+  in
+  grow tree [];
+  (* Assemble the Frequent.t level structure. *)
+  (match stats with
+  | Some s -> Counter.add s.Stats.frequent (List.length !found)
+  | None -> ());
+  let by_level = Hashtbl.create 8 in
+  let max_k = ref 0 in
+  List.iter
+    (fun (x, c) ->
+      let k = Itemset.cardinal x in
+      max_k := max !max_k k;
+      Hashtbl.replace by_level k
+        ((x, c) :: Option.value ~default:[] (Hashtbl.find_opt by_level k)))
+    !found;
+  let levels =
+    List.init !max_k (fun idx ->
+        Array.of_list
+          (List.sort
+             (fun (a, _) (b, _) -> Itemset.compare_lex a b)
+             (Option.value ~default:[] (Hashtbl.find_opt by_level (idx + 1)))))
+  in
+  Frequent.v ~db_size:(Database.size db) ~threshold:minsup ~levels
+    ~complete:true ~completed_levels:(List.length levels)

@@ -1,0 +1,25 @@
+(** FP-Growth (Han, Pei & Yin, SIGMOD 2000).
+
+    The pattern-growth alternative to candidate generation: compress the
+    database into a frequency-ordered prefix tree (the FP-tree), then
+    mine it recursively by building conditional trees per item — no
+    candidate sets at all. Included as the modern baseline a mining
+    library is expected to ship, and as a third independent
+    implementation cross-checking Apriori/DHP (identical outputs,
+    asserted in tests and the bench).
+
+    This implementation is exact and favours clarity over the last
+    constant factor: conditional pattern bases are materialised per
+    item, the single-path shortcut is applied, and the recursion bottoms
+    out on empty trees. *)
+
+open Olar_data
+
+(** [mine db ~minsup] is all itemsets with support count >= [minsup],
+    exactly as {!Apriori.mine}.
+
+    @param stats [passes] counts the two database scans; [frequent]
+      accumulates the result size ([candidates]/[hash_pruned] stay 0 —
+      there are no candidates).
+    Raises [Invalid_argument] when [minsup < 1]. *)
+val mine : ?stats:Stats.t -> Database.t -> minsup:int -> Frequent.t

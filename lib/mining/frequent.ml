@@ -1,0 +1,88 @@
+open Olar_data
+
+type t = {
+  db_size : int;
+  threshold : int;
+  levels : (Itemset.t * int) array array; (* levels.(k-1) = k-itemsets *)
+  counts : int Itemset.Table.t;
+  complete : bool;
+  completed_levels : int;
+}
+
+let check_level ~threshold k entries =
+  Array.iteri
+    (fun i (x, c) ->
+      if Itemset.cardinal x <> k then invalid_arg "Frequent.v: wrong level";
+      if c < threshold then invalid_arg "Frequent.v: count below threshold";
+      if i > 0 then begin
+        let prev, _ = entries.(i - 1) in
+        if Itemset.compare_lex prev x >= 0 then
+          invalid_arg "Frequent.v: level not sorted"
+      end)
+    entries
+
+let v ~db_size ~threshold ~levels ~complete ~completed_levels =
+  if db_size < 0 || threshold < 1 || completed_levels < 0 then invalid_arg "Frequent.v";
+  let levels = Array.of_list levels in
+  Array.iteri (fun i entries -> check_level ~threshold (i + 1) entries) levels;
+  let counts = Itemset.Table.create 1024 in
+  Array.iter
+    (fun entries ->
+      Array.iter
+        (fun (x, c) ->
+          if Itemset.Table.mem counts x then invalid_arg "Frequent.v: duplicate";
+          Itemset.Table.add counts x c)
+        entries)
+    levels;
+  if complete && completed_levels < Array.length levels then
+    invalid_arg "Frequent.v: complete run must complete all levels";
+  { db_size; threshold; levels; counts; complete; completed_levels }
+
+let db_size r = r.db_size
+let threshold r = r.threshold
+let complete r = r.complete
+let completed_levels r = r.completed_levels
+let total r = Itemset.Table.length r.counts
+let max_level r = Array.length r.levels
+
+let level r k =
+  if k < 1 || k > Array.length r.levels then [||] else r.levels.(k - 1)
+
+let count r x = Itemset.Table.find_opt r.counts x
+let mem r x = Itemset.Table.mem r.counts x
+
+let iter f r =
+  Array.iter (fun entries -> Array.iter (fun (x, c) -> f x c) entries) r.levels
+
+let to_list r =
+  let out = ref [] in
+  iter (fun x c -> out := (x, c) :: !out) r;
+  List.rev !out
+
+let restrict r ~threshold =
+  if threshold < r.threshold then invalid_arg "Frequent.restrict";
+  if threshold = r.threshold then r
+  else begin
+    let keep entries =
+      Array.of_list
+        (List.filter (fun (_, c) -> c >= threshold) (Array.to_list entries))
+    in
+    let levels = Array.map keep r.levels in
+    (* Drop empty trailing levels so [max_level] stays meaningful. *)
+    let last = ref (Array.length levels) in
+    while !last > 0 && Array.length levels.(!last - 1) = 0 do
+      decr last
+    done;
+    let levels = Array.sub levels 0 !last in
+    let counts = Itemset.Table.create 1024 in
+    Array.iter
+      (fun entries -> Array.iter (fun (x, c) -> Itemset.Table.add counts x c) entries)
+      levels;
+    {
+      r with
+      threshold;
+      levels;
+      counts;
+      completed_levels = min r.completed_levels (Array.length levels);
+    }
+  end

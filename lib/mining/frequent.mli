@@ -1,0 +1,72 @@
+(** The result of a frequent-itemset mining run.
+
+    Holds every discovered itemset with its exact support count, organised
+    by level (cardinality). A result may be {e partial}: the threshold
+    search of Section 5 deliberately aborts DHP once more than [cap]
+    itemsets have been generated, and the level-wise skeleton records how
+    many levels completed so later iterations can reuse them (the paper's
+    "k-itemsets for which k <= k0 are available"). *)
+
+open Olar_data
+
+type t
+
+(** [v ~db_size ~threshold ~levels ~complete ~completed_levels] packs a
+    result. [levels] maps cardinality k (1-based) to the frequent
+    k-itemsets with their counts; level arrays must be sorted by
+    {!Olar_data.Itemset.compare_lex} and every count must be >=
+    [threshold]. [complete] says whether mining ran to fixpoint;
+    [completed_levels] is the number of leading levels guaranteed
+    exhaustive (= all levels when [complete]). Raises [Invalid_argument]
+    on violations. *)
+val v :
+  db_size:int ->
+  threshold:int ->
+  levels:(Itemset.t * int) array list ->
+  complete:bool ->
+  completed_levels:int ->
+  t
+
+(** [db_size r] is the number of transactions mined. *)
+val db_size : t -> int
+
+(** [threshold r] is the absolute minimum support count used. *)
+val threshold : t -> int
+
+(** [complete r] is false iff mining was aborted early (cap reached). *)
+val complete : t -> bool
+
+(** [completed_levels r] is the number of leading levels that are
+    exhaustive: every frequent k-itemset with k <= [completed_levels r]
+    is present. Equals [max_level r] (or more) when [complete r]. *)
+val completed_levels : t -> int
+
+(** [total r] is the number of itemsets found (excluding the empty set). *)
+val total : t -> int
+
+(** [max_level r] is the largest cardinality present (0 when empty). *)
+val max_level : t -> int
+
+(** [level r k] is the frequent k-itemsets, sorted lexicographically.
+    Empty array when out of range ([k < 1] included). *)
+val level : t -> int -> (Itemset.t * int) array
+
+(** [count r x] is the support count of [x] if it was found ([None]
+    otherwise; note the empty set is never stored). O(1) expected. *)
+val count : t -> Itemset.t -> int option
+
+(** [mem r x] is [count r x <> None]. *)
+val mem : t -> Itemset.t -> bool
+
+(** [iter f r] applies [f itemset count] level by level, lexicographic
+    within each level. *)
+val iter : (Itemset.t -> int -> unit) -> t -> unit
+
+(** [to_list r] is all (itemset, count) pairs in the {!iter} order. *)
+val to_list : t -> (Itemset.t * int) list
+
+(** [restrict r ~threshold] is the sub-result at a higher threshold,
+    without touching the database. Used by the threshold search to reuse
+    the itemsets of I(Low) when probing Mid > Low. Raises
+    [Invalid_argument] if [threshold < threshold r]. *)
+val restrict : t -> threshold:int -> t

@@ -1,0 +1,154 @@
+open Olar_data
+
+(* A leaf stores candidates (as item arrays) with their counts; an
+   interior node dispatches on [hash item] of the item consumed at its
+   depth. Because hashing is lossy, a leaf reached during counting may
+   hold candidates whose prefix does not actually match the chosen
+   transaction items, and one leaf can be reached along several hash
+   paths for the same transaction — so leaves verify the full subset
+   relation and a per-transaction stamp prevents double counting
+   (exactly the "answer set" of the original Apriori paper). *)
+type candidate = {
+  items : int array;
+  mutable count : int;
+  mutable stamp : int; (* last transaction sequence that counted this *)
+}
+
+type node =
+  | Leaf of leaf
+  | Interior of node array
+
+and leaf = { mutable members : candidate list }
+
+type t = {
+  mutable root : node;
+  tree_depth : int;
+  fanout : int;
+  leaf_capacity : int;
+  mutable size : int;
+  mutable txn_seq : int;
+}
+
+let new_leaf () = Leaf { members = [] }
+
+let create ?(fanout = 8) ?(leaf_capacity = 8) ~depth () =
+  if depth < 1 then invalid_arg "Hashtree.create: depth";
+  if fanout < 1 then invalid_arg "Hashtree.create: fanout";
+  if leaf_capacity < 1 then invalid_arg "Hashtree.create: leaf_capacity";
+  {
+    root = new_leaf ();
+    tree_depth = depth;
+    fanout;
+    leaf_capacity;
+    size = 0;
+    txn_seq = 0;
+  }
+
+let depth t = t.tree_depth
+let size t = t.size
+let bucket t item = item mod t.fanout
+
+(* Split a leaf at tree level [level]: members re-dispatch on their item
+   at position [level]. *)
+let split t level leaf =
+  let kids = Array.init t.fanout (fun _ -> new_leaf ()) in
+  List.iter
+    (fun c ->
+      match kids.(bucket t c.items.(level)) with
+      | Leaf l -> l.members <- c :: l.members
+      | Interior _ -> assert false)
+    leaf.members;
+  Interior kids
+
+let insert t x =
+  if Itemset.cardinal x <> t.tree_depth then
+    invalid_arg "Hashtree.insert: wrong arity";
+  let items = Itemset.to_array x in
+  let rec go node level replace =
+    match node with
+    | Interior kids ->
+      let b = bucket t items.(level) in
+      go kids.(b) (level + 1) (fun n -> kids.(b) <- n)
+    | Leaf leaf ->
+      if List.exists (fun c -> c.items = items) leaf.members then ()
+      else if
+        List.length leaf.members >= t.leaf_capacity && level < t.tree_depth
+      then begin
+        (* overflow: split (possible while items remain to hash on) and
+           retry at the same level, now an interior node *)
+        let interior = split t level leaf in
+        replace interior;
+        go interior level replace
+      end
+      else begin
+        leaf.members <- { items; count = 0; stamp = -1 } :: leaf.members;
+        t.size <- t.size + 1
+      end
+  in
+  go t.root 0 (fun n -> t.root <- n)
+
+let subset candidate items =
+  let nc = Array.length candidate and ni = Array.length items in
+  let rec loop ci ii =
+    if ci >= nc then true
+    else if ii >= ni then false
+    else if candidate.(ci) = items.(ii) then loop (ci + 1) (ii + 1)
+    else if candidate.(ci) > items.(ii) then loop ci (ii + 1)
+    else false
+  in
+  loop 0 0
+
+let count_transaction t txn =
+  let items = Itemset.to_array txn in
+  let n = Array.length items in
+  if n >= t.tree_depth then begin
+    t.txn_seq <- t.txn_seq + 1;
+    let seq = t.txn_seq in
+    let rec go node level from =
+      match node with
+      | Leaf leaf ->
+        List.iter
+          (fun c ->
+            if c.stamp <> seq && subset c.items items then begin
+              c.stamp <- seq;
+              c.count <- c.count + 1
+            end)
+          leaf.members
+      | Interior kids ->
+        let last = n - (t.tree_depth - level) in
+        for i = from to last do
+          go kids.(bucket t items.(i)) (level + 1) (i + 1)
+        done
+    in
+    go t.root 0 0
+  end
+
+let count t x =
+  if Itemset.cardinal x <> t.tree_depth then None
+  else begin
+    let items = Itemset.to_array x in
+    let rec go node level =
+      match node with
+      | Leaf leaf ->
+        Option.map
+          (fun c -> c.count)
+          (List.find_opt (fun c -> c.items = items) leaf.members)
+      | Interior kids -> go kids.(bucket t items.(level)) (level + 1)
+    in
+    go t.root 0
+  end
+
+let to_sorted_array t =
+  let out = Olar_util.Vec.with_capacity (max 1 t.size) in
+  let rec walk = function
+    | Leaf leaf ->
+      List.iter
+        (fun c ->
+          Olar_util.Vec.push out (Itemset.of_sorted_array_unchecked c.items, c.count))
+        leaf.members
+    | Interior kids -> Array.iter walk kids
+  in
+  walk t.root;
+  let arr = Olar_util.Vec.to_array out in
+  Array.sort (fun (a, _) (b, _) -> Itemset.compare_lex a b) arr;
+  arr

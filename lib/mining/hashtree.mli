@@ -1,0 +1,41 @@
+(** Hash-tree candidate counting (Agrawal & Srikant's original
+    structure).
+
+    The alternative to {!Trie} from the Apriori paper: interior nodes
+    dispatch on a hash of the next item, leaves hold small candidate
+    lists and split when they overflow. Same contract as {!Trie}; kept
+    as an independently-tested implementation and for the
+    trie-versus-hash-tree ablation in the benchmark harness (on modern
+    hardware the pointer-chasing profile differs, the counted results
+    never do). *)
+
+open Olar_data
+
+type t
+
+(** [create ~depth] is an empty tree for candidates of cardinality
+    [depth] >= 1. [fanout] is the hash width of interior nodes (default
+    8); [leaf_capacity] triggers splitting (default 8). Raises
+    [Invalid_argument] on non-positive parameters. *)
+val create : ?fanout:int -> ?leaf_capacity:int -> depth:int -> unit -> t
+
+(** [depth t] is the candidate cardinality. *)
+val depth : t -> int
+
+(** [size t] is the number of distinct candidates inserted. *)
+val size : t -> int
+
+(** [insert t x] registers a candidate (idempotent). Raises
+    [Invalid_argument] on wrong cardinality. *)
+val insert : t -> Itemset.t -> unit
+
+(** [count_transaction t txn] increments every candidate ⊆ [txn]. *)
+val count_transaction : t -> Itemset.t -> unit
+
+(** [count t x] is the candidate's current count, [None] if never
+    inserted. *)
+val count : t -> Itemset.t -> int option
+
+(** [to_sorted_array t] is all (candidate, count) pairs in
+    {!Olar_data.Itemset.compare_lex} order. *)
+val to_sorted_array : t -> (Itemset.t * int) array

@@ -1,0 +1,106 @@
+open Olar_data
+
+(* Local minimum count for a chunk of [m] transactions out of [n]: the
+   largest counts l_i with sum <= minsup guarantee completeness (an
+   itemset below l_i in every chunk sums below minsup globally); the
+   floor keeps the sum bounded, and raising a zero to 1 stays sound
+   because a globally frequent itemset occurs in some chunk. *)
+let local_threshold ~minsup ~db_size ~chunk_size =
+  max 1 (minsup * chunk_size / db_size)
+
+let split db ~num_partitions =
+  let n = Database.size db in
+  let p = max 1 (min num_partitions n) in
+  let base = n / p and extra = n mod p in
+  let chunks = ref [] in
+  let start = ref 0 in
+  for i = 0 to p - 1 do
+    let size = base + if i < extra then 1 else 0 in
+    if size > 0 then begin
+      let txns = Array.init size (fun k -> Database.get db (!start + k)) in
+      chunks := Database.create ~num_items:(Database.num_items db) txns :: !chunks;
+      start := !start + size
+    end
+  done;
+  List.rev !chunks
+
+(* Count every candidate exactly in one pass, level by level (one trie
+   per cardinality, all filled before the scan). *)
+let count_candidates ?stats db candidates =
+  let by_level = Hashtbl.create 8 in
+  Itemset.Table.iter
+    (fun x () ->
+      let k = Itemset.cardinal x in
+      let trie =
+        match Hashtbl.find_opt by_level k with
+        | Some t -> t
+        | None ->
+          let t = Trie.create ~depth:k in
+          Hashtbl.add by_level k t;
+          t
+      in
+      Trie.insert trie x)
+    candidates;
+  (match stats with
+  | Some s ->
+    Olar_util.Timer.Counter.incr s.Stats.passes;
+    Olar_util.Timer.Counter.add s.Stats.candidates (Itemset.Table.length candidates)
+  | None -> ());
+  Database.iter
+    (fun txn -> Hashtbl.iter (fun _ trie -> Trie.count_transaction trie txn) by_level)
+    db;
+  by_level
+
+let mine ?stats ?(num_partitions = 4) db ~minsup =
+  if minsup < 1 then invalid_arg "Partition.mine: minsup";
+  if num_partitions < 1 then invalid_arg "Partition.mine: num_partitions";
+  let db_size = Database.size db in
+  if db_size = 0 then
+    Frequent.v ~db_size ~threshold:minsup ~levels:[] ~complete:true
+      ~completed_levels:0
+  else begin
+    (* Pass 1: mine each chunk in memory at its proportional threshold;
+       the union of local winners is a complete global candidate set. *)
+    let candidates = Itemset.Table.create 1024 in
+    List.iter
+      (fun chunk ->
+        let local =
+          Apriori.mine ?stats chunk
+            ~minsup:
+              (local_threshold ~minsup ~db_size ~chunk_size:(Database.size chunk))
+        in
+        Frequent.iter (fun x _ -> Itemset.Table.replace candidates x ()) local)
+      (split db ~num_partitions);
+    (* Pass 2: exact global counts for all candidates. *)
+    let by_level = count_candidates ?stats db candidates in
+    let max_k = Hashtbl.fold (fun k _ acc -> max acc k) by_level 0 in
+    let levels = ref [] in
+    for k = max_k downto 1 do
+      let entries =
+        match Hashtbl.find_opt by_level k with
+        | None -> [||]
+        | Some trie ->
+          Array.of_list
+            (List.filter (fun (_, c) -> c >= minsup)
+               (Array.to_list (Trie.to_sorted_array trie)))
+      in
+      levels := entries :: !levels
+    done;
+    (* Drop empty trailing levels for a tidy result (interior levels
+       cannot be empty: downward closure would have emptied them too). *)
+    let rec drop_trailing = function
+      | [] -> []
+      | entries :: rest -> (
+        match drop_trailing rest with
+        | [] when Array.length entries = 0 -> []
+        | rest -> entries :: rest)
+    in
+    let levels = drop_trailing !levels in
+    (match stats with
+    | Some s ->
+      Olar_util.Timer.Counter.add s.Stats.frequent
+        (List.fold_left (fun acc e -> acc + Array.length e) 0 levels)
+    | None -> ());
+    Frequent.v ~db_size ~threshold:minsup ~levels ~complete:true
+      ~completed_levels:(List.length levels)
+  end

@@ -1,0 +1,31 @@
+(** The Partition algorithm (Savasere, Omiecinski & Navathe, VLDB 1995).
+
+    One of the two-pass miners the paper cites as the state of the art
+    for reducing I/O before its own preprocess-once proposal. Pass 1
+    splits the database into chunks small enough to mine in memory and
+    mines each chunk at the proportional local threshold; any globally
+    frequent itemset must be locally frequent in at least one chunk, so
+    the union of the local results is a complete candidate set. Pass 2
+    counts those candidates exactly over the full database.
+
+    Included both as a baseline and as an internal check: its output is
+    by construction identical to Apriori's. *)
+
+open Olar_data
+
+(** [mine db ~minsup] is all itemsets with support count >= [minsup],
+    exactly as {!Apriori.mine}.
+
+    @param num_partitions number of chunks (default 4; clamped to the
+      database size). Raises [Invalid_argument] when < 1.
+    @param stats accumulates counters; the two logical passes over the
+      full database are recorded as [passes] = number of partitions + 1
+      (each partition scan touches only its chunk, but we count chunk
+      mining conservatively as its own level-wise passes).
+    Raises [Invalid_argument] when [minsup < 1]. *)
+val mine :
+  ?stats:Stats.t ->
+  ?num_partitions:int ->
+  Database.t ->
+  minsup:int ->
+  Frequent.t

@@ -1,0 +1,185 @@
+open Olar_data
+
+type report = {
+  result : Frequent.t;
+  sample_size : int;
+  border_size : int;
+  misses : int;
+  fell_back : bool;
+}
+
+(* Minimal itemsets outside the downward-closed family [levels]:
+   1-itemsets not in level 1, plus for every k >= 2 the apriori-style
+   extensions of level k-1 whose every (k-1)-subset is in the family but
+   which are not in level k themselves. *)
+let negative_border ~num_items ~levels =
+  let member =
+    let t = Itemset.Table.create 1024 in
+    List.iter (fun level -> Array.iter (fun x -> Itemset.Table.replace t x ()) level) levels;
+    Itemset.Table.mem t
+  in
+  let border = ref [] in
+  (* level 1 *)
+  let l1 =
+    match levels with
+    | [] -> [||]
+    | l1 :: _ -> l1
+  in
+  let in_l1 = Array.make num_items false in
+  Array.iter (fun x -> in_l1.(Itemset.min_item x) <- true) l1;
+  for i = num_items - 1 downto 0 do
+    if not in_l1.(i) then border := Itemset.singleton i :: !border
+  done;
+  (* level k >= 2: candidates joined from level k-1 *)
+  List.iteri
+    (fun idx level ->
+      let k = idx + 1 in
+      ignore k;
+      if Array.length level > 0 then begin
+        let candidates =
+          Candidate.generate ~frequent:level ~is_frequent:member
+        in
+        Array.iter
+          (fun cand -> if not (member cand) then border := cand :: !border)
+          candidates
+      end)
+    levels;
+  List.sort Itemset.compare !border
+
+let sample_transactions rng db ~sample_size =
+  (* Reservoir-free: partial Fisher-Yates over the index range. *)
+  let n = Database.size db in
+  let idx = Array.init n Fun.id in
+  for i = 0 to sample_size - 1 do
+    let j = i + Olar_util.Rng.int rng (n - i) in
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp
+  done;
+  Database.create ~num_items:(Database.num_items db)
+    (Array.init sample_size (fun i -> Database.get db idx.(i)))
+
+(* One full pass counting an arbitrary set of itemsets exactly. *)
+let count_exact ?stats db itemsets =
+  let by_level = Hashtbl.create 8 in
+  List.iter
+    (fun x ->
+      let k = Itemset.cardinal x in
+      if k >= 1 then begin
+        let trie =
+          match Hashtbl.find_opt by_level k with
+          | Some t -> t
+          | None ->
+            let t = Trie.create ~depth:k in
+            Hashtbl.add by_level k t;
+            t
+        in
+        Trie.insert trie x
+      end)
+    itemsets;
+  (match stats with
+  | Some s ->
+    Olar_util.Timer.Counter.incr s.Stats.passes;
+    Olar_util.Timer.Counter.add s.Stats.candidates (List.length itemsets)
+  | None -> ());
+  Database.iter
+    (fun txn -> Hashtbl.iter (fun _ trie -> Trie.count_transaction trie txn) by_level)
+    db;
+  let counts = Itemset.Table.create (List.length itemsets) in
+  Hashtbl.iter
+    (fun _ trie ->
+      Array.iter (fun (x, c) -> Itemset.Table.replace counts x c)
+        (Trie.to_sorted_array trie))
+    by_level;
+  fun x -> Itemset.Table.find counts x
+
+let frequent_of_counts ~db_size ~minsup ~count guesses =
+  let by_level = Hashtbl.create 8 in
+  let max_k = ref 0 in
+  List.iter
+    (fun x ->
+      let c = count x in
+      if c >= minsup then begin
+        let k = Itemset.cardinal x in
+        max_k := max !max_k k;
+        let cur = Option.value ~default:[] (Hashtbl.find_opt by_level k) in
+        Hashtbl.replace by_level k ((x, c) :: cur)
+      end)
+    guesses;
+  let levels = ref [] in
+  for k = !max_k downto 1 do
+    let entries = Option.value ~default:[] (Hashtbl.find_opt by_level k) in
+    let entries =
+      Array.of_list
+        (List.sort (fun (a, _) (b, _) -> Itemset.compare_lex a b) entries)
+    in
+    levels := entries :: !levels
+  done;
+  Frequent.v ~db_size ~threshold:minsup ~levels:!levels ~complete:true
+    ~completed_levels:(List.length !levels)
+
+let mine ?stats ?(seed = 7) ?(sample_fraction = 0.1) ?(lowering = 0.8) db
+    ~minsup =
+  if minsup < 1 then invalid_arg "Sampling.mine: minsup";
+  if sample_fraction <= 0.0 || sample_fraction > 1.0 then
+    invalid_arg "Sampling.mine: sample_fraction";
+  if lowering <= 0.0 || lowering > 1.0 then invalid_arg "Sampling.mine: lowering";
+  let n = Database.size db in
+  let sample_size =
+    min n (max (min n 100) (int_of_float (sample_fraction *. float_of_int n)))
+  in
+  if sample_size = 0 || sample_size = n then begin
+    (* degenerate: no real sampling possible; mine exactly *)
+    let result = Apriori.mine ?stats db ~minsup in
+    {
+      result;
+      sample_size;
+      border_size = 0;
+      misses = 0;
+      fell_back = sample_size = 0;
+    }
+  end
+  else begin
+    let rng = Olar_util.Rng.of_int seed in
+    let sample = sample_transactions rng db ~sample_size in
+    (* Lowered proportional threshold on the sample. *)
+    let sample_minsup =
+      max 1
+        (int_of_float
+           (Float.round
+              (lowering *. float_of_int minsup *. float_of_int sample_size
+              /. float_of_int n)))
+    in
+    let guess = Apriori.mine ?stats sample ~minsup:sample_minsup in
+    let guess_levels =
+      List.init (Frequent.max_level guess) (fun k ->
+          Array.map fst (Frequent.level guess (k + 1)))
+    in
+    let border =
+      negative_border ~num_items:(Database.num_items db) ~levels:guess_levels
+    in
+    let guesses = List.map fst (Frequent.to_list guess) in
+    let count = count_exact ?stats db (guesses @ border) in
+    let misses = List.length (List.filter (fun x -> count x >= minsup) border) in
+    if misses = 0 then
+      {
+        result = frequent_of_counts ~db_size:n ~minsup ~count guesses;
+        sample_size;
+        border_size = List.length border;
+        misses;
+        fell_back = false;
+      }
+    else begin
+      (* The sample missed at least one frequent itemset: fall back to an
+         exact run (Toivonen would extend the candidate set; a full rerun
+         is simpler and equally exact). *)
+      let result = Apriori.mine ?stats db ~minsup in
+      {
+        result;
+        sample_size;
+        border_size = List.length border;
+        misses;
+        fell_back = true;
+      }
+    end
+  end

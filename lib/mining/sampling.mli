@@ -1,0 +1,55 @@
+(** Sampling-based mining (Toivonen, VLDB 1996).
+
+    The other pass-reduction technique the paper cites: mine a random
+    sample in memory at a {e lowered} threshold, then verify in a single
+    full pass. The verification counts the sample's frequent itemsets
+    {e and} their negative border — the minimal itemsets the sample
+    deemed infrequent. If nothing in the border turns out globally
+    frequent, the one pass proves the result complete; otherwise the
+    sample missed something and this implementation falls back to an
+    exact run (counted in the returned report), so the result is always
+    exact.
+
+    The result is identical to {!Apriori.mine} in all cases. *)
+
+open Olar_data
+
+type report = {
+  result : Frequent.t;
+  sample_size : int;
+  border_size : int;  (** negative-border itemsets verified *)
+  misses : int;
+      (** border itemsets that turned out frequent — 0 means the
+          one-pass verification sufficed *)
+  fell_back : bool;  (** true when an exact fallback run was needed *)
+}
+
+(** [negative_border frequent_sets] is the minimal itemsets outside a
+    downward-closed family: every itemset all of whose proper maximal
+    subsets lie in the family, but which itself does not. Input is given
+    as the per-level membership of the family (level k at index k-1,
+    lexicographically sorted); 1-itemsets outside the family require the
+    universe, hence [num_items]. Exposed for testing. *)
+val negative_border :
+  num_items:int -> levels:Itemset.t array list -> Itemset.t list
+
+(** [mine db ~minsup] mines exactly, verifying a sample-based guess in
+    one pass when possible.
+
+    @param seed sampling RNG seed (default 7).
+    @param sample_fraction fraction of transactions sampled without
+      replacement (default 0.1, clamped to at least 100 transactions
+      when the database allows). Raises [Invalid_argument] outside
+      (0, 1].
+    @param lowering multiplier < 1 applied to the threshold on the
+      sample (default 0.8): lower values make misses rarer but the
+      candidate set bigger. Raises [Invalid_argument] outside (0, 1].
+    Raises [Invalid_argument] when [minsup < 1]. *)
+val mine :
+  ?stats:Stats.t ->
+  ?seed:int ->
+  ?sample_fraction:float ->
+  ?lowering:float ->
+  Database.t ->
+  minsup:int ->
+  report

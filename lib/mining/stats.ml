@@ -1,0 +1,34 @@
+module Counter = Olar_util.Timer.Counter
+
+type t = {
+  passes : Counter.t;
+  candidates : Counter.t;
+  frequent : Counter.t;
+  hash_pruned : Counter.t;
+  trimmed_items : Counter.t;
+}
+
+let create () =
+  {
+    passes = Counter.create "passes";
+    candidates = Counter.create "candidates";
+    frequent = Counter.create "frequent";
+    hash_pruned = Counter.create "hash_pruned";
+    trimmed_items = Counter.create "trimmed_items";
+  }
+
+let reset t =
+  Counter.reset t.passes;
+  Counter.reset t.candidates;
+  Counter.reset t.frequent;
+  Counter.reset t.hash_pruned;
+  Counter.reset t.trimmed_items
+
+let total_work t = Counter.value t.candidates + Counter.value t.hash_pruned
+
+let pp fmt t =
+  Format.fprintf fmt
+    "passes=%d candidates=%d frequent=%d hash_pruned=%d trimmed_items=%d"
+    (Counter.value t.passes) (Counter.value t.candidates)
+    (Counter.value t.frequent) (Counter.value t.hash_pruned)
+    (Counter.value t.trimmed_items)

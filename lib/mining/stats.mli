@@ -1,0 +1,32 @@
+(** Cost accounting for mining runs.
+
+    Absolute 1998 wall-clock numbers are not reproducible, so the
+    experiment harness reports these machine-independent counters next to
+    wall time: database passes, candidates generated/counted, itemsets
+    found, candidates removed by the DHP hash filter, and items removed by
+    transaction trimming. A single [Stats.t] is threaded through one
+    mining run (or accumulated across the runs of a threshold search). *)
+
+type t = {
+  passes : Olar_util.Timer.Counter.t;  (** full scans of the database *)
+  candidates : Olar_util.Timer.Counter.t;
+      (** candidate itemsets whose support was counted *)
+  frequent : Olar_util.Timer.Counter.t;  (** itemsets found frequent *)
+  hash_pruned : Olar_util.Timer.Counter.t;
+      (** candidates discarded by the DHP hash filter before counting *)
+  trimmed_items : Olar_util.Timer.Counter.t;
+      (** item occurrences removed by transaction trimming *)
+}
+
+(** [create ()] is a zeroed stats record. *)
+val create : unit -> t
+
+(** [reset t] zeroes all counters. *)
+val reset : t -> unit
+
+(** [total_work t] is a single scalar proxy for preprocessing effort:
+    candidates counted + candidates hash-pruned. *)
+val total_work : t -> int
+
+(** [pp] prints a one-line human-readable summary. *)
+val pp : Format.formatter -> t -> unit

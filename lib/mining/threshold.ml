@@ -1,0 +1,174 @@
+open Olar_data
+
+type result = {
+  threshold : int;
+  itemsets : Frequent.t;
+  probes : (int * int) list;
+  hit_deadline : bool;
+}
+
+type miner = Use_apriori | Use_dhp | Use_fpgrowth
+
+let run_miner ?stats ?cap ?seed miner db ~minsup =
+  match miner with
+  | Use_apriori -> Apriori.mine ?stats ?cap ?seed db ~minsup
+  | Use_dhp -> Dhp.mine ?stats ?cap ?seed db ~minsup
+  | Use_fpgrowth ->
+    (* pattern growth has no per-level cut points: cap and seed are
+       accepted for interface uniformity but each probe runs complete *)
+    ignore cap;
+    ignore seed;
+    Fpgrowth.mine ?stats db ~minsup
+
+(* Shared binary-search driver. [probe mid] mines at threshold [mid] and
+   may abort early once it is known that more than [target] itemsets
+   exist; [final mid] must produce the complete result at [mid]. The
+   search maintains: Generated(lo) > target (lo = 0 stands for "all
+   subsets", never probed) and Generated(hi) <= target (hi starts at
+   max item frequency + 1, where nothing is frequent). *)
+let search ?deadline_s ~probe ~final db ~target ~slack () =
+  if target < 1 then invalid_arg "Threshold: target";
+  if slack < 0 || slack >= target then invalid_arg "Threshold: slack";
+  (match deadline_s with
+  | Some d when d < 0.0 || Float.is_nan d -> invalid_arg "Threshold: deadline_s"
+  | _ -> ());
+  let clock = Olar_util.Timer.start () in
+  let out_of_time () =
+    match deadline_s with
+    | None -> false
+    | Some d -> Olar_util.Timer.elapsed_s clock >= d
+  in
+  let freqs = Database.item_frequencies db in
+  let maxfreq = Array.fold_left max 0 freqs in
+  let lo = ref 0 and hi = ref (maxfreq + 1) in
+  let best = ref None in
+  let probes = ref [] in
+  let finished = ref false in
+  let hit_deadline = ref false in
+  while (not !finished) && !hi - !lo > 1 do
+    if out_of_time () then begin
+      (* Preprocessing-time limit (Section 5): stop refining; the caller
+         still gets a complete result at the best threshold so far. *)
+      hit_deadline := true;
+      finished := true
+    end
+    else begin
+      let mid = (!lo + !hi) / 2 in
+      let r = probe mid in
+      let g = Frequent.total r in
+      probes := (mid, g) :: !probes;
+      if (not (Frequent.complete r)) || g > target then lo := mid
+      else begin
+        hi := mid;
+        best := Some r;
+        if g >= target - slack then finished := true
+      end
+    end
+  done;
+  let itemsets =
+    match !best with
+    | Some r when Frequent.threshold r = !hi -> r
+    | _ -> final !hi
+  in
+  { threshold = !hi; itemsets; probes = !probes; hit_deadline = !hit_deadline }
+
+let naive ?stats ?(miner = Use_dhp) ?deadline_s db ~target ~slack =
+  let probe mid = run_miner ?stats miner db ~minsup:mid in
+  search ?deadline_s ~probe ~final:probe db ~target ~slack ()
+
+(* Mirror of Lattice.estimated_bytes, computed from the mining result:
+   vertices = itemsets + root; edges = sum of itemset sizes
+   (Theorem 2.1). *)
+let estimate_bytes frequent =
+  let word = 8 in
+  let vertices = Frequent.total frequent + 1 in
+  let item_slots = ref 0 in
+  Frequent.iter (fun x _ -> item_slots := !item_slots + Olar_data.Itemset.cardinal x) frequent;
+  let itemset_words = vertices + !item_slots in
+  let edges = !item_slots in
+  let adjacency_words = (2 * edges) + (2 * vertices) in
+  let table_words = 4 * vertices in
+  let top_level = 4 * vertices in
+  word * (itemset_words + adjacency_words + table_words + top_level)
+
+(* Lower bound on the footprint of one itemset: a 1-itemset's share. *)
+let min_bytes_per_itemset = 8 * 12
+
+let optimized ?stats ?(miner = Use_dhp) ?deadline_s db ~target ~slack =
+  (* Every probe result is kept; a later probe at threshold t reuses the
+     most advanced earlier result whose threshold is <= t. *)
+  let history : Frequent.t list ref = ref [] in
+  let seed_for mid =
+    let usable =
+      List.filter (fun r -> Frequent.threshold r <= mid) !history
+    in
+    match usable with
+    | [] -> None
+    | r0 :: rest ->
+      let better a b =
+        if Frequent.completed_levels a <> Frequent.completed_levels b then
+          Frequent.completed_levels a > Frequent.completed_levels b
+        else Frequent.threshold a > Frequent.threshold b
+      in
+      Some (List.fold_left (fun acc r -> if better r acc then r else acc) r0 rest)
+  in
+  let run ?cap mid =
+    let r = run_miner ?stats ?cap ?seed:(seed_for mid) miner db ~minsup:mid in
+    history := r :: !history;
+    r
+  in
+  let probe mid = run ~cap:target mid in
+  let final mid = run mid in
+  search ?deadline_s ~probe ~final db ~target ~slack ()
+
+(* The byte-budget variant reuses the count-based binary-search driver:
+   Generated(p) is replaced by the byte estimate, which is just as
+   monotone in the threshold. The early-termination cap is the largest
+   itemset count any within-budget result could have. *)
+let optimized_bytes ?stats ?(miner = Use_dhp) db ~budget_bytes ~slack_bytes =
+  if budget_bytes < 1 then invalid_arg "Threshold: budget_bytes";
+  if slack_bytes < 0 || slack_bytes >= budget_bytes then
+    invalid_arg "Threshold: slack_bytes";
+  let cap = max 1 (budget_bytes / min_bytes_per_itemset) in
+  let history : Frequent.t list ref = ref [] in
+  let seed_for mid =
+    let usable = List.filter (fun r -> Frequent.threshold r <= mid) !history in
+    match usable with
+    | [] -> None
+    | r0 :: rest ->
+      let better a b =
+        if Frequent.completed_levels a <> Frequent.completed_levels b then
+          Frequent.completed_levels a > Frequent.completed_levels b
+        else Frequent.threshold a > Frequent.threshold b
+      in
+      Some (List.fold_left (fun acc r -> if better r acc then r else acc) r0 rest)
+  in
+  let run ?cap mid =
+    let r = run_miner ?stats ?cap ?seed:(seed_for mid) miner db ~minsup:mid in
+    history := r :: !history;
+    r
+  in
+  let freqs = Olar_data.Database.item_frequencies db in
+  let maxfreq = Array.fold_left max 0 freqs in
+  let lo = ref 0 and hi = ref (maxfreq + 1) in
+  let best = ref None in
+  let probes = ref [] in
+  let finished = ref false in
+  while (not !finished) && !hi - !lo > 1 do
+    let mid = (!lo + !hi) / 2 in
+    let r = run ~cap mid in
+    let bytes = estimate_bytes r in
+    probes := (mid, Frequent.total r) :: !probes;
+    if (not (Frequent.complete r)) || bytes > budget_bytes then lo := mid
+    else begin
+      hi := mid;
+      best := Some r;
+      if bytes >= budget_bytes - slack_bytes then finished := true
+    end
+  done;
+  let itemsets =
+    match !best with
+    | Some r when Frequent.threshold r = !hi -> r
+    | _ -> run !hi
+  in
+  { threshold = !hi; itemsets; probes = !probes; hit_deadline = false }

@@ -1,0 +1,90 @@
+(** Primary-threshold search (Section 5 of the paper).
+
+    The preprocessing stage wants the lowest support threshold whose
+    frequent-itemset count fits the memory budget: given a target number
+    of itemsets N and a slack Ns, find a threshold at which between
+    N - Ns and N itemsets are frequent. Because of ties such a threshold
+    may not exist; both searches then return the smallest threshold
+    generating at most N itemsets, so the budget is never exceeded.
+
+    Two implementations, matching the paper:
+    - {!naive}: [NaiveFindThreshold] — binary search on the threshold,
+      running the mining subroutine to completion at every probe;
+    - {!optimized}: the improved search, which (1) aborts a probe as soon
+      as more than N itemsets are found (that alone proves the probe is
+      too low), and (2) reuses completed levels from earlier probes at
+      lower thresholds instead of recounting them. *)
+
+open Olar_data
+
+type result = {
+  threshold : int;  (** chosen primary threshold (absolute support count) *)
+  itemsets : Frequent.t;
+      (** the complete mining result at [threshold] — the primary itemsets *)
+  probes : (int * int) list;
+      (** binary-search trace: (probed threshold, itemsets generated
+          before the probe finished or was cut), most recent first *)
+  hit_deadline : bool;
+      (** the search stopped because the preprocessing-time budget ran
+          out (Section 5, constraint 2); [itemsets] is still a complete
+          result at [threshold] — just possibly further from the target
+          than the window asked for *)
+}
+
+(** Which mining subroutine the search drives. [Use_fpgrowth] cannot be
+    aborted early or seeded (it is not level-wise), so under it the
+    optimized search degrades to complete probes — still correct, and
+    often still fastest. *)
+type miner = Use_apriori | Use_dhp | Use_fpgrowth
+
+(** [naive db ~target ~slack] runs the paper's [NaiveFindThreshold].
+    Raises [Invalid_argument] unless [target >= 1] and
+    [0 <= slack < target]. [miner] defaults to [Use_dhp] (as in the
+    paper); [stats] accumulates work over all probes.
+    @param deadline_s wall-clock budget for the whole search (the
+      paper's preprocessing-time constraint). When it expires the search
+      stops refining and returns the best threshold proven so far — a
+      complete result, conservatively above the target. Unlimited when
+      omitted. *)
+val naive :
+  ?stats:Stats.t ->
+  ?miner:miner ->
+  ?deadline_s:float ->
+  Database.t ->
+  target:int ->
+  slack:int ->
+  result
+
+(** [optimized db ~target ~slack] is the accelerated search (early
+    termination + cross-probe reuse). Same contract and same final
+    threshold as {!naive}. *)
+val optimized :
+  ?stats:Stats.t ->
+  ?miner:miner ->
+  ?deadline_s:float ->
+  Database.t ->
+  target:int ->
+  slack:int ->
+  result
+
+(** [estimate_bytes frequent] estimates the memory an adjacency lattice
+    over [frequent]'s itemsets would occupy, with the same cost model as
+    {!Olar_core.Lattice.estimated_bytes} (computable here without
+    building the lattice: Theorem 2.1 gives the edge count as the sum of
+    itemset sizes). *)
+val estimate_bytes : Frequent.t -> int
+
+(** [optimized_bytes db ~budget_bytes ~slack_bytes] is the search with
+    the paper's {e real} constraint — memory, not itemset count: find
+    the lowest threshold whose lattice fits [budget_bytes], accepting
+    within [budget_bytes - slack_bytes, budget_bytes]. Falls back to the
+    smallest-footprint overshoot-free threshold when ties skip the
+    window. Raises [Invalid_argument] unless [budget_bytes >= 1] and
+    [0 <= slack_bytes < budget_bytes]. *)
+val optimized_bytes :
+  ?stats:Stats.t ->
+  ?miner:miner ->
+  Database.t ->
+  budget_bytes:int ->
+  slack_bytes:int ->
+  result

@@ -1,0 +1,91 @@
+open Olar_data
+
+type node = {
+  mutable count : int; (* meaningful at depth = trie depth only *)
+  children : (int, node) Hashtbl.t;
+}
+
+type t = {
+  root : node;
+  trie_depth : int;
+  mutable size : int;
+}
+
+let new_node () = { count = 0; children = Hashtbl.create 4 }
+
+let create ~depth =
+  if depth < 1 then invalid_arg "Trie.create";
+  { root = new_node (); trie_depth = depth; size = 0 }
+
+let depth t = t.trie_depth
+let size t = t.size
+
+let insert t x =
+  if Itemset.cardinal x <> t.trie_depth then invalid_arg "Trie.insert: wrong arity";
+  let node = ref t.root in
+  let fresh = ref false in
+  Itemset.iter
+    (fun i ->
+      match Hashtbl.find_opt !node.children i with
+      | Some child -> node := child
+      | None ->
+        let child = new_node () in
+        Hashtbl.add !node.children i child;
+        node := child;
+        fresh := true)
+    x;
+  if !fresh then t.size <- t.size + 1
+
+(* Descend through every combination of transaction items that matches a
+   trie path. [d] is the current node depth; only items at positions
+   >= [from] may extend the path (keeps combinations strictly
+   increasing). *)
+let count_transaction t txn =
+  let items = Itemset.to_array txn in
+  let n = Array.length items in
+  let rec descend node d from =
+    if d = t.trie_depth then node.count <- node.count + 1
+    else begin
+      (* Need trie_depth - d more items; stop when too few remain. *)
+      let last = n - (t.trie_depth - d) in
+      for i = from to last do
+        match Hashtbl.find_opt node.children items.(i) with
+        | Some child -> descend child (d + 1) (i + 1)
+        | None -> ()
+      done
+    end
+  in
+  if n >= t.trie_depth then descend t.root 0 0
+
+let count t x =
+  if Itemset.cardinal x <> t.trie_depth then None
+  else begin
+    let rec walk node = function
+      | [] -> Some node.count
+      | i :: rest -> (
+        match Hashtbl.find_opt node.children i with
+        | Some child -> walk child rest
+        | None -> None)
+    in
+    walk t.root (Itemset.to_list x)
+  end
+
+let to_sorted_array t =
+  let out = Olar_util.Vec.with_capacity (max 1 t.size) in
+  let path = Array.make t.trie_depth 0 in
+  let rec walk node d =
+    if d = t.trie_depth then
+      Olar_util.Vec.push out
+        (Itemset.of_sorted_array_unchecked (Array.sub path 0 d), node.count)
+    else begin
+      let keys = Hashtbl.fold (fun k _ acc -> k :: acc) node.children [] in
+      let keys = List.sort Int.compare keys in
+      List.iter
+        (fun k ->
+          path.(d) <- k;
+          walk (Hashtbl.find node.children k) (d + 1))
+        keys
+    end
+  in
+  if t.size > 0 then walk t.root 0;
+  Olar_util.Vec.to_array out

@@ -1,0 +1,40 @@
+(** Prefix trie for batched candidate counting.
+
+    The classic Apriori counting structure: candidates of a fixed
+    cardinality [depth] are inserted, then each transaction is streamed
+    through {!count_transaction}, which increments the counter of every
+    inserted candidate that is a subset of the transaction by a pruned
+    descent (a node is only entered through items the transaction
+    contains). This makes one database pass count all candidates of a
+    level at once. *)
+
+open Olar_data
+
+type t
+
+(** [create ~depth] is an empty trie for candidates of cardinality
+    [depth] >= 1. Raises [Invalid_argument] otherwise. *)
+val create : depth:int -> t
+
+(** [depth t] is the candidate cardinality. *)
+val depth : t -> int
+
+(** [size t] is the number of candidates inserted. *)
+val size : t -> int
+
+(** [insert t x] registers candidate [x] with a zero count. Duplicate
+    inserts are idempotent. Raises [Invalid_argument] if
+    [Itemset.cardinal x <> depth t]. *)
+val insert : t -> Itemset.t -> unit
+
+(** [count_transaction t txn] increments every registered candidate that
+    is a subset of [txn]. *)
+val count_transaction : t -> Itemset.t -> unit
+
+(** [count t x] is the current count of candidate [x], or [None] if it was
+    never inserted. *)
+val count : t -> Itemset.t -> int option
+
+(** [to_sorted_array t] is all (candidate, count) pairs sorted by
+    {!Olar_data.Itemset.compare_lex}. *)
+val to_sorted_array : t -> (Itemset.t * int) array

@@ -1,0 +1,39 @@
+type kind =
+  | Categorical
+  | Numeric of { buckets : int }
+
+type t = {
+  name : string;
+  kind : kind;
+}
+
+type value =
+  | Cat of string
+  | Num of float
+
+let categorical name =
+  if name = "" then invalid_arg "Attribute.categorical: empty name";
+  { name; kind = Categorical }
+
+let numeric name ~buckets =
+  if name = "" then invalid_arg "Attribute.numeric: empty name";
+  if buckets < 1 then invalid_arg "Attribute.numeric: buckets";
+  { name; kind = Numeric { buckets } }
+
+let validate_schema schema =
+  if Array.length schema = 0 then invalid_arg "Attribute.validate_schema: empty";
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun a ->
+      if Hashtbl.mem seen a.name then
+        invalid_arg "Attribute.validate_schema: duplicate name";
+      Hashtbl.add seen a.name ())
+    schema
+
+let check_value attr v =
+  match (attr.kind, v) with
+  | Categorical, Cat _ -> ()
+  | Numeric _, Num x ->
+    if Float.is_nan x then invalid_arg "Attribute.check_value: NaN"
+  | Categorical, Num _ | Numeric _, Cat _ ->
+    invalid_arg "Attribute.check_value: kind mismatch"

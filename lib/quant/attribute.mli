@@ -1,0 +1,38 @@
+(** Attribute schemas for quantitative association rules.
+
+    Substrate for the paper's reference [22] (Srikant & Agrawal, SIGMOD
+    1996): records over categorical and numeric attributes are mapped
+    onto the 0-1 item model by giving every categorical value, and every
+    interval of a numeric attribute's range, its own item. This module
+    is the schema half; {!Quant} does the fitting and encoding. *)
+
+(** How one attribute is turned into items. *)
+type kind =
+  | Categorical  (** one item per distinct value observed when fitting *)
+  | Numeric of { buckets : int }
+      (** equi-depth partitioning into this many intervals (>= 1) *)
+
+type t = {
+  name : string;
+  kind : kind;
+}
+
+(** A field of a record, positionally matching the schema. *)
+type value =
+  | Cat of string
+  | Num of float
+
+(** [categorical name] / [numeric name ~buckets] are constructors with
+    validation ([Invalid_argument] on empty name or [buckets < 1]). *)
+val categorical : string -> t
+
+val numeric : string -> buckets:int -> t
+
+(** [validate_schema schema] raises [Invalid_argument] on an empty
+    schema or duplicate attribute names. *)
+val validate_schema : t array -> unit
+
+(** [check_value attr v] raises [Invalid_argument] when the value's
+    shape does not match the attribute's kind (or a numeric value is
+    NaN). *)
+val check_value : t -> value -> unit

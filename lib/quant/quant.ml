@@ -1,0 +1,158 @@
+open Olar_data
+
+(* Per-attribute encoders. For numerics, [cuts] are the interior
+   quantile boundaries: value v lands in the first bucket whose cut
+   exceeds it (equi-depth partitioning of the fitted sample). *)
+type encoder =
+  | Cat_encoder of (string, int) Hashtbl.t * string array (* value <-> local id *)
+  | Num_encoder of { cuts : float array; lo : float; hi : float }
+
+type t = {
+  schema : Attribute.t array;
+  encoders : encoder array;
+  offsets : int array; (* item id base per attribute *)
+  total_items : int;
+}
+
+let check_record schema record =
+  if Array.length record <> Array.length schema then
+    invalid_arg "Quant: record arity does not match schema";
+  Array.iteri (fun i v -> Attribute.check_value schema.(i) v) record
+
+let fit schema records =
+  Attribute.validate_schema schema;
+  if Array.length records = 0 then invalid_arg "Quant.fit: no records";
+  Array.iter (check_record schema) records;
+  let encoders =
+    Array.mapi
+      (fun col attr ->
+        match attr.Attribute.kind with
+        | Attribute.Categorical ->
+          let by_value = Hashtbl.create 16 in
+          let values = Olar_util.Vec.create () in
+          Array.iter
+            (fun record ->
+              match record.(col) with
+              | Attribute.Cat s ->
+                if not (Hashtbl.mem by_value s) then begin
+                  Hashtbl.add by_value s (Olar_util.Vec.length values);
+                  Olar_util.Vec.push values s
+                end
+              | Attribute.Num _ -> assert false)
+            records;
+          Cat_encoder (by_value, Olar_util.Vec.to_array values)
+        | Attribute.Numeric { buckets } ->
+          let sample =
+            Array.map
+              (fun record ->
+                match record.(col) with
+                | Attribute.Num x -> x
+                | Attribute.Cat _ -> assert false)
+              records
+          in
+          Array.sort Float.compare sample;
+          let n = Array.length sample in
+          (* interior cuts at the k/buckets quantiles; duplicates are
+             deduplicated so constant attributes get one bucket *)
+          let raw =
+            List.init (buckets - 1) (fun k ->
+                sample.(min (n - 1) ((k + 1) * n / buckets)))
+          in
+          let cuts =
+            Array.of_list
+              (List.sort_uniq Float.compare
+                 (List.filter
+                    (fun c -> c > sample.(0) && c <= sample.(n - 1))
+                    raw))
+          in
+          Num_encoder { cuts; lo = sample.(0); hi = sample.(n - 1) })
+      schema
+  in
+  let offsets = Array.make (Array.length schema) 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun col enc ->
+      offsets.(col) <- !total;
+      let arity =
+        match enc with
+        | Cat_encoder (_, values) -> Array.length values
+        | Num_encoder { cuts; _ } -> Array.length cuts + 1
+      in
+      total := !total + arity)
+    encoders;
+  { schema; encoders; offsets; total_items = max 1 !total }
+
+let num_items t = t.total_items
+let schema t = t.schema
+
+let bucket_of cuts x =
+  (* first index whose cut exceeds x; cuts sorted ascending *)
+  let n = Array.length cuts in
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if x < cuts.(mid) then search lo mid else search (mid + 1) hi
+  in
+  search 0 n
+
+let encode t record =
+  check_record t.schema record;
+  let items = ref [] in
+  Array.iteri
+    (fun col v ->
+      match (t.encoders.(col), v) with
+      | Cat_encoder (by_value, _), Attribute.Cat s -> (
+        match Hashtbl.find_opt by_value s with
+        | Some local -> items := (t.offsets.(col) + local) :: !items
+        | None -> () (* unseen category: no item *))
+      | Num_encoder { cuts; _ }, Attribute.Num x ->
+        items := (t.offsets.(col) + bucket_of cuts x) :: !items
+      | Cat_encoder _, Attribute.Num _ | Num_encoder _, Attribute.Cat _ ->
+        assert false (* check_record *))
+    record;
+  Itemset.of_list !items
+
+let database t records =
+  Database.create ~num_items:t.total_items
+    (Array.map (encode t) records)
+
+let locate t i =
+  if i < 0 || i >= t.total_items then invalid_arg "Quant.item_label";
+  let col = ref 0 in
+  let n = Array.length t.offsets in
+  while !col + 1 < n && t.offsets.(!col + 1) <= i do
+    incr col
+  done;
+  (!col, i - t.offsets.(!col))
+
+let item_label t i =
+  let col, local = locate t i in
+  let attr = t.schema.(col) in
+  match t.encoders.(col) with
+  | Cat_encoder (_, values) ->
+    Printf.sprintf "%s = %s" attr.Attribute.name values.(local)
+  | Num_encoder { cuts; lo; hi } ->
+    let n = Array.length cuts in
+    let left = if local = 0 then lo else cuts.(local - 1) in
+    let right = if local = n then hi else cuts.(local) in
+    if local = n then
+      Printf.sprintf "%s in [%g, %g]" attr.Attribute.name left right
+    else Printf.sprintf "%s in [%g, %g)" attr.Attribute.name left right
+
+let vocab t =
+  Item.Vocab.of_names (List.init t.total_items (item_label t))
+
+let pp_rule t fmt rule =
+  let pp_side fmt x =
+    let first = ref true in
+    Itemset.iter
+      (fun i ->
+        if !first then first := false else Format.fprintf fmt " AND ";
+        Format.pp_print_string fmt (item_label t i))
+      x
+  in
+  Format.fprintf fmt "%a => %a (sup=%d, conf=%.2f)" pp_side
+    rule.Olar_core.Rule.antecedent pp_side rule.Olar_core.Rule.consequent
+    rule.Olar_core.Rule.support_count
+    (Olar_core.Rule.confidence rule)

@@ -1,0 +1,45 @@
+(** Quantitative association rules: record encoding.
+
+    [fit] learns an item encoding from data — each categorical value
+    observed becomes an item, each numeric attribute's observed range is
+    cut into equi-depth intervals (quantile boundaries) each of which
+    becomes an item. Encoded records are ordinary transactions with
+    exactly one item per attribute, so the whole engine applies; decoded
+    rules read like "age ∈ [32, 41) ∧ married = yes ⇒ cars ∈ [2, 3)"
+    (the cited paper's headline example). *)
+
+open Olar_data
+
+type t
+
+(** [fit schema records] learns the encoding. Every record must have one
+    value per schema attribute of the matching kind. Raises
+    [Invalid_argument] on schema/record violations or when [records] is
+    empty. *)
+val fit : Attribute.t array -> Attribute.value array array -> t
+
+(** [num_items t] is the size of the derived item universe. *)
+val num_items : t -> int
+
+(** [schema t] is the schema the encoding was fitted to. *)
+val schema : t -> Attribute.t array
+
+(** [encode t record] is the record's transaction: one item per
+    attribute. A categorical value unseen during fitting has no item and
+    is skipped; numeric values clamp into the extreme intervals. *)
+val encode : t -> Attribute.value array -> Itemset.t
+
+(** [database t records] encodes every record. *)
+val database : t -> Attribute.value array array -> Database.t
+
+(** [item_label t i] renders an item as a predicate, e.g.
+    ["age in [32.0, 41.0)"] or ["city = berlin"]. Raises
+    [Invalid_argument] on an unknown id. *)
+val item_label : t -> Item.t -> string
+
+(** [vocab t] is a vocabulary mapping every derived item to its
+    {!item_label}, for use with the [pp_named] printers. *)
+val vocab : t -> Item.Vocab.t
+
+(** [pp_rule t fmt rule] prints a rule with predicate labels. *)
+val pp_rule : t -> Format.formatter -> Olar_core.Rule.t -> unit

@@ -1,0 +1,53 @@
+open Olar_data
+
+let extend_database taxonomy db =
+  if Database.num_items db > Taxonomy.num_items taxonomy then
+    invalid_arg "Generalize.extend_database: universe mismatch";
+  let extend txn =
+    let acc = ref (Itemset.to_list txn) in
+    Itemset.iter (fun i -> acc := Taxonomy.ancestors taxonomy i @ !acc) txn;
+    Itemset.of_list !acc
+  in
+  Database.create
+    ~num_items:(Taxonomy.num_items taxonomy)
+    (Array.init (Database.size db) (fun i -> extend (Database.get db i)))
+
+let itemset_is_clean taxonomy x =
+  not
+    (Itemset.fold
+       (fun i dirty ->
+         dirty
+         || List.exists (fun a -> Itemset.mem a x) (Taxonomy.ancestors taxonomy i))
+       x false)
+
+let clean_itemsets taxonomy entries =
+  List.filter (fun (x, _) -> itemset_is_clean taxonomy x) entries
+
+let clean_lattice taxonomy lattice =
+  let entries =
+    Array.of_list
+      (clean_itemsets taxonomy
+         (Array.to_list (Olar_core.Lattice.entries lattice)))
+  in
+  Olar_core.Lattice.of_entries
+    ~db_size:(Olar_core.Lattice.db_size lattice)
+    ~threshold:(Olar_core.Lattice.threshold lattice)
+    entries
+
+let related taxonomy a b =
+  Taxonomy.is_ancestor taxonomy ~ancestor:a ~of_:b
+  || Taxonomy.is_ancestor taxonomy ~ancestor:b ~of_:a
+
+let rule_is_informative taxonomy rule =
+  itemset_is_clean taxonomy (Olar_core.Rule.union rule)
+  && not
+       (Itemset.fold
+          (fun c hit ->
+            hit
+            || Itemset.fold
+                 (fun a hit -> hit || related taxonomy a c)
+                 rule.Olar_core.Rule.antecedent false)
+          rule.Olar_core.Rule.consequent false)
+
+let prune_rules taxonomy rules =
+  List.filter (rule_is_informative taxonomy) rules

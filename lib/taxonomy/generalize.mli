@@ -1,0 +1,48 @@
+(** Generalized association rules over a taxonomy.
+
+    The cited algorithm's core move: {e extend} every transaction with
+    the ancestors of its items, then mine and query as usual — a rule
+    can now have interior categories on either side. Two cleanups
+    specific to taxonomies are provided:
+
+    - an itemset that contains both an item and one of its ancestors is
+      pathological (the ancestor adds no information: support is
+      unchanged), so such itemsets and the rules built from them are
+      dropped;
+    - a rule whose antecedent and consequent relate through the taxonomy
+      (e.g. outerwear ⇒ jackets) is near-tautological; {!prune_rules}
+      removes rules where some consequent item is an ancestor or
+      descendant of an antecedent item. *)
+
+open Olar_data
+
+(** [extend_database taxonomy db] adds to every transaction the ancestors
+    of each of its items. The result keeps [db]'s size; its universe is
+    the taxonomy's. Raises [Invalid_argument] when [db]'s universe
+    exceeds the taxonomy's. *)
+val extend_database : Taxonomy.t -> Database.t -> Database.t
+
+(** [itemset_is_clean taxonomy x] is false iff [x] contains an item
+    together with one of its ancestors. *)
+val itemset_is_clean : Taxonomy.t -> Itemset.t -> bool
+
+(** [clean_itemsets taxonomy entries] drops unclean itemsets. *)
+val clean_itemsets :
+  Taxonomy.t -> (Itemset.t * int) list -> (Itemset.t * int) list
+
+(** [clean_lattice taxonomy lattice] rebuilds the lattice over the clean
+    itemsets only. Cleanliness is closed under subsets, so downward
+    closure survives and every lattice invariant holds. This is the
+    right order of operations for generalized rules: clean {e before}
+    generating, otherwise redundancy elimination promotes the rules of
+    the biggest — unclean — itemsets and the category associations are
+    pruned away as redundant. *)
+val clean_lattice : Taxonomy.t -> Olar_core.Lattice.t -> Olar_core.Lattice.t
+
+(** [rule_is_informative taxonomy rule] is false iff the rule's union is
+    unclean, or some consequent item is an ancestor/descendant of an
+    antecedent item. *)
+val rule_is_informative : Taxonomy.t -> Olar_core.Rule.t -> bool
+
+(** [prune_rules taxonomy rules] keeps the informative rules. *)
+val prune_rules : Taxonomy.t -> Olar_core.Rule.t list -> Olar_core.Rule.t list

@@ -1,0 +1,16 @@
+let arrow line =
+  let sep = "->" in
+  let n = String.length line in
+  let rec find i =
+    if i + String.length sep > n then None
+    else if String.sub line i (String.length sep) = sep then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i ->
+    let left = String.trim (String.sub line 0 i) in
+    let right =
+      String.trim (String.sub line (i + String.length sep) (n - i - String.length sep))
+    in
+    Some (left, right)

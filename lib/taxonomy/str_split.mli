@@ -1,0 +1,6 @@
+(** Tiny string-splitting helper for the taxonomy text format (keeps
+    {!Taxonomy_io} free of hand-rolled index arithmetic). *)
+
+(** [arrow line] splits on the first [" -> "] (surrounding whitespace of
+    the two sides trimmed). [None] when the separator is absent. *)
+val arrow : string -> (string * string) option

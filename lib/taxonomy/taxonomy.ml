@@ -1,0 +1,80 @@
+type t = {
+  num_items : int;
+  parents : int array; (* -1 = root *)
+  children : int list array; (* ascending *)
+}
+
+let of_parents ~num_items edges =
+  if num_items < 1 then invalid_arg "Taxonomy.of_parents: num_items";
+  let parents = Array.make num_items (-1) in
+  List.iter
+    (fun (child, parent) ->
+      if child < 0 || child >= num_items || parent < 0 || parent >= num_items
+      then invalid_arg "Taxonomy.of_parents: item out of range";
+      if child = parent then invalid_arg "Taxonomy.of_parents: self edge";
+      if parents.(child) <> -1 then
+        invalid_arg "Taxonomy.of_parents: child with two parents";
+      parents.(child) <- parent)
+    edges;
+  (* Cycle check: walking up from any item must terminate within
+     num_items steps. *)
+  for i = 0 to num_items - 1 do
+    let rec walk j steps =
+      if j <> -1 then
+        if steps > num_items then invalid_arg "Taxonomy.of_parents: cycle"
+        else walk parents.(j) (steps + 1)
+    in
+    walk i 0
+  done;
+  let children = Array.make num_items [] in
+  for i = num_items - 1 downto 0 do
+    let p = parents.(i) in
+    if p <> -1 then children.(p) <- i :: children.(p)
+  done;
+  { num_items; parents; children }
+
+let num_items t = t.num_items
+
+let check t i name = if i < 0 || i >= t.num_items then invalid_arg name
+
+let parent t i =
+  check t i "Taxonomy.parent";
+  if t.parents.(i) = -1 then None else Some t.parents.(i)
+
+let children t i =
+  check t i "Taxonomy.children";
+  t.children.(i)
+
+let ancestors t i =
+  check t i "Taxonomy.ancestors";
+  let rec walk j acc =
+    match t.parents.(j) with
+    | -1 -> List.rev acc
+    | p -> walk p (p :: acc)
+  in
+  walk i []
+
+let descendants t i =
+  check t i "Taxonomy.descendants";
+  let out = ref [] in
+  let rec walk j =
+    List.iter
+      (fun c ->
+        out := c :: !out;
+        walk c)
+      t.children.(j)
+  in
+  walk i;
+  List.sort Int.compare !out
+
+let roots t =
+  List.filter (fun i -> t.parents.(i) = -1) (List.init t.num_items Fun.id)
+
+let leaves t =
+  List.filter (fun i -> t.children.(i) = []) (List.init t.num_items Fun.id)
+
+let is_ancestor t ~ancestor ~of_ =
+  check t ancestor "Taxonomy.is_ancestor";
+  List.mem ancestor (ancestors t of_)
+
+let depth t i = List.length (ancestors t i)

@@ -1,0 +1,51 @@
+(** Item taxonomies (is-a hierarchies).
+
+    Substrate for {e generalized association rules} (Srikant & Agrawal,
+    VLDB 1995 — the paper's reference [21]): items are organised in a
+    forest, e.g. jacket → outerwear → clothes, and rules may mention
+    interior categories ("outerwear ⇒ hiking boots") that no raw
+    transaction contains literally.
+
+    A taxonomy is a DAG restricted to a forest here (each item has at
+    most one parent, matching the cited paper's hierarchies); categories
+    are ordinary item ids, so the whole engine works on them unchanged
+    once transactions are extended (see {!Generalize}). *)
+
+open Olar_data
+
+type t
+
+(** [of_parents ~num_items edges] builds a taxonomy over items
+    [0 .. num_items-1] from (child, parent) pairs. Raises
+    [Invalid_argument] on out-of-range ids, a child with two parents, a
+    self-edge, or a cycle. *)
+val of_parents : num_items:int -> (Item.t * Item.t) list -> t
+
+(** [num_items t] is the universe size (leaves and categories alike). *)
+val num_items : t -> int
+
+(** [parent t i] is [i]'s immediate generalisation, if any. *)
+val parent : t -> Item.t -> Item.t option
+
+(** [children t i] are the items whose parent is [i], ascending. *)
+val children : t -> Item.t -> Item.t list
+
+(** [ancestors t i] is the chain of strict generalisations of [i],
+    nearest first. *)
+val ancestors : t -> Item.t -> Item.t list
+
+(** [descendants t i] is every item below [i] (excluding [i]),
+    ascending. *)
+val descendants : t -> Item.t -> Item.t list
+
+(** [roots t] is the items without parents, ascending. *)
+val roots : t -> Item.t list
+
+(** [leaves t] is the items without children, ascending. *)
+val leaves : t -> Item.t list
+
+(** [is_ancestor t ~ancestor ~of_] tests strict generalisation. *)
+val is_ancestor : t -> ancestor:Item.t -> of_:Item.t -> bool
+
+(** [depth t i] is the number of ancestors of [i] (roots have 0). *)
+val depth : t -> Item.t -> int

@@ -1,0 +1,33 @@
+(** Text format for taxonomies over named items.
+
+    One edge per line, [child -> parent], names interned into a shared
+    vocabulary ([#] comments and blank lines ignored):
+    {v
+    # product hierarchy
+    alpine jacket -> outerwear
+    outerwear -> clothing
+    hiking boots -> footwear
+    v}
+    Category names that never appear in transactions are ordinary items
+    in the derived vocabulary — exactly what {!Generalize} needs. *)
+
+(** Raised on syntax errors, with the line number. *)
+exception Malformed of string
+
+(** [parse ?vocab lines] reads edges, interning names into [vocab] (a
+    fresh one when omitted — pass the transaction vocabulary so item ids
+    line up). Returns the grown vocabulary and the taxonomy over it.
+    Raises [Malformed] on syntax errors and [Invalid_argument] on
+    structural ones (cycles, double parents — see
+    {!Taxonomy.of_parents}). *)
+val parse :
+  ?vocab:Olar_data.Item.Vocab.t -> string list -> Olar_data.Item.Vocab.t * Taxonomy.t
+
+(** [load ?vocab path] is {!parse} on a file. Also raises [Sys_error]. *)
+val load :
+  ?vocab:Olar_data.Item.Vocab.t -> string -> Olar_data.Item.Vocab.t * Taxonomy.t
+
+(** [save vocab taxonomy path] writes the edges with names. Raises
+    [Invalid_argument] when the taxonomy mentions ids the vocabulary
+    does not name. *)
+val save : Olar_data.Item.Vocab.t -> Taxonomy.t -> string -> unit

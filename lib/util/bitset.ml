@@ -1,0 +1,70 @@
+type t = {
+  n : int;
+  words : Bytes.t; (* bit i lives in byte i/8, bit i mod 8 *)
+}
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { n; words = Bytes.make ((n + 7) / 8) '\000' }
+
+let capacity s = s.n
+
+let check s i name = if i < 0 || i >= s.n then invalid_arg name
+
+let add s i =
+  check s i "Bitset.add";
+  let byte = Char.code (Bytes.get s.words (i lsr 3)) in
+  Bytes.set s.words (i lsr 3) (Char.chr (byte lor (1 lsl (i land 7))))
+
+let remove s i =
+  check s i "Bitset.remove";
+  let byte = Char.code (Bytes.get s.words (i lsr 3)) in
+  Bytes.set s.words (i lsr 3) (Char.chr (byte land lnot (1 lsl (i land 7)) land 0xff))
+
+let mem s i =
+  check s i "Bitset.mem";
+  let byte = Char.code (Bytes.get s.words (i lsr 3)) in
+  byte land (1 lsl (i land 7)) <> 0
+
+let popcount_byte b =
+  let rec loop b acc = if b = 0 then acc else loop (b lsr 1) (acc + (b land 1)) in
+  loop b 0
+
+let cardinal s =
+  let total = ref 0 in
+  Bytes.iter (fun c -> total := !total + popcount_byte (Char.code c)) s.words;
+  !total
+
+let clear s = Bytes.fill s.words 0 (Bytes.length s.words) '\000'
+
+let copy s = { n = s.n; words = Bytes.copy s.words }
+
+let iter f s =
+  for i = 0 to s.n - 1 do
+    if mem s i then f i
+  done
+
+let check_same a b name = if a.n <> b.n then invalid_arg name
+
+let inter_cardinal a b =
+  check_same a b "Bitset.inter_cardinal";
+  let total = ref 0 in
+  for i = 0 to Bytes.length a.words - 1 do
+    total :=
+      !total
+      + popcount_byte (Char.code (Bytes.get a.words i) land Char.code (Bytes.get b.words i))
+  done;
+  !total
+
+let inter a b =
+  check_same a b "Bitset.inter";
+  let out = create a.n in
+  for i = 0 to Bytes.length a.words - 1 do
+    Bytes.set out.words i
+      (Char.chr (Char.code (Bytes.get a.words i) land Char.code (Bytes.get b.words i)))
+  done;
+  out
+
+let to_list s =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (if mem s i then i :: acc else acc) in
+  loop (s.n - 1) []

@@ -1,0 +1,48 @@
+(** Fixed-capacity bit sets over the integers [0 .. capacity-1].
+
+    Used for visited-vertex marks during lattice searches (dense integer
+    ids) and for per-transaction item membership tests during support
+    counting. All operations besides {!create} and {!copy} are O(1) or
+    O(capacity/64). *)
+
+type t
+
+(** [create n] is an empty bit set over [0 .. n-1].
+    Raises [Invalid_argument] if [n < 0]. *)
+val create : int -> t
+
+(** [capacity s] is the [n] the set was created with. *)
+val capacity : t -> int
+
+(** [add s i] inserts [i]. Raises [Invalid_argument] when out of range. *)
+val add : t -> int -> unit
+
+(** [remove s i] deletes [i]. Raises [Invalid_argument] when out of range. *)
+val remove : t -> int -> unit
+
+(** [mem s i] tests membership. Raises [Invalid_argument] when out of
+    range. *)
+val mem : t -> int -> bool
+
+(** [cardinal s] is the number of members (O(capacity/64)). *)
+val cardinal : t -> int
+
+(** [clear s] removes every member. *)
+val clear : t -> unit
+
+(** [copy s] is an independent copy of [s]. *)
+val copy : t -> t
+
+(** [iter f s] applies [f] to every member in increasing order. *)
+val iter : (int -> unit) -> t -> unit
+
+(** [to_list s] is the members in increasing order. *)
+val to_list : t -> int list
+
+(** [inter_cardinal a b] is |a ∩ b|, word-wise. Raises
+    [Invalid_argument] when capacities differ. *)
+val inter_cardinal : t -> t -> int
+
+(** [inter a b] is a fresh set a ∩ b. Raises [Invalid_argument] when
+    capacities differ. *)
+val inter : t -> t -> t

@@ -1,0 +1,110 @@
+let poisson rng mean =
+  if mean <= 0.0 then invalid_arg "Dist.poisson";
+  if mean < 30.0 then begin
+    (* Knuth: count multiplications of uniforms until the product drops
+       below e^-mean. *)
+    let limit = exp (-.mean) in
+    let rec loop k p =
+      let p = p *. Rng.float rng in
+      if p <= limit then k else loop (k + 1) p
+    in
+    loop 0 1.0
+  end
+  else begin
+    (* Normal approximation, adequate for large means. *)
+    let rec draw () =
+      let u1 = Rng.float rng and u2 = Rng.float rng in
+      let u1 = if u1 = 0.0 then epsilon_float else u1 in
+      let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+      let x = mean +. (sqrt mean *. z) in
+      if x < 0.0 then draw () else int_of_float (Float.round x)
+    in
+    draw ()
+  end
+
+let exponential rng mean =
+  if mean <= 0.0 then invalid_arg "Dist.exponential";
+  let u = 1.0 -. Rng.float rng in
+  (* u in (0,1]: log u is finite *)
+  -.mean *. log u
+
+let geometric rng p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Dist.geometric";
+  if p = 1.0 then 0
+  else begin
+    let u = 1.0 -. Rng.float rng in
+    int_of_float (Float.floor (log u /. log (1.0 -. p)))
+  end
+
+let normal rng ~mean ~stddev =
+  if stddev < 0.0 then invalid_arg "Dist.normal";
+  let u1 = Rng.float rng and u2 = Rng.float rng in
+  let u1 = if u1 = 0.0 then epsilon_float else u1 in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mean +. (stddev *. z)
+
+let normal_clamped rng ~mean ~stddev ~lo ~hi =
+  if lo >= hi then invalid_arg "Dist.normal_clamped";
+  let rec draw budget =
+    (* After many rejections (pathological parameters) fall back to the
+       interval midpoint rather than looping forever. *)
+    if budget = 0 then (lo +. hi) /. 2.0
+    else
+      let x = normal rng ~mean ~stddev in
+      if x > lo && x < hi then x else draw (budget - 1)
+  in
+  draw 10_000
+
+let check_weights w =
+  if Array.length w = 0 then invalid_arg "Dist.weighted_index: empty";
+  let total = ref 0.0 in
+  Array.iter
+    (fun x ->
+      if x < 0.0 || Float.is_nan x then invalid_arg "Dist.weighted_index: bad weight";
+      total := !total +. x)
+    w;
+  if !total <= 0.0 then invalid_arg "Dist.weighted_index: zero total";
+  !total
+
+let weighted_index rng w =
+  let total = check_weights w in
+  let target = Rng.float rng *. total in
+  let n = Array.length w in
+  let rec loop i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. w.(i) in
+      if target < acc then i else loop (i + 1) acc
+  in
+  loop 0 0.0
+
+module Cdf = struct
+  type t = { sums : float array (* sums.(i) = w.(0) + ... + w.(i) *) }
+
+  let of_weights w =
+    let total = check_weights w in
+    ignore total;
+    let sums = Array.make (Array.length w) 0.0 in
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun i x ->
+        acc := !acc +. x;
+        sums.(i) <- !acc)
+      w;
+    { sums }
+
+  let length t = Array.length t.sums
+
+  let sample t rng =
+    let n = Array.length t.sums in
+    let total = t.sums.(n - 1) in
+    let target = Rng.float rng *. total in
+    (* Smallest index whose running sum exceeds [target]. *)
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if t.sums.(mid) > target then search lo mid else search (mid + 1) hi
+    in
+    search 0 (n - 1)
+end

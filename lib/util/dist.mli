@@ -1,0 +1,57 @@
+(** Samplers for the distributions used by the synthetic data generator.
+
+    Section 6.1 of the paper draws itemset and transaction sizes from
+    Poisson distributions, itemset weights from an exponential
+    distribution, corruption lengths from geometric distributions, and
+    per-itemset noise levels from a normal distribution. Each sampler
+    consumes randomness from an explicit {!Rng.t}. *)
+
+(** [poisson rng mean] samples a Poisson variate with the given [mean].
+    Uses Knuth's product method for small means and a normal approximation
+    with rounding for means above 30 (never triggered by the paper's
+    parameter ranges but kept for robustness). Raises [Invalid_argument]
+    if [mean <= 0]. *)
+val poisson : Rng.t -> float -> int
+
+(** [exponential rng mean] samples an exponential variate (inverse-CDF
+    method). Raises [Invalid_argument] if [mean <= 0]. *)
+val exponential : Rng.t -> float -> float
+
+(** [geometric rng p] samples the number of failures before the first
+    success of a Bernoulli([p]) process (support {0, 1, 2, ...}).
+    Raises [Invalid_argument] unless [0 < p <= 1]. *)
+val geometric : Rng.t -> float -> int
+
+(** [normal rng ~mean ~stddev] samples a Gaussian variate via the
+    Box-Muller transform. Raises [Invalid_argument] if [stddev < 0]. *)
+val normal : Rng.t -> mean:float -> stddev:float -> float
+
+(** [normal_clamped rng ~mean ~stddev ~lo ~hi] resamples a Gaussian until
+    it falls inside the open interval ([lo], [hi]) — the paper's noise
+    level n_I must lie in (0, 1). Raises [Invalid_argument] if
+    [lo >= hi]. *)
+val normal_clamped : Rng.t -> mean:float -> stddev:float -> lo:float -> hi:float -> float
+
+(** [weighted_index rng weights] samples an index with probability
+    proportional to [weights.(i)] — the paper's "L-sided weighted die".
+    Raises [Invalid_argument] on an empty array, a negative weight, or a
+    zero total. O(n); for repeated draws build a {!Cdf.t} instead. *)
+val weighted_index : Rng.t -> float array -> int
+
+(** Precomputed cumulative distribution over indices, for O(log n)
+    repeated weighted draws. *)
+module Cdf : sig
+  type t
+
+  (** [of_weights w] precomputes the running sums of [w]. Raises
+      [Invalid_argument] under the same conditions as
+      {!val:weighted_index}. *)
+  val of_weights : float array -> t
+
+  (** [length t] is the number of indices. *)
+  val length : t -> int
+
+  (** [sample t rng] draws an index with probability proportional to its
+      weight, by binary search on the running sums. *)
+  val sample : t -> Rng.t -> int
+end

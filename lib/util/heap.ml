@@ -1,0 +1,78 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  elts : 'a Vec.t;
+}
+
+let create cmp = { cmp; elts = Vec.create () }
+
+let length h = Vec.length h.elts
+let is_empty h = Vec.is_empty h.elts
+
+let swap h i j =
+  let x = Vec.get h.elts i in
+  Vec.set h.elts i (Vec.get h.elts j);
+  Vec.set h.elts j x
+
+(* Standard sift-up: restore the heap invariant along the path from leaf
+   [i] to the root after an insertion at [i]. *)
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.cmp (Vec.get h.elts i) (Vec.get h.elts parent) < 0 then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+(* Sift-down from [i]: push the element down while a child orders before
+   it, always descending into the smaller child. *)
+let rec sift_down h i =
+  let n = length h in
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < n && h.cmp (Vec.get h.elts left) (Vec.get h.elts !smallest) < 0
+  then smallest := left;
+  if right < n && h.cmp (Vec.get h.elts right) (Vec.get h.elts !smallest) < 0
+  then smallest := right;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h x =
+  Vec.push h.elts x;
+  sift_up h (length h - 1)
+
+let peek h = if is_empty h then None else Some (Vec.get h.elts 0)
+
+let pop h =
+  if is_empty h then None
+  else begin
+    let top = Vec.get h.elts 0 in
+    let last = Vec.pop h.elts in
+    if not (is_empty h) then begin
+      Vec.set h.elts 0 last;
+      sift_down h 0
+    end;
+    Some top
+  end
+
+let pop_exn h =
+  match pop h with
+  | Some x -> x
+  | None -> invalid_arg "Heap.pop_exn: empty heap"
+
+let clear h = Vec.clear h.elts
+
+let of_list cmp l =
+  let h = create cmp in
+  List.iter (push h) l;
+  h
+
+let to_sorted_list h =
+  let rec loop acc =
+    match pop h with
+    | None -> List.rev acc
+    | Some x -> loop (x :: acc)
+  in
+  loop []

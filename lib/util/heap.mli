@@ -1,0 +1,42 @@
+(** Binary heaps (priority queues).
+
+    A [Heap.t] is a mutable priority queue over elements ordered by a
+    comparison function supplied at creation time. The element for which
+    [cmp] reports the smallest value is at the top; to obtain a max-heap
+    pass a reversed comparison. Used by the best-first searches of the
+    adjacency lattice ([FindSupport], Section 3.1 of the paper), which
+    repeatedly extract the pre-stored itemset of highest support. *)
+
+type 'a t
+
+(** [create cmp] is an empty heap ordered by [cmp] (smallest on top). *)
+val create : ('a -> 'a -> int) -> 'a t
+
+(** [length h] is the number of queued elements. *)
+val length : 'a t -> int
+
+(** [is_empty h] is [length h = 0]. *)
+val is_empty : 'a t -> bool
+
+(** [push h x] inserts [x]. O(log n). *)
+val push : 'a t -> 'a -> unit
+
+(** [peek h] is the top element without removing it, or [None] when empty. *)
+val peek : 'a t -> 'a option
+
+(** [pop h] removes and returns the top element, or [None] when empty.
+    O(log n). *)
+val pop : 'a t -> 'a option
+
+(** [pop_exn h] is like {!pop} but raises [Invalid_argument] when empty. *)
+val pop_exn : 'a t -> 'a
+
+(** [clear h] removes all elements. *)
+val clear : 'a t -> unit
+
+(** [of_list cmp l] is a heap containing the elements of [l]. *)
+val of_list : ('a -> 'a -> int) -> 'a list -> 'a t
+
+(** [to_sorted_list h] drains [h], returning its elements in heap order
+    (ascending under [cmp]). The heap is empty afterwards. *)
+val to_sorted_list : 'a t -> 'a list

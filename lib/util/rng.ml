@@ -1,0 +1,41 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let of_int seed = create (Int64.of_int seed)
+
+let copy t = { state = t.state }
+
+(* SplitMix64 output function: advance by the golden gamma, then apply the
+   variant-13 mix of Stafford's MurmurHash3 finalizer. *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = create (next_int64 t)
+
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 3)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int";
+  (* Rejection sampling over the largest multiple of [n] below 2^61 keeps
+     the result exactly uniform even when [n] does not divide 2^61. *)
+  let bound = 1 lsl 61 in
+  let limit = bound - (bound mod n) in
+  let rec draw () =
+    let x = bits t in
+    if x < limit then x mod n else draw ()
+  in
+  draw ()
+
+let float t =
+  (* 53 random mantissa bits scaled into [0,1). *)
+  let x = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int x *. (1.0 /. 9007199254740992.0)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L

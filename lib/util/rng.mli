@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    Every stochastic component of the system (the synthetic data generator,
+    property tests, workload samplers) draws from an explicit [Rng.t] so
+    that a run is reproducible from its seed alone. SplitMix64 is a small,
+    well-distributed 64-bit generator (Steele, Lea & Flood, OOPSLA 2014);
+    it passes BigCrush on its intended output and is more than adequate for
+    workload synthesis. Not cryptographically secure. *)
+
+type t
+
+(** [create seed] is a generator whose stream is a pure function of
+    [seed]. *)
+val create : int64 -> t
+
+(** [of_int seed] is [create (Int64.of_int seed)]. *)
+val of_int : int -> t
+
+(** [copy t] is an independent generator with the same current state. *)
+val copy : t -> t
+
+(** [split t] derives a new generator from [t], advancing [t]; the two
+    streams are statistically independent. *)
+val split : t -> t
+
+(** [next_int64 t] is the next raw 64-bit output. *)
+val next_int64 : t -> int64
+
+(** [bits t] is a non-negative 61-bit integer. *)
+val bits : t -> int
+
+(** [int t n] is uniform in [0, n-1]. Raises [Invalid_argument] if
+    [n <= 0]. Uses rejection sampling, so it is exactly uniform. *)
+val int : t -> int -> int
+
+(** [float t] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [bool t] is a fair coin flip. *)
+val bool : t -> bool

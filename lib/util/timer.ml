@@ -1,0 +1,28 @@
+type t = { t0 : float }
+
+let start () = { t0 = Unix.gettimeofday () }
+
+let elapsed_s t = Unix.gettimeofday () -. t.t0
+
+let time f =
+  let t = start () in
+  let x = f () in
+  (x, elapsed_s t)
+
+module Counter = struct
+  type t = {
+    name : string;
+    mutable count : int;
+  }
+
+  let create name = { name; count = 0 }
+  let name c = c.name
+  let incr c = c.count <- c.count + 1
+
+  let add c n =
+    if n < 0 then invalid_arg "Timer.Counter.add";
+    c.count <- c.count + n
+
+  let value c = c.count
+  let reset c = c.count <- 0
+end

@@ -1,0 +1,40 @@
+(** Wall-clock timing and work counters for the experiment harness.
+
+    The paper reports wall-clock seconds on 1998 hardware; absolute numbers
+    are not reproducible, so each experiment additionally reports
+    machine-independent work counters (vertices visited, candidates
+    counted, database passes). [Timer] provides both primitives. *)
+
+type t
+
+(** [start ()] is a running timer. *)
+val start : unit -> t
+
+(** [elapsed_s t] is the wall-clock seconds since [start]. *)
+val elapsed_s : t -> float
+
+(** [time f] runs [f ()] and returns its result with the elapsed seconds. *)
+val time : (unit -> 'a) -> 'a * float
+
+(** Named monotone counters for machine-independent cost accounting. *)
+module Counter : sig
+  type t
+
+  (** [create name] is a zeroed counter. *)
+  val create : string -> t
+
+  (** [name c] is the label given at creation. *)
+  val name : t -> string
+
+  (** [incr c] adds 1. *)
+  val incr : t -> unit
+
+  (** [add c n] adds [n]. Raises [Invalid_argument] if [n < 0]. *)
+  val add : t -> int -> unit
+
+  (** [value c] is the current count. *)
+  val value : t -> int
+
+  (** [reset c] zeroes the counter. *)
+  val reset : t -> unit
+end

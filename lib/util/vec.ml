@@ -1,0 +1,151 @@
+(* Backing store: an [Obj.t array] that is ALWAYS a regular (non-flat)
+   array. Creating it from an immediate dummy guarantees the runtime
+   never specialises it to a flat float array, so a [float Vec.t] works:
+   elements are stored as (boxed) [Obj.t] values and converted at the
+   boundary. Slots beyond [len] hold the dummy and are never read. *)
+type 'a t = {
+  mutable data : Obj.t array;
+  mutable len : int;
+}
+
+let dummy : Obj.t = Obj.repr 0
+
+(* A fresh non-flat backing array: the immediate dummy fixes the tag. *)
+let backing n = Array.make n dummy
+
+let create () = { data = [||]; len = 0 }
+
+let with_capacity n =
+  if n < 0 then invalid_arg "Vec.with_capacity";
+  if n = 0 then create () else { data = backing n; len = 0 }
+
+let length v = v.len
+let is_empty v = v.len = 0
+
+let get (v : 'a t) i : 'a =
+  if i < 0 || i >= v.len then invalid_arg "Vec.get";
+  Obj.obj (Array.unsafe_get v.data i)
+
+let set (v : 'a t) i (x : 'a) =
+  if i < 0 || i >= v.len then invalid_arg "Vec.set";
+  Array.unsafe_set v.data i (Obj.repr x)
+
+let ensure_capacity v n =
+  let cap = Array.length v.data in
+  if n > cap then begin
+    let data = backing (max 8 (max n (2 * cap))) in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end
+
+let push (v : 'a t) (x : 'a) =
+  ensure_capacity v (v.len + 1);
+  Array.unsafe_set v.data v.len (Obj.repr x);
+  v.len <- v.len + 1
+
+let pop (v : 'a t) : 'a =
+  if v.len = 0 then invalid_arg "Vec.pop";
+  v.len <- v.len - 1;
+  let x = Array.unsafe_get v.data v.len in
+  Array.unsafe_set v.data v.len dummy;
+  Obj.obj x
+
+let last (v : 'a t) : 'a =
+  if v.len = 0 then invalid_arg "Vec.last";
+  Obj.obj (Array.unsafe_get v.data (v.len - 1))
+
+let clear v =
+  (* Drop references so the GC can reclaim popped elements. *)
+  Array.fill v.data 0 v.len dummy;
+  v.len <- 0
+
+let make n x =
+  if n < 0 then invalid_arg "Vec.make";
+  let v = with_capacity n in
+  for _ = 1 to n do
+    push v x
+  done;
+  v
+
+let init n f =
+  if n < 0 then invalid_arg "Vec.init";
+  let v = with_capacity n in
+  for i = 0 to n - 1 do
+    push v (f i)
+  done;
+  v
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f (Obj.obj (Array.unsafe_get v.data i))
+  done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i (Obj.obj (Array.unsafe_get v.data i))
+  done
+
+let append dst src = iter (push dst) src
+
+let map f v = init v.len (fun i -> f (get v i))
+
+let fold_left f init v =
+  let acc = ref init in
+  for i = 0 to v.len - 1 do
+    acc := f !acc (Obj.obj (Array.unsafe_get v.data i))
+  done;
+  !acc
+
+let exists p v =
+  let rec loop i = i < v.len && (p (get v i) || loop (i + 1)) in
+  loop 0
+
+let for_all p v =
+  let rec loop i = i >= v.len || (p (get v i) && loop (i + 1)) in
+  loop 0
+
+let filter p v =
+  let out = create () in
+  iter (fun x -> if p x then push out x) v;
+  out
+
+let find_opt p v =
+  let rec loop i =
+    if i >= v.len then None
+    else
+      let x = get v i in
+      if p x then Some x else loop (i + 1)
+  in
+  loop 0
+
+let to_array (v : 'a t) : 'a array =
+  (* Build through the element type so callers get a normally-
+     represented array (flat for floats, as they expect). *)
+  if v.len = 0 then [||]
+  else begin
+    let first : 'a = get v 0 in
+    let out = Array.make v.len first in
+    for i = 1 to v.len - 1 do
+      out.(i) <- get v i
+    done;
+    out
+  end
+
+let sort cmp v =
+  let a = to_array v in
+  Array.sort cmp a;
+  Array.iteri (fun i x -> Array.unsafe_set v.data i (Obj.repr x)) a
+
+let to_list v =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (get v i :: acc) in
+  loop (v.len - 1) []
+
+let of_array a =
+  let v = with_capacity (Array.length a) in
+  Array.iter (push v) a;
+  v
+
+let of_list l =
+  let v = create () in
+  List.iter (push v) l;
+  v

@@ -1,0 +1,91 @@
+(** Growable arrays (dynamic vectors).
+
+    A [Vec.t] is a mutable sequence with amortised O(1) [push] at the end,
+    O(1) random access, and in-place sorting. It is the workhorse container
+    for building adjacency lists and candidate pools whose final size is not
+    known in advance. Indices are 0-based. Not thread-safe. *)
+
+type 'a t
+
+(** [create ()] is a fresh empty vector. *)
+val create : unit -> 'a t
+
+(** [with_capacity n] is an empty vector preallocated for [n] elements.
+    Raises [Invalid_argument] if [n < 0]. *)
+val with_capacity : int -> 'a t
+
+(** [make n x] is a vector holding [n] copies of [x]. *)
+val make : int -> 'a -> 'a t
+
+(** [init n f] is a vector holding [f 0; ...; f (n-1)]. *)
+val init : int -> (int -> 'a) -> 'a t
+
+(** [length v] is the number of elements stored in [v]. *)
+val length : 'a t -> int
+
+(** [is_empty v] is [length v = 0]. *)
+val is_empty : 'a t -> bool
+
+(** [get v i] is the [i]-th element. Raises [Invalid_argument] when [i] is
+    out of bounds. *)
+val get : 'a t -> int -> 'a
+
+(** [set v i x] replaces the [i]-th element with [x]. Raises
+    [Invalid_argument] when [i] is out of bounds. *)
+val set : 'a t -> int -> 'a -> unit
+
+(** [push v x] appends [x] at the end of [v]. *)
+val push : 'a t -> 'a -> unit
+
+(** [pop v] removes and returns the last element.
+    Raises [Invalid_argument] on an empty vector. *)
+val pop : 'a t -> 'a
+
+(** [last v] is the last element without removing it.
+    Raises [Invalid_argument] on an empty vector. *)
+val last : 'a t -> 'a
+
+(** [clear v] removes all elements (capacity is retained). *)
+val clear : 'a t -> unit
+
+(** [append dst src] pushes all elements of [src] onto [dst]. *)
+val append : 'a t -> 'a t -> unit
+
+(** [iter f v] applies [f] to every element in index order. *)
+val iter : ('a -> unit) -> 'a t -> unit
+
+(** [iteri f v] applies [f i x] to every element [x] at index [i]. *)
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+(** [map f v] is a fresh vector of the images of [v]'s elements. *)
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+(** [fold_left f init v] folds over the elements in index order. *)
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+(** [exists p v] is [true] iff some element satisfies [p]. *)
+val exists : ('a -> bool) -> 'a t -> bool
+
+(** [for_all p v] is [true] iff every element satisfies [p]. *)
+val for_all : ('a -> bool) -> 'a t -> bool
+
+(** [filter p v] is a fresh vector of elements satisfying [p], in order. *)
+val filter : ('a -> bool) -> 'a t -> 'a t
+
+(** [find_opt p v] is the first element satisfying [p], if any. *)
+val find_opt : ('a -> bool) -> 'a t -> 'a option
+
+(** [sort cmp v] sorts [v] in place (not stable). *)
+val sort : ('a -> 'a -> int) -> 'a t -> unit
+
+(** [to_array v] is a fresh array with the elements of [v]. *)
+val to_array : 'a t -> 'a array
+
+(** [to_list v] is the elements of [v] as a list, in index order. *)
+val to_list : 'a t -> 'a list
+
+(** [of_array a] is a vector with the elements of [a]. *)
+val of_array : 'a array -> 'a t
+
+(** [of_list l] is a vector with the elements of [l]. *)
+val of_list : 'a list -> 'a t

@@ -1,0 +1,137 @@
+(* Tests for olar.baseline: the naive rule generator / redundancy filter
+   and the direct (mine-per-query) comparator. *)
+
+open Olar_data
+open Olar_core
+open Olar_baseline
+
+let check = Alcotest.check
+let set = Itemset.of_list
+let rules = Alcotest.list Helpers.rule
+let conf = Conf.of_float
+
+let test_naive_all_rules () =
+  let db = Helpers.small_db () in
+  let frequent = Helpers.brute_frequent db ~minsup:2 in
+  let support a =
+    if Itemset.is_empty a then Database.size db else Database.support_count db a
+  in
+  let got = Naive_rules.all_rules ~support ~frequent ~confidence:(conf 0.6) in
+  (* every rule checks out against the database *)
+  List.iter
+    (fun r ->
+      check Alcotest.int "support count"
+        (Database.support_count db (Rule.union r))
+        r.Rule.support_count;
+      check Alcotest.int "antecedent count"
+        (Database.support_count db r.Rule.antecedent)
+        r.Rule.antecedent_count;
+      check Alcotest.bool "confidence" true (Rule.confidence r >= 0.6 -. 1e-9))
+    got;
+  (* completeness: {0,1} => {2} has confidence 3/4 and must be present *)
+  let expected =
+    Rule.make ~antecedent:(set [ 0; 1 ]) ~consequent:(set [ 2 ]) ~support_count:3
+      ~antecedent_count:4
+  in
+  check Alcotest.bool "contains {0,1}=>{2}" true
+    (List.exists (Rule.equal expected) got)
+
+let test_naive_no_frequent () =
+  check rules "no input, no rules" []
+    (Naive_rules.all_rules ~support:(fun _ -> 0) ~frequent:[] ~confidence:(conf 0.5))
+
+let test_essential_filter_table1 () =
+  (* With all five Table 1 rules present, only X => YZ survives. *)
+  let mk a c sup ante =
+    Rule.make ~antecedent:(set a) ~consequent:(set c) ~support_count:sup
+      ~antecedent_count:ante
+  in
+  let x_yz = mk [ 0 ] [ 1; 2 ] 3 10 in
+  let family =
+    [ x_yz; mk [ 0; 1 ] [ 2 ] 3 4; mk [ 0; 2 ] [ 1 ] 3 5; mk [ 0 ] [ 1 ] 4 10; mk [ 0 ] [ 2 ] 5 10 ]
+  in
+  check rules "only the informative rule" [ x_yz ]
+    (Naive_rules.essential_filter family)
+
+let test_essential_filter_keeps_unrelated () =
+  let a =
+    Rule.make ~antecedent:(set [ 0 ]) ~consequent:(set [ 1 ]) ~support_count:2
+      ~antecedent_count:4
+  in
+  let b =
+    Rule.make ~antecedent:(set [ 5 ]) ~consequent:(set [ 6 ]) ~support_count:2
+      ~antecedent_count:4
+  in
+  check rules "unrelated rules survive" [ a; b ] (Naive_rules.essential_filter [ a; b ])
+
+let test_direct_query () =
+  let db = Helpers.small_db () in
+  let answer = Direct.query db ~minsup:2 ~confidence:(conf 0.6) in
+  check (Alcotest.list Helpers.entry) "itemsets = brute force"
+    (Helpers.sort_entries (Helpers.brute_frequent db ~minsup:2))
+    (Helpers.sort_entries answer.Direct.itemsets);
+  check rules "rules = brute force"
+    (Helpers.brute_rules db ~minsup:2 ~confidence:(conf 0.6))
+    answer.Direct.rules;
+  check Alcotest.bool "timers nonneg" true
+    (answer.Direct.mining_seconds >= 0.0 && answer.Direct.rulegen_seconds >= 0.0)
+
+let test_direct_query_containing () =
+  let db = Helpers.small_db () in
+  let z = set [ 3 ] in
+  let answer = Direct.query ~containing:z db ~minsup:2 ~confidence:(conf 0.4) in
+  List.iter
+    (fun (x, _) -> check Alcotest.bool "itemset contains z" true (Itemset.subset z x))
+    answer.Direct.itemsets;
+  List.iter
+    (fun r -> check Alcotest.bool "rule mentions z" true (Itemset.subset z (Rule.union r)))
+    answer.Direct.rules
+
+let test_direct_query_apriori_miner () =
+  let db = Helpers.small_db () in
+  let dhp = Direct.query db ~minsup:2 ~confidence:(conf 0.6) in
+  let apriori =
+    Direct.query ~miner:Olar_mining.Threshold.Use_apriori db ~minsup:2
+      ~confidence:(conf 0.6)
+  in
+  check rules "same rules either miner" dhp.Direct.rules apriori.Direct.rules
+
+(* The direct baseline and the online engine must produce identical
+   answers on any database and thresholds the lattice can serve. *)
+let direct_vs_online_prop =
+  QCheck2.Test.make ~name:"direct baseline equals online engine" ~count:50
+    ~print:(fun (db, (s, cf)) -> Helpers.db_print db ^ Printf.sprintf " s=%d c=%f" s cf)
+    QCheck2.Gen.(pair Helpers.db_gen (pair (int_range 1 5) (float_range 0.1 1.0)))
+    (fun (db, (minsup, cf)) ->
+      let c = conf cf in
+      let direct = Direct.query db ~minsup ~confidence:c in
+      let engine = Helpers.full_engine db in
+      let lat = Engine.lattice engine in
+      let online_itemsets =
+        Query.to_entries lat
+          (Query.find_itemsets lat ~containing:Itemset.empty ~minsup)
+      in
+      let online_rules = Rulegen.all_rules lat ~minsup ~confidence:c in
+      Helpers.sort_entries direct.Direct.itemsets
+      = Helpers.sort_entries online_itemsets
+      && direct.Direct.rules = online_rules)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "baseline.naive_rules",
+      [
+        case "all rules" test_naive_all_rules;
+        case "empty input" test_naive_no_frequent;
+        case "essential filter (Table 1)" test_essential_filter_table1;
+        case "keeps unrelated" test_essential_filter_keeps_unrelated;
+      ] );
+    ( "baseline.direct",
+      [
+        case "query" test_direct_query;
+        case "containing" test_direct_query_containing;
+        case "apriori miner" test_direct_query_apriori_miner;
+        QCheck_alcotest.to_alcotest direct_vs_online_prop;
+      ] );
+  ]

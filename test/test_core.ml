@@ -1,0 +1,367 @@
+(* Tests for olar.core foundations: Conf, Rule (redundancy theory),
+   Lattice (construction + invariants, the paper's Table 2 example). *)
+
+open Olar_data
+open Olar_core
+
+let check = Alcotest.check
+let set = Itemset.of_list
+let itemset = Helpers.itemset
+
+(* ------------------------------------------------------------------ *)
+(* Conf *)
+
+let test_conf_validation () =
+  List.iter
+    (fun c ->
+      Alcotest.check_raises
+        (Printf.sprintf "reject %f" c)
+        (Invalid_argument "Conf.of_float")
+        (fun () -> ignore (Conf.of_float c)))
+    [ 0.0; -0.5; 1.1; Float.nan ];
+  check (Alcotest.float 0.0) "accept 1" 1.0 (Conf.to_float (Conf.of_float 1.0));
+  check (Alcotest.float 0.0) "accept 0.3" 0.3 (Conf.to_float (Conf.of_float 0.3))
+
+let test_conf_satisfied () =
+  let c = Conf.of_float 0.75 in
+  check Alcotest.bool "exact ratio passes" true
+    (Conf.satisfied c ~union_count:3 ~antecedent_count:4);
+  check Alcotest.bool "above passes" true
+    (Conf.satisfied c ~union_count:4 ~antecedent_count:5);
+  check Alcotest.bool "below fails" false
+    (Conf.satisfied c ~union_count:2 ~antecedent_count:4);
+  let one = Conf.of_float 1.0 in
+  check Alcotest.bool "conf 1 equal counts" true
+    (Conf.satisfied one ~union_count:7 ~antecedent_count:7);
+  check Alcotest.bool "conf 1 strict" false
+    (Conf.satisfied one ~union_count:6 ~antecedent_count:7);
+  Alcotest.check_raises "bad antecedent"
+    (Invalid_argument "Conf.satisfied: antecedent_count") (fun () ->
+      ignore (Conf.satisfied c ~union_count:1 ~antecedent_count:0))
+
+let test_conf_exact_thirds () =
+  (* 1/3 is not a float; the tolerance must keep 2-of-6 at c = 2/6. *)
+  let c = Conf.of_float (2.0 /. 6.0) in
+  check Alcotest.bool "2/6 at c=2/6" true
+    (Conf.satisfied c ~union_count:2 ~antecedent_count:6);
+  check Alcotest.bool "1/6 fails" false
+    (Conf.satisfied c ~union_count:1 ~antecedent_count:6)
+
+(* ------------------------------------------------------------------ *)
+(* Rule *)
+
+let mk ?(sup = 3) ?(ante = 4) a c =
+  Rule.make ~antecedent:(set a) ~consequent:(set c) ~support_count:sup
+    ~antecedent_count:ante
+
+let test_rule_make_validation () =
+  Alcotest.check_raises "empty consequent"
+    (Invalid_argument "Rule.make: empty consequent") (fun () ->
+      ignore (mk [ 1 ] []));
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Rule.make: overlapping antecedent and consequent")
+    (fun () -> ignore (mk [ 1; 2 ] [ 2; 3 ]));
+  Alcotest.check_raises "support above antecedent"
+    (Invalid_argument "Rule.make: support exceeds antecedent support")
+    (fun () -> ignore (mk ~sup:5 ~ante:4 [ 1 ] [ 2 ]));
+  Alcotest.check_raises "zero antecedent count"
+    (Invalid_argument "Rule.make: zero antecedent support") (fun () ->
+      ignore (mk ~sup:0 ~ante:0 [ 1 ] [ 2 ]));
+  (* empty antecedent is legal *)
+  let r = mk [] [ 1; 2 ] in
+  check itemset "empty antecedent kept" Itemset.empty r.Rule.antecedent
+
+let test_rule_accessors () =
+  let r = mk ~sup:3 ~ante:4 [ 0; 2 ] [ 5 ] in
+  check itemset "union" (set [ 0; 2; 5 ]) (Rule.union r);
+  check (Alcotest.float 1e-9) "confidence" 0.75 (Rule.confidence r);
+  check (Alcotest.float 1e-9) "support" 0.3 (Rule.support r ~db_size:10);
+  check Alcotest.bool "single consequent" true (Rule.single_consequent r);
+  check Alcotest.bool "multi consequent" false
+    (Rule.single_consequent (mk [ 0 ] [ 1; 2 ]));
+  Alcotest.check_raises "bad db_size" (Invalid_argument "Rule.support")
+    (fun () -> ignore (Rule.support r ~db_size:2))
+
+(* Table 1 of the paper: relative to X ⇒ YZ (X=0, Y=1, Z=2), the rules
+   XY ⇒ Z and XZ ⇒ Y are simply redundant; X ⇒ Y and X ⇒ Z strictly. *)
+let test_rule_redundancy_table1 () =
+  let x_yz = mk [ 0 ] [ 1; 2 ] in
+  let xy_z = mk [ 0; 1 ] [ 2 ] in
+  let xz_y = mk [ 0; 2 ] [ 1 ] in
+  let x_y = mk [ 0 ] [ 1 ] in
+  let x_z = mk [ 0 ] [ 2 ] in
+  check Alcotest.bool "XY=>Z simple wrt X=>YZ" true
+    (Rule.simple_redundant ~candidate:xy_z ~wrt:x_yz);
+  check Alcotest.bool "XZ=>Y simple wrt X=>YZ" true
+    (Rule.simple_redundant ~candidate:xz_y ~wrt:x_yz);
+  check Alcotest.bool "X=>Y strict wrt X=>YZ" true
+    (Rule.strict_redundant ~candidate:x_y ~wrt:x_yz);
+  check Alcotest.bool "X=>Z strict wrt X=>YZ" true
+    (Rule.strict_redundant ~candidate:x_z ~wrt:x_yz);
+  (* and none of the converses *)
+  check Alcotest.bool "X=>YZ not redundant wrt XY=>Z" false
+    (Rule.redundant ~candidate:x_yz ~wrt:xy_z);
+  check Alcotest.bool "X=>YZ not redundant wrt X=>Y" false
+    (Rule.redundant ~candidate:x_yz ~wrt:x_y);
+  (* a rule is never redundant w.r.t. itself under the strict-containment
+     definitions *)
+  check Alcotest.bool "not self-redundant" false
+    (Rule.redundant ~candidate:x_yz ~wrt:x_yz);
+  (* unrelated unions are never redundant *)
+  check Alcotest.bool "unrelated" false
+    (Rule.redundant ~candidate:(mk [ 5 ] [ 6 ]) ~wrt:x_yz)
+
+(* Theorem 4.3 closed forms versus explicit enumeration. *)
+let count_redundant_brute ~kind m =
+  (* X = {100}; Y = {0..m-1}. Enumerate all rules over subsets of X∪Y. *)
+  let x = set [ 100 ] in
+  let y = set (List.init m Fun.id) in
+  let u = Itemset.union x y in
+  let wrt = Rule.make ~antecedent:x ~consequent:y ~support_count:1 ~antecedent_count:1 in
+  let count = ref 0 in
+  List.iter
+    (fun union' ->
+      if not (Itemset.is_empty union') then
+        List.iter
+          (fun a ->
+            let c = Itemset.diff union' a in
+            if not (Itemset.is_empty c) then begin
+              let candidate =
+                Rule.make ~antecedent:a ~consequent:c ~support_count:1
+                  ~antecedent_count:1
+              in
+              let hit =
+                match kind with
+                | `Simple -> Rule.simple_redundant ~candidate ~wrt
+                | `Either -> Rule.redundant ~candidate ~wrt
+              in
+              if hit then incr count
+            end)
+          (Itemset.subsets union'))
+    (Itemset.subsets u);
+  !count
+
+let test_rule_theorem43 () =
+  for m = 1 to 6 do
+    check Alcotest.int
+      (Printf.sprintf "simple m=%d" m)
+      (count_redundant_brute ~kind:`Simple m)
+      (Rule.count_simple_redundant ~consequent_size:m);
+    check Alcotest.int
+      (Printf.sprintf "simple+strict m=%d" m)
+      (count_redundant_brute ~kind:`Either m)
+      (Rule.count_all_redundant ~consequent_size:m)
+  done;
+  (* the paper's example: A => BC has 2 simple and 4 total redundant rules *)
+  check Alcotest.int "example simple" 2 (Rule.count_simple_redundant ~consequent_size:2);
+  check Alcotest.int "example total" 4 (Rule.count_all_redundant ~consequent_size:2);
+  Alcotest.check_raises "m=0" (Invalid_argument "Rule.count_simple_redundant")
+    (fun () -> ignore (Rule.count_simple_redundant ~consequent_size:0))
+
+let test_rule_order_pp () =
+  let a = mk [ 0 ] [ 1 ] and b = mk [ 0 ] [ 1; 2 ] in
+  check Alcotest.bool "order by union" true (Rule.compare a b < 0);
+  check Alcotest.bool "equal" true (Rule.equal a (mk ~sup:1 ~ante:1 [ 0 ] [ 1 ]));
+  check Alcotest.string "pp" "{0} => {1,2} (sup=3, conf=0.7500)" (Rule.to_string b);
+  let v = Item.Vocab.of_names [ "beer"; "chips"; "salsa" ] in
+  check Alcotest.string "pp_named" "{beer} => {chips,salsa} (sup=3, conf=0.7500)"
+    (Format.asprintf "%a" (Rule.pp_named v) b)
+
+(* Redundancy is sound: whenever [candidate] is redundant w.r.t. [wrt] on
+   real data, its measured support and confidence are at least as high. *)
+let redundancy_soundness_prop =
+  QCheck2.Test.make ~name:"rule: redundancy implies dominance on data"
+    ~count:200
+    ~print:Helpers.db_print
+    Helpers.db_gen
+    (fun db ->
+      let conf = Conf.of_float 0.01 in
+      let rules = Helpers.brute_rules db ~minsup:1 ~confidence:conf in
+      let rules = Array.of_list rules in
+      let n = Array.length rules in
+      let ok = ref true in
+      for i = 0 to min n 40 - 1 do
+        for j = 0 to min n 40 - 1 do
+          if i <> j then begin
+            let candidate = rules.(i) and wrt = rules.(j) in
+            if Rule.redundant ~candidate ~wrt then begin
+              let sup r = r.Rule.support_count in
+              if sup candidate < sup wrt then ok := false;
+              if Rule.confidence candidate < Rule.confidence wrt -. 1e-12 then
+                ok := false
+            end
+          end
+        done
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Lattice *)
+
+let test_lattice_table2_structure () =
+  let lat = Helpers.table2_lattice () in
+  check Alcotest.int "vertices (root + 9)" 10 (Lattice.num_vertices lat);
+  (* Theorem 2.1: edges = sum of itemset sizes = 4*1 + 4*2 + 1*3 = 15 *)
+  check Alcotest.int "edges (Theorem 2.1)" 15 (Lattice.num_edges lat);
+  check Alcotest.int "db_size" 1000 (Lattice.db_size lat);
+  check Alcotest.int "threshold" 3 (Lattice.threshold lat);
+  check Alcotest.int "root" 0 (Lattice.root lat);
+  check itemset "root itemset" Itemset.empty (Lattice.itemset lat 0);
+  check Alcotest.int "root support" 1000 (Lattice.support lat 0);
+  (* supports via find *)
+  List.iter
+    (fun (l, expected) ->
+      check (Alcotest.option Alcotest.int)
+        (Itemset.to_string (set l))
+        (Some expected)
+        (Lattice.support_of lat (set l)))
+    [
+      ([ 0 ], 10); ([ 1 ], 20); ([ 2 ], 30); ([ 3 ], 10);
+      ([ 0; 1 ], 4); ([ 0; 2 ], 7); ([ 1; 3 ], 6); ([ 1; 2 ], 4);
+      ([ 0; 1; 2 ], 3);
+    ];
+  check (Alcotest.option Alcotest.int) "non-primary" None
+    (Lattice.support_of lat (set [ 0; 3 ]))
+
+let test_lattice_table2_adjacency () =
+  let lat = Helpers.table2_lattice () in
+  let v l = Option.get (Lattice.find lat (set l)) in
+  let children l =
+    Array.to_list (Array.map (Lattice.itemset lat) (Lattice.children lat (v l)))
+  in
+  (* Children of the root: the four items, in decreasing support order. *)
+  check (Alcotest.list itemset) "root children sorted by support"
+    [ set [ 2 ]; set [ 1 ]; set [ 0 ]; set [ 3 ] ]
+    (children []);
+  (* Children of A: AC (7) then AB (4). *)
+  check (Alcotest.list itemset) "A's children" [ set [ 0; 2 ]; set [ 0; 1 ] ]
+    (children [ 0 ]);
+  (* B has children BD (6), AB (4), BC (4): ties broken lexicographically. *)
+  check (Alcotest.list itemset) "B's children"
+    [ set [ 1; 3 ]; set [ 0; 1 ]; set [ 1; 2 ] ]
+    (children [ 1 ]);
+  (* ABC's parents are the three contained pairs. *)
+  let parents =
+    Array.to_list
+      (Array.map (Lattice.itemset lat) (Lattice.parents lat (v [ 0; 1; 2 ])))
+  in
+  check (Alcotest.list itemset) "ABC parents"
+    [ set [ 0; 1 ]; set [ 0; 2 ]; set [ 1; 2 ] ]
+    (List.sort Itemset.compare parents);
+  (* every non-root vertex has |X| parents *)
+  Lattice.iter_vertices
+    (fun u ->
+      if u <> 0 then
+        check Alcotest.int "parent count = cardinality"
+          (Lattice.cardinal lat u)
+          (Array.length (Lattice.parents lat u)))
+    lat
+
+let test_lattice_validation () =
+  let shout name entries =
+    Alcotest.check_raises name
+      (Invalid_argument
+         (match name with
+         | "closure" -> "Lattice.of_entries: not downward closed"
+         | "duplicate" -> "Lattice.of_entries: duplicate itemset"
+         | "range" -> "Lattice.of_entries: support out of range"
+         | "monotone" -> "Lattice.of_entries: support not monotone"
+         | _ -> assert false))
+      (fun () -> ignore (Lattice.of_entries ~db_size:100 ~threshold:2 entries))
+  in
+  shout "closure" [| (set [ 0; 1 ], 5) |];
+  shout "duplicate" [| (set [ 0 ], 5); (set [ 0 ], 5) |];
+  shout "range" [| (set [ 0 ], 1) |];
+  shout "monotone" [| (set [ 0 ], 5); (set [ 1 ], 5); (set [ 0; 1 ], 7) |];
+  Alcotest.check_raises "empty itemset entry"
+    (Invalid_argument "Lattice.of_entries: explicit empty itemset") (fun () ->
+      ignore (Lattice.of_entries ~db_size:100 ~threshold:2 [| (Itemset.empty, 5) |]));
+  Alcotest.check_raises "threshold 0" (Invalid_argument "Lattice.of_entries: threshold")
+    (fun () -> ignore (Lattice.of_entries ~db_size:100 ~threshold:0 [||]))
+
+let test_lattice_empty () =
+  let lat = Lattice.of_entries ~db_size:50 ~threshold:10 [||] in
+  check Alcotest.int "just root" 1 (Lattice.num_vertices lat);
+  check Alcotest.int "no edges" 0 (Lattice.num_edges lat);
+  check Alcotest.int "entries" 0 (Array.length (Lattice.entries lat))
+
+let test_lattice_entries_roundtrip () =
+  let lat = Helpers.table2_lattice () in
+  let again =
+    Lattice.of_entries ~db_size:1000 ~threshold:3 (Lattice.entries lat)
+  in
+  check Alcotest.int "vertices" (Lattice.num_vertices lat) (Lattice.num_vertices again);
+  check Alcotest.int "edges" (Lattice.num_edges lat) (Lattice.num_edges again)
+
+let test_lattice_bad_ids () =
+  let lat = Helpers.table2_lattice () in
+  Alcotest.check_raises "support oob" (Invalid_argument "Lattice.support")
+    (fun () -> ignore (Lattice.support lat 10));
+  Alcotest.check_raises "itemset neg" (Invalid_argument "Lattice.itemset")
+    (fun () -> ignore (Lattice.itemset lat (-1)))
+
+(* Lattice invariants on random mined data. *)
+let lattice_invariants_prop =
+  QCheck2.Test.make ~name:"lattice: invariants on mined entries" ~count:80
+    ~print:Helpers.db_print Helpers.db_gen
+    (fun db ->
+      let entries = Array.of_list (Helpers.brute_frequent db ~minsup:2) in
+      let lat =
+        Lattice.of_entries ~db_size:(Database.size db) ~threshold:2 entries
+      in
+      (* Theorem 2.1 *)
+      let expected_edges =
+        Array.fold_left (fun acc (x, _) -> acc + Itemset.cardinal x) 0 entries
+      in
+      let ok = ref (Lattice.num_edges lat = expected_edges) in
+      Lattice.iter_vertices
+        (fun v ->
+          (* children sorted by decreasing support, supports monotone,
+             child extends parent by exactly one item *)
+          let kids = Lattice.children lat v in
+          Array.iteri
+            (fun i c ->
+              if Lattice.support lat c > Lattice.support lat v then ok := false;
+              if i > 0 && Lattice.support lat kids.(i - 1) < Lattice.support lat c
+              then ok := false;
+              if Lattice.cardinal lat c <> Lattice.cardinal lat v + 1 then
+                ok := false;
+              if not (Itemset.subset (Lattice.itemset lat v) (Lattice.itemset lat c))
+              then ok := false;
+              (* duality: v must appear among c's parents *)
+              if not (Array.exists (fun p -> p = v) (Lattice.parents lat c)) then
+                ok := false)
+            kids)
+        lat;
+      !ok)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "core.conf",
+      [
+        case "validation" test_conf_validation;
+        case "satisfied" test_conf_satisfied;
+        case "exact thirds" test_conf_exact_thirds;
+      ] );
+    ( "core.rule",
+      [
+        case "make validation" test_rule_make_validation;
+        case "accessors" test_rule_accessors;
+        case "redundancy (Table 1)" test_rule_redundancy_table1;
+        case "Theorem 4.3 counts" test_rule_theorem43;
+        case "order/pp" test_rule_order_pp;
+        QCheck_alcotest.to_alcotest redundancy_soundness_prop;
+      ] );
+    ( "core.lattice",
+      [
+        case "Table 2 structure" test_lattice_table2_structure;
+        case "Table 2 adjacency" test_lattice_table2_adjacency;
+        case "validation" test_lattice_validation;
+        case "empty" test_lattice_empty;
+        case "entries roundtrip" test_lattice_entries_roundtrip;
+        case "bad ids" test_lattice_bad_ids;
+        QCheck_alcotest.to_alcotest lattice_invariants_prop;
+      ] );
+  ]

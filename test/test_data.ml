@@ -1,0 +1,401 @@
+(* Tests for olar.data: Item, Itemset, Database, Tidlist, Db_io. *)
+
+open Olar_data
+
+let check = Alcotest.check
+let set = Itemset.of_list
+let itemset = Helpers.itemset
+let itemsetl = Alcotest.list itemset
+
+(* ------------------------------------------------------------------ *)
+(* Item.Vocab *)
+
+let test_vocab_intern () =
+  let v = Item.Vocab.create () in
+  let bread = Item.Vocab.intern v "bread" in
+  let milk = Item.Vocab.intern v "milk" in
+  check Alcotest.int "first id" 0 bread;
+  check Alcotest.int "second id" 1 milk;
+  check Alcotest.int "re-intern" bread (Item.Vocab.intern v "bread");
+  check Alcotest.int "size" 2 (Item.Vocab.size v);
+  check Alcotest.string "name" "milk" (Item.Vocab.name v milk);
+  check (Alcotest.option Alcotest.int) "id" (Some 0) (Item.Vocab.id v "bread");
+  check (Alcotest.option Alcotest.int) "missing" None (Item.Vocab.id v "eggs");
+  check (Alcotest.list Alcotest.string) "names" [ "bread"; "milk" ]
+    (Item.Vocab.names v)
+
+let test_vocab_save_load () =
+  let v = Item.Vocab.of_names [ "bread"; "milk"; "eggs" ] in
+  let path = Filename.temp_file "olar_vocab" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Item.Vocab.save v path;
+      let back = Item.Vocab.load path in
+      check (Alcotest.list Alcotest.string) "names survive"
+        (Item.Vocab.names v) (Item.Vocab.names back);
+      check (Alcotest.option Alcotest.int) "ids stable" (Some 1)
+        (Item.Vocab.id back "milk"))
+
+let test_vocab_of_names () =
+  let v = Item.Vocab.of_names [ "a"; "b"; "c" ] in
+  check Alcotest.int "size" 3 (Item.Vocab.size v);
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Item.Vocab.of_names: duplicate") (fun () ->
+      ignore (Item.Vocab.of_names [ "a"; "a" ]));
+  Alcotest.check_raises "bad id"
+    (Invalid_argument "Item.Vocab.name: unregistered id") (fun () ->
+      ignore (Item.Vocab.name v 3))
+
+(* ------------------------------------------------------------------ *)
+(* Itemset: construction and observation *)
+
+let test_itemset_construction () =
+  check itemset "of_list sorts" (set [ 1; 2; 3 ]) (Itemset.of_list [ 3; 1; 2 ]);
+  check itemset "of_list dedups" (set [ 1; 2 ]) (Itemset.of_list [ 2; 1; 2; 1 ]);
+  check itemset "of_array" (set [ 0; 5 ]) (Itemset.of_array [| 5; 0; 5 |]);
+  check itemset "empty" Itemset.empty (set []);
+  check Alcotest.int "cardinal" 3 (Itemset.cardinal (set [ 4; 5; 6 ]));
+  check Alcotest.bool "is_empty" true (Itemset.is_empty Itemset.empty);
+  Alcotest.check_raises "negative" (Invalid_argument "Itemset.singleton")
+    (fun () -> ignore (Itemset.singleton (-1)));
+  Alcotest.check_raises "negative in list" (Invalid_argument "Itemset.of_array")
+    (fun () -> ignore (Itemset.of_list [ 1; -2 ]))
+
+let test_itemset_observation () =
+  let x = set [ 2; 5; 9 ] in
+  check Alcotest.bool "mem yes" true (Itemset.mem 5 x);
+  check Alcotest.bool "mem no" false (Itemset.mem 4 x);
+  check Alcotest.int "nth" 5 (Itemset.nth x 1);
+  check Alcotest.int "min" 2 (Itemset.min_item x);
+  check Alcotest.int "max" 9 (Itemset.max_item x);
+  check (Alcotest.list Alcotest.int) "to_list" [ 2; 5; 9 ] (Itemset.to_list x);
+  check Alcotest.int "fold" 16 (Itemset.fold ( + ) x 0);
+  Alcotest.check_raises "nth oob" (Invalid_argument "Itemset.nth") (fun () ->
+      ignore (Itemset.nth x 3));
+  Alcotest.check_raises "min of empty" (Invalid_argument "Itemset.min_item")
+    (fun () -> ignore (Itemset.min_item Itemset.empty))
+
+let test_itemset_algebra () =
+  let x = set [ 1; 3; 5 ] and y = set [ 3; 4; 5; 7 ] in
+  check itemset "union" (set [ 1; 3; 4; 5; 7 ]) (Itemset.union x y);
+  check itemset "inter" (set [ 3; 5 ]) (Itemset.inter x y);
+  check itemset "diff" (set [ 1 ]) (Itemset.diff x y);
+  check itemset "diff rev" (set [ 4; 7 ]) (Itemset.diff y x);
+  check itemset "add new" (set [ 1; 2; 3; 5 ]) (Itemset.add 2 x);
+  check itemset "add existing" x (Itemset.add 3 x);
+  check itemset "remove" (set [ 1; 5 ]) (Itemset.remove 3 x);
+  check itemset "remove absent" x (Itemset.remove 9 x);
+  check itemset "union empty" x (Itemset.union x Itemset.empty);
+  check itemset "inter empty" Itemset.empty (Itemset.inter x Itemset.empty)
+
+let test_itemset_relations () =
+  let x = set [ 1; 3 ] and y = set [ 1; 2; 3 ] in
+  check Alcotest.bool "subset" true (Itemset.subset x y);
+  check Alcotest.bool "subset self" true (Itemset.subset x x);
+  check Alcotest.bool "subset no" false (Itemset.subset y x);
+  check Alcotest.bool "strict" true (Itemset.strict_subset x y);
+  check Alcotest.bool "strict self" false (Itemset.strict_subset x x);
+  check Alcotest.bool "empty subset" true (Itemset.subset Itemset.empty x);
+  check Alcotest.bool "disjoint" true (Itemset.disjoint x (set [ 0; 2 ]));
+  check Alcotest.bool "not disjoint" false (Itemset.disjoint x y)
+
+let test_itemset_parents () =
+  let x = set [ 1; 4; 7 ] in
+  let ps = Itemset.parents x in
+  check Alcotest.int "three parents" 3 (List.length ps);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int itemset))
+    "parents"
+    [ (1, set [ 4; 7 ]); (4, set [ 1; 7 ]); (7, set [ 1; 4 ]) ]
+    ps;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int itemset))
+    "singleton parent"
+    [ (3, Itemset.empty) ]
+    (Itemset.parents (set [ 3 ]))
+
+let test_itemset_subsets () =
+  let x = set [ 1; 2; 3 ] in
+  let subs = Itemset.subsets x in
+  check Alcotest.int "2^3 subsets" 8 (List.length subs);
+  check Alcotest.bool "has empty" true (List.exists Itemset.is_empty subs);
+  check Alcotest.bool "has self" true (List.exists (Itemset.equal x) subs);
+  let proper = Itemset.proper_nonempty_subsets x in
+  check Alcotest.int "proper nonempty" 6 (List.length proper);
+  List.iter
+    (fun s ->
+      check Alcotest.bool "strict subset" true (Itemset.strict_subset s x))
+    proper;
+  check itemsetl "subsets of empty" [ Itemset.empty ] (Itemset.subsets Itemset.empty)
+
+let test_itemset_order_hash () =
+  check Alcotest.bool "compare by cardinality first" true
+    (Itemset.compare (set [ 9 ]) (set [ 0; 1 ]) < 0);
+  check Alcotest.bool "lex within level" true
+    (Itemset.compare (set [ 0; 9 ]) (set [ 1; 2 ]) < 0);
+  check Alcotest.bool "compare_lex prefix" true
+    (Itemset.compare_lex (set [ 0 ]) (set [ 0; 1 ]) < 0);
+  check Alcotest.bool "compare_lex ignores cardinality" true
+    (Itemset.compare_lex (set [ 0; 9 ]) (set [ 1 ]) < 0);
+  check Alcotest.int "equal compare" 0 (Itemset.compare (set [ 1; 2 ]) (set [ 2; 1 ]));
+  check Alcotest.bool "hash equal sets" true
+    (Itemset.hash (set [ 1; 2 ]) = Itemset.hash (set [ 2; 1 ]));
+  check Alcotest.string "to_string" "{1,2,3}" (Itemset.to_string (set [ 3; 2; 1 ]));
+  check Alcotest.string "empty to_string" "{}" (Itemset.to_string Itemset.empty)
+
+let test_itemset_pp_named () =
+  let v = Item.Vocab.of_names [ "bread"; "milk"; "eggs" ] in
+  check Alcotest.string "named" "{bread,eggs}"
+    (Format.asprintf "%a" (Itemset.pp_named v) (set [ 0; 2 ]))
+
+let test_itemset_containers () =
+  let tbl = Itemset.Table.create 4 in
+  Itemset.Table.replace tbl (set [ 1; 2 ]) "a";
+  check (Alcotest.option Alcotest.string) "table" (Some "a")
+    (Itemset.Table.find_opt tbl (set [ 2; 1 ]));
+  let m = Itemset.Map.singleton (set [ 3 ]) 7 in
+  check (Alcotest.option Alcotest.int) "map" (Some 7)
+    (Itemset.Map.find_opt (set [ 3 ]) m);
+  let s = Itemset.Set.of_list [ set [ 1 ]; set [ 1 ]; set [ 2 ] ] in
+  check Alcotest.int "set dedup" 2 (Itemset.Set.cardinal s)
+
+(* qcheck properties over itemset algebra *)
+
+let small_set_gen =
+  QCheck2.Gen.(map Itemset.of_list (list_size (int_range 0 8) (int_range 0 15)))
+
+let pair_gen = QCheck2.Gen.pair small_set_gen small_set_gen
+
+let prop name f = QCheck2.Test.make ~name ~count:500 pair_gen f
+
+let itemset_props =
+  [
+    prop "union is commutative" (fun (x, y) ->
+        Itemset.equal (Itemset.union x y) (Itemset.union y x));
+    prop "inter is commutative" (fun (x, y) ->
+        Itemset.equal (Itemset.inter x y) (Itemset.inter y x));
+    prop "union contains both" (fun (x, y) ->
+        let u = Itemset.union x y in
+        Itemset.subset x u && Itemset.subset y u);
+    prop "inter contained in both" (fun (x, y) ->
+        let i = Itemset.inter x y in
+        Itemset.subset i x && Itemset.subset i y);
+    prop "diff disjoint from subtrahend" (fun (x, y) ->
+        Itemset.disjoint (Itemset.diff x y) y);
+    prop "diff + inter partition" (fun (x, y) ->
+        Itemset.equal x (Itemset.union (Itemset.diff x y) (Itemset.inter x y)));
+    prop "inclusion-exclusion cardinalities" (fun (x, y) ->
+        Itemset.cardinal (Itemset.union x y) + Itemset.cardinal (Itemset.inter x y)
+        = Itemset.cardinal x + Itemset.cardinal y);
+    prop "subset agrees with diff" (fun (x, y) ->
+        Itemset.subset x y = Itemset.is_empty (Itemset.diff x y));
+    prop "disjoint agrees with inter" (fun (x, y) ->
+        Itemset.disjoint x y = Itemset.is_empty (Itemset.inter x y));
+    prop "compare total order antisymmetric" (fun (x, y) ->
+        let c = Itemset.compare x y and c' = Itemset.compare y x in
+        (c = 0 && c' = 0 && Itemset.equal x y) || c * c' < 0);
+    QCheck2.Test.make ~name:"mem agrees with to_list" ~count:500
+      QCheck2.Gen.(pair small_set_gen (int_range 0 15))
+      (fun (x, i) -> Itemset.mem i x = List.mem i (Itemset.to_list x));
+    QCheck2.Test.make ~name:"add then remove restores" ~count:500
+      QCheck2.Gen.(pair small_set_gen (int_range 0 15))
+      (fun (x, i) ->
+        QCheck2.assume (not (Itemset.mem i x));
+        Itemset.equal x (Itemset.remove i (Itemset.add i x)));
+    QCheck2.Test.make ~name:"parents have cardinality-1 and are subsets"
+      ~count:500 small_set_gen (fun x ->
+        List.for_all
+          (fun (i, p) ->
+            Itemset.cardinal p = Itemset.cardinal x - 1
+            && Itemset.subset p x
+            && Itemset.mem i x && not (Itemset.mem i p))
+          (Itemset.parents x));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Database *)
+
+let test_database_basic () =
+  let db = Helpers.small_db () in
+  check Alcotest.int "size" 10 (Database.size db);
+  check Alcotest.int "num_items" 5 (Database.num_items db);
+  check itemset "get" (set [ 0; 1; 2; 3 ]) (Database.get db 4);
+  Alcotest.check_raises "get oob" (Invalid_argument "Database.get") (fun () ->
+      ignore (Database.get db 10))
+
+let test_database_validation () =
+  Alcotest.check_raises "bad item"
+    (Invalid_argument "Database.create: item id out of range") (fun () ->
+      ignore (Database.of_lists ~num_items:3 [ [ 0; 3 ] ]));
+  Alcotest.check_raises "bad num_items"
+    (Invalid_argument "Database.create: num_items") (fun () ->
+      ignore (Database.of_lists ~num_items:0 []))
+
+let test_database_support () =
+  let db = Helpers.small_db () in
+  check Alcotest.int "item 0" 6 (Database.support_count db (set [ 0 ]));
+  check Alcotest.int "pair 0,1" 4 (Database.support_count db (set [ 0; 1 ]));
+  check Alcotest.int "triple" 3 (Database.support_count db (set [ 0; 1; 2 ]));
+  check Alcotest.int "absent" 0 (Database.support_count db (set [ 3; 4 ]));
+  check Alcotest.int "empty set" 10 (Database.support_count db Itemset.empty);
+  check (Alcotest.float 1e-9) "fraction" 0.4 (Database.support db (set [ 0; 1 ]))
+
+let test_database_aggregates () =
+  let db = Helpers.small_db () in
+  check (Alcotest.float 1e-9) "avg size" 2.3 (Database.avg_transaction_size db);
+  check (Alcotest.array Alcotest.int) "item frequencies" [| 6; 6; 6; 4; 1 |]
+    (Database.item_frequencies db);
+  check Alcotest.int "fold count" 10 (Database.fold (fun n _ -> n + 1) 0 db);
+  let tids = ref [] in
+  Database.iteri (fun tid _ -> tids := tid :: !tids) db;
+  check Alcotest.int "iteri covers" 10 (List.length !tids)
+
+let test_database_count_of_fraction () =
+  let db = Helpers.small_db () in
+  check Alcotest.int "half" 5 (Database.count_of_fraction db 0.5);
+  check Alcotest.int "rounds up" 3 (Database.count_of_fraction db 0.21);
+  check Alcotest.int "zero floors to 1" 1 (Database.count_of_fraction db 0.0);
+  check Alcotest.int "one" 10 (Database.count_of_fraction db 1.0);
+  Alcotest.check_raises "above one"
+    (Invalid_argument "Database.count_of_fraction") (fun () ->
+      ignore (Database.count_of_fraction db 1.5))
+
+(* ------------------------------------------------------------------ *)
+(* Tidlist *)
+
+let test_tidlist_matches_scan () =
+  let db = Helpers.small_db () in
+  let idx = Tidlist.build db in
+  check Alcotest.int "num_items" 5 (Tidlist.num_items idx);
+  check Alcotest.int "num_transactions" 10 (Tidlist.num_transactions idx);
+  List.iter
+    (fun x ->
+      check Alcotest.int
+        (Format.asprintf "support %a" Itemset.pp x)
+        (Database.support_count db x) (Tidlist.support_count idx x))
+    (Helpers.all_nonempty_itemsets db);
+  check Alcotest.int "empty itemset" 10 (Tidlist.support_count idx Itemset.empty)
+
+let test_tidlist_tids () =
+  let db = Helpers.small_db () in
+  let idx = Tidlist.build db in
+  check (Alcotest.array Alcotest.int) "tids of 3" [| 4; 5; 6; 7 |]
+    (Tidlist.tids idx 3);
+  check Alcotest.int "item_support" 4 (Tidlist.item_support idx 3);
+  Alcotest.check_raises "oob" (Invalid_argument "Tidlist.tids") (fun () ->
+      ignore (Tidlist.tids idx 5))
+
+let tidlist_prop =
+  QCheck2.Test.make ~name:"tidlist: support equals full scan" ~count:100
+    ~print:(fun (db, x) -> Helpers.db_print db ^ " / " ^ Itemset.to_string x)
+    Helpers.db_and_itemset_gen
+    (fun (db, x) ->
+      Tidlist.support_count (Tidlist.build db) x = Database.support_count db x)
+
+(* ------------------------------------------------------------------ *)
+(* Db_io *)
+
+let test_db_io_roundtrip () =
+  let db = Helpers.small_db () in
+  let path = Filename.temp_file "olar" ".db" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Db_io.save db path;
+      let back = Db_io.load path in
+      check Alcotest.int "size" (Database.size db) (Database.size back);
+      check Alcotest.int "items" (Database.num_items db) (Database.num_items back);
+      Database.iteri
+        (fun tid txn -> check itemset "txn" txn (Database.get back tid))
+        db)
+
+let test_db_io_empty_transactions () =
+  let db = Database.of_lists ~num_items:2 [ []; [ 0 ]; [] ] in
+  let path = Filename.temp_file "olar" ".db" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Db_io.save db path;
+      let back = Db_io.load path in
+      check Alcotest.int "size" 3 (Database.size back);
+      check itemset "empty kept" Itemset.empty (Database.get back 0))
+
+let expect_malformed lines =
+  match Db_io.parse lines with
+  | exception Db_io.Malformed _ -> ()
+  | _ -> Alcotest.fail "expected Malformed"
+
+let test_db_io_malformed () =
+  expect_malformed [];
+  expect_malformed [ "garbage" ];
+  expect_malformed [ "# olar transaction database v1" ];
+  expect_malformed [ "# olar transaction database v1"; "items x"; "transactions 0" ];
+  expect_malformed
+    [ "# olar transaction database v1"; "items 2"; "transactions 2"; "0" ];
+  expect_malformed
+    [ "# olar transaction database v1"; "items 2"; "transactions 1"; "0 oops" ];
+  (* item out of the declared universe *)
+  expect_malformed
+    [ "# olar transaction database v1"; "items 2"; "transactions 1"; "5" ]
+
+let db_io_roundtrip_prop =
+  QCheck2.Test.make ~name:"db_io: parse inverts print" ~count:50
+    ~print:Helpers.db_print Helpers.db_gen (fun db ->
+      let path = Filename.temp_file "olar" ".db" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Db_io.save db path;
+          let back = Db_io.load path in
+          Database.size back = Database.size db
+          && Database.num_items back = Database.num_items db
+          && List.for_all
+               (fun tid -> Itemset.equal (Database.get db tid) (Database.get back tid))
+               (List.init (Database.size db) Fun.id)))
+
+let case name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "data.item",
+      [
+        case "vocab intern" test_vocab_intern;
+        case "vocab of_names" test_vocab_of_names;
+        case "vocab save/load" test_vocab_save_load;
+      ] );
+    ( "data.itemset",
+      [
+        case "construction" test_itemset_construction;
+        case "observation" test_itemset_observation;
+        case "algebra" test_itemset_algebra;
+        case "relations" test_itemset_relations;
+        case "parents" test_itemset_parents;
+        case "subsets" test_itemset_subsets;
+        case "order/hash" test_itemset_order_hash;
+        case "pp_named" test_itemset_pp_named;
+        case "containers" test_itemset_containers;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest itemset_props );
+    ( "data.database",
+      [
+        case "basic" test_database_basic;
+        case "validation" test_database_validation;
+        case "support" test_database_support;
+        case "aggregates" test_database_aggregates;
+        case "count_of_fraction" test_database_count_of_fraction;
+      ] );
+    ( "data.tidlist",
+      [
+        case "matches scan" test_tidlist_matches_scan;
+        case "tids" test_tidlist_tids;
+        QCheck_alcotest.to_alcotest tidlist_prop;
+      ] );
+    ( "data.db_io",
+      [
+        case "roundtrip" test_db_io_roundtrip;
+        case "empty transactions" test_db_io_empty_transactions;
+        case "malformed" test_db_io_malformed;
+        QCheck_alcotest.to_alcotest db_io_roundtrip_prop;
+      ] );
+  ]

@@ -1,0 +1,208 @@
+(* Tests for olar.datagen: parameter parsing/naming and the Section 6.1
+   synthetic generator. *)
+
+open Olar_data
+open Olar_datagen
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Params *)
+
+let test_params_name () =
+  let p = Params.make ~avg_transaction_size:10.0 ~avg_itemset_size:4.0 ~num_transactions:100_000 () in
+  check Alcotest.string "paper name" "T10.I4.D100K" (Params.name p);
+  let p = Params.make ~avg_transaction_size:20.0 ~avg_itemset_size:6.0 ~num_transactions:2_500 () in
+  check Alcotest.string "non-K name" "T20.I6.D2500" (Params.name p);
+  let p = Params.make ~avg_transaction_size:12.5 ~avg_itemset_size:4.0 ~num_transactions:1_000 () in
+  check Alcotest.string "fractional T" "T12.5.I4.D1K" (Params.name p)
+
+let test_params_of_name () =
+  (match Params.of_name "T10.I4.D100K" with
+  | Some p ->
+    check (Alcotest.float 0.0) "T" 10.0 p.Params.avg_transaction_size;
+    check (Alcotest.float 0.0) "I" 4.0 p.Params.avg_itemset_size;
+    check Alcotest.int "D" 100_000 p.Params.num_transactions
+  | None -> Alcotest.fail "parse failed");
+  (match Params.of_name "t20.i6.d500" with
+  | Some p ->
+    check (Alcotest.float 0.0) "lowercase T" 20.0 p.Params.avg_transaction_size;
+    check Alcotest.int "lowercase D" 500 p.Params.num_transactions
+  | None -> Alcotest.fail "lowercase parse failed");
+  List.iter
+    (fun s ->
+      check Alcotest.bool ("reject " ^ s) true (Params.of_name s = None))
+    [ ""; "T10"; "T10.I4"; "X10.I4.D1K"; "T10.I4.DxK"; "T-1.I4.D1K"; "T10.I4.D1K.extra" ]
+
+let test_params_roundtrip () =
+  List.iter
+    (fun s ->
+      match Params.of_name s with
+      | Some p -> check Alcotest.string ("roundtrip " ^ s) s (Params.name p)
+      | None -> Alcotest.failf "parse failed for %s" s)
+    [ "T10.I4.D100K"; "T20.I6.D100K"; "T5.I2.D777" ]
+
+let test_params_validate () =
+  Params.validate Params.default;
+  let bad = { Params.default with num_items = 0 } in
+  Alcotest.check_raises "num_items" (Invalid_argument "Params.validate: num_items")
+    (fun () -> Params.validate bad);
+  let bad = { Params.default with correlation = 1.5 } in
+  Alcotest.check_raises "correlation" (Invalid_argument "Params.validate: correlation")
+    (fun () -> Params.validate bad);
+  let bad = { Params.default with avg_itemset_size = 2000.0 } in
+  Alcotest.check_raises "itemset above universe"
+    (Invalid_argument "Params.validate: avg_itemset_size above universe")
+    (fun () -> Params.validate bad)
+
+(* ------------------------------------------------------------------ *)
+(* Quest: stage 1 *)
+
+let small_params =
+  {
+    Params.default with
+    Params.num_items = 200;
+    num_potential = 100;
+    num_transactions = 2_000;
+    seed = 7;
+  }
+
+let test_potential_shapes () =
+  let pot = Quest.potential_itemsets small_params in
+  check Alcotest.int "count" 100 (Array.length pot.Quest.itemsets);
+  check Alcotest.int "weights" 100 (Array.length pot.Quest.weights);
+  check Alcotest.int "noise" 100 (Array.length pot.Quest.noise);
+  Array.iter
+    (fun x ->
+      check Alcotest.bool "non-empty" false (Itemset.is_empty x);
+      check Alcotest.bool "in universe" true (Itemset.max_item x < 200))
+    pot.Quest.itemsets;
+  Array.iter
+    (fun w -> check Alcotest.bool "weight positive" true (w >= 0.0))
+    pot.Quest.weights;
+  Array.iter
+    (fun n -> check Alcotest.bool "noise in (0,1)" true (n > 0.0 && n < 1.0))
+    pot.Quest.noise
+
+let test_potential_mean_size () =
+  let pot = Quest.potential_itemsets { small_params with Params.num_potential = 2000 } in
+  let mean =
+    Array.fold_left (fun acc x -> acc +. float_of_int (Itemset.cardinal x)) 0.0
+      pot.Quest.itemsets
+    /. 2000.0
+  in
+  (* sizes are max(1, Poisson(4)): mean slightly above 4 *)
+  if mean < 3.6 || mean > 4.6 then Alcotest.failf "mean itemset size %f" mean
+
+let test_potential_correlation () =
+  (* Successive potential itemsets share items (the paper's carry-over). *)
+  let pot = Quest.potential_itemsets { small_params with Params.num_potential = 500 } in
+  let shared = ref 0 and pairs = ref 0 in
+  for j = 1 to 499 do
+    let a = pot.Quest.itemsets.(j - 1) and b = pot.Quest.itemsets.(j) in
+    incr pairs;
+    if not (Itemset.disjoint a b) then incr shared
+  done;
+  let frac = float_of_int !shared /. float_of_int !pairs in
+  check Alcotest.bool (Printf.sprintf "adjacent overlap %.2f" frac) true (frac > 0.5)
+
+let test_potential_no_correlation_param () =
+  let pot =
+    Quest.potential_itemsets
+      { small_params with Params.correlation = 0.0; num_potential = 300 }
+  in
+  (* with correlation 0 adjacent overlap should be rare on a 200-item
+     universe *)
+  let shared = ref 0 in
+  for j = 1 to 299 do
+    if not (Itemset.disjoint pot.Quest.itemsets.(j - 1) pot.Quest.itemsets.(j))
+    then incr shared
+  done;
+  check Alcotest.bool "low overlap" true (float_of_int !shared /. 299.0 < 0.3)
+
+(* ------------------------------------------------------------------ *)
+(* Quest: stage 2 *)
+
+let test_generate_shape () =
+  let db = Quest.generate small_params in
+  check Alcotest.int "transactions" 2_000 (Database.size db);
+  check Alcotest.int "universe" 200 (Database.num_items db);
+  let avg = Database.avg_transaction_size db in
+  if avg < 8.0 || avg > 12.0 then Alcotest.failf "avg transaction size %f" avg
+
+let test_generate_deterministic () =
+  let a = Quest.generate small_params in
+  let b = Quest.generate small_params in
+  check Alcotest.int "same size" (Database.size a) (Database.size b);
+  Database.iteri
+    (fun tid txn -> check Helpers.itemset "same transaction" txn (Database.get b tid))
+    a
+
+let test_generate_seed_changes_data () =
+  let a = Quest.generate small_params in
+  let b = Quest.generate { small_params with Params.seed = 8 } in
+  let differs = ref false in
+  Database.iteri
+    (fun tid txn ->
+      if not (Itemset.equal txn (Database.get b tid)) then differs := true)
+    a;
+  check Alcotest.bool "different seed different data" true !differs
+
+let test_generate_has_patterns () =
+  (* The generated data must contain frequent itemsets beyond singletons:
+     that is the whole point of planting potential itemsets. *)
+  let db = Quest.generate small_params in
+  let minsup = Database.count_of_fraction db 0.02 in
+  let f = Olar_mining.Apriori.mine db ~minsup in
+  check Alcotest.bool "frequent pairs exist" true
+    (Array.length (Olar_mining.Frequent.level f 2) > 0)
+
+let test_generate_zero_transactions () =
+  let db = Quest.generate { small_params with Params.num_transactions = 0 } in
+  check Alcotest.int "empty db" 0 (Database.size db)
+
+let generate_within_universe_prop =
+  QCheck2.Test.make ~name:"quest: every item in range, sizes positive" ~count:20
+    QCheck2.Gen.(pair (int_range 1 1000) (pair (float_range 2.0 8.0) (float_range 2.0 6.0)))
+    (fun (seed, (t, i)) ->
+      let params =
+        {
+          small_params with
+          Params.seed;
+          avg_transaction_size = t;
+          avg_itemset_size = i;
+          num_transactions = 100;
+        }
+      in
+      let db = Quest.generate params in
+      Database.size db = 100
+      && Database.fold
+           (fun ok txn ->
+             ok && (Itemset.is_empty txn || Itemset.max_item txn < 200))
+           true db)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "datagen.params",
+      [
+        case "name" test_params_name;
+        case "of_name" test_params_of_name;
+        case "roundtrip" test_params_roundtrip;
+        case "validate" test_params_validate;
+      ] );
+    ( "datagen.quest",
+      [
+        case "potential shapes" test_potential_shapes;
+        case "potential mean size" test_potential_mean_size;
+        case "potential correlation" test_potential_correlation;
+        case "correlation off" test_potential_no_correlation_param;
+        case "generate shape" test_generate_shape;
+        case "deterministic" test_generate_deterministic;
+        case "seed sensitivity" test_generate_seed_changes_data;
+        case "plants patterns" test_generate_has_patterns;
+        case "zero transactions" test_generate_zero_transactions;
+        QCheck_alcotest.to_alcotest generate_within_universe_prop;
+      ] );
+  ]

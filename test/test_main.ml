@@ -1,0 +1,9 @@
+(* Aggregated alcotest entry point for the whole repository. *)
+
+let () =
+  Alcotest.run "olar"
+    (Test_util.suites @ Test_data.suites @ Test_mining.suites
+   @ Test_core.suites @ Test_queries.suites @ Test_datagen.suites
+   @ Test_baseline.suites @ Test_extensions.suites @ Test_taxonomy.suites
+   @ Test_quant.suites @ Test_cli.suites @ Test_laws.suites
+   @ Test_integration.suites)

@@ -1,0 +1,197 @@
+(* Tests for olar.quant: quantitative association rules (the paper's
+   reference [22]) — schema validation, equi-depth fitting, encoding,
+   labels and the end-to-end pipeline. *)
+
+open Olar_data
+open Olar_quant
+
+let check = Alcotest.check
+
+let schema () =
+  [|
+    Attribute.numeric "age" ~buckets:3;
+    Attribute.categorical "married";
+    Attribute.numeric "cars" ~buckets:2;
+  |]
+
+let records () =
+  (* the cited paper's toy people table *)
+  [|
+    [| Attribute.Num 23.0; Attribute.Cat "no"; Attribute.Num 1.0 |];
+    [| Attribute.Num 25.0; Attribute.Cat "yes"; Attribute.Num 1.0 |];
+    [| Attribute.Num 29.0; Attribute.Cat "no"; Attribute.Num 0.0 |];
+    [| Attribute.Num 34.0; Attribute.Cat "yes"; Attribute.Num 2.0 |];
+    [| Attribute.Num 38.0; Attribute.Cat "yes"; Attribute.Num 2.0 |];
+  |]
+
+let test_attribute_validation () =
+  Alcotest.check_raises "empty name" (Invalid_argument "Attribute.categorical: empty name")
+    (fun () -> ignore (Attribute.categorical ""));
+  Alcotest.check_raises "zero buckets" (Invalid_argument "Attribute.numeric: buckets")
+    (fun () -> ignore (Attribute.numeric "x" ~buckets:0));
+  Alcotest.check_raises "duplicate names"
+    (Invalid_argument "Attribute.validate_schema: duplicate name") (fun () ->
+      Attribute.validate_schema
+        [| Attribute.categorical "a"; Attribute.categorical "a" |]);
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument "Attribute.check_value: kind mismatch") (fun () ->
+      Attribute.check_value (Attribute.categorical "a") (Attribute.Num 1.0));
+  Alcotest.check_raises "NaN" (Invalid_argument "Attribute.check_value: NaN")
+    (fun () ->
+      Attribute.check_value (Attribute.numeric "a" ~buckets:2) (Attribute.Num Float.nan))
+
+let test_fit_shape () =
+  let enc = Quant.fit (schema ()) (records ()) in
+  (* age: 3 buckets, married: 2 values, cars: 2 buckets *)
+  check Alcotest.int "universe" 7 (Quant.num_items enc);
+  check Alcotest.int "schema kept" 3 (Array.length (Quant.schema enc))
+
+let test_fit_validation () =
+  Alcotest.check_raises "no records" (Invalid_argument "Quant.fit: no records")
+    (fun () -> ignore (Quant.fit (schema ()) [||]));
+  Alcotest.check_raises "bad arity"
+    (Invalid_argument "Quant: record arity does not match schema") (fun () ->
+      ignore (Quant.fit (schema ()) [| [| Attribute.Num 1.0 |] |]))
+
+let test_encode_one_item_per_attribute () =
+  let enc = Quant.fit (schema ()) (records ()) in
+  Array.iter
+    (fun record ->
+      let txn = Quant.encode enc record in
+      check Alcotest.int "one item per attribute" 3 (Itemset.cardinal txn))
+    (records ())
+
+let test_encode_buckets () =
+  let enc = Quant.fit (schema ()) (records ()) in
+  (* two records in the same age tercile share the age item *)
+  let item_of record =
+    Itemset.min_item (Quant.encode enc record)
+    (* age is attribute 0: lowest ids *)
+  in
+  (* equi-depth on [23;25;29;34;38] with 3 buckets cuts at 25 and 34:
+     {23} | {25,29} | {34,38} *)
+  check Alcotest.int "25 and 29 share a tercile"
+    (item_of (records ()).(1))
+    (item_of (records ()).(2));
+  check Alcotest.int "34 and 38 share a tercile"
+    (item_of (records ()).(3))
+    (item_of (records ()).(4));
+  check Alcotest.bool "23 and 38 differ" true
+    (item_of (records ()).(0) <> item_of (records ()).(4));
+  (* unseen categorical value: attribute contributes no item *)
+  let txn =
+    Quant.encode enc
+      [| Attribute.Num 30.0; Attribute.Cat "divorced"; Attribute.Num 1.0 |]
+  in
+  check Alcotest.int "unseen category skipped" 2 (Itemset.cardinal txn);
+  (* numeric out of fitted range clamps into an extreme bucket *)
+  let lowest =
+    Quant.encode enc [| Attribute.Num (-10.0); Attribute.Cat "no"; Attribute.Num 0.0 |]
+  in
+  let first =
+    Quant.encode enc [| Attribute.Num 23.0; Attribute.Cat "no"; Attribute.Num 0.0 |]
+  in
+  check Helpers.itemset "clamped low" first lowest
+
+let test_labels () =
+  let enc = Quant.fit (schema ()) (records ()) in
+  (* the married block starts after age's 3 buckets; "no" was observed
+     first, so it takes the first local id *)
+  check Alcotest.string "categorical label" "married = no" (Quant.item_label enc 3);
+  check Alcotest.string "second value" "married = yes" (Quant.item_label enc 4);
+  check Alcotest.bool "numeric label mentions attribute" true
+    (Helpers.contains_substring (Quant.item_label enc 0) "age in [");
+  Alcotest.check_raises "unknown id" (Invalid_argument "Quant.item_label")
+    (fun () -> ignore (Quant.item_label enc 99));
+  let vocab = Quant.vocab enc in
+  check Alcotest.int "vocab covers universe" (Quant.num_items enc)
+    (Item.Vocab.size vocab)
+
+let test_equidepth_balance () =
+  (* 90 records uniform over [0, 90): 3 buckets of ~30 *)
+  let schema = [| Attribute.numeric "v" ~buckets:3 |] in
+  let records = Array.init 90 (fun i -> [| Attribute.Num (float_of_int i) |]) in
+  let enc = Quant.fit schema records in
+  let db = Quant.database enc records in
+  let freq = Database.item_frequencies db in
+  check Alcotest.int "three buckets" 3 (Array.length freq);
+  Array.iter
+    (fun c ->
+      if c < 25 || c > 35 then Alcotest.failf "unbalanced bucket: %d" c)
+    freq
+
+let test_constant_numeric () =
+  (* a constant attribute collapses to one bucket even with buckets=4 *)
+  let schema = [| Attribute.numeric "k" ~buckets:4 |] in
+  let records = Array.init 10 (fun _ -> [| Attribute.Num 7.0 |]) in
+  let enc = Quant.fit schema records in
+  check Alcotest.int "one item" 1 (Quant.num_items enc);
+  check Alcotest.string "closed interval label" "k in [7, 7]"
+    (Quant.item_label enc 0)
+
+let test_pipeline_rules () =
+  (* plant: older people own more cars *)
+  let schema =
+    [| Attribute.numeric "age" ~buckets:2; Attribute.numeric "cars" ~buckets:2 |]
+  in
+  let records =
+    Array.init 200 (fun i ->
+        let age = if i < 100 then 25.0 +. float_of_int (i mod 10) else 55.0 +. float_of_int (i mod 10) in
+        let cars = if i < 100 then 1.0 else 2.0 in
+        [| Attribute.Num age; Attribute.Num cars |])
+  in
+  let enc = Quant.fit schema records in
+  let db = Quant.database enc records in
+  let engine = Olar_core.Engine.at_threshold db ~primary_support:0.1 in
+  let rules = Olar_core.Engine.essential_rules engine ~minsup:0.4 ~minconf:0.9 in
+  check Alcotest.bool "age-cars rule found" true (rules <> []);
+  let rendered =
+    String.concat "\n"
+      (List.map (fun r -> Format.asprintf "%a" (Quant.pp_rule enc) r) rules)
+  in
+  check Alcotest.bool "renders as predicates" true
+    (Helpers.contains_substring rendered "age in ["
+    && Helpers.contains_substring rendered "cars in [")
+
+let quant_roundtrip_prop =
+  QCheck2.Test.make ~name:"quant: every encoded record has <= one item per attribute"
+    ~count:100
+    QCheck2.Gen.(
+      pair (int_range 1 5)
+        (list_size (int_range 1 30) (pair (float_range 0.0 100.0) (string_size (int_range 0 4)))))
+    (fun (buckets, rows) ->
+      let schema =
+        [| Attribute.numeric "x" ~buckets; Attribute.categorical "c" |]
+      in
+      let records =
+        Array.of_list
+          (List.map (fun (x, s) -> [| Attribute.Num x; Attribute.Cat s |]) rows)
+      in
+      let enc = Quant.fit schema records in
+      Array.for_all
+        (fun r ->
+          let txn = Quant.encode enc r in
+          Itemset.cardinal txn = 2
+          && Itemset.fold
+               (fun i ok -> ok && i >= 0 && i < Quant.num_items enc)
+               txn true)
+        records)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "quant",
+      [
+        case "attribute validation" test_attribute_validation;
+        case "fit shape" test_fit_shape;
+        case "fit validation" test_fit_validation;
+        case "one item per attribute" test_encode_one_item_per_attribute;
+        case "bucket assignment" test_encode_buckets;
+        case "labels" test_labels;
+        case "equi-depth balance" test_equidepth_balance;
+        case "constant numeric" test_constant_numeric;
+        case "pipeline rules" test_pipeline_rules;
+        QCheck_alcotest.to_alcotest quant_roundtrip_prop;
+      ] );
+  ]

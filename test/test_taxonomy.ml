@@ -1,0 +1,248 @@
+(* Tests for olar.taxonomy: is-a hierarchies and generalized rules
+   (Srikant & Agrawal, the paper's reference [21]). *)
+
+open Olar_data
+open Olar_taxonomy
+
+let check = Alcotest.check
+let set = Itemset.of_list
+let itemset = Helpers.itemset
+let intl = Alcotest.(list int)
+
+(* The cited paper's example hierarchy:
+   0 jacket   -> 4 outerwear -> 6 clothes
+   1 ski pants-> 4 outerwear
+   2 shirt    -> 6 clothes
+   3 shoes    -> 5 footwear
+   7 hiking boots -> 5 footwear *)
+let clothes_taxonomy () =
+  Taxonomy.of_parents ~num_items:8
+    [ (0, 4); (1, 4); (2, 6); (4, 6); (3, 5); (7, 5) ]
+
+let test_structure () =
+  let t = clothes_taxonomy () in
+  check Alcotest.int "universe" 8 (Taxonomy.num_items t);
+  check (Alcotest.option Alcotest.int) "jacket's parent" (Some 4) (Taxonomy.parent t 0);
+  check (Alcotest.option Alcotest.int) "clothes is a root" None (Taxonomy.parent t 6);
+  check intl "outerwear's children" [ 0; 1 ] (Taxonomy.children t 4);
+  check intl "jacket's ancestors" [ 4; 6 ] (Taxonomy.ancestors t 0);
+  check intl "clothes' descendants" [ 0; 1; 2; 4 ] (Taxonomy.descendants t 6);
+  check intl "roots" [ 5; 6 ] (Taxonomy.roots t);
+  check intl "leaves" [ 0; 1; 2; 3; 7 ] (Taxonomy.leaves t);
+  check Alcotest.bool "clothes above jacket" true
+    (Taxonomy.is_ancestor t ~ancestor:6 ~of_:0);
+  check Alcotest.bool "footwear not above jacket" false
+    (Taxonomy.is_ancestor t ~ancestor:5 ~of_:0);
+  check Alcotest.int "depth of jacket" 2 (Taxonomy.depth t 0);
+  check Alcotest.int "depth of root" 0 (Taxonomy.depth t 6)
+
+let test_validation () =
+  Alcotest.check_raises "two parents"
+    (Invalid_argument "Taxonomy.of_parents: child with two parents") (fun () ->
+      ignore (Taxonomy.of_parents ~num_items:3 [ (0, 1); (0, 2) ]));
+  Alcotest.check_raises "self edge"
+    (Invalid_argument "Taxonomy.of_parents: self edge") (fun () ->
+      ignore (Taxonomy.of_parents ~num_items:2 [ (0, 0) ]));
+  Alcotest.check_raises "cycle" (Invalid_argument "Taxonomy.of_parents: cycle")
+    (fun () -> ignore (Taxonomy.of_parents ~num_items:3 [ (0, 1); (1, 2); (2, 0) ]));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Taxonomy.of_parents: item out of range") (fun () ->
+      ignore (Taxonomy.of_parents ~num_items:2 [ (0, 5) ]))
+
+let test_extend_database () =
+  let t = clothes_taxonomy () in
+  let db = Database.of_lists ~num_items:8 [ [ 0; 3 ]; [ 2 ]; [] ] in
+  let extended = Generalize.extend_database t db in
+  check Alcotest.int "size preserved" 3 (Database.size extended);
+  check itemset "jacket+shoes gains outerwear, clothes, footwear"
+    (set [ 0; 3; 4; 5; 6 ])
+    (Database.get extended 0);
+  check itemset "shirt gains clothes" (set [ 2; 6 ]) (Database.get extended 1);
+  check itemset "empty stays empty" Itemset.empty (Database.get extended 2)
+
+let test_extend_supports_are_monotone () =
+  (* a category's support >= sum-free max of its descendants *)
+  let t = clothes_taxonomy () in
+  let db =
+    Database.of_lists ~num_items:8 [ [ 0 ]; [ 1 ]; [ 0; 1 ]; [ 2 ]; [ 3 ] ]
+  in
+  let extended = Generalize.extend_database t db in
+  let sup x = Database.support_count extended (set [ x ]) in
+  check Alcotest.int "outerwear = jacket|skipants baskets" 3 (sup 4);
+  check Alcotest.int "clothes = all clothing baskets" 4 (sup 6);
+  check Alcotest.bool "category dominates member" true (sup 4 >= sup 0)
+
+let test_clean_itemsets () =
+  let t = clothes_taxonomy () in
+  check Alcotest.bool "item+ancestor is unclean" false
+    (Generalize.itemset_is_clean t (set [ 0; 4 ]));
+  check Alcotest.bool "item+unrelated category is clean" true
+    (Generalize.itemset_is_clean t (set [ 0; 5 ]));
+  check Alcotest.bool "grandparent also unclean" false
+    (Generalize.itemset_is_clean t (set [ 0; 6 ]));
+  let cleaned =
+    Generalize.clean_itemsets t [ (set [ 0; 4 ], 3); (set [ 0; 7 ], 2) ]
+  in
+  check (Alcotest.list Helpers.entry) "filtered" [ (set [ 0; 7 ], 2) ] cleaned
+
+let test_prune_rules () =
+  let t = clothes_taxonomy () in
+  let mk a c =
+    Olar_core.Rule.make ~antecedent:(set a) ~consequent:(set c) ~support_count:2
+      ~antecedent_count:4
+  in
+  (* outerwear => hiking boots: informative (different subtrees) *)
+  check Alcotest.bool "cross-subtree kept" true
+    (Generalize.rule_is_informative t (mk [ 4 ] [ 7 ]));
+  (* outerwear => jacket: consequent is a descendant of the antecedent *)
+  check Alcotest.bool "descendant consequent dropped" false
+    (Generalize.rule_is_informative t (mk [ 4 ] [ 0 ]));
+  (* jacket => clothes: consequent is an ancestor *)
+  check Alcotest.bool "ancestor consequent dropped" false
+    (Generalize.rule_is_informative t (mk [ 0 ] [ 6 ]));
+  (* jacket,outerwear => shoes: unclean union *)
+  check Alcotest.bool "unclean union dropped" false
+    (Generalize.rule_is_informative t (mk [ 0; 4 ] [ 3 ]));
+  check Alcotest.int "prune keeps the one informative rule" 1
+    (List.length
+       (Generalize.prune_rules t [ mk [ 4 ] [ 7 ]; mk [ 4 ] [ 0 ]; mk [ 0 ] [ 6 ] ]))
+
+let test_generalized_pipeline () =
+  (* End-to-end: raw transactions never contain category 4, yet a rule
+     with outerwear appears after extension. Buying jackets or ski pants
+     strongly accompanies hiking boots. *)
+  let t = clothes_taxonomy () in
+  let rows =
+    List.concat
+      [
+        List.init 20 (fun i -> [ (if i mod 2 = 0 then 0 else 1); 7 ]);
+        List.init 10 (fun _ -> [ 2 ]);
+        List.init 5 (fun _ -> [ 3 ]);
+      ]
+  in
+  let db = Database.of_lists ~num_items:8 rows in
+  let extended = Generalize.extend_database t db in
+  let engine = Olar_core.Engine.at_threshold extended ~primary_support:0.05 in
+  (* clean BEFORE generating: otherwise the unclean super-itemsets
+     (jacket with its own category) dominate and the category rule is
+     eliminated as redundant *)
+  let clean =
+    Olar_core.Engine.of_lattice
+      (Generalize.clean_lattice t (Olar_core.Engine.lattice engine))
+  in
+  let rules = Olar_core.Engine.essential_rules clean ~minsup:0.3 ~minconf:0.9 in
+  let informative = Generalize.prune_rules t rules in
+  let outerwear_boots r =
+    Itemset.mem 4 r.Olar_core.Rule.antecedent
+    && Itemset.mem 7 r.Olar_core.Rule.consequent
+  in
+  check Alcotest.bool "outerwear => hiking boots found" true
+    (List.exists outerwear_boots informative);
+  (* and no informative rule relates an item to its own ancestor *)
+  List.iter
+    (fun r ->
+      check Alcotest.bool
+        ("informative: " ^ Olar_core.Rule.to_string r)
+        true
+        (Generalize.rule_is_informative t r))
+    informative
+
+let taxonomy_extension_prop =
+  QCheck2.Test.make ~name:"generalize: extension adds exactly the ancestors"
+    ~count:100 ~print:Helpers.db_print Helpers.db_gen
+    (fun db ->
+      (* chain taxonomy over the db's universe: i -> i+1 *)
+      let n = Database.num_items db in
+      let t =
+        Taxonomy.of_parents ~num_items:n
+          (List.init (n - 1) (fun i -> (i, i + 1)))
+      in
+      let extended = Generalize.extend_database t db in
+      List.for_all
+        (fun tid ->
+          let txn = Database.get db tid in
+          let ext = Database.get extended tid in
+          (* expected: upward closure = items above the minimum *)
+          let expected =
+            if Itemset.is_empty txn then Itemset.empty
+            else
+              Itemset.of_list
+                (List.init (n - Itemset.min_item txn) (fun k ->
+                     Itemset.min_item txn + k))
+          in
+          Itemset.equal ext expected)
+        (List.init (Database.size db) Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Taxonomy_io *)
+
+let test_io_parse () =
+  let vocab, t =
+    Taxonomy_io.parse
+      [ "# comment"; ""; "jacket -> outerwear"; "outerwear -> clothes"; "boots->footwear" ]
+  in
+  check Alcotest.int "five names" 5 (Item.Vocab.size vocab);
+  let id n = Option.get (Item.Vocab.id vocab n) in
+  check (Alcotest.option Alcotest.int) "jacket's parent" (Some (id "outerwear"))
+    (Taxonomy.parent t (id "jacket"));
+  check (Alcotest.option Alcotest.int) "boots' parent" (Some (id "footwear"))
+    (Taxonomy.parent t (id "boots"));
+  check intl "jacket ancestors" [ id "outerwear"; id "clothes" ]
+    (Taxonomy.ancestors t (id "jacket"))
+
+let test_io_shared_vocab () =
+  (* with the basket vocabulary passed in, existing item ids are kept *)
+  let vocab, db = Basket_io.parse [ "jacket, boots"; "jacket" ] in
+  let vocab', t = Taxonomy_io.parse ~vocab [ "jacket -> outerwear" ] in
+  check Alcotest.int "vocab grew by one" 3 (Item.Vocab.size vocab');
+  let extended = Generalize.extend_database t db in
+  check Alcotest.int "jacket basket gains outerwear" 3
+    (Itemset.cardinal (Database.get extended 0))
+
+let test_io_malformed () =
+  (match Taxonomy_io.parse [ "no arrow here" ] with
+  | exception Taxonomy_io.Malformed _ -> ()
+  | _ -> Alcotest.fail "expected Malformed");
+  (match Taxonomy_io.parse [ " -> parent" ] with
+  | exception Taxonomy_io.Malformed _ -> ()
+  | _ -> Alcotest.fail "expected Malformed on empty child");
+  (* structural errors surface as Invalid_argument from Taxonomy *)
+  match Taxonomy_io.parse [ "a -> b"; "b -> a" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected cycle rejection"
+
+let test_io_roundtrip () =
+  let vocab, t =
+    Taxonomy_io.parse [ "jacket -> outerwear"; "outerwear -> clothes" ]
+  in
+  let path = Filename.temp_file "olar_tax" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Taxonomy_io.save vocab t path;
+      let vocab2, t2 = Taxonomy_io.load path in
+      let id n = Option.get (Item.Vocab.id vocab2 n) in
+      check (Alcotest.option Alcotest.int) "edge survives"
+        (Some (id "outerwear"))
+        (Taxonomy.parent t2 (id "jacket")))
+
+let case name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "taxonomy",
+      [
+        case "structure" test_structure;
+        case "validation" test_validation;
+        case "extend database" test_extend_database;
+        case "category supports" test_extend_supports_are_monotone;
+        case "clean itemsets" test_clean_itemsets;
+        case "prune rules" test_prune_rules;
+        case "generalized pipeline" test_generalized_pipeline;
+        QCheck_alcotest.to_alcotest taxonomy_extension_prop;
+        case "io parse" test_io_parse;
+        case "io shared vocab" test_io_shared_vocab;
+        case "io malformed" test_io_malformed;
+        case "io roundtrip" test_io_roundtrip;
+      ] );
+  ]

@@ -1,0 +1,23 @@
+.PHONY: all build test test-quick bench-smoke clean
+
+all: build
+
+build:
+	dune build
+
+# Full tier-1 suite (unit + property + integration + CLI).
+test:
+	dune runtest
+
+# Fast subset: skips dataset-generation, CLI-subprocess and integration
+# suites. Use for tight edit-test loops.
+test-quick:
+	dune build @runtest-quick
+
+# One quick bench scenario (query throughput at default scale, <10s) as
+# a smoke check that the bench harness still runs.
+bench-smoke:
+	dune build @bench-smoke
+
+clean:
+	dune clean

@@ -623,6 +623,84 @@ let ablate_counting config =
     trie_s tree_s
 
 (* ------------------------------------------------------------------ *)
+(* Query throughput: FindItemsets queries/second over a T10.I4-style
+   dataset. The scenario that motivates the CSR lattice layout: a long
+   interactive session hammering the same preprocessed lattice with
+   point and scan queries. Run it before and after a layout change and
+   compare the qps columns. *)
+
+let qps_scenarios e lat =
+  (* one shared scratch: the steady state of a long-lived session *)
+  let scratch = Olar_core.Scratch.create lat in
+  (* primary singletons, reused round-robin for the targeted mix *)
+  let singles = Olar_util.Vec.create () in
+  Olar_core.Lattice.iter_vertices
+    (fun v ->
+      if Olar_core.Lattice.cardinal lat v = 1 then Olar_util.Vec.push singles v)
+    lat;
+  let single k =
+    Olar_core.Lattice.itemset lat
+      (Olar_util.Vec.get singles (k mod Olar_util.Vec.length singles))
+  in
+  let minsup_of pct = Olar_core.Engine.count_of_support e (pct /. 100.0) in
+  [
+    ( "count broad 0.5%",
+      fun k ->
+        ignore k;
+        ignore
+          (Olar_core.Query.count_itemsets ~scratch lat
+             ~containing:Itemset.empty ~minsup:(minsup_of 0.5)) );
+    ( "find broad 0.25%",
+      fun k ->
+        ignore k;
+        ignore
+          (Olar_core.Query.find_itemsets ~scratch lat
+             ~containing:Itemset.empty ~minsup:(minsup_of 0.25)) );
+    ( "find targeted",
+      fun k ->
+        ignore
+          (Olar_core.Query.find_itemsets ~scratch lat ~containing:(single k)
+             ~minsup:(Olar_core.Lattice.threshold lat)) );
+    ( "top-100 support",
+      fun k ->
+        ignore
+          (Olar_core.Support_query.find_support ~scratch lat
+             ~containing:(single k) ~k:100) );
+  ]
+
+let qps config =
+  section
+    "Throughput: online queries/second on one preprocessed lattice\n\
+     (the hot loop of an interactive mining session; higher is better)";
+  let e = engine config ~t:10 ~i:4 ~primary:0.002 in
+  let lat = Olar_core.Engine.lattice e in
+  Printf.printf "lattice: %d vertices, %d edges, ~%d KiB\n"
+    (Olar_core.Lattice.num_vertices lat)
+    (Olar_core.Lattice.num_edges lat)
+    (Olar_core.Lattice.estimated_bytes lat / 1024);
+  Printf.printf "%-20s %-12s %-12s %-14s\n" "scenario" "queries" "seconds" "qps";
+  List.iter
+    (fun (name, run) ->
+      (* warm up, then measure for a fixed wall budget *)
+      for k = 0 to 9 do
+        run k
+      done;
+      let budget = 1.0 in
+      let timer = Olar_util.Timer.start () in
+      let queries = ref 0 in
+      while Olar_util.Timer.elapsed_s timer < budget do
+        (* batch between clock reads to keep clock overhead negligible *)
+        for k = 0 to 19 do
+          run (!queries + k)
+        done;
+        queries := !queries + 20
+      done;
+      let dt = Olar_util.Timer.elapsed_s timer in
+      Printf.printf "%-20s %-12d %-12.3f %-14.0f\n" name !queries dt
+        (float_of_int !queries /. dt))
+    (qps_scenarios e lat)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the core operations. *)
 
 let micro config =
@@ -709,7 +787,7 @@ let micro config =
 let all_experiments =
   [
     ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("table3", table3);
-    ("fig11", fig11); ("fig12", fig12); ("scaling", scaling);
+    ("fig11", fig11); ("fig12", fig12); ("scaling", scaling); ("qps", qps);
     ("miners", miners); ("ablate-sort", ablate_sort);
     ("ablate-cache", ablate_cache); ("ablate-miner", ablate_miner);
     ("ablate-counting", ablate_counting); ("ablate-bestfirst", ablate_bestfirst);

@@ -323,6 +323,28 @@ let info_cmd =
     Term.(const run $ lattice_arg)
 
 (* ------------------------------------------------------------------ *)
+(* stats *)
+
+let stats_cmd =
+  let run lattice_path =
+    let engine = or_die (load_engine lattice_path) in
+    let s = Olar_core.Engine.stats engine in
+    Format.printf "vertices:    %d@." s.Olar_core.Lattice.Stats.vertices;
+    Format.printf "edges:       %d@." s.Olar_core.Lattice.Stats.edges;
+    Format.printf "bytes:       %d (~%d KiB)@." s.Olar_core.Lattice.Stats.bytes
+      (s.Olar_core.Lattice.Stats.bytes / 1024);
+    Format.printf "max fanout:  %d@." s.Olar_core.Lattice.Stats.max_fanout;
+    Format.printf "depth:       %d@." s.Olar_core.Lattice.Stats.depth
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Print the lattice shape summary: vertices, edges, estimated \
+          resident bytes of the CSR layout, the largest child fanout and \
+          the cardinality of the deepest itemset.")
+    Term.(const run $ lattice_arg)
+
+(* ------------------------------------------------------------------ *)
 (* items *)
 
 let items_cmd =
@@ -854,7 +876,8 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            gen_cmd; preprocess_cmd; info_cmd; items_cmd; rules_cmd; count_cmd;
-            support_for_cmd; direct_cmd; update_cmd; condense_cmd; baskets_cmd;
-            extend_cmd; dbinfo_cmd;
+            gen_cmd; preprocess_cmd; info_cmd; stats_cmd; items_cmd; rules_cmd;
+            count_cmd;
+            support_for_cmd; direct_cmd; update_cmd; condense_cmd;
+            baskets_cmd; extend_cmd; dbinfo_cmd;
           ]))

@@ -18,9 +18,9 @@ let bump work = match work with Some c -> Counter.incr c | None -> ()
 
 (* The inclusion sets can only be met when P ⊆ X, Q ⊆ X and P ∩ Q = ∅:
    the antecedent and consequent partition a subset of X. *)
-let feasible cs x =
-  Itemset.subset cs.antecedent_includes x
-  && Itemset.subset cs.consequent_includes x
+let feasible lattice cs target =
+  Lattice.vertex_has_subset lattice target cs.antecedent_includes
+  && Lattice.vertex_has_subset lattice target cs.consequent_includes
   && Itemset.disjoint cs.antecedent_includes cs.consequent_includes
 
 (* Reverse search from [target] through every ancestor satisfying the
@@ -28,32 +28,36 @@ let feasible cs x =
    (the target itself included — callers filter). The satisfying region
    is connected through parent edges (supports only grow upward, and P
    can be preserved by dropping non-P items first), so this simple marked
-   walk visits it all. *)
-let walk ?work lattice ~target ~confidence cs ~emit =
+   walk visits it all. The caller supplies the scratch. *)
+let walk ?work lattice s ~target ~confidence cs ~emit =
   let sup_x = Lattice.support lattice target in
-  let marks = Lattice.fresh_marks lattice in
-  let stack = Olar_util.Vec.create () in
-  Olar_util.Bitset.add marks target;
+  let parent_off = Lattice.parent_offsets lattice in
+  let parent_buf = Lattice.parent_edges lattice in
+  let supports = Lattice.support_array lattice in
+  let marks = s.Scratch.marks in
+  let epoch = s.Scratch.epoch in
+  let stack = s.Scratch.stack in
+  marks.(target) <- epoch;
   Olar_util.Vec.push stack target;
   while not (Olar_util.Vec.is_empty stack) do
     let v = Olar_util.Vec.pop stack in
     bump work;
     emit v;
-    Array.iter
-      (fun p ->
-        bump work;
-        if not (Olar_util.Bitset.mem marks p) then begin
-          let ok =
-            Conf.satisfied confidence ~union_count:sup_x
-              ~antecedent_count:(Lattice.support lattice p)
-            && Itemset.subset cs.antecedent_includes (Lattice.itemset lattice p)
-          in
-          if ok then begin
-            Olar_util.Bitset.add marks p;
-            Olar_util.Vec.push stack p
-          end
-        end)
-      (Lattice.parents lattice v)
+    for i = parent_off.(v) to parent_off.(v + 1) - 1 do
+      let p = parent_buf.(i) in
+      bump work;
+      if marks.(p) <> epoch then begin
+        let ok =
+          Conf.satisfied confidence ~union_count:sup_x
+            ~antecedent_count:supports.(p)
+          && Lattice.vertex_has_subset lattice p cs.antecedent_includes
+        in
+        if ok then begin
+          marks.(p) <- epoch;
+          Olar_util.Vec.push stack p
+        end
+      end
+    done
   done
 
 (* A visited vertex is an admissible antecedent when it is a proper
@@ -62,54 +66,62 @@ let walk ?work lattice ~target ~confidence cs ~emit =
 let admissible lattice cs ~target v =
   v <> target
   && (cs.allow_empty_antecedent || v <> Lattice.root lattice)
-  && Itemset.disjoint (Lattice.itemset lattice v) cs.consequent_includes
+  && Lattice.vertex_disjoint lattice v cs.consequent_includes
 
 (* Maximality (Definition 4.3, constrained form): no parent that is an
    admissible antecedent satisfies the confidence bound. Parents of an
    admissible vertex automatically avoid Q; only the P-inclusion and
    non-emptiness need rechecking. *)
 let maximal ?work lattice cs ~confidence ~sup_x v =
-  Array.for_all
-    (fun p ->
-      bump work;
-      let p_admissible =
-        (cs.allow_empty_antecedent || p <> Lattice.root lattice)
-        && Itemset.subset cs.antecedent_includes (Lattice.itemset lattice p)
-      in
-      not
-        (p_admissible
-        && Conf.satisfied confidence ~union_count:sup_x
-             ~antecedent_count:(Lattice.support lattice p)))
-    (Lattice.parents lattice v)
+  let parent_off = Lattice.parent_offsets lattice in
+  let parent_buf = Lattice.parent_edges lattice in
+  let supports = Lattice.support_array lattice in
+  let ok = ref true in
+  let i = ref parent_off.(v) in
+  let hi = parent_off.(v + 1) in
+  while !ok && !i < hi do
+    let p = parent_buf.(!i) in
+    bump work;
+    let p_admissible =
+      (cs.allow_empty_antecedent || p <> Lattice.root lattice)
+      && Lattice.vertex_has_subset lattice p cs.antecedent_includes
+    in
+    if
+      p_admissible
+      && Conf.satisfied confidence ~union_count:sup_x
+           ~antecedent_count:supports.(p)
+    then ok := false;
+    incr i
+  done;
+  !ok
 
-let sorted lattice ids =
-  List.sort
-    (fun a b ->
-      let c = Int.compare (Lattice.cardinal lattice a) (Lattice.cardinal lattice b) in
-      if c <> 0 then c
-      else Itemset.compare_lex (Lattice.itemset lattice a) (Lattice.itemset lattice b))
-    ids
+(* Vertex ids follow (cardinality, lex) itemset order, so plain id order
+   is the output order. *)
+let sorted ids = List.sort Int.compare ids
 
-let collect ?work ?(constraints = unconstrained) ~keep_maximal_only lattice
-    ~target ~confidence =
+let collect ?work ?scratch ?(constraints = unconstrained) ~keep_maximal_only
+    lattice ~target ~confidence =
   if target < 0 || target >= Lattice.num_vertices lattice then
     invalid_arg "Boundary: bad vertex id";
   let cs = constraints in
-  if not (feasible cs (Lattice.itemset lattice target)) then []
-  else begin
-    let sup_x = Lattice.support lattice target in
-    let out = ref [] in
-    walk ?work lattice ~target ~confidence cs ~emit:(fun v ->
-        if
-          admissible lattice cs ~target v
-          && ((not keep_maximal_only)
-             || maximal ?work lattice cs ~confidence ~sup_x v)
-        then out := v :: !out);
-    sorted lattice !out
-  end
+  if not (feasible lattice cs target) then []
+  else
+    Scratch.use ?scratch lattice (fun s ->
+        let sup_x = Lattice.support lattice target in
+        let out = ref [] in
+        walk ?work lattice s ~target ~confidence cs ~emit:(fun v ->
+            if
+              admissible lattice cs ~target v
+              && ((not keep_maximal_only)
+                 || maximal ?work lattice cs ~confidence ~sup_x v)
+            then out := v :: !out);
+        sorted !out)
 
-let find_boundary ?work ?constraints lattice ~target ~confidence =
-  collect ?work ?constraints ~keep_maximal_only:true lattice ~target ~confidence
+let find_boundary ?work ?scratch ?constraints lattice ~target ~confidence =
+  collect ?work ?scratch ?constraints ~keep_maximal_only:true lattice ~target
+    ~confidence
 
-let all_ancestor_antecedents ?work ?constraints lattice ~target ~confidence =
-  collect ?work ?constraints ~keep_maximal_only:false lattice ~target ~confidence
+let all_ancestor_antecedents ?work ?scratch ?constraints lattice ~target
+    ~confidence =
+  collect ?work ?scratch ?constraints ~keep_maximal_only:false lattice ~target
+    ~confidence

@@ -37,9 +37,11 @@ val unconstrained : constraints
     Raises [Invalid_argument] on a bad vertex id.
 
     @param work incremented per vertex expansion and per parent
-      inspection. *)
+      inspection.
+    @param scratch reusable search state (see {!Scratch}). *)
 val find_boundary :
   ?work:Olar_util.Timer.Counter.t ->
+  ?scratch:Scratch.t ->
   ?constraints:constraints ->
   Lattice.t ->
   target:Lattice.vertex_id ->
@@ -54,6 +56,7 @@ val find_boundary :
     as {!find_boundary}. *)
 val all_ancestor_antecedents :
   ?work:Olar_util.Timer.Counter.t ->
+  ?scratch:Scratch.t ->
   ?constraints:constraints ->
   Lattice.t ->
   target:Lattice.vertex_id ->

@@ -1,8 +1,10 @@
 open Olar_data
 
-type t = { lattice : Lattice.t }
+(* The engine owns a scratch so steady-state queries reuse one set of
+   marks/stack/heap instead of allocating per call. *)
+type t = { lattice : Lattice.t; scratch : Scratch.t }
 
-let of_lattice lattice = { lattice }
+let of_lattice lattice = { lattice; scratch = Scratch.create lattice }
 
 let lattice_of_frequent frequent =
   assert (Olar_mining.Frequent.complete frequent);
@@ -60,6 +62,7 @@ let primary_threshold t =
   float_of_int (primary_threshold_count t) /. float_of_int (max 1 (db_size t))
 
 let num_primary_itemsets t = Lattice.num_vertices t.lattice - 1
+let stats t = Lattice.stats t.lattice
 
 let count_of_support t s =
   if s < 0.0 || s > 1.0 || Float.is_nan s then
@@ -70,42 +73,49 @@ let fraction t count = float_of_int count /. float_of_int (max 1 (db_size t))
 
 let itemsets ?work ?(containing = Itemset.empty) t ~minsup =
   let minsup = count_of_support t minsup in
-  let ids = Query.find_itemsets ?work t.lattice ~containing ~minsup in
+  let ids =
+    Query.find_itemsets ?work ~scratch:t.scratch t.lattice ~containing ~minsup
+  in
   List.map
     (fun (x, c) -> (x, fraction t c))
     (Query.to_entries t.lattice ids)
 
 let count_itemsets ?work ?(containing = Itemset.empty) t ~minsup =
   let minsup = count_of_support t minsup in
-  Query.count_itemsets ?work t.lattice ~containing ~minsup
+  Query.count_itemsets ?work ~scratch:t.scratch t.lattice ~containing ~minsup
 
 let essential_rules ?work ?containing ?constraints t ~minsup ~minconf =
-  Rulegen.essential_rules ?work ?containing ?constraints t.lattice
+  Rulegen.essential_rules ?work ~scratch:t.scratch ?containing ?constraints
+    t.lattice
     ~minsup:(count_of_support t minsup)
     ~confidence:(Conf.of_float minconf)
 
 let all_rules ?work ?containing ?constraints t ~minsup ~minconf =
-  Rulegen.all_rules ?work ?containing ?constraints t.lattice
+  Rulegen.all_rules ?work ~scratch:t.scratch ?containing ?constraints t.lattice
     ~minsup:(count_of_support t minsup)
     ~confidence:(Conf.of_float minconf)
 
 let single_consequent_rules ?work ?containing t ~minsup ~minconf =
-  Rulegen.single_consequent_rules ?work ?containing t.lattice
+  Rulegen.single_consequent_rules ?work ~scratch:t.scratch ?containing
+    t.lattice
     ~minsup:(count_of_support t minsup)
     ~confidence:(Conf.of_float minconf)
 
 let redundancy ?containing t ~minsup ~minconf =
-  Rulegen.redundancy ?containing t.lattice
+  Rulegen.redundancy ~scratch:t.scratch ?containing t.lattice
     ~minsup:(count_of_support t minsup)
     ~confidence:(Conf.of_float minconf)
 
 let support_for_k_itemsets ?work t ~containing ~k =
-  let answer = Support_query.find_support ?work t.lattice ~containing ~k in
+  let answer =
+    Support_query.find_support ?work ~scratch:t.scratch t.lattice ~containing ~k
+  in
   Option.map (fraction t) answer.Support_query.support_level
 
 let support_for_k_rules ?work t ~involving ~minconf ~k =
   let answer =
-    Support_query.find_support_for_rules ?work t.lattice ~involving
+    Support_query.find_support_for_rules ?work ~scratch:t.scratch t.lattice
+      ~involving
       ~confidence:(Conf.of_float minconf) ~k
   in
   Option.map (fraction t) answer.Support_query.rule_support_level

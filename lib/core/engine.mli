@@ -72,6 +72,10 @@ val primary_threshold : t -> float
 (** [num_primary_itemsets t] excludes the root. *)
 val num_primary_itemsets : t -> int
 
+(** [stats t] is the lattice shape summary ({!Lattice.stats}): vertices,
+    edges, estimated bytes, max fanout, depth. *)
+val stats : t -> Lattice.Stats.t
+
 (** [count_of_support t s] converts a fractional minimum support into the
     absolute count the engine uses: ⌈s·db⌉, at least 1. Raises
     [Invalid_argument] outside [0, 1]. *)

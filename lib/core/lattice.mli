@@ -8,12 +8,27 @@
     subsets and descendants are supersets, and supports are non-increasing
     along every edge (Remark 2.2).
 
-    The structure is immutable after construction. Children of a vertex
-    are exposed in decreasing order of support — the invariant the
-    paper's search algorithms exploit to stop scanning a child list at
-    the first child below the support cut. Vertex ids are dense integers
-    in [0, num_vertices), with the root always id 0, so searches can use
-    O(1) bitset visited-marks. *)
+    {2 Storage layout}
+
+    The structure is immutable after construction and stored flat, in
+    CSR (compressed sparse row) form, because the graph traversals of
+    the online queries are the system's hot path:
+
+    - itemsets are packed into one int buffer ([item_buffer]) addressed
+      by per-vertex offsets ([item_offsets]) — no per-vertex boxed
+      arrays;
+    - child and parent adjacency are each one edge buffer plus one
+      offset array;
+    - the itemset → vertex index is an open-addressed table probing the
+      packed item ranges directly.
+
+    Vertex ids are dense integers in [0, num_vertices) assigned in
+    (cardinality, lexicographic) itemset order with the root always id
+    0, so searches can use O(1) array visited-marks and id order doubles
+    as the canonical output order. Children of a vertex are exposed in
+    decreasing order of support — the invariant the paper's search
+    algorithms exploit to stop scanning a child list at the first child
+    below the support cut. *)
 
 open Olar_data
 
@@ -34,6 +49,26 @@ type vertex_id = int
 
     Complete level-wise mining output satisfies all four by construction. *)
 val of_entries : db_size:int -> threshold:int -> (Itemset.t * int) array -> t
+
+(** [of_packed ~db_size ~threshold ~item_off ~item_buf ~supports
+    ~child_off ~child_buf] rebuilds a lattice from its serialized CSR
+    representation. The input is untrusted: every structural invariant
+    is revalidated — offsets monotone and spanning their buffers,
+    itemsets strictly increasing and in strict (cardinality, lex) vertex
+    order with the root at id 0, supports in range, downward closure and
+    support monotonicity, and the supplied child adjacency equal to the
+    one derived from the itemsets. Raises [Invalid_argument] on any
+    violation. The arrays are adopted, not copied — the caller must not
+    mutate them afterwards. *)
+val of_packed :
+  db_size:int ->
+  threshold:int ->
+  item_off:int array ->
+  item_buf:int array ->
+  supports:int array ->
+  child_off:int array ->
+  child_buf:int array ->
+  t
 
 (** [db_size t] is the number of transactions behind the supports. *)
 val db_size : t -> int
@@ -58,8 +93,8 @@ val find : t -> Itemset.t -> vertex_id option
 (** [mem t x] is [find t x <> None]. *)
 val mem : t -> Itemset.t -> bool
 
-(** [itemset t v] is the itemset at [v]. Raises [Invalid_argument] on a
-    bad id. *)
+(** [itemset t v] is the itemset at [v], unpacked from the item buffer
+    (allocates). Raises [Invalid_argument] on a bad id. *)
 val itemset : t -> vertex_id -> Itemset.t
 
 (** [support t v] is the support count label S at [v]. Raises
@@ -69,17 +104,20 @@ val support : t -> vertex_id -> int
 (** [support_of t x] is the support count of itemset [x] when primary. *)
 val support_of : t -> Itemset.t -> int option
 
-(** [cardinal t v] is the number of items at [v]. *)
+(** [cardinal t v] is the number of items at [v] (an O(1) offset
+    difference). *)
 val cardinal : t -> vertex_id -> int
 
-(** [children t v] are the child vertices (supersets by one item) in
-    decreasing order of support, ties broken lexicographically. The
-    returned array is owned by the lattice — do not mutate. *)
+(** [children t v] is a fresh array of the child vertices (supersets by
+    one item) in decreasing order of support, ties broken
+    lexicographically. Allocates a copy of the CSR row — traversal code
+    should use {!child_offsets}/{!child_edges} or {!iter_children}
+    instead. *)
 val children : t -> vertex_id -> vertex_id array
 
-(** [parents t v] are the parent vertices (subsets by one item) in
-    increasing id order. Owned by the lattice — do not mutate. Every
-    non-root vertex has exactly [cardinal t v] parents. *)
+(** [parents t v] is a fresh array of the parent vertices (subsets by
+    one item) in increasing id order. Every non-root vertex has exactly
+    [cardinal t v] parents. Allocates; see {!parent_offsets}. *)
 val parents : t -> vertex_id -> vertex_id array
 
 (** [iter_vertices f t] applies [f] to every vertex id, root first, then
@@ -91,15 +129,88 @@ val iter_vertices : (vertex_id -> unit) -> t -> unit
     ordering. *)
 val entries : t -> (Itemset.t * int) array
 
-(** [fresh_marks t] is a cleared bitset sized for vertex ids — the
-    visited set used by the graph searches. *)
+(** [fresh_marks t] is a cleared bitset sized for vertex ids — a
+    standalone visited set for callers outside the query kernels (which
+    use {!Scratch} epoch marks instead). *)
 val fresh_marks : t -> Olar_util.Bitset.t
 
-(** [estimated_bytes t] estimates the resident size of the lattice: per
-    vertex the itemset array, support label and adjacency slots; per
-    edge one child and one parent slot (Theorem 2.1 makes the edge count
-    the sum of primary itemset sizes, so this is dominated by the
-    itemsets themselves — the paper's observation that the lattice costs
-    about as much as the itemsets it stores). Heap words, boxed
-    conservatively; an estimate, not an exact accounting. *)
+(** {2 Raw CSR access}
+
+    The query kernels iterate these arrays directly so that a
+    steady-state query performs no allocation. All returned arrays are
+    owned by the lattice: never mutate them. *)
+
+(** [child_offsets t] has length [num_vertices t + 1]; the children of
+    [v] are [child_edges t].(i) for
+    [child_offsets t.(v) <= i < child_offsets t.(v+1)], in decreasing
+    support order (ties: ascending id = lexicographic). *)
+val child_offsets : t -> int array
+
+val child_edges : t -> int array
+
+(** [parent_offsets t] / [parent_edges t]: same scheme for parent rows,
+    each sorted by ascending id. *)
+val parent_offsets : t -> int array
+
+val parent_edges : t -> int array
+
+(** [support_array t].(v) is [support t v] without the bounds check. *)
+val support_array : t -> int array
+
+(** [item_offsets t] / [item_buffer t]: the packed itemsets; the items
+    of [v] are [item_buffer t].(i) for
+    [item_offsets t.(v) <= i < item_offsets t.(v+1)], strictly
+    increasing. *)
+val item_offsets : t -> int array
+
+val item_buffer : t -> int array
+
+(** [iter_children t v f] applies [f] to each child of [v] in row order
+    (decreasing support). Raises [Invalid_argument] on a bad id. *)
+val iter_children : t -> vertex_id -> (vertex_id -> unit) -> unit
+
+(** [iter_parents t v f] applies [f] to each parent of [v] in ascending
+    id order. Raises [Invalid_argument] on a bad id. *)
+val iter_parents : t -> vertex_id -> (vertex_id -> unit) -> unit
+
+(** [compare_strength t a b] orders vertices by decreasing support, ties
+    by ascending id. Because ids are assigned in (cardinality, lex)
+    order this is exactly the paper's output order: strongest first,
+    then smaller itemsets, then lexicographic. *)
+val compare_strength : t -> vertex_id -> vertex_id -> int
+
+(** [vertex_has_subset t v x] is [Itemset.subset x (itemset t v)]
+    without unpacking the vertex's itemset. *)
+val vertex_has_subset : t -> vertex_id -> Itemset.t -> bool
+
+(** [vertex_disjoint t v x] is [Itemset.disjoint (itemset t v) x]
+    without unpacking. *)
+val vertex_disjoint : t -> vertex_id -> Itemset.t -> bool
+
+(** {2 Size accounting} *)
+
+(** [estimated_bytes t] estimates the resident size of the lattice: the
+    eight flat arrays (offsets, buffers, supports), the open-addressed
+    index, and the record itself, in 64-bit heap words. Theorem 2.1
+    makes the edge count the sum of primary itemset sizes, so the whole
+    structure costs a small constant factor over the itemsets it stores
+    — the paper's observation that the lattice is about as cheap as its
+    contents. An estimate, not an exact accounting; kept in sync with
+    [Olar_mining.Threshold.estimate_bytes]. *)
 val estimated_bytes : t -> int
+
+module Stats : sig
+  type t = {
+    vertices : int;  (** including the root *)
+    edges : int;  (** = sum of primary itemset sizes (Theorem 2.1) *)
+    bytes : int;  (** {!estimated_bytes} *)
+    max_fanout : int;  (** largest child row *)
+    depth : int;  (** cardinality of the largest primary itemset *)
+  }
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** [stats t] summarises the lattice shape for monitoring and the CLI
+    [stats] subcommand. *)
+val stats : t -> Stats.t

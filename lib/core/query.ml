@@ -11,45 +11,43 @@ let check_minsup lattice s =
 let bump work = match work with Some c -> Counter.incr c | None -> ()
 
 (* Core search (Figure 2). Calls [emit] on every reachable vertex with
-   support >= minsup, the start vertex excluded. Children are scanned in
-   decreasing-support order, so the scan of a child list stops at the
-   first child below the threshold. *)
-let search ?work lattice ~start ~minsup ~emit =
-  let marks = Lattice.fresh_marks lattice in
-  let stack = Olar_util.Vec.create () in
-  Olar_util.Bitset.add marks start;
-  Olar_util.Vec.push stack start;
-  while not (Olar_util.Vec.is_empty stack) do
-    let v = Olar_util.Vec.pop stack in
-    bump work;
-    let kids = Lattice.children lattice v in
-    let continue_scan = ref true in
-    let i = ref 0 in
-    let n = Array.length kids in
-    while !continue_scan && !i < n do
-      let child = kids.(!i) in
-      bump work;
-      if Lattice.support lattice child >= minsup then begin
-        if not (Olar_util.Bitset.mem marks child) then begin
-          Olar_util.Bitset.add marks child;
-          emit child;
-          Olar_util.Vec.push stack child
-        end;
-        incr i
-      end
-      else continue_scan := false (* all later children are weaker *)
-    done
-  done
+   support >= minsup, the start vertex excluded. Child rows are scanned
+   in decreasing-support order directly off the CSR buffers, so the scan
+   of a row stops at the first child below the threshold and a
+   steady-state query (shared scratch) allocates nothing. *)
+let search ?work ?scratch lattice ~start ~minsup ~emit =
+  Scratch.use ?scratch lattice (fun s ->
+      let child_off = Lattice.child_offsets lattice in
+      let child_buf = Lattice.child_edges lattice in
+      let supports = Lattice.support_array lattice in
+      let marks = s.Scratch.marks in
+      let epoch = s.Scratch.epoch in
+      let stack = s.Scratch.stack in
+      marks.(start) <- epoch;
+      Olar_util.Vec.push stack start;
+      while not (Olar_util.Vec.is_empty stack) do
+        let v = Olar_util.Vec.pop stack in
+        bump work;
+        let i = ref child_off.(v) in
+        let stop = child_off.(v + 1) in
+        let continue_scan = ref true in
+        while !continue_scan && !i < stop do
+          let child = child_buf.(!i) in
+          bump work;
+          if supports.(child) >= minsup then begin
+            if marks.(child) <> epoch then begin
+              marks.(child) <- epoch;
+              emit child;
+              Olar_util.Vec.push stack child
+            end;
+            incr i
+          end
+          else continue_scan := false (* all later children are weaker *)
+        done
+      done)
 
-let order lattice a b =
-  let c = Int.compare (Lattice.support lattice b) (Lattice.support lattice a) in
-  if c <> 0 then c
-  else
-    let c = Int.compare (Lattice.cardinal lattice a) (Lattice.cardinal lattice b) in
-    if c <> 0 then c
-    else Itemset.compare_lex (Lattice.itemset lattice a) (Lattice.itemset lattice b)
-
-let find_itemsets ?work ?(include_start = true) lattice ~containing ~minsup =
+let find_itemsets ?work ?scratch ?(include_start = true) lattice ~containing
+    ~minsup =
   check_minsup lattice minsup;
   match Lattice.find lattice containing with
   | None -> []
@@ -60,12 +58,13 @@ let find_itemsets ?work ?(include_start = true) lattice ~containing ~minsup =
       && (not (Itemset.is_empty containing))
       && Lattice.support lattice start >= minsup
     then Olar_util.Vec.push out start;
-    search ?work lattice ~start ~minsup ~emit:(Olar_util.Vec.push out);
+    search ?work ?scratch lattice ~start ~minsup ~emit:(Olar_util.Vec.push out);
     let result = Olar_util.Vec.to_array out in
-    Array.sort (order lattice) result;
+    Array.sort (Lattice.compare_strength lattice) result;
     Array.to_list result
 
-let count_itemsets ?work ?(include_start = true) lattice ~containing ~minsup =
+let count_itemsets ?work ?scratch ?(include_start = true) lattice ~containing
+    ~minsup =
   check_minsup lattice minsup;
   match Lattice.find lattice containing with
   | None -> 0
@@ -76,7 +75,7 @@ let count_itemsets ?work ?(include_start = true) lattice ~containing ~minsup =
       && (not (Itemset.is_empty containing))
       && Lattice.support lattice start >= minsup
     then incr count;
-    search ?work lattice ~start ~minsup ~emit:(fun _ -> incr count);
+    search ?work ?scratch lattice ~start ~minsup ~emit:(fun _ -> incr count);
     !count
 
 let to_entries lattice ids =

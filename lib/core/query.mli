@@ -32,9 +32,12 @@ val check_minsup : Lattice.t -> int -> unit
     has support below the primary threshold <= [minsup].
 
     @param work incremented once per vertex expanded and once per child
-      link inspected — the paper's output-sensitivity metric. *)
+      link inspected — the paper's output-sensitivity metric.
+    @param scratch reusable search state (see {!Scratch}); when omitted
+      a fresh scratch is allocated for this query. *)
 val find_itemsets :
   ?work:Olar_util.Timer.Counter.t ->
+  ?scratch:Scratch.t ->
   ?include_start:bool ->
   Lattice.t ->
   containing:Itemset.t ->
@@ -46,6 +49,7 @@ val find_itemsets :
     type (3) of Section 1.2. *)
 val count_itemsets :
   ?work:Olar_util.Timer.Counter.t ->
+  ?scratch:Scratch.t ->
   ?include_start:bool ->
   Lattice.t ->
   containing:Itemset.t ->

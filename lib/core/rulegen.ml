@@ -10,16 +10,18 @@ let rule_of lattice ~target antecedent_vertex =
 
 (* The generating itemsets of a query: all large itemsets big enough to
    split into a non-empty antecedent and consequent under [cs]. *)
-let generating_itemsets ?work ?containing lattice ~minsup cs =
+let generating_itemsets ?work ?scratch ?containing lattice ~minsup cs =
   let containing = Option.value containing ~default:Itemset.empty in
   let min_cardinal = if cs.Boundary.allow_empty_antecedent then 1 else 2 in
   List.filter
     (fun v -> Lattice.cardinal lattice v >= min_cardinal)
-    (Query.find_itemsets ?work lattice ~containing ~minsup)
+    (Query.find_itemsets ?work ?scratch lattice ~containing ~minsup)
 
-let essential_rules ?work ?containing ?(constraints = Boundary.unconstrained)
-    lattice ~minsup ~confidence =
-  let large = generating_itemsets ?work ?containing lattice ~minsup constraints in
+let essential_rules ?work ?scratch ?containing
+    ?(constraints = Boundary.unconstrained) lattice ~minsup ~confidence =
+  let large =
+    generating_itemsets ?work ?scratch ?containing lattice ~minsup constraints
+  in
   let boundaries : (Lattice.vertex_id, Lattice.vertex_id list) Hashtbl.t =
     Hashtbl.create 64
   in
@@ -28,7 +30,8 @@ let essential_rules ?work ?containing ?(constraints = Boundary.unconstrained)
     | Some b -> b
     | None ->
       let b =
-        Boundary.find_boundary ?work ~constraints lattice ~target:v ~confidence
+        Boundary.find_boundary ?work ?scratch ~constraints lattice ~target:v
+          ~confidence
       in
       Hashtbl.add boundaries v b;
       b
@@ -42,13 +45,11 @@ let essential_rules ?work ?containing ?(constraints = Boundary.unconstrained)
            its large children. Children of X contain X, hence contain the
            [containing] filter as well — they are all in scope. *)
         let pruned = Hashtbl.create 16 in
-        Array.iter
-          (fun child ->
+        Lattice.iter_children lattice x (fun child ->
             if Lattice.support lattice child >= minsup then
               List.iter
                 (fun y -> Hashtbl.replace pruned y ())
-                (boundary_of child))
-          (Lattice.children lattice x);
+                (boundary_of child));
         List.iter
           (fun y ->
             if not (Hashtbl.mem pruned y) then
@@ -58,43 +59,31 @@ let essential_rules ?work ?containing ?(constraints = Boundary.unconstrained)
     large;
   List.sort Rule.compare !rules
 
-let all_rules ?work ?containing ?(constraints = Boundary.unconstrained) lattice
-    ~minsup ~confidence =
-  let large = generating_itemsets ?work ?containing lattice ~minsup constraints in
+let all_rules ?work ?scratch ?containing ?(constraints = Boundary.unconstrained)
+    lattice ~minsup ~confidence =
+  let large =
+    generating_itemsets ?work ?scratch ?containing lattice ~minsup constraints
+  in
   let rules = ref [] in
   List.iter
     (fun x ->
       List.iter
         (fun y -> rules := rule_of lattice ~target:x y :: !rules)
-        (Boundary.all_ancestor_antecedents ?work ~constraints lattice ~target:x
-           ~confidence))
+        (Boundary.all_ancestor_antecedents ?work ?scratch ~constraints lattice
+           ~target:x ~confidence))
     large;
   List.sort Rule.compare !rules
 
-let single_consequent_rules ?work ?containing lattice ~minsup ~confidence =
+let single_consequent_rules ?work ?scratch ?containing lattice ~minsup
+    ~confidence =
   let containing = Option.value containing ~default:Itemset.empty in
-  let large = Query.find_itemsets ?work lattice ~containing ~minsup in
+  let large = Query.find_itemsets ?work ?scratch lattice ~containing ~minsup in
   let rules = ref [] in
   List.iter
     (fun v ->
-      let x = Lattice.itemset lattice v in
-      let sup_x = Lattice.support lattice v in
-      if Itemset.cardinal x >= 2 then
-        List.iter
-          (fun (dropped, antecedent) ->
-            match Lattice.support_of lattice antecedent with
-            | None -> assert false (* downward closure *)
-            | Some sup_a ->
-              if
-                Conf.satisfied confidence ~union_count:sup_x
-                  ~antecedent_count:sup_a
-              then
-                rules :=
-                  Rule.make ~antecedent
-                    ~consequent:(Itemset.singleton dropped)
-                    ~support_count:sup_x ~antecedent_count:sup_a
-                  :: !rules)
-          (Itemset.parents x))
+      List.iter
+        (fun r -> rules := r :: !rules)
+        (Support_query.single_consequent_rules lattice ~confidence v))
     large;
   List.sort Rule.compare !rules
 
@@ -104,10 +93,13 @@ type redundancy_report = {
   redundancy_ratio : float;
 }
 
-let redundancy ?containing lattice ~minsup ~confidence =
-  let total = List.length (all_rules ?containing lattice ~minsup ~confidence) in
+let redundancy ?scratch ?containing lattice ~minsup ~confidence =
+  let total =
+    List.length (all_rules ?scratch ?containing lattice ~minsup ~confidence)
+  in
   let essential =
-    List.length (essential_rules ?containing lattice ~minsup ~confidence)
+    List.length
+      (essential_rules ?scratch ?containing lattice ~minsup ~confidence)
   in
   let redundancy_ratio =
     if essential = 0 then 1.0 else float_of_int total /. float_of_int essential

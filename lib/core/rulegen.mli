@@ -23,10 +23,13 @@ open Olar_data
       a rule to appear.
     @param work incremented as in {!Query.find_itemsets} and
       {!Boundary.find_boundary}.
+    @param scratch reusable search state shared across the whole
+      generation pass (see {!Scratch}).
     Raises {!Query.Below_primary_threshold} when [minsup] is below the
     primary threshold, [Invalid_argument] when [minsup < 1]. *)
 val essential_rules :
   ?work:Olar_util.Timer.Counter.t ->
+  ?scratch:Scratch.t ->
   ?containing:Itemset.t ->
   ?constraints:Boundary.constraints ->
   Lattice.t ->
@@ -39,6 +42,7 @@ val essential_rules :
     satisfying ancestor Y) pair. Same parameters as {!essential_rules}. *)
 val all_rules :
   ?work:Olar_util.Timer.Counter.t ->
+  ?scratch:Scratch.t ->
   ?containing:Itemset.t ->
   ?constraints:Boundary.constraints ->
   Lattice.t ->
@@ -52,6 +56,7 @@ val all_rules :
     {!Rule.compare}. *)
 val single_consequent_rules :
   ?work:Olar_util.Timer.Counter.t ->
+  ?scratch:Scratch.t ->
   ?containing:Itemset.t ->
   Lattice.t ->
   minsup:int ->
@@ -69,6 +74,7 @@ type redundancy_report = {
 (** [redundancy lattice ~minsup ~confidence] measures how many redundant
     rules the thresholds produce (Figures 11 and 12). *)
 val redundancy :
+  ?scratch:Scratch.t ->
   ?containing:Itemset.t ->
   Lattice.t ->
   minsup:int ->

@@ -1,0 +1,36 @@
+type t = {
+  lattice : Lattice.t;
+  marks : int array;
+  mutable epoch : int;
+  stack : int Olar_util.Vec.t;
+  heap : int Olar_util.Heap.t;
+  mutable busy : bool;
+}
+
+let create lattice =
+  {
+    lattice;
+    marks = Array.make (Lattice.num_vertices lattice) 0;
+    epoch = 0;
+    stack = Olar_util.Vec.create ();
+    heap = Olar_util.Heap.create (Lattice.compare_strength lattice);
+    busy = false;
+  }
+
+(* marks start at 0 and the epoch is bumped before first use, so a
+   fresh epoch never collides with a stale mark. *)
+let reset s =
+  s.epoch <- s.epoch + 1;
+  Olar_util.Vec.clear s.stack;
+  Olar_util.Heap.clear s.heap
+
+let use ?scratch lattice f =
+  match scratch with
+  | Some s when s.lattice == lattice && not s.busy ->
+    s.busy <- true;
+    reset s;
+    Fun.protect ~finally:(fun () -> s.busy <- false) (fun () -> f s)
+  | _ ->
+    let s = create lattice in
+    reset s;
+    f s

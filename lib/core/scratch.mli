@@ -1,0 +1,41 @@
+(** Reusable per-lattice query scratch state.
+
+    Every graph search needs a visited set, a stack or a heap. Creating
+    them per query costs an O(num_vertices) allocation; an interactive
+    session issuing thousands of queries against one lattice should pay
+    that once. A [Scratch.t] bundles the three and is handed to the
+    query kernels, which reset it in O(1) at the start of each query:
+
+    - visited marks are an epoch-stamped int array — a vertex is marked
+      iff [marks.(v) = epoch], so bumping [epoch] clears every mark
+      without touching memory;
+    - the DFS stack and best-first heap are cleared (capacity
+      retained).
+
+    {2 Contract}
+
+    A scratch is bound to the lattice it was created for (the heap
+    comparator closes over it); {!use} falls back to a fresh scratch
+    when handed a scratch for a different lattice (physical equality) or
+    one already in use, so sharing is always safe, never required.
+    Scratches are not thread-safe — one concurrent query per scratch. *)
+
+type t = {
+  lattice : Lattice.t;
+  marks : int array;  (** vertex [v] is marked iff [marks.(v) = epoch] *)
+  mutable epoch : int;
+  stack : int Olar_util.Vec.t;
+  heap : int Olar_util.Heap.t;  (** ordered by {!Lattice.compare_strength} *)
+  mutable busy : bool;
+}
+
+(** [create lattice] is a fresh scratch sized for [lattice]. *)
+val create : Lattice.t -> t
+
+(** [use ?scratch lattice f] runs [f] with a scratch valid for
+    [lattice]: [scratch] itself — reset, with marks cleared — when it
+    belongs to [lattice] and is free, otherwise a fresh one. The busy
+    flag is held for the duration of [f], so a nested [use] of the same
+    scratch (e.g. a query issued from an [emit] callback) silently gets
+    its own state instead of corrupting the outer walk. *)
+val use : ?scratch:t -> Lattice.t -> (t -> 'a) -> 'a

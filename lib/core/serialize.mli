@@ -1,28 +1,51 @@
 (** Persistence of preprocessed lattices ("preprocess once, query many").
 
-    The lattice is stored as its primary itemsets with supports; edges
-    are a function of the vertex set and are rebuilt on load (and with
-    them every construction-time invariant is re-validated). Text format:
+    {2 Version scheme}
+
+    The first line is a magic string naming the format version; {!load}
+    dispatches on it, so old files keep loading after format changes.
+
+    {b v2} (current, written by {!save}): the flat CSR image itself —
+    packed itemsets, supports and the child adjacency — so a load is one
+    validation pass ({!Lattice.of_packed}) with no re-sorting and no
+    per-vertex allocation. Parent rows and the hash index are cheap
+    functions of the child data and are rebuilt rather than stored.
     {v
-    # olar adjacency lattice v1
+    # olar adjacency lattice v2
     dbsize <transactions>
     threshold <primary support count>
-    itemsets <count>
-    <support> <item> <item> ...   (one line per primary itemset)
-    v} *)
+    vertices <count, root included>
+    edges <count = total packed items (Theorem 2.1)>
+    itemoff <vertices+1 offsets>
+    itembuf <edges items>
+    supports <vertices counts>
+    childoff <vertices+1 offsets>
+    childbuf <edges child vertex ids>
+    v}
+
+    {b v1} (read-only): one "<support> <item...>" line per primary
+    itemset after the headers; edges are rebuilt from scratch via
+    {!Lattice.of_entries}.
+
+    Both paths re-validate every construction-time invariant, so a
+    corrupted file raises {!Malformed}, never an array-bounds error. *)
 
 (** Raised on malformed input, with the offending line. *)
 exception Malformed of string
 
-(** [save lattice path] writes the lattice, truncating [path]. *)
+(** The magic line of the current (v2) format. *)
+val magic : string
+
+(** [save lattice path] writes the lattice in v2 form, truncating
+    [path]. *)
 val save : Lattice.t -> string -> unit
 
-(** [load path] reads a lattice back. Raises [Malformed] (bad syntax or
-    invariant violation) or [Sys_error]. *)
+(** [load path] reads a lattice back (v2 or v1). Raises [Malformed] (bad
+    syntax or invariant violation) or [Sys_error]. *)
 val load : string -> Lattice.t
 
 (** [print lattice out] / [parse lines] are the channel/string-level
-    counterparts used by [save]/[load]. *)
+    counterparts used by [save]/[load]; [parse] accepts both versions. *)
 val print : Lattice.t -> out_channel -> unit
 
 val parse : string list -> Lattice.t

@@ -27,13 +27,23 @@ type itemsets_answer = {
     containing it: the answer is empty. Raises [Invalid_argument] when
     [k < 1].
 
-    @param work incremented per vertex pop and per child inspection. *)
+    @param work incremented per vertex pop and per child inspection.
+    @param scratch reusable search state (see {!Scratch}). *)
 val find_support :
   ?work:Olar_util.Timer.Counter.t ->
+  ?scratch:Scratch.t ->
   Lattice.t ->
   containing:Itemset.t ->
   k:int ->
   itemsets_answer
+
+(** [single_consequent_rules lattice ~confidence v] is the rules
+    (X \ {i}) ⇒ {i} of the itemset X at vertex [v] whose confidence
+    S(X)/S(X \ {i}) clears [confidence], listed by increasing dropped
+    item; empty when |X| < 2. Antecedent supports are read off the
+    parent CSR row — no index lookups. *)
+val single_consequent_rules :
+  Lattice.t -> confidence:Conf.t -> Lattice.vertex_id -> Rule.t list
 
 type rules_answer = {
   rules : Rule.t list;
@@ -54,6 +64,7 @@ type rules_answer = {
     [Invalid_argument] when [k < 1]. *)
 val find_support_for_rules :
   ?work:Olar_util.Timer.Counter.t ->
+  ?scratch:Scratch.t ->
   Lattice.t ->
   involving:Itemset.t ->
   confidence:Conf.t ->

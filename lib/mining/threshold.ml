@@ -78,21 +78,29 @@ let naive ?stats ?(miner = Use_dhp) ?deadline_s db ~target ~slack =
 
 (* Mirror of Lattice.estimated_bytes, computed from the mining result:
    vertices = itemsets + root; edges = sum of itemset sizes
-   (Theorem 2.1). *)
+   (Theorem 2.1). The formula — and the power-of-two index capacity —
+   must match the CSR cost model in Lattice exactly: four offset/support
+   arrays of ~n words, three flat buffers of e words, the open-addressed
+   index, headers and the record. *)
+let index_capacity n =
+  let target = max 8 (2 * n) in
+  let c = ref 8 in
+  while !c < target do
+    c := !c lsl 1
+  done;
+  !c
+
 let estimate_bytes frequent =
   let word = 8 in
   let vertices = Frequent.total frequent + 1 in
   let item_slots = ref 0 in
   Frequent.iter (fun x _ -> item_slots := !item_slots + Olar_data.Itemset.cardinal x) frequent;
-  let itemset_words = vertices + !item_slots in
   let edges = !item_slots in
-  let adjacency_words = (2 * edges) + (2 * vertices) in
-  let table_words = 4 * vertices in
-  let top_level = 4 * vertices in
-  word * (itemset_words + adjacency_words + table_words + top_level)
+  word * ((4 * vertices) + (3 * edges) + index_capacity vertices + 23)
 
-(* Lower bound on the footprint of one itemset: a 1-itemset's share. *)
-let min_bytes_per_itemset = 8 * 12
+(* Lower bound on the footprint of one itemset: a 1-itemset's share —
+   four offset/support slots, three buffer slots, ~two index slots. *)
+let min_bytes_per_itemset = 8 * 9
 
 let optimized ?stats ?(miner = Use_dhp) ?deadline_s db ~target ~slack =
   (* Every probe result is kept; a later probe at threshold t reuses the

@@ -40,6 +40,44 @@ let test_find_itemsets_table2 () =
     [ (set [ 1; 3 ], 6); (set [ 0; 1 ], 4); (set [ 1; 2 ], 4) ]
     (Query.to_entries lat got)
 
+(* The full start-vertex matrix: {empty, non-empty} containing ×
+   {true, false} include_start. The root is never reported, so
+   include_start only matters for a non-empty, qualifying start. *)
+let test_find_itemsets_include_start_matrix () =
+  let lat = Helpers.table2_lattice () in
+  let run ~containing ~include_start =
+    Query.to_entries lat
+      (Query.find_itemsets ~include_start lat ~containing ~minsup:10)
+  in
+  let singletons =
+    [ (set [ 2 ], 30); (set [ 1 ], 20); (set [ 0 ], 10); (set [ 3 ], 10) ]
+  in
+  (* Empty containing: the empty itemset is never included, regardless
+     of include_start. *)
+  check entries "empty containing, include_start=true" singletons
+    (run ~containing:Itemset.empty ~include_start:true);
+  check entries "empty containing, include_start=false" singletons
+    (run ~containing:Itemset.empty ~include_start:false);
+  (* Non-empty containing {A}: only the start itself qualifies at
+     minsup 10, so include_start decides between [A] and []. *)
+  check entries "containing A, include_start=true"
+    [ (set [ 0 ], 10) ]
+    (run ~containing:(set [ 0 ]) ~include_start:true);
+  check entries "containing A, include_start=false" []
+    (run ~containing:(set [ 0 ]) ~include_start:false);
+  (* count_itemsets follows the same matrix. *)
+  let count ~containing ~include_start =
+    Query.count_itemsets ~include_start lat ~containing ~minsup:10
+  in
+  check Alcotest.int "count: empty, true" 4
+    (count ~containing:Itemset.empty ~include_start:true);
+  check Alcotest.int "count: empty, false" 4
+    (count ~containing:Itemset.empty ~include_start:false);
+  check Alcotest.int "count: A, true" 1
+    (count ~containing:(set [ 0 ]) ~include_start:true);
+  check Alcotest.int "count: A, false" 0
+    (count ~containing:(set [ 0 ]) ~include_start:false)
+
 let test_find_itemsets_not_primary () =
   let lat = Helpers.table2_lattice () in
   check entries "non-primary start is empty" []
@@ -721,6 +759,7 @@ let suites =
     ( "core.query",
       [
         case "Table 2 queries" test_find_itemsets_table2;
+        case "include_start matrix" test_find_itemsets_include_start_matrix;
         case "non-primary start" test_find_itemsets_not_primary;
         case "below primary threshold" test_find_itemsets_below_primary;
         case "count" test_count_itemsets;

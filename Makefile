@@ -1,4 +1,4 @@
-.PHONY: all build test test-quick bench-smoke clean
+.PHONY: all build test test-quick bench-smoke bench-json clean
 
 all: build
 
@@ -9,8 +9,8 @@ build:
 test:
 	dune runtest
 
-# Fast subset: skips dataset-generation, CLI-subprocess and integration
-# suites. Use for tight edit-test loops.
+# Fast subset (the @runtest-quick alias): skips dataset-generation,
+# CLI-subprocess and integration suites. Use for tight edit-test loops.
 test-quick:
 	dune build @runtest-quick
 
@@ -18,6 +18,11 @@ test-quick:
 # a smoke check that the bench harness still runs.
 bench-smoke:
 	dune build @bench-smoke
+
+# Machine-readable bench output: run the qps experiment with --json and
+# validate the emitted document with bench/check_json.exe.
+bench-json:
+	dune build @bench-json
 
 clean:
 	dune clean

@@ -13,8 +13,15 @@
    counters are printed alongside times. *)
 
 open Olar_data
+module Jsonx = Olar_obs.Jsonx
 
 let line () = print_endline (String.make 78 '-')
+
+(* Machine-readable results (--json PATH): experiments append entries
+   here; the driver assembles and writes the document at the end. *)
+let json_path : string option ref = ref None
+let json_experiments : (string * Jsonx.t) list ref = ref []
+let record_json name doc = json_experiments := (name, doc) :: !json_experiments
 
 let section title =
   print_newline ();
@@ -193,10 +200,12 @@ let fig10 config =
      (response time and search work scale with the output, not the prestore)";
   Printf.printf "%-14s %-9s %-7s %-9s %-11s %-10s %-12s\n" "dataset" "minsup%"
     "conf%" "rules" "time (ms)" "work" "us per rule";
+  let jpoints = ref [] in
   List.iter
     (fun ((t, i), primary, supports) ->
       let name, _ = dataset config ~t ~i in
       let e = engine config ~t ~i ~primary in
+      let lat = Olar_core.Engine.lattice e in
       let points = ref [] in
       List.iter
         (fun minsup ->
@@ -205,7 +214,9 @@ let fig10 config =
               let work = Olar_util.Timer.Counter.create "work" in
               let rules, dt =
                 Olar_util.Timer.time (fun () ->
-                    Olar_core.Engine.essential_rules ~work e ~minsup ~minconf)
+                    Olar_core.Rulegen.essential_rules ~work lat
+                      ~minsup:(Olar_core.Engine.count_of_support e minsup)
+                      ~confidence:(Olar_core.Conf.of_float minconf))
               in
               points :=
                 (minsup, minconf, List.length rules, dt,
@@ -218,6 +229,17 @@ let fig10 config =
       in
       List.iter
         (fun (s, c, n, dt, w) ->
+          jpoints :=
+            Jsonx.Obj
+              [
+                ("dataset", Jsonx.Str name);
+                ("minsup", Jsonx.Float s);
+                ("minconf", Jsonx.Float c);
+                ("rules", Jsonx.Int n);
+                ("seconds", Jsonx.Float dt);
+                ("work", Jsonx.Int w);
+              ]
+            :: !jpoints;
           Printf.printf "%-14s %-9.3f %-7.0f %-9d %-11.3f %-10d %-12.2f\n" name
             (100.0 *. s) (100.0 *. c) n (1000.0 *. dt) w
             (if n = 0 then 0.0 else 1e6 *. dt /. float_of_int n))
@@ -225,7 +247,8 @@ let fig10 config =
     [
       ((10, 4), 0.002, [ 0.006; 0.005; 0.004; 0.003; 0.0025; 0.002 ]);
       ((20, 6), 0.005, [ 0.014; 0.012; 0.01; 0.008; 0.007; 0.006 ]);
-    ]
+    ];
+  record_json "fig10" (Jsonx.Obj [ ("points", Jsonx.Arr (List.rev !jpoints)) ])
 
 (* ------------------------------------------------------------------ *)
 (* Table 3: direct DHP-from-scratch vs online response time. *)
@@ -643,28 +666,33 @@ let qps_scenarios e lat =
       (Olar_util.Vec.get singles (k mod Olar_util.Vec.length singles))
   in
   let minsup_of pct = Olar_core.Engine.count_of_support e (pct /. 100.0) in
+  (* Each scenario takes an optional work counter: omitted in the
+     throughput loop (the None fast path, identical to a bare call),
+     supplied in the latency pass so the JSON report carries
+     machine-independent work next to the quantiles. *)
   [
     ( "count broad 0.5%",
-      fun k ->
+      fun ?work k ->
         ignore k;
         ignore
-          (Olar_core.Query.count_itemsets ~scratch lat
+          (Olar_core.Query.count_itemsets ?work ~scratch lat
              ~containing:Itemset.empty ~minsup:(minsup_of 0.5)) );
     ( "find broad 0.25%",
-      fun k ->
+      fun ?work k ->
         ignore k;
         ignore
-          (Olar_core.Query.find_itemsets ~scratch lat
+          (Olar_core.Query.find_itemsets ?work ~scratch lat
              ~containing:Itemset.empty ~minsup:(minsup_of 0.25)) );
     ( "find targeted",
-      fun k ->
+      fun ?work k ->
         ignore
-          (Olar_core.Query.find_itemsets ~scratch lat ~containing:(single k)
+          (Olar_core.Query.find_itemsets ?work ~scratch lat
+             ~containing:(single k)
              ~minsup:(Olar_core.Lattice.threshold lat)) );
     ( "top-100 support",
-      fun k ->
+      fun ?work k ->
         ignore
-          (Olar_core.Support_query.find_support ~scratch lat
+          (Olar_core.Support_query.find_support ?work ~scratch lat
              ~containing:(single k) ~k:100) );
   ]
 
@@ -679,8 +707,9 @@ let qps config =
     (Olar_core.Lattice.num_edges lat)
     (Olar_core.Lattice.estimated_bytes lat / 1024);
   Printf.printf "%-20s %-12s %-12s %-14s\n" "scenario" "queries" "seconds" "qps";
+  let jscenarios = ref [] in
   List.iter
-    (fun (name, run) ->
+    (fun (name, (run : ?work:Olar_util.Timer.Counter.t -> int -> unit)) ->
       (* warm up, then measure for a fixed wall budget *)
       for k = 0 to 9 do
         run k
@@ -697,8 +726,63 @@ let qps config =
       done;
       let dt = Olar_util.Timer.elapsed_s timer in
       Printf.printf "%-20s %-12d %-12.3f %-14.0f\n" name !queries dt
-        (float_of_int !queries /. dt))
-    (qps_scenarios e lat)
+        (float_of_int !queries /. dt);
+      (* Separate latency pass: per-query timing into a log-scale
+         histogram, with the work counter attached. Kept out of the
+         throughput loop above so the clock reads there stay batched. *)
+      let hist = Olar_obs.Metrics.Histogram.create "latency" in
+      let work = Olar_util.Timer.Counter.create "work" in
+      let lat_budget = 0.3 in
+      let ltimer = Olar_util.Timer.start () in
+      let samples = ref 0 in
+      while Olar_util.Timer.elapsed_s ltimer < lat_budget do
+        let t0 = Olar_util.Timer.start () in
+        run ~work !samples;
+        Olar_obs.Metrics.Histogram.observe hist (Olar_util.Timer.elapsed_s t0);
+        incr samples
+      done;
+      let q p = 1e6 *. Olar_obs.Metrics.Histogram.quantile hist p in
+      jscenarios :=
+        Jsonx.Obj
+          [
+            ("name", Jsonx.Str name);
+            ("queries", Jsonx.Int !queries);
+            ("seconds", Jsonx.Float dt);
+            ("qps", Jsonx.Float (float_of_int !queries /. dt));
+            ( "latency",
+              Jsonx.Obj
+                [
+                  ("samples", Jsonx.Int (Olar_obs.Metrics.Histogram.count hist));
+                  ( "mean_us",
+                    Jsonx.Float (1e6 *. Olar_obs.Metrics.Histogram.mean hist) );
+                  ("p50_us", Jsonx.Float (q 0.5));
+                  ("p90_us", Jsonx.Float (q 0.9));
+                  ("p99_us", Jsonx.Float (q 0.99));
+                ] );
+            ( "work",
+              Jsonx.Obj
+                [
+                  ("total", Jsonx.Int (Olar_util.Timer.Counter.value work));
+                  ( "per_query",
+                    Jsonx.Float
+                      (float_of_int (Olar_util.Timer.Counter.value work)
+                      /. float_of_int (max 1 !samples)) );
+                ] );
+          ]
+        :: !jscenarios)
+    (qps_scenarios e lat);
+  record_json "qps"
+    (Jsonx.Obj
+       [
+         ( "lattice",
+           Jsonx.Obj
+             [
+               ("vertices", Jsonx.Int (Olar_core.Lattice.num_vertices lat));
+               ("edges", Jsonx.Int (Olar_core.Lattice.num_edges lat));
+               ("bytes", Jsonx.Int (Olar_core.Lattice.estimated_bytes lat));
+             ] );
+         ("scenarios", Jsonx.Arr (List.rev !jscenarios));
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the core operations. *)
@@ -795,7 +879,8 @@ let all_experiments =
   ]
 
 let usage () =
-  Printf.printf "usage: main.exe [--full] [--seed N] [--experiment a,b,...]\n";
+  Printf.printf
+    "usage: main.exe [--full] [--seed N] [--experiment a,b,...] [--json PATH]\n";
   Printf.printf "experiments: %s, all\n"
     (String.concat ", " (List.map fst all_experiments));
   exit 1
@@ -814,6 +899,9 @@ let () =
       parse rest
     | "--experiment" :: names :: rest ->
       chosen := !chosen @ String.split_on_char ',' names;
+      parse rest
+    | "--json" :: path :: rest ->
+      json_path := Some path;
       parse rest
     | "--help" :: _ -> usage ()
     | arg :: _ ->
@@ -842,4 +930,23 @@ let () =
     config.transactions config.num_items;
   let total = Olar_util.Timer.start () in
   List.iter (fun (_, f) -> f config) selected;
-  Printf.printf "\ntotal: %.1fs\n" (Olar_util.Timer.elapsed_s total)
+  Printf.printf "\ntotal: %.1fs\n" (Olar_util.Timer.elapsed_s total);
+  match !json_path with
+  | None -> ()
+  | Some path ->
+    let doc =
+      Jsonx.Obj
+        [
+          ("schema_version", Jsonx.Int 1);
+          ("scale", Jsonx.Str (if config.full then "full" else "default"));
+          ("transactions", Jsonx.Int config.transactions);
+          ("num_items", Jsonx.Int config.num_items);
+          ("seed", Jsonx.Int config.seed);
+          ("experiments", Jsonx.Obj (List.rev !json_experiments));
+        ]
+    in
+    let oc = open_out path in
+    output_string oc (Jsonx.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "[json] wrote %s\n" path

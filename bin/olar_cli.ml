@@ -64,10 +64,56 @@ let load_db path =
   | Db_io.Malformed msg -> Error (Printf.sprintf "%s: %s" path msg)
   | Sys_error msg -> Error msg
 
-let load_engine path =
-  try Ok (Olar_core.Engine.load path) with
+let load_engine ?obs path =
+  try Ok (Olar_core.Engine.load ?obs path) with
   | Olar_core.Serialize.Malformed msg -> Error (Printf.sprintf "%s: %s" path msg)
   | Sys_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry flags shared by the query and maintenance commands *)
+
+let metrics_flag =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "After the command, print the telemetry registry: query \
+           counters, work counters, lattice gauges and latency \
+           histograms.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ]
+        ~doc:
+          "Write trace spans as JSON lines to $(docv), one span per line \
+           (spans are emitted when they close, children before parents)."
+        ~docv:"FILE")
+
+(* Build the observability context from --metrics/--trace. Returns the
+   context plus a finisher that flushes/closes the trace file and prints
+   the registry; commands call it after their output. Both flags off
+   yields the disabled context and a no-op finisher. *)
+let make_obs metrics trace =
+  if (not metrics) && trace = None then (Olar_obs.Obs.disabled, fun () -> ())
+  else begin
+    let oc = Option.map open_out trace in
+    let sink = Option.map Olar_obs.Sink.jsonl oc in
+    let obs = Olar_obs.Obs.create ?trace:sink () in
+    let finish () =
+      Olar_obs.Obs.flush_opt obs;
+      Option.iter close_out oc;
+      Option.iter (fun path -> Format.printf "wrote trace %s@." path) trace;
+      if metrics then
+        Option.iter
+          (fun ctx ->
+            print_string
+              (Olar_obs.Exposition.to_text (Olar_obs.Obs.metrics ctx)))
+          obs
+    in
+    (obs, finish)
+  end
 
 let or_die = function
   | Ok x -> x
@@ -254,19 +300,23 @@ let preprocess_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~doc:"Output lattice file." ~docv:"FILE")
   in
-  let run db_path max_itemsets support max_bytes slack search miner out =
+  let run db_path max_itemsets support max_bytes slack search miner out metrics
+      trace =
     let db = or_die (load_db db_path) in
+    let obs, finish_obs = make_obs metrics trace in
     let stats = Olar_mining.Stats.create () in
     let engine, dt =
       Olar_util.Timer.time (fun () ->
           match (max_itemsets, support, max_bytes) with
           | Some n, None, None ->
-            Olar_core.Engine.preprocess ~stats ~miner ~search ?slack db
+            Olar_core.Engine.preprocess ~obs ~stats ~miner ~search ?slack db
               ~max_itemsets:n
           | None, Some s, None ->
-            Olar_core.Engine.at_threshold ~stats ~miner db ~primary_support:s
+            Olar_core.Engine.at_threshold ~obs ~stats ~miner db
+              ~primary_support:s
           | None, None, Some b ->
-            Olar_core.Engine.preprocess_bytes ~stats ~miner db ~max_bytes:b
+            Olar_core.Engine.preprocess_bytes ~obs ~stats ~miner db
+              ~max_bytes:b
           | _ ->
             Format.eprintf
               "olar: pass exactly one of --max-itemsets, --support and \
@@ -282,14 +332,16 @@ let preprocess_cmd =
       (Olar_core.Engine.primary_threshold_count engine)
       (Olar_core.Lattice.estimated_bytes (Olar_core.Engine.lattice engine) / 1024)
       dt;
-    Format.printf "work: %a@." Olar_mining.Stats.pp stats
+    Format.printf "work: %a@." Olar_mining.Stats.pp stats;
+    finish_obs ()
   in
   Cmd.v
     (Cmd.info "preprocess"
        ~doc:"Mine the primary itemsets and build the adjacency lattice (Section 5).")
     Term.(
       const run $ db_arg $ max_itemsets_arg $ support_arg $ max_bytes_arg
-      $ slack_arg $ search_arg $ miner_arg $ out_arg)
+      $ slack_arg $ search_arg $ miner_arg $ out_arg $ metrics_flag
+      $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* info *)
@@ -352,18 +404,30 @@ let items_cmd =
   let limit_arg =
     Arg.(value & opt int 50 & info [ "limit" ] ~doc:"Print at most this many." ~docv:"N")
   in
-  let run lattice_path minsup containing limit format output vocab_path =
-    let engine = or_die (load_engine lattice_path) in
+  let run lattice_path minsup containing limit format output vocab_path metrics
+      trace =
+    let obs, finish_obs = make_obs metrics trace in
+    let engine = or_die (load_engine ~obs lattice_path) in
     let vocab = load_vocab vocab_path in
     handle_below_threshold (fun () ->
         let lat = Olar_core.Engine.lattice engine in
         let db_size = Olar_core.Engine.db_size engine in
+        (* raw query (counts, not fractions), instrumented the same way
+           Engine.itemsets is *)
+        let query work =
+          Olar_core.Query.to_entries lat
+            (Olar_core.Query.find_itemsets ?work lat ~containing
+               ~minsup:(Olar_core.Engine.count_of_support engine minsup))
+        in
         let entries, dt =
           Olar_util.Timer.time (fun () ->
-              Olar_core.Query.to_entries lat
-                (Olar_core.Query.find_itemsets lat ~containing
-                   ~minsup:(Olar_core.Engine.count_of_support engine minsup)))
+              match obs with
+              | None -> query None
+              | Some ctx ->
+                Olar_obs.Obs.query_span ctx ~name:"itemsets"
+                  ~work:Olar_obs.Obs.Vertices query)
         in
+        Fun.protect ~finally:finish_obs @@ fun () ->
         match format with
         | Csv -> emit output (Olar_core.Export.itemsets_to_csv ?vocab ~db_size entries)
         | Json -> emit output (Olar_core.Export.itemsets_to_json ?vocab ~db_size entries)
@@ -389,7 +453,7 @@ let items_cmd =
        ~doc:"Online itemset query: all itemsets above a support level (Figure 2).")
     Term.(
       const run $ lattice_arg $ minsup $ containing_arg $ limit_arg $ format_arg
-      $ output_arg $ vocab_arg)
+      $ output_arg $ vocab_arg $ metrics_flag $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* rules *)
@@ -450,8 +514,9 @@ let rules_cmd =
       & info [ "measures" ] ~doc:"Include lift/leverage/conviction in the output.")
   in
   let run lattice_path minsup minconf containing all single antecedent consequent
-      limit format output min_lift sort_by measures vocab_path =
-    let engine = or_die (load_engine lattice_path) in
+      limit format output min_lift sort_by measures vocab_path metrics trace =
+    let obs, finish_obs = make_obs metrics trace in
+    let engine = or_die (load_engine ~obs lattice_path) in
     let vocab = load_vocab vocab_path in
     let lat = Olar_core.Engine.lattice engine in
     let constraints =
@@ -474,6 +539,7 @@ let rules_cmd =
                 Olar_core.Engine.essential_rules engine ~containing ~constraints
                   ~minsup ~minconf)
         in
+        Fun.protect ~finally:finish_obs @@ fun () ->
         let rules =
           match min_lift with
           | None -> rules
@@ -520,7 +586,8 @@ let rules_cmd =
     Term.(
       const run $ lattice_arg $ minsup $ minconf $ containing_arg $ all_arg
       $ single_arg $ antecedent_arg $ consequent_arg $ limit_arg $ format_arg
-      $ output_arg $ min_lift_arg $ sort_arg $ measures_arg $ vocab_arg)
+      $ output_arg $ min_lift_arg $ sort_arg $ measures_arg $ vocab_arg
+      $ metrics_flag $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* count *)
@@ -533,23 +600,27 @@ let count_cmd =
       & opt (some float) None
       & info [ "minconf" ] ~doc:"Also count rules at this confidence." ~docv:"C")
   in
-  let run lattice_path minsup containing minconf =
-    let engine = or_die (load_engine lattice_path) in
+  let run lattice_path minsup containing minconf metrics trace =
+    let obs, finish_obs = make_obs metrics trace in
+    let engine = or_die (load_engine ~obs lattice_path) in
     handle_below_threshold (fun () ->
         Format.printf "itemsets: %d@."
           (Olar_core.Engine.count_itemsets engine ~containing ~minsup);
-        match minconf with
+        (match minconf with
         | None -> ()
         | Some c ->
           let r = Olar_core.Engine.redundancy ~containing engine ~minsup ~minconf:c in
           Format.printf "rules:    %d total, %d essential (redundancy ratio %.2f)@."
             r.Olar_core.Rulegen.total_rules r.Olar_core.Rulegen.essential_count
-            r.Olar_core.Rulegen.redundancy_ratio)
+            r.Olar_core.Rulegen.redundancy_ratio);
+        finish_obs ())
   in
   Cmd.v
     (Cmd.info "count"
        ~doc:"Predict output sizes without materialising them (query type 3).")
-    Term.(const run $ lattice_arg $ minsup $ containing_arg $ minconf_arg)
+    Term.(
+      const run $ lattice_arg $ minsup $ containing_arg $ minconf_arg
+      $ metrics_flag $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* support-for *)
@@ -566,9 +637,10 @@ let support_for_cmd =
           ~doc:"Ask about single-consequent rules at this confidence instead of itemsets."
           ~docv:"C")
   in
-  let run lattice_path k containing minconf =
-    let engine = or_die (load_engine lattice_path) in
-    match minconf with
+  let run lattice_path k containing minconf metrics trace =
+    let obs, finish_obs = make_obs metrics trace in
+    let engine = or_die (load_engine ~obs lattice_path) in
+    (match minconf with
     | None -> (
       match Olar_core.Engine.support_for_k_itemsets engine ~containing ~k with
       | Some level ->
@@ -587,12 +659,15 @@ let support_for_cmd =
           "%d single-consequent rules at conf %.0f%% exist at minsup = %.4f%%@."
           k (100.0 *. c) (100.0 *. level)
       | None ->
-        Format.printf "fewer than %d such rules can be generated@." k)
+        Format.printf "fewer than %d such rules can be generated@." k));
+    finish_obs ()
   in
   Cmd.v
     (Cmd.info "support-for"
        ~doc:"Reverse query: the support level yielding exactly K answers (Figure 3).")
-    Term.(const run $ lattice_arg $ k_arg $ containing_arg $ minconf_arg)
+    Term.(
+      const run $ lattice_arg $ k_arg $ containing_arg $ minconf_arg
+      $ metrics_flag $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* direct *)
@@ -799,19 +874,19 @@ let update_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~doc:"Output lattice file." ~docv:"FILE")
   in
-  let run lattice_path delta_path out =
-    let engine = or_die (load_engine lattice_path) in
+  let run lattice_path delta_path out metrics trace =
+    let obs, finish_obs = make_obs metrics trace in
+    let engine = or_die (load_engine ~obs lattice_path) in
     let delta = or_die (load_db delta_path) in
-    let update, dt =
-      Olar_util.Timer.time (fun () ->
-          Olar_core.Maintenance.append (Olar_core.Engine.lattice engine) delta)
+    let (engine', promoted), dt =
+      Olar_util.Timer.time (fun () -> Olar_core.Engine.append engine delta)
     in
-    Olar_core.Serialize.save update.Olar_core.Maintenance.lattice out;
+    Olar_core.Engine.save engine' out;
     Format.printf
       "wrote %s: %d transactions folded in %.3fs (database now %d)@." out
-      update.Olar_core.Maintenance.delta_size dt
-      (Olar_core.Lattice.db_size update.Olar_core.Maintenance.lattice);
-    match update.Olar_core.Maintenance.promoted_candidates with
+      (Olar_data.Database.size delta) dt
+      (Olar_core.Engine.db_size engine');
+    (match promoted with
     | [] -> Format.printf "no new itemsets crossed the threshold@."
     | promoted ->
       Format.printf
@@ -820,14 +895,17 @@ let update_cmd =
         (List.length promoted);
       List.iteri
         (fun i x -> if i < 10 then Format.printf "  %a@." Itemset.pp x)
-        promoted
+        promoted);
+    finish_obs ()
   in
   Cmd.v
     (Cmd.info "update"
        ~doc:
          "Fold a batch of new transactions into an existing lattice in one \
           pass over the batch.")
-    Term.(const run $ lattice_arg $ delta_arg $ out_arg)
+    Term.(
+      const run $ lattice_arg $ delta_arg $ out_arg $ metrics_flag
+      $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* condense *)
@@ -868,6 +946,81 @@ let condense_cmd =
     Term.(const run $ db_arg $ minsup $ kind_arg $ any_miner_arg $ limit_arg)
 
 (* ------------------------------------------------------------------ *)
+(* metrics *)
+
+let metrics_cmd =
+  let minsup_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "minsup" ]
+          ~doc:
+            "Support level for the canned workload (default: the lattice's \
+             primary threshold)."
+          ~docv:"F")
+  in
+  let minconf_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "minconf" ] ~doc:"Confidence for the rule queries." ~docv:"C")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt
+          (enum [ ("text", `Text); ("prometheus", `Prometheus); ("json", `Json) ])
+          `Text
+      & info [ "format" ]
+          ~doc:"Registry output format: $(b,text), $(b,prometheus) or $(b,json)."
+          ~docv:"FMT")
+  in
+  let run lattice_path minsup minconf format trace =
+    let oc = Option.map open_out trace in
+    let sink = Option.map Olar_obs.Sink.jsonl oc in
+    let obs = Olar_obs.Obs.create ?trace:sink () in
+    let engine = or_die (load_engine ~obs lattice_path) in
+    let minsup =
+      match minsup with
+      | Some s -> s
+      | None -> Olar_core.Engine.primary_threshold engine
+    in
+    (* Canned workload touching every query family, so the registry has
+       one live histogram per entry point. *)
+    handle_below_threshold (fun () ->
+        ignore (Olar_core.Engine.count_itemsets engine ~minsup);
+        ignore (Olar_core.Engine.itemsets engine ~minsup);
+        ignore (Olar_core.Engine.essential_rules engine ~minsup ~minconf);
+        ignore
+          (Olar_core.Engine.support_for_k_itemsets engine
+             ~containing:Itemset.empty ~k:10);
+        ignore
+          (Olar_core.Engine.support_for_k_rules engine ~involving:Itemset.empty
+             ~minconf ~k:10));
+    Olar_obs.Obs.flush_opt obs;
+    Option.iter close_out oc;
+    Option.iter (fun path -> Format.printf "wrote trace %s@." path) trace;
+    let registry =
+      match obs with
+      | Some ctx -> Olar_obs.Obs.metrics ctx
+      | None -> assert false
+    in
+    match format with
+    | `Text -> print_string (Olar_obs.Exposition.to_text registry)
+    | `Prometheus -> print_string (Olar_obs.Exposition.to_prometheus registry)
+    | `Json ->
+      print_endline
+        (Olar_obs.Jsonx.to_string (Olar_obs.Exposition.to_json registry))
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run a canned query workload against a lattice and print the \
+          telemetry registry (text, Prometheus exposition, or JSON).")
+    Term.(
+      const run $ lattice_arg $ minsup_arg $ minconf_arg $ format_arg
+      $ trace_out_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "online generation of association rules (Aggarwal & Yu, ICDE 1998)" in
@@ -879,5 +1032,5 @@ let () =
             gen_cmd; preprocess_cmd; info_cmd; stats_cmd; items_cmd; rules_cmd;
             count_cmd;
             support_for_cmd; direct_cmd; update_cmd; condense_cmd;
-            baskets_cmd; extend_cmd; dbinfo_cmd;
+            baskets_cmd; extend_cmd; dbinfo_cmd; metrics_cmd;
           ]))

@@ -1,5 +1,4 @@
 open Olar_data
-module Counter = Olar_util.Timer.Counter
 
 type constraints = {
   antecedent_includes : Itemset.t;
@@ -14,7 +13,7 @@ let unconstrained =
     allow_empty_antecedent = false;
   }
 
-let bump work = match work with Some c -> Counter.incr c | None -> ()
+let bump = Olar_util.Timer.Counter.bump
 
 (* The inclusion sets can only be met when P ⊆ X, Q ⊆ X and P ∩ Q = ∅:
    the antecedent and consequent partition a subset of X. *)

@@ -1,10 +1,69 @@
 open Olar_data
+module Obs = Olar_obs.Obs
+module Trace = Olar_obs.Trace
 
 (* The engine owns a scratch so steady-state queries reuse one set of
-   marks/stack/heap instead of allocating per call. *)
-type t = { lattice : Lattice.t; scratch : Scratch.t }
+   marks/stack/heap instead of allocating per call, and an observability
+   context shared by every entry point. Query methods dispatch on
+   [t.obs] with a bare match: the [None] arm is the exact uninstrumented
+   code path — closures for the instrumented arm are only allocated when
+   telemetry is on. *)
+type t = {
+  lattice : Lattice.t;
+  scratch : Scratch.t;
+  obs : Obs.t;
+}
 
-let of_lattice lattice = { lattice; scratch = Scratch.create lattice }
+let set_lattice_gauges obs lattice =
+  match obs with
+  | None -> ()
+  | Some ctx ->
+    let s = Lattice.stats lattice in
+    let set name help v =
+      Olar_obs.Metrics.Gauge.set_int (Obs.gauge ctx ~help name) v
+    in
+    set "olar_lattice_vertices" "Lattice vertices, including the root"
+      s.Lattice.Stats.vertices;
+    set "olar_lattice_edges" "Lattice edges (sum of primary itemset sizes)"
+      s.Lattice.Stats.edges;
+    set "olar_lattice_bytes" "Estimated resident bytes of the lattice"
+      s.Lattice.Stats.bytes
+
+let of_lattice ?(obs = Obs.disabled) lattice =
+  set_lattice_gauges obs lattice;
+  { lattice; scratch = Scratch.create lattice; obs }
+
+let obs t = t.obs
+
+let with_obs t obs =
+  set_lattice_gauges obs t.lattice;
+  { t with obs }
+
+(* Surface the mining work counters in the registry. The attached
+   counters ARE the [Stats.t] fields — the miner keeps bumping the same
+   cells the registry reads, so there is no copying step to forget. *)
+let attach_mining_stats obs stats =
+  match obs with
+  | None -> ()
+  | Some ctx ->
+    let module S = Olar_mining.Stats in
+    let att name help c = Obs.attach_counter ctx ~help ~name c in
+    att "olar_mining_db_passes_total" "Full database scans during mining"
+      stats.S.passes;
+    att "olar_mining_candidates_total"
+      "Candidate itemsets whose support was counted" stats.S.candidates;
+    att "olar_mining_frequent_total" "Itemsets found frequent" stats.S.frequent;
+    att "olar_mining_hash_pruned_total"
+      "Candidates discarded by the DHP hash filter" stats.S.hash_pruned;
+    att "olar_mining_trimmed_items_total"
+      "Item occurrences removed by transaction trimming" stats.S.trimmed_items
+
+(* When telemetry is on, preprocessing always runs with a [Stats.t] so
+   the database-pass and candidate counters have a live source. *)
+let stats_for obs stats =
+  match (obs, stats) with
+  | Some _, None -> Some (Olar_mining.Stats.create ())
+  | _, _ -> stats
 
 let lattice_of_frequent frequent =
   assert (Olar_mining.Frequent.complete frequent);
@@ -13,46 +72,87 @@ let lattice_of_frequent frequent =
     ~threshold:(Olar_mining.Frequent.threshold frequent)
     (Array.of_list (Olar_mining.Frequent.to_list frequent))
 
-let preprocess ?stats ?miner ?(search = `Optimized) ?slack db ~max_itemsets =
+let preprocess_span obs name f =
+  match obs with
+  | None -> f ()
+  | Some ctx ->
+    let out = ref None in
+    Obs.span ctx name
+      ~attrs:(fun () ->
+        match !out with
+        | None -> []
+        | Some (r : Olar_mining.Threshold.result) ->
+          [
+            ("threshold", Trace.Int r.Olar_mining.Threshold.threshold);
+            ( "itemsets",
+              Trace.Int
+                (Olar_mining.Frequent.total r.Olar_mining.Threshold.itemsets) );
+            ("probes", Trace.Int (List.length r.Olar_mining.Threshold.probes));
+          ])
+      (fun () ->
+        let r = f () in
+        out := Some r;
+        r)
+
+let preprocess ?(obs = Obs.disabled) ?stats ?miner ?(search = `Optimized) ?slack
+    db ~max_itemsets =
   if max_itemsets < 1 then invalid_arg "Engine.preprocess: max_itemsets";
   let slack =
     match slack with
     | Some s -> s
     | None -> min (max_itemsets - 1) (max 0 (max_itemsets / 20))
   in
+  let stats = stats_for obs stats in
   let result =
-    match search with
-    | `Naive -> Olar_mining.Threshold.naive ?stats ?miner db ~target:max_itemsets ~slack
-    | `Optimized ->
-      Olar_mining.Threshold.optimized ?stats ?miner db ~target:max_itemsets ~slack
+    preprocess_span obs "preprocess" (fun () ->
+        match search with
+        | `Naive ->
+          Olar_mining.Threshold.naive ~obs ?stats ?miner db ~target:max_itemsets
+            ~slack
+        | `Optimized ->
+          Olar_mining.Threshold.optimized ~obs ?stats ?miner db
+            ~target:max_itemsets ~slack)
   in
-  of_lattice (lattice_of_frequent result.Olar_mining.Threshold.itemsets)
+  Option.iter (attach_mining_stats obs) stats;
+  of_lattice ~obs (lattice_of_frequent result.Olar_mining.Threshold.itemsets)
 
-let preprocess_bytes ?stats ?miner ?slack_bytes db ~max_bytes =
+let preprocess_bytes ?(obs = Obs.disabled) ?stats ?miner ?slack_bytes db
+    ~max_bytes =
   if max_bytes < 1 then invalid_arg "Engine.preprocess_bytes: max_bytes";
   let slack_bytes =
     match slack_bytes with
     | Some s -> s
     | None -> min (max_bytes - 1) (max 0 (max_bytes / 20))
   in
+  let stats = stats_for obs stats in
   let result =
-    Olar_mining.Threshold.optimized_bytes ?stats ?miner db
-      ~budget_bytes:max_bytes ~slack_bytes
+    preprocess_span obs "preprocess_bytes" (fun () ->
+        Olar_mining.Threshold.optimized_bytes ~obs ?stats ?miner db
+          ~budget_bytes:max_bytes ~slack_bytes)
   in
-  of_lattice (lattice_of_frequent result.Olar_mining.Threshold.itemsets)
+  Option.iter (attach_mining_stats obs) stats;
+  of_lattice ~obs (lattice_of_frequent result.Olar_mining.Threshold.itemsets)
 
-let at_threshold ?stats ?(miner = Olar_mining.Threshold.Use_dhp) db
-    ~primary_support =
+let at_threshold ?(obs = Obs.disabled) ?stats
+    ?(miner = Olar_mining.Threshold.Use_dhp) db ~primary_support =
   if primary_support <= 0.0 || primary_support > 1.0 then
     invalid_arg "Engine.at_threshold: primary_support";
   let minsup = Database.count_of_fraction db primary_support in
+  let stats = stats_for obs stats in
   let frequent =
-    match miner with
-    | Olar_mining.Threshold.Use_apriori -> Olar_mining.Apriori.mine ?stats db ~minsup
-    | Olar_mining.Threshold.Use_dhp -> Olar_mining.Dhp.mine ?stats db ~minsup
-    | Olar_mining.Threshold.Use_fpgrowth -> Olar_mining.Fpgrowth.mine ?stats db ~minsup
+    Obs.maybe_span obs "at_threshold"
+      ~attrs:(fun () -> [ ("minsup", Trace.Int minsup) ])
+      (fun () ->
+        match miner with
+        | Olar_mining.Threshold.Use_apriori ->
+          Olar_mining.Apriori.mine ~obs ?stats db ~minsup
+        | Olar_mining.Threshold.Use_dhp ->
+          Olar_mining.Dhp.mine ~obs ?stats db ~minsup
+        | Olar_mining.Threshold.Use_fpgrowth ->
+          Olar_mining.Fpgrowth.mine ?stats db ~minsup)
   in
-  of_lattice (lattice_of_frequent frequent)
+  Option.iter (attach_mining_stats obs) stats;
+  of_lattice ~obs (lattice_of_frequent frequent)
 
 let lattice t = t.lattice
 let db_size t = Lattice.db_size t.lattice
@@ -71,58 +171,118 @@ let count_of_support t s =
 
 let fraction t count = float_of_int count /. float_of_int (max 1 (db_size t))
 
-let itemsets ?work ?(containing = Itemset.empty) t ~minsup =
+let itemsets ?(containing = Itemset.empty) t ~minsup =
   let minsup = count_of_support t minsup in
-  let ids =
-    Query.find_itemsets ?work ~scratch:t.scratch t.lattice ~containing ~minsup
+  let run work =
+    let ids =
+      Query.find_itemsets ?work ~scratch:t.scratch t.lattice ~containing ~minsup
+    in
+    List.map (fun (x, c) -> (x, fraction t c)) (Query.to_entries t.lattice ids)
   in
-  List.map
-    (fun (x, c) -> (x, fraction t c))
-    (Query.to_entries t.lattice ids)
+  match t.obs with
+  | None -> run None
+  | Some ctx -> Obs.query_span ctx ~name:"itemsets" ~work:Obs.Vertices run
 
-let count_itemsets ?work ?(containing = Itemset.empty) t ~minsup =
+let count_itemsets ?(containing = Itemset.empty) t ~minsup =
   let minsup = count_of_support t minsup in
-  Query.count_itemsets ?work ~scratch:t.scratch t.lattice ~containing ~minsup
+  match t.obs with
+  | None -> Query.count_itemsets ~scratch:t.scratch t.lattice ~containing ~minsup
+  | Some ctx ->
+    Obs.query_span ctx ~name:"count_itemsets" ~work:Obs.Vertices (fun work ->
+        Query.count_itemsets ?work ~scratch:t.scratch t.lattice ~containing
+          ~minsup)
 
-let essential_rules ?work ?containing ?constraints t ~minsup ~minconf =
-  Rulegen.essential_rules ?work ~scratch:t.scratch ?containing ?constraints
-    t.lattice
-    ~minsup:(count_of_support t minsup)
-    ~confidence:(Conf.of_float minconf)
+let essential_rules ?containing ?constraints t ~minsup ~minconf =
+  let minsup = count_of_support t minsup in
+  let confidence = Conf.of_float minconf in
+  let run work =
+    Rulegen.essential_rules ?work ~scratch:t.scratch ?containing ?constraints
+      t.lattice ~minsup ~confidence
+  in
+  match t.obs with
+  | None -> run None
+  | Some ctx -> Obs.query_span ctx ~name:"essential_rules" ~work:Obs.Vertices run
 
-let all_rules ?work ?containing ?constraints t ~minsup ~minconf =
-  Rulegen.all_rules ?work ~scratch:t.scratch ?containing ?constraints t.lattice
-    ~minsup:(count_of_support t minsup)
-    ~confidence:(Conf.of_float minconf)
+let all_rules ?containing ?constraints t ~minsup ~minconf =
+  let minsup = count_of_support t minsup in
+  let confidence = Conf.of_float minconf in
+  let run work =
+    Rulegen.all_rules ?work ~scratch:t.scratch ?containing ?constraints
+      t.lattice ~minsup ~confidence
+  in
+  match t.obs with
+  | None -> run None
+  | Some ctx -> Obs.query_span ctx ~name:"all_rules" ~work:Obs.Vertices run
 
-let single_consequent_rules ?work ?containing t ~minsup ~minconf =
-  Rulegen.single_consequent_rules ?work ~scratch:t.scratch ?containing
-    t.lattice
-    ~minsup:(count_of_support t minsup)
-    ~confidence:(Conf.of_float minconf)
+let single_consequent_rules ?containing t ~minsup ~minconf =
+  let minsup = count_of_support t minsup in
+  let confidence = Conf.of_float minconf in
+  let run work =
+    Rulegen.single_consequent_rules ?work ~scratch:t.scratch ?containing
+      t.lattice ~minsup ~confidence
+  in
+  match t.obs with
+  | None -> run None
+  | Some ctx ->
+    Obs.query_span ctx ~name:"single_consequent_rules" ~work:Obs.Vertices run
 
 let redundancy ?containing t ~minsup ~minconf =
-  Rulegen.redundancy ~scratch:t.scratch ?containing t.lattice
-    ~minsup:(count_of_support t minsup)
-    ~confidence:(Conf.of_float minconf)
-
-let support_for_k_itemsets ?work t ~containing ~k =
-  let answer =
-    Support_query.find_support ?work ~scratch:t.scratch t.lattice ~containing ~k
+  let minsup = count_of_support t minsup in
+  let confidence = Conf.of_float minconf in
+  let run () =
+    Rulegen.redundancy ~scratch:t.scratch ?containing t.lattice ~minsup
+      ~confidence
   in
-  Option.map (fraction t) answer.Support_query.support_level
+  match t.obs with
+  | None -> run ()
+  | Some ctx ->
+    Obs.query_span ctx ~name:"redundancy" ~work:Obs.No_work (fun _ -> run ())
 
-let support_for_k_rules ?work t ~involving ~minconf ~k =
-  let answer =
-    Support_query.find_support_for_rules ?work ~scratch:t.scratch t.lattice
-      ~involving
-      ~confidence:(Conf.of_float minconf) ~k
+let support_for_k_itemsets t ~containing ~k =
+  let run work =
+    let answer =
+      Support_query.find_support ?work ~scratch:t.scratch t.lattice ~containing
+        ~k
+    in
+    Option.map (fraction t) answer.Support_query.support_level
   in
-  Option.map (fraction t) answer.Support_query.rule_support_level
+  match t.obs with
+  | None -> run None
+  | Some ctx ->
+    Obs.query_span ctx ~name:"support_for_k_itemsets" ~work:Obs.Heap_pops run
+
+let support_for_k_rules t ~involving ~minconf ~k =
+  let confidence = Conf.of_float minconf in
+  let run work =
+    let answer =
+      Support_query.find_support_for_rules ?work ~scratch:t.scratch t.lattice
+        ~involving ~confidence ~k
+    in
+    Option.map (fraction t) answer.Support_query.rule_support_level
+  in
+  match t.obs with
+  | None -> run None
+  | Some ctx ->
+    Obs.query_span ctx ~name:"support_for_k_rules" ~work:Obs.Heap_pops run
 
 let append t delta =
-  let update = Maintenance.append t.lattice delta in
-  (of_lattice update.Maintenance.lattice, update.Maintenance.promoted_candidates)
+  let update =
+    Obs.maybe_span t.obs "append"
+      ~attrs:(fun () -> [ ("delta_size", Trace.Int (Database.size delta)) ])
+      (fun () -> Maintenance.append t.lattice delta)
+  in
+  ( of_lattice ~obs:t.obs update.Maintenance.lattice,
+    update.Maintenance.promoted_candidates )
 
-let save t path = Serialize.save t.lattice path
-let load path = of_lattice (Serialize.load path)
+let save t path =
+  Obs.maybe_span t.obs "save"
+    ~attrs:(fun () -> [ ("path", Trace.Str path) ])
+    (fun () -> Serialize.save t.lattice path)
+
+let load ?(obs = Obs.disabled) path =
+  let lattice =
+    Obs.maybe_span obs "load"
+      ~attrs:(fun () -> [ ("path", Trace.Str path) ])
+      (fun () -> Serialize.load path)
+  in
+  of_lattice ~obs lattice

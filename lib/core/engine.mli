@@ -4,7 +4,21 @@
     lattice construction, Section 5), then the online queries of Section
     1.2 against the resulting lattice, with supports expressed as
     fractions at this level. All query functions answer without touching
-    the transaction data. *)
+    the transaction data.
+
+    {2 Telemetry}
+
+    An engine carries an {!Olar_obs.Obs.t}. With the default (disabled)
+    context every query runs the exact uninstrumented code path and
+    allocates nothing extra. With an enabled context each entry point
+    increments [olar_queries_total], times itself into an
+    [olar_query_<name>_seconds] histogram, feeds the traversal work
+    counters ([olar_query_vertices_visited_total] for graph kernels,
+    [olar_query_heap_pops_total] for the best-first support queries),
+    and — when a trace sink is attached — emits a [query.<name>] span.
+    Preprocessing additionally surfaces the mining counters
+    ([olar_mining_db_passes_total], [olar_mining_candidates_total], …)
+    and sets the [olar_lattice_vertices]/[_edges]/[_bytes] gauges. *)
 
 open Olar_data
 
@@ -16,13 +30,20 @@ type t
     fitting roughly [max_itemsets] itemsets (binary search of Section 5),
     mines the primary itemsets and builds the adjacency lattice.
 
+    @param obs telemetry context the engine keeps for its lifetime
+      (default disabled). Preprocessing work lands in the registry and,
+      when tracing, under a [preprocess] span with
+      [threshold.probe]/[mine]/[mine.pass] children.
     @param slack the search window Ns (default: [max_itemsets / 20]).
     @param miner mining subroutine (default DHP, as in the paper).
     @param search [`Optimized] (default) uses early termination and
       cross-probe reuse; [`Naive] is the paper's [NaiveFindThreshold].
-    @param stats accumulates preprocessing work.
+    @param stats accumulates preprocessing work. When [obs] is enabled a
+      stats record is created internally if none is given, so the mining
+      counters are always live in the registry.
     Raises [Invalid_argument] when [max_itemsets < 1]. *)
 val preprocess :
+  ?obs:Olar_obs.Obs.t ->
   ?stats:Olar_mining.Stats.t ->
   ?miner:Olar_mining.Threshold.miner ->
   ?search:[ `Naive | `Optimized ] ->
@@ -38,6 +59,7 @@ val preprocess :
     and never exceeds it. Raises [Invalid_argument] when
     [max_bytes < 1]. *)
 val preprocess_bytes :
+  ?obs:Olar_obs.Obs.t ->
   ?stats:Olar_mining.Stats.t ->
   ?miner:Olar_mining.Threshold.miner ->
   ?slack_bytes:int ->
@@ -49,14 +71,25 @@ val preprocess_bytes :
     directly at the given fractional support (0 < s <= 1). Raises
     [Invalid_argument] outside that range. *)
 val at_threshold :
+  ?obs:Olar_obs.Obs.t ->
   ?stats:Olar_mining.Stats.t ->
   ?miner:Olar_mining.Threshold.miner ->
   Database.t ->
   primary_support:float ->
   t
 
-(** [of_lattice lattice] wraps an existing (e.g. deserialized) lattice. *)
-val of_lattice : Lattice.t -> t
+(** [of_lattice lattice] wraps an existing (e.g. deserialized) lattice.
+    When [obs] is enabled the lattice-shape gauges are set. *)
+val of_lattice : ?obs:Olar_obs.Obs.t -> Lattice.t -> t
+
+(** {1 Telemetry access} *)
+
+(** [obs t] is the engine's telemetry context (possibly disabled). *)
+val obs : t -> Olar_obs.Obs.t
+
+(** [with_obs t obs] is [t] observing through [obs] from now on; the
+    lattice gauges are (re)set on the new context. *)
+val with_obs : t -> Olar_obs.Obs.t -> t
 
 (** {1 Introspection} *)
 
@@ -86,30 +119,21 @@ val count_of_support : t -> float -> int
     Every query takes fractional [minsup] and raises
     {!Query.Below_primary_threshold} when it lies below the primary
     threshold, [Invalid_argument] on values outside [0, 1] (or a
-    confidence outside (0, 1]). *)
+    confidence outside (0, 1]). Work accounting goes through the
+    engine's telemetry context; use {!Olar_core.Query} and friends
+    directly for the raw kernels with explicit [?work] counters. *)
 
 (** Query (1)/(2): itemsets ⊇ [containing] (default: all) at [minsup],
     with fractional supports, strongest first. *)
-val itemsets :
-  ?work:Olar_util.Timer.Counter.t ->
-  ?containing:Itemset.t ->
-  t ->
-  minsup:float ->
-  (Itemset.t * float) list
+val itemsets : ?containing:Itemset.t -> t -> minsup:float -> (Itemset.t * float) list
 
 (** Query (3): the number of such itemsets, without materialising. *)
-val count_itemsets :
-  ?work:Olar_util.Timer.Counter.t ->
-  ?containing:Itemset.t ->
-  t ->
-  minsup:float ->
-  int
+val count_itemsets : ?containing:Itemset.t -> t -> minsup:float -> int
 
 (** Query (1)/(2) for rules: the essential rules at ([minsup],
     [minconf]), optionally from itemsets ⊇ [containing] and under
     antecedent/consequent constraints. *)
 val essential_rules :
-  ?work:Olar_util.Timer.Counter.t ->
   ?containing:Itemset.t ->
   ?constraints:Boundary.constraints ->
   t ->
@@ -119,7 +143,6 @@ val essential_rules :
 
 (** All rules, redundant included. *)
 val all_rules :
-  ?work:Olar_util.Timer.Counter.t ->
   ?containing:Itemset.t ->
   ?constraints:Boundary.constraints ->
   t ->
@@ -129,12 +152,7 @@ val all_rules :
 
 (** Rules with a one-item consequent. *)
 val single_consequent_rules :
-  ?work:Olar_util.Timer.Counter.t ->
-  ?containing:Itemset.t ->
-  t ->
-  minsup:float ->
-  minconf:float ->
-  Rule.t list
+  ?containing:Itemset.t -> t -> minsup:float -> minconf:float -> Rule.t list
 
 (** Redundancy measurement (Figures 11-12). *)
 val redundancy :
@@ -143,22 +161,12 @@ val redundancy :
 (** Query (4): the fractional support at which exactly [k] itemsets
     containing [containing] exist; [None] when the lattice holds fewer
     than [k]. *)
-val support_for_k_itemsets :
-  ?work:Olar_util.Timer.Counter.t ->
-  t ->
-  containing:Itemset.t ->
-  k:int ->
-  float option
+val support_for_k_itemsets : t -> containing:Itemset.t -> k:int -> float option
 
 (** Query (5): the fractional support at which [k] single-consequent
     rules at [minconf] involving [involving] exist. *)
 val support_for_k_rules :
-  ?work:Olar_util.Timer.Counter.t ->
-  t ->
-  involving:Itemset.t ->
-  minconf:float ->
-  k:int ->
-  float option
+  t -> involving:Itemset.t -> minconf:float -> k:int -> float option
 
 (** {1 Maintenance} *)
 
@@ -167,7 +175,8 @@ val support_for_k_rules :
     engine serves old ∪ delta with exact counts for every previously
     primary itemset, and the itemset list reports the promotion frontier
     (new itemsets provably frequent from the batch alone — non-empty
-    means a full re-preprocess would add vertices). *)
+    means a full re-preprocess would add vertices). The returned engine
+    keeps [t]'s telemetry context. *)
 val append : t -> Database.t -> t * Itemset.t list
 
 (** {1 Persistence} *)
@@ -176,4 +185,4 @@ val append : t -> Database.t -> t * Itemset.t list
     {!Serialize}. *)
 val save : t -> string -> unit
 
-val load : string -> t
+val load : ?obs:Olar_obs.Obs.t -> string -> t

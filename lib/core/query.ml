@@ -1,5 +1,4 @@
 open Olar_data
-module Counter = Olar_util.Timer.Counter
 
 exception Below_primary_threshold of { requested : int; primary : int }
 
@@ -8,7 +7,7 @@ let check_minsup lattice s =
   let primary = Lattice.threshold lattice in
   if s < primary then raise (Below_primary_threshold { requested = s; primary })
 
-let bump work = match work with Some c -> Counter.incr c | None -> ()
+let bump = Olar_util.Timer.Counter.bump
 
 (* Core search (Figure 2). Calls [emit] on every reachable vertex with
    support >= minsup, the start vertex excluded. Child rows are scanned

@@ -1,5 +1,4 @@
 open Olar_data
-module Counter = Olar_util.Timer.Counter
 
 type itemsets_answer = {
   itemsets : (Itemset.t * int) list;
@@ -11,7 +10,7 @@ type rules_answer = {
   rule_support_level : int option;
 }
 
-let bump work = match work with Some c -> Counter.incr c | None -> ()
+let bump = Olar_util.Timer.Counter.bump
 
 (* Best-first walk from v(Z): repeatedly pop the frontier vertex of
    highest support and feed it to [visit]; [visit] returns [true] to keep

@@ -1,7 +1,7 @@
-let mine ?stats ?cap ?max_level ?seed ?(counting = Levelwise.Use_trie)
+let mine ?obs ?stats ?cap ?max_level ?seed ?(counting = Levelwise.Use_trie)
     ?(domains = 1) db ~minsup =
   if domains < 1 then invalid_arg "Apriori.mine: domains";
   let config =
     { Levelwise.trim = false; hash = Levelwise.No_hash; counting; domains }
   in
-  Levelwise.mine ?stats ?cap ?max_level ?seed config db ~minsup
+  Levelwise.mine ?obs ?stats ?cap ?max_level ?seed config db ~minsup

@@ -7,6 +7,7 @@ open Olar_data
 (** [mine db ~minsup] is all itemsets with support count >= [minsup].
     Optional arguments as in {!Levelwise.mine}. *)
 val mine :
+  ?obs:Olar_obs.Obs.t ->
   ?stats:Stats.t ->
   ?cap:int ->
   ?max_level:int ->

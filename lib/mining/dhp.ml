@@ -1,5 +1,6 @@
-let mine ?stats ?cap ?max_level ?seed ?(buckets = 65536) ?(hash_all_levels = false)
-    ?(counting = Levelwise.Use_trie) ?(domains = 1) db ~minsup =
+let mine ?obs ?stats ?cap ?max_level ?seed ?(buckets = 65536)
+    ?(hash_all_levels = false) ?(counting = Levelwise.Use_trie) ?(domains = 1)
+    db ~minsup =
   if buckets < 1 then invalid_arg "Dhp.mine: buckets";
   if domains < 1 then invalid_arg "Dhp.mine: domains";
   let hash =
@@ -7,4 +8,4 @@ let mine ?stats ?cap ?max_level ?seed ?(buckets = 65536) ?(hash_all_levels = fal
     else Levelwise.Hash_pass2 buckets
   in
   let config = { Levelwise.trim = true; hash; counting; domains } in
-  Levelwise.mine ?stats ?cap ?max_level ?seed config db ~minsup
+  Levelwise.mine ?obs ?stats ?cap ?max_level ?seed config db ~minsup

@@ -18,6 +18,7 @@ open Olar_data
       trimmed transaction per pass; default false).
     Other optional arguments as in {!Levelwise.mine}. *)
 val mine :
+  ?obs:Olar_obs.Obs.t ->
   ?stats:Stats.t ->
   ?cap:int ->
   ?max_level:int ->

@@ -75,6 +75,24 @@ let iter_combinations items k f =
 
 let no_stats = Stats.create ()
 
+(* Wrap one level pass in a trace span reporting the level and how many
+   itemsets survived it; a disabled [obs] runs [f] bare. *)
+let pass_span obs ~k f =
+  match obs with
+  | None -> f ()
+  | Some ctx ->
+    let out = ref [||] in
+    Olar_obs.Obs.span ctx "mine.pass"
+      ~attrs:(fun () ->
+        [
+          ("level", Olar_obs.Trace.Int k);
+          ("frequent", Olar_obs.Trace.Int (Array.length !out));
+        ])
+      (fun () ->
+        let ((entries, _) as r) = f () in
+        out := entries;
+        r)
+
 (* Decide the hash-table size for the table built during pass [k]
    (filtering candidates of size k+1). *)
 let buckets_for_pass config k =
@@ -252,7 +270,8 @@ let reuse_from_seed seed ~minsup ~db_size =
   in
   take 1 []
 
-let mine ?stats ?cap ?max_level ?seed config db ~minsup =
+let mine ?(obs = Olar_obs.Obs.disabled) ?stats ?cap ?max_level ?seed config db
+    ~minsup =
   if minsup < 1 then invalid_arg "Levelwise.mine: minsup";
   (match cap with
   | Some c when c < 1 -> invalid_arg "Levelwise.mine: cap"
@@ -293,6 +312,7 @@ let mine ?stats ?cap ?max_level ?seed config db ~minsup =
         finish ~levels_rev ~complete:true ~completed:(k - 1)
       else begin
         let entries, next_table =
+          pass_span obs ~k (fun () ->
           if k = 1 then pass1 stats config db ~minsup
           else begin
             let candidates =
@@ -313,7 +333,7 @@ let mine ?stats ?cap ?max_level ?seed config db ~minsup =
               let counted, next_table = pass_k stats config ~k txns candidates in
               (frequent_entries ~minsup counted, next_table)
             end
-          end
+          end)
         in
         Counter.add stats.Stats.frequent (Array.length entries);
         let total = total + Array.length entries in

@@ -49,6 +49,9 @@ type config = {
 (** [mine config db ~minsup] mines all itemsets with support count >=
     [minsup].
 
+    @param obs telemetry context; when enabled and tracing, each level
+      pass is wrapped in a [mine.pass] span carrying the level number and
+      the count of itemsets that survived it. Defaults to disabled.
     @param stats work counters to accumulate into.
     @param cap abort (complete = false) once more than [cap] itemsets
       have been found; must be >= 1.
@@ -60,6 +63,7 @@ type config = {
       or a mismatched database size.
     Raises [Invalid_argument] if [minsup < 1]. *)
 val mine :
+  ?obs:Olar_obs.Obs.t ->
   ?stats:Stats.t ->
   ?cap:int ->
   ?max_level:int ->

@@ -9,16 +9,42 @@ type result = {
 
 type miner = Use_apriori | Use_dhp | Use_fpgrowth
 
-let run_miner ?stats ?cap ?seed miner db ~minsup =
-  match miner with
-  | Use_apriori -> Apriori.mine ?stats ?cap ?seed db ~minsup
-  | Use_dhp -> Dhp.mine ?stats ?cap ?seed db ~minsup
-  | Use_fpgrowth ->
-    (* pattern growth has no per-level cut points: cap and seed are
-       accepted for interface uniformity but each probe runs complete *)
-    ignore cap;
-    ignore seed;
-    Fpgrowth.mine ?stats db ~minsup
+let run_miner ?(obs = Olar_obs.Obs.disabled) ?stats ?cap ?seed miner db ~minsup
+    =
+  Olar_obs.Obs.maybe_span obs "mine"
+    ~attrs:(fun () -> [ ("minsup", Olar_obs.Trace.Int minsup) ])
+    (fun () ->
+      match miner with
+      | Use_apriori -> Apriori.mine ~obs ?stats ?cap ?seed db ~minsup
+      | Use_dhp -> Dhp.mine ~obs ?stats ?cap ?seed db ~minsup
+      | Use_fpgrowth ->
+        (* pattern growth has no per-level cut points: cap and seed are
+           accepted for interface uniformity but each probe runs complete *)
+        ignore cap;
+        ignore seed;
+        Fpgrowth.mine ?stats db ~minsup)
+
+(* One binary-search iteration: the span closes with the probed threshold
+   and how many itemsets the probe generated before finishing or being
+   cut by the early-termination cap. *)
+let probe_span obs ~minsup f =
+  match obs with
+  | None -> f ()
+  | Some ctx ->
+    let out = ref None in
+    Olar_obs.Obs.span ctx "threshold.probe"
+      ~attrs:(fun () ->
+        let generated =
+          match !out with Some r -> Frequent.total r | None -> -1
+        in
+        [
+          ("minsup", Olar_obs.Trace.Int minsup);
+          ("generated", Olar_obs.Trace.Int generated);
+        ])
+      (fun () ->
+        let r = f () in
+        out := Some r;
+        r)
 
 (* Shared binary-search driver. [probe mid] mines at threshold [mid] and
    may abort early once it is known that more than [target] itemsets
@@ -72,8 +98,12 @@ let search ?deadline_s ~probe ~final db ~target ~slack () =
   in
   { threshold = !hi; itemsets; probes = !probes; hit_deadline = !hit_deadline }
 
-let naive ?stats ?(miner = Use_dhp) ?deadline_s db ~target ~slack =
-  let probe mid = run_miner ?stats miner db ~minsup:mid in
+let naive ?(obs = Olar_obs.Obs.disabled) ?stats ?(miner = Use_dhp) ?deadline_s
+    db ~target ~slack =
+  let probe mid =
+    probe_span obs ~minsup:mid (fun () ->
+        run_miner ~obs ?stats miner db ~minsup:mid)
+  in
   search ?deadline_s ~probe ~final:probe db ~target ~slack ()
 
 (* Mirror of Lattice.estimated_bytes, computed from the mining result:
@@ -102,7 +132,8 @@ let estimate_bytes frequent =
    four offset/support slots, three buffer slots, ~two index slots. *)
 let min_bytes_per_itemset = 8 * 9
 
-let optimized ?stats ?(miner = Use_dhp) ?deadline_s db ~target ~slack =
+let optimized ?(obs = Olar_obs.Obs.disabled) ?stats ?(miner = Use_dhp)
+    ?deadline_s db ~target ~slack =
   (* Every probe result is kept; a later probe at threshold t reuses the
      most advanced earlier result whose threshold is <= t. *)
   let history : Frequent.t list ref = ref [] in
@@ -121,7 +152,10 @@ let optimized ?stats ?(miner = Use_dhp) ?deadline_s db ~target ~slack =
       Some (List.fold_left (fun acc r -> if better r acc then r else acc) r0 rest)
   in
   let run ?cap mid =
-    let r = run_miner ?stats ?cap ?seed:(seed_for mid) miner db ~minsup:mid in
+    let r =
+      probe_span obs ~minsup:mid (fun () ->
+          run_miner ~obs ?stats ?cap ?seed:(seed_for mid) miner db ~minsup:mid)
+    in
     history := r :: !history;
     r
   in
@@ -133,7 +167,8 @@ let optimized ?stats ?(miner = Use_dhp) ?deadline_s db ~target ~slack =
    Generated(p) is replaced by the byte estimate, which is just as
    monotone in the threshold. The early-termination cap is the largest
    itemset count any within-budget result could have. *)
-let optimized_bytes ?stats ?(miner = Use_dhp) db ~budget_bytes ~slack_bytes =
+let optimized_bytes ?(obs = Olar_obs.Obs.disabled) ?stats ?(miner = Use_dhp) db
+    ~budget_bytes ~slack_bytes =
   if budget_bytes < 1 then invalid_arg "Threshold: budget_bytes";
   if slack_bytes < 0 || slack_bytes >= budget_bytes then
     invalid_arg "Threshold: slack_bytes";
@@ -152,7 +187,10 @@ let optimized_bytes ?stats ?(miner = Use_dhp) db ~budget_bytes ~slack_bytes =
       Some (List.fold_left (fun acc r -> if better r acc then r else acc) r0 rest)
   in
   let run ?cap mid =
-    let r = run_miner ?stats ?cap ?seed:(seed_for mid) miner db ~minsup:mid in
+    let r =
+      probe_span obs ~minsup:mid (fun () ->
+          run_miner ~obs ?stats ?cap ?seed:(seed_for mid) miner db ~minsup:mid)
+    in
     history := r :: !history;
     r
   in

@@ -40,13 +40,17 @@ type miner = Use_apriori | Use_dhp | Use_fpgrowth
 (** [naive db ~target ~slack] runs the paper's [NaiveFindThreshold].
     Raises [Invalid_argument] unless [target >= 1] and
     [0 <= slack < target]. [miner] defaults to [Use_dhp] (as in the
-    paper); [stats] accumulates work over all probes.
+    paper); [stats] accumulates work over all probes; [obs] (default
+    disabled) wraps each binary-search iteration in a [threshold.probe]
+    span carrying the probed threshold and the itemsets it generated,
+    with the miner's [mine]/[mine.pass] spans nested inside.
     @param deadline_s wall-clock budget for the whole search (the
       paper's preprocessing-time constraint). When it expires the search
       stops refining and returns the best threshold proven so far — a
       complete result, conservatively above the target. Unlimited when
       omitted. *)
 val naive :
+  ?obs:Olar_obs.Obs.t ->
   ?stats:Stats.t ->
   ?miner:miner ->
   ?deadline_s:float ->
@@ -59,6 +63,7 @@ val naive :
     termination + cross-probe reuse). Same contract and same final
     threshold as {!naive}. *)
 val optimized :
+  ?obs:Olar_obs.Obs.t ->
   ?stats:Stats.t ->
   ?miner:miner ->
   ?deadline_s:float ->
@@ -82,6 +87,7 @@ val estimate_bytes : Frequent.t -> int
     window. Raises [Invalid_argument] unless [budget_bytes >= 1] and
     [0 <= slack_bytes < budget_bytes]. *)
 val optimized_bytes :
+  ?obs:Olar_obs.Obs.t ->
   ?stats:Stats.t ->
   ?miner:miner ->
   Database.t ->

@@ -1,0 +1,149 @@
+(* Three views over one registry: human text, JSON, and Prometheus text
+   exposition (version 0.0.4 of the format). *)
+
+let quantiles = [ 0.5; 0.9; 0.99 ]
+
+(* ------------------------------------------------------------------ *)
+(* Human-readable table *)
+
+let pp_value ppf v =
+  if Float.is_nan v then Format.fprintf ppf "-"
+  else if Float.abs v = Float.infinity then Format.fprintf ppf "+Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Format.fprintf ppf "%.0f" v
+  else Format.fprintf ppf "%.6g" v
+
+let pp ppf registry =
+  Metrics.iter registry (fun { Metrics.name; metric; _ } ->
+      match metric with
+      | Metrics.M_counter c ->
+        Format.fprintf ppf "%-44s %d@." name (Metrics.Counter.value c)
+      | Metrics.M_gauge g ->
+        Format.fprintf ppf "%-44s %a@." name pp_value (Metrics.Gauge.value g)
+      | Metrics.M_histogram h ->
+        Format.fprintf ppf "%-44s count=%d mean=%a" name
+          (Metrics.Histogram.count h) pp_value (Metrics.Histogram.mean h);
+        List.iter
+          (fun q ->
+            Format.fprintf ppf " p%g=%a" (q *. 100.0) pp_value
+              (Metrics.Histogram.quantile h q))
+          quantiles;
+        Format.fprintf ppf "@.")
+
+let to_text registry = Format.asprintf "%a" pp registry
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let histogram_json h =
+  let open Jsonx in
+  Obj
+    ([
+       ("type", Str "histogram");
+       ("count", Int (Metrics.Histogram.count h));
+       ("sum", Float (Metrics.Histogram.sum h));
+       ("mean", Float (Metrics.Histogram.mean h));
+     ]
+    @ List.map
+        (fun q ->
+          ( Printf.sprintf "p%g" (q *. 100.0),
+            Float (Metrics.Histogram.quantile h q) ))
+        quantiles)
+
+let to_json registry =
+  let fields = ref [] in
+  Metrics.iter registry (fun { Metrics.name; metric; _ } ->
+      let v =
+        match metric with
+        | Metrics.M_counter c -> Jsonx.Int (Metrics.Counter.value c)
+        | Metrics.M_gauge g -> Jsonx.Float (Metrics.Gauge.value g)
+        | Metrics.M_histogram h -> histogram_json h
+      in
+      fields := (name, v) :: !fields);
+  Jsonx.Obj (List.rev !fields)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition *)
+
+let sanitize_name name =
+  let buf = Buffer.create (String.length name) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> Buffer.add_char buf c
+      | '0' .. '9' when i > 0 -> Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  if Buffer.length buf = 0 then "_" else Buffer.contents buf
+
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_label s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '"' -> Buffer.add_string buf "\\\""
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let prom_float f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let to_prometheus registry =
+  let buf = Buffer.create 1024 in
+  let header name help kind =
+    if help <> "" then
+      Buffer.add_string buf
+        (Printf.sprintf "# HELP %s %s\n" name (escape_help help));
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+  in
+  Metrics.iter registry (fun { Metrics.name; help; metric } ->
+      let name = sanitize_name name in
+      match metric with
+      | Metrics.M_counter c ->
+        header name help "counter";
+        Buffer.add_string buf
+          (Printf.sprintf "%s %d\n" name (Metrics.Counter.value c))
+      | Metrics.M_gauge g ->
+        header name help "gauge";
+        Buffer.add_string buf
+          (Printf.sprintf "%s %s\n" name (prom_float (Metrics.Gauge.value g)))
+      | Metrics.M_histogram h ->
+        header name help "histogram";
+        let bounds = Metrics.Histogram.bounds h in
+        let counts = Metrics.Histogram.counts h in
+        let cum = ref 0 in
+        Array.iteri
+          (fun i b ->
+            cum := !cum + counts.(i);
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name (prom_float b)
+                 !cum))
+          bounds;
+        cum := !cum + counts.(Array.length counts - 1);
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name !cum);
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum %s\n" name
+             (prom_float (Metrics.Histogram.sum h)));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_count %d\n" name (Metrics.Histogram.count h)));
+  Buffer.contents buf

@@ -1,0 +1,32 @@
+(** Render a {!Metrics.t} registry as human text, JSON, or
+    Prometheus-style text exposition. *)
+
+(** Quantiles reported for histograms in every format: p50, p90, p99. *)
+val quantiles : float list
+
+(** Human-readable table, one metric per line in registration order. *)
+val pp : Format.formatter -> Metrics.t -> unit
+
+val to_text : Metrics.t -> string
+
+(** One JSON object: counter → int, gauge → float, histogram → object
+    with [count]/[sum]/[mean]/[p50]/[p90]/[p99] ([nan] and infinities
+    degrade to [null], per {!Jsonx}). *)
+val to_json : Metrics.t -> Jsonx.t
+
+(** Prometheus text exposition (format 0.0.4): [# HELP]/[# TYPE]
+    comments, cumulative [_bucket{le="..."}] series ending in [+Inf],
+    [_sum] and [_count] for histograms. *)
+val to_prometheus : Metrics.t -> string
+
+(** {1 Escaping helpers} (exposed for direct testing) *)
+
+(** Maps characters outside [[a-zA-Z0-9_:]] to ['_']; a leading digit is
+    also replaced. *)
+val sanitize_name : string -> string
+
+(** Escapes backslash and newline for HELP text. *)
+val escape_help : string -> string
+
+(** Escapes backslash, newline, and double quote for label values. *)
+val escape_label : string -> string

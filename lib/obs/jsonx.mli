@@ -1,0 +1,43 @@
+(** Minimal JSON values with a printer and a strict parser.
+
+    The observability layer emits machine-readable output (trace spans,
+    registry dumps, bench results) and the CI checker re-parses it; both
+    sides go through this module so the repo needs no external JSON
+    dependency. Printing is compact (no whitespace); numbers keep
+    int/float identity where the text allows it; [nan] and infinities
+    have no JSON representation and degrade to [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** [to_string v] is the compact JSON text of [v]. *)
+val to_string : t -> string
+
+(** [to_buffer buf v] appends the compact JSON text of [v] to [buf]. *)
+val to_buffer : Buffer.t -> t -> unit
+
+(** [of_string s] parses one JSON document, rejecting trailing garbage.
+    Escapes (including surrogate pairs) are decoded to UTF-8. Integer
+    literals without fraction or exponent parse as [Int]; everything
+    else numeric parses as [Float]. *)
+val of_string : string -> (t, string) result
+
+(** {1 Accessors for checkers and tests} *)
+
+(** [member k v] is the value under key [k] when [v] is an object. *)
+val member : string -> t -> t option
+
+(** [path ks v] follows a key path through nested objects. *)
+val path : string list -> t -> t option
+
+(** [number v] is the numeric value of an [Int] or [Float]. *)
+val number : t -> float option
+
+val to_list : t -> t list option
+val to_str : t -> string option

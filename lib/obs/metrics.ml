@@ -1,0 +1,175 @@
+module Counter = Olar_util.Timer.Counter
+
+module Gauge = struct
+  type t = {
+    name : string;
+    mutable value : float;
+  }
+
+  let create name = { name; value = 0.0 }
+  let name g = g.name
+  let set g v = g.value <- v
+  let set_int g v = g.value <- float_of_int v
+  let value g = g.value
+end
+
+module Histogram = struct
+  type t = {
+    name : string;
+    bounds : float array; (* strictly increasing upper bounds *)
+    counts : int array; (* length bounds + 1; the last slot is overflow *)
+    mutable sum : float;
+    mutable total : int;
+  }
+
+  let log_bounds ?(lo = 1e-6) ?(decades = 9) ?(per_decade = 5) () =
+    if lo <= 0.0 || decades < 1 || per_decade < 1 then
+      invalid_arg "Histogram.log_bounds";
+    Array.init
+      ((decades * per_decade) + 1)
+      (fun i -> lo *. (10.0 ** (float_of_int i /. float_of_int per_decade)))
+
+  let of_bounds name bounds =
+    let n = Array.length bounds in
+    if n = 0 then invalid_arg "Histogram.of_bounds: empty";
+    for i = 1 to n - 1 do
+      if not (bounds.(i) > bounds.(i - 1)) then
+        invalid_arg "Histogram.of_bounds: bounds must increase strictly"
+    done;
+    { name; bounds; counts = Array.make (n + 1) 0; sum = 0.0; total = 0 }
+
+  let create ?lo ?decades ?per_decade name =
+    of_bounds name (log_bounds ?lo ?decades ?per_decade ())
+
+  let name h = h.name
+
+  (* Index of the first bound >= v; [Array.length bounds] = overflow. *)
+  let bucket_index h v =
+    let n = Array.length h.bounds in
+    if v <= h.bounds.(0) then 0
+    else if v > h.bounds.(n - 1) then n
+    else begin
+      (* invariant: bounds.(lo) < v <= bounds.(hi) *)
+      let lo = ref 0 and hi = ref (n - 1) in
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if h.bounds.(mid) < v then lo := mid else hi := mid
+      done;
+      !hi
+    end
+
+  let observe h v =
+    let i = bucket_index h v in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.sum <- h.sum +. v;
+    h.total <- h.total + 1
+
+  let count h = h.total
+  let sum h = h.sum
+  let mean h = if h.total = 0 then Float.nan else h.sum /. float_of_int h.total
+  let bounds h = Array.copy h.bounds
+  let counts h = Array.copy h.counts
+
+  (* Upper bound of the smallest bucket at which the cumulative count
+     reaches q * total (Prometheus-style upper-bound estimate). The
+     overflow bucket reports [infinity]; an empty histogram [nan]. *)
+  let quantile h q =
+    if not (q >= 0.0 && q <= 1.0) then invalid_arg "Histogram.quantile";
+    if h.total = 0 then Float.nan
+    else begin
+      let target =
+        max 1 (int_of_float (ceil ((q *. float_of_int h.total) -. 1e-9)))
+      in
+      let last = Array.length h.counts - 1 in
+      let i = ref 0 in
+      let cum = ref h.counts.(0) in
+      while !cum < target && !i < last do
+        incr i;
+        cum := !cum + h.counts.(!i)
+      done;
+      if !i < Array.length h.bounds then h.bounds.(!i) else Float.infinity
+    end
+end
+
+type metric =
+  | M_counter of Counter.t
+  | M_gauge of Gauge.t
+  | M_histogram of Histogram.t
+
+type entry = {
+  name : string;
+  help : string;
+  metric : metric;
+}
+
+type t = {
+  by_name : (string, entry) Hashtbl.t;
+  mutable order_rev : string list; (* registration order, newest first *)
+}
+
+let create () = { by_name = Hashtbl.create 32; order_rev = [] }
+
+let register t name help metric =
+  Hashtbl.replace t.by_name name { name; help; metric };
+  t.order_rev <- name :: t.order_rev
+
+let kind_error name = invalid_arg ("Metrics: " ^ name ^ " registered with another kind")
+
+let counter t ?(help = "") name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some { metric = M_counter c; _ } -> c
+  | Some _ -> kind_error name
+  | None ->
+    let c = Counter.create name in
+    register t name help (M_counter c);
+    c
+
+let gauge t ?(help = "") name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some { metric = M_gauge g; _ } -> g
+  | Some _ -> kind_error name
+  | None ->
+    let g = Gauge.create name in
+    register t name help (M_gauge g);
+    g
+
+let histogram t ?(help = "") ?bounds name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some { metric = M_histogram h; _ } -> h
+  | Some _ -> kind_error name
+  | None ->
+    let h =
+      match bounds with
+      | Some b -> Histogram.of_bounds name b
+      | None -> Histogram.create name
+    in
+    register t name help (M_histogram h);
+    h
+
+(* Adopt a counter created elsewhere (e.g. a mining [Stats.t] field) so
+   its counts surface in the registry without copying — the attached
+   counter IS the registered one. A later attach under the same name
+   replaces the earlier metric but keeps its registration slot. *)
+let attach_counter t ?(help = "") ?name c =
+  let name = match name with Some n -> n | None -> Counter.name c in
+  (match Hashtbl.find_opt t.by_name name with
+  | Some { metric = M_counter _; _ } | None -> ()
+  | Some _ -> kind_error name);
+  if Hashtbl.mem t.by_name name then
+    Hashtbl.replace t.by_name name { name; help; metric = M_counter c }
+  else register t name help (M_counter c)
+
+let find t name = Hashtbl.find_opt t.by_name name
+
+let iter t f =
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt t.by_name name with
+      | Some e -> f e
+      | None -> ())
+    (List.rev t.order_rev)
+
+let to_list t =
+  let out = ref [] in
+  iter t (fun e -> out := e :: !out);
+  List.rev !out

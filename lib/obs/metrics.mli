@@ -1,0 +1,107 @@
+(** Metrics registry: counters, gauges, and log-scale latency histograms.
+
+    A registry is a name-indexed collection of metric instruments that the
+    engine and CLI expose through {!Exposition}. Counters are the repo's
+    existing {!Olar_util.Timer.Counter} — the registry adopts them rather
+    than wrapping them, so the query kernels' [?work] threading and the
+    registry observe the very same cells (no dual bookkeeping).
+
+    Instruments are interned by name: asking twice for the same name
+    returns the same instrument; asking for an existing name with a
+    different kind raises [Invalid_argument]. *)
+
+module Counter = Olar_util.Timer.Counter
+
+(** A gauge is a point-in-time float (lattice size, memory estimate). *)
+module Gauge : sig
+  type t
+
+  val create : string -> t
+  val name : t -> string
+  val set : t -> float -> unit
+  val set_int : t -> int -> unit
+  val value : t -> float
+end
+
+(** Fixed-bucket histogram with logarithmic default bounds, sized for
+    latencies in seconds: 46 buckets spanning 1µs to 1000s at five per
+    decade, plus an overflow bucket. [observe] is allocation-free (a
+    binary search over the bound array plus three mutations). *)
+module Histogram : sig
+  type t
+
+  (** [log_bounds ?lo ?decades ?per_decade ()] is the default bound
+      array: [lo *. 10. ** (i /. per_decade)] for [i] in
+      [0 .. decades * per_decade]. Defaults: [lo = 1e-6], [decades = 9],
+      [per_decade = 5]. *)
+  val log_bounds : ?lo:float -> ?decades:int -> ?per_decade:int -> unit -> float array
+
+  (** [of_bounds name bounds] requires strictly increasing [bounds];
+      raises [Invalid_argument] otherwise. *)
+  val of_bounds : string -> float array -> t
+
+  val create : ?lo:float -> ?decades:int -> ?per_decade:int -> string -> t
+  val name : t -> string
+
+  (** [observe h v] records one sample. Allocation-free. *)
+  val observe : t -> float -> unit
+
+  val count : t -> int
+  val sum : t -> float
+
+  (** [mean h] is [nan] when empty. *)
+  val mean : t -> float
+
+  (** [bounds h] and [counts h] are copies; [counts] has one more slot
+      than [bounds] — the final slot counts overflow samples. *)
+  val bounds : t -> float array
+
+  val counts : t -> int array
+
+  (** [quantile h q] is the upper bound of the smallest bucket at which
+      the cumulative count reaches [q * total] — an upper-bound estimate
+      in the Prometheus style. Overflow samples report [infinity]; an
+      empty histogram reports [nan]. Raises [Invalid_argument] unless
+      [0. <= q <= 1.]. *)
+  val quantile : t -> float -> float
+end
+
+type metric =
+  | M_counter of Counter.t
+  | M_gauge of Gauge.t
+  | M_histogram of Histogram.t
+
+type entry = {
+  name : string;
+  help : string;
+  metric : metric;
+}
+
+type t
+
+val create : unit -> t
+
+(** [counter t name] interns a counter. [help] is kept from the first
+    registration. *)
+val counter : t -> ?help:string -> string -> Counter.t
+
+val gauge : t -> ?help:string -> string -> Gauge.t
+
+(** [histogram t name] interns a histogram with {!Histogram.log_bounds}
+    defaults unless [bounds] is given (only consulted on first
+    registration). *)
+val histogram : t -> ?help:string -> ?bounds:float array -> string -> Histogram.t
+
+(** [attach_counter t c] registers an externally created counter under
+    [name] (default: [Counter.name c]). The attached counter IS the
+    registered metric — mutations made through the original handle are
+    visible in the registry. A second attach under the same name
+    replaces the metric but keeps its registration order slot. *)
+val attach_counter : t -> ?help:string -> ?name:string -> Counter.t -> unit
+
+val find : t -> string -> entry option
+
+(** [iter t f] visits entries in registration order. *)
+val iter : t -> (entry -> unit) -> unit
+
+val to_list : t -> entry list

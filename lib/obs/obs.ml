@@ -1,0 +1,99 @@
+module Counter = Olar_util.Timer.Counter
+
+type ctx = {
+  metrics : Metrics.t;
+  tracer : Trace.t option;
+  sink : Sink.t option;
+  clock : unit -> float;
+  queries : Counter.t;
+  vertices_visited : Counter.t;
+  heap_pops : Counter.t;
+}
+
+(* [t = ctx option] is exposed concretely so the engine can dispatch with
+   a bare [match]: the [None] arm runs the uninstrumented body and
+   allocates nothing — closures for the instrumented path are only
+   built inside the [Some] arm. *)
+type t = ctx option
+
+let disabled : t = None
+
+let create ?(clock = Unix.gettimeofday) ?trace () : t =
+  let metrics = Metrics.create () in
+  let queries =
+    Metrics.counter metrics ~help:"Online queries served" "olar_queries_total"
+  in
+  let vertices_visited =
+    Metrics.counter metrics
+      ~help:"Lattice vertices expanded by traversal kernels"
+      "olar_query_vertices_visited_total"
+  in
+  let heap_pops =
+    Metrics.counter metrics
+      ~help:"Best-first heap pops in support queries"
+      "olar_query_heap_pops_total"
+  in
+  let tracer =
+    Option.map (fun sink -> Trace.create ~clock ~emit:(Sink.emit sink) ()) trace
+  in
+  Some { metrics; tracer; sink = trace; clock; queries; vertices_visited; heap_pops }
+
+let metrics ctx = ctx.metrics
+let tracer ctx = ctx.tracer
+
+let flush ctx = Option.iter Sink.flush ctx.sink
+let flush_opt = function None -> () | Some ctx -> flush ctx
+
+(* Which work counter a query kernel reports through its [?work] arg. *)
+type work =
+  | Vertices
+  | Heap_pops
+  | No_work
+
+let work_counter ctx = function
+  | Vertices -> Some ctx.vertices_visited
+  | Heap_pops -> Some ctx.heap_pops
+  | No_work -> None
+
+let span ctx name ?attrs f =
+  match ctx.tracer with
+  | None -> f ()
+  | Some tr -> Trace.with_span tr name ?attrs f
+
+let maybe_span obs name ?attrs f =
+  match obs with
+  | None -> f ()
+  | Some ctx -> span ctx name ?attrs f
+
+(* One query entry point: counts the query, times it into a per-entry
+   histogram, reports the work delta, and wraps it all in a trace span
+   when tracing is on. [f] receives the [?work] argument to pass down to
+   the kernel. *)
+let query_span ctx ~name ~work f =
+  Counter.incr ctx.queries;
+  let hist =
+    Metrics.histogram ctx.metrics
+      ~help:("Latency of " ^ name ^ " queries")
+      ("olar_query_" ^ name ^ "_seconds")
+  in
+  let counter = work_counter ctx work in
+  let before = match counter with Some c -> Counter.value c | None -> 0 in
+  let run () =
+    let t0 = ctx.clock () in
+    Fun.protect
+      ~finally:(fun () -> Metrics.Histogram.observe hist (ctx.clock () -. t0))
+      (fun () -> f counter)
+  in
+  match ctx.tracer with
+  | None -> run ()
+  | Some tr ->
+    let attrs () =
+      match counter with
+      | None -> []
+      | Some c -> [ ("work", Trace.Int (Counter.value c - before)) ]
+    in
+    Trace.with_span tr ("query." ^ name) ~attrs run
+
+let counter ctx ?help name = Metrics.counter ctx.metrics ?help name
+let gauge ctx ?help name = Metrics.gauge ctx.metrics ?help name
+let attach_counter ctx ?help ?name c = Metrics.attach_counter ctx.metrics ?help ?name c

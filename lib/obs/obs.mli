@@ -1,0 +1,68 @@
+(** Engine-facing façade over {!Metrics}, {!Trace}, and {!Sink}.
+
+    An {!type-t} is [ctx option], exposed concretely on purpose: the
+    engine dispatches on it with a bare [match], so the disabled path
+    ([None]) runs the exact uninstrumented code and allocates nothing —
+    closures for the instrumented path only exist inside the [Some]
+    branch. This is what keeps the null-sink overhead on the query hot
+    path at zero (see DESIGN.md, Observability). *)
+
+module Counter = Olar_util.Timer.Counter
+
+type ctx
+
+type t = ctx option
+
+val disabled : t
+
+(** [create ()] is an enabled context with a fresh registry holding the
+    shared query counters. [trace] turns on span collection into the
+    given sink; [clock] (default [Unix.gettimeofday]) feeds both span
+    timing and latency histograms — inject a fake for deterministic
+    tests. *)
+val create : ?clock:(unit -> float) -> ?trace:Sink.t -> unit -> t
+
+val metrics : ctx -> Metrics.t
+val tracer : ctx -> Trace.t option
+
+(** [flush ctx] flushes the trace sink, if any. *)
+val flush : ctx -> unit
+
+val flush_opt : t -> unit
+
+(** Which work counter a query kernel reports through its [?work]
+    argument: graph-traversal kernels count vertex expansions,
+    best-first support queries count heap pops. *)
+type work =
+  | Vertices
+  | Heap_pops
+  | No_work
+
+(** [query_span ctx ~name ~work f] wraps one engine entry point:
+    increments [olar_queries_total], times [f] into the
+    [olar_query_<name>_seconds] histogram, passes the selected work
+    counter to [f] as its [?work] argument, and — when tracing — emits
+    a [query.<name>] span carrying the work delta. The histogram is
+    recorded even if [f] raises. *)
+val query_span : ctx -> name:string -> work:work -> (Counter.t option -> 'a) -> 'a
+
+(** [span ctx name f] is a plain trace span ([f ()] unchanged when
+    tracing is off). [attrs] is evaluated at close time. *)
+val span :
+  ctx -> string -> ?attrs:(unit -> (string * Trace.value) list) -> (unit -> 'a) -> 'a
+
+(** [maybe_span obs name f] is {!span} when [obs] is enabled and a bare
+    [f ()] otherwise — for cold paths (mining passes, threshold probes)
+    where building the closure costs nothing relative to the work. *)
+val maybe_span :
+  t -> string -> ?attrs:(unit -> (string * Trace.value) list) -> (unit -> 'a) -> 'a
+
+(** Registry shorthands. *)
+val counter : ctx -> ?help:string -> string -> Counter.t
+
+val gauge : ctx -> ?help:string -> string -> Metrics.Gauge.t
+
+(** [attach_counter ctx c] adopts an externally created counter (e.g. a
+    mining [Stats] field) into the registry; see
+    {!Metrics.attach_counter}. *)
+val attach_counter : ctx -> ?help:string -> ?name:string -> Counter.t -> unit

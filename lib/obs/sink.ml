@@ -1,0 +1,47 @@
+type t = {
+  emit : Trace.span -> unit;
+  flush : unit -> unit;
+}
+
+let emit t span = t.emit span
+let flush t = t.flush ()
+
+(* The null sink never allocates per span; both closures are shared. *)
+let null =
+  let nop_span (_ : Trace.span) = () in
+  let nop () = () in
+  { emit = nop_span; flush = nop }
+
+let memory () =
+  let spans = ref [] in
+  ( { emit = (fun s -> spans := s :: !spans); flush = (fun () -> ()) },
+    fun () -> List.rev !spans )
+
+let value_to_json : Trace.value -> Jsonx.t = function
+  | Trace.Int i -> Jsonx.Int i
+  | Trace.Float f -> Jsonx.Float f
+  | Trace.Str s -> Jsonx.Str s
+
+let span_to_json (s : Trace.span) =
+  Jsonx.Obj
+    [
+      ("id", Jsonx.Int s.id);
+      ("parent", match s.parent with Some p -> Jsonx.Int p | None -> Jsonx.Null);
+      ("depth", Jsonx.Int s.depth);
+      ("name", Jsonx.Str s.name);
+      ("start_s", Jsonx.Float s.start_s);
+      ("duration_s", Jsonx.Float s.duration_s);
+      ("attrs", Jsonx.Obj (List.map (fun (k, v) -> (k, value_to_json v)) s.attrs));
+    ]
+
+let jsonl_writer ?(flush = fun () -> ()) write =
+  {
+    emit =
+      (fun s ->
+        write (Jsonx.to_string (span_to_json s));
+        write "\n");
+    flush;
+  }
+
+let jsonl oc =
+  jsonl_writer ~flush:(fun () -> Stdlib.flush oc) (Stdlib.output_string oc)

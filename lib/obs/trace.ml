@@ -1,0 +1,75 @@
+type value =
+  | Int of int
+  | Float of float
+  | Str of string
+
+type span = {
+  id : int;
+  parent : int option;
+  depth : int;
+  name : string;
+  start_s : float;
+  duration_s : float;
+  attrs : (string * value) list;
+}
+
+type frame = {
+  f_id : int;
+  f_parent : int option;
+  f_depth : int;
+  f_name : string;
+  f_start : float;
+}
+
+type t = {
+  clock : unit -> float;
+  emit : span -> unit;
+  mutable next_id : int;
+  mutable stack : frame list; (* innermost open span first *)
+}
+
+let create ?(clock = Unix.gettimeofday) ~emit () =
+  { clock; emit; next_id = 0; stack = [] }
+
+let enter t name =
+  let parent, depth =
+    match t.stack with
+    | [] -> (None, 0)
+    | f :: _ -> (Some f.f_id, f.f_depth + 1)
+  in
+  let f =
+    {
+      f_id = t.next_id;
+      f_parent = parent;
+      f_depth = depth;
+      f_name = name;
+      f_start = t.clock ();
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.stack <- f :: t.stack;
+  f.f_id
+
+(* Spans are emitted when they close, so a child always reaches the sink
+   before its parent; consumers rebuild the tree from [parent]. *)
+let exit t ~id attrs =
+  match t.stack with
+  | f :: rest when f.f_id = id ->
+    t.stack <- rest;
+    t.emit
+      {
+        id = f.f_id;
+        parent = f.f_parent;
+        depth = f.f_depth;
+        name = f.f_name;
+        start_s = f.f_start;
+        duration_s = t.clock () -. f.f_start;
+        attrs;
+      }
+  | _ -> invalid_arg "Trace.exit: span is not innermost open span"
+
+let with_span t name ?(attrs = fun () -> []) f =
+  let id = enter t name in
+  Fun.protect ~finally:(fun () -> exit t ~id (attrs ())) f
+
+let depth t = List.length t.stack

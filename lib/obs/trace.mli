@@ -1,0 +1,43 @@
+(** Nested trace spans with wall-clock attribution.
+
+    A tracer maintains a stack of open spans; closing a span emits it to
+    a caller-supplied [emit] function (see {!Sink} for ready-made
+    destinations). Spans are emitted at close time, so children reach
+    the sink before their parents — consumers rebuild the tree from the
+    [parent] ids, which are assigned in open order. *)
+
+type value =
+  | Int of int
+  | Float of float
+  | Str of string
+
+type span = {
+  id : int;  (** unique within one tracer, assigned in open order *)
+  parent : int option;
+  depth : int;  (** 0 for root spans *)
+  name : string;
+  start_s : float;  (** clock reading at open *)
+  duration_s : float;
+  attrs : (string * value) list;
+}
+
+type t
+
+(** [create ~emit ()] is a tracer delivering closed spans to [emit].
+    [clock] defaults to [Unix.gettimeofday]; inject a fake for
+    deterministic tests. *)
+val create : ?clock:(unit -> float) -> emit:(span -> unit) -> unit -> t
+
+(** [with_span t name f] runs [f ()] inside a span. [attrs] is evaluated
+    once, at close time (after [f] returns), so attributes can report
+    work done inside the span. The span is emitted even if [f] raises. *)
+val with_span : t -> string -> ?attrs:(unit -> (string * value) list) -> (unit -> 'a) -> 'a
+
+(** Lower-level pairing for callers that cannot use a closure. [exit]
+    raises [Invalid_argument] if [id] is not the innermost open span. *)
+val enter : t -> string -> int
+
+val exit : t -> id:int -> (string * value) list -> unit
+
+(** [depth t] is the number of currently open spans. *)
+val depth : t -> int

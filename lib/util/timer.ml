@@ -17,7 +17,14 @@ module Counter = struct
 
   let create name = { name; count = 0 }
   let name c = c.name
+
+  (* [incr] and [bump] are the hot-path primitives: branch-free (modulo
+     the option dispatch in [bump]) and never validating. The negative
+     check lives only in [add], which is called O(passes) times by the
+     mining layer, never per vertex or per edge. *)
   let incr c = c.count <- c.count + 1
+
+  let[@inline] bump = function Some c -> incr c | None -> ()
 
   let add c n =
     if n < 0 then invalid_arg "Timer.Counter.add";

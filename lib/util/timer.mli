@@ -16,7 +16,15 @@ val elapsed_s : t -> float
 (** [time f] runs [f ()] and returns its result with the elapsed seconds. *)
 val time : (unit -> 'a) -> 'a * float
 
-(** Named monotone counters for machine-independent cost accounting. *)
+(** Named monotone counters for machine-independent cost accounting.
+
+    Hot-path invariant: query kernels only ever call {!incr} (via
+    {!bump}), which is branch-free — it neither validates nor saturates.
+    The negative-delta check lives only in {!add}, which the mining layer
+    calls a handful of times per pass, never per vertex or per edge, so
+    the guard costs nothing where it matters. Counts are plain [int]s:
+    at one increment per nanosecond a 63-bit counter lasts ~292 years,
+    so overflow is not a practical concern and no saturation is done. *)
 module Counter : sig
   type t
 
@@ -26,10 +34,16 @@ module Counter : sig
   (** [name c] is the label given at creation. *)
   val name : t -> string
 
-  (** [incr c] adds 1. *)
+  (** [incr c] adds 1. Branch-free; the hot-path primitive. *)
   val incr : t -> unit
 
-  (** [add c n] adds [n]. Raises [Invalid_argument] if [n < 0]. *)
+  (** [bump c] is [incr] on [Some c] and a no-op on [None] — the single
+      implementation of the optional [?work] threading used by every
+      query kernel (previously copied into each module). *)
+  val bump : t option -> unit
+
+  (** [add c n] adds [n]. Raises [Invalid_argument] if [n < 0]; see the
+      module comment for why this check is absent from [incr]. *)
   val add : t -> int -> unit
 
   (** [value c] is the current count. *)

@@ -461,6 +461,40 @@ let test_scratch_wrong_lattice () =
     (Query.find_itemsets lat ~containing:Itemset.empty ~minsup:4)
     (Query.find_itemsets ~scratch lat ~containing:Itemset.empty ~minsup:4)
 
+(* The engine's telemetry hook must cost nothing when disabled: over a
+   1000-query loop, [Engine.count_itemsets] with the default (disabled)
+   context allocates the same bytes as the raw kernel with a reused
+   scratch — no closures or option boxes on the hot path (the [None]
+   dispatch arm in engine.ml is the bare uninstrumented call). *)
+let test_disabled_obs_zero_alloc () =
+  let lat = Helpers.table2_lattice () in
+  let engine = Engine.of_lattice lat in
+  let scratch = Scratch.create lat in
+  let frac = 4.0 /. float_of_int (Lattice.db_size lat) in
+  let engine_query () = ignore (Engine.count_itemsets engine ~minsup:frac) in
+  let raw_query () =
+    ignore
+      (Query.count_itemsets ~scratch lat ~containing:Itemset.empty
+         ~minsup:(Engine.count_of_support engine frac))
+  in
+  let measure f =
+    f ();
+    (* warm-up: scratch growth doesn't count *)
+    let before = Gc.allocated_bytes () in
+    for _ = 1 to 1000 do
+      f ()
+    done;
+    Gc.allocated_bytes () -. before
+  in
+  let raw_bytes = measure raw_query in
+  let engine_bytes = measure engine_query in
+  (* Any per-query boxing on the dispatch would cost >= 24 bytes/query
+     = 24k over the loop; allow a few words of measurement noise. *)
+  if engine_bytes > raw_bytes +. 512.0 then
+    Alcotest.failf
+      "disabled-obs engine allocated %.0f bytes over 1000 queries vs %.0f raw"
+      engine_bytes raw_bytes
+
 let case name f = Alcotest.test_case name `Quick f
 
 let suites =
@@ -472,6 +506,7 @@ let suites =
         case "of_packed rejects bad children"
           test_of_packed_rejects_inconsistent_children;
         case "scratch reuse over 1000 queries" test_scratch_reuse_1000;
+        case "disabled obs allocates nothing" test_disabled_obs_zero_alloc;
         case "scratch nested use" test_scratch_nested_use;
         case "scratch wrong lattice" test_scratch_wrong_lattice;
       ] );

@@ -1,0 +1,363 @@
+(* Tests for the olar.obs telemetry subsystem: histogram buckets and
+   quantiles, span nesting and emission order, JSON-lines golden output,
+   Prometheus exposition escaping, and the Jsonx printer/parser. *)
+
+open Olar_obs
+module H = Metrics.Histogram
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Histogram *)
+
+let test_histogram_bounds () =
+  let b = H.log_bounds () in
+  check Alcotest.int "default bound count" 46 (Array.length b);
+  check (Alcotest.float 1e-18) "first bound" 1e-6 b.(0);
+  check (Alcotest.float 1e-3) "last bound" 1e3 b.(45);
+  Array.iteri
+    (fun i x -> if i > 0 && x <= b.(i - 1) then Alcotest.fail "not increasing")
+    b;
+  (match H.of_bounds "bad" [| 1.0; 1.0 |] with
+  | _ -> Alcotest.fail "non-increasing bounds accepted"
+  | exception Invalid_argument _ -> ());
+  match H.of_bounds "bad" [||] with
+  | _ -> Alcotest.fail "empty bounds accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_histogram_observe () =
+  let h = H.of_bounds "h" [| 1.0; 2.0; 4.0 |] in
+  check Alcotest.bool "empty mean is nan" true (Float.is_nan (H.mean h));
+  check Alcotest.bool "empty quantile is nan" true
+    (Float.is_nan (H.quantile h 0.5));
+  List.iter (H.observe h) [ 0.5; 1.5; 3.0; 100.0 ];
+  check (Alcotest.array Alcotest.int) "bucket counts" [| 1; 1; 1; 1 |]
+    (H.counts h);
+  check Alcotest.int "count" 4 (H.count h);
+  check (Alcotest.float 1e-9) "sum" 105.0 (H.sum h);
+  check (Alcotest.float 1e-9) "mean" 26.25 (H.mean h);
+  (* quantile is the upper bound of the bucket where the cumulative
+     count reaches ceil(q * total) *)
+  check (Alcotest.float 1e-9) "p25" 1.0 (H.quantile h 0.25);
+  check (Alcotest.float 1e-9) "p50" 2.0 (H.quantile h 0.5);
+  check (Alcotest.float 1e-9) "p75" 4.0 (H.quantile h 0.75);
+  check Alcotest.bool "p100 overflows to +Inf" true
+    (H.quantile h 1.0 = Float.infinity);
+  (* boundary samples land in the bucket whose bound they equal *)
+  let g = H.of_bounds "g" [| 1.0; 2.0 |] in
+  H.observe g 1.0;
+  H.observe g 2.0;
+  check (Alcotest.array Alcotest.int) "le semantics" [| 1; 1; 0 |] (H.counts g);
+  match H.quantile h 1.5 with
+  | _ -> Alcotest.fail "quantile out of range accepted"
+  | exception Invalid_argument _ -> ()
+
+let histogram_quantile_prop =
+  QCheck2.Test.make ~name:"obs: histogram quantile covers q of the samples"
+    ~count:300
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 50) (float_range 1e-7 2e3))
+        (float_range 0.0 1.0))
+    (fun (samples, q) ->
+      let h = H.create "p" in
+      List.iter (H.observe h) samples;
+      let cut = H.quantile h q in
+      let n = List.length samples in
+      let need = max 1 (int_of_float (Float.ceil ((q *. float_of_int n) -. 1e-9))) in
+      let covered = List.length (List.filter (fun s -> s <= cut) samples) in
+      covered >= min need n
+      (* and the estimate never decreases in q *)
+      && H.quantile h (q /. 2.0) <= cut)
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+let test_registry_interning () =
+  let r = Metrics.create () in
+  let c = Metrics.counter r ~help:"first" "c" in
+  check Alcotest.bool "counter interned" true (c == Metrics.counter r "c");
+  (match Metrics.gauge r "c" with
+  | _ -> Alcotest.fail "kind mismatch accepted"
+  | exception Invalid_argument _ -> ());
+  let external_c = Metrics.Counter.create "olar_external_total" in
+  Metrics.Counter.add external_c 7;
+  Metrics.attach_counter r external_c;
+  (match Metrics.find r "olar_external_total" with
+  | Some { Metrics.metric = Metrics.M_counter c'; _ } ->
+    check Alcotest.bool "attached counter is the same cell" true
+      (c' == external_c)
+  | _ -> Alcotest.fail "attached counter not found");
+  let order = List.map (fun e -> e.Metrics.name) (Metrics.to_list r) in
+  check (Alcotest.list Alcotest.string) "registration order"
+    [ "c"; "olar_external_total" ] order
+
+(* ------------------------------------------------------------------ *)
+(* Trace spans *)
+
+let test_span_nesting () =
+  let sink, spans = Sink.memory () in
+  let now = ref 0.0 in
+  let t = Trace.create ~clock:(fun () -> !now) ~emit:(Sink.emit sink) () in
+  Trace.with_span t "outer" (fun () ->
+      now := 1.0;
+      check Alcotest.int "depth inside outer" 1 (Trace.depth t);
+      Trace.with_span t "inner"
+        ~attrs:(fun () -> [ ("k", Trace.Int 7) ])
+        (fun () -> now := 1.5);
+      now := 1.75);
+  check Alcotest.int "all closed" 0 (Trace.depth t);
+  match spans () with
+  | [ inner; outer ] ->
+    (* children are emitted before parents; ids follow open order *)
+    check Alcotest.string "inner first" "inner" inner.Trace.name;
+    check Alcotest.string "outer second" "outer" outer.Trace.name;
+    check Alcotest.int "outer id" 0 outer.Trace.id;
+    check Alcotest.int "inner id" 1 inner.Trace.id;
+    check (Alcotest.option Alcotest.int) "outer is a root" None
+      outer.Trace.parent;
+    check (Alcotest.option Alcotest.int) "inner parent" (Some 0)
+      inner.Trace.parent;
+    check Alcotest.int "inner depth" 1 inner.Trace.depth;
+    check (Alcotest.float 1e-12) "inner start" 1.0 inner.Trace.start_s;
+    check (Alcotest.float 1e-12) "inner duration" 0.5 inner.Trace.duration_s;
+    check (Alcotest.float 1e-12) "outer duration" 1.75 outer.Trace.duration_s;
+    (match inner.Trace.attrs with
+    | [ ("k", Trace.Int 7) ] -> ()
+    | _ -> Alcotest.fail "inner attrs")
+  | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l)
+
+let test_span_emitted_on_raise () =
+  let sink, spans = Sink.memory () in
+  let t = Trace.create ~clock:(fun () -> 0.0) ~emit:(Sink.emit sink) () in
+  (try Trace.with_span t "boom" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  check Alcotest.int "span emitted despite raise" 1 (List.length (spans ()));
+  check Alcotest.int "stack unwound" 0 (Trace.depth t)
+
+let test_exit_wrong_span () =
+  let t = Trace.create ~clock:(fun () -> 0.0) ~emit:(fun _ -> ()) () in
+  let outer = Trace.enter t "outer" in
+  let _inner = Trace.enter t "inner" in
+  match Trace.exit t ~id:outer [] with
+  | () -> Alcotest.fail "out-of-order exit accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* JSON-lines sink: golden output under a deterministic clock *)
+
+let test_jsonl_golden () =
+  let buf = Buffer.create 256 in
+  let sink = Sink.jsonl_writer (Buffer.add_string buf) in
+  let now = ref 0.0 in
+  let t = Trace.create ~clock:(fun () -> !now) ~emit:(Sink.emit sink) () in
+  Trace.with_span t "outer" (fun () ->
+      now := 1.0;
+      Trace.with_span t "inner"
+        ~attrs:(fun () -> [ ("k", Trace.Int 7); ("s", Trace.Str "a\"b") ])
+        (fun () -> now := 1.5);
+      now := 1.75);
+  let golden =
+    "{\"id\":1,\"parent\":0,\"depth\":1,\"name\":\"inner\",\"start_s\":1,\
+     \"duration_s\":0.5,\"attrs\":{\"k\":7,\"s\":\"a\\\"b\"}}\n\
+     {\"id\":0,\"parent\":null,\"depth\":0,\"name\":\"outer\",\"start_s\":0,\
+     \"duration_s\":1.75,\"attrs\":{}}\n"
+  in
+  check Alcotest.string "jsonl golden" golden (Buffer.contents buf);
+  (* every line re-parses with the same Jsonx the checker uses *)
+  String.split_on_char '\n' (Buffer.contents buf)
+  |> List.filter (fun l -> l <> "")
+  |> List.iter (fun line ->
+         match Jsonx.of_string line with
+         | Ok _ -> ()
+         | Error e -> Alcotest.failf "line does not re-parse: %s" e)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition *)
+
+let test_prometheus_escaping () =
+  check Alcotest.string "sanitize" "weird_name_9_"
+    (Exposition.sanitize_name "weird-name 9!");
+  check Alcotest.string "leading digit" "_xs" (Exposition.sanitize_name "9xs");
+  check Alcotest.string "help escape" "a\\\\b\\nc"
+    (Exposition.escape_help "a\\b\nc");
+  check Alcotest.string "label escape" "a\\\"b\\nc\\\\"
+    (Exposition.escape_label "a\"b\nc\\")
+
+let test_prometheus_exposition () =
+  let r = Metrics.create () in
+  let c = Metrics.counter r ~help:"hits\nand misses" "olar weird!total" in
+  Metrics.Counter.add c 3;
+  let g = Metrics.gauge r "olar_gauge" in
+  Metrics.Gauge.set g 2.5;
+  let h = Metrics.histogram r ~bounds:[| 0.5; 1.0 |] "olar_lat_seconds" in
+  List.iter (Metrics.Histogram.observe h) [ 0.25; 0.75; 9.0 ];
+  let text = Exposition.to_prometheus r in
+  let expect =
+    "# HELP olar_weird_total hits\\nand misses\n\
+     # TYPE olar_weird_total counter\n\
+     olar_weird_total 3\n\
+     # TYPE olar_gauge gauge\n\
+     olar_gauge 2.5\n\
+     # TYPE olar_lat_seconds histogram\n\
+     olar_lat_seconds_bucket{le=\"0.5\"} 1\n\
+     olar_lat_seconds_bucket{le=\"1\"} 2\n\
+     olar_lat_seconds_bucket{le=\"+Inf\"} 3\n\
+     olar_lat_seconds_sum 10\n\
+     olar_lat_seconds_count 3\n"
+  in
+  check Alcotest.string "prometheus exposition" expect text
+
+(* ------------------------------------------------------------------ *)
+(* Jsonx *)
+
+let test_jsonx_printing () =
+  let v =
+    Jsonx.Obj
+      [
+        ("a", Jsonx.Arr [ Jsonx.Int 1; Jsonx.Float 2.5; Jsonx.Null ]);
+        ("s", Jsonx.Str "tab\there \"q\" \\");
+        ("b", Jsonx.Bool false);
+        ("nan", Jsonx.Float Float.nan);
+      ]
+  in
+  check Alcotest.string "compact printing"
+    "{\"a\":[1,2.5,null],\"s\":\"tab\\there \\\"q\\\" \\\\\",\"b\":false,\
+     \"nan\":null}"
+    (Jsonx.to_string v)
+
+let test_jsonx_parsing () =
+  (match Jsonx.of_string " { \"k\" : [ 1 , -2.5e1 , \"\\u00e9\\ud83d\\ude00\" ] } " with
+  | Ok (Jsonx.Obj [ ("k", Jsonx.Arr [ Jsonx.Int 1; Jsonx.Float f; Jsonx.Str s ]) ])
+    when f = -25.0 ->
+    check Alcotest.string "unicode escapes" "\xc3\xa9\xf0\x9f\x98\x80" s
+  | Ok _ -> Alcotest.fail "parsed to an unexpected shape"
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  List.iter
+    (fun bad ->
+      match Jsonx.of_string bad with
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" bad
+      | Error _ -> ())
+    [ "{"; "[1,]"; "01"; "\"\\x\""; "{}}"; "nul"; "\"\n\"" ]
+
+(* Structural round-trip, with numbers compared by value: the printer
+   writes 1.0 as "1", which re-parses as Int 1. *)
+let rec equiv a b =
+  match (a, b) with
+  | Jsonx.Int x, Jsonx.Float y | Jsonx.Float y, Jsonx.Int x ->
+    float_of_int x = y
+  | Jsonx.Arr xs, Jsonx.Arr ys ->
+    List.length xs = List.length ys && List.for_all2 equiv xs ys
+  | Jsonx.Obj xs, Jsonx.Obj ys ->
+    List.length xs = List.length ys
+    && List.for_all2
+         (fun (k1, v1) (k2, v2) -> k1 = k2 && equiv v1 v2)
+         xs ys
+  | a, b -> a = b
+
+let jsonx_gen =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self n ->
+      let leaf =
+        oneof
+          [
+            return Jsonx.Null;
+            map (fun b -> Jsonx.Bool b) bool;
+            map (fun i -> Jsonx.Int i) int;
+            map (fun f -> Jsonx.Float f) (float_range (-1e9) 1e9);
+            map (fun s -> Jsonx.Str s) string_printable;
+          ]
+      in
+      if n <= 0 then leaf
+      else
+        oneof
+          [
+            leaf;
+            map (fun xs -> Jsonx.Arr xs)
+              (list_size (int_range 0 4) (self (n / 2)));
+            map
+              (fun kvs -> Jsonx.Obj kvs)
+              (list_size (int_range 0 4)
+                 (pair string_printable (self (n / 2))));
+          ])
+
+let jsonx_roundtrip_prop =
+  QCheck2.Test.make ~name:"obs: jsonx print/parse round-trip" ~count:300
+    ~print:(fun v -> Jsonx.to_string v)
+    jsonx_gen
+    (fun v ->
+      match Jsonx.of_string (Jsonx.to_string v) with
+      | Ok v' -> equiv v v'
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Obs façade *)
+
+let test_query_span_records () =
+  let sink, spans = Sink.memory () in
+  let now = ref 0.0 in
+  match Obs.create ~clock:(fun () -> !now) ~trace:sink () with
+  | None -> Alcotest.fail "create returned disabled"
+  | Some ctx ->
+    let r = Obs.metrics ctx in
+    let result =
+      Obs.query_span ctx ~name:"itemsets" ~work:Obs.Vertices (fun work ->
+          Olar_util.Timer.Counter.bump work;
+          Olar_util.Timer.Counter.bump work;
+          now := 0.25;
+          "answer")
+    in
+    check Alcotest.string "result passes through" "answer" result;
+    (match Metrics.find r "olar_queries_total" with
+    | Some { Metrics.metric = Metrics.M_counter c; _ } ->
+      check Alcotest.int "queries counted" 1 (Metrics.Counter.value c)
+    | _ -> Alcotest.fail "olar_queries_total missing");
+    (match Metrics.find r "olar_query_vertices_visited_total" with
+    | Some { Metrics.metric = Metrics.M_counter c; _ } ->
+      check Alcotest.int "work flows to the registry" 2
+        (Metrics.Counter.value c)
+    | _ -> Alcotest.fail "vertices counter missing");
+    (match Metrics.find r "olar_query_itemsets_seconds" with
+    | Some { Metrics.metric = Metrics.M_histogram h; _ } ->
+      check Alcotest.int "latency sampled" 1 (Metrics.Histogram.count h);
+      check (Alcotest.float 1e-12) "latency value" 0.25
+        (Metrics.Histogram.sum h)
+    | _ -> Alcotest.fail "latency histogram missing");
+    match spans () with
+    | [ s ] ->
+      check Alcotest.string "span name" "query.itemsets" s.Trace.name;
+      check Alcotest.bool "span carries the work delta" true
+        (List.mem_assoc "work" s.Trace.attrs)
+    | l -> Alcotest.failf "expected 1 span, got %d" (List.length l)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "obs.metrics",
+      [
+        case "log bounds" test_histogram_bounds;
+        case "observe/quantile" test_histogram_observe;
+        case "registry interning" test_registry_interning;
+        QCheck_alcotest.to_alcotest histogram_quantile_prop;
+      ] );
+    ( "obs.trace",
+      [
+        case "nesting and order" test_span_nesting;
+        case "emitted on raise" test_span_emitted_on_raise;
+        case "exit wrong span" test_exit_wrong_span;
+        case "jsonl golden" test_jsonl_golden;
+      ] );
+    ( "obs.exposition",
+      [
+        case "escaping" test_prometheus_escaping;
+        case "prometheus text" test_prometheus_exposition;
+      ] );
+    ( "obs.jsonx",
+      [
+        case "printing" test_jsonx_printing;
+        case "parsing" test_jsonx_parsing;
+        QCheck_alcotest.to_alcotest jsonx_roundtrip_prop;
+      ] );
+    ("obs.facade", [ case "query_span" test_query_span_records ]);
+  ]

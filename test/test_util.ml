@@ -419,7 +419,12 @@ let test_counter () =
   Alcotest.check_raises "negative add" (Invalid_argument "Timer.Counter.add")
     (fun () -> Counter.add c (-1));
   Counter.reset c;
-  check Alcotest.int "reset" 0 (Counter.value c)
+  check Alcotest.int "reset" 0 (Counter.value c);
+  (* the ?work threading helper: None is a no-op, Some increments *)
+  Counter.bump None;
+  Counter.bump (Some c);
+  Counter.bump (Some c);
+  check Alcotest.int "bump" 2 (Counter.value c)
 
 let test_timer_elapsed () =
   let t = Olar_util.Timer.start () in

@@ -1,4 +1,4 @@
-.PHONY: all build test test-quick bench-smoke bench-json clean
+.PHONY: all build test test-quick bench-smoke bench-json bench-cache clean
 
 all: build
 
@@ -19,10 +19,15 @@ test-quick:
 bench-smoke:
 	dune build @bench-smoke
 
-# Machine-readable bench output: run the qps experiment with --json and
-# validate the emitted document with bench/check_json.exe.
+# Machine-readable bench output: run the qps and session experiments
+# with --json and validate the document with bench/check_json.exe.
 bench-json:
 	dune build @bench-json
+
+# Session-cache benchmark: Zipf-repeated query streams, cached vs
+# uncached (lib/serve).
+bench-cache:
+	dune build @bench-cache
 
 clean:
 	dune clean

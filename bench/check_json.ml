@@ -42,6 +42,38 @@ let () =
       check "latency.samples" (J.path [ "latency"; "samples" ] s);
       check "work.total" (J.path [ "work"; "total" ] s))
     scenarios;
+  (* session is optional (only present when that experiment ran), but
+     when present each scenario must carry both sides of the cached vs
+     uncached comparison plus the cache accounting. *)
+  (match J.member "session" experiments with
+  | None -> ()
+  | Some session ->
+    let scenarios =
+      require "session.scenarios"
+        (Option.bind (J.member "scenarios" session) J.to_list)
+    in
+    if scenarios = [] then fail "session.scenarios is empty";
+    List.iter
+      (fun s ->
+        let name =
+          require "session scenario.name"
+            (Option.bind (J.member "name" s) J.to_str)
+        in
+        let check what v =
+          let x = number ("session." ^ name ^ "." ^ what) v in
+          if x < 0.0 then fail "session.%s.%s is negative" name what
+        in
+        check "cached.qps" (J.path [ "cached"; "qps" ] s);
+        check "cached.queries" (J.path [ "cached"; "queries" ] s);
+        check "uncached.qps" (J.path [ "uncached"; "qps" ] s);
+        check "uncached.queries" (J.path [ "uncached"; "queries" ] s);
+        check "speedup" (J.member "speedup" s);
+        check "cache.hits" (J.path [ "cache"; "hits" ] s);
+        check "cache.misses" (J.path [ "cache"; "misses" ] s);
+        check "cache.refines" (J.path [ "cache"; "refines" ] s);
+        check "cache.evictions" (J.path [ "cache"; "evictions" ] s);
+        check "cache.resident_bytes" (J.path [ "cache"; "resident_bytes" ] s))
+      scenarios);
   (* fig10 is optional (only present when that experiment ran), but when
      present its points must carry the rule/work fields. *)
   (match J.member "fig10" experiments with

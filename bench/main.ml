@@ -38,6 +38,7 @@ type config = {
   transactions : int;
   budget_sweep : int list; (* itemset budgets for figs 8-9 *)
   seed : int;
+  domains : int option; (* parallel counting domains for preprocessing *)
 }
 
 let default_config =
@@ -47,6 +48,7 @@ let default_config =
     transactions = 10_000;
     budget_sweep = [ 500; 1_000; 2_000; 5_000; 10_000; 15_000 ];
     seed = 42;
+    domains = None;
   }
 
 let full_config =
@@ -56,6 +58,7 @@ let full_config =
     transactions = 100_000;
     budget_sweep = [ 1_000; 2_000; 5_000; 10_000; 20_000; 50_000 ];
     seed = 42;
+    domains = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -94,7 +97,8 @@ let engine config ~t ~i ~primary =
   | None ->
     let e, dt =
       Olar_util.Timer.time (fun () ->
-          Olar_core.Engine.at_threshold db ~primary_support:primary)
+          Olar_core.Engine.at_threshold ?domains:config.domains db
+            ~primary_support:primary)
     in
     Printf.printf
       "[prep] %s preprocessed at %.3f%%: %d itemsets, %d edges (%.2fs)\n%!" name
@@ -512,7 +516,8 @@ let scaling config =
       let db = Olar_datagen.Quest.generate params in
       let engine, prep_s =
         Olar_util.Timer.time (fun () ->
-            Olar_core.Engine.at_threshold db ~primary_support:0.003)
+            Olar_core.Engine.at_threshold ?domains:config.domains db
+              ~primary_support:0.003)
       in
       let minsup = 0.005 and minconf = 0.9 in
       let direct, direct_s =
@@ -785,6 +790,126 @@ let qps config =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Session cache: Zipf-repeated interactive query streams, cached vs
+   uncached. An analyst re-issues a handful of favourite (minsup,
+   minconf) settings with a skewed repeat distribution; the session
+   cache (lib/serve) answers repeats from cached canonical-order
+   prefixes instead of re-walking the lattice. Both sides run through
+   Olar_serve.Session — budget 0 is the contract-identical
+   passthrough — so the comparison isolates the cache itself. *)
+
+let session_bench config =
+  section
+    "Session cache: Zipf-repeated query streams, cached vs uncached\n\
+     (lib/serve; repeats served by prefix refinement, not re-traversal)";
+  let e = engine config ~t:10 ~i:4 ~primary:0.002 in
+  (* Fixed pre-drawn streams so the cached and uncached runs replay the
+     identical query sequence. Setting rank r is drawn with Zipf weight
+     1/(r+1): a few favourites dominate, the tail recurs rarely. *)
+  let stream_len = 4096 in
+  let zipf_stream st settings =
+    let n = Array.length settings in
+    let cum = Array.make n 0.0 in
+    let total = ref 0.0 in
+    for r = 0 to n - 1 do
+      total := !total +. (1.0 /. float_of_int (r + 1));
+      cum.(r) <- !total
+    done;
+    Array.init stream_len (fun _ ->
+        let u = Random.State.float st !total in
+        let rec pick r =
+          if r = n - 1 || u <= cum.(r) then settings.(r) else pick (r + 1)
+        in
+        pick 0)
+  in
+  let rng = Random.State.make [| config.seed; 0x5355 |] in
+  let find_stream =
+    zipf_stream rng [| 0.004; 0.0025; 0.005; 0.003; 0.0075; 0.01 |]
+  in
+  let rule_stream =
+    zipf_stream rng
+      (Array.of_list
+         (List.concat_map
+            (fun s -> List.map (fun c -> (s, c)) [ 0.9; 0.7; 0.5 ])
+            [ 0.0075; 0.005; 0.01 ]))
+  in
+  let scenarios =
+    [
+      ( "find broad",
+        fun session k ->
+          let minsup = find_stream.(k land (stream_len - 1)) in
+          ignore (Olar_serve.Session.itemset_ids session ~minsup) );
+      ( "rules",
+        fun session k ->
+          let minsup, minconf = rule_stream.(k land (stream_len - 1)) in
+          ignore (Olar_serve.Session.essential_rules session ~minsup ~minconf)
+      );
+    ]
+  in
+  (* Same measurement discipline as the qps experiment: warm up, then a
+     fixed wall budget with clock reads batched every 20 queries. *)
+  let measure session run =
+    for k = 0 to 9 do
+      run session k
+    done;
+    let budget = 1.0 in
+    let timer = Olar_util.Timer.start () in
+    let queries = ref 0 in
+    while Olar_util.Timer.elapsed_s timer < budget do
+      for k = 0 to 19 do
+        run session (!queries + k)
+      done;
+      queries := !queries + 20
+    done;
+    let dt = Olar_util.Timer.elapsed_s timer in
+    (!queries, dt, float_of_int !queries /. dt)
+  in
+  Printf.printf "%-12s %-14s %-14s %-10s %-24s\n" "scenario" "uncached qps"
+    "cached qps" "speedup" "cache hit/refine/miss";
+  let jscenarios = ref [] in
+  List.iter
+    (fun (name, run) ->
+      let uncached = Olar_serve.Session.create ~budget_bytes:0 e in
+      let ((_, _, uq) as u) = measure uncached run in
+      let cached =
+        Olar_serve.Session.create ~budget_bytes:(32 * 1024 * 1024) e
+      in
+      let ((_, _, cq) as c) = measure cached run in
+      let s = Olar_serve.Session.stats cached in
+      let open Olar_serve.Session in
+      Printf.printf "%-12s %-14.0f %-14.0f %8.1fx  %d/%d/%d\n" name uq cq
+        (cq /. uq) s.hits s.refines s.misses;
+      let side (queries, seconds, qps) =
+        Jsonx.Obj
+          [
+            ("queries", Jsonx.Int queries);
+            ("seconds", Jsonx.Float seconds);
+            ("qps", Jsonx.Float qps);
+          ]
+      in
+      jscenarios :=
+        Jsonx.Obj
+          [
+            ("name", Jsonx.Str name);
+            ("uncached", side u);
+            ("cached", side c);
+            ("speedup", Jsonx.Float (cq /. uq));
+            ( "cache",
+              Jsonx.Obj
+                [
+                  ("hits", Jsonx.Int s.hits);
+                  ("misses", Jsonx.Int s.misses);
+                  ("refines", Jsonx.Int s.refines);
+                  ("evictions", Jsonx.Int s.evictions);
+                  ("resident_bytes", Jsonx.Int s.resident_bytes);
+                ] );
+          ]
+        :: !jscenarios)
+    scenarios;
+  record_json "session"
+    (Jsonx.Obj [ ("scenarios", Jsonx.Arr (List.rev !jscenarios)) ])
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the core operations. *)
 
 let micro config =
@@ -872,7 +997,7 @@ let all_experiments =
   [
     ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("table3", table3);
     ("fig11", fig11); ("fig12", fig12); ("scaling", scaling); ("qps", qps);
-    ("miners", miners); ("ablate-sort", ablate_sort);
+    ("session", session_bench); ("miners", miners); ("ablate-sort", ablate_sort);
     ("ablate-cache", ablate_cache); ("ablate-miner", ablate_miner);
     ("ablate-counting", ablate_counting); ("ablate-bestfirst", ablate_bestfirst);
     ("micro", micro);
@@ -880,7 +1005,8 @@ let all_experiments =
 
 let usage () =
   Printf.printf
-    "usage: main.exe [--full] [--seed N] [--experiment a,b,...] [--json PATH]\n";
+    "usage: main.exe [--full] [--seed N] [--domains N] [--experiment a,b,...] \
+     [--json PATH]\n";
   Printf.printf "experiments: %s, all\n"
     (String.concat ", " (List.map fst all_experiments));
   exit 1
@@ -889,6 +1015,7 @@ let () =
   let config = ref default_config in
   let chosen = ref [] in
   let seed = ref None in
+  let domains = ref None in
   let rec parse = function
     | [] -> ()
     | "--full" :: rest ->
@@ -896,6 +1023,11 @@ let () =
       parse rest
     | "--seed" :: n :: rest ->
       (match int_of_string_opt n with Some n -> seed := Some n | None -> usage ());
+      parse rest
+    | "--domains" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 1 -> domains := Some n
+      | _ -> usage ());
       parse rest
     | "--experiment" :: names :: rest ->
       chosen := !chosen @ String.split_on_char ',' names;
@@ -911,6 +1043,9 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   let config =
     match !seed with None -> !config | Some s -> { !config with seed = s }
+  in
+  let config =
+    match !domains with None -> config | Some d -> { config with domains = Some d }
   in
   let selected =
     match !chosen with

@@ -59,6 +59,42 @@ let containing_arg =
         ~doc:"Restrict to itemsets containing these items (e.g. 3,17,42)."
         ~docv:"ITEMS")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ]
+        ~doc:
+          "Split support-counting passes across $(docv) parallel counting \
+           domains (default 1 = sequential; ignored by the fpgrowth miner)."
+        ~docv:"N")
+
+let cache_mb_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "cache-mb" ]
+        ~doc:
+          "Route the query through a session result cache with this MiB \
+           budget (see olar.serve). 0 queries the engine directly. Cache \
+           accounting is reported on stderr."
+        ~docv:"MB")
+
+let make_session ~cache_mb engine =
+  Olar_serve.Session.create ~budget_bytes:(cache_mb * 1024 * 1024) engine
+
+(* Cache accounting goes to stderr so --format csv/json stdout stays
+   machine-readable. *)
+let report_cache session =
+  if Olar_serve.Session.enabled session then begin
+    let open Olar_serve.Session in
+    let s = stats session in
+    Format.eprintf
+      "cache: hits=%d (refines=%d) misses=%d evictions=%d resident=%dB/%dB \
+       entries=%d@."
+      s.hits s.refines s.misses s.evictions s.resident_bytes s.budget_bytes
+      s.entries
+  end
+
 let load_db path =
   try Ok (Db_io.load path) with
   | Db_io.Malformed msg -> Error (Printf.sprintf "%s: %s" path msg)
@@ -300,8 +336,8 @@ let preprocess_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~doc:"Output lattice file." ~docv:"FILE")
   in
-  let run db_path max_itemsets support max_bytes slack search miner out metrics
-      trace =
+  let run db_path max_itemsets support max_bytes slack search miner domains out
+      metrics trace =
     let db = or_die (load_db db_path) in
     let obs, finish_obs = make_obs metrics trace in
     let stats = Olar_mining.Stats.create () in
@@ -309,13 +345,13 @@ let preprocess_cmd =
       Olar_util.Timer.time (fun () ->
           match (max_itemsets, support, max_bytes) with
           | Some n, None, None ->
-            Olar_core.Engine.preprocess ~obs ~stats ~miner ~search ?slack db
-              ~max_itemsets:n
+            Olar_core.Engine.preprocess ~obs ~stats ~miner ~search ?slack
+              ?domains db ~max_itemsets:n
           | None, Some s, None ->
-            Olar_core.Engine.at_threshold ~obs ~stats ~miner db
+            Olar_core.Engine.at_threshold ~obs ~stats ~miner ?domains db
               ~primary_support:s
           | None, None, Some b ->
-            Olar_core.Engine.preprocess_bytes ~obs ~stats ~miner db
+            Olar_core.Engine.preprocess_bytes ~obs ~stats ~miner ?domains db
               ~max_bytes:b
           | _ ->
             Format.eprintf
@@ -340,8 +376,8 @@ let preprocess_cmd =
        ~doc:"Mine the primary itemsets and build the adjacency lattice (Section 5).")
     Term.(
       const run $ db_arg $ max_itemsets_arg $ support_arg $ max_bytes_arg
-      $ slack_arg $ search_arg $ miner_arg $ out_arg $ metrics_flag
-      $ trace_out_arg)
+      $ slack_arg $ search_arg $ miner_arg $ domains_arg $ out_arg
+      $ metrics_flag $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* info *)
@@ -404,8 +440,8 @@ let items_cmd =
   let limit_arg =
     Arg.(value & opt int 50 & info [ "limit" ] ~doc:"Print at most this many." ~docv:"N")
   in
-  let run lattice_path minsup containing limit format output vocab_path metrics
-      trace =
+  let run lattice_path minsup containing limit format output vocab_path cache_mb
+      metrics trace =
     let obs, finish_obs = make_obs metrics trace in
     let engine = or_die (load_engine ~obs lattice_path) in
     let vocab = load_vocab vocab_path in
@@ -419,14 +455,27 @@ let items_cmd =
             (Olar_core.Query.find_itemsets ?work lat ~containing
                ~minsup:(Olar_core.Engine.count_of_support engine minsup))
         in
+        let session =
+          if cache_mb > 0 then Some (make_session ~cache_mb engine) else None
+        in
         let entries, dt =
           Olar_util.Timer.time (fun () ->
-              match obs with
-              | None -> query None
-              | Some ctx ->
-                Olar_obs.Obs.query_span ctx ~name:"itemsets"
-                  ~work:Olar_obs.Obs.Vertices query)
+              match session with
+              | Some s ->
+                Array.to_list
+                  (Array.map
+                     (fun v ->
+                       ( Olar_core.Lattice.itemset lat v,
+                         Olar_core.Lattice.support lat v ))
+                     (Olar_serve.Session.itemset_ids s ~containing ~minsup))
+              | None -> (
+                match obs with
+                | None -> query None
+                | Some ctx ->
+                  Olar_obs.Obs.query_span ctx ~name:"itemsets"
+                    ~work:Olar_obs.Obs.Vertices query))
         in
+        Option.iter report_cache session;
         Fun.protect ~finally:finish_obs @@ fun () ->
         match format with
         | Csv -> emit output (Olar_core.Export.itemsets_to_csv ?vocab ~db_size entries)
@@ -453,7 +502,7 @@ let items_cmd =
        ~doc:"Online itemset query: all itemsets above a support level (Figure 2).")
     Term.(
       const run $ lattice_arg $ minsup $ containing_arg $ limit_arg $ format_arg
-      $ output_arg $ vocab_arg $ metrics_flag $ trace_out_arg)
+      $ output_arg $ vocab_arg $ cache_mb_arg $ metrics_flag $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* rules *)
@@ -514,7 +563,8 @@ let rules_cmd =
       & info [ "measures" ] ~doc:"Include lift/leverage/conviction in the output.")
   in
   let run lattice_path minsup minconf containing all single antecedent consequent
-      limit format output min_lift sort_by measures vocab_path metrics trace =
+      limit format output min_lift sort_by measures vocab_path cache_mb metrics
+      trace =
     let obs, finish_obs = make_obs metrics trace in
     let engine = or_die (load_engine ~obs lattice_path) in
     let vocab = load_vocab vocab_path in
@@ -527,18 +577,34 @@ let rules_cmd =
       }
     in
     handle_below_threshold (fun () ->
+        let session =
+          if cache_mb > 0 then Some (make_session ~cache_mb engine) else None
+        in
         let rules, dt =
           Olar_util.Timer.time (fun () ->
-              if single then
-                Olar_core.Engine.single_consequent_rules engine ~containing
-                  ~minsup ~minconf
-              else if all then
-                Olar_core.Engine.all_rules engine ~containing ~constraints
-                  ~minsup ~minconf
-              else
-                Olar_core.Engine.essential_rules engine ~containing ~constraints
-                  ~minsup ~minconf)
+              match session with
+              | Some s ->
+                if single then
+                  Olar_serve.Session.single_consequent_rules s ~containing
+                    ~minsup ~minconf
+                else if all then
+                  Olar_serve.Session.all_rules s ~containing ~constraints
+                    ~minsup ~minconf
+                else
+                  Olar_serve.Session.essential_rules s ~containing ~constraints
+                    ~minsup ~minconf
+              | None ->
+                if single then
+                  Olar_core.Engine.single_consequent_rules engine ~containing
+                    ~minsup ~minconf
+                else if all then
+                  Olar_core.Engine.all_rules engine ~containing ~constraints
+                    ~minsup ~minconf
+                else
+                  Olar_core.Engine.essential_rules engine ~containing
+                    ~constraints ~minsup ~minconf)
         in
+        Option.iter report_cache session;
         Fun.protect ~finally:finish_obs @@ fun () ->
         let rules =
           match min_lift with
@@ -587,7 +653,7 @@ let rules_cmd =
       const run $ lattice_arg $ minsup $ minconf $ containing_arg $ all_arg
       $ single_arg $ antecedent_arg $ consequent_arg $ limit_arg $ format_arg
       $ output_arg $ min_lift_arg $ sort_arg $ measures_arg $ vocab_arg
-      $ metrics_flag $ trace_out_arg)
+      $ cache_mb_arg $ metrics_flag $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* count *)
@@ -600,12 +666,19 @@ let count_cmd =
       & opt (some float) None
       & info [ "minconf" ] ~doc:"Also count rules at this confidence." ~docv:"C")
   in
-  let run lattice_path minsup containing minconf metrics trace =
+  let run lattice_path minsup containing minconf cache_mb metrics trace =
     let obs, finish_obs = make_obs metrics trace in
     let engine = or_die (load_engine ~obs lattice_path) in
     handle_below_threshold (fun () ->
-        Format.printf "itemsets: %d@."
-          (Olar_core.Engine.count_itemsets engine ~containing ~minsup);
+        let session =
+          if cache_mb > 0 then Some (make_session ~cache_mb engine) else None
+        in
+        let n =
+          match session with
+          | Some s -> Olar_serve.Session.count_itemsets s ~containing ~minsup
+          | None -> Olar_core.Engine.count_itemsets engine ~containing ~minsup
+        in
+        Format.printf "itemsets: %d@." n;
         (match minconf with
         | None -> ()
         | Some c ->
@@ -613,6 +686,7 @@ let count_cmd =
           Format.printf "rules:    %d total, %d essential (redundancy ratio %.2f)@."
             r.Olar_core.Rulegen.total_rules r.Olar_core.Rulegen.essential_count
             r.Olar_core.Rulegen.redundancy_ratio);
+        Option.iter report_cache session;
         finish_obs ())
   in
   Cmd.v
@@ -620,7 +694,7 @@ let count_cmd =
        ~doc:"Predict output sizes without materialising them (query type 3).")
     Term.(
       const run $ lattice_arg $ minsup $ containing_arg $ minconf_arg
-      $ metrics_flag $ trace_out_arg)
+      $ cache_mb_arg $ metrics_flag $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* support-for *)
@@ -637,12 +711,20 @@ let support_for_cmd =
           ~doc:"Ask about single-consequent rules at this confidence instead of itemsets."
           ~docv:"C")
   in
-  let run lattice_path k containing minconf metrics trace =
+  let run lattice_path k containing minconf cache_mb metrics trace =
     let obs, finish_obs = make_obs metrics trace in
     let engine = or_die (load_engine ~obs lattice_path) in
+    let session =
+      if cache_mb > 0 then Some (make_session ~cache_mb engine) else None
+    in
     (match minconf with
     | None -> (
-      match Olar_core.Engine.support_for_k_itemsets engine ~containing ~k with
+      let answer =
+        match session with
+        | Some s -> Olar_serve.Session.support_for_k_itemsets s ~containing ~k
+        | None -> Olar_core.Engine.support_for_k_itemsets engine ~containing ~k
+      in
+      match answer with
       | Some level ->
         Format.printf "exactly %d itemsets containing %a exist at minsup = %.4f%%@."
           k Itemset.pp containing (100.0 *. level)
@@ -650,16 +732,23 @@ let support_for_cmd =
         Format.printf "fewer than %d itemsets containing %a are prestored@." k
           Itemset.pp containing)
     | Some c -> (
-      match
-        Olar_core.Engine.support_for_k_rules engine ~involving:containing
-          ~minconf:c ~k
-      with
+      let answer =
+        match session with
+        | Some s ->
+          Olar_serve.Session.support_for_k_rules s ~involving:containing
+            ~minconf:c ~k
+        | None ->
+          Olar_core.Engine.support_for_k_rules engine ~involving:containing
+            ~minconf:c ~k
+      in
+      match answer with
       | Some level ->
         Format.printf
           "%d single-consequent rules at conf %.0f%% exist at minsup = %.4f%%@."
           k (100.0 *. c) (100.0 *. level)
       | None ->
         Format.printf "fewer than %d such rules can be generated@." k));
+    Option.iter report_cache session;
     finish_obs ()
   in
   Cmd.v
@@ -667,7 +756,7 @@ let support_for_cmd =
        ~doc:"Reverse query: the support level yielding exactly K answers (Figure 3).")
     Term.(
       const run $ lattice_arg $ k_arg $ containing_arg $ minconf_arg
-      $ metrics_flag $ trace_out_arg)
+      $ cache_mb_arg $ metrics_flag $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* direct *)
@@ -874,12 +963,13 @@ let update_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~doc:"Output lattice file." ~docv:"FILE")
   in
-  let run lattice_path delta_path out metrics trace =
+  let run lattice_path delta_path domains out metrics trace =
     let obs, finish_obs = make_obs metrics trace in
     let engine = or_die (load_engine ~obs lattice_path) in
     let delta = or_die (load_db delta_path) in
     let (engine', promoted), dt =
-      Olar_util.Timer.time (fun () -> Olar_core.Engine.append engine delta)
+      Olar_util.Timer.time (fun () ->
+          Olar_core.Engine.append ?domains engine delta)
     in
     Olar_core.Engine.save engine' out;
     Format.printf
@@ -904,7 +994,7 @@ let update_cmd =
          "Fold a batch of new transactions into an existing lattice in one \
           pass over the batch.")
     Term.(
-      const run $ lattice_arg $ delta_arg $ out_arg $ metrics_flag
+      const run $ lattice_arg $ delta_arg $ domains_arg $ out_arg $ metrics_flag
       $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -974,7 +1064,16 @@ let metrics_cmd =
           ~doc:"Registry output format: $(b,text), $(b,prometheus) or $(b,json)."
           ~docv:"FMT")
   in
-  let run lattice_path minsup minconf format trace =
+  let cache_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "cache-mb" ]
+          ~doc:
+            "Session cache budget in MiB for the workload; the workload runs \
+             twice so the second pass exercises the cache. 0 disables."
+          ~docv:"MB")
+  in
+  let run lattice_path minsup minconf cache_mb format trace =
     let oc = Option.map open_out trace in
     let sink = Option.map Olar_obs.Sink.jsonl oc in
     let obs = Olar_obs.Obs.create ?trace:sink () in
@@ -985,17 +1084,24 @@ let metrics_cmd =
       | None -> Olar_core.Engine.primary_threshold engine
     in
     (* Canned workload touching every query family, so the registry has
-       one live histogram per entry point. *)
+       one live histogram per entry point. Routed through a session cache
+       and run twice: the first pass misses, the second hits, so the
+       olar_cache_* series carry data too. *)
+    let session = make_session ~cache_mb engine in
+    let workload () =
+      ignore (Olar_serve.Session.count_itemsets session ~minsup);
+      ignore (Olar_serve.Session.itemsets session ~minsup);
+      ignore (Olar_serve.Session.essential_rules session ~minsup ~minconf);
+      ignore
+        (Olar_serve.Session.support_for_k_itemsets session
+           ~containing:Itemset.empty ~k:10);
+      ignore
+        (Olar_serve.Session.support_for_k_rules session
+           ~involving:Itemset.empty ~minconf ~k:10)
+    in
     handle_below_threshold (fun () ->
-        ignore (Olar_core.Engine.count_itemsets engine ~minsup);
-        ignore (Olar_core.Engine.itemsets engine ~minsup);
-        ignore (Olar_core.Engine.essential_rules engine ~minsup ~minconf);
-        ignore
-          (Olar_core.Engine.support_for_k_itemsets engine
-             ~containing:Itemset.empty ~k:10);
-        ignore
-          (Olar_core.Engine.support_for_k_rules engine ~involving:Itemset.empty
-             ~minconf ~k:10));
+        workload ();
+        workload ());
     Olar_obs.Obs.flush_opt obs;
     Option.iter close_out oc;
     Option.iter (fun path -> Format.printf "wrote trace %s@." path) trace;
@@ -1005,7 +1111,19 @@ let metrics_cmd =
       | None -> assert false
     in
     match format with
-    | `Text -> print_string (Olar_obs.Exposition.to_text registry)
+    | `Text ->
+      print_string (Olar_obs.Exposition.to_text registry);
+      if Olar_serve.Session.enabled session then begin
+        let open Olar_serve.Session in
+        let s = stats session in
+        Format.printf "session cache (budget %d bytes):@." s.budget_bytes;
+        Format.printf "  hits       %d (%d served by refinement)@." s.hits
+          s.refines;
+        Format.printf "  misses     %d@." s.misses;
+        Format.printf "  evictions  %d@." s.evictions;
+        Format.printf "  resident   %d bytes in %d entries@." s.resident_bytes
+          s.entries
+      end
     | `Prometheus -> print_string (Olar_obs.Exposition.to_prometheus registry)
     | `Json ->
       print_endline
@@ -1015,10 +1133,11 @@ let metrics_cmd =
     (Cmd.info "metrics"
        ~doc:
          "Run a canned query workload against a lattice and print the \
-          telemetry registry (text, Prometheus exposition, or JSON).")
+          telemetry registry (text, Prometheus exposition, or JSON), \
+          including session-cache counters.")
     Term.(
-      const run $ lattice_arg $ minsup_arg $ minconf_arg $ format_arg
-      $ trace_out_arg)
+      const run $ lattice_arg $ minsup_arg $ minconf_arg $ cache_arg
+      $ format_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 

@@ -12,7 +12,18 @@ type t = {
   lattice : Lattice.t;
   scratch : Scratch.t;
   obs : Obs.t;
+  epoch : int;
 }
+
+(* Process-wide generation counter. Every [of_lattice] — and therefore
+   every preprocess / append / rebuild / load — produces an engine with
+   a fresh epoch, so a cache keyed on the epoch can never serve an
+   answer computed against a different lattice. *)
+let epoch_counter = ref 0
+
+let next_epoch () =
+  incr epoch_counter;
+  !epoch_counter
 
 let set_lattice_gauges obs lattice =
   match obs with
@@ -31,7 +42,9 @@ let set_lattice_gauges obs lattice =
 
 let of_lattice ?(obs = Obs.disabled) lattice =
   set_lattice_gauges obs lattice;
-  { lattice; scratch = Scratch.create lattice; obs }
+  { lattice; scratch = Scratch.create lattice; obs; epoch = next_epoch () }
+
+let epoch t = t.epoch
 
 let obs t = t.obs
 
@@ -95,7 +108,7 @@ let preprocess_span obs name f =
         r)
 
 let preprocess ?(obs = Obs.disabled) ?stats ?miner ?(search = `Optimized) ?slack
-    db ~max_itemsets =
+    ?domains db ~max_itemsets =
   if max_itemsets < 1 then invalid_arg "Engine.preprocess: max_itemsets";
   let slack =
     match slack with
@@ -107,17 +120,17 @@ let preprocess ?(obs = Obs.disabled) ?stats ?miner ?(search = `Optimized) ?slack
     preprocess_span obs "preprocess" (fun () ->
         match search with
         | `Naive ->
-          Olar_mining.Threshold.naive ~obs ?stats ?miner db ~target:max_itemsets
-            ~slack
+          Olar_mining.Threshold.naive ~obs ?stats ?miner ?domains db
+            ~target:max_itemsets ~slack
         | `Optimized ->
-          Olar_mining.Threshold.optimized ~obs ?stats ?miner db
+          Olar_mining.Threshold.optimized ~obs ?stats ?miner ?domains db
             ~target:max_itemsets ~slack)
   in
   Option.iter (attach_mining_stats obs) stats;
   of_lattice ~obs (lattice_of_frequent result.Olar_mining.Threshold.itemsets)
 
-let preprocess_bytes ?(obs = Obs.disabled) ?stats ?miner ?slack_bytes db
-    ~max_bytes =
+let preprocess_bytes ?(obs = Obs.disabled) ?stats ?miner ?slack_bytes ?domains
+    db ~max_bytes =
   if max_bytes < 1 then invalid_arg "Engine.preprocess_bytes: max_bytes";
   let slack_bytes =
     match slack_bytes with
@@ -127,14 +140,14 @@ let preprocess_bytes ?(obs = Obs.disabled) ?stats ?miner ?slack_bytes db
   let stats = stats_for obs stats in
   let result =
     preprocess_span obs "preprocess_bytes" (fun () ->
-        Olar_mining.Threshold.optimized_bytes ~obs ?stats ?miner db
+        Olar_mining.Threshold.optimized_bytes ~obs ?stats ?miner ?domains db
           ~budget_bytes:max_bytes ~slack_bytes)
   in
   Option.iter (attach_mining_stats obs) stats;
   of_lattice ~obs (lattice_of_frequent result.Olar_mining.Threshold.itemsets)
 
 let at_threshold ?(obs = Obs.disabled) ?stats
-    ?(miner = Olar_mining.Threshold.Use_dhp) db ~primary_support =
+    ?(miner = Olar_mining.Threshold.Use_dhp) ?domains db ~primary_support =
   if primary_support <= 0.0 || primary_support > 1.0 then
     invalid_arg "Engine.at_threshold: primary_support";
   let minsup = Database.count_of_fraction db primary_support in
@@ -145,9 +158,9 @@ let at_threshold ?(obs = Obs.disabled) ?stats
       (fun () ->
         match miner with
         | Olar_mining.Threshold.Use_apriori ->
-          Olar_mining.Apriori.mine ~obs ?stats db ~minsup
+          Olar_mining.Apriori.mine ~obs ?stats ?domains db ~minsup
         | Olar_mining.Threshold.Use_dhp ->
-          Olar_mining.Dhp.mine ~obs ?stats db ~minsup
+          Olar_mining.Dhp.mine ~obs ?stats ?domains db ~minsup
         | Olar_mining.Threshold.Use_fpgrowth ->
           Olar_mining.Fpgrowth.mine ?stats db ~minsup)
   in
@@ -265,11 +278,11 @@ let support_for_k_rules t ~involving ~minconf ~k =
   | Some ctx ->
     Obs.query_span ctx ~name:"support_for_k_rules" ~work:Obs.Heap_pops run
 
-let append t delta =
+let append ?domains t delta =
   let update =
     Obs.maybe_span t.obs "append"
       ~attrs:(fun () -> [ ("delta_size", Trace.Int (Database.size delta)) ])
-      (fun () -> Maintenance.append t.lattice delta)
+      (fun () -> Maintenance.append ?domains t.lattice delta)
   in
   ( of_lattice ~obs:t.obs update.Maintenance.lattice,
     update.Maintenance.promoted_candidates )

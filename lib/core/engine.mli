@@ -41,6 +41,8 @@ type t
     @param stats accumulates preprocessing work. When [obs] is enabled a
       stats record is created internally if none is given, so the mining
       counters are always live in the registry.
+    @param domains parallel counting domains every mining pass runs with
+      (default 1 = sequential; ignored under [Use_fpgrowth]).
     Raises [Invalid_argument] when [max_itemsets < 1]. *)
 val preprocess :
   ?obs:Olar_obs.Obs.t ->
@@ -48,6 +50,7 @@ val preprocess :
   ?miner:Olar_mining.Threshold.miner ->
   ?search:[ `Naive | `Optimized ] ->
   ?slack:int ->
+  ?domains:int ->
   Database.t ->
   max_itemsets:int ->
   t
@@ -63,6 +66,7 @@ val preprocess_bytes :
   ?stats:Olar_mining.Stats.t ->
   ?miner:Olar_mining.Threshold.miner ->
   ?slack_bytes:int ->
+  ?domains:int ->
   Database.t ->
   max_bytes:int ->
   t
@@ -74,6 +78,7 @@ val at_threshold :
   ?obs:Olar_obs.Obs.t ->
   ?stats:Olar_mining.Stats.t ->
   ?miner:Olar_mining.Threshold.miner ->
+  ?domains:int ->
   Database.t ->
   primary_support:float ->
   t
@@ -81,6 +86,15 @@ val at_threshold :
 (** [of_lattice lattice] wraps an existing (e.g. deserialized) lattice.
     When [obs] is enabled the lattice-shape gauges are set. *)
 val of_lattice : ?obs:Olar_obs.Obs.t -> Lattice.t -> t
+
+(** [epoch t] is the engine's {e generation number}: a process-wide
+    monotone counter stamped at {!of_lattice} time, so every
+    preprocess / {!append} / rebuild / {!load} yields a distinct epoch
+    while {!with_obs} preserves it (same lattice, same answers). Result
+    caches (see {!Olar_serve.Session}) tag entries with the epoch they
+    were computed under and treat any mismatch as a miss — stale answers
+    are structurally impossible. *)
+val epoch : t -> int
 
 (** {1 Telemetry access} *)
 
@@ -176,8 +190,10 @@ val support_for_k_rules :
     primary itemset, and the itemset list reports the promotion frontier
     (new itemsets provably frequent from the batch alone — non-empty
     means a full re-preprocess would add vertices). The returned engine
-    keeps [t]'s telemetry context. *)
-val append : t -> Database.t -> t * Itemset.t list
+    keeps [t]'s telemetry context but carries a fresh {!epoch}.
+    @param domains parallel counting domains for the promotion-frontier
+      pass (default 1). *)
+val append : ?domains:int -> t -> Database.t -> t * Itemset.t list
 
 (** {1 Persistence} *)
 

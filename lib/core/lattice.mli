@@ -176,7 +176,21 @@ val iter_parents : t -> vertex_id -> (vertex_id -> unit) -> unit
 (** [compare_strength t a b] orders vertices by decreasing support, ties
     by ascending id. Because ids are assigned in (cardinality, lex)
     order this is exactly the paper's output order: strongest first,
-    then smaller itemsets, then lexicographic. *)
+    then smaller itemsets, then lexicographic.
+
+    {b Canonical result order — a stated invariant.} Every query that
+    returns a set of vertices sorts it with this comparator (see
+    {!Query.find_itemsets}), and the comparator is a {e total} order
+    (no two distinct vertices compare equal, since ids differ). Two
+    consequences downstream code relies on: (1) equal-support runs are
+    internally ordered by ascending id, deterministically; (2) for a
+    fixed start itemset the answer at a {e higher} support cut [s' >= s]
+    is a literal {b prefix} of the answer at [s] — raising the cut
+    filters the tail of the support-descending sequence and cannot
+    reorder the survivors. The cross-query cache
+    ({!Olar_serve.Session}) refines cached answers by binary-searching
+    that prefix; changing this order is a breaking change pinned by a
+    qcheck property in the test suite. *)
 val compare_strength : t -> vertex_id -> vertex_id -> int
 
 (** [vertex_has_subset t v x] is [Itemset.subset x (itemset t v)]

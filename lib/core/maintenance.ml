@@ -41,11 +41,13 @@ let delta_counts lattice delta =
 (* Itemsets certainly frequent now but absent from the lattice: frequent
    within the delta alone (counts in the old data can only help) and
    minimal, i.e. every parent already primary. *)
-let promotion_frontier lattice delta =
+let promotion_frontier ?domains lattice delta =
   let threshold = Lattice.threshold lattice in
   if Database.size delta < threshold then []
   else begin
-    let delta_frequent = Olar_mining.Apriori.mine delta ~minsup:threshold in
+    let delta_frequent =
+      Olar_mining.Apriori.mine ?domains delta ~minsup:threshold
+    in
     let candidates = ref [] in
     Olar_mining.Frequent.iter
       (fun x _ ->
@@ -59,7 +61,7 @@ let promotion_frontier lattice delta =
     List.sort Itemset.compare !candidates
   end
 
-let append lattice delta =
+let append ?domains lattice delta =
   let count = delta_counts lattice delta in
   let entries =
     Array.map
@@ -74,10 +76,10 @@ let append lattice delta =
   {
     lattice = lattice';
     delta_size = Database.size delta;
-    promoted_candidates = promotion_frontier lattice delta;
+    promoted_candidates = promotion_frontier ?domains lattice delta;
   }
 
-let rebuild ?stats ~threshold ~old_db ~delta () =
+let rebuild ?stats ?domains ~threshold ~old_db ~delta () =
   let num_items = max (Database.num_items old_db) (Database.num_items delta) in
   let merged =
     Database.create ~num_items
@@ -85,6 +87,6 @@ let rebuild ?stats ~threshold ~old_db ~delta () =
          (Array.init (Database.size old_db) (Database.get old_db))
          (Array.init (Database.size delta) (Database.get delta)))
   in
-  let frequent = Olar_mining.Dhp.mine ?stats merged ~minsup:threshold in
+  let frequent = Olar_mining.Dhp.mine ?stats ?domains merged ~minsup:threshold in
   Lattice.of_entries ~db_size:(Database.size merged) ~threshold
     (Array.of_list (Olar_mining.Frequent.to_list frequent))

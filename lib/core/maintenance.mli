@@ -38,8 +38,10 @@ type update = {
 (** [append lattice delta] folds the batch into the lattice. The delta
     must use the same item universe semantics (item ids beyond the old
     universe are fine — they are new products — but they can only enter
-    the lattice via {!rebuild}). *)
-val append : Lattice.t -> Database.t -> update
+    the lattice via {!rebuild}).
+    @param domains parallel counting domains for the promotion-frontier
+      mining pass over the delta (default 1 = sequential). *)
+val append : ?domains:int -> Lattice.t -> Database.t -> update
 
 (** [rebuild ~old_db ~delta] re-mines old ∪ delta at the lattice's
     threshold and returns the exact new lattice — the slow path
@@ -48,6 +50,7 @@ val append : Lattice.t -> Database.t -> update
     without one. *)
 val rebuild :
   ?stats:Olar_mining.Stats.t ->
+  ?domains:int ->
   threshold:int ->
   old_db:Database.t ->
   delta:Database.t ->

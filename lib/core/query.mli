@@ -28,6 +28,15 @@ val check_minsup : Lattice.t -> int -> unit
     never included. Raises {!Below_primary_threshold} as per
     {!check_minsup}.
 
+    {b Canonical order invariant.} The result is sorted by
+    {!Lattice.compare_strength} (support desc, ties ascending id) — a
+    total order, so the output for a given (lattice, [containing],
+    [minsup], [include_start]) is unique. Because the result at
+    [minsup = s] is exactly the supports-[>= s] filter of a fixed
+    support-descending sequence, the result at any [s' >= s] is a
+    {e prefix} of the result at [s]. {!Olar_serve.Session} depends on
+    both properties; a qcheck test pins them.
+
     When [containing] is not primary the result is empty: every superset
     has support below the primary threshold <= [minsup].
 

@@ -9,19 +9,21 @@ type result = {
 
 type miner = Use_apriori | Use_dhp | Use_fpgrowth
 
-let run_miner ?(obs = Olar_obs.Obs.disabled) ?stats ?cap ?seed miner db ~minsup
-    =
+let run_miner ?(obs = Olar_obs.Obs.disabled) ?stats ?cap ?seed ?domains miner
+    db ~minsup =
   Olar_obs.Obs.maybe_span obs "mine"
     ~attrs:(fun () -> [ ("minsup", Olar_obs.Trace.Int minsup) ])
     (fun () ->
       match miner with
-      | Use_apriori -> Apriori.mine ~obs ?stats ?cap ?seed db ~minsup
-      | Use_dhp -> Dhp.mine ~obs ?stats ?cap ?seed db ~minsup
+      | Use_apriori -> Apriori.mine ~obs ?stats ?cap ?seed ?domains db ~minsup
+      | Use_dhp -> Dhp.mine ~obs ?stats ?cap ?seed ?domains db ~minsup
       | Use_fpgrowth ->
-        (* pattern growth has no per-level cut points: cap and seed are
-           accepted for interface uniformity but each probe runs complete *)
+        (* pattern growth has no per-level cut points and counts on one
+           domain: cap, seed and domains are accepted for interface
+           uniformity but each probe runs complete, sequentially *)
         ignore cap;
         ignore seed;
+        ignore domains;
         Fpgrowth.mine ?stats db ~minsup)
 
 (* One binary-search iteration: the span closes with the probed threshold
@@ -99,10 +101,10 @@ let search ?deadline_s ~probe ~final db ~target ~slack () =
   { threshold = !hi; itemsets; probes = !probes; hit_deadline = !hit_deadline }
 
 let naive ?(obs = Olar_obs.Obs.disabled) ?stats ?(miner = Use_dhp) ?deadline_s
-    db ~target ~slack =
+    ?domains db ~target ~slack =
   let probe mid =
     probe_span obs ~minsup:mid (fun () ->
-        run_miner ~obs ?stats miner db ~minsup:mid)
+        run_miner ~obs ?stats ?domains miner db ~minsup:mid)
   in
   search ?deadline_s ~probe ~final:probe db ~target ~slack ()
 
@@ -133,7 +135,7 @@ let estimate_bytes frequent =
 let min_bytes_per_itemset = 8 * 9
 
 let optimized ?(obs = Olar_obs.Obs.disabled) ?stats ?(miner = Use_dhp)
-    ?deadline_s db ~target ~slack =
+    ?deadline_s ?domains db ~target ~slack =
   (* Every probe result is kept; a later probe at threshold t reuses the
      most advanced earlier result whose threshold is <= t. *)
   let history : Frequent.t list ref = ref [] in
@@ -154,7 +156,8 @@ let optimized ?(obs = Olar_obs.Obs.disabled) ?stats ?(miner = Use_dhp)
   let run ?cap mid =
     let r =
       probe_span obs ~minsup:mid (fun () ->
-          run_miner ~obs ?stats ?cap ?seed:(seed_for mid) miner db ~minsup:mid)
+          run_miner ~obs ?stats ?cap ?seed:(seed_for mid) ?domains miner db
+            ~minsup:mid)
     in
     history := r :: !history;
     r
@@ -167,8 +170,8 @@ let optimized ?(obs = Olar_obs.Obs.disabled) ?stats ?(miner = Use_dhp)
    Generated(p) is replaced by the byte estimate, which is just as
    monotone in the threshold. The early-termination cap is the largest
    itemset count any within-budget result could have. *)
-let optimized_bytes ?(obs = Olar_obs.Obs.disabled) ?stats ?(miner = Use_dhp) db
-    ~budget_bytes ~slack_bytes =
+let optimized_bytes ?(obs = Olar_obs.Obs.disabled) ?stats ?(miner = Use_dhp)
+    ?domains db ~budget_bytes ~slack_bytes =
   if budget_bytes < 1 then invalid_arg "Threshold: budget_bytes";
   if slack_bytes < 0 || slack_bytes >= budget_bytes then
     invalid_arg "Threshold: slack_bytes";
@@ -189,7 +192,8 @@ let optimized_bytes ?(obs = Olar_obs.Obs.disabled) ?stats ?(miner = Use_dhp) db
   let run ?cap mid =
     let r =
       probe_span obs ~minsup:mid (fun () ->
-          run_miner ~obs ?stats ?cap ?seed:(seed_for mid) miner db ~minsup:mid)
+          run_miner ~obs ?stats ?cap ?seed:(seed_for mid) ?domains miner db
+            ~minsup:mid)
     in
     history := r :: !history;
     r

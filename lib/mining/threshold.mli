@@ -48,12 +48,16 @@ type miner = Use_apriori | Use_dhp | Use_fpgrowth
       paper's preprocessing-time constraint). When it expires the search
       stops refining and returns the best threshold proven so far — a
       complete result, conservatively above the target. Unlimited when
-      omitted. *)
+      omitted.
+    @param domains number of parallel counting domains every probe runs
+      with (see {!Levelwise.config}; default 1 = sequential). Ignored
+      under [Use_fpgrowth]. *)
 val naive :
   ?obs:Olar_obs.Obs.t ->
   ?stats:Stats.t ->
   ?miner:miner ->
   ?deadline_s:float ->
+  ?domains:int ->
   Database.t ->
   target:int ->
   slack:int ->
@@ -67,6 +71,7 @@ val optimized :
   ?stats:Stats.t ->
   ?miner:miner ->
   ?deadline_s:float ->
+  ?domains:int ->
   Database.t ->
   target:int ->
   slack:int ->
@@ -90,6 +95,7 @@ val optimized_bytes :
   ?obs:Olar_obs.Obs.t ->
   ?stats:Stats.t ->
   ?miner:miner ->
+  ?domains:int ->
   Database.t ->
   budget_bytes:int ->
   slack_bytes:int ->

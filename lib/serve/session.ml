@@ -1,0 +1,623 @@
+open Olar_data
+module Engine = Olar_core.Engine
+module Lattice = Olar_core.Lattice
+module Query = Olar_core.Query
+module Support_query = Olar_core.Support_query
+module Boundary = Olar_core.Boundary
+module Rule = Olar_core.Rule
+module Conf = Olar_core.Conf
+module Scratch = Olar_core.Scratch
+module Obs = Olar_obs.Obs
+module Metrics = Olar_obs.Metrics
+module Counter = Olar_util.Timer.Counter
+
+(* ------------------------------------------------------------------ *)
+(* Canonical query keys                                               *)
+(* ------------------------------------------------------------------ *)
+
+type rule_kind = Essential | All | Single
+
+(* One key per canonical query. [K_find] deliberately omits the support
+   cut: a single entry per start itemset holds the widest answer seen so
+   far (its [floor]) and serves every higher cut as a prefix. Rule
+   queries key on the full (kind, start, constraints, thresholds) tuple
+   — essential rules are not refinable across minsup because strict
+   redundancy depends on which children are large at the lower cut. *)
+type key =
+  | K_find of Itemset.t
+  | K_rules of {
+      kind : rule_kind;
+      containing : Itemset.t;
+      constraints : Boundary.constraints;
+      minsup : int;
+      minconf : float;
+    }
+  | K_topk of Itemset.t
+  | K_topk_rules of {
+      involving : Itemset.t;
+      minconf : float;
+    }
+
+let constraints_equal a b =
+  Itemset.equal a.Boundary.antecedent_includes b.Boundary.antecedent_includes
+  && Itemset.equal a.Boundary.consequent_includes b.Boundary.consequent_includes
+  && Bool.equal a.Boundary.allow_empty_antecedent b.Boundary.allow_empty_antecedent
+
+let key_equal a b =
+  match (a, b) with
+  | K_find x, K_find y -> Itemset.equal x y
+  | K_rules a, K_rules b ->
+    a.kind = b.kind && a.minsup = b.minsup
+    && Float.equal a.minconf b.minconf
+    && Itemset.equal a.containing b.containing
+    && constraints_equal a.constraints b.constraints
+  | K_topk x, K_topk y -> Itemset.equal x y
+  | K_topk_rules a, K_topk_rules b ->
+    Float.equal a.minconf b.minconf && Itemset.equal a.involving b.involving
+  | _, _ -> false
+
+let mix h x = ((h * 0x01000193) lxor x) land max_int
+
+let key_hash = function
+  | K_find x -> mix 1 (Itemset.hash x)
+  | K_rules { kind; containing; constraints; minsup; minconf } ->
+    let h = mix 2 (match kind with Essential -> 11 | All -> 13 | Single -> 17) in
+    let h = mix h (Itemset.hash containing) in
+    let h = mix h (Itemset.hash constraints.Boundary.antecedent_includes) in
+    let h = mix h (Itemset.hash constraints.Boundary.consequent_includes) in
+    let h = mix h (if constraints.Boundary.allow_empty_antecedent then 1 else 0) in
+    let h = mix h minsup in
+    mix h (Hashtbl.hash minconf)
+  | K_topk x -> mix 3 (Itemset.hash x)
+  | K_topk_rules { involving; minconf } ->
+    mix (mix 4 (Itemset.hash involving)) (Hashtbl.hash minconf)
+
+module Tbl = Hashtbl.Make (struct
+  type t = key
+
+  let equal = key_equal
+  let hash = key_hash
+end)
+
+(* ------------------------------------------------------------------ *)
+(* Payloads and size accounting                                       *)
+(* ------------------------------------------------------------------ *)
+
+type payload =
+  | P_find of { floor : int; ids : int array }
+      (** canonical-order vertex ids at support cut [floor] *)
+  | P_rules of Rule.t list
+  | P_topk of { exhausted : bool; items : (Itemset.t * int) array }
+      (** best-first pops, strongest first; [exhausted] when the run
+          drained every itemset containing the start *)
+  | P_topk_rules of { exhausted : bool; rules : Rule.t array }
+      (** rules in pop order of their generating itemsets *)
+
+(* Rough resident-size estimates in bytes (64-bit words), the same
+   spirit as [Lattice.estimated_bytes]: headers cost ~2 words, an
+   itemset is a sorted int array, a rule is a 4-field record. *)
+let word = 8
+let itemset_bytes x = word * (3 + Itemset.cardinal x)
+
+let rule_bytes r =
+  word * 5 + itemset_bytes r.Rule.antecedent + itemset_bytes r.Rule.consequent
+
+let entry_overhead = word * 16
+
+let key_bytes = function
+  | K_find x | K_topk x -> itemset_bytes x
+  | K_rules { containing; constraints; _ } ->
+    (word * 8) + itemset_bytes containing
+    + itemset_bytes constraints.Boundary.antecedent_includes
+    + itemset_bytes constraints.Boundary.consequent_includes
+  | K_topk_rules { involving; _ } -> (word * 4) + itemset_bytes involving
+
+let payload_bytes = function
+  | P_find { ids; _ } -> word * (3 + Array.length ids)
+  | P_rules rules ->
+    List.fold_left (fun acc r -> acc + (word * 3) + rule_bytes r) 0 rules
+  | P_topk { items; _ } ->
+    Array.fold_left
+      (fun acc (x, _) -> acc + (word * 4) + itemset_bytes x)
+      (word * 3) items
+  | P_topk_rules { rules; _ } ->
+    Array.fold_left (fun acc r -> acc + word + rule_bytes r) (word * 3) rules
+
+let entry_bytes key payload =
+  entry_overhead + key_bytes key + payload_bytes payload
+
+(* ------------------------------------------------------------------ *)
+(* Intrusive LRU over a byte budget                                   *)
+(* ------------------------------------------------------------------ *)
+
+type entry = {
+  e_key : key;
+  e_epoch : int;
+  mutable e_payload : payload;
+  mutable e_bytes : int;
+  mutable e_prev : entry option;
+  mutable e_next : entry option;
+}
+
+type cache = {
+  table : entry Tbl.t;
+  budget : int;
+  mutable head : entry option;  (* most recently used *)
+  mutable tail : entry option;  (* eviction end *)
+  mutable resident : int;
+  hits : Counter.t;
+  misses : Counter.t;
+  refines : Counter.t;
+  evictions : Counter.t;
+  resident_gauge : Metrics.Gauge.t option;
+  hist_find : Metrics.Histogram.t option;
+  hist_rules : Metrics.Histogram.t option;
+  hist_topk : Metrics.Histogram.t option;
+}
+
+let update_gauge c =
+  match c.resident_gauge with
+  | None -> ()
+  | Some g -> Metrics.Gauge.set_int g c.resident
+
+let unlink c e =
+  (match e.e_prev with
+  | Some p -> p.e_next <- e.e_next
+  | None -> c.head <- e.e_next);
+  (match e.e_next with
+  | Some n -> n.e_prev <- e.e_prev
+  | None -> c.tail <- e.e_prev);
+  e.e_prev <- None;
+  e.e_next <- None
+
+let push_front c e =
+  e.e_prev <- None;
+  e.e_next <- c.head;
+  (match c.head with Some h -> h.e_prev <- Some e | None -> c.tail <- Some e);
+  c.head <- Some e
+
+let touch c e =
+  match c.head with
+  | Some h when h == e -> ()
+  | _ ->
+    unlink c e;
+    push_front c e
+
+let remove c e =
+  unlink c e;
+  Tbl.remove c.table e.e_key;
+  c.resident <- c.resident - e.e_bytes
+
+let enforce_budget c =
+  let continue = ref true in
+  while c.resident > c.budget && !continue do
+    match c.tail with
+    | None -> continue := false
+    | Some e ->
+      remove c e;
+      Counter.incr c.evictions
+  done;
+  update_gauge c
+
+let insert c key epoch payload =
+  (match Tbl.find_opt c.table key with Some old -> remove c old | None -> ());
+  let e =
+    {
+      e_key = key;
+      e_epoch = epoch;
+      e_payload = payload;
+      e_bytes = entry_bytes key payload;
+      e_prev = None;
+      e_next = None;
+    }
+  in
+  Tbl.replace c.table key e;
+  push_front c e;
+  c.resident <- c.resident + e.e_bytes;
+  enforce_budget c
+
+(* Widen an entry in place (same key, same epoch, broader payload). *)
+let replace_payload c e payload =
+  let bytes = entry_bytes e.e_key payload in
+  c.resident <- c.resident - e.e_bytes + bytes;
+  e.e_payload <- payload;
+  e.e_bytes <- bytes;
+  touch c e;
+  enforce_budget c
+
+(* A stale entry (older engine epoch) is structurally unservable: drop
+   it on sight and report a clean miss. *)
+let lookup c ~epoch key =
+  match Tbl.find_opt c.table key with
+  | None -> None
+  | Some e when e.e_epoch <> epoch ->
+    remove c e;
+    update_gauge c;
+    None
+  | Some e ->
+    touch c e;
+    Some e
+
+(* ------------------------------------------------------------------ *)
+(* Session                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  mutable engine : Engine.t;
+  mutable scratch : Scratch.t;
+      (* session-owned scratch for the id-level kernels the Engine
+         facade does not expose; replaced together with the engine *)
+  cache : cache option;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  refines : int;
+  evictions : int;
+  resident_bytes : int;
+  entries : int;
+  budget_bytes : int;
+}
+
+let default_budget_bytes = 32 * 1024 * 1024
+
+let create ?budget_bytes engine =
+  let budget = Option.value ~default:default_budget_bytes budget_bytes in
+  if budget < 0 then invalid_arg "Session.create: budget_bytes";
+  let cache =
+    if budget = 0 then None
+    else begin
+      let obs = Engine.obs engine in
+      let counter name help =
+        match obs with
+        | Some ctx -> Obs.counter ctx ~help name
+        | None -> Counter.create name
+      in
+      let gauge name help =
+        match obs with
+        | Some ctx -> Some (Obs.gauge ctx ~help name)
+        | None -> None
+      in
+      let hist name help =
+        match obs with
+        | Some ctx -> Some (Metrics.histogram (Obs.metrics ctx) ~help name)
+        | None -> None
+      in
+      Some
+        {
+          table = Tbl.create 256;
+          budget;
+          head = None;
+          tail = None;
+          resident = 0;
+          hits = counter "olar_cache_hits_total" "Queries answered from the session cache";
+          misses =
+            counter "olar_cache_misses_total"
+              "Queries that recomputed and populated the session cache";
+          refines =
+            counter "olar_cache_refines_total"
+              "Cache hits served by prefix/top-k subsumption of a broader entry";
+          evictions =
+            counter "olar_cache_evictions_total"
+              "Entries evicted to keep the cache within its byte budget";
+          resident_gauge =
+            gauge "olar_cache_resident_bytes"
+              "Estimated resident bytes of cached results";
+          hist_find =
+            hist "olar_cache_hit_find_seconds" "Latency of FindItemsets cache hits";
+          hist_rules =
+            hist "olar_cache_hit_rules_seconds" "Latency of rule-query cache hits";
+          hist_topk =
+            hist "olar_cache_hit_topk_seconds" "Latency of FindSupport cache hits";
+        }
+    end
+  in
+  { engine; scratch = Scratch.create (Engine.lattice engine); cache }
+
+let engine t = t.engine
+let enabled t = t.cache <> None
+let lattice t = Engine.lattice t.engine
+
+let fraction t count =
+  float_of_int count /. float_of_int (max 1 (Engine.db_size t.engine))
+
+(* Record a hit's latency into the per-kind histogram (telemetry on)
+   or just run it (telemetry off). *)
+let observe hist f =
+  match hist with
+  | None -> f ()
+  | Some h ->
+    let clock = Olar_util.Timer.start () in
+    let r = f () in
+    Metrics.Histogram.observe h (Olar_util.Timer.elapsed_s clock);
+    r
+
+(* ------------------------------------------------------------------ *)
+(* FindItemsets family: one entry per start itemset, prefix-refined    *)
+(* ------------------------------------------------------------------ *)
+
+(* Length of the prefix of [ids] (canonical order: support descending)
+   whose support clears [minsup] — the refinement binary search. *)
+let prefix_length lat ids minsup =
+  let sup = Lattice.support_array lat in
+  let n = Array.length ids in
+  if n = 0 || sup.(ids.(0)) < minsup then 0
+  else if sup.(ids.(n - 1)) >= minsup then n
+  else begin
+    (* sup ids.(lo) >= minsup > sup ids.(hi) *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if sup.(ids.(mid)) >= minsup then lo := mid else hi := mid
+    done;
+    !hi
+  end
+
+let compute_find t ~containing ~minsup =
+  Array.of_list
+    (Query.find_itemsets ~scratch:t.scratch (lattice t) ~containing ~minsup)
+
+(* The cached array plus the prefix length serving this cut. *)
+let find_prefix t c ~containing ~minsup =
+  let epoch = Engine.epoch t.engine in
+  let key = K_find containing in
+  match lookup c ~epoch key with
+  | Some e -> (
+    match e.e_payload with
+    | P_find { floor; ids } when minsup >= floor ->
+      Counter.incr c.hits;
+      if minsup > floor then Counter.incr c.refines;
+      observe c.hist_find (fun () -> (ids, prefix_length (lattice t) ids minsup))
+    | P_find _ ->
+      (* below every cached floor: recompute and widen the entry *)
+      Counter.incr c.misses;
+      let ids = compute_find t ~containing ~minsup in
+      replace_payload c e (P_find { floor = minsup; ids });
+      (ids, Array.length ids)
+    | _ -> assert false)
+  | None ->
+    Counter.incr c.misses;
+    let ids = compute_find t ~containing ~minsup in
+    insert c key epoch (P_find { floor = minsup; ids });
+    (ids, Array.length ids)
+
+(* [?containing] is forwarded as the option it arrived as on the
+   passthrough paths — wrapping the default in [Some] here would box on
+   every disabled-cache call. *)
+let itemsets ?containing t ~minsup =
+  match t.cache with
+  | None -> Engine.itemsets ?containing t.engine ~minsup
+  | Some c ->
+    let containing = Option.value ~default:Itemset.empty containing in
+    let cut = Engine.count_of_support t.engine minsup in
+    Query.check_minsup (lattice t) cut;
+    let ids, p = find_prefix t c ~containing ~minsup:cut in
+    let lat = lattice t in
+    List.init p (fun i ->
+        let v = ids.(i) in
+        (Lattice.itemset lat v, fraction t (Lattice.support lat v)))
+
+let itemset_ids ?containing t ~minsup =
+  let cut = Engine.count_of_support t.engine minsup in
+  Query.check_minsup (lattice t) cut;
+  let containing = Option.value ~default:Itemset.empty containing in
+  match t.cache with
+  | None ->
+    Array.of_list
+      (Query.find_itemsets ~scratch:t.scratch (lattice t) ~containing
+         ~minsup:cut)
+  | Some c ->
+    let ids, p = find_prefix t c ~containing ~minsup:cut in
+    Array.sub ids 0 p
+
+let count_itemsets ?containing t ~minsup =
+  match t.cache with
+  | None -> Engine.count_itemsets ?containing t.engine ~minsup
+  | Some c ->
+    let containing = Option.value ~default:Itemset.empty containing in
+    let cut = Engine.count_of_support t.engine minsup in
+    Query.check_minsup (lattice t) cut;
+    let _, p = find_prefix t c ~containing ~minsup:cut in
+    p
+
+(* ------------------------------------------------------------------ *)
+(* Rule queries: exact-key caching, shared immutable lists            *)
+(* ------------------------------------------------------------------ *)
+
+let rules_cached t c key compute =
+  let epoch = Engine.epoch t.engine in
+  match lookup c ~epoch key with
+  | Some e ->
+    Counter.incr c.hits;
+    observe c.hist_rules (fun () ->
+        match e.e_payload with P_rules rs -> rs | _ -> assert false)
+  | None ->
+    Counter.incr c.misses;
+    let rs = compute () in
+    insert c key epoch (P_rules rs);
+    rs
+
+let rules_key t kind ?containing ?constraints ~minsup ~minconf () =
+  let cut = Engine.count_of_support t.engine minsup in
+  ignore (Conf.of_float minconf);
+  Query.check_minsup (lattice t) cut;
+  K_rules
+    {
+      kind;
+      containing = Option.value ~default:Itemset.empty containing;
+      constraints = Option.value ~default:Boundary.unconstrained constraints;
+      minsup = cut;
+      minconf;
+    }
+
+let essential_rules ?containing ?constraints t ~minsup ~minconf =
+  match t.cache with
+  | None ->
+    Engine.essential_rules ?containing ?constraints t.engine ~minsup ~minconf
+  | Some c ->
+    let key = rules_key t Essential ?containing ?constraints ~minsup ~minconf () in
+    rules_cached t c key (fun () ->
+        Engine.essential_rules ?containing ?constraints t.engine ~minsup
+          ~minconf)
+
+let all_rules ?containing ?constraints t ~minsup ~minconf =
+  match t.cache with
+  | None -> Engine.all_rules ?containing ?constraints t.engine ~minsup ~minconf
+  | Some c ->
+    let key = rules_key t All ?containing ?constraints ~minsup ~minconf () in
+    rules_cached t c key (fun () ->
+        Engine.all_rules ?containing ?constraints t.engine ~minsup ~minconf)
+
+let single_consequent_rules ?containing t ~minsup ~minconf =
+  match t.cache with
+  | None -> Engine.single_consequent_rules ?containing t.engine ~minsup ~minconf
+  | Some c ->
+    let key = rules_key t Single ?containing ~minsup ~minconf () in
+    rules_cached t c key (fun () ->
+        Engine.single_consequent_rules ?containing t.engine ~minsup ~minconf)
+
+(* ------------------------------------------------------------------ *)
+(* FindSupport top-k subsumption                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A cached best-first run of length L answers every k' <= L (the level
+   is the support of the k'-th pop) and, when the run exhausted the
+   reachable set, every k' > L as well (the answer is None). Only a
+   longer, non-exhausted prefix forces a recompute, which widens the
+   entry. *)
+
+let support_for_k_itemsets t ~containing ~k =
+  match t.cache with
+  | None -> Engine.support_for_k_itemsets t.engine ~containing ~k
+  | Some c -> (
+    if k < 1 then invalid_arg "Session.support_for_k_itemsets: k";
+    let epoch = Engine.epoch t.engine in
+    let key = K_topk containing in
+    let compute () =
+      let answer =
+        Support_query.find_support ~scratch:t.scratch (lattice t) ~containing ~k
+      in
+      let payload =
+        P_topk
+          {
+            exhausted = answer.Support_query.support_level = None;
+            items = Array.of_list answer.Support_query.itemsets;
+          }
+      in
+      (payload, Option.map (fraction t) answer.Support_query.support_level)
+    in
+    match lookup c ~epoch key with
+    | Some e -> (
+      match e.e_payload with
+      | P_topk { exhausted; items } when k <= Array.length items || exhausted ->
+        Counter.incr c.hits;
+        if k <> Array.length items then Counter.incr c.refines;
+        observe c.hist_topk (fun () ->
+            if k <= Array.length items then
+              Some (fraction t (snd items.(k - 1)))
+            else None)
+      | P_topk _ ->
+        Counter.incr c.misses;
+        let payload, level = compute () in
+        replace_payload c e payload;
+        level
+      | _ -> assert false)
+    | None ->
+      Counter.incr c.misses;
+      let payload, level = compute () in
+      insert c key epoch payload;
+      level)
+
+let support_for_k_rules t ~involving ~minconf ~k =
+  match t.cache with
+  | None -> Engine.support_for_k_rules t.engine ~involving ~minconf ~k
+  | Some c -> (
+    let confidence = Conf.of_float minconf in
+    if k < 1 then invalid_arg "Session.support_for_k_rules: k";
+    let epoch = Engine.epoch t.engine in
+    let key = K_topk_rules { involving; minconf } in
+    let compute () =
+      let answer =
+        Support_query.find_support_for_rules ~scratch:t.scratch (lattice t)
+          ~involving ~confidence ~k
+      in
+      let payload =
+        P_topk_rules
+          {
+            exhausted = answer.Support_query.rule_support_level = None;
+            rules = Array.of_list answer.Support_query.rules;
+          }
+      in
+      ( payload,
+        Option.map (fraction t) answer.Support_query.rule_support_level )
+    in
+    match lookup c ~epoch key with
+    | Some e -> (
+      match e.e_payload with
+      | P_topk_rules { exhausted; rules } when k <= Array.length rules || exhausted
+        ->
+        Counter.incr c.hits;
+        if k <> Array.length rules then Counter.incr c.refines;
+        observe c.hist_topk (fun () ->
+            if k <= Array.length rules then
+              (* the k-th rule in pop order comes from the run's stopping
+                 vertex, whose support is exactly the k-rule level *)
+              Some (fraction t rules.(k - 1).Rule.support_count)
+            else None)
+      | P_topk_rules _ ->
+        Counter.incr c.misses;
+        let payload, level = compute () in
+        replace_payload c e payload;
+        level
+      | _ -> assert false)
+    | None ->
+      Counter.incr c.misses;
+      let payload, level = compute () in
+      insert c key epoch payload;
+      level)
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let append ?domains t delta =
+  let engine', promoted = Engine.append ?domains t.engine delta in
+  t.engine <- engine';
+  t.scratch <- Scratch.create (Engine.lattice engine');
+  (* entries from the old epoch are now unservable; [lookup] drops them
+     lazily and the LRU budget bounds them meanwhile *)
+  promoted
+
+let flush t =
+  match t.cache with
+  | None -> ()
+  | Some c ->
+    Tbl.reset c.table;
+    c.head <- None;
+    c.tail <- None;
+    c.resident <- 0;
+    update_gauge c
+
+let stats t =
+  match t.cache with
+  | None ->
+    {
+      hits = 0;
+      misses = 0;
+      refines = 0;
+      evictions = 0;
+      resident_bytes = 0;
+      entries = 0;
+      budget_bytes = 0;
+    }
+  | Some c ->
+    {
+      hits = Counter.value c.hits;
+      misses = Counter.value c.misses;
+      refines = Counter.value c.refines;
+      evictions = Counter.value c.evictions;
+      resident_bytes = c.resident;
+      entries = Tbl.length c.table;
+      budget_bytes = c.budget;
+    }

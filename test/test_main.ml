@@ -17,6 +17,7 @@ let () =
   Alcotest.run "olar"
     (Test_util.suites @ Test_data.suites @ Test_mining.suites
    @ Test_core.suites @ Test_queries.suites @ Test_lattice_csr.suites
-   @ Test_baseline.suites @ Test_extensions.suites @ Test_taxonomy.suites
-   @ Test_quant.suites @ Test_laws.suites @ Test_obs.suites
+   @ Test_serve.suites @ Test_baseline.suites @ Test_extensions.suites
+   @ Test_taxonomy.suites @ Test_quant.suites @ Test_laws.suites
+   @ Test_obs.suites
     @ (if quick_only then [] else slow_suites))

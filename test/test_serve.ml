@@ -1,0 +1,467 @@
+(* The session cache (lib/serve): canonical-order and prefix-property
+   pins, a differential oracle against a cache-less engine across random
+   interleavings of queries and appends, and units for refinement
+   accounting, LRU eviction, epoch invalidation and the disabled
+   passthrough.
+
+   The refinement machinery is only sound if (a) query output order is
+   the total order [Lattice.compare_strength] and (b) the answer at a
+   higher support cut is a literal prefix of the answer at a lower one —
+   both are pinned here as properties so a change to the canonical order
+   fails loudly. *)
+
+open Olar_data
+open Olar_core
+module Session = Olar_serve.Session
+
+let check = Alcotest.check
+let set = Itemset.of_list
+
+let lattice_of db ~threshold =
+  let entries = Array.of_list (Helpers.brute_frequent db ~minsup:threshold) in
+  Lattice.of_entries ~db_size:(Database.size db) ~threshold entries
+
+(* ------------------------------------------------------------------ *)
+(* Canonical order + prefix property (the refinement soundness pins)  *)
+
+let scenario_gen =
+  let open QCheck2.Gen in
+  let* db = Helpers.db_gen in
+  let* threshold = int_range 1 4 in
+  let* containing = Helpers.itemset_gen ~num_items:(Database.num_items db) in
+  let* extra = int_range 0 4 in
+  let* raise_by = int_range 0 4 in
+  return (db, threshold, containing, threshold + extra, raise_by)
+
+let scenario_print (db, threshold, containing, minsup, raise_by) =
+  Format.asprintf "%s@ threshold=%d containing=%a minsup=%d raise_by=%d"
+    (Helpers.db_print db) threshold Itemset.pp containing minsup raise_by
+
+(* Result of find_itemsets is strictly sorted by compare_strength:
+   support descending, ties broken by ascending id. *)
+let canonical_order_prop =
+  QCheck2.Test.make ~name:"find_itemsets is in canonical order" ~count:250
+    ~print:scenario_print scenario_gen
+    (fun (db, threshold, containing, minsup, _) ->
+      let lat = lattice_of db ~threshold in
+      let ids = Query.find_itemsets lat ~containing ~minsup in
+      let sup = Lattice.support_array lat in
+      let rec sorted = function
+        | a :: (b :: _ as rest) ->
+          (sup.(a) > sup.(b) || (sup.(a) = sup.(b) && a < b))
+          && Lattice.compare_strength lat a b < 0
+          && sorted rest
+        | _ -> true
+      in
+      sorted ids)
+
+(* The answer at minsup + raise_by is a literal prefix of the answer at
+   minsup — what the cache's binary-search refinement relies on. *)
+let prefix_property_prop =
+  QCheck2.Test.make ~name:"higher cut is a prefix of lower cut" ~count:250
+    ~print:scenario_print scenario_gen
+    (fun (db, threshold, containing, minsup, raise_by) ->
+      let lat = lattice_of db ~threshold in
+      let low = Query.find_itemsets lat ~containing ~minsup in
+      let high =
+        Query.find_itemsets lat ~containing ~minsup:(minsup + raise_by)
+      in
+      let rec is_prefix p l =
+        match (p, l) with
+        | [], _ -> true
+        | a :: p', b :: l' -> a = b && is_prefix p' l'
+        | _ :: _, [] -> false
+      in
+      is_prefix high low)
+
+(* ------------------------------------------------------------------ *)
+(* Differential: session vs cache-less engine over random interleaves *)
+
+type op =
+  | Q_items of Itemset.t * int  (* extra support above the threshold *)
+  | Q_ids of Itemset.t * int
+  | Q_count of Itemset.t * int
+  | Q_ess of Itemset.t * int * float
+  | Q_all of Itemset.t * int * float
+  | Q_single of Itemset.t * int * float
+  | Q_topk of Itemset.t * int
+  | Q_topk_rules of Itemset.t * float * int
+  | Append of Database.t
+
+let op_print = function
+  | Q_items (x, e) -> Format.asprintf "items(%a,+%d)" Itemset.pp x e
+  | Q_ids (x, e) -> Format.asprintf "ids(%a,+%d)" Itemset.pp x e
+  | Q_count (x, e) -> Format.asprintf "count(%a,+%d)" Itemset.pp x e
+  | Q_ess (x, e, c) -> Format.asprintf "ess(%a,+%d,%g)" Itemset.pp x e c
+  | Q_all (x, e, c) -> Format.asprintf "all(%a,+%d,%g)" Itemset.pp x e c
+  | Q_single (x, e, c) -> Format.asprintf "single(%a,+%d,%g)" Itemset.pp x e c
+  | Q_topk (x, k) -> Format.asprintf "topk(%a,%d)" Itemset.pp x k
+  | Q_topk_rules (x, c, k) ->
+    Format.asprintf "topk_rules(%a,%g,%d)" Itemset.pp x c k
+  | Append d -> Format.asprintf "append(%d txns)" (Database.size d)
+
+let delta_gen ~num_items =
+  let open QCheck2.Gen in
+  let* num_txns = int_range 1 8 in
+  let txn =
+    let* size = int_range 0 num_items in
+    let* items = list_repeat size (int_range 0 (num_items - 1)) in
+    return items
+  in
+  let* rows = list_repeat num_txns txn in
+  return (Database.of_lists ~num_items rows)
+
+let op_gen ~num_items =
+  let open QCheck2.Gen in
+  let iset = Helpers.itemset_gen ~num_items in
+  let extra = int_range 0 4 in
+  let conf = oneofl [ 0.3; 0.5; 0.75; 0.9; 1.0 ] in
+  let kk = int_range 1 12 in
+  frequency
+    [
+      (3, map2 (fun x e -> Q_items (x, e)) iset extra);
+      (2, map2 (fun x e -> Q_ids (x, e)) iset extra);
+      (2, map2 (fun x e -> Q_count (x, e)) iset extra);
+      (2, map3 (fun x e c -> Q_ess (x, e, c)) iset extra conf);
+      (1, map3 (fun x e c -> Q_all (x, e, c)) iset extra conf);
+      (1, map3 (fun x e c -> Q_single (x, e, c)) iset extra conf);
+      (2, map2 (fun x k -> Q_topk (x, k)) iset kk);
+      (1, map3 (fun x c k -> Q_topk_rules (x, c, k)) iset conf kk);
+      (1, map (fun d -> Append d) (delta_gen ~num_items));
+    ]
+
+let session_scenario_gen =
+  let open QCheck2.Gen in
+  let* db = Helpers.db_gen in
+  let* threshold = int_range 1 3 in
+  let* n_ops = int_range 1 25 in
+  let* ops = list_repeat n_ops (op_gen ~num_items:(Database.num_items db)) in
+  return (db, threshold, ops)
+
+let session_scenario_print (db, threshold, ops) =
+  Format.asprintf "%s@ threshold=%d ops=[%a]" (Helpers.db_print db) threshold
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.fprintf f ";@ ")
+       (fun f o -> Format.pp_print_string f (op_print o)))
+    ops
+
+(* Replay [ops] against a session (cache on) and against a bare engine;
+   every answer must be identical — including after appends, where the
+   session must never serve an entry from the previous epoch. *)
+let run_differential ~budget_bytes (db, threshold, ops) =
+  let lat = lattice_of db ~threshold in
+  let session = Session.create ~budget_bytes (Engine.of_lattice lat) in
+  let oracle = ref (Engine.of_lattice lat) in
+  let ok = ref true in
+  let fail name = ok := false; ignore name in
+  let frac extra =
+    (* a fractional support that Engine.count_of_support maps to a count
+       >= threshold on the current database; None when it cannot *)
+    let db_size = Engine.db_size !oracle in
+    let c = threshold + extra in
+    if c > db_size then None
+    else Some (float_of_int c /. float_of_int db_size)
+  in
+  List.iter
+    (fun op ->
+      if !ok then
+        match op with
+        | Q_items (x, e) -> (
+          match frac e with
+          | None -> ()
+          | Some minsup ->
+            if
+              Session.itemsets ~containing:x session ~minsup
+              <> Engine.itemsets ~containing:x !oracle ~minsup
+            then fail "items")
+        | Q_ids (x, e) -> (
+          match frac e with
+          | None -> ()
+          | Some minsup ->
+            let expected =
+              Array.of_list
+                (Query.find_itemsets (Engine.lattice !oracle) ~containing:x
+                   ~minsup:(Engine.count_of_support !oracle minsup))
+            in
+            if Session.itemset_ids ~containing:x session ~minsup <> expected
+            then fail "ids")
+        | Q_count (x, e) -> (
+          match frac e with
+          | None -> ()
+          | Some minsup ->
+            if
+              Session.count_itemsets ~containing:x session ~minsup
+              <> Engine.count_itemsets ~containing:x !oracle ~minsup
+            then fail "count")
+        | Q_ess (x, e, minconf) -> (
+          match frac e with
+          | None -> ()
+          | Some minsup ->
+            if
+              Session.essential_rules ~containing:x session ~minsup ~minconf
+              <> Engine.essential_rules ~containing:x !oracle ~minsup ~minconf
+            then fail "ess")
+        | Q_all (x, e, minconf) -> (
+          match frac e with
+          | None -> ()
+          | Some minsup ->
+            if
+              Session.all_rules ~containing:x session ~minsup ~minconf
+              <> Engine.all_rules ~containing:x !oracle ~minsup ~minconf
+            then fail "all")
+        | Q_single (x, e, minconf) -> (
+          match frac e with
+          | None -> ()
+          | Some minsup ->
+            if
+              Session.single_consequent_rules ~containing:x session ~minsup
+                ~minconf
+              <> Engine.single_consequent_rules ~containing:x !oracle ~minsup
+                   ~minconf
+            then fail "single")
+        | Q_topk (x, k) ->
+          if
+            Session.support_for_k_itemsets session ~containing:x ~k
+            <> Engine.support_for_k_itemsets !oracle ~containing:x ~k
+          then fail "topk"
+        | Q_topk_rules (x, minconf, k) ->
+          if
+            Session.support_for_k_rules session ~involving:x ~minconf ~k
+            <> Engine.support_for_k_rules !oracle ~involving:x ~minconf ~k
+          then fail "topk_rules"
+        | Append delta ->
+          let promoted_s = Session.append session delta in
+          let oracle', promoted_o = Engine.append !oracle delta in
+          oracle := oracle';
+          if promoted_s <> promoted_o then fail "append")
+    ops;
+  !ok
+
+let session_differential_prop =
+  QCheck2.Test.make
+    ~name:"session answers = cache-less engine (queries + appends)" ~count:250
+    ~print:session_scenario_print session_scenario_gen
+    (run_differential ~budget_bytes:(8 * 1024 * 1024))
+
+(* Same oracle under a tiny budget: constant evictions and re-misses
+   must not change any answer. *)
+let session_tiny_budget_prop =
+  QCheck2.Test.make ~name:"session under a 2 KiB budget stays exact" ~count:250
+    ~print:session_scenario_print session_scenario_gen
+    (run_differential ~budget_bytes:2048)
+
+(* ------------------------------------------------------------------ *)
+(* Units *)
+
+let table2_session ?budget_bytes () =
+  let engine = Engine.of_lattice (Helpers.table2_lattice ()) in
+  (Session.create ?budget_bytes engine, engine)
+
+(* db_size 1000: minsup count c as a fraction *)
+let f c = float_of_int c /. 1000.0
+
+(* Low cut populates; a higher cut is served as a prefix refinement with
+   identical results; an equal cut is a verbatim hit. *)
+let test_refinement_accounting () =
+  let session, engine = table2_session () in
+  let broad = Session.itemsets session ~minsup:(f 3) in
+  check Alcotest.int "broad answer is the whole lattice" 9 (List.length broad);
+  let stats = Session.stats session in
+  check Alcotest.int "one miss" 1 stats.Session.misses;
+  check Alcotest.int "no hits yet" 0 stats.Session.hits;
+  let narrow = Session.itemsets session ~minsup:(f 10) in
+  check Alcotest.bool "refined = engine" true
+    (narrow = Engine.itemsets engine ~minsup:(f 10));
+  let verbatim = Session.itemsets session ~minsup:(f 3) in
+  check Alcotest.bool "verbatim = first answer" true (verbatim = broad);
+  let stats = Session.stats session in
+  check Alcotest.int "two hits" 2 stats.Session.hits;
+  check Alcotest.int "one refine" 1 stats.Session.refines;
+  check Alcotest.int "still one miss" 1 stats.Session.misses
+
+(* A query below the cached floor recomputes and widens the entry; the
+   old floor is then served as a prefix of the widened one. *)
+let test_floor_widening () =
+  let session, engine = table2_session () in
+  ignore (Session.itemsets session ~minsup:(f 10));
+  ignore (Session.itemsets session ~minsup:(f 3));
+  let stats = Session.stats session in
+  check Alcotest.int "second query re-misses below the floor" 2
+    stats.Session.misses;
+  check Alcotest.bool "widened entry serves the old cut" true
+    (Session.itemsets session ~minsup:(f 10)
+    = Engine.itemsets engine ~minsup:(f 10));
+  let stats = Session.stats session in
+  check Alcotest.int "served as refine" 1 stats.Session.refines
+
+let test_count_uses_prefix () =
+  let session, engine = table2_session () in
+  ignore (Session.itemsets session ~minsup:(f 3));
+  check Alcotest.int "count from the cached prefix"
+    (Engine.count_itemsets engine ~minsup:(f 7))
+    (Session.count_itemsets session ~minsup:(f 7));
+  let stats = Session.stats session in
+  check Alcotest.int "count was a hit" 1 stats.Session.hits
+
+(* Rule lists are cached under their exact key and shared physically. *)
+let test_rules_exact_key () =
+  let session, _ = table2_session () in
+  let r1 = Session.essential_rules session ~minsup:(f 3) ~minconf:0.3 in
+  let r2 = Session.essential_rules session ~minsup:(f 3) ~minconf:0.3 in
+  check Alcotest.bool "second call returns the cached list" true (r1 == r2);
+  let r3 = Session.essential_rules session ~minsup:(f 3) ~minconf:0.5 in
+  check Alcotest.bool "different minconf is a different key" true (r3 != r1);
+  let stats = Session.stats session in
+  check Alcotest.int "one hit, two misses" 1 stats.Session.hits;
+  check Alcotest.int "two rule entries + nothing else" 2 stats.Session.misses
+
+(* Top-k subsumption: a cached k-run answers every k' <= k, and an
+   exhausted run answers every k' without recomputing. *)
+let test_topk_subsumption () =
+  let session, engine = table2_session () in
+  let containing = set [ 1 ] in
+  let at k = Engine.support_for_k_itemsets engine ~containing ~k in
+  check Alcotest.bool "k=4 primes" true
+    (Session.support_for_k_itemsets session ~containing ~k:4 = at 4);
+  check Alcotest.bool "k=2 subsumed" true
+    (Session.support_for_k_itemsets session ~containing ~k:2 = at 2);
+  check Alcotest.bool "k=1 subsumed" true
+    (Session.support_for_k_itemsets session ~containing ~k:1 = at 1);
+  let stats = Session.stats session in
+  check Alcotest.int "one miss, two hits" 1 stats.Session.misses;
+  check Alcotest.int "both subsumed hits are refines" 2 stats.Session.refines;
+  (* only 5 itemsets contain item 1: k=9 exhausts, then any k' answers *)
+  check Alcotest.bool "k=9 exhausts" true
+    (Session.support_for_k_itemsets session ~containing ~k:9 = at 9);
+  check Alcotest.bool "k=7 from the exhausted run" true
+    (Session.support_for_k_itemsets session ~containing ~k:7 = at 7);
+  check Alcotest.bool "k=3 from the exhausted run" true
+    (Session.support_for_k_itemsets session ~containing ~k:3 = at 3);
+  let stats = Session.stats session in
+  check Alcotest.int "exhausting run was the second miss" 2
+    stats.Session.misses
+
+let test_topk_rules_subsumption () =
+  let session, engine = table2_session () in
+  let involving = Itemset.empty in
+  let at k = Engine.support_for_k_rules engine ~involving ~minconf:0.3 ~k in
+  check Alcotest.bool "k=6 primes" true
+    (Session.support_for_k_rules session ~involving ~minconf:0.3 ~k:6 = at 6);
+  check Alcotest.bool "k=3 subsumed" true
+    (Session.support_for_k_rules session ~involving ~minconf:0.3 ~k:3 = at 3);
+  check Alcotest.bool "k=1 subsumed" true
+    (Session.support_for_k_rules session ~involving ~minconf:0.3 ~k:1 = at 1);
+  let stats = Session.stats session in
+  check Alcotest.int "one miss for the family" 1 stats.Session.misses
+
+(* Eviction keeps the resident estimate within budget and counts. *)
+let test_lru_eviction () =
+  let session, engine = table2_session ~budget_bytes:700 () in
+  List.iter
+    (fun i -> ignore (Session.itemsets ~containing:(set [ i ]) session ~minsup:(f 3)))
+    [ 0; 1; 2; 3; 0; 1 ];
+  let stats = Session.stats session in
+  check Alcotest.bool "evictions happened" true (stats.Session.evictions > 0);
+  check Alcotest.bool "resident <= budget" true
+    (stats.Session.resident_bytes <= stats.Session.budget_bytes);
+  (* correctness is unaffected by churn *)
+  check Alcotest.bool "answers still exact" true
+    (Session.itemsets ~containing:(set [ 2 ]) session ~minsup:(f 3)
+    = Engine.itemsets ~containing:(set [ 2 ]) engine ~minsup:(f 3))
+
+(* After append the engine epoch changes: the old entry is dropped at
+   lookup, never served. *)
+let test_epoch_invalidation () =
+  let db = Helpers.small_db () in
+  let lat = lattice_of db ~threshold:2 in
+  let session = Session.create (Engine.of_lattice lat) in
+  let before = Session.itemsets session ~minsup:(2.0 /. 10.0) in
+  let delta = Database.of_lists ~num_items:5 [ [ 0; 1 ]; [ 0; 1 ]; [ 0; 1 ] ] in
+  let _promoted = Session.append session delta in
+  let oracle, _ = Engine.append (Engine.of_lattice lat) delta in
+  let minsup = 2.0 /. float_of_int (Engine.db_size oracle) in
+  let after = Session.itemsets session ~minsup in
+  check Alcotest.bool "post-append answer matches a fresh engine" true
+    (after = Engine.itemsets oracle ~minsup);
+  check Alcotest.bool "supports actually moved" true (after <> before);
+  let stats = Session.stats session in
+  check Alcotest.int "stale entry was not served" 2 stats.Session.misses;
+  check Alcotest.int "no hits across the epoch" 0 stats.Session.hits
+
+let test_flush () =
+  let session, _ = table2_session () in
+  ignore (Session.itemsets session ~minsup:(f 3));
+  ignore (Session.essential_rules session ~minsup:(f 3) ~minconf:0.5);
+  let stats = Session.stats session in
+  check Alcotest.int "two entries cached" 2 stats.Session.entries;
+  Session.flush session;
+  let stats = Session.stats session in
+  check Alcotest.int "flush empties the table" 0 stats.Session.entries;
+  check Alcotest.int "flush zeroes residency" 0 stats.Session.resident_bytes;
+  ignore (Session.itemsets session ~minsup:(f 3));
+  check Alcotest.int "next query re-misses" 3 (Session.stats session).Session.misses
+
+let test_disabled_passthrough () =
+  let session, engine = table2_session ~budget_bytes:0 () in
+  check Alcotest.bool "disabled" false (Session.enabled session);
+  check Alcotest.bool "still answers" true
+    (Session.itemsets session ~minsup:(f 4) = Engine.itemsets engine ~minsup:(f 4));
+  let stats = Session.stats session in
+  check Alcotest.int "no accounting" 0 (stats.Session.hits + stats.Session.misses);
+  Alcotest.check_raises "negative budget rejected"
+    (Invalid_argument "Session.create: budget_bytes") (fun () ->
+      ignore (Session.create ~budget_bytes:(-1) engine))
+
+(* The disabled session adds nothing to the engine's allocation profile
+   — the acceptance criterion for leaving the cache off. Measured in
+   minor words, not [Gc.allocated_bytes]: the latter also counts runtime
+   stack-chunk growth, which fires spuriously when the session's extra
+   frames straddle a stack-chunk boundary (a function of the harness's
+   call depth, not of this code). Any real per-query regression here —
+   re-boxing an optional argument, building a closure — lands on the
+   minor heap. *)
+let test_disabled_zero_alloc () =
+  let lat = Helpers.table2_lattice () in
+  let engine = Engine.of_lattice lat in
+  let session = Session.create ~budget_bytes:0 engine in
+  let frac = 4.0 /. float_of_int (Lattice.db_size lat) in
+  let engine_query () = ignore (Engine.count_itemsets engine ~minsup:frac) in
+  let session_query () = ignore (Session.count_itemsets session ~minsup:frac) in
+  let measure f =
+    f ();
+    let before = Gc.minor_words () in
+    for _ = 1 to 1000 do
+      f ()
+    done;
+    8.0 *. (Gc.minor_words () -. before)
+  in
+  let engine_bytes = measure engine_query in
+  let session_bytes = measure session_query in
+  if session_bytes > engine_bytes +. 512.0 then
+    Alcotest.failf
+      "disabled session allocated %.0f bytes over 1000 queries vs %.0f direct"
+      session_bytes engine_bytes
+
+let case name fn = Alcotest.test_case name `Quick fn
+
+let suites =
+  [
+    ( "serve.session",
+      [
+        case "refinement accounting" test_refinement_accounting;
+        case "floor widening" test_floor_widening;
+        case "count via cached prefix" test_count_uses_prefix;
+        case "rules exact-key sharing" test_rules_exact_key;
+        case "top-k subsumption" test_topk_subsumption;
+        case "top-k rules subsumption" test_topk_rules_subsumption;
+        case "lru eviction under budget" test_lru_eviction;
+        case "epoch invalidation on append" test_epoch_invalidation;
+        case "flush" test_flush;
+        case "disabled passthrough" test_disabled_passthrough;
+        case "disabled session allocates nothing" test_disabled_zero_alloc;
+      ] );
+    Helpers.qsuite "serve.order"
+      [ canonical_order_prop; prefix_property_prop ];
+    Helpers.qsuite "serve.diff"
+      [ session_differential_prop; session_tiny_budget_prop ];
+  ]

@@ -1,4 +1,5 @@
-.PHONY: all build test test-quick bench-smoke bench-json bench-cache clean
+.PHONY: all build test test-quick bench-smoke bench-json bench-cache \
+	replay-smoke bench-compare clean
 
 all: build
 
@@ -20,14 +21,25 @@ bench-smoke:
 	dune build @bench-smoke
 
 # Machine-readable bench output: run the qps and session experiments
-# with --json and validate the document with bench/check_json.exe.
+# with --json, validate the document with bench/check_json.exe, then
+# gate it against the committed baseline (bench/compare_json.exe).
 bench-json:
-	dune build @bench-json
+	dune build @bench-json @bench-compare
 
 # Session-cache benchmark: Zipf-repeated query streams, cached vs
 # uncached (lib/serve).
 bench-cache:
 	dune build @bench-cache
+
+# Capture -> replay round trip: record a 200-query canned workload and
+# replay it (uncached and cached) expecting zero digest mismatches.
+replay-smoke:
+	dune build @replay-smoke
+
+# Perf-regression gate on its own: rerun the benchmark and diff qps
+# against BENCH_T10I4.json (default tolerance -20%).
+bench-compare:
+	dune build @bench-compare
 
 clean:
 	dune clean

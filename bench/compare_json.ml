@@ -1,0 +1,125 @@
+(* Perf-regression gate over two bench JSON documents.
+
+   Usage: compare_json.exe OLD.json NEW.json [--tolerance PCT]
+
+   Pairs up every qps series the two documents share — the qps
+   experiment's scenarios plus the cached/uncached sides of each session
+   scenario — and fails (exit 1) when NEW is slower than OLD by more
+   than the tolerance (default 20%). A series present in OLD but absent
+   from NEW is also a failure: silently dropping a benchmark must not
+   pass the gate. Latency percentiles are reported for context but not
+   gated; qps over a fixed wall-clock window is the stabler signal. *)
+
+module Jsonx = Olar_obs.Jsonx
+
+let die fmt = Format.kasprintf (fun s -> prerr_endline ("compare_json: " ^ s); exit 2) fmt
+
+let read_doc path =
+  let ic = try open_in_bin path with Sys_error e -> die "%s" e in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Jsonx.of_string s with
+  | Ok v -> v
+  | Error e -> die "%s: %s" path e
+
+(* Flatten a bench document into (label, qps) pairs in document order. *)
+let series doc =
+  let num path v =
+    Option.bind (Jsonx.path path v) Jsonx.number
+  in
+  let name v =
+    match Option.bind (Jsonx.member "name" v) Jsonx.to_str with
+    | Some s -> s
+    | None -> die "scenario without a name field"
+  in
+  let qps_scenarios =
+    match Jsonx.path [ "experiments"; "qps"; "scenarios" ] doc with
+    | None -> []
+    | Some v -> (
+      match Jsonx.to_list v with
+      | None -> die "experiments.qps.scenarios is not an array"
+      | Some l ->
+        List.map
+          (fun s ->
+            match num [ "qps" ] s with
+            | Some q -> ("qps/" ^ name s, q)
+            | None -> die "scenario %S has no qps" (name s))
+          l)
+  in
+  let session_scenarios =
+    match Jsonx.path [ "experiments"; "session"; "scenarios" ] doc with
+    | None -> []
+    | Some v -> (
+      match Jsonx.to_list v with
+      | None -> die "experiments.session.scenarios is not an array"
+      | Some l ->
+        List.concat_map
+          (fun s ->
+            let side key =
+              match num [ key; "qps" ] s with
+              | Some q -> [ (Printf.sprintf "session/%s/%s" (name s) key, q) ]
+              | None -> []
+            in
+            side "uncached" @ side "cached")
+          l)
+  in
+  qps_scenarios @ session_scenarios
+
+let () =
+  let old_path = ref None and new_path = ref None and tolerance = ref 20.0 in
+  let rec parse = function
+    | [] -> ()
+    | "--tolerance" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some t when t >= 0.0 -> tolerance := t
+      | _ -> die "--tolerance expects a non-negative percentage, got %S" v);
+      parse rest
+    | "--tolerance" :: [] -> die "--tolerance expects a value"
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+      die "unknown option %S" arg
+    | path :: rest ->
+      (match (!old_path, !new_path) with
+      | None, _ -> old_path := Some path
+      | Some _, None -> new_path := Some path
+      | Some _, Some _ -> die "too many arguments: %S" path);
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let old_path, new_path =
+    match (!old_path, !new_path) with
+    | Some o, Some n -> (o, n)
+    | _ -> die "usage: compare_json OLD.json NEW.json [--tolerance PCT]"
+  in
+  let old_series = series (read_doc old_path)
+  and new_series = series (read_doc new_path) in
+  let floor = 1.0 -. (!tolerance /. 100.0) in
+  let regressions = ref [] in
+  Printf.printf "%-34s %12s %12s %9s\n" "series" "old qps" "new qps" "delta";
+  List.iter
+    (fun (label, old_qps) ->
+      match List.assoc_opt label new_series with
+      | None ->
+        Printf.printf "%-34s %12.1f %12s %9s\n" label old_qps "missing" "-";
+        regressions := Printf.sprintf "%s: missing from %s" label new_path :: !regressions
+      | Some new_qps ->
+        let delta = 100.0 *. ((new_qps /. old_qps) -. 1.0) in
+        Printf.printf "%-34s %12.1f %12.1f %+8.1f%%\n" label old_qps new_qps delta;
+        if new_qps < old_qps *. floor then
+          regressions :=
+            Printf.sprintf "%s: %.1f -> %.1f qps (%+.1f%%, tolerance -%.0f%%)"
+              label old_qps new_qps delta !tolerance
+            :: !regressions)
+    old_series;
+  List.iter
+    (fun (label, _) ->
+      if not (List.mem_assoc label old_series) then
+        Printf.printf "%-34s %12s (new series, not gated)\n" label "-")
+    new_series;
+  match List.rev !regressions with
+  | [] ->
+    Printf.printf "OK: %d series within -%.0f%% tolerance\n"
+      (List.length old_series) !tolerance
+  | rs ->
+    List.iter (fun r -> prerr_endline ("REGRESSION " ^ r)) rs;
+    exit 1

@@ -5,6 +5,8 @@
 open Cmdliner
 open Olar_data
 
+let version = "1.0.0"
+
 (* ------------------------------------------------------------------ *)
 (* Shared argument converters and helpers *)
 
@@ -130,13 +132,17 @@ let trace_out_arg =
 (* Build the observability context from --metrics/--trace. Returns the
    context plus a finisher that flushes/closes the trace file and prints
    the registry; commands call it after their output. Both flags off
-   yields the disabled context and a no-op finisher. *)
-let make_obs metrics trace =
-  if (not metrics) && trace = None then (Olar_obs.Obs.disabled, fun () -> ())
+   yields the disabled context and a no-op finisher — unless [force] is
+   set (workload recording needs the shared work counters live even when
+   nothing will be printed). *)
+let make_obs ?(force = false) metrics trace =
+  if (not force) && (not metrics) && trace = None then
+    (Olar_obs.Obs.disabled, fun () -> ())
   else begin
     let oc = Option.map open_out trace in
     let sink = Option.map Olar_obs.Sink.jsonl oc in
     let obs = Olar_obs.Obs.create ?trace:sink () in
+    Option.iter (fun ctx -> Olar_obs.Obs.set_build_info ctx ~version) obs;
     let finish () =
       Olar_obs.Obs.flush_opt obs;
       Option.iter close_out oc;
@@ -144,12 +150,74 @@ let make_obs metrics trace =
       if metrics then
         Option.iter
           (fun ctx ->
+            Olar_obs.Obs.update_runtime_gauges ctx;
             print_string
               (Olar_obs.Exposition.to_text (Olar_obs.Obs.metrics ctx)))
           obs
     in
     (obs, finish)
   end
+
+(* ------------------------------------------------------------------ *)
+(* Workload capture flags (items/rules/count/support-for) *)
+
+let record_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "record" ]
+        ~doc:
+          "Append one JSON query-log record per query to $(docv): the full \
+           query key, result digest, latency, work counters and cache path. \
+           Re-execute with $(b,olar replay)."
+        ~docv:"FILE")
+
+let explain_flag =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "Render each query's log record human-readably on stderr: key, \
+           cache path, result size, digest, latency and work counters.")
+
+let slow_ms_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "slow-ms" ]
+        ~doc:
+          "Slow-query mode: only emit --record/--explain output for queries \
+           taking at least $(docv) milliseconds."
+        ~docv:"MS")
+
+let slow_s_of = function None -> 0.0 | Some ms -> ms /. 1000.0
+
+(* A recorder over [session] wired to the --record/--explain/--slow-ms
+   flags, plus a finisher closing the log file. Recording requires the
+   session (so the cache path is observable) and a forced obs context
+   (so the work counters are live); callers arrange both. *)
+let make_recorder ~record ~explain ~slow_ms session =
+  let oc =
+    Option.map
+      (fun path -> open_out_gen [ Open_append; Open_creat ] 0o644 path)
+      record
+  in
+  let emit r =
+    Option.iter
+      (fun oc ->
+        output_string oc (Olar_replay.Record.to_json_line r);
+        output_char oc '\n')
+      oc;
+    if explain then Format.eprintf "%a@." Olar_replay.Record.pp r
+  in
+  let recorder =
+    Olar_replay.Recorder.create ~slow_s:(slow_s_of slow_ms) ~emit session
+  in
+  let finish () =
+    Option.iter close_out oc;
+    Option.iter (fun path -> Format.eprintf "recorded %s@." path) record
+  in
+  (recorder, finish)
 
 let or_die = function
   | Ok x -> x
@@ -441,8 +509,9 @@ let items_cmd =
     Arg.(value & opt int 50 & info [ "limit" ] ~doc:"Print at most this many." ~docv:"N")
   in
   let run lattice_path minsup containing limit format output vocab_path cache_mb
-      metrics trace =
-    let obs, finish_obs = make_obs metrics trace in
+      record explain slow_ms metrics trace =
+    let recording = record <> None || explain in
+    let obs, finish_obs = make_obs ~force:recording metrics trace in
     let engine = or_die (load_engine ~obs lattice_path) in
     let vocab = load_vocab vocab_path in
     handle_below_threshold (fun () ->
@@ -456,18 +525,31 @@ let items_cmd =
                ~minsup:(Olar_core.Engine.count_of_support engine minsup))
         in
         let session =
-          if cache_mb > 0 then Some (make_session ~cache_mb engine) else None
+          if cache_mb > 0 || recording then Some (make_session ~cache_mb engine)
+          else None
+        in
+        let entries_of_ids ids =
+          Array.to_list
+            (Array.map
+               (fun v ->
+                 ( Olar_core.Lattice.itemset lat v,
+                   Olar_core.Lattice.support lat v ))
+               ids)
         in
         let entries, dt =
           Olar_util.Timer.time (fun () ->
               match session with
+              | Some s when recording ->
+                let recorder, finish_rec =
+                  make_recorder ~record ~explain ~slow_ms s
+                in
+                Fun.protect ~finally:finish_rec (fun () ->
+                    entries_of_ids
+                      (Olar_replay.Recorder.itemset_ids recorder ~containing
+                         ~minsup))
               | Some s ->
-                Array.to_list
-                  (Array.map
-                     (fun v ->
-                       ( Olar_core.Lattice.itemset lat v,
-                         Olar_core.Lattice.support lat v ))
-                     (Olar_serve.Session.itemset_ids s ~containing ~minsup))
+                entries_of_ids
+                  (Olar_serve.Session.itemset_ids s ~containing ~minsup)
               | None -> (
                 match obs with
                 | None -> query None
@@ -502,7 +584,8 @@ let items_cmd =
        ~doc:"Online itemset query: all itemsets above a support level (Figure 2).")
     Term.(
       const run $ lattice_arg $ minsup $ containing_arg $ limit_arg $ format_arg
-      $ output_arg $ vocab_arg $ cache_mb_arg $ metrics_flag $ trace_out_arg)
+      $ output_arg $ vocab_arg $ cache_mb_arg $ record_arg $ explain_flag
+      $ slow_ms_arg $ metrics_flag $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* rules *)
@@ -563,9 +646,10 @@ let rules_cmd =
       & info [ "measures" ] ~doc:"Include lift/leverage/conviction in the output.")
   in
   let run lattice_path minsup minconf containing all single antecedent consequent
-      limit format output min_lift sort_by measures vocab_path cache_mb metrics
-      trace =
-    let obs, finish_obs = make_obs metrics trace in
+      limit format output min_lift sort_by measures vocab_path cache_mb record
+      explain slow_ms metrics trace =
+    let recording = record <> None || explain in
+    let obs, finish_obs = make_obs ~force:recording metrics trace in
     let engine = or_die (load_engine ~obs lattice_path) in
     let vocab = load_vocab vocab_path in
     let lat = Olar_core.Engine.lattice engine in
@@ -578,11 +662,26 @@ let rules_cmd =
     in
     handle_below_threshold (fun () ->
         let session =
-          if cache_mb > 0 then Some (make_session ~cache_mb engine) else None
+          if cache_mb > 0 || recording then Some (make_session ~cache_mb engine)
+          else None
         in
         let rules, dt =
           Olar_util.Timer.time (fun () ->
               match session with
+              | Some s when recording ->
+                let recorder, finish_rec =
+                  make_recorder ~record ~explain ~slow_ms s
+                in
+                Fun.protect ~finally:finish_rec (fun () ->
+                    if single then
+                      Olar_replay.Recorder.single_consequent_rules ~containing
+                        recorder ~minsup ~minconf
+                    else if all then
+                      Olar_replay.Recorder.all_rules ~containing ~constraints
+                        recorder ~minsup ~minconf
+                    else
+                      Olar_replay.Recorder.essential_rules ~containing
+                        ~constraints recorder ~minsup ~minconf)
               | Some s ->
                 if single then
                   Olar_serve.Session.single_consequent_rules s ~containing
@@ -653,7 +752,8 @@ let rules_cmd =
       const run $ lattice_arg $ minsup $ minconf $ containing_arg $ all_arg
       $ single_arg $ antecedent_arg $ consequent_arg $ limit_arg $ format_arg
       $ output_arg $ min_lift_arg $ sort_arg $ measures_arg $ vocab_arg
-      $ cache_mb_arg $ metrics_flag $ trace_out_arg)
+      $ cache_mb_arg $ record_arg $ explain_flag $ slow_ms_arg $ metrics_flag
+      $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* count *)
@@ -666,15 +766,22 @@ let count_cmd =
       & opt (some float) None
       & info [ "minconf" ] ~doc:"Also count rules at this confidence." ~docv:"C")
   in
-  let run lattice_path minsup containing minconf cache_mb metrics trace =
-    let obs, finish_obs = make_obs metrics trace in
+  let run lattice_path minsup containing minconf cache_mb record explain slow_ms
+      metrics trace =
+    let recording = record <> None || explain in
+    let obs, finish_obs = make_obs ~force:recording metrics trace in
     let engine = or_die (load_engine ~obs lattice_path) in
     handle_below_threshold (fun () ->
         let session =
-          if cache_mb > 0 then Some (make_session ~cache_mb engine) else None
+          if cache_mb > 0 || recording then Some (make_session ~cache_mb engine)
+          else None
         in
         let n =
           match session with
+          | Some s when recording ->
+            let recorder, finish_rec = make_recorder ~record ~explain ~slow_ms s in
+            Fun.protect ~finally:finish_rec (fun () ->
+                Olar_replay.Recorder.count_itemsets ~containing recorder ~minsup)
           | Some s -> Olar_serve.Session.count_itemsets s ~containing ~minsup
           | None -> Olar_core.Engine.count_itemsets engine ~containing ~minsup
         in
@@ -694,7 +801,8 @@ let count_cmd =
        ~doc:"Predict output sizes without materialising them (query type 3).")
     Term.(
       const run $ lattice_arg $ minsup $ containing_arg $ minconf_arg
-      $ cache_mb_arg $ metrics_flag $ trace_out_arg)
+      $ cache_mb_arg $ record_arg $ explain_flag $ slow_ms_arg $ metrics_flag
+      $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* support-for *)
@@ -711,18 +819,32 @@ let support_for_cmd =
           ~doc:"Ask about single-consequent rules at this confidence instead of itemsets."
           ~docv:"C")
   in
-  let run lattice_path k containing minconf cache_mb metrics trace =
-    let obs, finish_obs = make_obs metrics trace in
+  let run lattice_path k containing minconf cache_mb record explain slow_ms
+      metrics trace =
+    let recording = record <> None || explain in
+    let obs, finish_obs = make_obs ~force:recording metrics trace in
     let engine = or_die (load_engine ~obs lattice_path) in
     let session =
-      if cache_mb > 0 then Some (make_session ~cache_mb engine) else None
+      if cache_mb > 0 || recording then Some (make_session ~cache_mb engine)
+      else None
     in
+    let recorder =
+      match session with
+      | Some s when recording -> Some (make_recorder ~record ~explain ~slow_ms s)
+      | _ -> None
+    in
+    let finish_rec () = Option.iter (fun (_, f) -> f ()) recorder in
+    Fun.protect ~finally:finish_rec @@ fun () ->
     (match minconf with
     | None -> (
       let answer =
-        match session with
-        | Some s -> Olar_serve.Session.support_for_k_itemsets s ~containing ~k
-        | None -> Olar_core.Engine.support_for_k_itemsets engine ~containing ~k
+        match (recorder, session) with
+        | Some (r, _), _ ->
+          Olar_replay.Recorder.support_for_k_itemsets r ~containing ~k
+        | None, Some s ->
+          Olar_serve.Session.support_for_k_itemsets s ~containing ~k
+        | None, None ->
+          Olar_core.Engine.support_for_k_itemsets engine ~containing ~k
       in
       match answer with
       | Some level ->
@@ -733,11 +855,14 @@ let support_for_cmd =
           Itemset.pp containing)
     | Some c -> (
       let answer =
-        match session with
-        | Some s ->
+        match (recorder, session) with
+        | Some (r, _), _ ->
+          Olar_replay.Recorder.support_for_k_rules r ~involving:containing
+            ~minconf:c ~k
+        | None, Some s ->
           Olar_serve.Session.support_for_k_rules s ~involving:containing
             ~minconf:c ~k
-        | None ->
+        | None, None ->
           Olar_core.Engine.support_for_k_rules engine ~involving:containing
             ~minconf:c ~k
       in
@@ -756,7 +881,8 @@ let support_for_cmd =
        ~doc:"Reverse query: the support level yielding exactly K answers (Figure 3).")
     Term.(
       const run $ lattice_arg $ k_arg $ containing_arg $ minconf_arg
-      $ cache_mb_arg $ metrics_flag $ trace_out_arg)
+      $ cache_mb_arg $ record_arg $ explain_flag $ slow_ms_arg $ metrics_flag
+      $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* direct *)
@@ -1036,6 +1162,68 @@ let condense_cmd =
     Term.(const run $ db_arg $ minsup $ kind_arg $ any_miner_arg $ limit_arg)
 
 (* ------------------------------------------------------------------ *)
+(* replay *)
+
+let replay_cmd =
+  let log_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~doc:"Captured query log (jsonl, from $(b,--record))."
+          ~docv:"LOG")
+  in
+  let run lattice_path log_path cache_mb explain metrics trace =
+    let obs, finish_obs = make_obs ~force:true metrics trace in
+    let engine = or_die (load_engine ~obs lattice_path) in
+    let records = or_die (Olar_replay.Replay.load log_path) in
+    let session = make_session ~cache_mb engine in
+    let on_outcome (o : Olar_replay.Replay.outcome) =
+      if explain then
+        Option.iter
+          (fun r -> Format.eprintf "%a@." Olar_replay.Record.pp r)
+          o.replayed;
+      if not o.ok then
+        Format.eprintf "olar: digest mismatch at seq %d (%s): recorded %s, replayed %s@."
+          o.record.Olar_replay.Record.seq
+          (Olar_replay.Record.kind_to_string o.record.Olar_replay.Record.kind)
+          (Olar_replay.Fnv.to_hex o.record.Olar_replay.Record.digest)
+          (match o.replayed with
+          | Some p -> Olar_replay.Fnv.to_hex p.Olar_replay.Record.digest
+          | None -> "<raised>")
+    in
+    let report, dt =
+      Olar_util.Timer.time (fun () ->
+          handle_below_threshold (fun () ->
+              Olar_replay.Replay.run ~on_outcome session records))
+    in
+    let open Olar_replay.Replay in
+    Format.printf "replayed %d queries in %.4fs: %d ok, %d mismatches (%d errors)@."
+      report.total dt
+      (report.total - report.mismatches)
+      report.mismatches report.errors;
+    let ratio a b = if b > 0.0 then a /. b else Float.nan in
+    Format.printf
+      "latency: recorded %.4fs, replayed %.4fs (x%.2f of recorded)@."
+      report.recorded_s report.replayed_s
+      (ratio report.replayed_s report.recorded_s);
+    Format.printf "work: vertices %d -> %d, heap pops %d -> %d@."
+      report.recorded_vertices report.replayed_vertices
+      report.recorded_heap_pops report.replayed_heap_pops;
+    Option.iter report_cache (Some session);
+    finish_obs ();
+    if report.mismatches > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-execute a captured query log against a lattice, verifying every \
+          result digest and reporting latency/work deltas versus the recorded \
+          run. Exits nonzero on any digest mismatch.")
+    Term.(
+      const run $ lattice_arg $ log_arg $ cache_mb_arg $ explain_flag
+      $ metrics_flag $ trace_out_arg)
+
+(* ------------------------------------------------------------------ *)
 (* metrics *)
 
 let metrics_cmd =
@@ -1083,11 +1271,23 @@ let metrics_cmd =
       | Some s -> s
       | None -> Olar_core.Engine.primary_threshold engine
     in
-    (* Canned workload touching every query family, so the registry has
-       one live histogram per entry point. Routed through a session cache
-       and run twice: the first pass misses, the second hits, so the
-       olar_cache_* series carry data too. *)
+    (* Canned workload touching every query family — including the
+       boundary walk and an incremental append — so the registry has one
+       live histogram per entry point. Routed through a session cache and
+       run twice before the append (first pass misses, second hits, so
+       the olar_cache_* series carry data) and once after it (so the
+       epoch-invalidation counters fire too). *)
     let session = make_session ~cache_mb engine in
+    let lat = Olar_core.Engine.lattice engine in
+    let boundary_target = ref Itemset.empty in
+    let max_item = ref (-1) in
+    for v = 0 to Olar_core.Lattice.num_vertices lat - 1 do
+      let x = Olar_core.Lattice.itemset lat v in
+      if Itemset.cardinal x > Itemset.cardinal !boundary_target then
+        boundary_target := x;
+      if not (Itemset.is_empty x) then
+        max_item := max !max_item (Itemset.max_item x)
+    done;
     let workload () =
       ignore (Olar_serve.Session.count_itemsets session ~minsup);
       ignore (Olar_serve.Session.itemsets session ~minsup);
@@ -1097,11 +1297,27 @@ let metrics_cmd =
            ~containing:Itemset.empty ~k:10);
       ignore
         (Olar_serve.Session.support_for_k_rules session
-           ~involving:Itemset.empty ~minconf ~k:10)
+           ~involving:Itemset.empty ~minconf ~k:10);
+      if not (Itemset.is_empty !boundary_target) then
+        ignore
+          (Olar_serve.Session.boundary session ~target:!boundary_target ~minconf)
     in
     handle_below_threshold (fun () ->
         workload ();
-        workload ());
+        workload ();
+        if !max_item >= 0 then begin
+          (* a tiny delta over the lattice's own frequent items: enough to
+             bump the epoch and exercise the append + invalidation path *)
+          let rows = [ Itemset.to_list !boundary_target; [ !max_item ] ] in
+          let delta = Database.of_lists ~num_items:(!max_item + 1) rows in
+          ignore (Olar_serve.Session.append session delta);
+          workload ()
+        end);
+    (match obs with
+    | Some ctx ->
+      Olar_obs.Obs.update_runtime_gauges ctx;
+      Olar_obs.Obs.set_build_info ctx ~version
+    | None -> ());
     Olar_obs.Obs.flush_opt obs;
     Option.iter close_out oc;
     Option.iter (fun path -> Format.printf "wrote trace %s@." path) trace;
@@ -1143,7 +1359,7 @@ let metrics_cmd =
 
 let () =
   let doc = "online generation of association rules (Aggarwal & Yu, ICDE 1998)" in
-  let info = Cmd.info "olar" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "olar" ~version ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
@@ -1151,5 +1367,5 @@ let () =
             gen_cmd; preprocess_cmd; info_cmd; stats_cmd; items_cmd; rules_cmd;
             count_cmd;
             support_for_cmd; direct_cmd; update_cmd; condense_cmd;
-            baskets_cmd; extend_cmd; dbinfo_cmd; metrics_cmd;
+            baskets_cmd; extend_cmd; dbinfo_cmd; replay_cmd; metrics_cmd;
           ]))

@@ -251,6 +251,25 @@ let redundancy ?containing t ~minsup ~minconf =
   | Some ctx ->
     Obs.query_span ctx ~name:"redundancy" ~work:Obs.No_work (fun _ -> run ())
 
+let boundary ?constraints t ~target ~minconf =
+  let confidence = Conf.of_float minconf in
+  match Lattice.find t.lattice target with
+  | None -> []
+  | Some v ->
+    let run work =
+      let ids =
+        Boundary.find_boundary ?work ~scratch:t.scratch ?constraints t.lattice
+          ~target:v ~confidence
+      in
+      List.map
+        (fun id ->
+          (Lattice.itemset t.lattice id, fraction t (Lattice.support t.lattice id)))
+        ids
+    in
+    (match t.obs with
+    | None -> run None
+    | Some ctx -> Obs.query_span ctx ~name:"boundary" ~work:Obs.Vertices run)
+
 let support_for_k_itemsets t ~containing ~k =
   let run work =
     let answer =

@@ -172,6 +172,19 @@ val single_consequent_rules :
 val redundancy :
   ?containing:Itemset.t -> t -> minsup:float -> minconf:float -> Rulegen.redundancy_report
 
+(** FindBoundary (Figure 5): the boundary F(X, c) of primary itemset
+    [target] at confidence [minconf] — the maximal-ancestor antecedents
+    of the simple-redundancy-free rules from [target] — as
+    (itemset, fractional support) pairs sorted by (cardinality,
+    lexicographic), the kernel's canonical order. [[]] when [target] is
+    not primary or no antecedent can satisfy [constraints]. *)
+val boundary :
+  ?constraints:Boundary.constraints ->
+  t ->
+  target:Itemset.t ->
+  minconf:float ->
+  (Itemset.t * float) list
+
 (** Query (4): the fractional support at which exactly [k] itemsets
     containing [containing] exist; [None] when the lattice holds fewer
     than [k]. *)

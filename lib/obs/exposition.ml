@@ -13,8 +13,20 @@ let pp_value ppf v =
     Format.fprintf ppf "%.0f" v
   else Format.fprintf ppf "%.6g" v
 
+(* Constant labels render the same way in the text table as in the
+   Prometheus exposition: [name{k="v",...}]. *)
+let labelled name labels =
+  match labels with
+  | [] -> name
+  | kvs ->
+    name ^ "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) kvs)
+    ^ "}"
+
 let pp ppf registry =
-  Metrics.iter registry (fun { Metrics.name; metric; _ } ->
+  Metrics.iter registry (fun { Metrics.name; labels; metric; _ } ->
+      let name = labelled name labels in
       match metric with
       | Metrics.M_counter c ->
         Format.fprintf ppf "%-44s %d@." name (Metrics.Counter.value c)
@@ -52,12 +64,22 @@ let histogram_json h =
 
 let to_json registry =
   let fields = ref [] in
-  Metrics.iter registry (fun { Metrics.name; metric; _ } ->
+  Metrics.iter registry (fun { Metrics.name; labels; metric; _ } ->
       let v =
         match metric with
         | Metrics.M_counter c -> Jsonx.Int (Metrics.Counter.value c)
         | Metrics.M_gauge g -> Jsonx.Float (Metrics.Gauge.value g)
         | Metrics.M_histogram h -> histogram_json h
+      in
+      let v =
+        match labels with
+        | [] -> v
+        | kvs ->
+          Jsonx.Obj
+            [
+              ("labels", Jsonx.Obj (List.map (fun (k, l) -> (k, Jsonx.Str l)) kvs));
+              ("value", v);
+            ]
       in
       fields := (name, v) :: !fields);
   Jsonx.Obj (List.rev !fields)
@@ -115,17 +137,29 @@ let to_prometheus registry =
         (Printf.sprintf "# HELP %s %s\n" name (escape_help help));
     Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
   in
-  Metrics.iter registry (fun { Metrics.name; help; metric } ->
+  Metrics.iter registry (fun { Metrics.name; help; labels; metric } ->
       let name = sanitize_name name in
+      let series =
+        match labels with
+        | [] -> name
+        | kvs ->
+          name ^ "{"
+          ^ String.concat ","
+              (List.map
+                 (fun (k, v) ->
+                   Printf.sprintf "%s=\"%s\"" (sanitize_name k) (escape_label v))
+                 kvs)
+          ^ "}"
+      in
       match metric with
       | Metrics.M_counter c ->
         header name help "counter";
         Buffer.add_string buf
-          (Printf.sprintf "%s %d\n" name (Metrics.Counter.value c))
+          (Printf.sprintf "%s %d\n" series (Metrics.Counter.value c))
       | Metrics.M_gauge g ->
         header name help "gauge";
         Buffer.add_string buf
-          (Printf.sprintf "%s %s\n" name (prom_float (Metrics.Gauge.value g)))
+          (Printf.sprintf "%s %s\n" series (prom_float (Metrics.Gauge.value g)))
       | Metrics.M_histogram h ->
         header name help "histogram";
         let bounds = Metrics.Histogram.bounds h in

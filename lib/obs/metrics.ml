@@ -99,6 +99,7 @@ type metric =
 type entry = {
   name : string;
   help : string;
+  labels : (string * string) list;
   metric : metric;
 }
 
@@ -109,8 +110,8 @@ type t = {
 
 let create () = { by_name = Hashtbl.create 32; order_rev = [] }
 
-let register t name help metric =
-  Hashtbl.replace t.by_name name { name; help; metric };
+let register t name help labels metric =
+  Hashtbl.replace t.by_name name { name; help; labels; metric };
   t.order_rev <- name :: t.order_rev
 
 let kind_error name = invalid_arg ("Metrics: " ^ name ^ " registered with another kind")
@@ -121,16 +122,16 @@ let counter t ?(help = "") name =
   | Some _ -> kind_error name
   | None ->
     let c = Counter.create name in
-    register t name help (M_counter c);
+    register t name help [] (M_counter c);
     c
 
-let gauge t ?(help = "") name =
+let gauge t ?(help = "") ?(labels = []) name =
   match Hashtbl.find_opt t.by_name name with
   | Some { metric = M_gauge g; _ } -> g
   | Some _ -> kind_error name
   | None ->
     let g = Gauge.create name in
-    register t name help (M_gauge g);
+    register t name help labels (M_gauge g);
     g
 
 let histogram t ?(help = "") ?bounds name =
@@ -143,7 +144,7 @@ let histogram t ?(help = "") ?bounds name =
       | Some b -> Histogram.of_bounds name b
       | None -> Histogram.create name
     in
-    register t name help (M_histogram h);
+    register t name help [] (M_histogram h);
     h
 
 (* Adopt a counter created elsewhere (e.g. a mining [Stats.t] field) so
@@ -156,8 +157,8 @@ let attach_counter t ?(help = "") ?name c =
   | Some { metric = M_counter _; _ } | None -> ()
   | Some _ -> kind_error name);
   if Hashtbl.mem t.by_name name then
-    Hashtbl.replace t.by_name name { name; help; metric = M_counter c }
-  else register t name help (M_counter c)
+    Hashtbl.replace t.by_name name { name; help; labels = []; metric = M_counter c }
+  else register t name help [] (M_counter c)
 
 let find t name = Hashtbl.find_opt t.by_name name
 

@@ -74,6 +74,10 @@ type metric =
 type entry = {
   name : string;
   help : string;
+  labels : (string * string) list;
+      (** constant key/value pairs rendered on every exposition of the
+          metric (e.g. [olar_build_info{version="1.4.0"}]); empty for
+          most instruments *)
   metric : metric;
 }
 
@@ -85,7 +89,10 @@ val create : unit -> t
     registration. *)
 val counter : t -> ?help:string -> string -> Counter.t
 
-val gauge : t -> ?help:string -> string -> Gauge.t
+(** [gauge t name] interns a gauge. [labels] (constant key/value pairs,
+    in the Prometheus info-metric style) are kept from the first
+    registration only. *)
+val gauge : t -> ?help:string -> ?labels:(string * string) list -> string -> Gauge.t
 
 (** [histogram t name] interns a histogram with {!Histogram.log_bounds}
     defaults unless [bounds] is given (only consulted on first

@@ -5,6 +5,7 @@ type ctx = {
   tracer : Trace.t option;
   sink : Sink.t option;
   clock : unit -> float;
+  start_s : float; (* clock reading at [create]; anchors uptime *)
   queries : Counter.t;
   vertices_visited : Counter.t;
   heap_pops : Counter.t;
@@ -36,7 +37,17 @@ let create ?(clock = Unix.gettimeofday) ?trace () : t =
   let tracer =
     Option.map (fun sink -> Trace.create ~clock ~emit:(Sink.emit sink) ()) trace
   in
-  Some { metrics; tracer; sink = trace; clock; queries; vertices_visited; heap_pops }
+  Some
+    {
+      metrics;
+      tracer;
+      sink = trace;
+      clock;
+      start_s = clock ();
+      queries;
+      vertices_visited;
+      heap_pops;
+    }
 
 let metrics ctx = ctx.metrics
 let tracer ctx = ctx.tracer
@@ -95,5 +106,33 @@ let query_span ctx ~name ~work f =
     Trace.with_span tr ("query." ^ name) ~attrs run
 
 let counter ctx ?help name = Metrics.counter ctx.metrics ?help name
-let gauge ctx ?help name = Metrics.gauge ctx.metrics ?help name
+let gauge ctx ?help ?labels name = Metrics.gauge ctx.metrics ?help ?labels name
 let attach_counter ctx ?help ?name c = Metrics.attach_counter ctx.metrics ?help ?name c
+
+(* Process-level gauges are sampled, not incrementally maintained: call
+   this immediately before exposition so a scrape sees current values
+   without taxing the query hot path. *)
+let update_runtime_gauges ctx =
+  let s = Gc.quick_stat () in
+  Metrics.Gauge.set_int
+    (gauge ctx ~help:"Minor collections since process start"
+       "olar_gc_minor_collections_total")
+    s.Gc.minor_collections;
+  Metrics.Gauge.set_int
+    (gauge ctx ~help:"Major collection cycles since process start"
+       "olar_gc_major_collections_total")
+    s.Gc.major_collections;
+  Metrics.Gauge.set_int
+    (gauge ctx ~help:"Major-heap size in words" "olar_heap_words")
+    s.Gc.heap_words;
+  Metrics.Gauge.set
+    (gauge ctx ~help:"Seconds since this context was created"
+       "olar_uptime_seconds")
+    (ctx.clock () -. ctx.start_s)
+
+let set_build_info ctx ~version =
+  Metrics.Gauge.set
+    (gauge ctx ~help:"Constant 1; build metadata lives in the labels"
+       ~labels:[ ("version", version) ]
+       "olar_build_info")
+    1.0

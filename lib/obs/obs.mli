@@ -60,7 +60,19 @@ val maybe_span :
 (** Registry shorthands. *)
 val counter : ctx -> ?help:string -> string -> Counter.t
 
-val gauge : ctx -> ?help:string -> string -> Metrics.Gauge.t
+val gauge :
+  ctx -> ?help:string -> ?labels:(string * string) list -> string -> Metrics.Gauge.t
+
+(** [update_runtime_gauges ctx] samples process-level state into gauges:
+    [olar_gc_minor_collections_total], [olar_gc_major_collections_total],
+    [olar_heap_words] (from [Gc.quick_stat]) and [olar_uptime_seconds]
+    (clock now minus clock at [create]). Sampled, not maintained — call
+    right before exposition. *)
+val update_runtime_gauges : ctx -> unit
+
+(** [set_build_info ctx ~version] registers the Prometheus-style info
+    gauge [olar_build_info{version="..."} 1]. *)
+val set_build_info : ctx -> version:string -> unit
 
 (** [attach_counter ctx c] adopts an externally created counter (e.g. a
     mining [Stats] field) into the registry; see

@@ -50,26 +50,54 @@ let enter t name =
   t.stack <- f :: t.stack;
   f.f_id
 
+let emit_frame t f attrs =
+  t.emit
+    {
+      id = f.f_id;
+      parent = f.f_parent;
+      depth = f.f_depth;
+      name = f.f_name;
+      start_s = f.f_start;
+      duration_s = t.clock () -. f.f_start;
+      attrs;
+    }
+
 (* Spans are emitted when they close, so a child always reaches the sink
-   before its parent; consumers rebuild the tree from [parent]. *)
+   before its parent; consumers rebuild the tree from [parent].
+
+   [exit] tolerates abandoned descendants: if an exception escaped a
+   manually paired enter/exit deeper in the stack, the orphaned frames
+   are closed (child-first, tagged [abandoned]) before the target, so
+   one raising query can never corrupt the emission order of later
+   spans. *)
 let exit t ~id attrs =
-  match t.stack with
-  | f :: rest when f.f_id = id ->
-    t.stack <- rest;
-    t.emit
-      {
-        id = f.f_id;
-        parent = f.f_parent;
-        depth = f.f_depth;
-        name = f.f_name;
-        start_s = f.f_start;
-        duration_s = t.clock () -. f.f_start;
-        attrs;
-      }
-  | _ -> invalid_arg "Trace.exit: span is not innermost open span"
+  if not (List.exists (fun f -> f.f_id = id) t.stack) then
+    invalid_arg "Trace.exit: span is not open";
+  let rec unwind () =
+    match t.stack with
+    | [] -> assert false
+    | f :: rest ->
+      t.stack <- rest;
+      if f.f_id = id then emit_frame t f attrs
+      else begin
+        emit_frame t f [ ("abandoned", Int 1) ];
+        unwind ()
+      end
+  in
+  unwind ()
 
 let with_span t name ?(attrs = fun () -> []) f =
   let id = enter t name in
-  Fun.protect ~finally:(fun () -> exit t ~id (attrs ())) f
+  Fun.protect
+    ~finally:(fun () ->
+      (* The span must close even when the attribute thunk itself raises;
+         otherwise one bad attrs closure would leave the frame open and
+         skew every later span's parentage. *)
+      let attrs =
+        try attrs ()
+        with exn -> [ ("attrs_error", Str (Printexc.to_string exn)) ]
+      in
+      exit t ~id attrs)
+    f
 
 let depth t = List.length t.stack

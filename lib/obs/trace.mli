@@ -30,11 +30,17 @@ val create : ?clock:(unit -> float) -> emit:(span -> unit) -> unit -> t
 
 (** [with_span t name f] runs [f ()] inside a span. [attrs] is evaluated
     once, at close time (after [f] returns), so attributes can report
-    work done inside the span. The span is emitted even if [f] raises. *)
+    work done inside the span. The span is emitted even if [f] raises;
+    if the [attrs] thunk itself raises, the span still closes, carrying
+    an [attrs_error] attribute instead of the thunk's result. *)
 val with_span : t -> string -> ?attrs:(unit -> (string * value) list) -> (unit -> 'a) -> 'a
 
 (** Lower-level pairing for callers that cannot use a closure. [exit]
-    raises [Invalid_argument] if [id] is not the innermost open span. *)
+    raises [Invalid_argument] if [id] is not an open span. If [id] is
+    open but not innermost (an exception escaped a manually paired
+    [enter] deeper in the stack), the abandoned descendants are closed
+    first — child-first, each tagged with an [abandoned] attribute — so
+    emission order stays consistent for consumers rebuilding the tree. *)
 val enter : t -> string -> int
 
 val exit : t -> id:int -> (string * value) list -> unit

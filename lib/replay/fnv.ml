@@ -1,0 +1,36 @@
+type t = int64
+
+let empty = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let byte h b =
+  Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) prime
+
+let int64 h x =
+  let h = ref h in
+  for shift = 0 to 7 do
+    h := byte !h (Int64.to_int (Int64.shift_right_logical x (shift * 8)))
+  done;
+  !h
+
+let int h i = int64 h (Int64.of_int i)
+let bool h b = int h (if b then 1 else 0)
+let float h f = int64 h (Int64.bits_of_float f)
+
+let itemset h x =
+  Olar_data.Itemset.fold
+    (fun item acc -> int acc item)
+    x
+    (int h (Olar_data.Itemset.cardinal x))
+
+let to_hex h = Printf.sprintf "%016Lx" h
+
+let of_hex s =
+  if String.length s <> 16 then None
+  else if
+    String.exists
+      (fun c ->
+        not ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')))
+      s
+  then None
+  else Int64.of_string_opt ("0x" ^ s)

@@ -1,0 +1,42 @@
+(** FNV-1a 64-bit digests over structured query results.
+
+    The workload log stores, for every query, a digest of the result in
+    its canonical order (see {!Record}); replaying the log recomputes
+    the digest and any difference is a correctness regression. FNV-1a
+    is used for its simplicity and total portability — the digest is a
+    pure function of the folded integers, with no dependency on
+    hashing seeds, word size quirks, or process state.
+
+    A digest is built by folding values into an accumulator:
+    [empty |> int 3 |> itemset x |> float 0.5]. Every combinator is a
+    plain function, so digests are deterministic by construction. *)
+
+type t = int64
+
+(** The FNV-1a 64-bit offset basis, [0xcbf29ce484222325]. *)
+val empty : t
+
+(** [int h i] folds the 8 little-endian bytes of [i] (as an [int64]). *)
+val int : t -> int -> t
+
+val int64 : t -> int64 -> t
+
+(** [bool h b] is [int h 1] or [int h 0]. *)
+val bool : t -> bool -> t
+
+(** [float h f] folds [Int64.bits_of_float f] — exact bit equality, no
+    epsilon. Replay runs the same computation on the same lattice, so
+    bitwise reproducibility is the property being checked. *)
+val float : t -> float -> t
+
+(** [itemset h x] folds the cardinality, then the items in increasing
+    order. The leading cardinality keeps item sequences
+    self-delimiting, so [\[{1}; {2,3}\]] and [\[{1,2}; {3}\]] digest
+    differently. *)
+val itemset : t -> Olar_data.Itemset.t -> t
+
+(** [to_hex h] is 16 lowercase hex characters; [of_hex] inverts it.
+    [of_hex] returns [None] on anything but exactly 16 hex digits. *)
+val to_hex : t -> string
+
+val of_hex : string -> t option

@@ -1,0 +1,90 @@
+(** Workload capture: a recording façade over {!Olar_serve.Session}.
+
+    Every query function mirrors the session function of the same name
+    — same arguments, same results, same exceptions — and additionally
+    emits one {!Record.t} describing the call: the full query key, the
+    FNV-1a digest of the canonical-order result, the result size, the
+    wall-clock latency, the traversal work attributed to the call (read
+    as deltas of the engine context's shared work counters, so cached
+    and uncached paths are costed identically), and the cache path the
+    session took ({!Olar_serve.Session.last_path}).
+
+    Records reach the caller through [emit] — typically
+    {!Record.to_json_line} appended to a jsonl file, or {!Record.pp}
+    for an EXPLAIN view. [slow_s] turns the recorder into a slow-query
+    log: only calls at or above the threshold are emitted (the sequence
+    number still advances for every call, so a slow-query log preserves
+    each record's position in the session).
+
+    A query that raises emits nothing — there is no result to digest —
+    and the sequence number does not advance.
+
+    {b Digest semantics} (the replay contract, see DESIGN.md §9):
+    itemset answers digest each (itemset, integer support count) in
+    canonical order; counts digest the count; rule answers digest each
+    (antecedent, consequent, support count, antecedent count) in
+    generation order; FindSupport answers digest a presence tag then
+    the bits of the fractional level; boundary answers digest each
+    (itemset, fractional support bits) in kernel order; appends digest
+    the promotion frontier and the new database size. *)
+
+open Olar_data
+
+type t
+
+(** [create ~emit session] wraps [session]. [slow_s] (seconds, default
+    [0.] = record everything) suppresses records for faster queries;
+    [clock] (default [Unix.gettimeofday]) is injectable for tests. *)
+val create :
+  ?slow_s:float ->
+  ?clock:(unit -> float) ->
+  emit:(Record.t -> unit) ->
+  Olar_serve.Session.t ->
+  t
+
+val session : t -> Olar_serve.Session.t
+
+(** Number of queries issued through this recorder so far (including
+    ones below the slow threshold). *)
+val count : t -> int
+
+val itemsets :
+  ?containing:Itemset.t -> t -> minsup:float -> (Itemset.t * float) list
+
+val itemset_ids :
+  ?containing:Itemset.t -> t -> minsup:float -> Olar_core.Lattice.vertex_id array
+
+val count_itemsets : ?containing:Itemset.t -> t -> minsup:float -> int
+
+val essential_rules :
+  ?containing:Itemset.t ->
+  ?constraints:Olar_core.Boundary.constraints ->
+  t ->
+  minsup:float ->
+  minconf:float ->
+  Olar_core.Rule.t list
+
+val all_rules :
+  ?containing:Itemset.t ->
+  ?constraints:Olar_core.Boundary.constraints ->
+  t ->
+  minsup:float ->
+  minconf:float ->
+  Olar_core.Rule.t list
+
+val single_consequent_rules :
+  ?containing:Itemset.t -> t -> minsup:float -> minconf:float -> Olar_core.Rule.t list
+
+val support_for_k_itemsets : t -> containing:Itemset.t -> k:int -> float option
+
+val support_for_k_rules :
+  t -> involving:Itemset.t -> minconf:float -> k:int -> float option
+
+val boundary :
+  ?constraints:Olar_core.Boundary.constraints ->
+  t ->
+  target:Itemset.t ->
+  minconf:float ->
+  (Itemset.t * float) list
+
+val append : ?domains:int -> t -> Database.t -> Itemset.t list

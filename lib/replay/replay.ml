@@ -1,0 +1,158 @@
+open Olar_data
+module Session = Olar_serve.Session
+module Boundary = Olar_core.Boundary
+
+type outcome = {
+  record : Record.t;
+  replayed : Record.t option;
+  ok : bool;
+}
+
+type report = {
+  total : int;
+  mismatches : int;
+  errors : int;
+  recorded_s : float;
+  replayed_s : float;
+  recorded_vertices : int;
+  replayed_vertices : int;
+  recorded_heap_pops : int;
+  replayed_heap_pops : int;
+}
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec loop lineno acc =
+        match input_line ic with
+        | exception End_of_file -> Ok (List.rev acc)
+        | "" -> loop (lineno + 1) acc
+        | line -> (
+          match Record.of_json_line line with
+          | Ok r -> loop (lineno + 1) (r :: acc)
+          | Error e -> Error (Printf.sprintf "%s:%d: %s" path lineno e))
+      in
+      loop 1 [])
+
+(* Rebuild the exact call a record describes and issue it through
+   [recorder]. Raises [Failure] on a structurally incomplete record
+   (e.g. a find without minsup) — the caller turns that into a failed
+   outcome rather than aborting the whole replay. *)
+let dispatch recorder (r : Record.t) =
+  let minsup () =
+    match r.minsup with
+    | Some s -> s
+    | None -> failwith "record is missing minsup"
+  in
+  let minconf () =
+    match r.minconf with
+    | Some c -> c
+    | None -> failwith "record is missing minconf"
+  in
+  let k () =
+    match r.k with Some k -> k | None -> failwith "record is missing k"
+  in
+  let constraints =
+    {
+      Boundary.antecedent_includes = r.antecedent_includes;
+      consequent_includes = r.consequent_includes;
+      allow_empty_antecedent = r.allow_empty_antecedent;
+    }
+  in
+  match r.kind with
+  | Record.Find_itemsets ->
+    ignore
+      (Recorder.itemset_ids ~containing:r.containing recorder
+         ~minsup:(minsup ()))
+  | Record.Count_itemsets ->
+    ignore
+      (Recorder.count_itemsets ~containing:r.containing recorder
+         ~minsup:(minsup ()))
+  | Record.Essential_rules ->
+    ignore
+      (Recorder.essential_rules ~containing:r.containing ~constraints recorder
+         ~minsup:(minsup ()) ~minconf:(minconf ()))
+  | Record.All_rules ->
+    ignore
+      (Recorder.all_rules ~containing:r.containing ~constraints recorder
+         ~minsup:(minsup ()) ~minconf:(minconf ()))
+  | Record.Single_consequent_rules ->
+    ignore
+      (Recorder.single_consequent_rules ~containing:r.containing recorder
+         ~minsup:(minsup ()) ~minconf:(minconf ()))
+  | Record.Support_for_k_itemsets ->
+    ignore
+      (Recorder.support_for_k_itemsets recorder ~containing:r.containing
+         ~k:(k ()))
+  | Record.Support_for_k_rules ->
+    ignore
+      (Recorder.support_for_k_rules recorder ~involving:r.containing
+         ~minconf:(minconf ()) ~k:(k ()))
+  | Record.Boundary ->
+    ignore
+      (Recorder.boundary ~constraints recorder ~target:r.containing
+         ~minconf:(minconf ()))
+  | Record.Append ->
+    if r.delta_num_items <= 0 then failwith "append record is missing num_items";
+    let delta = Database.of_lists ~num_items:r.delta_num_items r.delta in
+    ignore (Recorder.append recorder delta)
+
+let run ?(on_outcome = fun _ -> ()) session records =
+  let captured = ref None in
+  let recorder =
+    Recorder.create ~emit:(fun r -> captured := Some r) session
+  in
+  let report =
+    ref
+      {
+        total = 0;
+        mismatches = 0;
+        errors = 0;
+        recorded_s = 0.0;
+        replayed_s = 0.0;
+        recorded_vertices = 0;
+        replayed_vertices = 0;
+        recorded_heap_pops = 0;
+        replayed_heap_pops = 0;
+      }
+  in
+  List.iter
+    (fun (r : Record.t) ->
+      captured := None;
+      let error = ref false in
+      (try dispatch recorder r with _ -> error := true);
+      let replayed = !captured in
+      let ok =
+        (not !error)
+        &&
+        match replayed with
+        | Some (p : Record.t) -> Int64.equal p.Record.digest r.Record.digest
+        | None -> false
+      in
+      let t = !report in
+      report :=
+        {
+          total = t.total + 1;
+          mismatches = (t.mismatches + if ok then 0 else 1);
+          errors = (t.errors + if !error then 1 else 0);
+          recorded_s = t.recorded_s +. r.Record.latency_s;
+          replayed_s =
+            (t.replayed_s
+            +.
+            match replayed with
+            | Some p -> p.Record.latency_s
+            | None -> 0.0);
+          recorded_vertices = t.recorded_vertices + r.Record.vertices;
+          replayed_vertices =
+            (t.replayed_vertices
+            + match replayed with Some p -> p.Record.vertices | None -> 0);
+          recorded_heap_pops = t.recorded_heap_pops + r.Record.heap_pops;
+          replayed_heap_pops =
+            (t.replayed_heap_pops
+            + match replayed with Some p -> p.Record.heap_pops | None -> 0);
+        };
+      on_outcome { record = r; replayed; ok })
+    records;
+  !report

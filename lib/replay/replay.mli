@@ -1,0 +1,48 @@
+(** Deterministic re-execution of a captured workload log.
+
+    [run] replays each {!Record.t} against a session — rebuilding the
+    exact call from the record's query key — through a fresh
+    {!Recorder}, and compares the replayed digest against the recorded
+    one. The digest invariant leans on the canonical result orders
+    pinned in the core kernels, so on the same lattice a mismatch is a
+    correctness regression, not noise: nondeterminism would have to be
+    introduced deliberately to break it.
+
+    Appends are replayed too (the record carries the delta
+    transactions), so a log that interleaves queries and maintenance
+    drives the session through the same sequence of epochs the capture
+    did. Latency and work totals are accumulated on both sides for the
+    perf delta report; latency is wall-clock and machine-dependent,
+    digests are not. *)
+
+type outcome = {
+  record : Record.t;  (** as captured *)
+  replayed : Record.t option;
+      (** the re-execution's record; [None] when the call raised *)
+  ok : bool;  (** digests equal *)
+}
+
+type report = {
+  total : int;
+  mismatches : int;  (** digest mismatches, including raised calls *)
+  errors : int;  (** replayed calls that raised (subset of mismatches) *)
+  recorded_s : float;  (** summed recorded latency *)
+  replayed_s : float;  (** summed replayed latency *)
+  recorded_vertices : int;
+  replayed_vertices : int;
+  recorded_heap_pops : int;
+  replayed_heap_pops : int;
+}
+
+(** [load path] reads a jsonl log. The first malformed line is an
+    [Error] naming its line number. *)
+val load : string -> (Record.t list, string) result
+
+(** [run session records] replays the log in order. [on_outcome] fires
+    after every record (for progress or EXPLAIN output). The session is
+    mutated by replayed appends, exactly as during capture. *)
+val run :
+  ?on_outcome:(outcome -> unit) ->
+  Olar_serve.Session.t ->
+  Record.t list ->
+  report

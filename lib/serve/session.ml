@@ -242,12 +242,26 @@ let lookup c ~epoch key =
 (* Session                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* How the last query on a session was served; read back by the workload
+   recorder (lib/replay) right after the call returns. *)
+type path =
+  | Hit
+  | Refine
+  | Miss
+  | Passthrough
+
 type t = {
   mutable engine : Engine.t;
   mutable scratch : Scratch.t;
       (* session-owned scratch for the id-level kernels the Engine
          facade does not expose; replaced together with the engine *)
   cache : cache option;
+  work_vertices : Counter.t option;
+  work_heap : Counter.t option;
+      (* the engine obs context's shared work counters, interned once so
+         the cached compute paths attribute kernel work exactly like the
+         passthrough paths that go through [Engine.query_span] *)
+  mutable last_path : path;
 }
 
 type stats = {
@@ -265,10 +279,10 @@ let default_budget_bytes = 32 * 1024 * 1024
 let create ?budget_bytes engine =
   let budget = Option.value ~default:default_budget_bytes budget_bytes in
   if budget < 0 then invalid_arg "Session.create: budget_bytes";
+  let obs = Engine.obs engine in
   let cache =
     if budget = 0 then None
     else begin
-      let obs = Engine.obs engine in
       let counter name help =
         match obs with
         | Some ctx -> Obs.counter ctx ~help name
@@ -313,10 +327,22 @@ let create ?budget_bytes engine =
         }
     end
   in
-  { engine; scratch = Scratch.create (Engine.lattice engine); cache }
+  {
+    engine;
+    scratch = Scratch.create (Engine.lattice engine);
+    cache;
+    work_vertices =
+      Option.map
+        (fun ctx -> Obs.counter ctx "olar_query_vertices_visited_total")
+        obs;
+    work_heap =
+      Option.map (fun ctx -> Obs.counter ctx "olar_query_heap_pops_total") obs;
+    last_path = Passthrough;
+  }
 
 let engine t = t.engine
 let enabled t = t.cache <> None
+let last_path t = t.last_path
 let lattice t = Engine.lattice t.engine
 
 let fraction t count =
@@ -356,7 +382,8 @@ let prefix_length lat ids minsup =
 
 let compute_find t ~containing ~minsup =
   Array.of_list
-    (Query.find_itemsets ~scratch:t.scratch (lattice t) ~containing ~minsup)
+    (Query.find_itemsets ?work:t.work_vertices ~scratch:t.scratch (lattice t)
+       ~containing ~minsup)
 
 (* The cached array plus the prefix length serving this cut. *)
 let find_prefix t c ~containing ~minsup =
@@ -367,17 +394,23 @@ let find_prefix t c ~containing ~minsup =
     match e.e_payload with
     | P_find { floor; ids } when minsup >= floor ->
       Counter.incr c.hits;
-      if minsup > floor then Counter.incr c.refines;
+      if minsup > floor then begin
+        Counter.incr c.refines;
+        t.last_path <- Refine
+      end
+      else t.last_path <- Hit;
       observe c.hist_find (fun () -> (ids, prefix_length (lattice t) ids minsup))
     | P_find _ ->
       (* below every cached floor: recompute and widen the entry *)
       Counter.incr c.misses;
+      t.last_path <- Miss;
       let ids = compute_find t ~containing ~minsup in
       replace_payload c e (P_find { floor = minsup; ids });
       (ids, Array.length ids)
     | _ -> assert false)
   | None ->
     Counter.incr c.misses;
+    t.last_path <- Miss;
     let ids = compute_find t ~containing ~minsup in
     insert c key epoch (P_find { floor = minsup; ids });
     (ids, Array.length ids)
@@ -387,7 +420,9 @@ let find_prefix t c ~containing ~minsup =
    every disabled-cache call. *)
 let itemsets ?containing t ~minsup =
   match t.cache with
-  | None -> Engine.itemsets ?containing t.engine ~minsup
+  | None ->
+    t.last_path <- Passthrough;
+    Engine.itemsets ?containing t.engine ~minsup
   | Some c ->
     let containing = Option.value ~default:Itemset.empty containing in
     let cut = Engine.count_of_support t.engine minsup in
@@ -404,16 +439,19 @@ let itemset_ids ?containing t ~minsup =
   let containing = Option.value ~default:Itemset.empty containing in
   match t.cache with
   | None ->
+    t.last_path <- Passthrough;
     Array.of_list
-      (Query.find_itemsets ~scratch:t.scratch (lattice t) ~containing
-         ~minsup:cut)
+      (Query.find_itemsets ?work:t.work_vertices ~scratch:t.scratch (lattice t)
+         ~containing ~minsup:cut)
   | Some c ->
     let ids, p = find_prefix t c ~containing ~minsup:cut in
     Array.sub ids 0 p
 
 let count_itemsets ?containing t ~minsup =
   match t.cache with
-  | None -> Engine.count_itemsets ?containing t.engine ~minsup
+  | None ->
+    t.last_path <- Passthrough;
+    Engine.count_itemsets ?containing t.engine ~minsup
   | Some c ->
     let containing = Option.value ~default:Itemset.empty containing in
     let cut = Engine.count_of_support t.engine minsup in
@@ -430,10 +468,12 @@ let rules_cached t c key compute =
   match lookup c ~epoch key with
   | Some e ->
     Counter.incr c.hits;
+    t.last_path <- Hit;
     observe c.hist_rules (fun () ->
         match e.e_payload with P_rules rs -> rs | _ -> assert false)
   | None ->
     Counter.incr c.misses;
+    t.last_path <- Miss;
     let rs = compute () in
     insert c key epoch (P_rules rs);
     rs
@@ -454,6 +494,7 @@ let rules_key t kind ?containing ?constraints ~minsup ~minconf () =
 let essential_rules ?containing ?constraints t ~minsup ~minconf =
   match t.cache with
   | None ->
+    t.last_path <- Passthrough;
     Engine.essential_rules ?containing ?constraints t.engine ~minsup ~minconf
   | Some c ->
     let key = rules_key t Essential ?containing ?constraints ~minsup ~minconf () in
@@ -463,7 +504,9 @@ let essential_rules ?containing ?constraints t ~minsup ~minconf =
 
 let all_rules ?containing ?constraints t ~minsup ~minconf =
   match t.cache with
-  | None -> Engine.all_rules ?containing ?constraints t.engine ~minsup ~minconf
+  | None ->
+    t.last_path <- Passthrough;
+    Engine.all_rules ?containing ?constraints t.engine ~minsup ~minconf
   | Some c ->
     let key = rules_key t All ?containing ?constraints ~minsup ~minconf () in
     rules_cached t c key (fun () ->
@@ -471,7 +514,9 @@ let all_rules ?containing ?constraints t ~minsup ~minconf =
 
 let single_consequent_rules ?containing t ~minsup ~minconf =
   match t.cache with
-  | None -> Engine.single_consequent_rules ?containing t.engine ~minsup ~minconf
+  | None ->
+    t.last_path <- Passthrough;
+    Engine.single_consequent_rules ?containing t.engine ~minsup ~minconf
   | Some c ->
     let key = rules_key t Single ?containing ~minsup ~minconf () in
     rules_cached t c key (fun () ->
@@ -489,14 +534,17 @@ let single_consequent_rules ?containing t ~minsup ~minconf =
 
 let support_for_k_itemsets t ~containing ~k =
   match t.cache with
-  | None -> Engine.support_for_k_itemsets t.engine ~containing ~k
+  | None ->
+    t.last_path <- Passthrough;
+    Engine.support_for_k_itemsets t.engine ~containing ~k
   | Some c -> (
     if k < 1 then invalid_arg "Session.support_for_k_itemsets: k";
     let epoch = Engine.epoch t.engine in
     let key = K_topk containing in
     let compute () =
       let answer =
-        Support_query.find_support ~scratch:t.scratch (lattice t) ~containing ~k
+        Support_query.find_support ?work:t.work_heap ~scratch:t.scratch
+          (lattice t) ~containing ~k
       in
       let payload =
         P_topk
@@ -512,26 +560,34 @@ let support_for_k_itemsets t ~containing ~k =
       match e.e_payload with
       | P_topk { exhausted; items } when k <= Array.length items || exhausted ->
         Counter.incr c.hits;
-        if k <> Array.length items then Counter.incr c.refines;
+        if k <> Array.length items then begin
+          Counter.incr c.refines;
+          t.last_path <- Refine
+        end
+        else t.last_path <- Hit;
         observe c.hist_topk (fun () ->
             if k <= Array.length items then
               Some (fraction t (snd items.(k - 1)))
             else None)
       | P_topk _ ->
         Counter.incr c.misses;
+        t.last_path <- Miss;
         let payload, level = compute () in
         replace_payload c e payload;
         level
       | _ -> assert false)
     | None ->
       Counter.incr c.misses;
+      t.last_path <- Miss;
       let payload, level = compute () in
       insert c key epoch payload;
       level)
 
 let support_for_k_rules t ~involving ~minconf ~k =
   match t.cache with
-  | None -> Engine.support_for_k_rules t.engine ~involving ~minconf ~k
+  | None ->
+    t.last_path <- Passthrough;
+    Engine.support_for_k_rules t.engine ~involving ~minconf ~k
   | Some c -> (
     let confidence = Conf.of_float minconf in
     if k < 1 then invalid_arg "Session.support_for_k_rules: k";
@@ -539,8 +595,8 @@ let support_for_k_rules t ~involving ~minconf ~k =
     let key = K_topk_rules { involving; minconf } in
     let compute () =
       let answer =
-        Support_query.find_support_for_rules ~scratch:t.scratch (lattice t)
-          ~involving ~confidence ~k
+        Support_query.find_support_for_rules ?work:t.work_heap
+          ~scratch:t.scratch (lattice t) ~involving ~confidence ~k
       in
       let payload =
         P_topk_rules
@@ -558,7 +614,11 @@ let support_for_k_rules t ~involving ~minconf ~k =
       | P_topk_rules { exhausted; rules } when k <= Array.length rules || exhausted
         ->
         Counter.incr c.hits;
-        if k <> Array.length rules then Counter.incr c.refines;
+        if k <> Array.length rules then begin
+          Counter.incr c.refines;
+          t.last_path <- Refine
+        end
+        else t.last_path <- Hit;
         observe c.hist_topk (fun () ->
             if k <= Array.length rules then
               (* the k-th rule in pop order comes from the run's stopping
@@ -567,21 +627,35 @@ let support_for_k_rules t ~involving ~minconf ~k =
             else None)
       | P_topk_rules _ ->
         Counter.incr c.misses;
+        t.last_path <- Miss;
         let payload, level = compute () in
         replace_payload c e payload;
         level
       | _ -> assert false)
     | None ->
       Counter.incr c.misses;
+      t.last_path <- Miss;
       let payload, level = compute () in
       insert c key epoch payload;
       level)
+
+(* ------------------------------------------------------------------ *)
+(* Boundary (uncached)                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* FindBoundary answers are cheap relative to their keys (full
+   constraint tuples) and rarely repeat within a session, so they are
+   never cached — the session only forwards, for uniform recording. *)
+let boundary ?constraints t ~target ~minconf =
+  t.last_path <- Passthrough;
+  Engine.boundary ?constraints t.engine ~target ~minconf
 
 (* ------------------------------------------------------------------ *)
 (* Maintenance                                                        *)
 (* ------------------------------------------------------------------ *)
 
 let append ?domains t delta =
+  t.last_path <- Passthrough;
   let engine', promoted = Engine.append ?domains t.engine delta in
   t.engine <- engine';
   t.scratch <- Scratch.create (Engine.lattice engine');

@@ -61,6 +61,19 @@ open Olar_data
 
 type t
 
+(** How the most recent query on this session was served. [Hit] is a
+    verbatim cache hit, [Refine] a hit served by prefix/top-k
+    subsumption of a broader entry, [Miss] a recompute that populated
+    the cache, and [Passthrough] a call that never consulted it
+    (disabled cache, {!boundary}, {!append}). Read it back immediately
+    after the call — the next query overwrites it. The workload
+    recorder ({!Olar_replay.Recorder}) tags every log record with this. *)
+type path =
+  | Hit
+  | Refine
+  | Miss
+  | Passthrough
+
 (** Point-in-time cache accounting (all zero when the cache is
     disabled). [refines] is a subset of [hits]. *)
 type stats = {
@@ -85,6 +98,10 @@ val engine : t -> Olar_core.Engine.t
 
 (** [enabled t] is [false] for a [budget_bytes = 0] passthrough. *)
 val enabled : t -> bool
+
+(** [last_path t] is how the most recent query was served
+    ([Passthrough] before any query has run). *)
+val last_path : t -> path
 
 (** {1 Queries}
 
@@ -126,6 +143,17 @@ val support_for_k_itemsets : t -> containing:Itemset.t -> k:int -> float option
 
 val support_for_k_rules :
   t -> involving:Itemset.t -> minconf:float -> k:int -> float option
+
+(** [boundary t ~target ~minconf] forwards to
+    {!Olar_core.Engine.boundary}. Never cached ([Passthrough]):
+    boundary keys — full constraint tuples — rarely repeat within a
+    session relative to the answer's cost. *)
+val boundary :
+  ?constraints:Olar_core.Boundary.constraints ->
+  t ->
+  target:Itemset.t ->
+  minconf:float ->
+  (Itemset.t * float) list
 
 (** {1 Maintenance} *)
 

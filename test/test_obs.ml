@@ -135,13 +135,77 @@ let test_span_emitted_on_raise () =
   check Alcotest.int "span emitted despite raise" 1 (List.length (spans ()));
   check Alcotest.int "stack unwound" 0 (Trace.depth t)
 
-let test_exit_wrong_span () =
+let test_exit_closed_span () =
   let t = Trace.create ~clock:(fun () -> 0.0) ~emit:(fun _ -> ()) () in
+  let id = Trace.enter t "only" in
+  Trace.exit t ~id [];
+  match Trace.exit t ~id [] with
+  | () -> Alcotest.fail "exit of a closed span accepted"
+  | exception Invalid_argument _ -> ()
+
+(* Exiting an outer span while descendants are still open must not
+   corrupt the tree: the orphans are closed child-first, tagged
+   [abandoned], before the target emits. This is what keeps one raising
+   query from skewing the parentage of every later span. *)
+let test_exit_unwinds_abandoned () =
+  let sink, spans = Sink.memory () in
+  let t = Trace.create ~clock:(fun () -> 0.0) ~emit:(Sink.emit sink) () in
   let outer = Trace.enter t "outer" in
   let _inner = Trace.enter t "inner" in
-  match Trace.exit t ~id:outer [] with
-  | () -> Alcotest.fail "out-of-order exit accepted"
-  | exception Invalid_argument _ -> ()
+  let _leaf = Trace.enter t "leaf" in
+  Trace.exit t ~id:outer [ ("k", Trace.Int 1) ];
+  check Alcotest.int "stack fully unwound" 0 (Trace.depth t);
+  match spans () with
+  | [ leaf; inner; outer' ] ->
+    check Alcotest.string "leaf first" "leaf" leaf.Trace.name;
+    check Alcotest.string "inner second" "inner" inner.Trace.name;
+    check Alcotest.string "outer last" "outer" outer'.Trace.name;
+    check Alcotest.bool "leaf tagged abandoned" true
+      (List.mem_assoc "abandoned" leaf.Trace.attrs);
+    check Alcotest.bool "inner tagged abandoned" true
+      (List.mem_assoc "abandoned" inner.Trace.attrs);
+    check Alcotest.bool "target keeps its own attrs" true
+      (List.mem_assoc "k" outer'.Trace.attrs)
+  | l -> Alcotest.failf "expected 3 spans, got %d" (List.length l)
+
+(* A raising attribute thunk must not leave the frame open. *)
+let test_attrs_raise_closes_span () =
+  let sink, spans = Sink.memory () in
+  let t = Trace.create ~clock:(fun () -> 0.0) ~emit:(Sink.emit sink) () in
+  let result =
+    Trace.with_span t "q"
+      ~attrs:(fun () -> failwith "attrs boom")
+      (fun () -> 42)
+  in
+  check Alcotest.int "body result still returned" 42 result;
+  check Alcotest.int "stack unwound" 0 (Trace.depth t);
+  match spans () with
+  | [ s ] ->
+    check Alcotest.bool "error recorded in attrs" true
+      (List.mem_assoc "attrs_error" s.Trace.attrs)
+  | l -> Alcotest.failf "expected 1 span, got %d" (List.length l)
+
+(* A raising body abandons the inner manual span; with_span's exit must
+   still emit child-first and leave the tracer reusable. *)
+let test_raise_with_open_child () =
+  let sink, spans = Sink.memory () in
+  let t = Trace.create ~clock:(fun () -> 0.0) ~emit:(Sink.emit sink) () in
+  (try
+     Trace.with_span t "outer" (fun () ->
+         let _inner = Trace.enter t "inner" in
+         failwith "boom")
+   with Failure _ -> ());
+  check Alcotest.int "stack unwound" 0 (Trace.depth t);
+  (match spans () with
+  | [ inner; outer ] ->
+    check Alcotest.string "inner first" "inner" inner.Trace.name;
+    check Alcotest.bool "inner abandoned" true
+      (List.mem_assoc "abandoned" inner.Trace.attrs);
+    check Alcotest.string "outer second" "outer" outer.Trace.name
+  | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l));
+  (* the tracer still works after the incident *)
+  Trace.with_span t "next" (fun () -> ());
+  check Alcotest.int "later spans unaffected" 3 (List.length (spans ()))
 
 (* ------------------------------------------------------------------ *)
 (* JSON-lines sink: golden output under a deterministic clock *)
@@ -330,6 +394,84 @@ let test_query_span_records () =
         (List.mem_assoc "work" s.Trace.attrs)
     | l -> Alcotest.failf "expected 1 span, got %d" (List.length l)
 
+(* ------------------------------------------------------------------ *)
+(* Labelled gauges and runtime/build-info gauges *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+let test_labelled_gauge_exposition () =
+  let r = Metrics.create () in
+  let g =
+    Metrics.gauge r ~help:"Constant 1"
+      ~labels:[ ("version", "1.2.3"); ("weird key", "a\"b") ]
+      "olar_build_info"
+  in
+  Metrics.Gauge.set g 1.0;
+  (* same name+labels intern to the same cell; labels stick from the
+     first registration *)
+  check Alcotest.bool "interned" true (g == Metrics.gauge r "olar_build_info");
+  let text = Exposition.to_text r in
+  check Alcotest.bool "text carries labels" true
+    (contains text "olar_build_info{version=\"1.2.3\"");
+  let prom = Exposition.to_prometheus r in
+  let expect =
+    "# HELP olar_build_info Constant 1\n\
+     # TYPE olar_build_info gauge\n\
+     olar_build_info{version=\"1.2.3\",weird_key=\"a\\\"b\"} 1\n"
+  in
+  check Alcotest.string "prometheus series with labels" expect prom;
+  match Exposition.to_json r with
+  | Jsonx.Obj [ ("olar_build_info", v) ] ->
+    check
+      (Alcotest.option Alcotest.string)
+      "label in json" (Some "1.2.3")
+      Jsonx.(Option.bind (path [ "labels"; "version" ] v) to_str);
+    check
+      (Alcotest.option (Alcotest.float 1e-12))
+      "value in json" (Some 1.0)
+      Jsonx.(Option.bind (member "value" v) number)
+  | _ -> Alcotest.fail "unexpected json shape"
+
+let test_runtime_and_build_gauges () =
+  let now = ref 10.0 in
+  match Obs.create ~clock:(fun () -> !now) () with
+  | None -> Alcotest.fail "create returned disabled"
+  | Some ctx ->
+    now := 12.5;
+    Obs.update_runtime_gauges ctx;
+    Obs.set_build_info ctx ~version:"9.9.9";
+    let r = Obs.metrics ctx in
+    let gauge_value name =
+      match Metrics.find r name with
+      | Some { Metrics.metric = Metrics.M_gauge g; _ } -> Metrics.Gauge.value g
+      | _ -> Alcotest.failf "gauge %s missing" name
+    in
+    check (Alcotest.float 1e-9) "uptime from the ctx clock" 2.5
+      (gauge_value "olar_uptime_seconds");
+    check Alcotest.bool "minor collections non-negative" true
+      (gauge_value "olar_gc_minor_collections_total" >= 0.0);
+    check Alcotest.bool "major collections non-negative" true
+      (gauge_value "olar_gc_major_collections_total" >= 0.0);
+    check Alcotest.bool "heap words non-negative" true
+      (gauge_value "olar_heap_words" >= 0.0);
+    check (Alcotest.float 1e-12) "build info is constant 1" 1.0
+      (gauge_value "olar_build_info");
+    (match Metrics.find r "olar_build_info" with
+    | Some { Metrics.labels = [ ("version", "9.9.9") ]; _ } -> ()
+    | _ -> Alcotest.fail "build info labels wrong");
+    (* idempotent: a second update resamples the same cells *)
+    now := 20.0;
+    Obs.update_runtime_gauges ctx;
+    check (Alcotest.float 1e-9) "uptime resampled" 10.0
+      (gauge_value "olar_uptime_seconds");
+    (* all three formats render the labelled gauge without raising *)
+    ignore (Exposition.to_text r);
+    ignore (Exposition.to_prometheus r);
+    ignore (Exposition.to_json r)
+
 let case name f = Alcotest.test_case name `Quick f
 
 let suites =
@@ -345,13 +487,18 @@ let suites =
       [
         case "nesting and order" test_span_nesting;
         case "emitted on raise" test_span_emitted_on_raise;
-        case "exit wrong span" test_exit_wrong_span;
+        case "exit closed span" test_exit_closed_span;
+        case "exit unwinds abandoned" test_exit_unwinds_abandoned;
+        case "raising attrs closes span" test_attrs_raise_closes_span;
+        case "raise with open child" test_raise_with_open_child;
         case "jsonl golden" test_jsonl_golden;
       ] );
     ( "obs.exposition",
       [
         case "escaping" test_prometheus_escaping;
         case "prometheus text" test_prometheus_exposition;
+        case "labelled gauge" test_labelled_gauge_exposition;
+        case "runtime and build gauges" test_runtime_and_build_gauges;
       ] );
     ( "obs.jsonx",
       [

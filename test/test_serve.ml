@@ -279,6 +279,42 @@ let test_refinement_accounting () =
   check Alcotest.int "one refine" 1 stats.Session.refines;
   check Alcotest.int "still one miss" 1 stats.Session.misses
 
+(* [last_path] reflects how the most recent call was served — the
+   recorder reads it right after each query, so the classification must
+   be exact on every branch. *)
+let test_last_path () =
+  let path =
+    Alcotest.testable
+      (fun ppf p ->
+        Format.pp_print_string ppf
+          (match p with
+          | Session.Hit -> "hit"
+          | Session.Refine -> "refine"
+          | Session.Miss -> "miss"
+          | Session.Passthrough -> "pass"))
+      ( = )
+  in
+  let session, _engine = table2_session () in
+  ignore (Session.itemsets session ~minsup:(f 3));
+  check path "cold query misses" Session.Miss (Session.last_path session);
+  ignore (Session.itemsets session ~minsup:(f 10));
+  check path "higher cut refines" Session.Refine (Session.last_path session);
+  ignore (Session.itemsets session ~minsup:(f 3));
+  check path "verbatim hit" Session.Hit (Session.last_path session);
+  ignore (Session.boundary session ~target:(set [ 1 ]) ~minconf:0.5);
+  check path "boundary bypasses the cache" Session.Passthrough
+    (Session.last_path session);
+  ignore (Session.itemsets session ~minsup:(f 3));
+  ignore
+    (Session.append session
+       (Database.of_lists ~num_items:6 [ [ 1; 2 ]; [ 1; 3 ] ]));
+  check path "append is maintenance, not a query" Session.Passthrough
+    (Session.last_path session);
+  let disabled, _ = table2_session ~budget_bytes:0 () in
+  ignore (Session.itemsets disabled ~minsup:(f 3));
+  check path "disabled session passes through" Session.Passthrough
+    (Session.last_path disabled)
+
 (* A query below the cached floor recomputes and widens the entry; the
    old floor is then served as a prefix of the widened one. *)
 let test_floor_widening () =
@@ -449,6 +485,7 @@ let suites =
     ( "serve.session",
       [
         case "refinement accounting" test_refinement_accounting;
+        case "last path classification" test_last_path;
         case "floor widening" test_floor_widening;
         case "count via cached prefix" test_count_uses_prefix;
         case "rules exact-key sharing" test_rules_exact_key;

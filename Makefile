@@ -1,5 +1,5 @@
 .PHONY: all build test test-quick bench-smoke bench-json bench-cache \
-	replay-smoke bench-compare clean
+	replay-smoke bench-compare stress clean
 
 all: build
 
@@ -20,11 +20,12 @@ test-quick:
 bench-smoke:
 	dune build @bench-smoke
 
-# Machine-readable bench output: run the qps and session experiments
-# with --json, validate the document with bench/check_json.exe, then
-# gate it against the committed baseline (bench/compare_json.exe).
+# Machine-readable bench output: run the qps, session and concurrent
+# experiments with --json, validate the document with
+# bench/check_json.exe, gate it against the committed baseline
+# (bench/compare_json.exe), and run the pool-vs-serial digest stress.
 bench-json:
-	dune build @bench-json @bench-compare
+	dune build @bench-json @bench-compare @stress
 
 # Session-cache benchmark: Zipf-repeated query streams, cached vs
 # uncached (lib/serve).
@@ -40,6 +41,12 @@ replay-smoke:
 # against BENCH_T10I4.json (default tolerance -20%).
 bench-compare:
 	dune build @bench-compare
+
+# Pool-vs-serial stress: the same deterministic workload executed
+# serially and through an 8-domain pool (x3), requiring bitwise-
+# identical FNV digests at cache budgets 0 and 8 MiB.
+stress:
+	dune build @stress
 
 clean:
 	dune clean

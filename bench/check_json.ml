@@ -74,6 +74,52 @@ let () =
         check "cache.evictions" (J.path [ "cache"; "evictions" ] s);
         check "cache.resident_bytes" (J.path [ "cache"; "resident_bytes" ] s))
       scenarios);
+  (* concurrent is optional (only present when that experiment ran);
+     when present each scenario must carry a non-empty domain sweep
+     with qps and latency quantiles per point. *)
+  (match J.member "concurrent" experiments with
+  | None -> ()
+  | Some concurrent ->
+    ignore
+      (number "concurrent.recommended_domains"
+         (J.member "recommended_domains" concurrent));
+    let scenarios =
+      require "concurrent.scenarios"
+        (Option.bind (J.member "scenarios" concurrent) J.to_list)
+    in
+    if scenarios = [] then fail "concurrent.scenarios is empty";
+    List.iter
+      (fun s ->
+        let name =
+          require "concurrent scenario.name"
+            (Option.bind (J.member "name" s) J.to_str)
+        in
+        let points =
+          require
+            ("concurrent." ^ name ^ ".points")
+            (Option.bind (J.member "points" s) J.to_list)
+        in
+        if points = [] then fail "concurrent.%s.points is empty" name;
+        List.iter
+          (fun p ->
+            let check what v =
+              let x = number ("concurrent." ^ name ^ "." ^ what) v in
+              if x < 0.0 then fail "concurrent.%s.%s is negative" name what
+            in
+            let domains =
+              number
+                ("concurrent." ^ name ^ ".domains")
+                (J.member "domains" p)
+            in
+            if domains < 1.0 then fail "concurrent.%s.domains < 1" name;
+            check "qps" (J.member "qps" p);
+            check "queries" (J.member "queries" p);
+            check "speedup_vs_1" (J.member "speedup_vs_1" p);
+            check "latency.p50_us" (J.path [ "latency"; "p50_us" ] p);
+            check "latency.p99_us" (J.path [ "latency"; "p99_us" ] p);
+            check "latency.samples" (J.path [ "latency"; "samples" ] p))
+          points)
+      scenarios);
   (* fig10 is optional (only present when that experiment ran), but when
      present its points must carry the rule/work fields. *)
   (match J.member "fig10" experiments with

@@ -3,8 +3,9 @@
    Usage: compare_json.exe OLD.json NEW.json [--tolerance PCT]
 
    Pairs up every qps series the two documents share — the qps
-   experiment's scenarios plus the cached/uncached sides of each session
-   scenario — and fails (exit 1) when NEW is slower than OLD by more
+   experiment's scenarios, the cached/uncached sides of each session
+   scenario, and each (scenario, domain count) point of the concurrent
+   experiment — and fails (exit 1) when NEW is slower than OLD by more
    than the tolerance (default 20%). A series present in OLD but absent
    from NEW is also a failure: silently dropping a benchmark must not
    pass the gate. Latency percentiles are reported for context but not
@@ -64,7 +65,32 @@ let series doc =
             side "uncached" @ side "cached")
           l)
   in
-  qps_scenarios @ session_scenarios
+  let concurrent_scenarios =
+    match Jsonx.path [ "experiments"; "concurrent"; "scenarios" ] doc with
+    | None -> []
+    | Some v -> (
+      match Jsonx.to_list v with
+      | None -> die "experiments.concurrent.scenarios is not an array"
+      | Some l ->
+        List.concat_map
+          (fun s ->
+            let points =
+              match Option.bind (Jsonx.member "points" s) Jsonx.to_list with
+              | Some ps -> ps
+              | None -> die "concurrent scenario %S has no points" (name s)
+            in
+            List.map
+              (fun p ->
+                match (num [ "domains" ] p, num [ "qps" ] p) with
+                | Some d, Some q ->
+                  ( Printf.sprintf "concurrent/%s/d%d" (name s)
+                      (int_of_float d),
+                    q )
+                | _ -> die "concurrent point in %S lacks domains/qps" (name s))
+              points)
+          l)
+  in
+  qps_scenarios @ session_scenarios @ concurrent_scenarios
 
 let () =
   let old_path = ref None and new_path = ref None and tolerance = ref 20.0 in

@@ -910,6 +910,129 @@ let session_bench config =
     (Jsonx.Obj [ ("scenarios", Jsonx.Arr (List.rev !jscenarios)) ])
 
 (* ------------------------------------------------------------------ *)
+(* Concurrent serving: the same queries fanned across a Pool of 1, 2,
+   4 and 8 domains sharing one immutable lattice, each domain with a
+   private scratch/session. Aggregate throughput plus per-request p99
+   from the pool's own service-latency clock. Caches are off (budget
+   0) so the scaling measured is raw query execution, not hit rate.
+   Speedup is bounded by physical cores — on a 1-core container every
+   domain count measures the same serialized throughput minus
+   scheduling overhead. *)
+
+let concurrent config =
+  section
+    "Concurrent serving: aggregate qps + p99 across a domain pool\n\
+     (one shared CSR lattice, per-domain scratch/session; lib/serve Pool)";
+  let e = engine config ~t:10 ~i:4 ~primary:0.002 in
+  let lat = Olar_core.Engine.lattice e in
+  let singles = Olar_util.Vec.create () in
+  Olar_core.Lattice.iter_vertices
+    (fun v ->
+      if Olar_core.Lattice.cardinal lat v = 1 then Olar_util.Vec.push singles v)
+    lat;
+  let single k =
+    Olar_core.Lattice.itemset lat
+      (Olar_util.Vec.get singles (k mod Olar_util.Vec.length singles))
+  in
+  let batch_len = 64 in
+  let find_broad =
+    Array.init batch_len (fun _ ->
+        Olar_serve.Pool.Find_itemsets
+          { containing = Itemset.empty; minsup = 0.0025 })
+  in
+  let mixed =
+    Array.init batch_len (fun k ->
+        match k mod 4 with
+        | 0 ->
+          Olar_serve.Pool.Find_itemsets
+            { containing = single k; minsup = 0.002 }
+        | 1 ->
+          Olar_serve.Pool.Count_itemsets
+            { containing = Itemset.empty; minsup = 0.005 }
+        | 2 ->
+          Olar_serve.Pool.Single_consequent_rules
+            { containing = Itemset.empty; minsup = 0.0075; minconf = 0.5 }
+        | _ ->
+          Olar_serve.Pool.Support_for_k_itemsets
+            { containing = single k; k = 100 })
+  in
+  let measure pool batch =
+    ignore (Olar_serve.Pool.run pool batch);
+    let hist = Olar_obs.Metrics.Histogram.create "service_latency" in
+    let budget = 1.0 in
+    let timer = Olar_util.Timer.start () in
+    let queries = ref 0 in
+    while Olar_util.Timer.elapsed_s timer < budget do
+      let out = Olar_serve.Pool.run_timed pool batch in
+      Array.iter
+        (fun (_, l) -> Olar_obs.Metrics.Histogram.observe hist l)
+        out;
+      queries := !queries + Array.length batch
+    done;
+    let dt = Olar_util.Timer.elapsed_s timer in
+    (!queries, dt, hist)
+  in
+  Printf.printf "%-18s %-8s %-10s %-12s %-10s %-10s %-8s\n" "scenario" "domains"
+    "queries" "qps" "p99 us" "mean us" "vs 1";
+  let jscenarios = ref [] in
+  List.iter
+    (fun (name, batch) ->
+      let base = ref 0.0 in
+      let jpoints = ref [] in
+      List.iter
+        (fun d ->
+          let queries, dt, hist =
+            Olar_serve.Pool.with_pool ~domains:d ~budget_bytes:0 e (fun pool ->
+                measure pool batch)
+          in
+          let qps = float_of_int queries /. dt in
+          if d = 1 then base := qps;
+          let q p = 1e6 *. Olar_obs.Metrics.Histogram.quantile hist p in
+          Printf.printf "%-18s %-8d %-10d %-12.0f %-10.0f %-10.1f %6.2fx\n"
+            name d queries qps (q 0.99)
+            (1e6 *. Olar_obs.Metrics.Histogram.mean hist)
+            (qps /. !base);
+          jpoints :=
+            Jsonx.Obj
+              [
+                ("domains", Jsonx.Int d);
+                ("queries", Jsonx.Int queries);
+                ("seconds", Jsonx.Float dt);
+                ("qps", Jsonx.Float qps);
+                ("speedup_vs_1", Jsonx.Float (qps /. !base));
+                ( "latency",
+                  Jsonx.Obj
+                    [
+                      ( "samples",
+                        Jsonx.Int (Olar_obs.Metrics.Histogram.count hist) );
+                      ( "mean_us",
+                        Jsonx.Float
+                          (1e6 *. Olar_obs.Metrics.Histogram.mean hist) );
+                      ("p50_us", Jsonx.Float (q 0.5));
+                      ("p90_us", Jsonx.Float (q 0.9));
+                      ("p99_us", Jsonx.Float (q 0.99));
+                    ] );
+              ]
+            :: !jpoints)
+        [ 1; 2; 4; 8 ];
+      jscenarios :=
+        Jsonx.Obj
+          [
+            ("name", Jsonx.Str name);
+            ("batch", Jsonx.Int batch_len);
+            ("points", Jsonx.Arr (List.rev !jpoints));
+          ]
+        :: !jscenarios)
+    [ ("find broad 0.25%", find_broad); ("mixed", mixed) ];
+  record_json "concurrent"
+    (Jsonx.Obj
+       [
+         ( "recommended_domains",
+           Jsonx.Int (Domain.recommended_domain_count ()) );
+         ("scenarios", Jsonx.Arr (List.rev !jscenarios));
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the core operations. *)
 
 let micro config =
@@ -997,7 +1120,8 @@ let all_experiments =
   [
     ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("table3", table3);
     ("fig11", fig11); ("fig12", fig12); ("scaling", scaling); ("qps", qps);
-    ("session", session_bench); ("miners", miners); ("ablate-sort", ablate_sort);
+    ("session", session_bench); ("concurrent", concurrent); ("miners", miners);
+    ("ablate-sort", ablate_sort);
     ("ablate-cache", ablate_cache); ("ablate-miner", ablate_miner);
     ("ablate-counting", ablate_counting); ("ablate-bestfirst", ablate_bestfirst);
     ("micro", micro);

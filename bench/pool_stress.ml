@@ -1,0 +1,172 @@
+(* Pool-vs-serial stress check (the @stress alias).
+
+   Generates a deterministic database and a deterministic mixed request
+   workload — every query family with appends interleaved as barriers —
+   then executes it once serially (a 1-domain pool, i.e. a plain
+   sequential Session walk) and [--repeat] times through an N-domain
+   pool, at cache budgets 0 and 8 MiB. Every run must produce the
+   bitwise-identical sequence of FNV-1a result digests: queries race
+   freely between barriers but results land in submission order and
+   each one is a pure function of the shared immutable lattice, so any
+   divergence is a real data race or ordering bug, not noise. *)
+
+open Olar_data
+module Engine = Olar_core.Engine
+module Lattice = Olar_core.Lattice
+module Pool = Olar_serve.Pool
+module Replay = Olar_replay.Replay
+module Fnv = Olar_replay.Fnv
+
+let num_queries = 400
+let primary_support = 0.01
+
+let params =
+  Olar_datagen.Params.make
+    ~over:
+      {
+        Olar_datagen.Params.default with
+        num_items = 120;
+        num_potential = 200;
+        seed = 7;
+      }
+    ~avg_transaction_size:8.0 ~avg_itemset_size:3.0 ~num_transactions:2000 ()
+
+(* Each run gets a fresh engine (appends rebuild the lattice) with its
+   own obs context, exercising the shared atomic metric cells. *)
+let build_engine db =
+  Engine.at_threshold ~obs:(Olar_obs.Obs.create ()) db ~primary_support
+
+(* Deterministic request mix over live lattice regions; same shape as
+   the replay smoke workload but expressed as by-value pool requests. *)
+let build_workload db =
+  let engine = build_engine db in
+  let lat = Engine.lattice engine in
+  let singletons = ref [] in
+  let deepest = ref Itemset.empty in
+  for v = 0 to Lattice.num_vertices lat - 1 do
+    let x = Lattice.itemset lat v in
+    if Itemset.cardinal x = 1 then singletons := x :: !singletons;
+    if Itemset.cardinal x > Itemset.cardinal !deepest then deepest := x
+  done;
+  let singletons = Array.of_list (List.rev !singletons) in
+  if Array.length singletons = 0 then failwith "no frequent singletons";
+  let deepest = !deepest in
+  let p = Engine.primary_threshold engine in
+  let levels = [| p; p *. 1.5; p *. 2.5; p *. 4.0 |] in
+  let confs = [| 0.2; 0.5; 0.8 |] in
+  let rng = Random.State.make [| 0x5eed; num_queries |] in
+  let unconstrained = Olar_core.Boundary.unconstrained in
+  Array.init num_queries (fun i ->
+      let containing =
+        if i mod 3 = 0 then Itemset.empty
+        else singletons.(Random.State.int rng (Array.length singletons))
+      in
+      let minsup = levels.(Random.State.int rng (Array.length levels)) in
+      let minconf = confs.(Random.State.int rng (Array.length confs)) in
+      if i > 0 && i mod 100 = 0 then begin
+        (* barrier: a tiny delta over the same universe *)
+        let rows =
+          List.init 5 (fun _ ->
+              Itemset.to_list
+                singletons.(Random.State.int rng (Array.length singletons)))
+        in
+        Pool.Append (Database.of_lists ~num_items:(Database.num_items db) rows)
+      end
+      else
+        match i mod 8 with
+        | 0 -> Pool.Find_itemsets { containing; minsup }
+        | 1 -> Pool.Count_itemsets { containing; minsup }
+        | 2 ->
+          Pool.Essential_rules
+            { containing; constraints = unconstrained; minsup; minconf }
+        | 3 ->
+          Pool.All_rules
+            { containing; constraints = unconstrained; minsup; minconf }
+        | 4 -> Pool.Single_consequent_rules { containing; minsup; minconf }
+        | 5 ->
+          Pool.Support_for_k_itemsets
+            { containing; k = 1 + Random.State.int rng 50 }
+        | 6 ->
+          Pool.Support_for_k_rules
+            { involving = containing; minconf; k = 1 + Random.State.int rng 20 }
+        | _ ->
+          Pool.Boundary
+            { target = deepest; constraints = unconstrained; minconf })
+
+(* One run: a fresh engine, a pool of [domains], the whole workload as
+   one batch. Returns the per-request digest sequence. An R_error has
+   no digestible result; digest its message instead so error responses
+   still participate in the bitwise comparison. *)
+let digests_of_run db reqs ~domains ~budget_bytes =
+  Pool.with_pool ~domains ~budget_bytes (build_engine db) (fun pool ->
+      let out = Pool.run pool reqs in
+      Array.map
+        (fun resp ->
+          match Replay.digest_response resp with
+          | Some d -> d
+          | None ->
+            let msg =
+              match resp with Pool.R_error e -> e | _ -> assert false
+            in
+            Fnv.string Fnv.empty msg)
+        out)
+
+let () =
+  let domains = ref 8 in
+  let repeat = ref 3 in
+  let rec parse = function
+    | [] -> ()
+    | "--domains" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 1 -> domains := n
+      | _ -> failwith "--domains must be a positive integer");
+      parse rest
+    | "--repeat" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 1 -> repeat := n
+      | _ -> failwith "--repeat must be a positive integer");
+      parse rest
+    | arg :: _ -> failwith (Printf.sprintf "unknown argument %S" arg)
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let db = Olar_datagen.Quest.generate params in
+  let reqs = build_workload db in
+  let failures = ref 0 in
+  List.iter
+    (fun budget_bytes ->
+      let label =
+        if budget_bytes = 0 then "budget 0"
+        else Printf.sprintf "budget %dMiB" (budget_bytes / 1024 / 1024)
+      in
+      let serial, serial_s =
+        Olar_util.Timer.time (fun () ->
+            digests_of_run db reqs ~domains:1 ~budget_bytes)
+      in
+      Printf.printf "%s: serial reference %d requests in %.2fs\n%!" label
+        (Array.length serial) serial_s;
+      for r = 1 to !repeat do
+        let pooled, pooled_s =
+          Olar_util.Timer.time (fun () ->
+              digests_of_run db reqs ~domains:!domains ~budget_bytes)
+        in
+        let mismatches = ref 0 in
+        Array.iteri
+          (fun i d ->
+            if not (Int64.equal d serial.(i)) then begin
+              incr mismatches;
+              if !mismatches <= 5 then
+                Printf.printf
+                  "  MISMATCH at request %d: serial %s, pool %s\n%!" i
+                  (Fnv.to_hex serial.(i)) (Fnv.to_hex d)
+            end)
+          pooled;
+        Printf.printf "%s: pool(%d domains) run %d/%d in %.2fs: %d mismatches\n%!"
+          label !domains r !repeat pooled_s !mismatches;
+        failures := !failures + !mismatches
+      done)
+    [ 0; 8 * 1024 * 1024 ];
+  if !failures > 0 then begin
+    Printf.printf "pool stress FAILED: %d digest mismatches\n" !failures;
+    exit 1
+  end;
+  print_endline "pool stress OK: all digests bitwise-identical to serial"

@@ -61,14 +61,39 @@ let containing_arg =
         ~doc:"Restrict to itemsets containing these items (e.g. 3,17,42)."
         ~docv:"ITEMS")
 
+(* [--domains] converter: 0, negative, and unparsable counts are
+   cmdliner errors (exit 124 with usage) instead of being silently
+   clamped deep inside the mining layer. *)
+let domains_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "invalid domain count %S" s))
+    | Some d when d <= 0 ->
+      Error (`Msg (Printf.sprintf "domain count must be positive, got %d" d))
+    | Some d -> Ok d
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+(* Oversubscription is legal (the domain runtime time-slices) but
+   usually slower; warn rather than reject. *)
+let warn_domains = function
+  | Some d when d > Domain.recommended_domain_count () ->
+    Format.eprintf
+      "olar: warning: --domains %d exceeds this machine's recommended domain \
+       count (%d); oversubscribing domains usually hurts throughput@."
+      d
+      (Domain.recommended_domain_count ())
+  | _ -> ()
+
 let domains_arg =
   Arg.(
     value
-    & opt (some int) None
+    & opt (some domains_conv) None
     & info [ "domains" ]
         ~doc:
           "Split support-counting passes across $(docv) parallel counting \
-           domains (default 1 = sequential; ignored by the fpgrowth miner)."
+           domains (default 1 = sequential; ignored by the fpgrowth miner). \
+           Must be positive."
         ~docv:"N")
 
 let cache_mb_arg =
@@ -406,6 +431,7 @@ let preprocess_cmd =
   in
   let run db_path max_itemsets support max_bytes slack search miner domains out
       metrics trace =
+    warn_domains domains;
     let db = or_die (load_db db_path) in
     let obs, finish_obs = make_obs metrics trace in
     let stats = Olar_mining.Stats.create () in
@@ -1090,6 +1116,7 @@ let update_cmd =
       & info [ "o"; "output" ] ~doc:"Output lattice file." ~docv:"FILE")
   in
   let run lattice_path delta_path domains out metrics trace =
+    warn_domains domains;
     let obs, finish_obs = make_obs metrics trace in
     let engine = or_die (load_engine ~obs lattice_path) in
     let delta = or_die (load_db delta_path) in
@@ -1172,29 +1199,75 @@ let replay_cmd =
       & info [] ~doc:"Captured query log (jsonl, from $(b,--record))."
           ~docv:"LOG")
   in
-  let run lattice_path log_path cache_mb explain metrics trace =
+  let serve_domains_arg =
+    Arg.(
+      value
+      & opt (some domains_conv) None
+      & info [ "domains" ]
+          ~doc:
+            "Replay through a serving pool of $(docv) domains (one shared \
+             lattice, per-domain sessions; appends barrier the batch) instead \
+             of a single serial session. Incompatible with $(b,--trace) — \
+             tracing is single-domain only."
+          ~docv:"N")
+  in
+  let run lattice_path log_path cache_mb domains explain metrics trace =
+    warn_domains domains;
     let obs, finish_obs = make_obs ~force:true metrics trace in
     let engine = or_die (load_engine ~obs lattice_path) in
     let records = or_die (Olar_replay.Replay.load log_path) in
-    let session = make_session ~cache_mb engine in
-    let on_outcome (o : Olar_replay.Replay.outcome) =
-      if explain then
-        Option.iter
-          (fun r -> Format.eprintf "%a@." Olar_replay.Record.pp r)
-          o.replayed;
-      if not o.ok then
-        Format.eprintf "olar: digest mismatch at seq %d (%s): recorded %s, replayed %s@."
-          o.record.Olar_replay.Record.seq
-          (Olar_replay.Record.kind_to_string o.record.Olar_replay.Record.kind)
-          (Olar_replay.Fnv.to_hex o.record.Olar_replay.Record.digest)
-          (match o.replayed with
-          | Some p -> Olar_replay.Fnv.to_hex p.Olar_replay.Record.digest
-          | None -> "<raised>")
-    in
-    let report, dt =
-      Olar_util.Timer.time (fun () ->
-          handle_below_threshold (fun () ->
-              Olar_replay.Replay.run ~on_outcome session records))
+    let report, dt, session =
+      match domains with
+      | Some d ->
+        let pool =
+          try
+            Olar_serve.Pool.create ~domains:d
+              ~budget_bytes:(cache_mb * 1024 * 1024) engine
+          with Invalid_argument msg -> or_die (Error msg)
+        in
+        let on_response (r : Olar_replay.Record.t) resp ~ok =
+          if not ok then
+            Format.eprintf
+              "olar: digest mismatch at seq %d (%s): recorded %s, replayed %s@."
+              r.Olar_replay.Record.seq
+              (Olar_replay.Record.kind_to_string r.Olar_replay.Record.kind)
+              (Olar_replay.Fnv.to_hex r.Olar_replay.Record.digest)
+              (match Olar_replay.Replay.digest_response resp with
+              | Some d -> Olar_replay.Fnv.to_hex d
+              | None -> "<error>")
+        in
+        let report, dt =
+          Olar_util.Timer.time (fun () ->
+              Fun.protect
+                ~finally:(fun () -> Olar_serve.Pool.shutdown pool)
+                (fun () ->
+                  Olar_replay.Replay.run_pool ~on_response pool records))
+        in
+        Format.printf "pool: %d domains@." (Olar_serve.Pool.domains pool);
+        (report, dt, None)
+      | None ->
+        let session = make_session ~cache_mb engine in
+        let on_outcome (o : Olar_replay.Replay.outcome) =
+          if explain then
+            Option.iter
+              (fun r -> Format.eprintf "%a@." Olar_replay.Record.pp r)
+              o.replayed;
+          if not o.ok then
+            Format.eprintf
+              "olar: digest mismatch at seq %d (%s): recorded %s, replayed %s@."
+              o.record.Olar_replay.Record.seq
+              (Olar_replay.Record.kind_to_string o.record.Olar_replay.Record.kind)
+              (Olar_replay.Fnv.to_hex o.record.Olar_replay.Record.digest)
+              (match o.replayed with
+              | Some p -> Olar_replay.Fnv.to_hex p.Olar_replay.Record.digest
+              | None -> "<raised>")
+        in
+        let report, dt =
+          Olar_util.Timer.time (fun () ->
+              handle_below_threshold (fun () ->
+                  Olar_replay.Replay.run ~on_outcome session records))
+        in
+        (report, dt, Some session)
     in
     let open Olar_replay.Replay in
     Format.printf "replayed %d queries in %.4fs: %d ok, %d mismatches (%d errors)@."
@@ -1209,7 +1282,7 @@ let replay_cmd =
     Format.printf "work: vertices %d -> %d, heap pops %d -> %d@."
       report.recorded_vertices report.replayed_vertices
       report.recorded_heap_pops report.replayed_heap_pops;
-    Option.iter report_cache (Some session);
+    Option.iter report_cache session;
     finish_obs ();
     if report.mismatches > 0 then exit 1
   in
@@ -1218,10 +1291,11 @@ let replay_cmd =
        ~doc:
          "Re-execute a captured query log against a lattice, verifying every \
           result digest and reporting latency/work deltas versus the recorded \
-          run. Exits nonzero on any digest mismatch.")
+          run. With $(b,--domains) the log is served by a domain pool (appends \
+          act as barriers). Exits nonzero on any digest mismatch.")
     Term.(
-      const run $ lattice_arg $ log_arg $ cache_mb_arg $ explain_flag
-      $ metrics_flag $ trace_out_arg)
+      const run $ lattice_arg $ log_arg $ cache_mb_arg $ serve_domains_arg
+      $ explain_flag $ metrics_flag $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* metrics *)

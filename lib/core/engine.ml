@@ -18,12 +18,12 @@ type t = {
 (* Process-wide generation counter. Every [of_lattice] — and therefore
    every preprocess / append / rebuild / load — produces an engine with
    a fresh epoch, so a cache keyed on the epoch can never serve an
-   answer computed against a different lattice. *)
-let epoch_counter = ref 0
+   answer computed against a different lattice. Atomic so engines may
+   be built from any domain (the serving pool gives each worker its own
+   engine view over the shared lattice). *)
+let epoch_counter = Atomic.make 0
 
-let next_epoch () =
-  incr epoch_counter;
-  !epoch_counter
+let next_epoch () = 1 + Atomic.fetch_and_add epoch_counter 1
 
 let set_lattice_gauges obs lattice =
   match obs with

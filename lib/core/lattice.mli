@@ -28,7 +28,20 @@
     as the canonical output order. Children of a vertex are exposed in
     decreasing order of support — the invariant the paper's search
     algorithms exploit to stop scanning a child list at the first child
-    below the support cut. *)
+    below the support cut.
+
+    {2 Read-only after construction}
+
+    A [Lattice.t] is {b immutable once built}: no function in this
+    interface mutates an existing lattice, and the implementation holds
+    no mutable state (incremental maintenance, [Maintenance.append],
+    builds a {e new} lattice). This is a stated invariant, not an
+    accident: the serving pool ({!module:Olar_serve} [Pool]) shares one
+    lattice by reference across every worker domain with no locking,
+    and each domain layers its own mutable state ({!Scratch},
+    session caches) on top. Any future change that adds interior
+    mutability must also add synchronization there. Query kernels must
+    route all per-query mutable state through {!Scratch}. *)
 
 open Olar_data
 

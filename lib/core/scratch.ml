@@ -18,8 +18,18 @@ let create lattice =
   }
 
 (* marks start at 0 and the epoch is bumped before first use, so a
-   fresh epoch never collides with a stale mark. *)
+   fresh epoch never collides with a stale mark. When the epoch reaches
+   [max_int] the increment would wrap to [min_int] and march back up
+   through values still sitting in [marks], silently treating stale
+   marks as current; instead we zero the mark array and restart the
+   epoch at 1, re-establishing the creation-time invariant. The wipe
+   costs one O(vertices) pass every [max_int] queries — never in
+   practice, but the invariant no longer depends on that. *)
 let reset s =
+  if s.epoch = max_int then begin
+    Array.fill s.marks 0 (Array.length s.marks) 0;
+    s.epoch <- 0
+  end;
   s.epoch <- s.epoch + 1;
   Olar_util.Vec.clear s.stack;
   Olar_util.Heap.clear s.heap

@@ -8,7 +8,9 @@
 
     - visited marks are an epoch-stamped int array — a vertex is marked
       iff [marks.(v) = epoch], so bumping [epoch] clears every mark
-      without touching memory;
+      without touching memory; when the epoch reaches [max_int] the
+      next reset zeroes the mark array and restarts the epoch at 1, so
+      wraparound can never resurrect stale marks;
     - the DFS stack and best-first heap are cleared (capacity
       retained).
 

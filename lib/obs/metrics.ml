@@ -3,23 +3,23 @@ module Counter = Olar_util.Timer.Counter
 module Gauge = struct
   type t = {
     name : string;
-    mutable value : float;
+    value : float Atomic.t;
   }
 
-  let create name = { name; value = 0.0 }
+  let create name = { name; value = Atomic.make 0.0 }
   let name g = g.name
-  let set g v = g.value <- v
-  let set_int g v = g.value <- float_of_int v
-  let value g = g.value
+  let set g v = Atomic.set g.value v
+  let set_int g v = Atomic.set g.value (float_of_int v)
+  let value g = Atomic.get g.value
 end
 
 module Histogram = struct
   type t = {
     name : string;
     bounds : float array; (* strictly increasing upper bounds *)
-    counts : int array; (* length bounds + 1; the last slot is overflow *)
-    mutable sum : float;
-    mutable total : int;
+    counts : int Atomic.t array; (* length bounds + 1; last slot overflow *)
+    sum : float Atomic.t;
+    total : int Atomic.t;
   }
 
   let log_bounds ?(lo = 1e-6) ?(decades = 9) ?(per_decade = 5) () =
@@ -36,7 +36,13 @@ module Histogram = struct
       if not (bounds.(i) > bounds.(i - 1)) then
         invalid_arg "Histogram.of_bounds: bounds must increase strictly"
     done;
-    { name; bounds; counts = Array.make (n + 1) 0; sum = 0.0; total = 0 }
+    {
+      name;
+      bounds;
+      counts = Array.init (n + 1) (fun _ -> Atomic.make 0);
+      sum = Atomic.make 0.0;
+      total = Atomic.make 0;
+    }
 
   let create ?lo ?decades ?per_decade name =
     of_bounds name (log_bounds ?lo ?decades ?per_decade ())
@@ -58,34 +64,54 @@ module Histogram = struct
       !hi
     end
 
+  (* The float sum has no fetch-and-add, so it takes a CAS loop. Bucket
+     and total increments are plain fetch-and-adds. A reader between a
+     bucket bump and the total bump can observe a sum/total one sample
+     behind the buckets — acceptable for exposition, which never claims
+     a consistent snapshot across instruments anyway. *)
+  let add_sum h v =
+    let rec go () =
+      let cur = Atomic.get h.sum in
+      if not (Atomic.compare_and_set h.sum cur (cur +. v)) then go ()
+    in
+    go ()
+
   let observe h v =
     let i = bucket_index h v in
-    h.counts.(i) <- h.counts.(i) + 1;
-    h.sum <- h.sum +. v;
-    h.total <- h.total + 1
+    ignore (Atomic.fetch_and_add h.counts.(i) 1);
+    add_sum h v;
+    ignore (Atomic.fetch_and_add h.total 1)
 
-  let count h = h.total
-  let sum h = h.sum
-  let mean h = if h.total = 0 then Float.nan else h.sum /. float_of_int h.total
+  let count h = Atomic.get h.total
+  let sum h = Atomic.get h.sum
+
+  let mean h =
+    let total = Atomic.get h.total in
+    if total = 0 then Float.nan else Atomic.get h.sum /. float_of_int total
+
   let bounds h = Array.copy h.bounds
-  let counts h = Array.copy h.counts
+  let counts h = Array.map Atomic.get h.counts
 
   (* Upper bound of the smallest bucket at which the cumulative count
      reaches q * total (Prometheus-style upper-bound estimate). The
-     overflow bucket reports [infinity]; an empty histogram [nan]. *)
+     overflow bucket reports [infinity]; an empty histogram [nan].
+     Bucket counts are snapshotted once so a concurrent [observe]
+     cannot make the cumulative walk inconsistent. *)
   let quantile h q =
     if not (q >= 0.0 && q <= 1.0) then invalid_arg "Histogram.quantile";
-    if h.total = 0 then Float.nan
+    let counts = Array.map Atomic.get h.counts in
+    let total = Array.fold_left ( + ) 0 counts in
+    if total = 0 then Float.nan
     else begin
       let target =
-        max 1 (int_of_float (ceil ((q *. float_of_int h.total) -. 1e-9)))
+        max 1 (int_of_float (ceil ((q *. float_of_int total) -. 1e-9)))
       in
-      let last = Array.length h.counts - 1 in
+      let last = Array.length counts - 1 in
       let i = ref 0 in
-      let cum = ref h.counts.(0) in
+      let cum = ref counts.(0) in
       while !cum < target && !i < last do
         incr i;
-        cum := !cum + h.counts.(!i)
+        cum := !cum + counts.(!i)
       done;
       if !i < Array.length h.bounds then h.bounds.(!i) else Float.infinity
     end
@@ -103,12 +129,23 @@ type entry = {
   metric : metric;
 }
 
+(* The registry's hashtable is shared by every domain that interns or
+   looks up an instrument (the serving pool's workers all hold the same
+   obs ctx), so every access goes through [lock]. Interning is off the
+   query hot path — kernels hold direct instrument handles — except for
+   [Obs.query_span]'s per-query histogram lookup, which is a single
+   short critical section. *)
 type t = {
+  mu : Mutex.t;
   by_name : (string, entry) Hashtbl.t;
   mutable order_rev : string list; (* registration order, newest first *)
 }
 
-let create () = { by_name = Hashtbl.create 32; order_rev = [] }
+let create () = { mu = Mutex.create (); by_name = Hashtbl.create 32; order_rev = [] }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
 let register t name help labels metric =
   Hashtbl.replace t.by_name name { name; help; labels; metric };
@@ -117,35 +154,38 @@ let register t name help labels metric =
 let kind_error name = invalid_arg ("Metrics: " ^ name ^ " registered with another kind")
 
 let counter t ?(help = "") name =
-  match Hashtbl.find_opt t.by_name name with
-  | Some { metric = M_counter c; _ } -> c
-  | Some _ -> kind_error name
-  | None ->
-    let c = Counter.create name in
-    register t name help [] (M_counter c);
-    c
+  locked t (fun () ->
+      match Hashtbl.find_opt t.by_name name with
+      | Some { metric = M_counter c; _ } -> c
+      | Some _ -> kind_error name
+      | None ->
+        let c = Counter.create name in
+        register t name help [] (M_counter c);
+        c)
 
 let gauge t ?(help = "") ?(labels = []) name =
-  match Hashtbl.find_opt t.by_name name with
-  | Some { metric = M_gauge g; _ } -> g
-  | Some _ -> kind_error name
-  | None ->
-    let g = Gauge.create name in
-    register t name help labels (M_gauge g);
-    g
+  locked t (fun () ->
+      match Hashtbl.find_opt t.by_name name with
+      | Some { metric = M_gauge g; _ } -> g
+      | Some _ -> kind_error name
+      | None ->
+        let g = Gauge.create name in
+        register t name help labels (M_gauge g);
+        g)
 
 let histogram t ?(help = "") ?bounds name =
-  match Hashtbl.find_opt t.by_name name with
-  | Some { metric = M_histogram h; _ } -> h
-  | Some _ -> kind_error name
-  | None ->
-    let h =
-      match bounds with
-      | Some b -> Histogram.of_bounds name b
-      | None -> Histogram.create name
-    in
-    register t name help [] (M_histogram h);
-    h
+  locked t (fun () ->
+      match Hashtbl.find_opt t.by_name name with
+      | Some { metric = M_histogram h; _ } -> h
+      | Some _ -> kind_error name
+      | None ->
+        let h =
+          match bounds with
+          | Some b -> Histogram.of_bounds name b
+          | None -> Histogram.create name
+        in
+        register t name help [] (M_histogram h);
+        h)
 
 (* Adopt a counter created elsewhere (e.g. a mining [Stats.t] field) so
    its counts surface in the registry without copying — the attached
@@ -153,24 +193,23 @@ let histogram t ?(help = "") ?bounds name =
    replaces the earlier metric but keeps its registration slot. *)
 let attach_counter t ?(help = "") ?name c =
   let name = match name with Some n -> n | None -> Counter.name c in
-  (match Hashtbl.find_opt t.by_name name with
-  | Some { metric = M_counter _; _ } | None -> ()
-  | Some _ -> kind_error name);
-  if Hashtbl.mem t.by_name name then
-    Hashtbl.replace t.by_name name { name; help; labels = []; metric = M_counter c }
-  else register t name help [] (M_counter c)
+  locked t (fun () ->
+      (match Hashtbl.find_opt t.by_name name with
+      | Some { metric = M_counter _; _ } | None -> ()
+      | Some _ -> kind_error name);
+      if Hashtbl.mem t.by_name name then
+        Hashtbl.replace t.by_name name
+          { name; help; labels = []; metric = M_counter c }
+      else register t name help [] (M_counter c))
 
-let find t name = Hashtbl.find_opt t.by_name name
+let find t name = locked t (fun () -> Hashtbl.find_opt t.by_name name)
 
-let iter t f =
-  List.iter
-    (fun name ->
-      match Hashtbl.find_opt t.by_name name with
-      | Some e -> f e
-      | None -> ())
-    (List.rev t.order_rev)
-
+(* Snapshot under the lock, then visit outside it, so [f] may intern
+   further instruments without deadlocking. *)
 let to_list t =
-  let out = ref [] in
-  iter t (fun e -> out := e :: !out);
-  List.rev !out
+  locked t (fun () ->
+      List.filter_map
+        (fun name -> Hashtbl.find_opt t.by_name name)
+        (List.rev t.order_rev))
+
+let iter t f = List.iter f (to_list t)

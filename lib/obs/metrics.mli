@@ -8,7 +8,14 @@
 
     Instruments are interned by name: asking twice for the same name
     returns the same instrument; asking for an existing name with a
-    different kind raises [Invalid_argument]. *)
+    different kind raises [Invalid_argument].
+
+    Domain safety: every instrument stores its state in [Atomic.t]
+    cells (counters via {!Olar_util.Timer.Counter}, gauge values,
+    histogram buckets/sum/total), and the registry's name table is
+    mutex-protected, so one registry may be shared by all domains of a
+    serving pool. Exposition reads are per-instrument snapshots — no
+    cross-instrument consistency is claimed. *)
 
 module Counter = Olar_util.Timer.Counter
 
@@ -43,7 +50,9 @@ module Histogram : sig
   val create : ?lo:float -> ?decades:int -> ?per_decade:int -> string -> t
   val name : t -> string
 
-  (** [observe h v] records one sample. Allocation-free. *)
+  (** [observe h v] records one sample. Allocation-free and safe to
+      call from several domains at once (atomic bucket/total bumps; the
+      float sum is a CAS loop). *)
   val observe : t -> float -> unit
 
   val count : t -> int

@@ -5,7 +5,14 @@
     ([None]) runs the exact uninstrumented code and allocates nothing —
     closures for the instrumented path only exist inside the [Some]
     branch. This is what keeps the null-sink overhead on the query hot
-    path at zero (see DESIGN.md, Observability). *)
+    path at zero (see DESIGN.md, Observability).
+
+    Domain safety: the metrics side of a context — counters, gauges,
+    histograms, the registry — is safe to share across domains (see
+    {!Metrics}). The {e trace} side is not: {!Trace.t} keeps a
+    single-threaded span stack, so a context created with [?trace] must
+    stay on one domain. The serving pool enforces this by refusing
+    engines whose context carries a tracer. *)
 
 module Counter = Olar_util.Timer.Counter
 

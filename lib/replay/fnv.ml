@@ -17,6 +17,11 @@ let int h i = int64 h (Int64.of_int i)
 let bool h b = int h (if b then 1 else 0)
 let float h f = int64 h (Int64.bits_of_float f)
 
+let string h s =
+  let h = ref (int h (String.length s)) in
+  String.iter (fun c -> h := byte !h (Char.code c)) s;
+  !h
+
 let itemset h x =
   Olar_data.Itemset.fold
     (fun item acc -> int acc item)

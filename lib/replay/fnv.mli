@@ -29,6 +29,11 @@ val bool : t -> bool -> t
     bitwise reproducibility is the property being checked. *)
 val float : t -> float -> t
 
+(** [string h s] folds the length, then the bytes — self-delimiting
+    like {!itemset}. Used to digest error messages, which have no
+    structured result to fold. *)
+val string : t -> string -> t
+
 (** [itemset h x] folds the cardinality, then the items in increasing
     order. The leading cardinality keeps item sequences
     self-delimiting, so [\[{1}; {2,3}\]] and [\[{1,2}; {3}\]] digest

@@ -19,7 +19,7 @@ type t = {
          session and engine bump), so per-query work is a plain delta *)
 }
 
-let create ?(slow_s = 0.0) ?(clock = Unix.gettimeofday) ~emit session =
+let create ?(slow_s = 0.0) ?(clock = Olar_util.Timer.monotonic_s) ~emit session =
   let obs = Engine.obs (Session.engine session) in
   {
     session;
@@ -54,7 +54,10 @@ let recorded t ~kind ?(containing = Itemset.empty)
   let v0 = value t.work_v and h0 = value t.work_h in
   let t0 = t.clock () in
   let result = f () in
-  let latency_s = t.clock () -. t0 in
+  (* The default clock is monotone, but an injected one (or a platform
+     where only a steppable wall clock exists) may run backwards;
+     a latency must never be negative, so clamp. *)
+  let latency_s = Float.max 0.0 (t.clock () -. t0) in
   let seq = t.seq in
   t.seq <- seq + 1;
   if latency_s >= t.slow_s then
@@ -85,6 +88,11 @@ let recorded t ~kind ?(containing = Itemset.empty)
 (* Digest definitions (one per result shape)                          *)
 (* ------------------------------------------------------------------ *)
 
+let digest_items entries =
+  Array.fold_left
+    (fun h (x, count) -> Fnv.int (Fnv.itemset h x) count)
+    Fnv.empty entries
+
 let digest_ids lat ids =
   Array.fold_left
     (fun h v -> Fnv.int (Fnv.itemset h (Lattice.itemset lat v)) (Lattice.support lat v))
@@ -107,6 +115,9 @@ let digest_entries entries =
   List.fold_left
     (fun h (x, s) -> Fnv.float (Fnv.itemset h x) s)
     Fnv.empty entries
+
+let digest_promoted ~db_size promoted =
+  Fnv.int (List.fold_left Fnv.itemset Fnv.empty promoted) db_size
 
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                       *)
@@ -178,7 +189,7 @@ let append ?domains t delta =
   recorded t ~kind:Record.Append ~delta:rows
     ~delta_num_items:(Database.num_items delta)
     ~digest:(fun promoted ->
-      let h = List.fold_left Fnv.itemset Fnv.empty promoted in
-      Fnv.int h (Engine.db_size (Session.engine t.session)))
+      digest_promoted promoted
+        ~db_size:(Engine.db_size (Session.engine t.session)))
     ~size:List.length
     (fun () -> Session.append ?domains t.session delta)

@@ -34,7 +34,10 @@ type t
 
 (** [create ~emit session] wraps [session]. [slow_s] (seconds, default
     [0.] = record everything) suppresses records for faster queries;
-    [clock] (default [Unix.gettimeofday]) is injectable for tests. *)
+    [clock] (default {!Olar_util.Timer.monotonic_s}, which cannot go
+    backwards under system clock steps) is injectable for tests.
+    Latencies are additionally clamped at 0 so a backwards-running
+    injected clock can never record a negative latency. *)
 val create :
   ?slow_s:float ->
   ?clock:(unit -> float) ->
@@ -88,3 +91,22 @@ val boundary :
   (Itemset.t * float) list
 
 val append : ?domains:int -> t -> Database.t -> Itemset.t list
+
+(** {1 Digest definitions}
+
+    The digest of each result shape, exposed so pool replay
+    ({!Replay.run_pool}) and the stress harness hash by-value results
+    with exactly the semantics this recorder captures. *)
+
+(** [digest_items entries] digests (itemset, support count) pairs in
+    the given (canonical) order — the digest of a find-itemsets
+    answer. *)
+val digest_items : (Itemset.t * int) array -> Fnv.t
+
+val digest_rules : Olar_core.Rule.t list -> Fnv.t
+val digest_level : float option -> Fnv.t
+val digest_entries : (Itemset.t * float) list -> Fnv.t
+
+(** [digest_promoted ~db_size promoted] is the append digest: the
+    promotion frontier then the post-append database size. *)
+val digest_promoted : db_size:int -> Itemset.t list -> Fnv.t

@@ -46,3 +46,29 @@ val run :
   Olar_serve.Session.t ->
   Record.t list ->
   report
+
+(** {1 Pool replay} *)
+
+(** [request_of_record r] is the {!Olar_serve.Pool} request for [r]'s
+    query key, or [Error] when the record is structurally incomplete
+    (e.g. a find without minsup). *)
+val request_of_record :
+  Record.t -> (Olar_serve.Pool.request, string) result
+
+(** [digest_response resp] hashes a by-value pool response with exactly
+    the {!Recorder} digest semantics for its kind; [None] for
+    {!Olar_serve.Pool.R_error} (an error has no digestible result). *)
+val digest_response : Olar_serve.Pool.response -> Fnv.t option
+
+(** [run_pool pool records] replays the log through a serving pool as
+    one batch — appends barrier the batch, walking the same epoch
+    sequence the capture did — and compares each response digest
+    against its record. Work counters on the replayed side are the
+    {e aggregate} obs deltas for the whole batch (per-query attribution
+    is impossible across domains; zero when telemetry is off).
+    [on_response] fires per record in submission order. *)
+val run_pool :
+  ?on_response:(Record.t -> Olar_serve.Pool.response -> ok:bool -> unit) ->
+  Olar_serve.Pool.t ->
+  Record.t list ->
+  report

@@ -1,0 +1,303 @@
+open Olar_data
+module Engine = Olar_core.Engine
+module Lattice = Olar_core.Lattice
+module Obs = Olar_obs.Obs
+module Timer = Olar_util.Timer
+
+type request =
+  | Find_itemsets of { containing : Itemset.t; minsup : float }
+  | Count_itemsets of { containing : Itemset.t; minsup : float }
+  | Essential_rules of {
+      containing : Itemset.t;
+      constraints : Olar_core.Boundary.constraints;
+      minsup : float;
+      minconf : float;
+    }
+  | All_rules of {
+      containing : Itemset.t;
+      constraints : Olar_core.Boundary.constraints;
+      minsup : float;
+      minconf : float;
+    }
+  | Single_consequent_rules of {
+      containing : Itemset.t;
+      minsup : float;
+      minconf : float;
+    }
+  | Support_for_k_itemsets of { containing : Itemset.t; k : int }
+  | Support_for_k_rules of { involving : Itemset.t; minconf : float; k : int }
+  | Boundary of {
+      target : Itemset.t;
+      constraints : Olar_core.Boundary.constraints;
+      minconf : float;
+    }
+  | Append of Database.t
+
+type response =
+  | R_items of (Itemset.t * int) array
+  | R_count of int
+  | R_rules of Olar_core.Rule.t list
+  | R_level of float option
+  | R_entries of (Itemset.t * float) list
+  | R_promoted of { promoted : Itemset.t list; db_size : int }
+  | R_error of string
+
+(* One published batch segment. [next] is the shared claim cursor:
+   whichever domain is free fetch-and-adds it and executes the claimed
+   request, so a skewed batch cannot idle a domain behind a static
+   partition. [active] counts participants (workers + coordinator)
+   still draining; the coordinator waits for it to reach zero before
+   retiring the job, which is also what guarantees every write to
+   [out] happens-before the coordinator reads it (mutex release/
+   acquire pairs). [id] distinguishes successive jobs so a worker that
+   wakes spuriously never re-drains a batch it already finished. *)
+type job = {
+  reqs : request array;
+  out : (response * float) array;
+  hi : int; (* claim cursor stops at [hi); the segment start seeds [next] *)
+  next : int Atomic.t;
+  mutable active : int;
+  id : int;
+}
+
+type t = {
+  mutable engine : Engine.t; (* the coordinator's view; swapped at appends *)
+  num_domains : int;
+  sessions : Session.t array; (* slot 0 = coordinator, 1.. = workers *)
+  mutable workers : unit Domain.t array;
+  mu : Mutex.t;
+  work : Condition.t; (* workers park here between jobs *)
+  finished : Condition.t; (* coordinator parks here during a job *)
+  mutable job : job option;
+  mutable job_seq : int;
+  mutable stop : bool;
+  mutable closed : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Request execution (any domain, on that domain's private session)   *)
+(* ------------------------------------------------------------------ *)
+
+let materialize lat ids =
+  Array.map (fun v -> (Lattice.itemset lat v, Lattice.support lat v)) ids
+
+(* Every exception becomes [R_error]: a bad threshold in one request
+   must not poison the rest of the batch, and the serial comparison
+   path raises the identical exception, keeping digests stable. *)
+let execute session req =
+  try
+    match req with
+    | Find_itemsets { containing; minsup } ->
+      let ids = Session.itemset_ids ~containing session ~minsup in
+      R_items (materialize (Engine.lattice (Session.engine session)) ids)
+    | Count_itemsets { containing; minsup } ->
+      R_count (Session.count_itemsets ~containing session ~minsup)
+    | Essential_rules { containing; constraints; minsup; minconf } ->
+      R_rules
+        (Session.essential_rules ~containing ~constraints session ~minsup
+           ~minconf)
+    | All_rules { containing; constraints; minsup; minconf } ->
+      R_rules
+        (Session.all_rules ~containing ~constraints session ~minsup ~minconf)
+    | Single_consequent_rules { containing; minsup; minconf } ->
+      R_rules
+        (Session.single_consequent_rules ~containing session ~minsup ~minconf)
+    | Support_for_k_itemsets { containing; k } ->
+      R_level (Session.support_for_k_itemsets session ~containing ~k)
+    | Support_for_k_rules { involving; minconf; k } ->
+      R_level (Session.support_for_k_rules session ~involving ~minconf ~k)
+    | Boundary { target; constraints; minconf } ->
+      R_entries (Session.boundary ~constraints session ~target ~minconf)
+    | Append _ ->
+      (* appends are executed by the coordinator at the barrier, never
+         published to the claim cursor *)
+      R_error "Pool: append reached a worker"
+  with e -> R_error (Printexc.to_string e)
+
+let timed session req =
+  let t0 = Timer.monotonic_s () in
+  let resp = execute session req in
+  (resp, Float.max 0.0 (Timer.monotonic_s () -. t0))
+
+let drain t idx job =
+  let session = t.sessions.(idx) in
+  let rec loop () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i < job.hi then begin
+      job.out.(i) <- timed session job.reqs.(i);
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Worker loop                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let worker_loop t idx =
+  let last = ref 0 in
+  let rec go () =
+    Mutex.lock t.mu;
+    let rec await () =
+      if t.stop then begin
+        Mutex.unlock t.mu;
+        None
+      end
+      else
+        match t.job with
+        | Some j when j.id <> !last ->
+          last := j.id;
+          Mutex.unlock t.mu;
+          Some j
+        | _ ->
+          Condition.wait t.work t.mu;
+          await ()
+    in
+    match await () with
+    | None -> ()
+    | Some j ->
+      drain t idx j;
+      Mutex.lock t.mu;
+      j.active <- j.active - 1;
+      if j.active = 0 then Condition.broadcast t.finished;
+      Mutex.unlock t.mu;
+      go ()
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Construction / teardown                                            *)
+(* ------------------------------------------------------------------ *)
+
+let create ?domains ?budget_bytes engine =
+  let d =
+    match domains with
+    | Some d -> d
+    | None -> Domain.recommended_domain_count ()
+  in
+  if d < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  (match Engine.obs engine with
+  | Some ctx when Obs.tracer ctx <> None ->
+    invalid_arg
+      "Pool.create: the engine's obs context has a tracer attached, and \
+       tracing is not domain-safe — create the engine without ~trace"
+  | _ -> ());
+  let obs = Engine.obs engine in
+  let lattice = Engine.lattice engine in
+  let sessions =
+    Array.init d (fun i ->
+        (* slot 0 serves on the caller's engine; every worker gets its
+           own engine view — private scratch — over the same lattice *)
+        if i = 0 then Session.create ?budget_bytes engine
+        else Session.create ?budget_bytes (Engine.of_lattice ~obs lattice))
+  in
+  let t =
+    {
+      engine;
+      num_domains = d;
+      sessions;
+      workers = [||];
+      mu = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      job = None;
+      job_seq = 0;
+      stop = false;
+      closed = false;
+    }
+  in
+  t.workers <-
+    Array.init (d - 1) (fun w -> Domain.spawn (fun () -> worker_loop t (w + 1)));
+  t
+
+let domains t = t.num_domains
+let engine t = t.engine
+let stats t = Array.map Session.stats t.sessions
+
+let shutdown t =
+  if not t.closed then begin
+    t.closed <- true;
+    Mutex.lock t.mu;
+    t.stop <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mu;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let with_pool ?domains ?budget_bytes engine f =
+  let t = create ?domains ?budget_bytes engine in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* ------------------------------------------------------------------ *)
+(* Batch execution                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The append barrier: folds the delta exactly once through the
+   coordinator's session, then hands every worker session a fresh
+   engine view over the new lattice. Runs strictly between jobs, so no
+   domain is mid-query while engines are being swapped. *)
+let barrier_append t delta =
+  let promoted = Session.append t.sessions.(0) delta in
+  t.engine <- Session.engine t.sessions.(0);
+  let obs = Engine.obs t.engine in
+  let lattice = Engine.lattice t.engine in
+  for w = 1 to t.num_domains - 1 do
+    Session.adopt_engine t.sessions.(w) (Engine.of_lattice ~obs lattice)
+  done;
+  R_promoted { promoted; db_size = Engine.db_size t.engine }
+
+let timed_append t delta =
+  let t0 = Timer.monotonic_s () in
+  let resp = try barrier_append t delta with e -> R_error (Printexc.to_string e) in
+  (resp, Float.max 0.0 (Timer.monotonic_s () -. t0))
+
+let run_segment t out reqs lo hi =
+  if t.num_domains = 1 then
+    for i = lo to hi - 1 do
+      out.(i) <- timed t.sessions.(0) reqs.(i)
+    done
+  else begin
+    Mutex.lock t.mu;
+    t.job_seq <- t.job_seq + 1;
+    let job =
+      { reqs; out; hi; next = Atomic.make lo; active = t.num_domains; id = t.job_seq }
+    in
+    t.job <- Some job;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mu;
+    drain t 0 job;
+    Mutex.lock t.mu;
+    job.active <- job.active - 1;
+    while job.active > 0 do
+      Condition.wait t.finished t.mu
+    done;
+    t.job <- None;
+    Mutex.unlock t.mu
+  end
+
+let run_timed t reqs =
+  if t.closed then invalid_arg "Pool.run: pool is shut down";
+  let n = Array.length reqs in
+  let out = Array.make n (R_error "not executed", 0.0) in
+  let i = ref 0 in
+  while !i < n do
+    let lo = !i in
+    let hi = ref lo in
+    while
+      !hi < n && match reqs.(!hi) with Append _ -> false | _ -> true
+    do
+      incr hi
+    done;
+    if !hi > lo then run_segment t out reqs lo !hi;
+    i := !hi;
+    if !i < n then begin
+      (match reqs.(!i) with
+      | Append delta -> out.(!i) <- timed_append t delta
+      | _ -> assert false);
+      incr i
+    end
+  done;
+  out
+
+let run t reqs = Array.map fst (run_timed t reqs)

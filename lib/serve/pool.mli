@@ -1,0 +1,132 @@
+(** Domain-parallel query serving over one shared lattice.
+
+    The paper's economics — preprocess once, query many — makes the
+    serving path the thing to scale: the lattice is built offline and
+    every online query is a cheap, read-only graph search. A [Pool.t]
+    runs those searches on N OCaml 5 domains at once:
+
+    - the CSR {!Olar_core.Lattice.t} is shared by reference across all
+      domains with no locking — it is immutable post-build, a stated
+      invariant of [lattice.mli];
+    - everything mutable is per-domain: each domain owns a private
+      {!Olar_core.Engine} view (its own {!Olar_core.Scratch}) wrapped
+      in a private {!Session} cache, so query state and cached results
+      never cross domains;
+    - telemetry is shared safely: all sessions bump the same atomic
+      {!Olar_obs.Metrics} instruments. Tracing is the one obs feature
+      that is {e not} domain-safe, so {!create} rejects engines whose
+      context carries a tracer.
+
+    {2 Batches and the append barrier}
+
+    Work arrives as a batch of {!type-request}s (the same query keys
+    {!Olar_replay.Record} captures — a replay log is the natural wire
+    format). Queries in a batch are claimed by whichever domain is free
+    (an atomic cursor over the batch, so skew cannot idle a domain) and
+    results land in submission order. An {!Append} request is a
+    {b barrier}: every query before it completes first, the coordinator
+    folds the delta exactly once, every worker session then adopts a
+    fresh engine view over the new lattice, and only then does the
+    batch continue. Queries after an append therefore see the new
+    epoch on every domain — the same sequential semantics a single
+    {!Session} gives, which is what makes pool-vs-serial digest
+    equality a meaningful stress invariant.
+
+    A request that raises (e.g. {!Olar_core.Query.Below_primary_threshold})
+    yields {!R_error} rather than poisoning the batch; the same
+    exception raises identically in serial execution, so error
+    responses are digest-stable too. *)
+
+open Olar_data
+
+type t
+
+(** One query, by value — the pool-side mirror of the
+    {!Olar_replay.Record} key. [Append] folds a delta into the store
+    and acts as a batch-wide barrier. *)
+type request =
+  | Find_itemsets of { containing : Itemset.t; minsup : float }
+  | Count_itemsets of { containing : Itemset.t; minsup : float }
+  | Essential_rules of {
+      containing : Itemset.t;
+      constraints : Olar_core.Boundary.constraints;
+      minsup : float;
+      minconf : float;
+    }
+  | All_rules of {
+      containing : Itemset.t;
+      constraints : Olar_core.Boundary.constraints;
+      minsup : float;
+      minconf : float;
+    }
+  | Single_consequent_rules of {
+      containing : Itemset.t;
+      minsup : float;
+      minconf : float;
+    }
+  | Support_for_k_itemsets of { containing : Itemset.t; k : int }
+  | Support_for_k_rules of { involving : Itemset.t; minconf : float; k : int }
+  | Boundary of {
+      target : Itemset.t;
+      constraints : Olar_core.Boundary.constraints;
+      minconf : float;
+    }
+  | Append of Database.t
+
+(** A result, materialized by value at execution time (itemsets and
+    support counts, not vertex ids) so it stays meaningful after a
+    later append swaps the lattice. [R_items] is in canonical order
+    (support descending, id ascending); [R_promoted] carries the
+    promotion frontier and the post-append database size — exactly the
+    inputs to the {!Olar_replay.Recorder} digest for each kind. *)
+type response =
+  | R_items of (Itemset.t * int) array
+  | R_count of int
+  | R_rules of Olar_core.Rule.t list
+  | R_level of float option
+  | R_entries of (Itemset.t * float) list
+  | R_promoted of { promoted : Itemset.t list; db_size : int }
+  | R_error of string
+
+(** [create engine] spawns the pool.
+    @param domains total domains serving queries, including the
+      caller's (default [Domain.recommended_domain_count ()]); [1]
+      means no domains are spawned and batches run inline. Raises
+      [Invalid_argument] when [< 1].
+    @param budget_bytes per-domain session-cache budget, as
+      {!Session.create} (so a pool holds [domains] caches of this size
+      each); [0] disables caching.
+    Raises [Invalid_argument] if the engine's obs context has a tracer
+    attached — {!Olar_obs.Trace} is single-domain only. *)
+val create : ?domains:int -> ?budget_bytes:int -> Olar_core.Engine.t -> t
+
+(** [domains t] is the serving width, including the caller's domain. *)
+val domains : t -> int
+
+(** [engine t] is the coordinator's current engine (replaced at every
+    append barrier). *)
+val engine : t -> Olar_core.Engine.t
+
+(** [run t reqs] executes the batch and returns responses in
+    submission order: [(run t reqs).(i)] answers [reqs.(i)].
+    Concurrent calls to [run] on the same pool are not allowed (one
+    coordinator); distinct pools are independent. Raises
+    [Invalid_argument] after {!shutdown}. *)
+val run : t -> request array -> response array
+
+(** [run_timed t reqs] is {!run} with each response paired with its
+    service latency in seconds (monotonic clock, queue wait excluded —
+    the time from a domain claiming the request to its completion). *)
+val run_timed : t -> request array -> (response * float) array
+
+(** [stats t] is each domain's session-cache accounting, index 0 the
+    coordinator. *)
+val stats : t -> Session.stats array
+
+(** [shutdown t] joins the worker domains. Idempotent; the pool
+    rejects batches afterwards. *)
+val shutdown : t -> unit
+
+(** [with_pool engine f] is [f pool] with a guaranteed {!shutdown}. *)
+val with_pool :
+  ?domains:int -> ?budget_bytes:int -> Olar_core.Engine.t -> (t -> 'a) -> 'a

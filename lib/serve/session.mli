@@ -164,6 +164,14 @@ val boundary :
     immediately and are reclaimed lazily. *)
 val append : ?domains:int -> t -> Database.t -> Itemset.t list
 
+(** [adopt_engine t engine] swaps [engine] into the session without
+    running an append — used by {!Pool} at its append barrier, where
+    the delta is folded once and every worker session then adopts a
+    fresh engine view over the new shared lattice. Cache consequences
+    are the same as {!append}: entries stamped with the old epoch stop
+    being servable. *)
+val adopt_engine : t -> Olar_core.Engine.t -> unit
+
 (** [flush t] drops every cached entry (accounting counters are kept). *)
 val flush : t -> unit
 

@@ -9,27 +9,49 @@ let time f =
   let x = f () in
   (x, elapsed_s t)
 
+(* Monotone clock built over [gettimeofday]: a process-global high-water
+   mark advanced with a CAS loop, so concurrent readers from several
+   domains all observe a non-decreasing sequence even if the system
+   clock is stepped backwards (NTP, VM migration). [Unix.clock_gettime]
+   is not exposed by this OCaml's unix binding, so the high-water mark
+   is the portable equivalent: it cannot go backwards, at the cost of
+   standing still for the duration of a backwards step. *)
+let monotonic_floor = Atomic.make neg_infinity
+
+let monotonic_s () =
+  let now = Unix.gettimeofday () in
+  let rec raise_floor () =
+    let floor = Atomic.get monotonic_floor in
+    if now <= floor then floor
+    else if Atomic.compare_and_set monotonic_floor floor now then now
+    else raise_floor ()
+  in
+  raise_floor ()
+
 module Counter = struct
   type t = {
     name : string;
-    mutable count : int;
+    count : int Atomic.t;
   }
 
-  let create name = { name; count = 0 }
+  let create name = { name; count = Atomic.make 0 }
   let name c = c.name
 
-  (* [incr] and [bump] are the hot-path primitives: branch-free (modulo
-     the option dispatch in [bump]) and never validating. The negative
-     check lives only in [add], which is called O(passes) times by the
-     mining layer, never per vertex or per edge. *)
-  let incr c = c.count <- c.count + 1
+  (* [incr] and [bump] are the hot-path primitives: a single
+     fetch-and-add (one lock-prefixed instruction on x86), never
+     validating. Atomic cells make the counters safe to bump from
+     several domains at once — the serving pool shares interned obs
+     counters across workers. The negative check lives only in [add],
+     which is called O(passes) times by the mining layer, never per
+     vertex or per edge. *)
+  let incr c = ignore (Atomic.fetch_and_add c.count 1)
 
   let[@inline] bump = function Some c -> incr c | None -> ()
 
   let add c n =
     if n < 0 then invalid_arg "Timer.Counter.add";
-    c.count <- c.count + n
+    ignore (Atomic.fetch_and_add c.count n)
 
-  let value c = c.count
-  let reset c = c.count <- 0
+  let value c = Atomic.get c.count
+  let reset c = Atomic.set c.count 0
 end

@@ -16,15 +16,26 @@ val elapsed_s : t -> float
 (** [time f] runs [f ()] and returns its result with the elapsed seconds. *)
 val time : (unit -> 'a) -> 'a * float
 
+(** [monotonic_s ()] is a monotone wall clock: seconds that never
+    decrease across calls, even when the system clock is stepped
+    backwards, and never decrease as observed from any domain (the
+    floor is a process-global atomic high-water mark). Use this for
+    latency measurement; use [gettimeofday] only for timestamps meant
+    to correlate with the outside world. *)
+val monotonic_s : unit -> float
+
 (** Named monotone counters for machine-independent cost accounting.
 
     Hot-path invariant: query kernels only ever call {!incr} (via
-    {!bump}), which is branch-free — it neither validates nor saturates.
-    The negative-delta check lives only in {!add}, which the mining layer
-    calls a handful of times per pass, never per vertex or per edge, so
-    the guard costs nothing where it matters. Counts are plain [int]s:
-    at one increment per nanosecond a 63-bit counter lasts ~292 years,
-    so overflow is not a practical concern and no saturation is done. *)
+    {!bump}), which is a single fetch-and-add — it neither validates
+    nor saturates. Counts live in [Atomic.t] cells so the serving pool
+    can bump shared interned counters from several domains without
+    torn or lost updates. The negative-delta check lives only in
+    {!add}, which the mining layer calls a handful of times per pass,
+    never per vertex or per edge, so the guard costs nothing where it
+    matters. Counts are [int]s: at one increment per nanosecond a
+    63-bit counter lasts ~292 years, so overflow is not a practical
+    concern and no saturation is done. *)
 module Counter : sig
   type t
 

@@ -179,11 +179,69 @@ let test_error_paths cli =
       let code, _ = run_cli cli [ "info"; "-l"; bogus ] in
       Alcotest.(check bool) "malformed rejected" true (code <> 0))
 
+let test_domains_flag cli =
+  in_temp_dir (fun dir ->
+      let db = Filename.concat dir "data.db" in
+      let lattice = Filename.concat dir "l" in
+      let log = Filename.concat dir "queries.jsonl" in
+      check_ok "gen"
+        (run_cli cli
+           [ "gen"; "--name"; "T5.I2.D200"; "--items"; "50"; "--seed"; "2"; "-o"; db ]);
+      (* zero, negative and unparsable counts are cmdliner usage errors
+         (exit 124), not silent clamps deep inside the mining layer *)
+      List.iter
+        (fun bad ->
+          let code, lines =
+            run_cli cli
+              [
+                "preprocess"; "-d"; db; "--support"; "0.05";
+                "--domains=" ^ bad; "-o"; lattice;
+              ]
+          in
+          Alcotest.(check int) ("--domains=" ^ bad ^ " rejected") 124 code;
+          Alcotest.(check bool) "message names the count" true
+            (contains lines "domain count"))
+        [ "0"; "-3"; "two" ];
+      (* oversubscription warns but proceeds *)
+      let code, lines =
+        run_cli cli
+          [
+            "preprocess"; "-d"; db; "--support"; "0.05"; "--domains"; "64";
+            "-o"; lattice;
+          ]
+      in
+      check_ok "preprocess with 64 domains" (code, lines);
+      Alcotest.(check bool) "warns about oversubscription" true
+        (contains lines "recommended domain count");
+      (* capture a small log, then replay it through a serving pool *)
+      check_ok "record queries"
+        (run_cli cli
+           [ "items"; "-l"; lattice; "--minsup"; "0.05"; "--record"; log ]);
+      let code, lines =
+        run_cli cli [ "replay"; "-l"; lattice; log; "--domains"; "4" ]
+      in
+      check_ok "pool replay" (code, lines);
+      Alcotest.(check bool) "reports the pool width" true
+        (contains lines "pool: 4 domains");
+      Alcotest.(check bool) "zero mismatches" true
+        (contains lines "0 mismatches");
+      (* the pool refuses a tracer-carrying context: tracing is
+         single-domain only *)
+      let trace = Filename.concat dir "trace.jsonl" in
+      let code, lines =
+        run_cli cli
+          [ "replay"; "-l"; lattice; log; "--domains"; "2"; "--trace"; trace ]
+      in
+      Alcotest.(check bool) "tracer + pool rejected" true (code <> 0);
+      Alcotest.(check bool) "explains why" true (contains lines "tracer"))
+
 let suites =
   [
     ( "cli",
       [
         Alcotest.test_case "full pipeline" `Quick (with_cli test_pipeline);
         Alcotest.test_case "error paths" `Quick (with_cli test_error_paths);
+        Alcotest.test_case "--domains validation and pool replay" `Quick
+          (with_cli test_domains_flag);
       ] );
   ]

@@ -452,6 +452,33 @@ let test_scratch_nested_use () =
   in
   check (Alcotest.list Alcotest.int) "released" expected again
 
+(* Epoch wraparound: a reset at [max_int] must wipe the marks and
+   restart the epoch at 1 rather than wrapping to [min_int] and
+   marching back up through values still sitting in [marks]. The epoch
+   field is exposed precisely so this edge is testable without issuing
+   max_int queries. *)
+let test_scratch_epoch_wrap () =
+  let lat = Helpers.table2_lattice () in
+  let scratch = Scratch.create lat in
+  let expected = Query.find_itemsets lat ~containing:Itemset.empty ~minsup:4 in
+  (* drive the epoch to the edge: the next reset lands exactly on max_int *)
+  scratch.Scratch.epoch <- max_int - 1;
+  let at_edge =
+    Query.find_itemsets ~scratch lat ~containing:Itemset.empty ~minsup:4
+  in
+  check (Alcotest.list Alcotest.int) "query at epoch = max_int" expected at_edge;
+  check Alcotest.int "epoch reached max_int" max_int scratch.Scratch.epoch;
+  check Alcotest.bool "marks carry the max_int stamp" true
+    (Array.exists (fun m -> m = max_int) scratch.Scratch.marks);
+  (* the wrapping reset: marks wiped, epoch restarted, answers exact *)
+  let after =
+    Query.find_itemsets ~scratch lat ~containing:Itemset.empty ~minsup:4
+  in
+  check (Alcotest.list Alcotest.int) "query after the wrap" expected after;
+  check Alcotest.int "epoch restarted at 1" 1 scratch.Scratch.epoch;
+  check Alcotest.bool "no stale max_int marks survive" false
+    (Array.exists (fun m -> m = max_int) scratch.Scratch.marks)
+
 (* A scratch created for one lattice is silently bypassed on another. *)
 let test_scratch_wrong_lattice () =
   let lat = Helpers.table2_lattice () in
@@ -508,6 +535,7 @@ let suites =
         case "scratch reuse over 1000 queries" test_scratch_reuse_1000;
         case "disabled obs allocates nothing" test_disabled_obs_zero_alloc;
         case "scratch nested use" test_scratch_nested_use;
+        case "scratch epoch wraparound" test_scratch_epoch_wrap;
         case "scratch wrong lattice" test_scratch_wrong_lattice;
       ] );
     Helpers.qsuite "core.csr.diff"

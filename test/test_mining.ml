@@ -237,6 +237,26 @@ let test_apriori_nothing_frequent () =
   check Alcotest.int "empty" 0 (Frequent.total f);
   check Alcotest.bool "complete" true (Frequent.complete f)
 
+(* More counting domains than transactions — including zero
+   transactions — must clamp to the slices that exist, not crash or
+   spawn idle domains that corrupt counts. Regression guard for callers
+   that default [~domains] to the machine width on tiny databases. *)
+let test_domains_exceed_transactions () =
+  let empty = Database.of_lists ~num_items:4 [] in
+  let f0 = Apriori.mine ~domains:8 empty ~minsup:1 in
+  check Alcotest.int "empty db mines nothing" 0 (Frequent.total f0);
+  check Alcotest.bool "and is complete" true (Frequent.complete f0);
+  let one = Database.of_lists ~num_items:4 [ [ 0; 2 ] ] in
+  check entries "1-txn db, 8 domains = serial"
+    (sorted_frequent (Apriori.mine one ~minsup:1))
+    (sorted_frequent (Apriori.mine ~domains:8 one ~minsup:1));
+  (* the full preprocessing surface under the same imbalance *)
+  let engine =
+    Olar_core.Engine.at_threshold ~domains:8 one ~primary_support:1.0
+  in
+  check Alcotest.int "engine over the 1-txn db answers" 3
+    (Olar_core.Engine.count_itemsets engine ~minsup:1.0)
+
 let test_apriori_validation () =
   let db = Helpers.small_db () in
   Alcotest.check_raises "minsup 0" (Invalid_argument "Levelwise.mine: minsup")
@@ -601,6 +621,7 @@ let suites =
         case "small db" test_apriori_small_db;
         case "minsup 1" test_apriori_minsup_one;
         case "nothing frequent" test_apriori_nothing_frequent;
+        case "domains exceed transactions" test_domains_exceed_transactions;
         case "validation" test_apriori_validation;
         case "stats" test_apriori_stats;
         case "cap (early termination)" test_apriori_cap;

@@ -240,6 +240,33 @@ let test_recorder_slow_filter () =
   check Alcotest.int "nothing emitted" 0 (List.length !r_out);
   check Alcotest.int "seq not consumed" 0 (Recorder.count rec_r)
 
+(* A clock that steps backwards mid-query (NTP adjustment, VM
+   migration) must never yield a negative latency: the recorder clamps
+   at zero. The default clock is [Timer.monotonic_s], which cannot
+   regress at all, so this exercises the belt-and-braces clamp behind
+   an injected wall clock. *)
+let test_recorder_backwards_clock () =
+  let session = recording_session () in
+  let out = ref [] in
+  (* t0 = 10.0 at query start, then the clock jumps back to 4.0 *)
+  let times = ref [ 10.0; 4.0 ] in
+  let clock () =
+    match !times with
+    | [] -> 4.0
+    | t :: rest ->
+      times := rest;
+      t
+  in
+  let recorder =
+    Recorder.create ~clock ~emit:(fun r -> out := r :: !out) session
+  in
+  ignore (Recorder.count_itemsets recorder ~minsup:(f 3));
+  match !out with
+  | [ r ] ->
+    check (Alcotest.float 0.0) "latency clamped to zero, not -6s" 0.0
+      r.Record.latency_s
+  | l -> Alcotest.failf "expected 1 record, got %d" (List.length l)
+
 (* ------------------------------------------------------------------ *)
 (* Digest stability property *)
 
@@ -366,6 +393,22 @@ let test_replay_detects_tampering () =
   check Alcotest.int "broken record is an error" 1 report.Replay.errors;
   check Alcotest.int "and counts as a mismatch" 1 report.Replay.mismatches
 
+(* The same captured log, replayed through a 4-domain pool: appends
+   barrier the batch, so every digest must still match the capture at
+   both cache budgets. *)
+let test_replay_pool_roundtrip () =
+  let records = capture_workload (recording_session ()) in
+  List.iter
+    (fun budget_bytes ->
+      let engine = Engine.of_lattice (Helpers.table2_lattice ()) in
+      Olar_serve.Pool.with_pool ~domains:4 ~budget_bytes engine (fun pool ->
+          let report = Replay.run_pool pool records in
+          check Alcotest.int "total" 7 report.Replay.total;
+          check Alcotest.int "pool replay mismatches" 0
+            report.Replay.mismatches;
+          check Alcotest.int "errors" 0 report.Replay.errors))
+    [ 0; 1 lsl 20 ]
+
 let case name fn = Alcotest.test_case name `Quick fn
 
 let suites =
@@ -382,11 +425,13 @@ let suites =
       [
         case "accounting" test_recorder_accounting;
         case "slow filter and raises" test_recorder_slow_filter;
+        case "backwards clock clamps latency" test_recorder_backwards_clock;
       ] );
     ( "replay.replay",
       [
         case "capture/replay round trip" test_replay_roundtrip;
         case "tamper detection" test_replay_detects_tampering;
+        case "pool replay round trip" test_replay_pool_roundtrip;
       ] );
     Helpers.qsuite "replay.digest" [ digest_stability_prop ];
   ]

@@ -251,6 +251,242 @@ let session_tiny_budget_prop =
     (run_differential ~budget_bytes:2048)
 
 (* ------------------------------------------------------------------ *)
+(* Pool differential: 4-domain pool vs serial session, digest-exact   *)
+
+module Pool = Olar_serve.Pool
+module Replay = Olar_replay.Replay
+module Fnv = Olar_replay.Fnv
+
+let req_print : Pool.request -> string = function
+  | Find_itemsets { containing; minsup } ->
+    Format.asprintf "find(%a,%g)" Itemset.pp containing minsup
+  | Count_itemsets { containing; minsup } ->
+    Format.asprintf "count(%a,%g)" Itemset.pp containing minsup
+  | Essential_rules { containing; minsup; minconf; _ } ->
+    Format.asprintf "ess(%a,%g,%g)" Itemset.pp containing minsup minconf
+  | All_rules { containing; minsup; minconf; _ } ->
+    Format.asprintf "all(%a,%g,%g)" Itemset.pp containing minsup minconf
+  | Single_consequent_rules { containing; minsup; minconf } ->
+    Format.asprintf "single(%a,%g,%g)" Itemset.pp containing minsup minconf
+  | Support_for_k_itemsets { containing; k } ->
+    Format.asprintf "topk(%a,%d)" Itemset.pp containing k
+  | Support_for_k_rules { involving; minconf; k } ->
+    Format.asprintf "topk_rules(%a,%g,%d)" Itemset.pp involving minconf k
+  | Boundary { target; minconf; _ } ->
+    Format.asprintf "boundary(%a,%g)" Itemset.pp target minconf
+  | Append d -> Format.asprintf "append(%d txns)" (Database.size d)
+
+(* One random pool request. Fractions are derived from the *initial*
+   database size, so after appends some land below the primary
+   threshold and raise — exercising the R_error path, which must digest
+   identically on both sides. *)
+let pool_request_gen ~num_items ~db_size ~threshold =
+  let open QCheck2.Gen in
+  let iset = Helpers.itemset_gen ~num_items in
+  let minsup =
+    let* extra = int_range 0 4 in
+    return (float_of_int (threshold + extra) /. float_of_int db_size)
+  in
+  let conf = oneofl [ 0.3; 0.5; 0.75; 0.9; 1.0 ] in
+  let kk = int_range 1 12 in
+  let constraints =
+    frequency
+      [
+        (3, return Boundary.unconstrained);
+        ( 1,
+          let* p = iset in
+          let* q = iset in
+          let* allow = bool in
+          return
+            {
+              Boundary.antecedent_includes = p;
+              consequent_includes = q;
+              allow_empty_antecedent = allow;
+            } );
+      ]
+  in
+  frequency
+    [
+      ( 3,
+        let* containing = iset in
+        let* minsup = minsup in
+        return (Pool.Find_itemsets { containing; minsup }) );
+      ( 2,
+        let* containing = iset in
+        let* minsup = minsup in
+        return (Pool.Count_itemsets { containing; minsup }) );
+      ( 2,
+        let* containing = iset in
+        let* constraints = constraints in
+        let* minsup = minsup in
+        let* minconf = conf in
+        return (Pool.Essential_rules { containing; constraints; minsup; minconf })
+      );
+      ( 1,
+        let* containing = iset in
+        let* constraints = constraints in
+        let* minsup = minsup in
+        let* minconf = conf in
+        return (Pool.All_rules { containing; constraints; minsup; minconf }) );
+      ( 1,
+        let* containing = iset in
+        let* minsup = minsup in
+        let* minconf = conf in
+        return (Pool.Single_consequent_rules { containing; minsup; minconf }) );
+      ( 2,
+        let* containing = iset in
+        let* k = kk in
+        return (Pool.Support_for_k_itemsets { containing; k }) );
+      ( 1,
+        let* involving = iset in
+        let* minconf = conf in
+        let* k = kk in
+        return (Pool.Support_for_k_rules { involving; minconf; k }) );
+      ( 1,
+        let* target = iset in
+        let* constraints = constraints in
+        let* minconf = conf in
+        return (Pool.Boundary { target; constraints; minconf }) );
+      (1, map (fun d -> Pool.Append d) (delta_gen ~num_items));
+    ]
+
+let pool_scenario_gen =
+  let open QCheck2.Gen in
+  let* db = Helpers.db_gen in
+  let* threshold = int_range 1 3 in
+  let* reqs =
+    list_repeat 500
+      (pool_request_gen ~num_items:(Database.num_items db)
+         ~db_size:(Database.size db) ~threshold)
+  in
+  return (db, threshold, reqs)
+
+let pool_scenario_print (db, threshold, reqs) =
+  let appends =
+    List.length (List.filter (function Pool.Append _ -> true | _ -> false) reqs)
+  in
+  Format.asprintf "%s@ threshold=%d %d reqs (%d appends), first 10: [%s]"
+    (Helpers.db_print db) threshold (List.length reqs) appends
+    (String.concat "; "
+       (List.filteri (fun i _ -> i < 10) reqs |> List.map req_print))
+
+(* Mirror of the pool's per-request execution against a plain serial
+   session — same materialization, same exception-to-R_error rule — so
+   both sides digest through the replay layer's semantics. *)
+let serial_execute session (req : Pool.request) : Pool.response =
+  let materialize lat ids =
+    Array.map (fun v -> (Lattice.itemset lat v, Lattice.support lat v)) ids
+  in
+  try
+    match req with
+    | Find_itemsets { containing; minsup } ->
+      let ids = Session.itemset_ids ~containing session ~minsup in
+      R_items (materialize (Engine.lattice (Session.engine session)) ids)
+    | Count_itemsets { containing; minsup } ->
+      R_count (Session.count_itemsets ~containing session ~minsup)
+    | Essential_rules { containing; constraints; minsup; minconf } ->
+      R_rules
+        (Session.essential_rules ~containing ~constraints session ~minsup
+           ~minconf)
+    | All_rules { containing; constraints; minsup; minconf } ->
+      R_rules
+        (Session.all_rules ~containing ~constraints session ~minsup ~minconf)
+    | Single_consequent_rules { containing; minsup; minconf } ->
+      R_rules
+        (Session.single_consequent_rules ~containing session ~minsup ~minconf)
+    | Support_for_k_itemsets { containing; k } ->
+      R_level (Session.support_for_k_itemsets session ~containing ~k)
+    | Support_for_k_rules { involving; minconf; k } ->
+      R_level (Session.support_for_k_rules session ~involving ~minconf ~k)
+    | Boundary { target; constraints; minconf } ->
+      R_entries (Session.boundary ~constraints session ~target ~minconf)
+    | Append delta ->
+      let promoted = Session.append session delta in
+      R_promoted
+        { promoted; db_size = Engine.db_size (Session.engine session) }
+  with e -> Pool.R_error (Printexc.to_string e)
+
+(* Errors carry no structured result; fold the message so an error
+   response still has a comparable digest. *)
+let digest_of_response (resp : Pool.response) =
+  match Replay.digest_response resp with
+  | Some d -> d
+  | None -> (
+    match resp with
+    | R_error msg -> Fnv.string Fnv.empty msg
+    | _ -> assert false)
+
+(* The same workload — queries with barriered appends — executed
+   serially and through a 4-domain pool must produce bitwise-identical
+   FNV digests at every position. *)
+let run_pool_differential ~budget_bytes (db, threshold, reqs) =
+  let reqs = Array.of_list reqs in
+  let lat = lattice_of db ~threshold in
+  let serial = Session.create ~budget_bytes (Engine.of_lattice lat) in
+  let expected =
+    Array.map (fun r -> digest_of_response (serial_execute serial r)) reqs
+  in
+  let actual =
+    Pool.with_pool ~domains:4 ~budget_bytes (Engine.of_lattice lat)
+      (fun pool -> Array.map digest_of_response (Pool.run pool reqs))
+  in
+  expected = actual
+
+let pool_differential_prop =
+  QCheck2.Test.make
+    ~name:"pool(4 domains) digests = serial session (8 MiB cache)" ~count:10
+    ~print:pool_scenario_print pool_scenario_gen
+    (run_pool_differential ~budget_bytes:(8 * 1024 * 1024))
+
+let pool_differential_uncached_prop =
+  QCheck2.Test.make
+    ~name:"pool(4 domains) digests = serial session (cache off)" ~count:10
+    ~print:pool_scenario_print pool_scenario_gen
+    (run_pool_differential ~budget_bytes:0)
+
+(* ------------------------------------------------------------------ *)
+(* Pool units *)
+
+let test_pool_create_validation () =
+  let engine = Engine.of_lattice (Helpers.table2_lattice ()) in
+  Alcotest.check_raises "zero domains rejected"
+    (Invalid_argument "Pool.create: domains must be >= 1") (fun () ->
+      ignore (Pool.create ~domains:0 engine));
+  let sink, _spans = Olar_obs.Sink.memory () in
+  let traced =
+    Engine.of_lattice
+      ~obs:(Olar_obs.Obs.create ~trace:sink ())
+      (Helpers.table2_lattice ())
+  in
+  (match Pool.create ~domains:2 traced with
+  | exception Invalid_argument msg ->
+    check Alcotest.bool "names the tracer" true
+      (Helpers.contains_substring msg "tracer")
+  | pool ->
+    Pool.shutdown pool;
+    Alcotest.fail "tracer-carrying engine must be rejected")
+
+let test_pool_shutdown_idempotent () =
+  let engine = Engine.of_lattice (Helpers.table2_lattice ()) in
+  let pool = Pool.create ~domains:2 engine in
+  check Alcotest.int "width" 2 (Pool.domains pool);
+  let out =
+    Pool.run pool
+      [|
+        Pool.Count_itemsets
+          { containing = Itemset.empty; minsup = 3.0 /. 1000.0 };
+      |]
+  in
+  (match out.(0) with
+  | Pool.R_count 9 -> ()
+  | _ -> Alcotest.fail "expected R_count 9");
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Alcotest.check_raises "run after shutdown"
+    (Invalid_argument "Pool.run: pool is shut down") (fun () ->
+      ignore (Pool.run pool [||]))
+
+(* ------------------------------------------------------------------ *)
 (* Units *)
 
 let table2_session ?budget_bytes () =
@@ -501,4 +737,11 @@ let suites =
       [ canonical_order_prop; prefix_property_prop ];
     Helpers.qsuite "serve.diff"
       [ session_differential_prop; session_tiny_budget_prop ];
+    ( "serve.pool",
+      [
+        case "create validation" test_pool_create_validation;
+        case "shutdown idempotent" test_pool_shutdown_idempotent;
+      ] );
+    Helpers.qsuite "serve.pool.diff"
+      [ pool_differential_prop; pool_differential_uncached_prop ];
   ]

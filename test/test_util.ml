@@ -426,6 +426,24 @@ let test_counter () =
   Counter.bump (Some c);
   check Alcotest.int "bump" 2 (Counter.value c)
 
+(* [monotonic_s] is a high-water mark over the wall clock: consecutive
+   reads never decrease, even from several domains racing the CAS loop
+   (a wall-clock regression in one domain must not surface as time
+   going backwards in another). *)
+let test_timer_monotonic () =
+  let worker () =
+    let last = ref (Olar_util.Timer.monotonic_s ()) in
+    for _ = 1 to 10_000 do
+      let t = Olar_util.Timer.monotonic_s () in
+      if t < !last then
+        Alcotest.failf "monotonic_s went backwards: %.17g -> %.17g" !last t;
+      last := t
+    done
+  in
+  let domains = Array.init 4 (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join domains
+
 let test_timer_elapsed () =
   let t = Olar_util.Timer.start () in
   let x = ref 0 in
@@ -497,5 +515,9 @@ let suites =
         case "cdf sampling" test_dist_cdf_matches_weighted;
       ] );
     ( "util.timer",
-      [ case "counter" test_counter; case "elapsed" test_timer_elapsed ] );
+      [
+        case "counter" test_counter;
+        case "elapsed" test_timer_elapsed;
+        case "monotonic clock" test_timer_monotonic;
+      ] );
   ]

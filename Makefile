@@ -1,5 +1,5 @@
 .PHONY: all build test test-quick bench-smoke bench-json bench-cache \
-	replay-smoke bench-compare stress clean
+	replay-smoke serve-smoke bench-compare stress clean
 
 all: build
 
@@ -20,12 +20,13 @@ test-quick:
 bench-smoke:
 	dune build @bench-smoke
 
-# Machine-readable bench output: run the qps, session and concurrent
-# experiments with --json, validate the document with
+# Machine-readable bench output: run the qps, session, concurrent and
+# serve experiments with --json, validate the document with
 # bench/check_json.exe, gate it against the committed baseline
-# (bench/compare_json.exe), and run the pool-vs-serial digest stress.
+# (bench/compare_json.exe), run the pool-vs-serial digest stress, and
+# the serve -> capture -> replay loopback round trip.
 bench-json:
-	dune build @bench-json @bench-compare @stress
+	dune build @bench-json @bench-compare @stress @serve-smoke
 
 # Session-cache benchmark: Zipf-repeated query streams, cached vs
 # uncached (lib/serve).
@@ -36,6 +37,12 @@ bench-cache:
 # replay it (uncached and cached) expecting zero digest mismatches.
 replay-smoke:
 	dune build @replay-smoke
+
+# Serve -> capture -> replay over a real loopback socket: an in-process
+# olar-serve daemon records a canned workload which the CLI then
+# replays against the saved pre-serving lattice; zero mismatches.
+serve-smoke:
+	dune build @serve-smoke
 
 # Perf-regression gate on its own: rerun the benchmark and diff qps
 # against BENCH_T10I4.json (default tolerance -20%).

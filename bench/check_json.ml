@@ -120,6 +120,39 @@ let () =
             check "latency.samples" (J.path [ "latency"; "samples" ] p))
           points)
       scenarios);
+  (* serve is optional (only present when that experiment ran); when
+     present each scenario is one (name, clients) point of the loopback
+     HTTP sweep and must carry wire qps, the shed count and latency
+     quantiles. *)
+  (match J.member "serve" experiments with
+  | None -> ()
+  | Some serve ->
+    let domains = number "serve.domains" (J.member "domains" serve) in
+    if domains < 1.0 then fail "serve.domains < 1";
+    let scenarios =
+      require "serve.scenarios"
+        (Option.bind (J.member "scenarios" serve) J.to_list)
+    in
+    if scenarios = [] then fail "serve.scenarios is empty";
+    List.iter
+      (fun s ->
+        let name =
+          require "serve scenario.name"
+            (Option.bind (J.member "name" s) J.to_str)
+        in
+        let check what v =
+          let x = number ("serve." ^ name ^ "." ^ what) v in
+          if x < 0.0 then fail "serve.%s.%s is negative" name what
+        in
+        let clients = number ("serve." ^ name ^ ".clients") (J.member "clients" s) in
+        if clients < 1.0 then fail "serve.%s.clients < 1" name;
+        check "qps" (J.member "qps" s);
+        check "queries" (J.member "queries" s);
+        check "shed" (J.member "shed" s);
+        check "latency.p50_us" (J.path [ "latency"; "p50_us" ] s);
+        check "latency.p99_us" (J.path [ "latency"; "p99_us" ] s);
+        check "latency.samples" (J.path [ "latency"; "samples" ] s))
+      scenarios);
   (* fig10 is optional (only present when that experiment ran), but when
      present its points must carry the rule/work fields. *)
   (match J.member "fig10" experiments with

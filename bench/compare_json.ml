@@ -4,7 +4,8 @@
 
    Pairs up every qps series the two documents share — the qps
    experiment's scenarios, the cached/uncached sides of each session
-   scenario, and each (scenario, domain count) point of the concurrent
+   scenario, each (scenario, domain count) point of the concurrent
+   experiment and each (scenario, client count) point of the serve
    experiment — and fails (exit 1) when NEW is slower than OLD by more
    than the tolerance (default 20%). A series present in OLD but absent
    from NEW is also a failure: silently dropping a benchmark must not
@@ -90,7 +91,22 @@ let series doc =
               points)
           l)
   in
-  qps_scenarios @ session_scenarios @ concurrent_scenarios
+  let serve_scenarios =
+    match Jsonx.path [ "experiments"; "serve"; "scenarios" ] doc with
+    | None -> []
+    | Some v -> (
+      match Jsonx.to_list v with
+      | None -> die "experiments.serve.scenarios is not an array"
+      | Some l ->
+        List.map
+          (fun s ->
+            match (num [ "clients" ] s, num [ "qps" ] s) with
+            | Some c, Some q ->
+              (Printf.sprintf "serve/%s/c%d" (name s) (int_of_float c), q)
+            | _ -> die "serve scenario %S lacks clients/qps" (name s))
+          l)
+  in
+  qps_scenarios @ session_scenarios @ concurrent_scenarios @ serve_scenarios
 
 let () =
   let old_path = ref None and new_path = ref None and tolerance = ref 20.0 in

@@ -1033,6 +1033,194 @@ let concurrent config =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Network serving: closed-loop loopback HTTP clients against an
+   in-process olar serve (lib/net). Where the concurrent experiment
+   measures raw pool rounds, this one measures the whole wire path —
+   socket, HTTP parse, admission queue, coalesced pool round, JSON
+   response — which is what a deployment actually observes. Clients
+   draw query bodies from Zipf-skewed streams (an analyst's favourite
+   settings dominating); sheds (429/503) are counted in the report but
+   not expected at these loads. *)
+
+(* One blocking request/response turn on a persistent connection. *)
+let serve_client_post fd buf off body =
+  let s = Olar_net.Http.render_request ~meth:"POST" ~target:"/query" body in
+  let sb = Bytes.unsafe_of_string s in
+  let rec wr o =
+    if o < String.length s then
+      wr (o + Unix.write fd sb o (String.length s - o))
+  in
+  wr 0;
+  let chunk = Bytes.create 8192 in
+  let rec rd () =
+    match Olar_net.Http.parse_response (Buffer.contents buf) ~off:!off with
+    | Olar_net.Http.Complete (resp, used) ->
+      off := !off + used;
+      if !off = Buffer.length buf then begin
+        Buffer.clear buf;
+        off := 0
+      end;
+      resp.Olar_net.Http.status
+    | Olar_net.Http.Failed _ -> failwith "serve bench: malformed response"
+    | Olar_net.Http.Incomplete -> (
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> failwith "serve bench: connection closed"
+      | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        rd ())
+  in
+  rd ()
+
+let serve_bench config =
+  section
+    "Network serving: loopback HTTP clients against olar serve\n\
+     (end-to-end wire qps: socket + HTTP + admission queue + pool round)";
+  let e = engine config ~t:10 ~i:4 ~primary:0.002 in
+  let lat = Olar_core.Engine.lattice e in
+  let singles = Olar_util.Vec.create () in
+  Olar_core.Lattice.iter_vertices
+    (fun v ->
+      if Olar_core.Lattice.cardinal lat v = 1 then Olar_util.Vec.push singles v)
+    lat;
+  let single_json k =
+    let x =
+      Olar_core.Lattice.itemset lat
+        (Olar_util.Vec.get singles (k mod Olar_util.Vec.length singles))
+    in
+    "[" ^ String.concat "," (List.map string_of_int (Itemset.to_list x)) ^ "]"
+  in
+  (* pre-drawn body streams, Zipf weight 1/(r+1) over setting ranks as
+     in the session experiment *)
+  let stream_len = 1024 in
+  let zipf_bodies st make n_settings =
+    let cum = Array.make n_settings 0.0 in
+    let total = ref 0.0 in
+    for r = 0 to n_settings - 1 do
+      total := !total +. (1.0 /. float_of_int (r + 1));
+      cum.(r) <- !total
+    done;
+    Array.init stream_len (fun i ->
+        let u = Random.State.float st !total in
+        let rec pick r =
+          if r = n_settings - 1 || u <= cum.(r) then r else pick (r + 1)
+        in
+        make (pick 0) i)
+  in
+  let rng = Random.State.make [| config.seed; 0x53e7 |] in
+  let counts = [| 0.004; 0.0025; 0.005; 0.003; 0.0075; 0.01 |] in
+  let count_bodies =
+    zipf_bodies rng
+      (fun r _ -> Printf.sprintf {|{"kind":"count","minsup":%g}|} counts.(r))
+      (Array.length counts)
+  in
+  let mixed_bodies =
+    zipf_bodies rng
+      (fun r i ->
+        match r mod 4 with
+        | 0 ->
+          Printf.sprintf {|{"kind":"find","containing":%s,"minsup":0.002}|}
+            (single_json i)
+        | 1 -> {|{"kind":"count","minsup":0.005}|}
+        | 2 ->
+          {|{"kind":"single_consequent_rules","minsup":0.0075,"minconf":0.5}|}
+        | _ ->
+          Printf.sprintf
+            {|{"kind":"support_for_k_itemsets","containing":%s,"k":100}|}
+            (single_json i))
+      8
+  in
+  let server_cfg =
+    { Olar_net.Server.default_config with Olar_net.Server.port = 0 }
+  in
+  let run_point bodies clients =
+    Olar_net.Server.with_server ~config:server_cfg ?domains:config.domains
+      ~budget_bytes:0 e (fun srv ->
+        let port = Olar_net.Server.port srv in
+        let hist = Olar_obs.Metrics.Histogram.create "wire_latency" in
+        let served = Atomic.make 0 and shed = Atomic.make 0 in
+        let stop = Atomic.make false in
+        let worker ci () =
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          let buf = Buffer.create 8192 in
+          let off = ref 0 in
+          let k = ref ci in
+          while not (Atomic.get stop) do
+            let body = bodies.(!k land (stream_len - 1)) in
+            k := !k + clients;
+            let t0 = Olar_util.Timer.start () in
+            let status = serve_client_post fd buf off body in
+            Olar_obs.Metrics.Histogram.observe hist
+              (Olar_util.Timer.elapsed_s t0);
+            match status with
+            | 200 -> Atomic.incr served
+            | 429 | 503 -> Atomic.incr shed
+            | s -> failwith (Printf.sprintf "serve bench: status %d" s)
+          done;
+          try Unix.close fd with _ -> ()
+        in
+        let budget = 1.0 in
+        let timer = Olar_util.Timer.start () in
+        let threads =
+          List.init clients (fun ci -> Thread.create (worker ci) ())
+        in
+        Thread.delay budget;
+        Atomic.set stop true;
+        List.iter Thread.join threads;
+        let dt = Olar_util.Timer.elapsed_s timer in
+        ( Olar_serve.Pool.domains (Olar_net.Server.pool srv),
+          Atomic.get served,
+          Atomic.get shed,
+          dt,
+          hist ))
+  in
+  Printf.printf "%-14s %-8s %-10s %-12s %-6s %-10s %-10s\n" "scenario"
+    "clients" "served" "qps" "shed" "p50 us" "p99 us";
+  let jscenarios = ref [] in
+  let domains_seen = ref 1 in
+  List.iter
+    (fun (name, bodies) ->
+      List.iter
+        (fun clients ->
+          let domains, served, shed, dt, hist = run_point bodies clients in
+          domains_seen := domains;
+          let qps = float_of_int served /. dt in
+          let q p = 1e6 *. Olar_obs.Metrics.Histogram.quantile hist p in
+          Printf.printf "%-14s %-8d %-10d %-12.0f %-6d %-10.0f %-10.0f\n" name
+            clients served qps shed (q 0.5) (q 0.99);
+          jscenarios :=
+            Jsonx.Obj
+              [
+                ("name", Jsonx.Str name);
+                ("clients", Jsonx.Int clients);
+                ("queries", Jsonx.Int served);
+                ("seconds", Jsonx.Float dt);
+                ("qps", Jsonx.Float qps);
+                ("shed", Jsonx.Int shed);
+                ( "latency",
+                  Jsonx.Obj
+                    [
+                      ( "samples",
+                        Jsonx.Int (Olar_obs.Metrics.Histogram.count hist) );
+                      ( "mean_us",
+                        Jsonx.Float
+                          (1e6 *. Olar_obs.Metrics.Histogram.mean hist) );
+                      ("p50_us", Jsonx.Float (q 0.5));
+                      ("p90_us", Jsonx.Float (q 0.9));
+                      ("p99_us", Jsonx.Float (q 0.99));
+                    ] );
+              ]
+            :: !jscenarios)
+        [ 1; 4 ])
+    [ ("count broad", count_bodies); ("mixed", mixed_bodies) ];
+  record_json "serve"
+    (Jsonx.Obj
+       [
+         ("domains", Jsonx.Int !domains_seen);
+         ("scenarios", Jsonx.Arr (List.rev !jscenarios));
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the core operations. *)
 
 let micro config =
@@ -1120,7 +1308,8 @@ let all_experiments =
   [
     ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("table3", table3);
     ("fig11", fig11); ("fig12", fig12); ("scaling", scaling); ("qps", qps);
-    ("session", session_bench); ("concurrent", concurrent); ("miners", miners);
+    ("session", session_bench); ("concurrent", concurrent);
+    ("serve", serve_bench); ("miners", miners);
     ("ablate-sort", ablate_sort);
     ("ablate-cache", ablate_cache); ("ablate-miner", ablate_miner);
     ("ablate-counting", ablate_counting); ("ablate-bestfirst", ablate_bestfirst);

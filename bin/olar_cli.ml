@@ -1430,6 +1430,103 @@ let metrics_cmd =
       $ format_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve *)
+
+let serve_cmd =
+  let host_arg =
+    Arg.(
+      value
+      & opt string Olar_net.Server.default_config.host
+      & info [ "host" ] ~doc:"Bind address (an IP literal)." ~docv:"ADDR")
+  in
+  let port_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "port" ]
+          ~doc:"TCP port to listen on; 0 picks an ephemeral port."
+          ~docv:"PORT")
+  in
+  let queue_depth_arg =
+    Arg.(
+      value & opt int Olar_net.Server.default_config.queue_depth
+      & info [ "queue-depth" ]
+          ~doc:
+            "Admission-queue bound; queries arriving at capacity are shed \
+             with 429."
+          ~docv:"N")
+  in
+  let deadline_ms_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "deadline-ms" ]
+          ~doc:
+            "Per-request deadline in milliseconds from arrival; a query \
+             still queued past it is dropped with 503. 0 disables."
+          ~docv:"MS")
+  in
+  let run lattice_path host port domains cache_mb queue_depth deadline_ms
+      record metrics trace =
+    warn_domains domains;
+    if queue_depth <= 0 then
+      or_die (Error "queue depth must be positive");
+    (* the server scrapes its registry over /metrics, so observability is
+       always on; --metrics additionally prints the registry on exit *)
+    let obs, finish_obs = make_obs ~force:true metrics trace in
+    let engine = or_die (load_engine ~obs lattice_path) in
+    let config =
+      {
+        Olar_net.Server.default_config with
+        host;
+        port;
+        queue_depth;
+        deadline_s = deadline_ms /. 1000.0;
+        record;
+      }
+    in
+    let server =
+      try
+        Olar_net.Server.create ~config ?domains
+          ~budget_bytes:(cache_mb * 1024 * 1024) engine
+      with
+      | Invalid_argument msg -> or_die (Error msg)
+      | Unix.Unix_error (e, _, _) ->
+        or_die
+          (Error
+             (Printf.sprintf "cannot bind %s:%d: %s" host port
+                (Unix.error_message e)))
+    in
+    Format.printf "serving on %s (domains=%d, queue-depth=%d)@."
+      (Olar_net.Server.url server)
+      (Olar_serve.Pool.domains (Olar_net.Server.pool server))
+      queue_depth;
+    let stop_requested = Atomic.make false in
+    let request_stop _ = Atomic.set stop_requested true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+    while not (Atomic.get stop_requested) do
+      Thread.delay 0.1
+    done;
+    Format.printf "shutting down: draining admitted queries@.";
+    Olar_net.Server.stop server;
+    Option.iter (fun path -> Format.printf "recorded %s@." path) record;
+    finish_obs ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a lattice over HTTP: $(b,POST /query) takes a JSON query \
+          key (the $(b,--record) wire format) and answers with the result \
+          and its digest; $(b,GET /metrics) exposes Prometheus telemetry. \
+          Queries are coalesced into pool rounds across $(b,--domains) \
+          workers; overload is shed with 429 (queue full) and 503 \
+          (deadline). With $(b,--record) served traffic is captured for \
+          $(b,olar replay). Runs until SIGINT/SIGTERM, then drains.")
+    Term.(
+      const run $ lattice_arg $ host_arg $ port_arg $ domains_arg
+      $ cache_mb_arg $ queue_depth_arg $ deadline_ms_arg $ record_arg
+      $ metrics_flag $ trace_out_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "online generation of association rules (Aggarwal & Yu, ICDE 1998)" in
@@ -1442,4 +1539,5 @@ let () =
             count_cmd;
             support_for_cmd; direct_cmd; update_cmd; condense_cmd;
             baskets_cmd; extend_cmd; dbinfo_cmd; replay_cmd; metrics_cmd;
+            serve_cmd;
           ]))

@@ -1,0 +1,599 @@
+open Olar_data
+module Pool = Olar_serve.Pool
+module Record = Olar_replay.Record
+module Replay = Olar_replay.Replay
+module Fnv = Olar_replay.Fnv
+module Jsonx = Olar_obs.Jsonx
+module Metrics = Olar_obs.Metrics
+module Exposition = Olar_obs.Exposition
+module Obs = Olar_obs.Obs
+module Engine = Olar_core.Engine
+module Rule = Olar_core.Rule
+module Timer = Olar_util.Timer
+module Counter = Timer.Counter
+
+type config = {
+  host : string;
+  port : int;
+  backlog : int;
+  queue_depth : int;
+  deadline_s : float;
+  max_body_bytes : int;
+  record : string option;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    backlog = 64;
+    queue_depth = 256;
+    deadline_s = 0.0;
+    max_body_bytes = 4 * 1024 * 1024;
+    record = None;
+  }
+
+(* One admitted query. The connection thread parks on [cv] until the
+   drainer (deadline drop) or a pool domain (completion) writes the
+   outcome. *)
+type outcome =
+  | Pending
+  | Served of Pool.response * float
+  | Shed of int * string  (* HTTP status, message *)
+
+type ticket = {
+  key : Record.t;
+  req : Pool.request;
+  arrival : float;
+  deadline : float;  (* [infinity] when deadlines are off *)
+  tmu : Mutex.t;
+  tcv : Condition.t;
+  mutable outcome : outcome;
+}
+
+type t = {
+  cfg : config;
+  pool : Pool.t;
+  lsock : Unix.file_descr;
+  bound_port : int;
+  registry : Metrics.t;
+  obs_ctx : Obs.ctx option;
+  (* instruments *)
+  c_conns : Counter.t;
+  c_requests : Counter.t;
+  c_queries : Counter.t;
+  c_bad : Counter.t;
+  c_shed_queue : Counter.t;
+  c_shed_deadline : Counter.t;
+  g_queue_depth : Metrics.Gauge.t;
+  g_queue_peak : Metrics.Gauge.t;
+  h_request : Metrics.Histogram.t;
+  (* admission queue *)
+  qmu : Mutex.t;
+  qcv : Condition.t;
+  queue : ticket Queue.t;
+  mutable stopping : bool;
+  mutable stopped : bool;
+  (* capture *)
+  rec_oc : out_channel option;
+  rec_mu : Mutex.t;
+  mutable rec_seq : int;
+  (* threads *)
+  mutable accept_thread : Thread.t option;
+  mutable drainer_thread : Thread.t option;
+  conns_mu : Mutex.t;
+  mutable conns : (Unix.file_descr * Thread.t) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Response payloads                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let itemset_json x =
+  Jsonx.Arr (List.map (fun i -> Jsonx.Int i) (Itemset.to_list x))
+
+(* Mirrors {!Olar_replay.Recorder}'s result_size per kind, so captured
+   records look exactly like CLI --record ones. *)
+let result_size = function
+  | Pool.R_items entries -> Array.length entries
+  | Pool.R_count c -> c
+  | Pool.R_rules rules -> List.length rules
+  | Pool.R_level (Some _) -> 1
+  | Pool.R_level None -> 0
+  | Pool.R_entries entries -> List.length entries
+  | Pool.R_promoted { promoted; _ } -> List.length promoted
+  | Pool.R_error _ -> 0
+
+let result_fields = function
+  | Pool.R_items entries ->
+    [
+      ( "items",
+        Jsonx.Arr
+          (Array.to_list entries
+          |> List.map (fun (x, c) ->
+                 Jsonx.Obj
+                   [ ("itemset", itemset_json x); ("count", Jsonx.Int c) ])) );
+    ]
+  | Pool.R_count c -> [ ("count", Jsonx.Int c) ]
+  | Pool.R_rules rules ->
+    [
+      ( "rules",
+        Jsonx.Arr
+          (List.map
+             (fun (r : Rule.t) ->
+               Jsonx.Obj
+                 [
+                   ("antecedent", itemset_json r.antecedent);
+                   ("consequent", itemset_json r.consequent);
+                   ("support_count", Jsonx.Int r.support_count);
+                   ("antecedent_count", Jsonx.Int r.antecedent_count);
+                 ])
+             rules) );
+    ]
+  | Pool.R_level level ->
+    [
+      ( "level",
+        match level with Some f -> Jsonx.Float f | None -> Jsonx.Null );
+    ]
+  | Pool.R_entries entries ->
+    [
+      ( "entries",
+        Jsonx.Arr
+          (List.map
+             (fun (x, s) ->
+               Jsonx.Obj
+                 [ ("itemset", itemset_json x); ("support", Jsonx.Float s) ])
+             entries) );
+    ]
+  | Pool.R_promoted { promoted; db_size } ->
+    [
+      ("promoted", Jsonx.Arr (List.map itemset_json promoted));
+      ("db_size", Jsonx.Int db_size);
+    ]
+  | Pool.R_error _ -> []
+
+let json_headers = [ ("content-type", "application/json") ]
+
+let json_response ?(headers = json_headers) ~status fields =
+  Http.render_response ~headers ~status
+    (Jsonx.to_string (Jsonx.Obj fields) ^ "\n")
+
+let error_response ~status msg =
+  json_response ~status
+    [
+      ( "status",
+        Jsonx.Str
+          (match status with
+          | 429 | 503 -> "shed"
+          | 404 -> "not_found"
+          | 422 -> "error"
+          | _ -> "bad_request") );
+      ("error", Jsonx.Str msg);
+    ]
+
+let ok_response resp ~latency_s =
+  let digest =
+    match Replay.digest_response resp with
+    | Some d -> d
+    | None -> Fnv.empty (* unreachable: R_error never takes this path *)
+  in
+  json_response ~status:200
+    ([
+       ("status", Jsonx.Str "ok");
+       ("digest", Jsonx.Str (Fnv.to_hex digest));
+       ("size", Jsonx.Int (result_size resp));
+       ("lat_s", Jsonx.Float latency_s);
+     ]
+    @ result_fields resp)
+
+(* ------------------------------------------------------------------ *)
+(* Admission and the drainer                                          *)
+(* ------------------------------------------------------------------ *)
+
+let resolve ticket outcome =
+  Mutex.lock ticket.tmu;
+  ticket.outcome <- outcome;
+  Condition.signal ticket.tcv;
+  Mutex.unlock ticket.tmu
+
+let await ticket =
+  Mutex.lock ticket.tmu;
+  while ticket.outcome = Pending do
+    Condition.wait ticket.tcv ticket.tmu
+  done;
+  let o = ticket.outcome in
+  Mutex.unlock ticket.tmu;
+  o
+
+(* Admit under the queue bound. 429 at capacity, 503 once shutdown has
+   begun; on success the drainer is signalled. *)
+let admit t ticket =
+  Mutex.lock t.qmu;
+  let verdict =
+    if t.stopping then Error (503, "server is shutting down")
+    else if Queue.length t.queue >= t.cfg.queue_depth then begin
+      Counter.incr t.c_shed_queue;
+      Error (429, "queue full")
+    end
+    else begin
+      Queue.add ticket t.queue;
+      let depth = Queue.length t.queue in
+      Metrics.Gauge.set_int t.g_queue_depth depth;
+      if float_of_int depth > Metrics.Gauge.value t.g_queue_peak then
+        Metrics.Gauge.set_int t.g_queue_peak depth;
+      Condition.signal t.qcv;
+      Ok ()
+    end
+  in
+  Mutex.unlock t.qmu;
+  verdict
+
+(* Append captured records for one completed round, in submission
+   order. Mirrors Recorder: a query that errored emits nothing and
+   does not advance the sequence. *)
+let record_round t tickets out =
+  match t.rec_oc with
+  | None -> ()
+  | Some oc ->
+    Mutex.lock t.rec_mu;
+    let epoch = Engine.epoch (Pool.engine t.pool) in
+    Array.iteri
+      (fun i (ticket : ticket) ->
+        let resp, latency_s = out.(i) in
+        match Replay.digest_response resp with
+        | None -> ()
+        | Some digest ->
+          let r =
+            {
+              ticket.key with
+              Record.seq = t.rec_seq;
+              cache = Record.Passthrough;
+              digest;
+              result_size = result_size resp;
+              latency_s;
+              vertices = 0;
+              heap_pops = 0;
+              epoch;
+            }
+          in
+          t.rec_seq <- t.rec_seq + 1;
+          output_string oc (Record.to_json_line r);
+          output_char oc '\n')
+      tickets;
+    flush oc;
+    Mutex.unlock t.rec_mu
+
+(* One drainer round: claim everything queued, drop what already
+   missed its deadline (the 503 shed — no query work is spent on a
+   request nobody is waiting for), and run the rest as one coalesced
+   pool batch. Per-completion delivery unblocks each connection thread
+   the moment its own answer exists instead of at the batch tail. *)
+let serve_round t tickets =
+  let now = Timer.monotonic_s () in
+  let live =
+    Array.of_list
+      (List.filter
+         (fun ticket ->
+           if now > ticket.deadline then begin
+             Counter.incr t.c_shed_deadline;
+             resolve ticket (Shed (503, "deadline exceeded"));
+             false
+           end
+           else true)
+         (Array.to_list tickets))
+  in
+  if Array.length live > 0 then begin
+    let reqs = Array.map (fun ticket -> ticket.req) live in
+    let out =
+      Pool.run_deliver t.pool
+        ~on_complete:(fun i (resp, dt) -> resolve live.(i) (Served (resp, dt)))
+        reqs
+    in
+    record_round t live out
+  end
+
+let drainer_loop t =
+  let rec go () =
+    Mutex.lock t.qmu;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.qcv t.qmu
+    done;
+    if Queue.is_empty t.queue then
+      (* stopping with nothing left: the queue is drained, exit *)
+      Mutex.unlock t.qmu
+    else begin
+      let n = Queue.length t.queue in
+      let tickets = Array.init n (fun _ -> Queue.pop t.queue) in
+      Metrics.Gauge.set_int t.g_queue_depth 0;
+      Mutex.unlock t.qmu;
+      serve_round t tickets;
+      go ()
+    end
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let handle_query t body =
+  match Record.key_of_json_line body with
+  | Error e ->
+    Counter.incr t.c_bad;
+    error_response ~status:400 ("invalid query key: " ^ e)
+  | Ok key -> (
+    match Replay.request_of_record key with
+    | Error e ->
+      Counter.incr t.c_bad;
+      error_response ~status:400 ("incomplete query key: " ^ e)
+    | Ok req ->
+      Counter.incr t.c_queries;
+      let arrival = Timer.monotonic_s () in
+      let ticket =
+        {
+          key;
+          req;
+          arrival;
+          deadline =
+            (if t.cfg.deadline_s > 0.0 then arrival +. t.cfg.deadline_s
+             else infinity);
+          tmu = Mutex.create ();
+          tcv = Condition.create ();
+          outcome = Pending;
+        }
+      in
+      (match admit t ticket with
+      | Error (status, msg) -> error_response ~status msg
+      | Ok () -> (
+        match await ticket with
+        | Pending -> assert false
+        | Shed (status, msg) -> error_response ~status msg
+        | Served (Pool.R_error msg, _) -> error_response ~status:422 msg
+        | Served (resp, latency_s) ->
+          Metrics.Histogram.observe t.h_request
+            (Float.max 0.0 (Timer.monotonic_s () -. arrival));
+          ok_response resp ~latency_s)))
+
+let handle t (req : Http.request) =
+  let close =
+    match Http.header req "connection" with
+    | Some v -> String.lowercase_ascii (String.trim v) = "close"
+    | None -> false
+  in
+  let resp =
+    match (req.meth, req.target) with
+    | "POST", "/query" -> handle_query t req.body
+    | "GET", "/metrics" ->
+      Option.iter Obs.update_runtime_gauges t.obs_ctx;
+      Http.render_response
+        ~headers:
+          [ ("content-type", "text/plain; version=0.0.4; charset=utf-8") ]
+        ~status:200
+        (Exposition.to_prometheus t.registry)
+    | "GET", "/healthz" ->
+      Http.render_response
+        ~headers:[ ("content-type", "text/plain") ]
+        ~status:200 "ok\n"
+    | ("GET" | "POST" | "HEAD"), _ -> error_response ~status:404 "no such endpoint"
+    | _ -> error_response ~status:405 "method not allowed"
+  in
+  (resp, close)
+
+(* ------------------------------------------------------------------ *)
+(* Connection I/O                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let write_all fd s =
+  let len = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < len then
+      let n = Unix.write fd b off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+let conn_loop t fd =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 8192 in
+  let off = ref 0 in
+  let closed = ref false in
+  let send s = try write_all fd s with _ -> closed := true in
+  (try
+     while not !closed do
+       (* serve every complete pipelined request already buffered *)
+       let progress = ref true in
+       while !progress && not !closed do
+         match
+           Http.parse_request ~max_body:t.cfg.max_body_bytes
+             (Buffer.contents buf) ~off:!off
+         with
+         | Http.Complete (req, used) ->
+           off := !off + used;
+           Counter.incr t.c_requests;
+           let resp, close = handle t req in
+           send resp;
+           if close then closed := true
+         | Http.Incomplete ->
+           progress := false;
+           if !off > 0 then begin
+             (* compact the consumed prefix before reading more *)
+             let rest = Buffer.sub buf !off (Buffer.length buf - !off) in
+             Buffer.clear buf;
+             Buffer.add_string buf rest;
+             off := 0
+           end
+         | Http.Failed e ->
+           Counter.incr t.c_bad;
+           send
+             (Http.render_response
+                ~headers:(("connection", "close") :: json_headers)
+                ~status:e.Http.status
+                (Jsonx.to_string
+                   (Jsonx.Obj
+                      [
+                        ("status", Jsonx.Str "bad_request");
+                        ("error", Jsonx.Str e.Http.reason);
+                      ])
+                ^ "\n"));
+           closed := true
+       done;
+       if not !closed then
+         match Unix.read fd chunk 0 (Bytes.length chunk) with
+         | 0 -> closed := true
+         | n -> Buffer.add_subbytes buf chunk 0 n
+         | exception _ -> closed := true
+     done
+   with _ -> ());
+  (try Unix.close fd with _ -> ())
+
+(* Poll with a short select so shutdown can stop the loop: closing a
+   socket does not wake a thread blocked in accept(2), so a blocking
+   accept here would make [stop] hang. *)
+let accept_loop t =
+  let rec go () =
+    if t.stopping then ()
+    else
+      let ready =
+        match Unix.select [ t.lsock ] [] [] 0.05 with
+        | r, _, _ -> r <> []
+        | exception _ -> false
+      in
+      if t.stopping then ()
+      else if not ready then go ()
+      else
+        match Unix.accept ~cloexec:true t.lsock with
+        | exception _ -> if not t.stopping then go ()
+        | fd, _addr ->
+          Counter.incr t.c_conns;
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
+          let th = Thread.create (fun () -> conn_loop t fd) () in
+          Mutex.lock t.conns_mu;
+          t.conns <- (fd, th) :: t.conns;
+          Mutex.unlock t.conns_mu;
+          go ()
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(config = default_config) ?domains ?budget_bytes engine =
+  (* a client hanging up mid-response must surface as EPIPE on the
+     write, not kill the process *)
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  let pool = Pool.create ?domains ?budget_bytes engine in
+  let registry, obs_ctx =
+    match Engine.obs engine with
+    | Some ctx -> (Obs.metrics ctx, Some ctx)
+    | None -> (Metrics.create (), None)
+  in
+  let lsock = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+     Unix.bind lsock
+       (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+     Unix.listen lsock config.backlog
+   with e ->
+     (try Unix.close lsock with _ -> ());
+     Pool.shutdown pool;
+     raise e);
+  let bound_port =
+    match Unix.getsockname lsock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let rec_oc =
+    Option.map
+      (fun path -> open_out_gen [ Open_append; Open_creat ] 0o644 path)
+      config.record
+  in
+  let counter name help = Metrics.counter registry ~help name in
+  let t =
+    {
+      cfg = config;
+      pool;
+      lsock;
+      bound_port;
+      registry;
+      obs_ctx;
+      c_conns =
+        counter "olar_http_connections_total" "TCP connections accepted";
+      c_requests = counter "olar_http_requests_total" "HTTP requests parsed";
+      c_queries =
+        counter "olar_http_queries_total" "well-formed /query requests";
+      c_bad =
+        counter "olar_http_bad_requests_total"
+          "malformed requests answered 400/413/431/501";
+      c_shed_queue =
+        counter "olar_http_shed_queue_total"
+          "queries shed with 429 (admission queue full)";
+      c_shed_deadline =
+        counter "olar_http_shed_deadline_total"
+          "queries shed with 503 (deadline passed while queued)";
+      g_queue_depth =
+        Metrics.gauge registry ~help:"admission queue depth at last change"
+          "olar_http_queue_depth";
+      g_queue_peak =
+        Metrics.gauge registry ~help:"peak admission queue depth"
+          "olar_http_queue_depth_peak";
+      h_request =
+        Metrics.histogram registry
+          ~help:"end-to-end /query latency (admission to response build)"
+          "olar_http_request_seconds";
+      qmu = Mutex.create ();
+      qcv = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      stopped = false;
+      rec_oc;
+      rec_mu = Mutex.create ();
+      rec_seq = 0;
+      accept_thread = None;
+      drainer_thread = None;
+      conns_mu = Mutex.create ();
+      conns = [];
+    }
+  in
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  t.drainer_thread <- Some (Thread.create drainer_loop t);
+  t
+
+let port t = t.bound_port
+let url t = Printf.sprintf "http://%s:%d" t.cfg.host t.bound_port
+let pool t = t.pool
+
+let stop t =
+  Mutex.lock t.qmu;
+  if t.stopped then Mutex.unlock t.qmu
+  else begin
+    t.stopped <- true;
+    t.stopping <- true;
+    (* wake the drainer so it drains the remaining queue and exits *)
+    Condition.broadcast t.qcv;
+    Mutex.unlock t.qmu;
+    (* the accept loop notices [stopping] within one select tick; only
+       close the listener after it exits so the fd cannot be reused
+       under a racing accept *)
+    Option.iter Thread.join t.accept_thread;
+    (try Unix.close t.lsock with _ -> ());
+    (* every already-admitted query is served before the drainer exits *)
+    Option.iter Thread.join t.drainer_thread;
+    (* unblock idle keep-alive readers; in-flight responses still go
+       out because only the receive side is shut down *)
+    Mutex.lock t.conns_mu;
+    let conns = t.conns in
+    t.conns <- [];
+    Mutex.unlock t.conns_mu;
+    List.iter
+      (fun (fd, _) -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with _ -> ())
+      conns;
+    List.iter (fun (_, th) -> Thread.join th) conns;
+    Option.iter close_out_noerr t.rec_oc;
+    Pool.shutdown t.pool
+  end
+
+let with_server ?config ?domains ?budget_bytes engine f =
+  let t = create ?config ?domains ?budget_bytes engine in
+  Fun.protect ~finally:(fun () -> stop t) (fun () -> f t)

@@ -1,0 +1,99 @@
+(** The serving daemon: HTTP/1.1 front-end over {!Olar_serve.Pool}.
+
+    The ROADMAP's online half is a long-lived process answering
+    interactive mining queries; this module is its network front door.
+    One listening TCP socket, one lightweight thread per accepted
+    connection, one {b bounded admission queue} in the middle, and one
+    {b drainer} thread behind it that serves the queue in coalesced
+    {!Olar_serve.Pool} rounds across the pool's domains. Systhreads
+    carry the blocking socket I/O (a blocked read releases the domain
+    lock); the domains do the query work.
+
+    {2 Endpoints}
+
+    - [POST /query] — body is an {!Olar_replay.Record} query key
+      ({!Olar_replay.Record.key_of_json_line}); the response is a JSON
+      object carrying the result, its FNV-1a digest (hex), result size
+      and service latency. A query whose execution fails (e.g. below
+      the primary threshold) answers 422 with the error text — the same
+      text the pool's [R_error] carries, so wire answers stay
+      digest-comparable with serial runs.
+    - [GET /metrics] — Prometheus text exposition of the engine's
+      metrics registry (plus the server's own [olar_http_*] series).
+    - [GET /healthz] — 200 ["ok"] while serving.
+
+    {2 Load shedding}
+
+    Admission is refused with {b 429} when the queue holds
+    [queue_depth] requests (the flood simply never reaches the pool:
+    memory stays bounded by [queue_depth], not by offered load). A
+    request that waited in the queue past its deadline
+    ([deadline_s] after arrival) is dropped by the drainer with
+    {b 503} before any query work is spent on it. Both sheds are
+    counted ([olar_http_shed_queue_total],
+    [olar_http_shed_deadline_total]).
+
+    {2 Capture}
+
+    With [record] set, every successfully served query appends one
+    {!Olar_replay.Record} line to the file — the same jsonl the
+    [--record] CLI flag writes — so production traffic replays through
+    [olar replay] against the pre-serving lattice. Captured seq numbers
+    are server-global in completion-batch order; queries that shed or
+    error are not recorded (mirroring {!Olar_replay.Recorder}, which
+    emits nothing for a query that raises).
+
+    {2 Shutdown}
+
+    {!stop} is graceful: the listening socket closes first (no new
+    connections), new admissions are refused with 503, the drainer
+    {b drains every already-admitted request} and their responses are
+    written, then connections are closed and all threads joined. *)
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** [0] binds an ephemeral port — read it back with {!port} *)
+  backlog : int;  (** listen backlog, default 64 *)
+  queue_depth : int;
+      (** admission-queue bound; at capacity new queries shed with 429 *)
+  deadline_s : float;
+      (** per-request deadline from arrival; [0.] disables (default) *)
+  max_body_bytes : int;  (** request-body cap, default 4 MiB *)
+  record : string option;  (** append served queries to this jsonl file *)
+}
+
+val default_config : config
+
+type t
+
+(** [create engine] binds, listens, and starts serving in background
+    threads; returns once the socket is live (so {!port} is valid
+    immediately). [domains]/[budget_bytes] size the underlying
+    {!Olar_serve.Pool} (the pool is owned — {!stop} shuts it down).
+    Raises [Invalid_argument] as {!Olar_serve.Pool.create} does, and
+    [Unix.Unix_error] if the bind fails. *)
+val create :
+  ?config:config -> ?domains:int -> ?budget_bytes:int -> Olar_core.Engine.t -> t
+
+(** [port t] is the bound TCP port (the actual one when [config.port]
+    was [0]). *)
+val port : t -> int
+
+(** [url t] is ["http://host:port"]. *)
+val url : t -> string
+
+val pool : t -> Olar_serve.Pool.t
+
+(** [stop t] performs the graceful shutdown described above. Idempotent;
+    blocks until every thread is joined and the record file (if any) is
+    closed. *)
+val stop : t -> unit
+
+(** [with_server engine f] is [f server] with a guaranteed {!stop}. *)
+val with_server :
+  ?config:config ->
+  ?domains:int ->
+  ?budget_bytes:int ->
+  Olar_core.Engine.t ->
+  (t -> 'a) ->
+  'a

@@ -114,6 +114,33 @@ let to_json_line r =
   add "epoch" (Jsonx.Int r.epoch);
   Jsonx.to_string (Jsonx.Obj (List.rev !fields))
 
+(* The key alone — the wire body of the serving daemon's POST /query.
+   Outcome fields (digest, latency, work, cache path) describe an
+   execution that has not happened yet, so they are simply absent. *)
+let key_to_json_line r =
+  let fields = ref [] in
+  let add k v = fields := (k, v) :: !fields in
+  add "v" (Jsonx.Int 1);
+  add "kind" (Jsonx.Str (kind_to_string r.kind));
+  if not (Itemset.is_empty r.containing) then
+    add "containing" (itemset_json r.containing);
+  if not (Itemset.is_empty r.antecedent_includes) then
+    add "antecedent" (itemset_json r.antecedent_includes);
+  if not (Itemset.is_empty r.consequent_includes) then
+    add "consequent" (itemset_json r.consequent_includes);
+  if r.allow_empty_antecedent then add "allow_empty" (Jsonx.Bool true);
+  (match r.minsup with Some s -> add "minsup" (Jsonx.Float s) | None -> ());
+  (match r.minconf with Some c -> add "minconf" (Jsonx.Float c) | None -> ());
+  (match r.k with Some k -> add "k" (Jsonx.Int k) | None -> ());
+  if r.delta <> [] then
+    add "delta"
+      (Jsonx.Arr
+         (List.map
+            (fun txn -> Jsonx.Arr (List.map (fun i -> Jsonx.Int i) txn))
+            r.delta));
+  if r.delta_num_items > 0 then add "num_items" (Jsonx.Int r.delta_num_items);
+  Jsonx.to_string (Jsonx.Obj (List.rev !fields))
+
 (* ------------------------------------------------------------------ *)
 (* Decoding (strict)                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -144,14 +171,21 @@ let as_itemset name v =
   | None -> fail "field %S: expected array" name
   | Some items -> Itemset.of_list (List.map (as_int name) items)
 
-let of_json_line line =
+(* [strict] decodes a full log record: every outcome field is required.
+   With [strict = false] (the wire-key mode behind {!key_of_json_line})
+   the outcome fields — and "v"/"seq" — are optional with neutral
+   defaults, but anything present must still parse and unknown kinds
+   are still rejected. *)
+let decode ~strict line =
   match Jsonx.of_string line with
   | Error e -> Error ("invalid JSON: " ^ e)
   | Ok json -> (
     try
+      (match json with Jsonx.Obj _ -> () | _ -> fail "expected an object");
       let m name = Jsonx.member name json in
       let opt name f = Option.map (f name) (m name) in
-      let version = as_int "v" (req "v" (m "v")) in
+      let dflt name f d = match m name with None when not strict -> d | v -> f name (req name v) in
+      let version = dflt "v" as_int 1 in
       if version <> 1 then fail "unsupported record version %d" version;
       let kind_s = as_str "kind" (req "kind" (m "kind")) in
       let kind =
@@ -159,13 +193,13 @@ let of_json_line line =
         | Some k -> k
         | None -> fail "unknown kind %S" kind_s
       in
-      let cache_s = as_str "cache" (req "cache" (m "cache")) in
+      let cache_s = dflt "cache" as_str (cache_path_to_string Passthrough) in
       let cache =
         match cache_path_of_string cache_s with
         | Some c -> c
         | None -> fail "unknown cache path %S" cache_s
       in
-      let digest_s = as_str "digest" (req "digest" (m "digest")) in
+      let digest_s = dflt "digest" as_str (Fnv.to_hex Fnv.empty) in
       let digest =
         match Fnv.of_hex digest_s with
         | Some d -> d
@@ -192,7 +226,7 @@ let of_json_line line =
       in
       Ok
         {
-          seq = as_int "seq" (req "seq" (m "seq"));
+          seq = dflt "seq" as_int 0;
           kind;
           containing = itemset_field "containing";
           antecedent_includes = itemset_field "antecedent";
@@ -210,13 +244,16 @@ let of_json_line line =
             (match opt "num_items" as_int with Some n -> n | None -> 0);
           cache;
           digest;
-          result_size = as_int "size" (req "size" (m "size"));
-          latency_s = as_float "lat_s" (req "lat_s" (m "lat_s"));
-          vertices = as_int "vertices" (req "vertices" (m "vertices"));
-          heap_pops = as_int "pops" (req "pops" (m "pops"));
-          epoch = as_int "epoch" (req "epoch" (m "epoch"));
+          result_size = dflt "size" as_int 0;
+          latency_s = dflt "lat_s" as_float 0.0;
+          vertices = dflt "vertices" as_int 0;
+          heap_pops = dflt "pops" as_int 0;
+          epoch = dflt "epoch" as_int 0;
         }
     with Bad msg -> Error msg)
+
+let of_json_line line = decode ~strict:true line
+let key_of_json_line line = decode ~strict:false line
 
 (* ------------------------------------------------------------------ *)
 (* EXPLAIN rendering                                                  *)

@@ -70,6 +70,18 @@ val to_json_line : t -> string
     digests, or missing required fields are [Error]. *)
 val of_json_line : string -> (t, string) result
 
+(** [key_to_json_line r] encodes only the query key — kind, itemsets,
+    thresholds, delta — omitting every outcome field. This is the wire
+    body a client POSTs to the serving daemon's [/query] endpoint. *)
+val key_to_json_line : t -> string
+
+(** [key_of_json_line s] parses a query key: the same grammar as
+    {!of_json_line} except that ["v"], ["seq"] and the outcome fields
+    are optional (defaulting to version 1, seq 0, cache [Passthrough],
+    an empty digest and zero cost). Present fields must still parse;
+    unknown kinds are still rejected. *)
+val key_of_json_line : string -> (t, string) result
+
 (** [pp ppf r] renders the record as a human-readable EXPLAIN block:
     the query key on the first line, outcome (cache path, size, digest)
     on the second, cost (latency, work counters) on the third. *)

@@ -58,6 +58,10 @@ type job = {
   next : int Atomic.t;
   mutable active : int;
   id : int;
+  deliver : int -> response * float -> unit;
+      (* invoked by the completing domain right after it writes
+         [out.(i)] — the per-completion delivery hook behind
+         [run_deliver]; [run]/[run_timed] install a no-op *)
 }
 
 type t = {
@@ -125,6 +129,7 @@ let drain t idx job =
     let i = Atomic.fetch_and_add job.next 1 in
     if i < job.hi then begin
       job.out.(i) <- timed session job.reqs.(i);
+      job.deliver i job.out.(i);
       loop ()
     end
   in
@@ -252,16 +257,25 @@ let timed_append t delta =
   let resp = try barrier_append t delta with e -> R_error (Printexc.to_string e) in
   (resp, Float.max 0.0 (Timer.monotonic_s () -. t0))
 
-let run_segment t out reqs lo hi =
+let run_segment t ~deliver out reqs lo hi =
   if t.num_domains = 1 then
     for i = lo to hi - 1 do
-      out.(i) <- timed t.sessions.(0) reqs.(i)
+      out.(i) <- timed t.sessions.(0) reqs.(i);
+      deliver i out.(i)
     done
   else begin
     Mutex.lock t.mu;
     t.job_seq <- t.job_seq + 1;
     let job =
-      { reqs; out; hi; next = Atomic.make lo; active = t.num_domains; id = t.job_seq }
+      {
+        reqs;
+        out;
+        hi;
+        next = Atomic.make lo;
+        active = t.num_domains;
+        id = t.job_seq;
+        deliver;
+      }
     in
     t.job <- Some job;
     Condition.broadcast t.work;
@@ -276,7 +290,7 @@ let run_segment t out reqs lo hi =
     Mutex.unlock t.mu
   end
 
-let run_timed t reqs =
+let run_with t ~deliver reqs =
   if t.closed then invalid_arg "Pool.run: pool is shut down";
   let n = Array.length reqs in
   let out = Array.make n (R_error "not executed", 0.0) in
@@ -289,15 +303,36 @@ let run_timed t reqs =
     do
       incr hi
     done;
-    if !hi > lo then run_segment t out reqs lo !hi;
+    if !hi > lo then run_segment t ~deliver out reqs lo !hi;
     i := !hi;
     if !i < n then begin
       (match reqs.(!i) with
-      | Append delta -> out.(!i) <- timed_append t delta
+      | Append delta ->
+        out.(!i) <- timed_append t delta;
+        deliver !i out.(!i)
       | _ -> assert false);
       incr i
     end
   done;
   out
 
+let no_deliver _ _ = ()
+
+let run_timed t reqs = run_with t ~deliver:no_deliver reqs
+
 let run t reqs = Array.map fst (run_timed t reqs)
+
+(* Per-completion delivery. The callback runs on whichever domain
+   finishes the request, so it must be domain-safe; a callback that
+   raises must not kill a worker loop (that would hang the batch
+   barrier forever), so exceptions are caught at the delivery site and
+   the first one re-raised on the caller's domain after the batch. *)
+let run_deliver t ~on_complete reqs =
+  let first_exn = Atomic.make None in
+  let deliver i r =
+    try on_complete i r
+    with e -> ignore (Atomic.compare_and_set first_exn None (Some e))
+  in
+  let out = run_with t ~deliver reqs in
+  (match Atomic.get first_exn with Some e -> raise e | None -> ());
+  out

@@ -119,6 +119,31 @@ val run : t -> request array -> response array
     the time from a domain claiming the request to its completion). *)
 val run_timed : t -> request array -> (response * float) array
 
+(** [run_deliver t ~on_complete reqs] is {!run_timed} with
+    per-completion delivery: [on_complete i (resp, dt)] fires the
+    moment request [i] finishes, on {b whichever domain} executed it —
+    possibly concurrently with other completions and in any order. The
+    returned array is still the full batch in submission order
+    ([out.(i)] answers [reqs.(i)], always), so the two views are
+    redundant by construction; the callback exists for callers — the
+    {!Olar_net.Server} drainer — that unblock per-request waiters
+    without paying the whole batch's tail latency first.
+
+    Constraints on [on_complete]: it must be domain-safe (it is called
+    from worker domains) and fast (it runs inside the claim loop, so a
+    slow callback idles a serving domain). It is called exactly once
+    per request, including [Append] barriers (delivered by the
+    coordinator) and [R_error] responses. If it raises, the exception
+    is swallowed at the delivery site — letting it escape would kill a
+    worker loop and hang the batch barrier — and the first such
+    exception is re-raised on the caller's domain after the batch
+    completes. *)
+val run_deliver :
+  t ->
+  on_complete:(int -> response * float -> unit) ->
+  request array ->
+  (response * float) array
+
 (** [stats t] is each domain's session-cache accounting, index 0 the
     coordinator. *)
 val stats : t -> Session.stats array

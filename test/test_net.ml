@@ -1,0 +1,628 @@
+(* The network layer: HTTP/1.1 parser battery (units + properties) and
+   loopback tests driving a real [Olar_net.Server] over TCP sockets —
+   the pool-vs-serial digest oracle extended across the wire, plus the
+   overload/shedding and deadline behaviours. *)
+
+module Http = Olar_net.Http
+module Server = Olar_net.Server
+module Session = Olar_serve.Session
+module Engine = Olar_core.Engine
+module Record = Olar_replay.Record
+module Replay = Olar_replay.Replay
+module Fnv = Olar_replay.Fnv
+module Jsonx = Olar_obs.Jsonx
+
+let check = Alcotest.check
+let case name fn = Alcotest.test_case name `Quick fn
+
+(* ------------------------------------------------------------------ *)
+(* Parser units                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let parse_ok ?max_head ?max_body ?(off = 0) s =
+  match Http.parse_request ?max_head ?max_body s ~off with
+  | Http.Complete (req, used) -> (req, used)
+  | Http.Incomplete -> Alcotest.fail "unexpectedly incomplete"
+  | Http.Failed { status; reason } ->
+    Alcotest.failf "unexpectedly failed: %d %s" status reason
+
+let parse_status ?max_head ?max_body s =
+  match Http.parse_request ?max_head ?max_body s ~off:0 with
+  | Http.Failed { status; _ } -> status
+  | Http.Complete _ -> Alcotest.fail "expected failure, parsed fine"
+  | Http.Incomplete -> Alcotest.fail "expected failure, got incomplete"
+
+let test_simple_request () =
+  let s = "GET /healthz HTTP/1.1\r\nHost: localhost\r\n\r\n" in
+  let req, used = parse_ok s in
+  check Alcotest.string "method" "GET" req.Http.meth;
+  check Alcotest.string "target" "/healthz" req.Http.target;
+  check Alcotest.string "body" "" req.Http.body;
+  check Alcotest.int "used = whole message" (String.length s) used;
+  check
+    Alcotest.(option string)
+    "host header (names lowercased)" (Some "localhost")
+    (Http.header req "host")
+
+let test_header_folding () =
+  let s = "GET / HTTP/1.1\r\nX-Long: alpha\r\n  beta\r\n\tgamma\r\nA: b\r\n\r\n" in
+  let req, _ = parse_ok s in
+  check
+    Alcotest.(option string)
+    "continuation lines joined with a single space" (Some "alpha beta gamma")
+    (Http.header req "x-long");
+  check Alcotest.(option string) "next header intact" (Some "b")
+    (Http.header req "a")
+
+let test_missing_content_length_means_empty_body () =
+  (* no Content-Length: the message ends at the blank line even when
+     more bytes follow (they belong to the next pipelined message) *)
+  let head = "POST /query HTTP/1.1\r\n\r\n" in
+  let req, used = parse_ok (head ^ "LEFTOVER") in
+  check Alcotest.string "empty body" "" req.Http.body;
+  check Alcotest.int "used stops at the blank line" (String.length head) used
+
+let test_content_length_zero () =
+  let req, _ = parse_ok "POST /q HTTP/1.1\r\nContent-Length: 0\r\n\r\n" in
+  check Alcotest.string "empty body" "" req.Http.body
+
+let test_content_length_exact () =
+  let s = "POST /q HTTP/1.1\r\ncontent-length: 5\r\n\r\nhelloGET /nxt" in
+  let req, used = parse_ok s in
+  check Alcotest.string "body" "hello" req.Http.body;
+  check Alcotest.int "used = head + body"
+    (String.length s - String.length "GET /nxt")
+    used
+
+let test_content_length_edge_cases () =
+  check Alcotest.int "overflowing length is 413" 413
+    (parse_status
+       "POST /q HTTP/1.1\r\nContent-Length: 99999999999999999999999\r\n\r\n");
+  check Alcotest.int "non-digit length is 400" 400
+    (parse_status "POST /q HTTP/1.1\r\nContent-Length: five\r\n\r\n");
+  check Alcotest.int "negative length is 400" 400
+    (parse_status "POST /q HTTP/1.1\r\nContent-Length: -1\r\n\r\n");
+  check Alcotest.int "empty length is 400" 400
+    (parse_status "POST /q HTTP/1.1\r\nContent-Length:\r\n\r\n");
+  check Alcotest.int "conflicting duplicates are 400" 400
+    (parse_status
+       "POST /q HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 4\r\n\r\nabcd");
+  (* agreeing duplicates are legal per RFC 7230 3.3.2 *)
+  let req, _ =
+    parse_ok "POST /q HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\nabc"
+  in
+  check Alcotest.string "agreeing duplicates parse" "abc" req.Http.body;
+  check Alcotest.int "body over max_body is 413" 413
+    (parse_status ~max_body:4 "POST /q HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello")
+
+let test_reject_unsupported () =
+  check Alcotest.int "transfer-encoding is 501" 501
+    (parse_status "POST /q HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  check Alcotest.int "unknown version is 505" 505
+    (parse_status "GET / HTTP/2.0\r\n\r\n");
+  check Alcotest.int "2-field request line is 400" 400
+    (parse_status "GET /\r\n\r\n");
+  check Alcotest.int "4-field request line is 400" 400
+    (parse_status "GET / HTTP/1.1 extra\r\n\r\n");
+  check Alcotest.int "non-token method is 400" 400
+    (parse_status "GE T / HTTP/1.1\r\n\r\n");
+  check Alcotest.int "stray CR inside a header is 400" 400
+    (parse_status "GET / HTTP/1.1\r\nA: b\rc\r\n\r\n");
+  check Alcotest.int "oversized head is 431" 431
+    (parse_status ~max_head:16
+       "GET / HTTP/1.1\r\nX-Pad: aaaaaaaaaaaaaaaaaaaaaaa\r\n\r\n")
+
+let test_bare_lf_tolerated () =
+  let req, _ = parse_ok "GET /x HTTP/1.1\nHost: h\n\n" in
+  check Alcotest.string "target" "/x" req.Http.target;
+  check Alcotest.(option string) "header" (Some "h") (Http.header req "host")
+
+let test_pipelined_requests () =
+  let a = "GET /one HTTP/1.1\r\n\r\n" in
+  let b = "POST /two HTTP/1.1\r\nContent-Length: 2\r\n\r\nok" in
+  let s = a ^ b in
+  let r1, u1 = parse_ok s in
+  check Alcotest.string "first target" "/one" r1.Http.target;
+  let r2, u2 = parse_ok ~off:u1 s in
+  check Alcotest.string "second target" "/two" r2.Http.target;
+  check Alcotest.string "second body" "ok" r2.Http.body;
+  check Alcotest.int "both consumed" (String.length s) (u1 + u2)
+
+(* Feed the message one byte at a time: every proper prefix must be
+   Incomplete (never Failed, never a premature Complete). *)
+let trickle_is_incomplete s =
+  let ok = ref true in
+  for i = 0 to String.length s - 1 do
+    match Http.parse_request (String.sub s 0 i) ~off:0 with
+    | Http.Incomplete -> ()
+    | Http.Complete _ | Http.Failed _ -> ok := false
+  done;
+  !ok
+
+let test_trickled_bytes () =
+  let s =
+    "POST /query HTTP/1.1\r\nX-Fold: a\r\n b\r\nContent-Length: 4\r\n\r\nbody"
+  in
+  check Alcotest.bool "all proper prefixes incomplete" true
+    (trickle_is_incomplete s);
+  let req, used = parse_ok s in
+  check Alcotest.int "complete exactly at the end" (String.length s) used;
+  check Alcotest.string "body survives the trickle" "body" req.Http.body
+
+let test_response_round_trip () =
+  let s =
+    Http.render_response
+      ~headers:[ ("content-type", "application/json") ]
+      ~status:429 "busy"
+  in
+  match Http.parse_response s ~off:0 with
+  | Http.Complete (resp, used) ->
+    check Alcotest.int "status" 429 resp.Http.status;
+    check Alcotest.string "reason" "Too Many Requests" resp.Http.reason;
+    check Alcotest.string "body" "busy" resp.Http.resp_body;
+    check
+      Alcotest.(option string)
+      "content-type kept" (Some "application/json")
+      (Http.response_header resp "content-type");
+    check Alcotest.int "fully consumed" (String.length s) used
+  | _ -> Alcotest.fail "rendered response must parse"
+
+(* ------------------------------------------------------------------ *)
+(* Parser properties                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The never-raise guarantee: any byte soup gives a verdict. *)
+let never_raises buf =
+  match Http.parse_request buf ~off:0 with
+  | Http.Complete _ | Http.Incomplete | Http.Failed _ -> true
+  | exception _ -> false
+
+let fuzz_prop =
+  QCheck2.Test.make ~name:"parse_request never raises on random bytes"
+    ~count:2000 ~print:String.escaped
+    QCheck2.Gen.(string_size ~gen:char (int_range 0 200))
+    never_raises
+
+let fuzz_headers_prop =
+  QCheck2.Test.make
+    ~name:"parse_request never raises on a valid line + random bytes"
+    ~count:2000 ~print:String.escaped
+    QCheck2.Gen.(
+      map
+        (fun s -> "POST /query HTTP/1.1\r\n" ^ s)
+        (string_size ~gen:char (int_range 0 200)))
+    never_raises
+
+let request_gen =
+  let open QCheck2.Gen in
+  let* meth = oneofl [ "GET"; "POST"; "PUT"; "DELETE" ] in
+  let* path = string_size ~gen:(char_range 'a' 'z') (int_range 0 12) in
+  let* headers =
+    list_size (int_range 0 5)
+      (pair
+         (map (fun s -> "x-" ^ s) (string_size ~gen:(char_range 'a' 'z') (int_range 1 8)))
+         (string_size ~gen:(char_range 'a' 'z') (int_range 0 12)))
+  in
+  let* body = string_size ~gen:char (int_range 0 64) in
+  return (meth, "/" ^ path, headers, body)
+
+let request_print (meth, target, headers, body) =
+  Printf.sprintf "%s %s [%s] %S" meth target
+    (String.concat "; " (List.map (fun (k, v) -> k ^ ": " ^ v) headers))
+    body
+
+let round_trips (meth, target, headers, body) =
+  let s = Http.render_request ~headers ~meth ~target body in
+  match Http.parse_request s ~off:0 with
+  | Http.Complete (req, used) ->
+    used = String.length s
+    && req.Http.meth = meth && req.Http.target = target
+    && req.Http.body = body
+    && List.filter (fun (k, _) -> k <> "content-length") req.Http.headers
+       = headers
+  | _ -> false
+
+let round_trip_prop =
+  QCheck2.Test.make ~name:"render_request |> parse_request is the identity"
+    ~count:500 ~print:request_print request_gen round_trips
+
+let trickle_prop =
+  QCheck2.Test.make
+    ~name:"rendered requests trickle: prefixes incomplete, whole completes"
+    ~count:100 ~print:request_print request_gen
+    (fun (meth, target, headers, body) ->
+      let s = Http.render_request ~headers ~meth ~target body in
+      trickle_is_incomplete s
+      &&
+      match Http.parse_request s ~off:0 with
+      | Http.Complete (_, used) -> used = String.length s
+      | _ -> false)
+
+let pipeline_prop =
+  QCheck2.Test.make
+    ~name:"three rendered requests pipeline on one buffer" ~count:200
+    ~print:(fun l -> String.concat " | " (List.map request_print l))
+    QCheck2.Gen.(list_repeat 3 request_gen)
+    (fun reqs ->
+      let s =
+        String.concat ""
+          (List.map
+             (fun (m, t, h, b) -> Http.render_request ~headers:h ~meth:m ~target:t b)
+             reqs)
+      in
+      let rec go off = function
+        | [] -> off = String.length s
+        | (m, t, _, b) :: rest -> (
+          match Http.parse_request s ~off with
+          | Http.Complete (req, used) ->
+            req.Http.meth = m && req.Http.target = t && req.Http.body = b
+            && go (off + used) rest
+          | _ -> false)
+      in
+      go 0 reqs)
+
+(* ------------------------------------------------------------------ *)
+(* Loopback client                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type conn = { fd : Unix.file_descr; buf : Buffer.t; mutable off : int }
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  { fd; buf = Buffer.create 4096; off = 0 }
+
+let disconnect conn = try Unix.close conn.fd with _ -> ()
+
+let send_all conn s =
+  let b = Bytes.unsafe_of_string s in
+  let len = String.length s in
+  let rec go off =
+    if off < len then go (off + Unix.write conn.fd b off (len - off))
+  in
+  go 0
+
+(* Read (possibly across several reads) until one full response parses. *)
+let recv_response conn =
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Http.parse_response (Buffer.contents conn.buf) ~off:conn.off with
+    | Http.Complete (resp, used) ->
+      conn.off <- conn.off + used;
+      resp
+    | Http.Failed { status; reason } ->
+      Alcotest.failf "malformed response from server: %d %s" status reason
+    | Http.Incomplete -> (
+      match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+      | 0 -> Alcotest.fail "server closed the connection mid-response"
+      | n ->
+        Buffer.add_subbytes conn.buf chunk 0 n;
+        go ())
+  in
+  go ()
+
+let request conn ~meth ~target body =
+  send_all conn (Http.render_request ~meth ~target body);
+  recv_response conn
+
+let post_query conn body = request conn ~meth:"POST" ~target:"/query" body
+
+let json_field resp name =
+  match Jsonx.of_string resp.Http.resp_body with
+  | Error e -> Alcotest.failf "unparsable JSON body %S: %s" resp.Http.resp_body e
+  | Ok json -> Jsonx.member name json
+
+let json_str resp name =
+  match Option.bind (json_field resp name) Jsonx.to_str with
+  | Some s -> s
+  | None -> Alcotest.failf "response lacks string field %S" name
+
+let json_int resp name =
+  match Option.bind (json_field resp name) Jsonx.number with
+  | Some f -> int_of_float f
+  | None -> Alcotest.failf "response lacks numeric field %S" name
+
+(* The value of a counter/gauge line in a Prometheus scrape. *)
+let metric_value body name =
+  let lines = String.split_on_char '\n' body in
+  let prefix = name ^ " " in
+  match
+    List.find_opt
+      (fun l ->
+        String.length l > String.length prefix
+        && String.sub l 0 (String.length prefix) = prefix)
+      lines
+  with
+  | None -> Alcotest.failf "metric %s not in scrape" name
+  | Some l ->
+    float_of_string
+      (String.sub l (String.length prefix) (String.length l - String.length prefix))
+
+let table2_engine () = Engine.of_lattice (Helpers.table2_lattice ())
+
+let default_cfg = Server.default_config
+
+(* ------------------------------------------------------------------ *)
+(* Loopback: wire differential vs a serial session                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The metrics-style canned workload as wire bodies: every query
+   family, an epoch-bumping append, then the queries again. Table 2:
+   4 items, db_size 1000, threshold count 3 (minsup 0.003). *)
+let canned_workload =
+  [
+    {|{"kind":"count","minsup":0.003}|};
+    {|{"kind":"find","minsup":0.003}|};
+    {|{"kind":"find","minsup":0.01}|};
+    {|{"kind":"find","containing":[0],"minsup":0.003}|};
+    {|{"kind":"essential_rules","minsup":0.003,"minconf":0.3}|};
+    {|{"kind":"all_rules","minsup":0.003,"minconf":0.3}|};
+    {|{"kind":"single_consequent_rules","minsup":0.003,"minconf":0.3}|};
+    {|{"kind":"support_for_k_itemsets","k":3}|};
+    {|{"kind":"support_for_k_rules","minconf":0.3,"k":4}|};
+    {|{"kind":"boundary","containing":[0,1,2],"minconf":0.3}|};
+    {|{"kind":"append","delta":[[0,1,2],[1,2],[1,3],[2]],"num_items":4}|};
+    {|{"kind":"count","minsup":0.003}|};
+    {|{"kind":"find","minsup":0.003}|};
+    {|{"kind":"essential_rules","minsup":0.003,"minconf":0.3}|};
+    {|{"kind":"boundary","containing":[0,1,2],"minconf":0.3}|};
+  ]
+
+(* Drive the canned workload through a real socket, then replay the
+   captured (key, digest) pairs through a serial Session on an
+   identical engine: zero digest mismatches means wire answers are
+   bitwise the serial answers — the pool-vs-serial oracle of
+   test_serve.ml extended across HTTP. *)
+let test_wire_differential () =
+  let served =
+    Server.with_server
+      ~config:{ default_cfg with Server.port = 0 }
+      ~domains:3
+      ~budget_bytes:(1 lsl 20)
+      (table2_engine ())
+      (fun srv ->
+        let conn = connect (Server.port srv) in
+        let out =
+          List.map
+            (fun key ->
+              let resp = post_query conn key in
+              check Alcotest.int ("status of " ^ key) 200 resp.Http.status;
+              check Alcotest.string "reports ok" "ok" (json_str resp "status");
+              (key, json_str resp "digest", json_int resp "size"))
+            canned_workload
+        in
+        disconnect conn;
+        out)
+  in
+  let records =
+    List.mapi
+      (fun i (key, digest_hex, size) ->
+        let base =
+          match Record.key_of_json_line key with
+          | Ok r -> r
+          | Error e -> Alcotest.failf "bad canned key %s: %s" key e
+        in
+        let digest =
+          match Fnv.of_hex digest_hex with
+          | Some d -> d
+          | None -> Alcotest.failf "bad digest hex %S" digest_hex
+        in
+        { base with Record.seq = i; digest; result_size = size })
+      served
+  in
+  let serial = Session.create ~budget_bytes:0 (table2_engine ()) in
+  let report =
+    Replay.run
+      ~on_outcome:(fun o ->
+        if not o.Replay.ok then
+          Alcotest.failf "wire digest diverges from serial at seq %d (%s)"
+            o.Replay.record.Record.seq
+            (Record.kind_to_string o.Replay.record.Record.kind))
+      serial records
+  in
+  check Alcotest.int "replayed everything" (List.length canned_workload)
+    report.Replay.total;
+  check Alcotest.int "zero mismatches" 0 report.Replay.mismatches;
+  check Alcotest.int "zero errors" 0 report.Replay.errors
+
+(* A failing query's 422 body carries exactly the serial error text, so
+   even errors stay comparable across the wire. *)
+let test_wire_error_matches_serial () =
+  Server.with_server
+    ~config:{ default_cfg with Server.port = 0 }
+    (table2_engine ())
+    (fun srv ->
+      let conn = connect (Server.port srv) in
+      let resp = post_query conn {|{"kind":"count","minsup":0.0001}|} in
+      check Alcotest.int "below-threshold is 422" 422 resp.Http.status;
+      let serial = Session.create ~budget_bytes:0 (table2_engine ()) in
+      let expected =
+        try
+          ignore (Session.count_itemsets serial ~minsup:0.0001);
+          Alcotest.fail "serial session unexpectedly succeeded"
+        with e -> Printexc.to_string e
+      in
+      check Alcotest.string "error text equals the serial exception"
+        expected (json_str resp "error");
+      disconnect conn)
+
+let test_wire_pipelining () =
+  Server.with_server
+    ~config:{ default_cfg with Server.port = 0 }
+    (table2_engine ())
+    (fun srv ->
+      let conn = connect (Server.port srv) in
+      let body = {|{"kind":"count","minsup":0.003}|} in
+      let one = Http.render_request ~meth:"POST" ~target:"/query" body in
+      (* both requests in a single write: the server must answer both,
+         in order, on the same connection *)
+      send_all conn (one ^ one);
+      let r1 = recv_response conn and r2 = recv_response conn in
+      check Alcotest.int "first 200" 200 r1.Http.status;
+      check Alcotest.int "second 200" 200 r2.Http.status;
+      check Alcotest.string "identical answers" (json_str r1 "digest")
+        (json_str r2 "digest");
+      check Alcotest.int "table 2 has 9 itemsets" 9 (json_int r1 "count");
+      disconnect conn)
+
+let test_wire_errors_and_endpoints () =
+  Server.with_server
+    ~config:{ default_cfg with Server.port = 0 }
+    (table2_engine ())
+    (fun srv ->
+      let conn = connect (Server.port srv) in
+      let h = request conn ~meth:"GET" ~target:"/healthz" "" in
+      check Alcotest.int "healthz" 200 h.Http.status;
+      check Alcotest.string "healthz body" "ok\n" h.Http.resp_body;
+      let nf = request conn ~meth:"GET" ~target:"/nope" "" in
+      check Alcotest.int "unknown endpoint is 404" 404 nf.Http.status;
+      let mna = request conn ~meth:"PUT" ~target:"/query" "{}" in
+      check Alcotest.int "unknown method is 405" 405 mna.Http.status;
+      let bad = post_query conn "this is not json" in
+      check Alcotest.int "unparsable key is 400" 400 bad.Http.status;
+      let incomplete = post_query conn {|{"kind":"find"}|} in
+      check Alcotest.int "key without minsup is 400" 400 incomplete.Http.status;
+      let m = request conn ~meth:"GET" ~target:"/metrics" "" in
+      check Alcotest.int "metrics scrape" 200 m.Http.status;
+      check Alcotest.bool "scrape carries the request counter" true
+        (metric_value m.Http.resp_body "olar_http_requests_total" > 0.0);
+      disconnect conn;
+      (* a malformed request closes the connection after the 400 *)
+      let conn = connect (Server.port srv) in
+      send_all conn "BLAH\r\n\r\n";
+      let resp = recv_response conn in
+      check Alcotest.int "malformed HTTP is 400" 400 resp.Http.status;
+      let chunk = Bytes.create 64 in
+      let eof =
+        match Unix.read conn.fd chunk 0 64 with
+        | 0 -> true
+        | _ -> false
+        | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> true
+      in
+      check Alcotest.bool "connection closed after 400" true eof;
+      disconnect conn)
+
+(* ------------------------------------------------------------------ *)
+(* Loopback: overload and deadlines                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Flood a queue_depth=1 server from several closed-loop clients:
+   every response must be a correct 200 or a 429 shed (nothing hangs,
+   nothing is wrong), the shed counter in /metrics must agree with
+   what the clients saw, and the peak queue depth must never exceed
+   the bound — that is the bounded-memory claim, observable. *)
+let test_overload_sheds_with_429 () =
+  let clients = 6 and per_client = 40 in
+  Server.with_server
+    ~config:{ default_cfg with Server.port = 0; queue_depth = 1 }
+    ~domains:2
+    (table2_engine ())
+    (fun srv ->
+      let port = Server.port srv in
+      let probe = connect port in
+      let expected_digest =
+        let r = post_query probe {|{"kind":"count","minsup":0.003}|} in
+        check Alcotest.int "probe succeeds" 200 r.Http.status;
+        json_str r "digest"
+      in
+      disconnect probe;
+      let ok = Atomic.make 0 and shed = Atomic.make 0 in
+      let failures = Atomic.make 0 in
+      let worker () =
+        let conn = connect port in
+        for _ = 1 to per_client do
+          let r = post_query conn {|{"kind":"count","minsup":0.003}|} in
+          match r.Http.status with
+          | 200 ->
+            if json_str r "digest" = expected_digest then Atomic.incr ok
+            else Atomic.incr failures
+          | 429 -> Atomic.incr shed
+          | _ -> Atomic.incr failures
+        done;
+        disconnect conn
+      in
+      let threads = List.init clients (fun _ -> Thread.create worker ()) in
+      List.iter Thread.join threads;
+      check Alcotest.int "no wrong or unexpected responses" 0
+        (Atomic.get failures);
+      check Alcotest.int "every request got an answer"
+        (clients * per_client)
+        (Atomic.get ok + Atomic.get shed);
+      check Alcotest.bool "the flood produced 429 sheds" true
+        (Atomic.get shed > 0);
+      check Alcotest.bool "some requests were served" true (Atomic.get ok > 0);
+      let conn = connect port in
+      let m = request conn ~meth:"GET" ~target:"/metrics" "" in
+      disconnect conn;
+      let scraped_shed =
+        metric_value m.Http.resp_body "olar_http_shed_queue_total"
+      in
+      check (Alcotest.float 0.0) "shed counter agrees with the clients"
+        (float_of_int (Atomic.get shed))
+        scraped_shed;
+      check Alcotest.bool "queue never grew past its bound" true
+        (metric_value m.Http.resp_body "olar_http_queue_depth_peak" <= 1.0))
+
+(* With a (practically) zero deadline, queued queries are dropped by
+   the drainer with 503 before any pool work is spent on them. *)
+let test_deadline_sheds_with_503 () =
+  Server.with_server
+    ~config:{ default_cfg with Server.port = 0; deadline_s = 1e-7 }
+    (table2_engine ())
+    (fun srv ->
+      let conn = connect (Server.port srv) in
+      let n = 10 in
+      let sheds = ref 0 in
+      for _ = 1 to n do
+        let r = post_query conn {|{"kind":"count","minsup":0.003}|} in
+        match r.Http.status with
+        | 503 -> incr sheds
+        | 200 -> ()
+        | s -> Alcotest.failf "unexpected status %d under deadline" s
+      done;
+      check Alcotest.bool "deadline produced 503 drops" true (!sheds > 0);
+      let m = request conn ~meth:"GET" ~target:"/metrics" "" in
+      check (Alcotest.float 0.0) "deadline shed counter agrees"
+        (float_of_int !sheds)
+        (metric_value m.Http.resp_body "olar_http_shed_deadline_total");
+      disconnect conn)
+
+(* ------------------------------------------------------------------ *)
+
+let suites =
+  [
+    ( "net.http",
+      [
+        case "simple request" test_simple_request;
+        case "obs-fold header continuations" test_header_folding;
+        case "missing content-length means empty body"
+          test_missing_content_length_means_empty_body;
+        case "content-length zero" test_content_length_zero;
+        case "content-length exact" test_content_length_exact;
+        case "content-length edge cases" test_content_length_edge_cases;
+        case "unsupported features rejected" test_reject_unsupported;
+        case "bare LF tolerated" test_bare_lf_tolerated;
+        case "pipelined requests" test_pipelined_requests;
+        case "byte-at-a-time trickle" test_trickled_bytes;
+        case "response round trip" test_response_round_trip;
+      ] );
+    Helpers.qsuite "net.http.props"
+      [
+        fuzz_prop;
+        fuzz_headers_prop;
+        round_trip_prop;
+        trickle_prop;
+        pipeline_prop;
+      ];
+    ( "net.server",
+      [
+        case "wire differential vs serial session" test_wire_differential;
+        case "422 error text equals the serial exception"
+          test_wire_error_matches_serial;
+        case "pipelining over the wire" test_wire_pipelining;
+        case "endpoints and protocol errors" test_wire_errors_and_endpoints;
+        case "overload sheds with 429, bounded queue"
+          test_overload_sheds_with_429;
+        case "deadline sheds with 503" test_deadline_sheds_with_503;
+      ] );
+  ]

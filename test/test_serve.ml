@@ -486,6 +486,83 @@ let test_pool_shutdown_idempotent () =
     (Invalid_argument "Pool.run: pool is shut down") (fun () ->
       ignore (Pool.run pool [||]))
 
+(* Submission-order pin: [run] (and the array [run_deliver] returns)
+   answers [reqs.(i)] at index [i], whatever domain executed what.
+   Distinct minsup cuts over Table 2 have distinct counts, so a
+   misrouted response cannot go unnoticed. *)
+let table2_counts_by_cut =
+  (* supports 10,20,30,10,4,7,6,4,3 → entries at count cut c *)
+  [| (3, 9); (4, 8); (5, 6); (7, 5); (10, 4); (20, 2); (30, 1) |]
+
+let count_requests () =
+  Array.map
+    (fun (c, _) ->
+      Pool.Count_itemsets
+        { containing = Itemset.empty; minsup = float_of_int c /. 1000.0 })
+    table2_counts_by_cut
+
+let check_submission_order out =
+  Array.iteri
+    (fun i (c, expected) ->
+      match out.(i) with
+      | Pool.R_count got ->
+        check Alcotest.int
+          (Printf.sprintf "out.(%d) answers the cut-%d request" i c)
+          expected got
+      | _ -> Alcotest.fail "expected R_count")
+    table2_counts_by_cut
+
+let test_pool_submission_order () =
+  let engine = Engine.of_lattice (Helpers.table2_lattice ()) in
+  Pool.with_pool ~domains:4 engine (fun pool ->
+      check_submission_order (Pool.run pool (count_requests ())))
+
+(* [run_deliver] fires the callback exactly once per request with the
+   same (index, response) pairs the returned array carries — possibly
+   out of submission order, which is the point — and a raising
+   callback surfaces after the batch without losing any result. *)
+let test_pool_run_deliver () =
+  let engine = Engine.of_lattice (Helpers.table2_lattice ()) in
+  Pool.with_pool ~domains:4 engine (fun pool ->
+      let reqs = count_requests () in
+      let delivered = Array.make (Array.length reqs) None in
+      let calls = Array.make (Array.length reqs) 0 in
+      let out =
+        Pool.run_deliver pool
+          ~on_complete:(fun i r ->
+            calls.(i) <- calls.(i) + 1;
+            delivered.(i) <- Some r)
+          reqs
+      in
+      check_submission_order (Array.map fst out);
+      Array.iteri
+        (fun i n ->
+          check Alcotest.int (Printf.sprintf "index %d delivered once" i) 1 n)
+        calls;
+      Array.iteri
+        (fun i r ->
+          match delivered.(i) with
+          | Some d ->
+            check Alcotest.bool
+              (Printf.sprintf "delivery %d is the returned result" i)
+              true (d == r)
+          | None -> Alcotest.fail "missing delivery")
+        out;
+      (* a raising callback: batch still completes, exception re-raised *)
+      let seen = ref 0 in
+      match
+        Pool.run_deliver pool
+          ~on_complete:(fun _ _ ->
+            incr seen;
+            failwith "callback boom")
+          reqs
+      with
+      | _ -> Alcotest.fail "callback exception must propagate"
+      | exception Failure msg ->
+        check Alcotest.string "the callback's exception" "callback boom" msg;
+        check Alcotest.int "every request still delivered"
+          (Array.length reqs) !seen)
+
 (* ------------------------------------------------------------------ *)
 (* Units *)
 
@@ -741,6 +818,9 @@ let suites =
       [
         case "create validation" test_pool_create_validation;
         case "shutdown idempotent" test_pool_shutdown_idempotent;
+        case "responses land in submission order" test_pool_submission_order;
+        case "run_deliver delivers each result exactly once"
+          test_pool_run_deliver;
       ] );
     Helpers.qsuite "serve.pool.diff"
       [ pool_differential_prop; pool_differential_uncached_prop ];

@@ -1,5 +1,5 @@
 .PHONY: all build test test-quick bench-smoke bench-json bench-cache \
-	replay-smoke serve-smoke bench-compare stress clean
+	replay-smoke serve-smoke trace-smoke bench-compare stress clean
 
 all: build
 
@@ -23,10 +23,11 @@ bench-smoke:
 # Machine-readable bench output: run the qps, session, concurrent and
 # serve experiments with --json, validate the document with
 # bench/check_json.exe, gate it against the committed baseline
-# (bench/compare_json.exe), run the pool-vs-serial digest stress, and
-# the serve -> capture -> replay loopback round trip.
+# (bench/compare_json.exe), run the pool-vs-serial digest stress, the
+# serve -> capture -> replay loopback round trip, and the request-
+# tracing smoke.
 bench-json:
-	dune build @bench-json @bench-compare @stress @serve-smoke
+	dune build @bench-json @bench-compare @stress @serve-smoke @trace-smoke
 
 # Session-cache benchmark: Zipf-repeated query streams, cached vs
 # uncached (lib/serve).
@@ -43,6 +44,12 @@ replay-smoke:
 # replays against the saved pre-serving lattice; zero mismatches.
 serve-smoke:
 	dune build @serve-smoke
+
+# Request-tracing smoke: serve a canned workload with tracing sampled
+# 1-in-2 and validate the emitted spans file (roots, phase children,
+# domain tags, child-first order) plus the /statusz phase accounting.
+trace-smoke:
+	dune build @trace-smoke
 
 # Perf-regression gate on its own: rerun the benchmark and diff qps
 # against BENCH_T10I4.json (default tolerance -20%).

@@ -151,7 +151,27 @@ let () =
         check "shed" (J.member "shed" s);
         check "latency.p50_us" (J.path [ "latency"; "p50_us" ] s);
         check "latency.p99_us" (J.path [ "latency"; "p99_us" ] s);
-        check "latency.samples" (J.path [ "latency"; "samples" ] s))
+        check "latency.samples" (J.path [ "latency"; "samples" ] s);
+        (* the /statusz phase attribution: all six phases, each with a
+           sample count, a time sum and quantiles, none negative *)
+        let queries = number ("serve." ^ name ^ ".queries") (J.member "queries" s) in
+        List.iter
+          (fun phase ->
+            check ("phases." ^ phase ^ ".sum_s")
+              (J.path [ "phases"; phase; "sum_s" ] s);
+            check ("phases." ^ phase ^ ".p50_us")
+              (J.path [ "phases"; phase; "p50_us" ] s);
+            check ("phases." ^ phase ^ ".p99_us")
+              (J.path [ "phases"; phase; "p99_us" ] s);
+            let c =
+              number
+                ("serve." ^ name ^ ".phases." ^ phase ^ ".count")
+                (J.path [ "phases"; phase; "count" ] s)
+            in
+            if c < queries then
+              fail "serve.%s.phases.%s.count %g < queries %g" name phase c
+                queries)
+          [ "parse"; "queue"; "dispatch"; "execute"; "deliver"; "write" ])
       scenarios);
   (* fig10 is optional (only present when that experiment ran), but when
      present its points must carry the rule/work fields. *)

@@ -9,8 +9,17 @@
    experiment — and fails (exit 1) when NEW is slower than OLD by more
    than the tolerance (default 20%). A series present in OLD but absent
    from NEW is also a failure: silently dropping a benchmark must not
-   pass the gate. Latency percentiles are reported for context but not
-   gated; qps over a fixed wall-clock window is the stabler signal. *)
+   pass the gate. End-to-end latency percentiles are reported for
+   context but not gated; qps over a fixed wall-clock window is the
+   stabler signal.
+
+   The serve experiment's per-phase p99s (the /statusz attribution)
+   ARE gated, in the opposite direction — NEW must not be slower —
+   under their own much looser --phase-tolerance (default 400%) plus a
+   500us absolute slack, because microsecond-scale phases are noisy
+   where whole-window qps is not. The gate exists to catch a phase
+   blowing up by an order of magnitude (a queue suddenly dominating, a
+   write path gone quadratic), not to litigate scheduler jitter. *)
 
 module Jsonx = Olar_obs.Jsonx
 
@@ -108,8 +117,41 @@ let series doc =
   in
   qps_scenarios @ session_scenarios @ concurrent_scenarios @ serve_scenarios
 
+(* The serve experiment's per-phase p99s as (label, p99_us) pairs.
+   Absent phases (a pre-attribution document) contribute nothing. *)
+let phase_series doc =
+  let num path v = Option.bind (Jsonx.path path v) Jsonx.number in
+  let name v =
+    match Option.bind (Jsonx.member "name" v) Jsonx.to_str with
+    | Some s -> s
+    | None -> die "scenario without a name field"
+  in
+  match Jsonx.path [ "experiments"; "serve"; "scenarios" ] doc with
+  | None -> []
+  | Some v -> (
+    match Jsonx.to_list v with
+    | None -> die "experiments.serve.scenarios is not an array"
+    | Some l ->
+      List.concat_map
+        (fun s ->
+          match (num [ "clients" ] s, Jsonx.member "phases" s) with
+          | Some c, Some phases ->
+            List.filter_map
+              (fun phase ->
+                match num [ phase; "p99_us" ] phases with
+                | Some p ->
+                  Some
+                    ( Printf.sprintf "serve/%s/c%d/phase/%s" (name s)
+                        (int_of_float c) phase,
+                      p )
+                | None -> die "serve scenario %S phase %s lacks p99_us" (name s) phase)
+              [ "parse"; "queue"; "dispatch"; "execute"; "deliver"; "write" ]
+          | _ -> [])
+        l)
+
 let () =
   let old_path = ref None and new_path = ref None and tolerance = ref 20.0 in
+  let phase_tolerance = ref 400.0 in
   let rec parse = function
     | [] -> ()
     | "--tolerance" :: v :: rest ->
@@ -118,6 +160,13 @@ let () =
       | _ -> die "--tolerance expects a non-negative percentage, got %S" v);
       parse rest
     | "--tolerance" :: [] -> die "--tolerance expects a value"
+    | "--phase-tolerance" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some t when t >= 0.0 -> phase_tolerance := t
+      | _ ->
+        die "--phase-tolerance expects a non-negative percentage, got %S" v);
+      parse rest
+    | "--phase-tolerance" :: [] -> die "--phase-tolerance expects a value"
     | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
       die "unknown option %S" arg
     | path :: rest ->
@@ -131,10 +180,14 @@ let () =
   let old_path, new_path =
     match (!old_path, !new_path) with
     | Some o, Some n -> (o, n)
-    | _ -> die "usage: compare_json OLD.json NEW.json [--tolerance PCT]"
+    | _ ->
+      die
+        "usage: compare_json OLD.json NEW.json [--tolerance PCT] \
+         [--phase-tolerance PCT]"
   in
-  let old_series = series (read_doc old_path)
-  and new_series = series (read_doc new_path) in
+  let old_doc = read_doc old_path and new_doc = read_doc new_path in
+  let old_series = series old_doc and new_series = series new_doc in
+  let old_phases = phase_series old_doc and new_phases = phase_series new_doc in
   let floor = 1.0 -. (!tolerance /. 100.0) in
   let regressions = ref [] in
   Printf.printf "%-34s %12s %12s %9s\n" "series" "old qps" "new qps" "delta";
@@ -158,10 +211,48 @@ let () =
       if not (List.mem_assoc label old_series) then
         Printf.printf "%-34s %12s (new series, not gated)\n" label "-")
     new_series;
+  (* Phase-latency gate: inverse direction (new must not be slower),
+     loose relative tolerance plus an absolute 500us slack. *)
+  if old_phases <> [] || new_phases <> [] then begin
+    let mult = 1.0 +. (!phase_tolerance /. 100.0) in
+    let slack_us = 500.0 in
+    Printf.printf "\n%-44s %10s %10s %9s\n" "phase series" "old p99us"
+      "new p99us" "delta";
+    List.iter
+      (fun (label, old_p99) ->
+        match List.assoc_opt label new_phases with
+        | None ->
+          Printf.printf "%-44s %10.0f %10s %9s\n" label old_p99 "missing" "-";
+          regressions :=
+            Printf.sprintf "%s: missing from %s" label new_path :: !regressions
+        | Some new_p99 ->
+          let delta =
+            if old_p99 > 0.0 then 100.0 *. ((new_p99 /. old_p99) -. 1.0)
+            else 0.0
+          in
+          Printf.printf "%-44s %10.0f %10.0f %+8.1f%%\n" label old_p99 new_p99
+            delta;
+          if new_p99 > (old_p99 *. mult) +. slack_us then
+            regressions :=
+              Printf.sprintf
+                "%s: p99 %.0f -> %.0f us (+%.0f%%, tolerance +%.0f%% + %.0fus)"
+                label old_p99 new_p99 delta !phase_tolerance slack_us
+              :: !regressions)
+      old_phases;
+    List.iter
+      (fun (label, _) ->
+        if not (List.mem_assoc label old_phases) then
+          Printf.printf "%-44s %10s (new series, not gated)\n" label "-")
+      new_phases
+  end;
   match List.rev !regressions with
   | [] ->
-    Printf.printf "OK: %d series within -%.0f%% tolerance\n"
+    Printf.printf "OK: %d series within -%.0f%% tolerance%s\n"
       (List.length old_series) !tolerance
+      (if old_phases = [] then ""
+       else
+         Printf.sprintf ", %d phase series within +%.0f%%"
+           (List.length old_phases) !phase_tolerance)
   | rs ->
     List.iter (fun r -> prerr_endline ("REGRESSION " ^ r)) rs;
     exit 1

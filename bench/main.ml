@@ -1071,6 +1071,34 @@ let serve_client_post fd buf off body =
   in
   rd ()
 
+(* One blocking GET on a fresh connection; returns the response body. *)
+let serve_client_get port target =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let s = Olar_net.Http.render_request ~meth:"GET" ~target "" in
+  let sb = Bytes.unsafe_of_string s in
+  let rec wr o =
+    if o < String.length s then
+      wr (o + Unix.write fd sb o (String.length s - o))
+  in
+  wr 0;
+  let buf = Buffer.create 8192 in
+  let chunk = Bytes.create 8192 in
+  let rec rd () =
+    match Olar_net.Http.parse_response (Buffer.contents buf) ~off:0 with
+    | Olar_net.Http.Complete (resp, _) -> resp.Olar_net.Http.resp_body
+    | Olar_net.Http.Failed _ -> failwith "serve bench: malformed response"
+    | Olar_net.Http.Incomplete -> (
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> failwith "serve bench: connection closed"
+      | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        rd ())
+  in
+  let body = rd () in
+  (try Unix.close fd with _ -> ());
+  body
+
 let serve_bench config =
   section
     "Network serving: loopback HTTP clients against olar serve\n\
@@ -1168,11 +1196,42 @@ let serve_bench config =
         Atomic.set stop true;
         List.iter Thread.join threads;
         let dt = Olar_util.Timer.elapsed_s timer in
+        (* scrape the per-phase latency attribution for this point from
+           /statusz (a Jsonx view of olar_http_phase_seconds). The
+           write phase is observed by a post-send hook that can lag the
+           client's receive by a beat, so retry briefly until the write
+           count has caught up with everything the clients saw served. *)
+        let phases =
+          let rec scrape attempts =
+            let p =
+              match Jsonx.of_string (serve_client_get port "/statusz") with
+              | Ok json -> (
+                match Jsonx.member "phases" json with
+                | Some p -> p
+                | None -> failwith "serve bench: statusz lacks phases")
+              | Error e -> failwith ("serve bench: statusz not JSON: " ^ e)
+            in
+            let write_count =
+              match
+                Option.bind (Jsonx.path [ "write"; "count" ] p) Jsonx.number
+              with
+              | Some c -> int_of_float c
+              | None -> failwith "serve bench: statusz lacks write phase"
+            in
+            if write_count >= Atomic.get served || attempts >= 50 then p
+            else begin
+              Thread.delay 0.01;
+              scrape (attempts + 1)
+            end
+          in
+          scrape 0
+        in
         ( Olar_serve.Pool.domains (Olar_net.Server.pool srv),
           Atomic.get served,
           Atomic.get shed,
           dt,
-          hist ))
+          hist,
+          phases ))
   in
   Printf.printf "%-14s %-8s %-10s %-12s %-6s %-10s %-10s\n" "scenario"
     "clients" "served" "qps" "shed" "p50 us" "p99 us";
@@ -1182,7 +1241,9 @@ let serve_bench config =
     (fun (name, bodies) ->
       List.iter
         (fun clients ->
-          let domains, served, shed, dt, hist = run_point bodies clients in
+          let domains, served, shed, dt, hist, phases =
+            run_point bodies clients
+          in
           domains_seen := domains;
           let qps = float_of_int served /. dt in
           let q p = 1e6 *. Olar_obs.Metrics.Histogram.quantile hist p in
@@ -1209,6 +1270,7 @@ let serve_bench config =
                       ("p90_us", Jsonx.Float (q 0.9));
                       ("p99_us", Jsonx.Float (q 0.99));
                     ] );
+                ("phases", phases);
               ]
             :: !jscenarios)
         [ 1; 4 ])

@@ -97,19 +97,20 @@ let build_workload db =
    one batch. Returns the per-request digest sequence. An R_error has
    no digestible result; digest its message instead so error responses
    still participate in the bitwise comparison. *)
-let digests_of_run db reqs ~domains ~budget_bytes =
-  Pool.with_pool ~domains ~budget_bytes (build_engine db) (fun pool ->
-      let out = Pool.run pool reqs in
-      Array.map
-        (fun resp ->
-          match Replay.digest_response resp with
-          | Some d -> d
-          | None ->
-            let msg =
-              match resp with Pool.R_error e -> e | _ -> assert false
-            in
-            Fnv.string Fnv.empty msg)
-        out)
+let digest_responses out =
+  Array.map
+    (fun resp ->
+      match Replay.digest_response resp with
+      | Some d -> d
+      | None ->
+        let msg = match resp with Pool.R_error e -> e | _ -> assert false in
+        Fnv.string Fnv.empty msg)
+    out
+
+let digests_of_run ?engine db reqs ~domains ~budget_bytes =
+  let engine = match engine with Some e -> e | None -> build_engine db in
+  Pool.with_pool ~domains ~budget_bytes engine (fun pool ->
+      digest_responses (Pool.run pool reqs))
 
 let () =
   let domains = ref 8 in
@@ -165,6 +166,42 @@ let () =
         failures := !failures + !mismatches
       done)
     [ 0; 8 * 1024 * 1024 ];
+  (* Traced pass: the same pooled workload with the sharded tracer on.
+     Tracing must not perturb a single digest, and every span the merge
+     emits must say which domain produced it. *)
+  let sink, spans = Olar_obs.Sink.memory () in
+  let traced_engine =
+    Engine.at_threshold
+      ~obs:(Olar_obs.Obs.create ~trace:sink ())
+      db ~primary_support
+  in
+  let serial = digests_of_run db reqs ~domains:1 ~budget_bytes:0 in
+  let traced, traced_s =
+    Olar_util.Timer.time (fun () ->
+        digests_of_run ~engine:traced_engine db reqs ~domains:!domains
+          ~budget_bytes:0)
+  in
+  Olar_obs.Obs.flush_opt (Engine.obs traced_engine);
+  let mismatches = ref 0 in
+  Array.iteri
+    (fun i d -> if not (Int64.equal d serial.(i)) then incr mismatches)
+    traced;
+  let emitted = spans () in
+  let untagged =
+    List.length
+      (List.filter
+         (fun s -> not (List.mem_assoc "domain" s.Olar_obs.Trace.attrs))
+         emitted)
+  in
+  Printf.printf
+    "traced: pool(%d domains) with tracing on in %.2fs: %d mismatches, %d \
+     spans (%d untagged)\n%!"
+    !domains traced_s !mismatches (List.length emitted) untagged;
+  failures := !failures + !mismatches + untagged;
+  if emitted = [] then begin
+    print_endline "traced: no spans emitted — tracer silently disabled";
+    incr failures
+  end;
   if !failures > 0 then begin
     Printf.printf "pool stress FAILED: %d digest mismatches\n" !failures;
     exit 1

@@ -1207,8 +1207,9 @@ let replay_cmd =
           ~doc:
             "Replay through a serving pool of $(docv) domains (one shared \
              lattice, per-domain sessions; appends barrier the batch) instead \
-             of a single serial session. Incompatible with $(b,--trace) — \
-             tracing is single-domain only."
+             of a single serial session. With $(b,--trace), each domain's \
+             spans are buffered in its own shard and merged domain-tagged \
+             into the trace file."
           ~docv:"N")
   in
   let run lattice_path log_path cache_mb domains explain metrics trace =
@@ -1464,11 +1465,24 @@ let serve_cmd =
              still queued past it is dropped with 503. 0 disables."
           ~docv:"MS")
   in
+  let trace_sample_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "trace-sample" ]
+          ~doc:
+            "With $(b,--trace), additionally emit a per-request trace (an \
+             http.request span with six phase children) for every $(docv)th \
+             query. 0 disables per-request traces (engine spans are still \
+             emitted)."
+          ~docv:"N")
+  in
   let run lattice_path host port domains cache_mb queue_depth deadline_ms
-      record metrics trace =
+      record trace_sample slow_ms metrics trace =
     warn_domains domains;
     if queue_depth <= 0 then
       or_die (Error "queue depth must be positive");
+    if trace_sample < 0 then
+      or_die (Error "--trace-sample must be non-negative");
     (* the server scrapes its registry over /metrics, so observability is
        always on; --metrics additionally prints the registry on exit *)
     let obs, finish_obs = make_obs ~force:true metrics trace in
@@ -1481,6 +1495,11 @@ let serve_cmd =
         queue_depth;
         deadline_s = deadline_ms /. 1000.0;
         record;
+        trace_sample;
+        slow_s =
+          (* absent --slow-ms disables the slow log; an explicit 0 logs
+             every request (the Recorder >= convention) *)
+          (match slow_ms with None -> infinity | Some ms -> ms /. 1000.0);
       }
     in
     let server =
@@ -1520,11 +1539,13 @@ let serve_cmd =
           Queries are coalesced into pool rounds across $(b,--domains) \
           workers; overload is shed with 429 (queue full) and 503 \
           (deadline). With $(b,--record) served traffic is captured for \
-          $(b,olar replay). Runs until SIGINT/SIGTERM, then drains.")
+          $(b,olar replay). Per-request latency splits into six traced \
+          phases ($(b,--trace-sample), $(b,--slow-ms), $(b,GET /statusz)). \
+          Runs until SIGINT/SIGTERM, then drains.")
     Term.(
       const run $ lattice_arg $ host_arg $ port_arg $ domains_arg
       $ cache_mb_arg $ queue_depth_arg $ deadline_ms_arg $ record_arg
-      $ metrics_flag $ trace_out_arg)
+      $ trace_sample_arg $ slow_ms_arg $ metrics_flag $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 

@@ -240,7 +240,9 @@ let reason_phrase = function
   | 505 -> "HTTP Version Not Supported"
   | _ -> "Unknown"
 
-let render_response ?(headers = []) ~status body =
+(* [head:true] renders a HEAD answer: status, headers and the
+   Content-Length the GET body would have, but no body bytes. *)
+let render_response ?(headers = []) ?(head = false) ~status body =
   let b = Buffer.create (String.length body + 128) in
   Buffer.add_string b
     (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (reason_phrase status));
@@ -249,7 +251,7 @@ let render_response ?(headers = []) ~status body =
     headers;
   Buffer.add_string b
     (Printf.sprintf "Content-Length: %d\r\n\r\n" (String.length body));
-  Buffer.add_string b body;
+  if not head then Buffer.add_string b body;
   Buffer.contents b
 
 let render_request ?(headers = []) ~meth ~target body =

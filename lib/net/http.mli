@@ -83,9 +83,11 @@ val reason_phrase : int -> string
 
 (** [render_response ~status ~headers body] serializes a response with
     [Content-Length] computed from [body]; a [Connection] header is
-    emitted only if present in [headers]. *)
+    emitted only if present in [headers]. With [head:true] the body
+    bytes are omitted while [Content-Length] still reflects them — the
+    HEAD answer to the corresponding GET. *)
 val render_response :
-  ?headers:(string * string) list -> status:int -> string -> string
+  ?headers:(string * string) list -> ?head:bool -> status:int -> string -> string
 
 (** [render_request ~meth ~target ~headers body] serializes a request
     with [Content-Length] appended when [body] is non-empty. *)

@@ -20,6 +20,8 @@ type config = {
   deadline_s : float;
   max_body_bytes : int;
   record : string option;
+  trace_sample : int;
+  slow_s : float;
 }
 
 let default_config =
@@ -31,7 +33,20 @@ let default_config =
     deadline_s = 0.0;
     max_body_bytes = 4 * 1024 * 1024;
     record = None;
+    trace_sample = 0;
+    slow_s = infinity;
   }
+
+(* The six attribution phases of one wire request, in wall-clock order.
+   parse:    HTTP parse + query-key decode on the connection thread
+   queue:    arrival to the drainer claiming the ticket
+   dispatch: claim to a pool domain starting execution
+   execute:  the pool's claim-to-completion service time
+   deliver:  execution done to the connection thread waking
+   write:    rendering + writing the response bytes *)
+let phase_names = [| "parse"; "queue"; "dispatch"; "execute"; "deliver"; "write" |]
+
+let num_phases = Array.length phase_names
 
 (* One admitted query. The connection thread parks on [cv] until the
    drainer (deadline drop) or a pool domain (completion) writes the
@@ -42,14 +57,36 @@ type outcome =
   | Shed of int * string  (* HTTP status, message *)
 
 type ticket = {
+  id : int; (* server-global request id, from the HTTP front door *)
   key : Record.t;
   req : Pool.request;
+  t0 : float; (* monotonic at parse start on the connection thread *)
+  parse_s : float; (* HTTP parse + key decode *)
   arrival : float;
   deadline : float;  (* [infinity] when deadlines are off *)
   tmu : Mutex.t;
   tcv : Condition.t;
   mutable outcome : outcome;
+  (* phase stamps, written by the drainer / executing domain *)
+  mutable t_claim : float; (* drainer claimed the ticket from the queue *)
+  mutable t_exec_start : float; (* a pool domain began executing *)
+  mutable t_exec_done : float; (* execution finished *)
+  mutable exec_domain : int; (* Domain.self of the executing domain *)
 }
+
+(* One entry of the slow-request ring: everything /statusz needs to
+   show about a request that crossed the --slow-ms threshold. *)
+type slow_entry = {
+  s_id : int;
+  s_kind : string;
+  s_status : int;
+  s_domain : int;
+  s_total_s : float;
+  s_phases : float array; (* length num_phases, seconds *)
+  s_uptime_s : float; (* server uptime at completion *)
+}
+
+let slow_ring_capacity = 64
 
 type t = {
   cfg : config;
@@ -68,6 +105,16 @@ type t = {
   g_queue_depth : Metrics.Gauge.t;
   g_queue_peak : Metrics.Gauge.t;
   h_request : Metrics.Histogram.t;
+  h_phase : Metrics.Histogram.t array; (* indexed by phase, length num_phases *)
+  (* request identity and tracing *)
+  req_seq : int Atomic.t;
+  started_s : float; (* monotonic at create; anchors /statusz uptime *)
+  (* slow-request ring (newest overwrite oldest) *)
+  slow_mu : Mutex.t;
+  slow_ring : slow_entry option array;
+  mutable slow_seen : int; (* total requests over the threshold *)
+  (* drainer-side runtime-gauge sampling throttle *)
+  mutable last_sample_s : float;
   (* admission queue *)
   qmu : Mutex.t;
   qcv : Condition.t;
@@ -171,7 +218,12 @@ let error_response ~status msg =
       ("error", Jsonx.Str msg);
     ]
 
-let ok_response resp ~latency_s =
+(* [lat_s] stays the pool's claim-to-completion service time (what
+   capture/replay compares); [total_s] is the wire-side account —
+   parse + queue + dispatch + execute + deliver. The write phase can't
+   be in the body that reports it; it lands in the phase histogram
+   after the bytes are out. *)
+let ok_response resp ~id ~latency_s ~total_s =
   let digest =
     match Replay.digest_response resp with
     | Some d -> d
@@ -180,9 +232,11 @@ let ok_response resp ~latency_s =
   json_response ~status:200
     ([
        ("status", Jsonx.Str "ok");
+       ("id", Jsonx.Int id);
        ("digest", Jsonx.Str (Fnv.to_hex digest));
        ("size", Jsonx.Int (result_size resp));
        ("lat_s", Jsonx.Float latency_s);
+       ("total_s", Jsonx.Float total_s);
      ]
     @ result_fields resp)
 
@@ -219,8 +273,9 @@ let admit t ticket =
       Queue.add ticket t.queue;
       let depth = Queue.length t.queue in
       Metrics.Gauge.set_int t.g_queue_depth depth;
-      if float_of_int depth > Metrics.Gauge.value t.g_queue_peak then
-        Metrics.Gauge.set_int t.g_queue_peak depth;
+      (* CAS-max: a read-then-set here raced between admission threads
+         and could lose the higher peak *)
+      Metrics.Gauge.max_int t.g_queue_peak depth;
       Condition.signal t.qcv;
       Ok ()
     end
@@ -279,17 +334,58 @@ let serve_round t tickets =
              resolve ticket (Shed (503, "deadline exceeded"));
              false
            end
-           else true)
+           else begin
+             ticket.t_claim <- now;
+             true
+           end)
          (Array.to_list tickets))
   in
   if Array.length live > 0 then begin
     let reqs = Array.map (fun ticket -> ticket.req) live in
     let out =
       Pool.run_deliver t.pool
-        ~on_complete:(fun i (resp, dt) -> resolve live.(i) (Served (resp, dt)))
+        ~on_complete:(fun i (resp, dt) ->
+          (* runs on the executing domain: stamp the execution window
+             and its domain before waking the connection thread *)
+          let ticket = live.(i) in
+          let done_s = Timer.monotonic_s () in
+          ticket.t_exec_done <- done_s;
+          ticket.t_exec_start <- done_s -. dt;
+          ticket.exec_domain <- (Domain.self () :> int);
+          resolve ticket (Served (resp, dt)))
         reqs
     in
     record_round t live out
+  end
+
+(* Refresh per-domain utilization gauges from the pool's accounting. *)
+let refresh_domain_gauges t =
+  Array.iteri
+    (fun k (st : Pool.domain_stat) ->
+      let labels = [ ("domain", string_of_int k) ] in
+      Metrics.Gauge.set
+        (Metrics.gauge t.registry ~labels
+           ~help:"Seconds each pool slot spent executing requests"
+           "olar_pool_domain_busy_seconds")
+        st.Pool.busy_s;
+      Metrics.Gauge.set_int
+        (Metrics.gauge t.registry ~labels
+           ~help:"Requests each pool slot has executed"
+           "olar_pool_domain_requests")
+        st.Pool.requests)
+    (Pool.domain_stats t.pool)
+
+(* Keep runtime/domain gauges fresh and merge buffered trace shards
+   even when nobody scrapes /metrics: called from the drainer between
+   rounds, at most once a second. Only the drainer writes
+   [last_sample_s]. *)
+let sample_runtime t =
+  let now = Timer.monotonic_s () in
+  if now -. t.last_sample_s >= 1.0 then begin
+    t.last_sample_s <- now;
+    Option.iter Obs.update_runtime_gauges t.obs_ctx;
+    refresh_domain_gauges t;
+    Option.iter Obs.flush t.obs_ctx
   end
 
 let drainer_loop t =
@@ -307,32 +403,247 @@ let drainer_loop t =
       Metrics.Gauge.set_int t.g_queue_depth 0;
       Mutex.unlock t.qmu;
       serve_round t tickets;
+      sample_runtime t;
       go ()
     end
   in
   go ()
 
 (* ------------------------------------------------------------------ *)
+(* Phase accounting, slow log, sampled traces                         *)
+(* ------------------------------------------------------------------ *)
+
+let clamp0 x = Float.max 0.0 x
+
+(* Per-phase durations for one served ticket, indexed as
+   [phase_names]. The write slot stays 0 here; the connection thread
+   fills it after the response bytes are out. *)
+let phase_durations ticket ~t_awake =
+  let p = Array.make num_phases 0.0 in
+  p.(0) <- clamp0 ticket.parse_s;
+  p.(1) <- clamp0 (ticket.t_claim -. ticket.arrival);
+  p.(2) <- clamp0 (ticket.t_exec_start -. ticket.t_claim);
+  p.(3) <- clamp0 (ticket.t_exec_done -. ticket.t_exec_start);
+  p.(4) <- clamp0 (t_awake -. ticket.t_exec_done);
+  p
+
+let push_slow t entry =
+  Mutex.lock t.slow_mu;
+  t.slow_ring.(t.slow_seen mod slow_ring_capacity) <- Some entry;
+  t.slow_seen <- t.slow_seen + 1;
+  Mutex.unlock t.slow_mu;
+  let ms i = entry.s_phases.(i) *. 1e3 in
+  Printf.eprintf
+    "olar-serve: slow request id=%d kind=%s status=%d domain=%d total=%.1fms \
+     (parse=%.1f queue=%.1f dispatch=%.1f execute=%.1f deliver=%.1f \
+     write=%.1f)\n\
+     %!"
+    entry.s_id entry.s_kind entry.s_status entry.s_domain
+    (entry.s_total_s *. 1e3)
+    (ms 0) (ms 1) (ms 2) (ms 3) (ms 4) (ms 5)
+
+(* Emit one sampled per-request trace: six phase children (child-first)
+   under an [http.request] root spanning the whole wire latency. The
+   connection thread never touches the stack tracer — domain 0's stack
+   belongs to the drainer — so the spans are injected prebuilt into the
+   calling thread's shard. *)
+let inject_request_trace t ticket ~status ~phases ~total_s =
+  match Option.bind t.obs_ctx Obs.tracing with
+  | None -> ()
+  | Some sh ->
+    let root = Olar_obs.Trace.Sharded.alloc_id sh in
+    let start = ref ticket.t0 in
+    Array.iteri
+      (fun i name ->
+        ignore
+          (Olar_obs.Trace.Sharded.inject sh ~parent:root ~depth:1
+             ~name:("phase." ^ name) ~start_s:!start ~duration_s:phases.(i) []);
+        start := !start +. phases.(i))
+      phase_names;
+    ignore
+      (Olar_obs.Trace.Sharded.inject sh ~id:root ~depth:0 ~name:"http.request"
+         ~start_s:ticket.t0 ~duration_s:total_s
+         [
+           ("request", Olar_obs.Trace.Int ticket.id);
+           ("kind", Olar_obs.Trace.Str (Record.kind_to_string ticket.key.Record.kind));
+           ("status", Olar_obs.Trace.Int status);
+           ("exec_domain", Olar_obs.Trace.Int ticket.exec_domain);
+         ])
+
+(* After the response bytes are out: close the books on one served
+   query — write-phase histogram, sampled trace, slow-request log. *)
+let finish_query t ticket ~status ~sampled ~phases ~write_s =
+  let write_s = clamp0 write_s in
+  phases.(5) <- write_s;
+  Metrics.Histogram.observe t.h_phase.(5) write_s;
+  let total_s = Array.fold_left ( +. ) 0.0 phases in
+  if sampled then inject_request_trace t ticket ~status ~phases ~total_s;
+  if total_s >= t.cfg.slow_s then
+    push_slow t
+      {
+        s_id = ticket.id;
+        s_kind = Record.kind_to_string ticket.key.Record.kind;
+        s_status = status;
+        s_domain = ticket.exec_domain;
+        s_total_s = total_s;
+        s_phases = phases;
+        s_uptime_s = clamp0 (Timer.monotonic_s () -. t.started_s);
+      }
+
+(* ------------------------------------------------------------------ *)
+(* /statusz                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Phase-histogram summaries: a Jsonx-parseable view of the six
+   olar_http_phase_seconds series, so tooling (the bench harness) can
+   read phase latencies without parsing Prometheus text. *)
+let phases_json t =
+  let us x = Jsonx.Float (if Float.is_finite x then x *. 1e6 else 0.0) in
+  Jsonx.Obj
+    (Array.to_list
+       (Array.mapi
+          (fun i name ->
+            let h = t.h_phase.(i) in
+            ( name,
+              Jsonx.Obj
+                [
+                  ("count", Jsonx.Int (Metrics.Histogram.count h));
+                  ("sum_s", Jsonx.Float (Metrics.Histogram.sum h));
+                  ("p50_us", us (Metrics.Histogram.quantile h 0.5));
+                  ("p90_us", us (Metrics.Histogram.quantile h 0.9));
+                  ("p99_us", us (Metrics.Histogram.quantile h 0.99));
+                ] ))
+          phase_names))
+
+let slow_entry_json e =
+  Jsonx.Obj
+    [
+      ("id", Jsonx.Int e.s_id);
+      ("kind", Jsonx.Str e.s_kind);
+      ("status", Jsonx.Int e.s_status);
+      ("domain", Jsonx.Int e.s_domain);
+      ("total_ms", Jsonx.Float (e.s_total_s *. 1e3));
+      ( "phases_ms",
+        Jsonx.Obj
+          (Array.to_list
+             (Array.mapi
+                (fun i name -> (name, Jsonx.Float (e.s_phases.(i) *. 1e3)))
+                phase_names)) );
+      ("uptime_s", Jsonx.Float e.s_uptime_s);
+    ]
+
+(* Snapshot the slow ring, newest first. *)
+let slow_snapshot t =
+  Mutex.lock t.slow_mu;
+  let seen = t.slow_seen in
+  let n = min seen slow_ring_capacity in
+  let entries =
+    List.filter_map
+      (fun k -> t.slow_ring.((seen - 1 - k) mod slow_ring_capacity))
+      (List.init n Fun.id)
+  in
+  Mutex.unlock t.slow_mu;
+  (seen, entries)
+
+let statusz_json t =
+  let version =
+    match Metrics.find t.registry "olar_build_info" with
+    | Some { Metrics.labels; _ } -> (
+      match List.assoc_opt "version" labels with
+      | Some v -> v
+      | None -> "unknown")
+    | None -> "unknown"
+  in
+  let uptime = clamp0 (Timer.monotonic_s () -. t.started_s) in
+  let pool_json =
+    Jsonx.Arr
+      (Array.to_list
+         (Array.mapi
+            (fun k (st : Pool.domain_stat) ->
+              Jsonx.Obj
+                [
+                  ("domain", Jsonx.Int k);
+                  ("requests", Jsonx.Int st.Pool.requests);
+                  ("busy_s", Jsonx.Float st.Pool.busy_s);
+                  ( "utilization",
+                    Jsonx.Float
+                      (if uptime > 0.0 then st.Pool.busy_s /. uptime else 0.0)
+                  );
+                ])
+            (Pool.domain_stats t.pool)))
+  in
+  let seen, slow_entries = slow_snapshot t in
+  Jsonx.Obj
+    [
+      ("version", Jsonx.Str version);
+      ("uptime_s", Jsonx.Float uptime);
+      ("domains", Jsonx.Int (Pool.domains t.pool));
+      ( "queue",
+        Jsonx.Obj
+          [
+            ( "depth",
+              Jsonx.Int (int_of_float (Metrics.Gauge.value t.g_queue_depth)) );
+            ( "peak",
+              Jsonx.Int (int_of_float (Metrics.Gauge.value t.g_queue_peak)) );
+            ("limit", Jsonx.Int t.cfg.queue_depth);
+          ] );
+      ( "counters",
+        Jsonx.Obj
+          [
+            ("connections", Jsonx.Int (Counter.value t.c_conns));
+            ("requests", Jsonx.Int (Counter.value t.c_requests));
+            ("queries", Jsonx.Int (Counter.value t.c_queries));
+            ("bad_requests", Jsonx.Int (Counter.value t.c_bad));
+            ("shed_queue", Jsonx.Int (Counter.value t.c_shed_queue));
+            ("shed_deadline", Jsonx.Int (Counter.value t.c_shed_deadline));
+          ] );
+      ("pool", pool_json);
+      ("phases", phases_json t);
+      ( "slow",
+        Jsonx.Obj
+          [
+            ( "threshold_ms",
+              if Float.is_finite t.cfg.slow_s then
+                Jsonx.Float (t.cfg.slow_s *. 1e3)
+              else Jsonx.Null );
+            ("seen", Jsonx.Int seen);
+            ("entries", Jsonx.Arr (List.map slow_entry_json slow_entries));
+          ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Request handling                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let handle_query t body =
-  match Record.key_of_json_line body with
-  | Error e ->
+(* [handle_query] returns the response string plus an optional
+   post-write hook: phase accounting can only complete once the write
+   phase is measured, which happens on the connection thread after
+   [send]. *)
+let handle_query t ~rid ~t0 body =
+  let fail e =
     Counter.incr t.c_bad;
-    error_response ~status:400 ("invalid query key: " ^ e)
+    (error_response ~status:400 e, None)
+  in
+  match Record.key_of_json_line body with
+  | Error e -> fail ("invalid query key: " ^ e)
   | Ok key -> (
     match Replay.request_of_record key with
-    | Error e ->
-      Counter.incr t.c_bad;
-      error_response ~status:400 ("incomplete query key: " ^ e)
+    | Error e -> fail ("incomplete query key: " ^ e)
     | Ok req ->
       Counter.incr t.c_queries;
       let arrival = Timer.monotonic_s () in
+      let sampled =
+        t.cfg.trace_sample > 0
+        && Option.bind t.obs_ctx Obs.tracing <> None
+        && rid mod t.cfg.trace_sample = 0
+      in
       let ticket =
         {
+          id = rid;
           key;
           req;
+          t0;
+          parse_s = arrival -. t0;
           arrival;
           deadline =
             (if t.cfg.deadline_s > 0.0 then arrival +. t.cfg.deadline_s
@@ -340,44 +651,75 @@ let handle_query t body =
           tmu = Mutex.create ();
           tcv = Condition.create ();
           outcome = Pending;
+          t_claim = arrival;
+          t_exec_start = arrival;
+          t_exec_done = arrival;
+          exec_domain = -1;
         }
       in
       (match admit t ticket with
-      | Error (status, msg) -> error_response ~status msg
+      | Error (status, msg) -> (error_response ~status msg, None)
       | Ok () -> (
         match await ticket with
         | Pending -> assert false
-        | Shed (status, msg) -> error_response ~status msg
-        | Served (Pool.R_error msg, _) -> error_response ~status:422 msg
+        | Shed (status, msg) ->
+          (* shed before execution: no phase account to close *)
+          (error_response ~status msg, None)
         | Served (resp, latency_s) ->
-          Metrics.Histogram.observe t.h_request
-            (Float.max 0.0 (Timer.monotonic_s () -. arrival));
-          ok_response resp ~latency_s)))
+          let t_awake = Timer.monotonic_s () in
+          Metrics.Histogram.observe t.h_request (clamp0 (t_awake -. arrival));
+          let phases = phase_durations ticket ~t_awake in
+          for i = 0 to 4 do
+            Metrics.Histogram.observe t.h_phase.(i) phases.(i)
+          done;
+          let total_s = Array.fold_left ( +. ) 0.0 phases in
+          let status, body =
+            match resp with
+            | Pool.R_error msg -> (422, error_response ~status:422 msg)
+            | resp -> (200, ok_response resp ~id:rid ~latency_s ~total_s)
+          in
+          ( body,
+            Some
+              (fun write_s ->
+                finish_query t ticket ~status ~sampled ~phases ~write_s) ))))
 
-let handle t (req : Http.request) =
+(* The GET body of each read-only endpoint, shared by HEAD (which
+   renders the same status/headers with the body omitted). *)
+let endpoint_get t target =
+  match target with
+  | "/metrics" ->
+    Option.iter Obs.update_runtime_gauges t.obs_ctx;
+    refresh_domain_gauges t;
+    Some
+      ( [ ("content-type", "text/plain; version=0.0.4; charset=utf-8") ],
+        Exposition.to_prometheus t.registry )
+  | "/healthz" -> Some ([ ("content-type", "text/plain") ], "ok\n")
+  | "/statusz" ->
+    Option.iter Obs.update_runtime_gauges t.obs_ctx;
+    refresh_domain_gauges t;
+    Some (json_headers, Jsonx.to_string (statusz_json t) ^ "\n")
+  | _ -> None
+
+let handle t (req : Http.request) ~rid ~t0 =
   let close =
     match Http.header req "connection" with
     | Some v -> String.lowercase_ascii (String.trim v) = "close"
     | None -> false
   in
-  let resp =
+  let resp, post =
     match (req.meth, req.target) with
-    | "POST", "/query" -> handle_query t req.body
-    | "GET", "/metrics" ->
-      Option.iter Obs.update_runtime_gauges t.obs_ctx;
-      Http.render_response
-        ~headers:
-          [ ("content-type", "text/plain; version=0.0.4; charset=utf-8") ]
-        ~status:200
-        (Exposition.to_prometheus t.registry)
-    | "GET", "/healthz" ->
-      Http.render_response
-        ~headers:[ ("content-type", "text/plain") ]
-        ~status:200 "ok\n"
-    | ("GET" | "POST" | "HEAD"), _ -> error_response ~status:404 "no such endpoint"
-    | _ -> error_response ~status:405 "method not allowed"
+    | "POST", "/query" -> handle_query t ~rid ~t0 req.body
+    | ("GET" | "HEAD"), target -> (
+      match endpoint_get t target with
+      | Some (headers, body) ->
+        ( Http.render_response ~headers ~head:(req.meth = "HEAD") ~status:200
+            body,
+          None )
+      | None -> (error_response ~status:404 "no such endpoint", None))
+    | "POST", _ -> (error_response ~status:404 "no such endpoint", None)
+    | _ -> (error_response ~status:405 "method not allowed", None)
   in
-  (resp, close)
+  (resp, close, post)
 
 (* ------------------------------------------------------------------ *)
 (* Connection I/O                                                     *)
@@ -404,6 +746,10 @@ let conn_loop t fd =
        (* serve every complete pipelined request already buffered *)
        let progress = ref true in
        while !progress && not !closed do
+         (* parse-phase start for the request this attempt completes;
+            earlier Incomplete attempts (partial reads) are not
+            attributed — parse covers the final parse + key decode *)
+         let pt0 = Timer.monotonic_s () in
          match
            Http.parse_request ~max_body:t.cfg.max_body_bytes
              (Buffer.contents buf) ~off:!off
@@ -411,8 +757,13 @@ let conn_loop t fd =
          | Http.Complete (req, used) ->
            off := !off + used;
            Counter.incr t.c_requests;
-           let resp, close = handle t req in
+           let rid = Atomic.fetch_and_add t.req_seq 1 in
+           let resp, close, post = handle t req ~rid ~t0:pt0 in
+           let w0 = Timer.monotonic_s () in
            send resp;
+           (match post with
+           | None -> ()
+           | Some finish -> finish (Timer.monotonic_s () -. w0));
            if close then closed := true
          | Http.Incomplete ->
            progress := false;
@@ -542,6 +893,20 @@ let create ?(config = default_config) ?domains ?budget_bytes engine =
         Metrics.histogram registry
           ~help:"end-to-end /query latency (admission to response build)"
           "olar_http_request_seconds";
+      h_phase =
+        Array.map
+          (fun phase ->
+            Metrics.histogram registry
+              ~help:"per-phase /query latency attribution"
+              ~labels:[ ("phase", phase) ]
+              "olar_http_phase_seconds")
+          phase_names;
+      req_seq = Atomic.make 0;
+      started_s = Timer.monotonic_s ();
+      slow_mu = Mutex.create ();
+      slow_ring = Array.make slow_ring_capacity None;
+      slow_seen = 0;
+      last_sample_s = neg_infinity;
       qmu = Mutex.create ();
       qcv = Condition.create ();
       queue = Queue.create ();
@@ -591,7 +956,10 @@ let stop t =
       conns;
     List.iter (fun (_, th) -> Thread.join th) conns;
     Option.iter close_out_noerr t.rec_oc;
-    Pool.shutdown t.pool
+    Pool.shutdown t.pool;
+    (* every producer thread is joined: merge whatever spans are still
+       buffered so a trace file is complete when [stop] returns *)
+    Option.iter Obs.flush t.obs_ctx
   end
 
 let with_server ?config ?domains ?budget_bytes engine f =

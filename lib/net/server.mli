@@ -19,8 +19,31 @@
       text the pool's [R_error] carries, so wire answers stay
       digest-comparable with serial runs.
     - [GET /metrics] — Prometheus text exposition of the engine's
-      metrics registry (plus the server's own [olar_http_*] series).
+      metrics registry (plus the server's own [olar_http_*] series,
+      including the six [olar_http_phase_seconds{phase="..."}]
+      histograms and per-domain
+      [olar_pool_domain_busy_seconds]/[olar_pool_domain_requests]
+      gauges).
     - [GET /healthz] — 200 ["ok"] while serving.
+    - [GET /statusz] — JSON debug state: build version, uptime, queue
+      depth/peak/limit, request counters, per-domain utilization, the
+      six phase-histogram summaries, and the last N requests over the
+      [slow_s] threshold (a bounded ring, newest first).
+    - [HEAD] on any of the three read-only endpoints answers with the
+      GET status and headers (including the GET body's
+      [Content-Length]) and an empty body.
+
+    {2 Request identity and phase attribution}
+
+    Every parsed HTTP request gets a server-global id. For served
+    queries the response carries it ([id]) and the wire latency splits
+    into six phases — parse, queue, dispatch, execute, deliver, write —
+    observed into labelled histograms; [total_s] in the response is the
+    sum of the first five (the write phase cannot be inside the body
+    that reports it). With [trace_sample = N] and tracing enabled,
+    every Nth request additionally emits an [http.request] span with
+    six [phase.*] children into the engine's trace sink, tagged with
+    the request id, kind, HTTP status and executing domain.
 
     {2 Load shedding}
 
@@ -60,6 +83,15 @@ type config = {
       (** per-request deadline from arrival; [0.] disables (default) *)
   max_body_bytes : int;  (** request-body cap, default 4 MiB *)
   record : string option;  (** append served queries to this jsonl file *)
+  trace_sample : int;
+      (** emit a per-request trace for every Nth query (request ids
+          divisible by N); [0] disables sampling (default). Only
+          effective when the engine's obs context has tracing on. *)
+  slow_s : float;
+      (** log requests whose wire total reaches this many seconds to
+          stderr and the /statusz ring ([>=], the {!Olar_replay.Recorder}
+          slow-query convention — [0.] logs everything); [infinity]
+          disables (default) *)
 }
 
 val default_config : config

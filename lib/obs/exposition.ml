@@ -131,26 +131,34 @@ let prom_float f =
 
 let to_prometheus registry =
   let buf = Buffer.create 1024 in
+  (* With labelled series, one metric name may appear as several entries
+     (olar_http_phase_seconds{phase="..."}); HELP/TYPE must be emitted
+     once per name, before its first series. *)
+  let announced = Hashtbl.create 16 in
   let header name help kind =
-    if help <> "" then
-      Buffer.add_string buf
-        (Printf.sprintf "# HELP %s %s\n" name (escape_help help));
-    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    if not (Hashtbl.mem announced name) then begin
+      Hashtbl.add announced name ();
+      if help <> "" then
+        Buffer.add_string buf
+          (Printf.sprintf "# HELP %s %s\n" name (escape_help help));
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  let render_labels kvs =
+    match kvs with
+    | [] -> ""
+    | kvs ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" (sanitize_name k) (escape_label v))
+             kvs)
+      ^ "}"
   in
   Metrics.iter registry (fun { Metrics.name; help; labels; metric } ->
       let name = sanitize_name name in
-      let series =
-        match labels with
-        | [] -> name
-        | kvs ->
-          name ^ "{"
-          ^ String.concat ","
-              (List.map
-                 (fun (k, v) ->
-                   Printf.sprintf "%s=\"%s\"" (sanitize_name k) (escape_label v))
-                 kvs)
-          ^ "}"
-      in
+      let series = name ^ render_labels labels in
       match metric with
       | Metrics.M_counter c ->
         header name help "counter";
@@ -162,6 +170,9 @@ let to_prometheus registry =
           (Printf.sprintf "%s %s\n" series (prom_float (Metrics.Gauge.value g)))
       | Metrics.M_histogram h ->
         header name help "histogram";
+        (* A labelled histogram merges its constant labels with the
+           per-bucket [le]: name_bucket{phase="parse",le="0.001"}. *)
+        let bucket_labels le = render_labels (labels @ [ ("le", le) ]) in
         let bounds = Metrics.Histogram.bounds h in
         let counts = Metrics.Histogram.counts h in
         let cum = ref 0 in
@@ -169,15 +180,17 @@ let to_prometheus registry =
           (fun i b ->
             cum := !cum + counts.(i);
             Buffer.add_string buf
-              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name (prom_float b)
+              (Printf.sprintf "%s_bucket%s %d\n" name
+                 (bucket_labels (prom_float b))
                  !cum))
           bounds;
         cum := !cum + counts.(Array.length counts - 1);
         Buffer.add_string buf
-          (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name !cum);
+          (Printf.sprintf "%s_bucket%s %d\n" name (bucket_labels "+Inf") !cum);
         Buffer.add_string buf
-          (Printf.sprintf "%s_sum %s\n" name
+          (Printf.sprintf "%s_sum%s %s\n" name (render_labels labels)
              (prom_float (Metrics.Histogram.sum h)));
         Buffer.add_string buf
-          (Printf.sprintf "%s_count %d\n" name (Metrics.Histogram.count h)));
+          (Printf.sprintf "%s_count%s %d\n" name (render_labels labels)
+             (Metrics.Histogram.count h)));
   Buffer.contents buf

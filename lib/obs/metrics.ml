@@ -11,6 +11,19 @@ module Gauge = struct
   let set g v = Atomic.set g.value v
   let set_int g v = Atomic.set g.value (float_of_int v)
   let value g = Atomic.get g.value
+
+  (* Lock-free monotone maximum: raise the cell to [v] unless a racing
+     writer already raised it higher. This is what high-water marks
+     (queue-depth peak) need — a read-then-set from two admission
+     threads can lose the larger value; CAS-max cannot. *)
+  let max_float g v =
+    let rec go () =
+      let cur = Atomic.get g.value in
+      if v > cur && not (Atomic.compare_and_set g.value cur v) then go ()
+    in
+    go ()
+
+  let max_int g v = max_float g (float_of_int v)
 end
 
 module Histogram = struct
@@ -147,9 +160,35 @@ let locked t f =
   Mutex.lock t.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
-let register t name help labels metric =
-  Hashtbl.replace t.by_name name { name; help; labels; metric };
-  t.order_rev <- name :: t.order_rev
+(* Instruments with constant labels intern under name + rendered labels,
+   so one metric name can carry several labelled series (the phase
+   histograms olar_http_phase_seconds{phase="..."}). Label-free
+   instruments keep their bare name as the key. *)
+let series_key name labels =
+  match labels with
+  | [] -> name
+  | kvs ->
+    name ^ "{"
+    ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) kvs)
+    ^ "}"
+
+(* First registered series of a base name, in registration order. An
+   unlabelled lookup that misses falls back here, preserving the
+   pre-series contract that [gauge t "olar_build_info"] finds the cell
+   registered with labels. Call under the lock. *)
+let find_base_locked t name =
+  let rec go = function
+    | [] -> None
+    | key :: rest -> (
+      match Hashtbl.find_opt t.by_name key with
+      | Some e when e.name = name -> Some e
+      | _ -> go rest)
+  in
+  go (List.rev t.order_rev)
+
+let register t ~key name help labels metric =
+  Hashtbl.replace t.by_name key { name; help; labels; metric };
+  t.order_rev <- key :: t.order_rev
 
 let kind_error name = invalid_arg ("Metrics: " ^ name ^ " registered with another kind")
 
@@ -158,34 +197,48 @@ let counter t ?(help = "") name =
       match Hashtbl.find_opt t.by_name name with
       | Some { metric = M_counter c; _ } -> c
       | Some _ -> kind_error name
-      | None ->
-        let c = Counter.create name in
-        register t name help [] (M_counter c);
-        c)
+      | None -> (
+        match find_base_locked t name with
+        | Some { metric = M_counter c; _ } -> c
+        | Some _ -> kind_error name
+        | None ->
+          let c = Counter.create name in
+          register t ~key:name name help [] (M_counter c);
+          c))
 
 let gauge t ?(help = "") ?(labels = []) name =
   locked t (fun () ->
-      match Hashtbl.find_opt t.by_name name with
+      let key = series_key name labels in
+      match Hashtbl.find_opt t.by_name key with
       | Some { metric = M_gauge g; _ } -> g
       | Some _ -> kind_error name
-      | None ->
-        let g = Gauge.create name in
-        register t name help labels (M_gauge g);
-        g)
+      | None -> (
+        match if labels = [] then find_base_locked t name else None with
+        | Some { metric = M_gauge g; _ } -> g
+        | Some _ -> kind_error name
+        | None ->
+          let g = Gauge.create name in
+          register t ~key name help labels (M_gauge g);
+          g))
 
-let histogram t ?(help = "") ?bounds name =
+let histogram t ?(help = "") ?(labels = []) ?bounds name =
   locked t (fun () ->
-      match Hashtbl.find_opt t.by_name name with
+      let key = series_key name labels in
+      match Hashtbl.find_opt t.by_name key with
       | Some { metric = M_histogram h; _ } -> h
       | Some _ -> kind_error name
-      | None ->
-        let h =
-          match bounds with
-          | Some b -> Histogram.of_bounds name b
-          | None -> Histogram.create name
-        in
-        register t name help [] (M_histogram h);
-        h)
+      | None -> (
+        match if labels = [] then find_base_locked t name else None with
+        | Some { metric = M_histogram h; _ } -> h
+        | Some _ -> kind_error name
+        | None ->
+          let h =
+            match bounds with
+            | Some b -> Histogram.of_bounds name b
+            | None -> Histogram.create name
+          in
+          register t ~key name help labels (M_histogram h);
+          h))
 
 (* Adopt a counter created elsewhere (e.g. a mining [Stats.t] field) so
    its counts surface in the registry without copying — the attached
@@ -200,9 +253,13 @@ let attach_counter t ?(help = "") ?name c =
       if Hashtbl.mem t.by_name name then
         Hashtbl.replace t.by_name name
           { name; help; labels = []; metric = M_counter c }
-      else register t name help [] (M_counter c))
+      else register t ~key:name name help [] (M_counter c))
 
-let find t name = locked t (fun () -> Hashtbl.find_opt t.by_name name)
+let find t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.by_name name with
+      | Some e -> Some e
+      | None -> find_base_locked t name)
 
 (* Snapshot under the lock, then visit outside it, so [f] may intern
    further instruments without deadlocking. *)

@@ -6,9 +6,14 @@
     than wrapping them, so the query kernels' [?work] threading and the
     registry observe the very same cells (no dual bookkeeping).
 
-    Instruments are interned by name: asking twice for the same name
-    returns the same instrument; asking for an existing name with a
-    different kind raises [Invalid_argument].
+    Instruments are interned by (name, labels): asking twice for the
+    same name and constant labels returns the same instrument; distinct
+    label sets under one name are distinct series (the Prometheus
+    model, e.g. [olar_http_phase_seconds{phase="parse"}] vs
+    [{phase="queue"}]). An unlabelled request that finds no exact match
+    falls back to the first registered series of that name, so
+    label-unaware callers keep finding labelled cells. Asking for an
+    existing name with a different kind raises [Invalid_argument].
 
     Domain safety: every instrument stores its state in [Atomic.t]
     cells (counters via {!Olar_util.Timer.Counter}, gauge values,
@@ -28,6 +33,14 @@ module Gauge : sig
   val set : t -> float -> unit
   val set_int : t -> int -> unit
   val value : t -> float
+
+  (** [max_float g v] raises the cell to [v] unless it is already
+      higher — a lock-free monotone maximum (CAS loop), safe against
+      racing writers where a read-then-[set] would lose updates. Used
+      for high-water marks like the admission queue's depth peak. *)
+  val max_float : t -> float -> unit
+
+  val max_int : t -> int -> unit
 end
 
 (** Fixed-bucket histogram with logarithmic default bounds, sized for
@@ -99,14 +112,21 @@ val create : unit -> t
 val counter : t -> ?help:string -> string -> Counter.t
 
 (** [gauge t name] interns a gauge. [labels] (constant key/value pairs,
-    in the Prometheus info-metric style) are kept from the first
-    registration only. *)
+    in the Prometheus style) selects a labelled series of [name]; the
+    same name with different labels is a different cell. *)
 val gauge : t -> ?help:string -> ?labels:(string * string) list -> string -> Gauge.t
 
 (** [histogram t name] interns a histogram with {!Histogram.log_bounds}
     defaults unless [bounds] is given (only consulted on first
-    registration). *)
-val histogram : t -> ?help:string -> ?bounds:float array -> string -> Histogram.t
+    registration). [labels] selects a labelled series of [name], as for
+    {!gauge}. *)
+val histogram :
+  t ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  ?bounds:float array ->
+  string ->
+  Histogram.t
 
 (** [attach_counter t c] registers an externally created counter under
     [name] (default: [Counter.name c]). The attached counter IS the
@@ -115,6 +135,8 @@ val histogram : t -> ?help:string -> ?bounds:float array -> string -> Histogram.
     replaces the metric but keeps its registration order slot. *)
 val attach_counter : t -> ?help:string -> ?name:string -> Counter.t -> unit
 
+(** [find t name] is the entry registered under [name] — for a name
+    that only exists as labelled series, the first registered one. *)
 val find : t -> string -> entry option
 
 (** [iter t f] visits entries in registration order. *)

@@ -2,7 +2,7 @@ module Counter = Olar_util.Timer.Counter
 
 type ctx = {
   metrics : Metrics.t;
-  tracer : Trace.t option;
+  tracing : Trace.Sharded.sharded option;
   sink : Sink.t option;
   clock : unit -> float;
   start_s : float; (* clock reading at [create]; anchors uptime *)
@@ -34,13 +34,15 @@ let create ?(clock = Unix.gettimeofday) ?trace () : t =
       ~help:"Best-first heap pops in support queries"
       "olar_query_heap_pops_total"
   in
-  let tracer =
-    Option.map (fun sink -> Trace.create ~clock ~emit:(Sink.emit sink) ()) trace
+  let tracing =
+    Option.map
+      (fun sink -> Trace.Sharded.create ~clock ~emit:(Sink.emit sink) ())
+      trace
   in
   Some
     {
       metrics;
-      tracer;
+      tracing;
       sink = trace;
       clock;
       start_s = clock ();
@@ -50,9 +52,14 @@ let create ?(clock = Unix.gettimeofday) ?trace () : t =
     }
 
 let metrics ctx = ctx.metrics
-let tracer ctx = ctx.tracer
+let tracing ctx = ctx.tracing
+let tracer ctx = Option.map Trace.Sharded.tracer ctx.tracing
 
-let flush ctx = Option.iter Sink.flush ctx.sink
+(* Merge every domain's buffered spans into the sink, then flush the
+   sink itself. Call from one coordinator thread. *)
+let flush ctx =
+  Option.iter Trace.Sharded.flush ctx.tracing;
+  Option.iter Sink.flush ctx.sink
 let flush_opt = function None -> () | Some ctx -> flush ctx
 
 (* Which work counter a query kernel reports through its [?work] arg. *)
@@ -67,9 +74,9 @@ let work_counter ctx = function
   | No_work -> None
 
 let span ctx name ?attrs f =
-  match ctx.tracer with
+  match ctx.tracing with
   | None -> f ()
-  | Some tr -> Trace.with_span tr name ?attrs f
+  | Some sh -> Trace.with_span (Trace.Sharded.tracer sh) name ?attrs f
 
 let maybe_span obs name ?attrs f =
   match obs with
@@ -95,15 +102,15 @@ let query_span ctx ~name ~work f =
       ~finally:(fun () -> Metrics.Histogram.observe hist (ctx.clock () -. t0))
       (fun () -> f counter)
   in
-  match ctx.tracer with
+  match ctx.tracing with
   | None -> run ()
-  | Some tr ->
+  | Some sh ->
     let attrs () =
       match counter with
       | None -> []
       | Some c -> [ ("work", Trace.Int (Counter.value c - before)) ]
     in
-    Trace.with_span tr ("query." ^ name) ~attrs run
+    Trace.with_span (Trace.Sharded.tracer sh) ("query." ^ name) ~attrs run
 
 let counter ctx ?help name = Metrics.counter ctx.metrics ?help name
 let gauge ctx ?help ?labels name = Metrics.gauge ctx.metrics ?help ?labels name

@@ -9,10 +9,13 @@
 
     Domain safety: the metrics side of a context — counters, gauges,
     histograms, the registry — is safe to share across domains (see
-    {!Metrics}). The {e trace} side is not: {!Trace.t} keeps a
-    single-threaded span stack, so a context created with [?trace] must
-    stay on one domain. The serving pool enforces this by refusing
-    engines whose context carries a tracer. *)
+    {!Metrics}). The trace side is sharded per domain
+    ({!Trace.Sharded}): each domain gets its own span stack and buffer,
+    tagged with the domain id, and {!flush} merges the buffers into the
+    sink on the calling (coordinator) thread. Within one domain the
+    stack tracer is still single-threaded — systhreads sharing a domain
+    must not interleave enter/exit on it (use
+    {!Trace.Sharded.inject} for prebuilt spans instead). *)
 
 module Counter = Olar_util.Timer.Counter
 
@@ -30,9 +33,18 @@ val disabled : t
 val create : ?clock:(unit -> float) -> ?trace:Sink.t -> unit -> t
 
 val metrics : ctx -> Metrics.t
+
+(** The sharded tracing fabric, when [?trace] was given — for callers
+    that inject prebuilt spans or merge buffers themselves. *)
+val tracing : ctx -> Trace.Sharded.sharded option
+
+(** The {e calling domain's} tracer, interned on first use. Distinct
+    domains get distinct tracers over disjoint span-id blocks. *)
 val tracer : ctx -> Trace.t option
 
-(** [flush ctx] flushes the trace sink, if any. *)
+(** [flush ctx] merges every domain's buffered spans into the trace
+    sink (in shard order, child-first within each shard) and flushes
+    the sink. Call from one coordinator thread. *)
 val flush : ctx -> unit
 
 val flush_opt : t -> unit

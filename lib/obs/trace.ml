@@ -24,12 +24,22 @@ type frame = {
 type t = {
   clock : unit -> float;
   emit : span -> unit;
-  mutable next_id : int;
+  alloc : unit -> int;
   mutable stack : frame list; (* innermost open span first *)
 }
 
-let create ?(clock = Unix.gettimeofday) ~emit () =
-  { clock; emit; next_id = 0; stack = [] }
+let create ?(clock = Unix.gettimeofday) ?alloc ~emit () =
+  let alloc =
+    match alloc with
+    | Some f -> f
+    | None ->
+      let next = ref 0 in
+      fun () ->
+        let i = !next in
+        incr next;
+        i
+  in
+  { clock; emit; alloc; stack = [] }
 
 let enter t name =
   let parent, depth =
@@ -39,14 +49,13 @@ let enter t name =
   in
   let f =
     {
-      f_id = t.next_id;
+      f_id = t.alloc ();
       f_parent = parent;
       f_depth = depth;
       f_name = name;
       f_start = t.clock ();
     }
   in
-  t.next_id <- t.next_id + 1;
   t.stack <- f :: t.stack;
   f.f_id
 
@@ -101,3 +110,123 @@ let with_span t name ?(attrs = fun () -> []) f =
     f
 
 let depth t = List.length t.stack
+
+(* ------------------------------------------------------------------ *)
+(* Sharded tracing: one stack tracer per domain over buffered shards. *)
+
+module Sharded = struct
+  (* Each shard owns a disjoint span-id block, so ids allocated by
+     different domains never collide and parentage stays unambiguous
+     after the merge. 2^40 spans per shard leaves room for ~4M shards
+     in a 62-bit int. *)
+  let id_block = 1 lsl 40
+
+  type shard = {
+    sh_domain : int; (* Domain.self of the owner *)
+    sh_base : int; (* first span id of this shard's block *)
+    sh_mu : Mutex.t; (* guards sh_next and sh_buf *)
+    mutable sh_next : int;
+    mutable sh_buf : span list; (* newest first *)
+    mutable sh_tracer : t option; (* always Some after make_shard *)
+  }
+
+  type sharded = {
+    s_clock : unit -> float;
+    s_emit : span -> unit;
+    s_mu : Mutex.t; (* guards the shard table and serialises flushes *)
+    s_shards : (int, shard) Hashtbl.t; (* keyed by domain id *)
+    mutable s_order : shard list; (* interning order, newest first *)
+  }
+
+  let shard_alloc sh =
+    Mutex.lock sh.sh_mu;
+    let i = sh.sh_next in
+    sh.sh_next <- i + 1;
+    Mutex.unlock sh.sh_mu;
+    sh.sh_base + i
+
+  (* Every buffered span is tagged with its shard's domain id; the tag
+     survives the merge, which is what lets consumers of a multi-domain
+     trace group spans back into per-domain child-first runs. *)
+  let shard_push sh span =
+    let span = { span with attrs = ("domain", Int sh.sh_domain) :: span.attrs } in
+    Mutex.lock sh.sh_mu;
+    sh.sh_buf <- span :: sh.sh_buf;
+    Mutex.unlock sh.sh_mu
+
+  let make_shard s domain_id slot =
+    let sh =
+      {
+        sh_domain = domain_id;
+        sh_base = slot * id_block;
+        sh_mu = Mutex.create ();
+        sh_next = 0;
+        sh_buf = [];
+        sh_tracer = None;
+      }
+    in
+    sh.sh_tracer <-
+      Some
+        (create ~clock:s.s_clock
+           ~alloc:(fun () -> shard_alloc sh)
+           ~emit:(fun sp -> shard_push sh sp)
+           ());
+    sh
+
+  let create ?(clock = Unix.gettimeofday) ~emit () =
+    {
+      s_clock = clock;
+      s_emit = emit;
+      s_mu = Mutex.create ();
+      s_shards = Hashtbl.create 8;
+      s_order = [];
+    }
+
+  let shard_for s =
+    let d = (Domain.self () :> int) in
+    Mutex.lock s.s_mu;
+    let sh =
+      match Hashtbl.find_opt s.s_shards d with
+      | Some sh -> sh
+      | None ->
+        let sh = make_shard s d (Hashtbl.length s.s_shards) in
+        Hashtbl.add s.s_shards d sh;
+        s.s_order <- sh :: s.s_order;
+        sh
+    in
+    Mutex.unlock s.s_mu;
+    sh
+
+  let tracer s =
+    match (shard_for s).sh_tracer with
+    | Some t -> t
+    | None -> assert false
+
+  let alloc_id s = shard_alloc (shard_for s)
+
+  let inject s ?id ?parent ~depth ~name ~start_s ~duration_s attrs =
+    let sh = shard_for s in
+    let id = match id with Some i -> i | None -> shard_alloc sh in
+    shard_push sh { id; parent; depth; name; start_s; duration_s; attrs };
+    id
+
+  let flush s =
+    Mutex.lock s.s_mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock s.s_mu)
+      (fun () ->
+        List.iter
+          (fun sh ->
+            Mutex.lock sh.sh_mu;
+            let spans = List.rev sh.sh_buf in
+            sh.sh_buf <- [];
+            Mutex.unlock sh.sh_mu;
+            List.iter s.s_emit spans)
+          (List.rev s.s_order))
+
+  let shards s =
+    Mutex.lock s.s_mu;
+    let n = Hashtbl.length s.s_shards in
+    Mutex.unlock s.s_mu;
+    n
+end

@@ -25,8 +25,15 @@ type t
 
 (** [create ~emit ()] is a tracer delivering closed spans to [emit].
     [clock] defaults to [Unix.gettimeofday]; inject a fake for
-    deterministic tests. *)
-val create : ?clock:(unit -> float) -> emit:(span -> unit) -> unit -> t
+    deterministic tests. [alloc] overrides the span-id allocator (by
+    default a private counter starting at 0) — {!Sharded} uses it to
+    hand each per-domain tracer a disjoint id block. *)
+val create :
+  ?clock:(unit -> float) ->
+  ?alloc:(unit -> int) ->
+  emit:(span -> unit) ->
+  unit ->
+  t
 
 (** [with_span t name f] runs [f ()] inside a span. [attrs] is evaluated
     once, at close time (after [f] returns), so attributes can report
@@ -47,3 +54,59 @@ val exit : t -> id:int -> (string * value) list -> unit
 
 (** [depth t] is the number of currently open spans. *)
 val depth : t -> int
+
+(** Domain-safe tracing: one stack tracer per domain, each writing into
+    its own mutex-protected buffer, merged into the downstream [emit] by
+    {!Sharded.flush} on a coordinator thread.
+
+    Each shard draws span ids from a disjoint block ([slot * 2^40]), so
+    ids are unique across domains and a span's parentage is unambiguous
+    after the merge. Every buffered span is tagged with a [("domain",
+    Int d)] attribute identifying the domain that produced it. Flush
+    emits shard by shard in interning order, each shard's spans in
+    emission (child-first) order — so per-domain child-first ordering
+    survives the merge even though spans from different domains
+    interleave at shard granularity.
+
+    The per-domain stack tracer is still single-threaded: when several
+    systhreads share a domain (e.g. socket threads on domain 0), only
+    one of them may use {!tracer}'s enter/exit stack; the others must
+    use {!inject}, which never touches a stack. *)
+module Sharded : sig
+  type sharded
+
+  val create : ?clock:(unit -> float) -> emit:(span -> unit) -> unit -> sharded
+
+  (** The calling domain's tracer, interned on first use. Spans it
+      closes are buffered in this domain's shard until {!flush}. *)
+  val tracer : sharded -> t
+
+  (** Reserve a span id from the calling domain's block without opening
+      a span — for callers that build a parent span after its children
+      (e.g. a request root emitted once the response is written). *)
+  val alloc_id : sharded -> int
+
+  (** [inject s ~depth ~name ~start_s ~duration_s attrs] appends a
+      fully-formed span to the calling domain's buffer, bypassing the
+      stack. [id] defaults to a freshly allocated one; pass an
+      {!alloc_id}-reserved id to emit a parent after its children.
+      Returns the span's id. Safe from any thread. *)
+  val inject :
+    sharded ->
+    ?id:int ->
+    ?parent:int ->
+    depth:int ->
+    name:string ->
+    start_s:float ->
+    duration_s:float ->
+    (string * value) list ->
+    int
+
+  (** Drain every shard's buffer into the downstream [emit], shard by
+      shard in interning order. Call from one coordinator thread; spans
+      emitted concurrently land in the next flush. *)
+  val flush : sharded -> unit
+
+  (** Number of shards interned so far (= distinct domains seen). *)
+  val shards : sharded -> int
+end

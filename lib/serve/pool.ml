@@ -76,7 +76,26 @@ type t = {
   mutable job_seq : int;
   mutable stop : bool;
   mutable closed : bool;
+  served : int Atomic.t array; (* per-slot requests executed *)
+  busy : float Atomic.t array; (* per-slot seconds spent executing *)
 }
+
+type domain_stat = {
+  requests : int;
+  busy_s : float;
+}
+
+(* Charge [dt] seconds of execution to slot [idx]. The float add is a
+   CAS loop (no fetch-and-add for floats); contention is negligible —
+   one bump per request, on the slot's own cell. *)
+let note_work t idx dt =
+  ignore (Atomic.fetch_and_add t.served.(idx) 1);
+  let cell = t.busy.(idx) in
+  let rec add () =
+    let cur = Atomic.get cell in
+    if not (Atomic.compare_and_set cell cur (cur +. dt)) then add ()
+  in
+  add ()
 
 (* ------------------------------------------------------------------ *)
 (* Request execution (any domain, on that domain's private session)   *)
@@ -129,6 +148,7 @@ let drain t idx job =
     let i = Atomic.fetch_and_add job.next 1 in
     if i < job.hi then begin
       job.out.(i) <- timed session job.reqs.(i);
+      note_work t idx (snd job.out.(i));
       job.deliver i job.out.(i);
       loop ()
     end
@@ -181,12 +201,6 @@ let create ?domains ?budget_bytes engine =
     | None -> Domain.recommended_domain_count ()
   in
   if d < 1 then invalid_arg "Pool.create: domains must be >= 1";
-  (match Engine.obs engine with
-  | Some ctx when Obs.tracer ctx <> None ->
-    invalid_arg
-      "Pool.create: the engine's obs context has a tracer attached, and \
-       tracing is not domain-safe — create the engine without ~trace"
-  | _ -> ());
   let obs = Engine.obs engine in
   let lattice = Engine.lattice engine in
   let sessions =
@@ -209,6 +223,8 @@ let create ?domains ?budget_bytes engine =
       job_seq = 0;
       stop = false;
       closed = false;
+      served = Array.init d (fun _ -> Atomic.make 0);
+      busy = Array.init d (fun _ -> Atomic.make 0.0);
     }
   in
   t.workers <-
@@ -218,6 +234,10 @@ let create ?domains ?budget_bytes engine =
 let domains t = t.num_domains
 let engine t = t.engine
 let stats t = Array.map Session.stats t.sessions
+
+let domain_stats t =
+  Array.init t.num_domains (fun i ->
+      { requests = Atomic.get t.served.(i); busy_s = Atomic.get t.busy.(i) })
 
 let shutdown t =
   if not t.closed then begin
@@ -261,6 +281,7 @@ let run_segment t ~deliver out reqs lo hi =
   if t.num_domains = 1 then
     for i = lo to hi - 1 do
       out.(i) <- timed t.sessions.(0) reqs.(i);
+      note_work t 0 (snd out.(i));
       deliver i out.(i)
     done
   else begin
@@ -309,6 +330,7 @@ let run_with t ~deliver reqs =
       (match reqs.(!i) with
       | Append delta ->
         out.(!i) <- timed_append t delta;
+        note_work t 0 (snd out.(!i));
         deliver !i out.(!i)
       | _ -> assert false);
       incr i

@@ -13,9 +13,10 @@
       in a private {!Session} cache, so query state and cached results
       never cross domains;
     - telemetry is shared safely: all sessions bump the same atomic
-      {!Olar_obs.Metrics} instruments. Tracing is the one obs feature
-      that is {e not} domain-safe, so {!create} rejects engines whose
-      context carries a tracer.
+      {!Olar_obs.Metrics} instruments, and tracing is sharded per
+      domain ({!Olar_obs.Trace.Sharded}): each domain's spans land in
+      its own buffer, domain-tagged, and merge into the sink when the
+      coordinator calls {!Olar_obs.Obs.flush}.
 
     {2 Batches and the append barrier}
 
@@ -96,8 +97,9 @@ type response =
     @param budget_bytes per-domain session-cache budget, as
       {!Session.create} (so a pool holds [domains] caches of this size
       each); [0] disables caching.
-    Raises [Invalid_argument] if the engine's obs context has a tracer
-    attached — {!Olar_obs.Trace} is single-domain only. *)
+    Engines whose obs context carries a tracer are fully supported:
+    each domain traces into its own shard (see {!Olar_obs.Trace.Sharded});
+    the caller is responsible for flushing the merged spans. *)
 val create : ?domains:int -> ?budget_bytes:int -> Olar_core.Engine.t -> t
 
 (** [domains t] is the serving width, including the caller's domain. *)
@@ -147,6 +149,20 @@ val run_deliver :
 (** [stats t] is each domain's session-cache accounting, index 0 the
     coordinator. *)
 val stats : t -> Session.stats array
+
+(** Cumulative execution accounting for one pool slot: how many
+    requests the slot has executed since {!create} and the seconds it
+    spent executing them (claim-to-completion, queue wait excluded).
+    Appends are charged to the coordinator (slot 0). *)
+type domain_stat = {
+  requests : int;
+  busy_s : float;
+}
+
+(** [domain_stats t] samples each slot's accounting, index 0 the
+    coordinator. Safe to call from any thread at any time; each field
+    is an independent atomic read. *)
+val domain_stats : t -> domain_stat array
 
 (** [shutdown t] joins the worker domains. Idempotent; the pool
     rejects batches afterwards. *)

@@ -225,15 +225,31 @@ let test_domains_flag cli =
         (contains lines "pool: 4 domains");
       Alcotest.(check bool) "zero mismatches" true
         (contains lines "0 mismatches");
-      (* the pool refuses a tracer-carrying context: tracing is
-         single-domain only *)
+      (* tracing is sharded per domain now, so a traced pool replay
+         works and merges every domain's spans into one file *)
       let trace = Filename.concat dir "trace.jsonl" in
       let code, lines =
         run_cli cli
           [ "replay"; "-l"; lattice; log; "--domains"; "2"; "--trace"; trace ]
       in
-      Alcotest.(check bool) "tracer + pool rejected" true (code <> 0);
-      Alcotest.(check bool) "explains why" true (contains lines "tracer"))
+      check_ok "traced pool replay" (code, lines);
+      Alcotest.(check bool) "still zero mismatches" true
+        (contains lines "0 mismatches");
+      let ic = open_in trace in
+      let n = ref 0 in
+      let tagged = ref true in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then begin
+             incr n;
+             if not (Helpers.contains_substring line "\"domain\"") then
+               tagged := false
+           end
+         done
+       with End_of_file -> close_in ic);
+      Alcotest.(check bool) "trace file has spans" true (!n > 0);
+      Alcotest.(check bool) "every span is domain-tagged" true !tagged)
 
 let suites =
   [

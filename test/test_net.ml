@@ -563,6 +563,258 @@ let test_overload_sheds_with_429 () =
       check Alcotest.bool "queue never grew past its bound" true
         (metric_value m.Http.resp_body "olar_http_queue_depth_peak" <= 1.0))
 
+(* ------------------------------------------------------------------ *)
+(* HEAD, phase attribution, /statusz, trace sampling                  *)
+(* ------------------------------------------------------------------ *)
+
+let count_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i acc =
+    if i + nn > nh then acc
+    else if String.sub hay i nn = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let find_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* A HEAD answer must advertise the GET body's Content-Length while
+   sending no body bytes. The proof is a pipelined GET right behind it:
+   its status line must parse immediately after HEAD's blank line — any
+   stray body byte would derail the parse. *)
+let test_head_requests () =
+  Server.with_server
+    ~config:{ default_cfg with Server.port = 0 }
+    (table2_engine ())
+    (fun srv ->
+      let conn = connect (Server.port srv) in
+      List.iter
+        (fun target ->
+          send_all conn
+            (Http.render_request ~meth:"HEAD" ~target ""
+            ^ Http.render_request ~meth:"GET" ~target:"/healthz" "");
+          let chunk = Bytes.create 4096 in
+          let b = Buffer.create 1024 in
+          let rec fill () =
+            let s = Buffer.contents b in
+            if count_substring s "\r\n\r\n" >= 2 && String.length s >= 3
+               && String.sub s (String.length s - 3) 3 = "ok\n"
+            then s
+            else
+              match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+              | 0 -> Alcotest.failf "server closed during HEAD %s" target
+              | n ->
+                Buffer.add_subbytes b chunk 0 n;
+                fill ()
+          in
+          let s = fill () in
+          let head_end =
+            match find_substring s "\r\n\r\n" with
+            | Some i -> i + 4
+            | None -> Alcotest.fail "no header terminator"
+          in
+          let head = String.sub s 0 head_end in
+          check Alcotest.bool (target ^ " HEAD answers 200") true
+            (String.length head >= 12 && String.sub head 0 12 = "HTTP/1.1 200");
+          let cl =
+            match find_substring head "Content-Length: " with
+            | None -> Alcotest.fail "HEAD answer lacks Content-Length"
+            | Some i ->
+              let stop = String.index_from head i '\r' in
+              int_of_string
+                (String.sub head (i + 16) (stop - i - 16))
+          in
+          check Alcotest.bool (target ^ " Content-Length reflects the GET body")
+            true (cl > 0);
+          if target = "/healthz" then
+            check Alcotest.int "healthz HEAD length is len(\"ok\\n\")" 3 cl;
+          match Http.parse_response s ~off:head_end with
+          | Http.Complete (g, used) ->
+            check Alcotest.int (target ^ ": GET parses right after HEAD") 200
+              g.Http.status;
+            check Alcotest.string "GET body intact" "ok\n" g.Http.resp_body;
+            check Alcotest.int "stream fully consumed" (String.length s)
+              (head_end + used)
+          | _ -> Alcotest.failf "GET did not parse after HEAD %s" target)
+        [ "/healthz"; "/metrics"; "/statusz" ];
+      disconnect conn)
+
+let json_float resp name =
+  match Option.bind (json_field resp name) Jsonx.number with
+  | Some f -> f
+  | None -> Alcotest.failf "response lacks numeric field %S" name
+
+(* Phase attribution over the wire: every served query answers with a
+   fresh id and a total_s; the six phase histograms (read back through
+   /statusz) must account for the same requests, and their summed time
+   must cover the responses' total_s with only the write phases on top. *)
+let test_phase_attribution_and_statusz () =
+  Server.with_server
+    ~config:{ default_cfg with Server.port = 0; slow_s = 0.0 }
+    ~domains:2
+    (table2_engine ())
+    (fun srv ->
+      let conn = connect (Server.port srv) in
+      let n = 6 in
+      let ids = ref [] and totals = ref 0.0 in
+      for _ = 1 to n do
+        let r = post_query conn {|{"kind":"count","minsup":0.003}|} in
+        check Alcotest.int "query ok" 200 r.Http.status;
+        ids := json_int r "id" :: !ids;
+        let total = json_float r "total_s" in
+        check Alcotest.bool "total_s non-negative" true (total >= 0.0);
+        check Alcotest.bool "total_s covers lat_s" true
+          (total +. 1e-9 >= json_float r "lat_s");
+        totals := !totals +. total
+      done;
+      check Alcotest.int "request ids are distinct" n
+        (List.length (List.sort_uniq compare !ids));
+      check Alcotest.bool "ids increase in request order" true
+        (List.rev !ids = List.sort compare !ids);
+      let sz = request conn ~meth:"GET" ~target:"/statusz" "" in
+      check Alcotest.int "statusz" 200 sz.Http.status;
+      let json =
+        match Jsonx.of_string sz.Http.resp_body with
+        | Ok j -> j
+        | Error e -> Alcotest.failf "statusz not JSON: %s" e
+      in
+      let num path =
+        match Option.bind (Jsonx.path path json) Jsonx.number with
+        | Some f -> f
+        | None ->
+          Alcotest.failf "statusz lacks %s" (String.concat "/" path)
+      in
+      check Alcotest.bool "uptime positive" true (num [ "uptime_s" ] > 0.0);
+      check (Alcotest.float 1e-9) "pool width" 2.0 (num [ "domains" ]);
+      check (Alcotest.float 1e-9) "queries counted" (float_of_int n)
+        (num [ "counters"; "queries" ]);
+      (* all six phases account for exactly the n served queries *)
+      let phase_sum = ref 0.0 in
+      List.iter
+        (fun phase ->
+          check (Alcotest.float 1e-9)
+            (phase ^ " phase counted every query")
+            (float_of_int n)
+            (num [ "phases"; phase; "count" ]);
+          let s = num [ "phases"; phase; "sum_s" ] in
+          check Alcotest.bool (phase ^ " sum non-negative") true (s >= 0.0);
+          phase_sum := !phase_sum +. s)
+        [ "parse"; "queue"; "dispatch"; "execute"; "deliver"; "write" ];
+      (* the six phases cover the reported totals, plus only the write
+         phases (absent from total_s) and float noise on top *)
+      let slack = !phase_sum -. !totals in
+      check Alcotest.bool "phase sums cover response totals" true
+        (slack >= -1e-6 && slack <= 0.25);
+      (* per-domain stats: requests sum to n, busy time is sane *)
+      let pool_reqs =
+        match Jsonx.(Option.bind (member "pool" json) to_list) with
+        | Some doms ->
+          List.fold_left
+            (fun acc d ->
+              (match Jsonx.(Option.bind (member "busy_s" d) number) with
+              | Some b -> check Alcotest.bool "busy_s sane" true (b >= 0.0)
+              | None -> Alcotest.fail "pool entry lacks busy_s");
+              match Jsonx.(Option.bind (member "requests" d) number) with
+              | Some r -> acc + int_of_float r
+              | None -> Alcotest.fail "pool entry lacks requests")
+            0 doms
+        | None -> Alcotest.fail "statusz lacks pool array"
+      in
+      check Alcotest.int "domain request counts sum to n" n pool_reqs;
+      (* slow_s = 0.0 logs everything: the ring has all n, newest first *)
+      check (Alcotest.float 1e-9) "threshold echoed" 0.0
+        (num [ "slow"; "threshold_ms" ]);
+      check (Alcotest.float 1e-9) "every request in the slow ring"
+        (float_of_int n)
+        (num [ "slow"; "seen" ]);
+      (match Jsonx.(Option.bind (path [ "slow"; "entries" ] json) to_list) with
+      | Some entries ->
+        check Alcotest.int "ring snapshot complete" n (List.length entries);
+        let newest = List.hd entries in
+        check
+          (Alcotest.option Alcotest.string)
+          "newest entry is the last query" (Some "count")
+          Jsonx.(Option.bind (member "kind" newest) to_str);
+        check
+          (Alcotest.option (Alcotest.float 1e-9))
+          "newest entry id" (Some (float_of_int (List.hd !ids)))
+          Jsonx.(Option.bind (member "id" newest) number);
+        List.iter
+          (fun e ->
+            (match Jsonx.(Option.bind (member "status" e) number) with
+            | Some 200.0 -> ()
+            | _ -> Alcotest.fail "slow entry status wrong");
+            match Jsonx.(Option.bind (member "domain" e) number) with
+            | Some d -> check Alcotest.bool "executing domain recorded" true (d >= 0.0)
+            | None -> Alcotest.fail "slow entry lacks domain")
+          entries
+      | None -> Alcotest.fail "statusz lacks slow entries");
+      disconnect conn)
+
+(* With trace_sample = 1 every request emits an http.request root with
+   six phase children into the engine's sink; the sharded buffers merge
+   on server stop. *)
+let test_trace_sampling () =
+  let module Trace = Olar_obs.Trace in
+  let sink, spans = Olar_obs.Sink.memory () in
+  let engine =
+    Engine.of_lattice
+      ~obs:(Olar_obs.Obs.create ~trace:sink ())
+      (Helpers.table2_lattice ())
+  in
+  let n = 5 in
+  Server.with_server
+    ~config:{ default_cfg with Server.port = 0; trace_sample = 1 }
+    ~domains:2 engine
+    (fun srv ->
+      let conn = connect (Server.port srv) in
+      for _ = 1 to n do
+        let r = post_query conn {|{"kind":"count","minsup":0.003}|} in
+        check Alcotest.int "traced query ok" 200 r.Http.status
+      done;
+      disconnect conn);
+  (* with_server stopped the server, which flushed the sharded tracer *)
+  let emitted = spans () in
+  let roots = List.filter (fun s -> s.Trace.name = "http.request") emitted in
+  check Alcotest.int "one root per sampled request" n (List.length roots);
+  let index_of sp =
+    let rec go i = function
+      | [] -> Alcotest.fail "span vanished"
+      | s :: _ when s == sp -> i
+      | _ :: tl -> go (i + 1) tl
+    in
+    go 0 emitted
+  in
+  List.iter
+    (fun root ->
+      check Alcotest.bool "root carries the request id" true
+        (List.mem_assoc "request" root.Trace.attrs);
+      let children =
+        List.filter (fun s -> s.Trace.parent = Some root.Trace.id) emitted
+      in
+      let names = List.map (fun c -> c.Trace.name) children in
+      check
+        (Alcotest.list Alcotest.string)
+        "six phase children in order"
+        [
+          "phase.parse"; "phase.queue"; "phase.dispatch"; "phase.execute";
+          "phase.deliver"; "phase.write";
+        ]
+        names;
+      List.iter
+        (fun c ->
+          check Alcotest.bool "child emitted before its root" true
+            (index_of c < index_of root))
+        children)
+    roots
+
 (* With a (practically) zero deadline, queued queries are dropped by
    the drainer with 503 before any pool work is spent on them. *)
 let test_deadline_sheds_with_503 () =
@@ -624,5 +876,8 @@ let suites =
         case "overload sheds with 429, bounded queue"
           test_overload_sheds_with_429;
         case "deadline sheds with 503" test_deadline_sheds_with_503;
+        case "HEAD mirrors GET without a body" test_head_requests;
+        case "phase attribution and statusz" test_phase_attribution_and_statusz;
+        case "trace sampling emits request trees" test_trace_sampling;
       ] );
   ]

@@ -387,11 +387,16 @@ let test_query_span_records () =
       check (Alcotest.float 1e-12) "latency value" 0.25
         (Metrics.Histogram.sum h)
     | _ -> Alcotest.fail "latency histogram missing");
+    (* spans buffer in the sharded tracer until the coordinator flushes *)
+    check Alcotest.int "buffered until flush" 0 (List.length (spans ()));
+    Obs.flush ctx;
     match spans () with
     | [ s ] ->
       check Alcotest.string "span name" "query.itemsets" s.Trace.name;
       check Alcotest.bool "span carries the work delta" true
-        (List.mem_assoc "work" s.Trace.attrs)
+        (List.mem_assoc "work" s.Trace.attrs);
+      check Alcotest.bool "span is domain-tagged" true
+        (List.mem_assoc "domain" s.Trace.attrs)
     | l -> Alcotest.failf "expected 1 span, got %d" (List.length l)
 
 (* ------------------------------------------------------------------ *)
@@ -472,6 +477,158 @@ let test_runtime_and_build_gauges () =
     ignore (Exposition.to_prometheus r);
     ignore (Exposition.to_json r)
 
+(* ------------------------------------------------------------------ *)
+(* Gauge max and labelled histograms *)
+
+let test_gauge_max () =
+  let r = Metrics.create () in
+  let g = Metrics.gauge r ~help:"peak" "peak" in
+  Metrics.Gauge.max_int g 3;
+  check (Alcotest.float 1e-12) "first max sets" 3.0 (Metrics.Gauge.value g);
+  Metrics.Gauge.max_int g 1;
+  check (Alcotest.float 1e-12) "lower max ignored" 3.0 (Metrics.Gauge.value g);
+  Metrics.Gauge.max_float g 7.5;
+  check (Alcotest.float 1e-12) "higher max wins" 7.5 (Metrics.Gauge.value g);
+  (* racing maxima from several domains still converge on the largest *)
+  let workers =
+    Array.init 4 (fun w ->
+        Domain.spawn (fun () ->
+            for i = 1 to 1000 do
+              Metrics.Gauge.max_int g ((w * 1000) + i)
+            done))
+  in
+  Array.iter Domain.join workers;
+  check (Alcotest.float 1e-12) "concurrent max converges" 4000.0
+    (Metrics.Gauge.value g)
+
+let test_labelled_histogram_exposition () =
+  let r = Metrics.create () in
+  let mk phase =
+    Metrics.histogram r ~help:"per-phase latency"
+      ~labels:[ ("phase", phase) ]
+      "olar_http_phase_seconds"
+  in
+  let hp = mk "parse" and hq = mk "queue" in
+  check Alcotest.bool "series intern by (name, labels)" true (hp != hq);
+  check Alcotest.bool "same labels re-intern" true (hp == mk "parse");
+  Metrics.Histogram.observe hp 0.5;
+  Metrics.Histogram.observe hq 1.5;
+  let prom = Exposition.to_prometheus r in
+  check Alcotest.bool "parse bucket labelled" true
+    (contains prom "olar_http_phase_seconds_bucket{phase=\"parse\",le=");
+  check Alcotest.bool "queue bucket labelled" true
+    (contains prom "olar_http_phase_seconds_bucket{phase=\"queue\",le=");
+  check Alcotest.bool "sum keeps constant labels" true
+    (contains prom "olar_http_phase_seconds_sum{phase=\"parse\"} 0.5");
+  check Alcotest.bool "count keeps constant labels" true
+    (contains prom "olar_http_phase_seconds_count{phase=\"queue\"} 1");
+  (* HELP/TYPE are announced once per base name, not once per series *)
+  let occurrences needle =
+    let n = String.length needle in
+    let rec go i acc =
+      if i + n > String.length prom then acc
+      else if String.sub prom i n = needle then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  check Alcotest.int "one HELP line" 1
+    (occurrences "# HELP olar_http_phase_seconds ");
+  check Alcotest.int "one TYPE line" 1
+    (occurrences "# TYPE olar_http_phase_seconds ")
+
+(* ------------------------------------------------------------------ *)
+(* Sharded tracer *)
+
+let test_sharded_tracer () =
+  let sink, spans = Sink.memory () in
+  let sh = Trace.Sharded.create ~emit:(Sink.emit sink) () in
+  let worker tag () =
+    let t = Trace.Sharded.tracer sh in
+    Trace.with_span t (tag ^ ".outer") (fun () ->
+        Trace.with_span t (tag ^ ".inner") (fun () -> ()))
+  in
+  let domains =
+    Array.init 3 (fun i -> Domain.spawn (worker (Printf.sprintf "d%d" i)))
+  in
+  Array.iter Domain.join domains;
+  worker "main" ();
+  check Alcotest.bool "nothing emitted before flush" true (spans () = []);
+  check Alcotest.bool "four shards interned" true (Trace.Sharded.shards sh >= 4);
+  Trace.Sharded.flush sh;
+  let emitted = spans () in
+  check Alcotest.int "all spans merged" 8 (List.length emitted);
+  let domain_of s =
+    match List.assoc_opt "domain" s.Trace.attrs with
+    | Some (Trace.Int d) -> d
+    | _ -> Alcotest.failf "span %s lacks a domain tag" s.Trace.name
+  in
+  let ids = List.map (fun s -> s.Trace.id) emitted in
+  check Alcotest.int "ids unique across domains"
+    (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  (* per domain: exactly one outer and one inner, child emitted first,
+     parentage intact after the merge *)
+  let by_domain = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      let d = domain_of s in
+      Hashtbl.replace by_domain d (s :: (try Hashtbl.find by_domain d with Not_found -> [])))
+    emitted;
+  check Alcotest.int "four domains tagged" 4 (Hashtbl.length by_domain);
+  Hashtbl.iter
+    (fun d group ->
+      match List.rev group with
+      | [ inner; outer ] ->
+        check Alcotest.bool
+          (Printf.sprintf "domain %d child-first" d)
+          true
+          (String.length inner.Trace.name >= 6
+          && String.sub inner.Trace.name
+               (String.length inner.Trace.name - 6)
+               6
+             = ".inner");
+        check
+          (Alcotest.option Alcotest.int)
+          (Printf.sprintf "domain %d parentage" d)
+          (Some outer.Trace.id) inner.Trace.parent;
+        check
+          (Alcotest.option Alcotest.int)
+          (Printf.sprintf "domain %d root" d)
+          None outer.Trace.parent
+      | l ->
+        Alcotest.failf "domain %d emitted %d spans, expected 2" d
+          (List.length l))
+    by_domain;
+  (* injected spans: reserve the root id first, emit children before it *)
+  let root = Trace.Sharded.alloc_id sh in
+  let child =
+    Trace.Sharded.inject sh ~parent:root ~depth:1 ~name:"phase.queue"
+      ~start_s:0.0 ~duration_s:0.1 []
+  in
+  let root' =
+    Trace.Sharded.inject sh ~id:root ~depth:0 ~name:"http.request"
+      ~start_s:0.0 ~duration_s:0.2
+      [ ("request", Trace.Int 42) ]
+  in
+  check Alcotest.int "reserved id honoured" root root';
+  Trace.Sharded.flush sh;
+  match spans () with
+  | _ :: _ as all ->
+    let tail = List.filteri (fun i _ -> i >= 8) all in
+    (match tail with
+    | [ c; r ] ->
+      check Alcotest.string "child injected first" "phase.queue" c.Trace.name;
+      check Alcotest.string "root injected last" "http.request" r.Trace.name;
+      check (Alcotest.option Alcotest.int) "injected parentage" (Some root)
+        c.Trace.parent;
+      check Alcotest.int "child id distinct" child c.Trace.id;
+      check Alcotest.bool "injected spans domain-tagged" true
+        (List.mem_assoc "domain" c.Trace.attrs
+        && List.mem_assoc "domain" r.Trace.attrs)
+    | l -> Alcotest.failf "expected 2 injected spans, got %d" (List.length l))
+  | [] -> Alcotest.fail "second flush emitted nothing"
+
 let case name f = Alcotest.test_case name `Quick f
 
 let suites =
@@ -492,12 +649,15 @@ let suites =
         case "raising attrs closes span" test_attrs_raise_closes_span;
         case "raise with open child" test_raise_with_open_child;
         case "jsonl golden" test_jsonl_golden;
+        case "sharded merge" test_sharded_tracer;
       ] );
     ( "obs.exposition",
       [
         case "escaping" test_prometheus_escaping;
         case "prometheus text" test_prometheus_exposition;
         case "labelled gauge" test_labelled_gauge_exposition;
+        case "gauge max" test_gauge_max;
+        case "labelled histogram" test_labelled_histogram_exposition;
         case "runtime and build gauges" test_runtime_and_build_gauges;
       ] );
     ( "obs.jsonx",

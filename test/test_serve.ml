@@ -451,20 +451,56 @@ let test_pool_create_validation () =
   let engine = Engine.of_lattice (Helpers.table2_lattice ()) in
   Alcotest.check_raises "zero domains rejected"
     (Invalid_argument "Pool.create: domains must be >= 1") (fun () ->
-      ignore (Pool.create ~domains:0 engine));
-  let sink, _spans = Olar_obs.Sink.memory () in
+      ignore (Pool.create ~domains:0 engine))
+
+(* A tracer-carrying engine is accepted since the tracer went sharded:
+   each worker domain buffers into its own shard, the coordinator merges
+   on flush, and every merged span says which domain produced it. *)
+let test_pool_traced_spans () =
+  let sink, spans = Olar_obs.Sink.memory () in
   let traced =
     Engine.of_lattice
       ~obs:(Olar_obs.Obs.create ~trace:sink ())
       (Helpers.table2_lattice ())
   in
-  (match Pool.create ~domains:2 traced with
-  | exception Invalid_argument msg ->
-    check Alcotest.bool "names the tracer" true
-      (Helpers.contains_substring msg "tracer")
-  | pool ->
-    Pool.shutdown pool;
-    Alcotest.fail "tracer-carrying engine must be rejected")
+  let reqs =
+    Array.init 8 (fun i ->
+        Pool.Count_itemsets
+          { containing = Itemset.empty; minsup = float_of_int (3 + i) /. 1000.0 })
+  in
+  (* budget 0: the cache-less passthrough path goes through
+     [Engine.query_span], so every query leaves a span *)
+  let out =
+    Pool.with_pool ~domains:3 ~budget_bytes:0 traced (fun pool ->
+        Pool.run pool reqs)
+  in
+  check Alcotest.int "all requests answered" 8 (Array.length out);
+  (match out.(0) with
+  | Pool.R_count 9 -> ()
+  | _ -> Alcotest.fail "traced pool miscounted Table 2");
+  Olar_obs.Obs.flush_opt (Engine.obs traced);
+  let emitted = spans () in
+  check Alcotest.bool "queries traced" true (List.length emitted >= 8);
+  let module T = Olar_obs.Trace in
+  let ids = List.map (fun s -> s.T.id) emitted in
+  check Alcotest.int "span ids unique across domains" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun s ->
+      (match List.assoc_opt "domain" s.T.attrs with
+      | Some (T.Int d) ->
+        check Alcotest.bool
+          (Printf.sprintf "span %s domain id sane" s.T.name)
+          true (d >= 0)
+      | _ -> Alcotest.failf "span %s lacks a domain tag" s.T.name);
+      (* parentage survives the merge: every parent id is emitted too *)
+      match s.T.parent with
+      | None -> ()
+      | Some p ->
+        check Alcotest.bool
+          (Printf.sprintf "span %s parent resolves" s.T.name)
+          true (List.mem p ids))
+    emitted
 
 let test_pool_shutdown_idempotent () =
   let engine = Engine.of_lattice (Helpers.table2_lattice ()) in
@@ -817,6 +853,7 @@ let suites =
     ( "serve.pool",
       [
         case "create validation" test_pool_create_validation;
+        case "traced pool tags spans by domain" test_pool_traced_spans;
         case "shutdown idempotent" test_pool_shutdown_idempotent;
         case "responses land in submission order" test_pool_submission_order;
         case "run_deliver delivers each result exactly once"

@@ -1,5 +1,6 @@
 .PHONY: all build test test-quick bench-smoke bench-json bench-cache \
-	replay-smoke serve-smoke trace-smoke bench-compare stress clean
+	replay-smoke serve-smoke trace-smoke bench-compare dispatch-bench \
+	stress clean
 
 all: build
 
@@ -21,11 +22,11 @@ bench-smoke:
 	dune build @bench-smoke
 
 # Machine-readable bench output: run the qps, session, concurrent and
-# serve experiments with --json, validate the document with
-# bench/check_json.exe, gate it against the committed baseline
-# (bench/compare_json.exe), run the pool-vs-serial digest stress, the
-# serve -> capture -> replay loopback round trip, and the request-
-# tracing smoke.
+# serve experiments with --json plus the dispatch microbench sweep
+# merged into the same document, validate it with bench/check_json.exe,
+# gate it against the committed baseline (bench/compare_json.exe), run
+# the pool-vs-serial digest stress, the serve -> capture -> replay
+# loopback round trip, and the request-tracing smoke.
 bench-json:
 	dune build @bench-json @bench-compare @stress @serve-smoke @trace-smoke
 
@@ -55,6 +56,12 @@ trace-smoke:
 # against BENCH_T10I4.json (default tolerance -20%).
 bench-compare:
 	dune build @bench-compare
+
+# Dispatch-overhead microbench: null-query requests/sec at 1/2/4/8
+# domains, old round-based scheduler (ported locally) vs the live
+# continuous-dispatch pool.
+dispatch-bench:
+	dune build @dispatch-bench
 
 # Pool-vs-serial stress: the same deterministic workload executed
 # serially and through an 8-domain pool (x3), requiring bitwise-

@@ -173,6 +173,45 @@ let () =
                 queries)
           [ "parse"; "queue"; "dispatch"; "execute"; "deliver"; "write" ])
       scenarios);
+  (* dispatch is optional (only present when the dispatch microbench
+     merged its sweep in); when present each point is one (mode,
+     domains) cell of the old-vs-new scheduler grid. *)
+  (match J.member "dispatch" experiments with
+  | None -> ()
+  | Some dispatch ->
+    let requests = number "dispatch.requests" (J.member "requests" dispatch) in
+    if requests < 1.0 then fail "dispatch.requests < 1";
+    let points =
+      require "dispatch.points"
+        (Option.bind (J.member "points" dispatch) J.to_list)
+    in
+    if points = [] then fail "dispatch.points is empty";
+    List.iter
+      (fun p ->
+        let mode =
+          require "dispatch point.mode"
+            (Option.bind (J.member "mode" p) J.to_str)
+        in
+        let scheduler =
+          require
+            ("dispatch." ^ mode ^ ".scheduler")
+            (Option.bind (J.member "scheduler" p) J.to_str)
+        in
+        if scheduler <> "round" && scheduler <> "submit" then
+          fail "dispatch.%s.scheduler %S is neither round nor submit" mode
+            scheduler;
+        let domains =
+          number ("dispatch." ^ mode ^ ".domains") (J.member "domains" p)
+        in
+        if domains < 1.0 then fail "dispatch.%s.domains < 1" mode;
+        let check what v =
+          let x = number ("dispatch." ^ mode ^ "." ^ what) v in
+          if x < 0.0 then fail "dispatch.%s.%s is negative" mode what
+        in
+        check "qps" (J.member "qps" p);
+        check "queries" (J.member "queries" p);
+        check "seconds" (J.member "seconds" p))
+      points);
   (* fig10 is optional (only present when that experiment ran), but when
      present its points must carry the rule/work fields. *)
   (match J.member "fig10" experiments with

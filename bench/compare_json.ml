@@ -19,7 +19,15 @@
    500us absolute slack, because microsecond-scale phases are noisy
    where whole-window qps is not. The gate exists to catch a phase
    blowing up by an order of magnitude (a queue suddenly dominating, a
-   write path gone quadratic), not to litigate scheduler jitter. *)
+   write path gone quadratic), not to litigate scheduler jitter.
+
+   The dispatch microbench's (mode, domains) points gate per-point as
+   [dispatch/<mode>/d<N>] under their own --dispatch-tolerance
+   (default 90%): pure scheduling throughput on a loaded machine
+   swings severalfold run to run, so the gate is sized to catch a
+   collapsed scheduler (an order of magnitude, a deadlock degraded to
+   timeout pacing), not timeslice luck. A dispatch series present in
+   OLD and missing from NEW still fails. *)
 
 module Jsonx = Olar_obs.Jsonx
 
@@ -117,6 +125,28 @@ let series doc =
   in
   qps_scenarios @ session_scenarios @ concurrent_scenarios @ serve_scenarios
 
+(* The dispatch microbench's (mode, domains) points as (label, qps)
+   pairs, gated separately under the loose dispatch tolerance. *)
+let dispatch_series doc =
+  let num path v = Option.bind (Jsonx.path path v) Jsonx.number in
+  match Jsonx.path [ "experiments"; "dispatch"; "points" ] doc with
+  | None -> []
+  | Some v -> (
+    match Jsonx.to_list v with
+    | None -> die "experiments.dispatch.points is not an array"
+    | Some l ->
+      List.map
+        (fun p ->
+          match
+            ( Option.bind (Jsonx.member "mode" p) Jsonx.to_str,
+              num [ "domains" ] p,
+              num [ "qps" ] p )
+          with
+          | Some m, Some d, Some q ->
+            (Printf.sprintf "dispatch/%s/d%d" m (int_of_float d), q)
+          | _ -> die "dispatch point lacks mode/domains/qps")
+        l)
+
 (* The serve experiment's per-phase p99s as (label, p99_us) pairs.
    Absent phases (a pre-attribution document) contribute nothing. *)
 let phase_series doc =
@@ -152,6 +182,7 @@ let phase_series doc =
 let () =
   let old_path = ref None and new_path = ref None and tolerance = ref 20.0 in
   let phase_tolerance = ref 400.0 in
+  let dispatch_tolerance = ref 90.0 in
   let rec parse = function
     | [] -> ()
     | "--tolerance" :: v :: rest ->
@@ -167,6 +198,13 @@ let () =
         die "--phase-tolerance expects a non-negative percentage, got %S" v);
       parse rest
     | "--phase-tolerance" :: [] -> die "--phase-tolerance expects a value"
+    | "--dispatch-tolerance" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some t when t >= 0.0 -> dispatch_tolerance := t
+      | _ ->
+        die "--dispatch-tolerance expects a non-negative percentage, got %S" v);
+      parse rest
+    | "--dispatch-tolerance" :: [] -> die "--dispatch-tolerance expects a value"
     | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
       die "unknown option %S" arg
     | path :: rest ->
@@ -183,11 +221,13 @@ let () =
     | _ ->
       die
         "usage: compare_json OLD.json NEW.json [--tolerance PCT] \
-         [--phase-tolerance PCT]"
+         [--phase-tolerance PCT] [--dispatch-tolerance PCT]"
   in
   let old_doc = read_doc old_path and new_doc = read_doc new_path in
   let old_series = series old_doc and new_series = series new_doc in
   let old_phases = phase_series old_doc and new_phases = phase_series new_doc in
+  let old_dispatch = dispatch_series old_doc
+  and new_dispatch = dispatch_series new_doc in
   let floor = 1.0 -. (!tolerance /. 100.0) in
   let regressions = ref [] in
   Printf.printf "%-34s %12s %12s %9s\n" "series" "old qps" "new qps" "delta";
@@ -211,6 +251,35 @@ let () =
       if not (List.mem_assoc label old_series) then
         Printf.printf "%-34s %12s (new series, not gated)\n" label "-")
     new_series;
+  (* Dispatch gate: same direction as qps, its own loose floor. *)
+  if old_dispatch <> [] || new_dispatch <> [] then begin
+    let dfloor = 1.0 -. (!dispatch_tolerance /. 100.0) in
+    Printf.printf "\n%-34s %12s %12s %9s\n" "dispatch series" "old req/s"
+      "new req/s" "delta";
+    List.iter
+      (fun (label, old_qps) ->
+        match List.assoc_opt label new_dispatch with
+        | None ->
+          Printf.printf "%-34s %12.0f %12s %9s\n" label old_qps "missing" "-";
+          regressions :=
+            Printf.sprintf "%s: missing from %s" label new_path :: !regressions
+        | Some new_qps ->
+          let delta = 100.0 *. ((new_qps /. old_qps) -. 1.0) in
+          Printf.printf "%-34s %12.0f %12.0f %+8.1f%%\n" label old_qps new_qps
+            delta;
+          if new_qps < old_qps *. dfloor then
+            regressions :=
+              Printf.sprintf
+                "%s: %.0f -> %.0f req/s (%+.1f%%, tolerance -%.0f%%)" label
+                old_qps new_qps delta !dispatch_tolerance
+              :: !regressions)
+      old_dispatch;
+    List.iter
+      (fun (label, _) ->
+        if not (List.mem_assoc label old_dispatch) then
+          Printf.printf "%-34s %12s (new series, not gated)\n" label "-")
+      new_dispatch
+  end;
   (* Phase-latency gate: inverse direction (new must not be slower),
      loose relative tolerance plus an absolute 500us slack. *)
   if old_phases <> [] || new_phases <> [] then begin
@@ -247,8 +316,12 @@ let () =
   end;
   match List.rev !regressions with
   | [] ->
-    Printf.printf "OK: %d series within -%.0f%% tolerance%s\n"
+    Printf.printf "OK: %d series within -%.0f%% tolerance%s%s\n"
       (List.length old_series) !tolerance
+      (if old_dispatch = [] then ""
+       else
+         Printf.sprintf ", %d dispatch series within -%.0f%%"
+           (List.length old_dispatch) !dispatch_tolerance)
       (if old_phases = [] then ""
        else
          Printf.sprintf ", %d phase series within +%.0f%%"

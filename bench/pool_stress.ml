@@ -112,6 +112,21 @@ let digests_of_run ?engine db reqs ~domains ~budget_bytes =
   Pool.with_pool ~domains ~budget_bytes engine (fun pool ->
       digest_responses (Pool.run pool reqs))
 
+(* Interleaved pass: requests stream through [Pool.submit] one at a
+   time with no intervening drain, so later submissions land while
+   earlier ones are still executing and every append quiesces a live
+   stream. Completion order is whatever the domains produce; digests
+   are still compared in submission order via the slot array. *)
+let digests_of_stream db reqs ~domains ~budget_bytes =
+  let engine = build_engine db in
+  Pool.with_pool ~domains ~budget_bytes engine (fun pool ->
+      let out = Array.make (Array.length reqs) (Pool.R_error "unserved") in
+      Array.iteri
+        (fun i req -> Pool.submit pool req (fun resp _dt -> out.(i) <- resp))
+        reqs;
+      Pool.drain pool;
+      digest_responses out)
+
 let () =
   let domains = ref 8 in
   let repeat = ref 3 in
@@ -164,7 +179,26 @@ let () =
         Printf.printf "%s: pool(%d domains) run %d/%d in %.2fs: %d mismatches\n%!"
           label !domains r !repeat pooled_s !mismatches;
         failures := !failures + !mismatches
-      done)
+      done;
+      let streamed, streamed_s =
+        Olar_util.Timer.time (fun () ->
+            digests_of_stream db reqs ~domains:!domains ~budget_bytes)
+      in
+      let mismatches = ref 0 in
+      Array.iteri
+        (fun i d ->
+          if not (Int64.equal d serial.(i)) then begin
+            incr mismatches;
+            if !mismatches <= 5 then
+              Printf.printf
+                "  STREAM MISMATCH at request %d: serial %s, pool %s\n%!" i
+                (Fnv.to_hex serial.(i)) (Fnv.to_hex d)
+          end)
+        streamed;
+      Printf.printf
+        "%s: pool(%d domains) interleaved submit in %.2fs: %d mismatches\n%!"
+        label !domains streamed_s !mismatches;
+      failures := !failures + !mismatches)
     [ 0; 8 * 1024 * 1024 ];
   (* Traced pass: the same pooled workload with the sharded tracer on.
      Tracing must not perturb a single digest, and every span the merge

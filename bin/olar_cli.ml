@@ -1206,7 +1206,8 @@ let replay_cmd =
       & info [ "domains" ]
           ~doc:
             "Replay through a serving pool of $(docv) domains (one shared \
-             lattice, per-domain sessions; appends barrier the batch) instead \
+             lattice, per-domain sessions; requests stream continuously and \
+             appends quiesce the stream) instead \
              of a single serial session. With $(b,--trace), each domain's \
              spans are buffered in its own shard and merged domain-tagged \
              into the trace file."
@@ -1536,7 +1537,8 @@ let serve_cmd =
          "Serve a lattice over HTTP: $(b,POST /query) takes a JSON query \
           key (the $(b,--record) wire format) and answers with the result \
           and its digest; $(b,GET /metrics) exposes Prometheus telemetry. \
-          Queries are coalesced into pool rounds across $(b,--domains) \
+          Queries dispatch continuously into per-domain submission shards \
+          across $(b,--domains) \
           workers; overload is shed with 429 (queue full) and 503 \
           (deadline). With $(b,--record) served traffic is captured for \
           $(b,olar replay). Per-request latency splits into six traced \

@@ -39,8 +39,12 @@ let default_config =
 
 (* The six attribution phases of one wire request, in wall-clock order.
    parse:    HTTP parse + query-key decode on the connection thread
-   queue:    arrival to the drainer claiming the ticket
-   dispatch: claim to a pool domain starting execution
+   queue:    arrival to the drainer claiming this ticket (per-request —
+             the drainer pops one ticket at a time, so queue wait is
+             each request's own, not its round's)
+   dispatch: claim to a pool domain starting execution (submission-shard
+             wait + wakeup; the pool histograms the same window as
+             olar_pool_dispatch_wait_seconds)
    execute:  the pool's claim-to-completion service time
    deliver:  execution done to the connection thread waking
    write:    rendering + writing the response bytes *)
@@ -50,20 +54,22 @@ let num_phases = Array.length phase_names
 
 (* One admitted query. The connection thread parks on [cv] until the
    drainer (deadline drop) or a pool domain (completion) writes the
-   outcome. *)
+   outcome. Tickets are pooled: every field is mutable so a retired
+   ticket — mutex, condvar and all — is reset and reused for a later
+   request instead of allocated fresh on the hot path. *)
 type outcome =
   | Pending
   | Served of Pool.response * float
   | Shed of int * string  (* HTTP status, message *)
 
 type ticket = {
-  id : int; (* server-global request id, from the HTTP front door *)
-  key : Record.t;
-  req : Pool.request;
-  t0 : float; (* monotonic at parse start on the connection thread *)
-  parse_s : float; (* HTTP parse + key decode *)
-  arrival : float;
-  deadline : float;  (* [infinity] when deadlines are off *)
+  mutable id : int; (* server-global request id, from the HTTP front door *)
+  mutable key : Record.t;
+  mutable req : Pool.request;
+  mutable t0 : float; (* monotonic at parse start on the connection thread *)
+  mutable parse_s : float; (* HTTP parse + key decode *)
+  mutable arrival : float;
+  mutable deadline : float;  (* [infinity] when deadlines are off *)
   tmu : Mutex.t;
   tcv : Condition.t;
   mutable outcome : outcome;
@@ -125,6 +131,10 @@ type t = {
   rec_oc : out_channel option;
   rec_mu : Mutex.t;
   mutable rec_seq : int;
+  (* ticket freelist (bounded): retired tickets come back here *)
+  free_mu : Mutex.t;
+  mutable free_tickets : ticket list;
+  mutable free_count : int;
   (* threads *)
   mutable accept_thread : Thread.t option;
   mutable drainer_thread : Thread.t option;
@@ -283,82 +293,69 @@ let admit t ticket =
   Mutex.unlock t.qmu;
   verdict
 
-(* Append captured records for one completed round, in submission
-   order. Mirrors Recorder: a query that errored emits nothing and
+(* Append one captured record. Runs on the executing domain, before the
+   ticket is resolved (a resolved ticket may be reused immediately), so
+   capture lands in completion order: for a single client — one
+   outstanding request at a time — that is exactly submission order,
+   preserving the digest-exact replay property of single-client
+   captures. Mirrors Recorder: a query that errored emits nothing and
    does not advance the sequence. *)
-let record_round t tickets out =
+let record_one t (ticket : ticket) resp latency_s =
   match t.rec_oc with
   | None -> ()
-  | Some oc ->
-    Mutex.lock t.rec_mu;
-    let epoch = Engine.epoch (Pool.engine t.pool) in
-    Array.iteri
-      (fun i (ticket : ticket) ->
-        let resp, latency_s = out.(i) in
-        match Replay.digest_response resp with
-        | None -> ()
-        | Some digest ->
-          let r =
-            {
-              ticket.key with
-              Record.seq = t.rec_seq;
-              cache = Record.Passthrough;
-              digest;
-              result_size = result_size resp;
-              latency_s;
-              vertices = 0;
-              heap_pops = 0;
-              epoch;
-            }
-          in
-          t.rec_seq <- t.rec_seq + 1;
-          output_string oc (Record.to_json_line r);
-          output_char oc '\n')
-      tickets;
-    flush oc;
-    Mutex.unlock t.rec_mu
+  | Some oc -> (
+    match Replay.digest_response resp with
+    | None -> ()
+    | Some digest ->
+      Mutex.lock t.rec_mu;
+      let r =
+        {
+          ticket.key with
+          Record.seq = t.rec_seq;
+          cache = Record.Passthrough;
+          digest;
+          result_size = result_size resp;
+          latency_s;
+          vertices = 0;
+          heap_pops = 0;
+          epoch = Engine.epoch (Pool.engine t.pool);
+        }
+      in
+      t.rec_seq <- t.rec_seq + 1;
+      output_string oc (Record.to_json_line r);
+      output_char oc '\n';
+      flush oc;
+      Mutex.unlock t.rec_mu)
 
-(* One drainer round: claim everything queued, drop what already
-   missed its deadline (the 503 shed — no query work is spent on a
-   request nobody is waiting for), and run the rest as one coalesced
-   pool batch. Per-completion delivery unblocks each connection thread
-   the moment its own answer exists instead of at the batch tail. *)
-let serve_round t tickets =
+(* Dispatch one claimed ticket: drop it if it already missed its
+   deadline (the 503 shed — no query work is spent on a request nobody
+   is waiting for), otherwise hand it straight to the pool's
+   submission shards. No batch is materialized anywhere: the
+   completion callback stamps the execution window on the executing
+   domain and unblocks the one connection thread waiting on this
+   ticket. *)
+let dispatch_one t ticket =
   let now = Timer.monotonic_s () in
-  let live =
-    Array.of_list
-      (List.filter
-         (fun ticket ->
-           if now > ticket.deadline then begin
-             Counter.incr t.c_shed_deadline;
-             resolve ticket (Shed (503, "deadline exceeded"));
-             false
-           end
-           else begin
-             ticket.t_claim <- now;
-             true
-           end)
-         (Array.to_list tickets))
-  in
-  if Array.length live > 0 then begin
-    let reqs = Array.map (fun ticket -> ticket.req) live in
-    let out =
-      Pool.run_deliver t.pool
-        ~on_complete:(fun i (resp, dt) ->
-          (* runs on the executing domain: stamp the execution window
-             and its domain before waking the connection thread *)
-          let ticket = live.(i) in
-          let done_s = Timer.monotonic_s () in
-          ticket.t_exec_done <- done_s;
-          ticket.t_exec_start <- done_s -. dt;
-          ticket.exec_domain <- (Domain.self () :> int);
-          resolve ticket (Served (resp, dt)))
-        reqs
-    in
-    record_round t live out
+  if now > ticket.deadline then begin
+    Counter.incr t.c_shed_deadline;
+    resolve ticket (Shed (503, "deadline exceeded"))
+  end
+  else begin
+    ticket.t_claim <- now;
+    Pool.submit t.pool ticket.req (fun resp dt ->
+        let done_s = Timer.monotonic_s () in
+        ticket.t_exec_done <- done_s;
+        ticket.t_exec_start <- done_s -. dt;
+        ticket.exec_domain <- (Domain.self () :> int);
+        (try record_one t ticket resp dt
+         with e ->
+           Printf.eprintf "olar-serve: capture write failed: %s\n%!"
+             (Printexc.to_string e));
+        resolve ticket (Served (resp, dt)))
   end
 
-(* Refresh per-domain utilization gauges from the pool's accounting. *)
+(* Refresh per-domain utilization and per-shard depth gauges from the
+   pool's accounting. *)
 let refresh_domain_gauges t =
   Array.iteri
     (fun k (st : Pool.domain_stat) ->
@@ -373,7 +370,16 @@ let refresh_domain_gauges t =
            ~help:"Requests each pool slot has executed"
            "olar_pool_domain_requests")
         st.Pool.requests)
-    (Pool.domain_stats t.pool)
+    (Pool.domain_stats t.pool);
+  Array.iteri
+    (fun k depth ->
+      Metrics.Gauge.set_int
+        (Metrics.gauge t.registry
+           ~labels:[ ("shard", string_of_int k) ]
+           ~help:"Requests queued in each pool submission shard"
+           "olar_pool_shard_depth")
+        depth)
+    (Pool.shard_depths t.pool)
 
 (* Keep runtime/domain gauges fresh and merge buffered trace shards
    even when nobody scrapes /metrics: called from the drainer between
@@ -388,21 +394,29 @@ let sample_runtime t =
     Option.iter Obs.flush t.obs_ctx
   end
 
+(* The drainer is a thin submit loop: pop one ticket, stamp its claim
+   time, submit, repeat. The pool's bounded shards carry the
+   in-flight window; when they are full, [Pool.submit] executes one
+   queued request inline on this thread — backpressure that keeps the
+   admission queue (and its 429 bound) the only unbounded-offered-load
+   buffer in the process. *)
 let drainer_loop t =
   let rec go () =
     Mutex.lock t.qmu;
     while Queue.is_empty t.queue && not t.stopping do
       Condition.wait t.qcv t.qmu
     done;
-    if Queue.is_empty t.queue then
-      (* stopping with nothing left: the queue is drained, exit *)
-      Mutex.unlock t.qmu
-    else begin
-      let n = Queue.length t.queue in
-      let tickets = Array.init n (fun _ -> Queue.pop t.queue) in
-      Metrics.Gauge.set_int t.g_queue_depth 0;
+    if Queue.is_empty t.queue then begin
+      (* stopping with nothing queued: wait out what is already in the
+         shards, then exit — every admitted request has delivered *)
       Mutex.unlock t.qmu;
-      serve_round t tickets;
+      Pool.drain t.pool
+    end
+    else begin
+      let ticket = Queue.pop t.queue in
+      Metrics.Gauge.set_int t.g_queue_depth (Queue.length t.queue);
+      Mutex.unlock t.qmu;
+      dispatch_one t ticket;
       sample_runtime t;
       go ()
     end
@@ -572,6 +586,23 @@ let statusz_json t =
                 ])
             (Pool.domain_stats t.pool)))
   in
+  let dispatch_json =
+    let h = Pool.dispatch_wait t.pool in
+    let us x = Jsonx.Float (if Float.is_finite x then x *. 1e6 else 0.0) in
+    Jsonx.Obj
+      [
+        ("count", Jsonx.Int (Metrics.Histogram.count h));
+        ("sum_s", Jsonx.Float (Metrics.Histogram.sum h));
+        ("p50_us", us (Metrics.Histogram.quantile h 0.5));
+        ("p90_us", us (Metrics.Histogram.quantile h 0.9));
+        ("p99_us", us (Metrics.Histogram.quantile h 0.99));
+      ]
+  in
+  let shards_json =
+    Jsonx.Arr
+      (Array.to_list
+         (Array.map (fun d -> Jsonx.Int d) (Pool.shard_depths t.pool)))
+  in
   let seen, slow_entries = slow_snapshot t in
   Jsonx.Obj
     [
@@ -598,6 +629,8 @@ let statusz_json t =
             ("shed_deadline", Jsonx.Int (Counter.value t.c_shed_deadline));
           ] );
       ("pool", pool_json);
+      ("dispatch", dispatch_json);
+      ("shards", shards_json);
       ("phases", phases_json t);
       ( "slow",
         Jsonx.Obj
@@ -614,6 +647,68 @@ let statusz_json t =
 (* ------------------------------------------------------------------ *)
 (* Request handling                                                   *)
 (* ------------------------------------------------------------------ *)
+
+(* The ticket freelist. A retired ticket keeps its last key/req until
+   the next reuse overwrite — bounded retention, capped below — in
+   exchange for never allocating a mutex/condvar pair on the serving
+   hot path. *)
+let free_cap = 64
+
+let acquire_ticket t ~rid ~key ~req ~t0 ~parse_s ~arrival ~deadline =
+  Mutex.lock t.free_mu;
+  let recycled =
+    match t.free_tickets with
+    | tk :: rest ->
+      t.free_tickets <- rest;
+      t.free_count <- t.free_count - 1;
+      Some tk
+    | [] -> None
+  in
+  Mutex.unlock t.free_mu;
+  match recycled with
+  | Some tk ->
+    tk.id <- rid;
+    tk.key <- key;
+    tk.req <- req;
+    tk.t0 <- t0;
+    tk.parse_s <- parse_s;
+    tk.arrival <- arrival;
+    tk.deadline <- deadline;
+    tk.outcome <- Pending;
+    tk.t_claim <- arrival;
+    tk.t_exec_start <- arrival;
+    tk.t_exec_done <- arrival;
+    tk.exec_domain <- -1;
+    tk
+  | None ->
+    {
+      id = rid;
+      key;
+      req;
+      t0;
+      parse_s;
+      arrival;
+      deadline;
+      tmu = Mutex.create ();
+      tcv = Condition.create ();
+      outcome = Pending;
+      t_claim = arrival;
+      t_exec_start = arrival;
+      t_exec_done = arrival;
+      exec_domain = -1;
+    }
+
+(* Only after the connection thread is completely done with the ticket
+   — the response is written and the phase books are closed — may it go
+   back on the freelist; the pool side never touches a ticket after
+   [resolve]. *)
+let release_ticket t tk =
+  Mutex.lock t.free_mu;
+  if t.free_count < free_cap then begin
+    t.free_tickets <- tk :: t.free_tickets;
+    t.free_count <- t.free_count + 1
+  end;
+  Mutex.unlock t.free_mu
 
 (* [handle_query] returns the response string plus an optional
    post-write hook: phase accounting can only complete once the write
@@ -638,32 +733,21 @@ let handle_query t ~rid ~t0 body =
         && rid mod t.cfg.trace_sample = 0
       in
       let ticket =
-        {
-          id = rid;
-          key;
-          req;
-          t0;
-          parse_s = arrival -. t0;
-          arrival;
-          deadline =
+        acquire_ticket t ~rid ~key ~req ~t0 ~parse_s:(arrival -. t0) ~arrival
+          ~deadline:
             (if t.cfg.deadline_s > 0.0 then arrival +. t.cfg.deadline_s
-             else infinity);
-          tmu = Mutex.create ();
-          tcv = Condition.create ();
-          outcome = Pending;
-          t_claim = arrival;
-          t_exec_start = arrival;
-          t_exec_done = arrival;
-          exec_domain = -1;
-        }
+             else infinity)
       in
       (match admit t ticket with
-      | Error (status, msg) -> (error_response ~status msg, None)
+      | Error (status, msg) ->
+        release_ticket t ticket;
+        (error_response ~status msg, None)
       | Ok () -> (
         match await ticket with
         | Pending -> assert false
         | Shed (status, msg) ->
           (* shed before execution: no phase account to close *)
+          release_ticket t ticket;
           (error_response ~status msg, None)
         | Served (resp, latency_s) ->
           let t_awake = Timer.monotonic_s () in
@@ -681,7 +765,8 @@ let handle_query t ~rid ~t0 body =
           ( body,
             Some
               (fun write_s ->
-                finish_query t ticket ~status ~sampled ~phases ~write_s) ))))
+                finish_query t ticket ~status ~sampled ~phases ~write_s;
+                release_ticket t ticket) ))))
 
 (* The GET body of each read-only endpoint, shared by HEAD (which
    renders the same status/headers with the body omitted). *)
@@ -915,6 +1000,9 @@ let create ?(config = default_config) ?domains ?budget_bytes engine =
       rec_oc;
       rec_mu = Mutex.create ();
       rec_seq = 0;
+      free_mu = Mutex.create ();
+      free_tickets = [];
+      free_count = 0;
       accept_thread = None;
       drainer_thread = None;
       conns_mu = Mutex.create ();

@@ -4,10 +4,14 @@
     interactive mining queries; this module is its network front door.
     One listening TCP socket, one lightweight thread per accepted
     connection, one {b bounded admission queue} in the middle, and one
-    {b drainer} thread behind it that serves the queue in coalesced
-    {!Olar_serve.Pool} rounds across the pool's domains. Systhreads
-    carry the blocking socket I/O (a blocked read releases the domain
-    lock); the domains do the query work.
+    {b drainer} thread behind it that streams each admitted request
+    into the pool via {!Olar_serve.Pool.submit} — continuous per-domain
+    dispatch, no batch materialization between admission and execution.
+    Systhreads carry the blocking socket I/O (a blocked read releases
+    the domain lock); the domains do the query work. Ticket records
+    (one per in-flight query, carrying its mutex/condvar pair) are
+    pooled and reused, so the steady-state serving path allocates no
+    synchronization objects.
 
     {2 Endpoints}
 
@@ -21,14 +25,18 @@
     - [GET /metrics] — Prometheus text exposition of the engine's
       metrics registry (plus the server's own [olar_http_*] series,
       including the six [olar_http_phase_seconds{phase="..."}]
-      histograms and per-domain
+      histograms, the pool's dispatch-wait histogram
+      [olar_pool_dispatch_wait_seconds], per-domain
       [olar_pool_domain_busy_seconds]/[olar_pool_domain_requests]
+      gauges and per-shard [olar_pool_shard_depth{shard="..."}] depth
       gauges).
     - [GET /healthz] — 200 ["ok"] while serving.
     - [GET /statusz] — JSON debug state: build version, uptime, queue
-      depth/peak/limit, request counters, per-domain utilization, the
-      six phase-histogram summaries, and the last N requests over the
-      [slow_s] threshold (a bounded ring, newest first).
+      depth/peak/limit, request counters, per-domain utilization, a
+      dispatch-wait histogram summary, per-shard submission-queue
+      depths, the six phase-histogram summaries, and the last N
+      requests over the [slow_s] threshold (a bounded ring, newest
+      first).
     - [HEAD] on any of the three read-only endpoints answers with the
       GET status and headers (including the GET body's
       [Content-Length]) and an empty body.
@@ -62,7 +70,9 @@
     {!Olar_replay.Record} line to the file — the same jsonl the
     [--record] CLI flag writes — so production traffic replays through
     [olar replay] against the pre-serving lattice. Captured seq numbers
-    are server-global in completion-batch order; queries that shed or
+    are server-global in completion order (which, for a single
+    sequential client, is submission order — the case replay verifies
+    digest-exactly); queries that shed or
     error are not recorded (mirroring {!Olar_replay.Recorder}, which
     emits nothing for a query that raises).
 

@@ -255,8 +255,11 @@ let run ?(on_outcome = fun _ -> ()) session records =
 let run_pool ?(on_response = fun _ _ ~ok:_ -> ()) pool records =
   (* Convert every record up front; a structurally incomplete record is
      an error outcome without executing anything. The valid requests
-     run as ONE batch, so appends barrier the whole log exactly as the
-     capture's sequential epochs did. *)
+     are streamed through {!Pool.submit} — the same continuous path the
+     server drainer uses — with appends quiescing mid-stream, so the
+     replay sees exactly the capture's sequential epochs. Each callback
+     writes a distinct slot of [out], so completion order is free to
+     differ from submission order. *)
   let converted = List.map (fun r -> (r, request_of_record r)) records in
   let reqs =
     Array.of_list (List.filter_map (fun (_, q) -> Result.to_option q) converted)
@@ -268,7 +271,11 @@ let run_pool ?(on_response = fun _ _ ~ok:_ -> ()) pool records =
   let h_cell = counter "olar_query_heap_pops_total" in
   let value = function Some c -> Counter.value c | None -> 0 in
   let v0 = value v_cell and h0 = value h_cell in
-  let out = Pool.run_timed pool reqs in
+  let out = Array.make (Array.length reqs) (Pool.R_error "unreplayed", 0.0) in
+  Array.iteri
+    (fun i req -> Pool.submit pool req (fun resp dt -> out.(i) <- (resp, dt)))
+    reqs;
+  Pool.drain pool;
   let idx = ref 0 in
   let report =
     ref

@@ -60,10 +60,11 @@ val request_of_record :
     {!Olar_serve.Pool.R_error} (an error has no digestible result). *)
 val digest_response : Olar_serve.Pool.response -> Fnv.t option
 
-(** [run_pool pool records] replays the log through a serving pool as
-    one batch — appends barrier the batch, walking the same epoch
-    sequence the capture did — and compares each response digest
-    against its record. Work counters on the replayed side are the
+(** [run_pool pool records] streams the log through a serving pool via
+    {!Olar_serve.Pool.submit} — the server drainer's continuous path —
+    with appends quiescing the stream, walking the same epoch sequence
+    the capture did — and compares each response digest against its
+    record. Work counters on the replayed side are the
     {e aggregate} obs deltas for the whole batch (per-query attribution
     is impossible across domains; zero when telemetry is off).
     [on_response] fires per record in submission order. *)

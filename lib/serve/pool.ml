@@ -2,6 +2,7 @@ open Olar_data
 module Engine = Olar_core.Engine
 module Lattice = Olar_core.Lattice
 module Obs = Olar_obs.Obs
+module Metrics = Olar_obs.Metrics
 module Timer = Olar_util.Timer
 
 type request =
@@ -42,42 +43,95 @@ type response =
   | R_promoted of { promoted : Itemset.t list; db_size : int }
   | R_error of string
 
-(* One published batch segment. [next] is the shared claim cursor:
-   whichever domain is free fetch-and-adds it and executes the claimed
-   request, so a skewed batch cannot idle a domain behind a static
-   partition. [active] counts participants (workers + coordinator)
-   still draining; the coordinator waits for it to reach zero before
-   retiring the job, which is also what guarantees every write to
-   [out] happens-before the coordinator reads it (mutex release/
-   acquire pairs). [id] distinguishes successive jobs so a worker that
-   wakes spuriously never re-drains a batch it already finished. *)
-type job = {
-  reqs : request array;
-  out : (response * float) array;
-  hi : int; (* claim cursor stops at [hi); the segment start seeds [next] *)
-  next : int Atomic.t;
-  mutable active : int;
-  id : int;
-  deliver : int -> response * float -> unit;
-      (* invoked by the completing domain right after it writes
-         [out.(i)] — the per-completion delivery hook behind
-         [run_deliver]; [run]/[run_timed] install a no-op *)
+let null_deliver (_ : response) (_ : float) = ()
+let dummy_request = Count_itemsets { containing = Itemset.empty; minsup = 1.0 }
+
+(* ------------------------------------------------------------------ *)
+(* Submission shards                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* One pooled slot of a shard ring, in the Vyukov bounded-queue style:
+   [c_seq] is the slot's sequence stamp. For ring position [p] (an
+   ever-growing index; the slot is [p land mask]), [c_seq = p] means
+   free for the producer, [c_seq = p + 1] means filled and claimable,
+   and a consumer releases the slot for the next lap by stamping
+   [p + capacity]. The stamp is the publication fence in both
+   directions: fields are only written before a stamp and only read
+   after observing one, so the mutable fields need no atomics and a
+   request in flight costs zero allocation inside the pool. *)
+type cell = {
+  mutable c_req : request;
+  mutable c_deliver : response -> float -> unit;
+  mutable c_submitted : float; (* Timer.monotonic_s at submit *)
+  c_seq : int Atomic.t;
 }
+
+(* A worker's submission shard. Single producer (the coordinator),
+   multiple consumers (the owning worker plus any stealing sibling, and
+   the coordinator itself under backpressure or drain): producers probe
+   [tail]'s slot stamp, consumers race on [head] with CAS. Parking is
+   per-shard — one mutex/condvar pair nobody but this worker waits on —
+   so waking one domain never touches the others. *)
+type shard = {
+  ring : cell array;
+  mask : int;
+  tail : int Atomic.t; (* producer cursor; written by the coordinator only *)
+  head : int Atomic.t; (* consumer claim cursor *)
+  pmu : Mutex.t;
+  pcv : Condition.t;
+  parked : bool Atomic.t;
+}
+
+(* Worker-local claim scratch: [try_pop] copies the claimed cell's
+   fields here before releasing the cell, so the claim itself allocates
+   nothing and the producer can reuse the slot immediately. *)
+type slot = {
+  mutable s_req : request;
+  mutable s_deliver : response -> float -> unit;
+  mutable s_submitted : float;
+}
+
+let shard_capacity = 64 (* power of two; bounds per-shard backlog *)
+
+let make_shard () =
+  {
+    ring =
+      Array.init shard_capacity (fun i ->
+          {
+            c_req = dummy_request;
+            c_deliver = null_deliver;
+            c_submitted = 0.0;
+            c_seq = Atomic.make i;
+          });
+    mask = shard_capacity - 1;
+    tail = Atomic.make 0;
+    head = Atomic.make 0;
+    pmu = Mutex.create ();
+    pcv = Condition.create ();
+    parked = Atomic.make false;
+  }
+
+let make_slot () =
+  { s_req = dummy_request; s_deliver = null_deliver; s_submitted = 0.0 }
 
 type t = {
   mutable engine : Engine.t; (* the coordinator's view; swapped at appends *)
   num_domains : int;
   sessions : Session.t array; (* slot 0 = coordinator, 1.. = workers *)
   mutable workers : unit Domain.t array;
-  mu : Mutex.t;
-  work : Condition.t; (* workers park here between jobs *)
-  finished : Condition.t; (* coordinator parks here during a job *)
-  mutable job : job option;
-  mutable job_seq : int;
-  mutable stop : bool;
+  shards : shard array; (* length num_domains - 1; shard k feeds slot k+1 *)
+  mutable rr : int; (* coordinator-only rotation seed for shard picks *)
+  inflight : int Atomic.t; (* submitted, not yet delivered *)
+  qmu : Mutex.t; (* coordinator's quiesce parking *)
+  qcv : Condition.t;
+  coord_waiting : bool Atomic.t;
+  stop : bool Atomic.t;
   mutable closed : bool;
   served : int Atomic.t array; (* per-slot requests executed *)
-  busy : float Atomic.t array; (* per-slot seconds spent executing *)
+  busy_ns : int Atomic.t array; (* per-slot execution nanoseconds *)
+  dispatch_wait : Metrics.Histogram.t;
+  deliver_exn : exn option Atomic.t; (* first callback escape, for drain *)
+  coord_slot : slot;
 }
 
 type domain_stat = {
@@ -85,17 +139,15 @@ type domain_stat = {
   busy_s : float;
 }
 
-(* Charge [dt] seconds of execution to slot [idx]. The float add is a
-   CAS loop (no fetch-and-add for floats); contention is negligible —
-   one bump per request, on the slot's own cell. *)
+(* Charge [dt] seconds of execution to slot [idx]. Both cells take a
+   plain [fetch_and_add] — seconds accumulate as integer nanoseconds,
+   so a contended slot never spins the way a CAS-retry float add
+   would. *)
 let note_work t idx dt =
   ignore (Atomic.fetch_and_add t.served.(idx) 1);
-  let cell = t.busy.(idx) in
-  let rec add () =
-    let cur = Atomic.get cell in
-    if not (Atomic.compare_and_set cell cur (cur +. dt)) then add ()
-  in
-  add ()
+  ignore
+    (Atomic.fetch_and_add t.busy_ns.(idx)
+       (int_of_float ((dt *. 1e9) +. 0.5)))
 
 (* ------------------------------------------------------------------ *)
 (* Request execution (any domain, on that domain's private session)   *)
@@ -105,7 +157,7 @@ let materialize lat ids =
   Array.map (fun v -> (Lattice.itemset lat v, Lattice.support lat v)) ids
 
 (* Every exception becomes [R_error]: a bad threshold in one request
-   must not poison the rest of the batch, and the serial comparison
+   must not poison the rest of the stream, and the serial comparison
    path raises the identical exception, keeping digests stable. *)
 let execute session req =
   try
@@ -132,67 +184,177 @@ let execute session req =
     | Boundary { target; constraints; minconf } ->
       R_entries (Session.boundary ~constraints session ~target ~minconf)
     | Append _ ->
-      (* appends are executed by the coordinator at the barrier, never
-         published to the claim cursor *)
+      (* appends quiesce and fold on the coordinator, never in a shard *)
       R_error "Pool: append reached a worker"
   with e -> R_error (Printexc.to_string e)
 
-let timed session req =
-  let t0 = Timer.monotonic_s () in
-  let resp = execute session req in
-  (resp, Float.max 0.0 (Timer.monotonic_s () -. t0))
+(* ------------------------------------------------------------------ *)
+(* Shard operations                                                   *)
+(* ------------------------------------------------------------------ *)
 
-let drain t idx job =
-  let session = t.sessions.(idx) in
-  let rec loop () =
-    let i = Atomic.fetch_and_add job.next 1 in
-    if i < job.hi then begin
-      job.out.(i) <- timed session job.reqs.(i);
-      note_work t idx (snd job.out.(i));
-      job.deliver i job.out.(i);
-      loop ()
-    end
+(* Claim one request from [sh] into [slot]. Fields are read after the
+   winning CAS on [head] (sole ownership) and the cell is released —
+   with its closure reference dropped, so delivered callbacks are not
+   retained for a lap — before execution begins. *)
+let try_pop sh slot =
+  let rec go () =
+    let h = Atomic.get sh.head in
+    let cell = sh.ring.(h land sh.mask) in
+    let s = Atomic.get cell.c_seq in
+    if s = h + 1 then
+      if Atomic.compare_and_set sh.head h (h + 1) then begin
+        slot.s_req <- cell.c_req;
+        slot.s_deliver <- cell.c_deliver;
+        slot.s_submitted <- cell.c_submitted;
+        cell.c_req <- dummy_request;
+        cell.c_deliver <- null_deliver;
+        Atomic.set cell.c_seq (h + Array.length sh.ring);
+        true
+      end
+      else go () (* lost the claim race; re-probe *)
+    else if s > h + 1 then go () (* stale head read; re-probe *)
+    else false (* empty, or mid-publication *)
   in
-  loop ()
+  go ()
+
+(* Producer side; single-threaded by the coordinator invariant. *)
+let try_push sh req deliver now =
+  let p = Atomic.get sh.tail in
+  let cell = sh.ring.(p land sh.mask) in
+  if Atomic.get cell.c_seq = p then begin
+    cell.c_req <- req;
+    cell.c_deliver <- deliver;
+    cell.c_submitted <- now;
+    Atomic.set cell.c_seq (p + 1);
+    Atomic.set sh.tail (p + 1);
+    true
+  end
+  else false (* the slot is still claimed: the ring is full *)
+
+(* Is any shard non-empty? Probes the head slot's stamp only — the
+   parking recheck, so it must be cheap. *)
+let has_work t =
+  let n = Array.length t.shards in
+  let rec go k =
+    if k >= n then false
+    else
+      let sh = t.shards.(k) in
+      let h = Atomic.get sh.head in
+      if Atomic.get sh.ring.(h land sh.mask).c_seq = h + 1 then true
+      else go (k + 1)
+  in
+  go 0
+
+let unpark sh =
+  Mutex.lock sh.pmu;
+  Atomic.set sh.parked false;
+  Condition.signal sh.pcv;
+  Mutex.unlock sh.pmu
+
+(* Wake policy after pushing into shard [k]: the owner if it is parked;
+   otherwise any parked sibling, which will find the request by
+   stealing. A request never waits on a parked pool. *)
+let wake t k =
+  let n = Array.length t.shards in
+  let sh = t.shards.(k) in
+  if Atomic.get sh.parked then unpark sh
+  else
+    let rec scan i =
+      if i < n then
+        let s = t.shards.((k + i) mod n) in
+        if Atomic.get s.parked then unpark s else scan (i + 1)
+    in
+    scan 1
+
+(* ------------------------------------------------------------------ *)
+(* Execution of a claimed request                                     *)
+(* ------------------------------------------------------------------ *)
+
+let record_deliver_exn t e =
+  ignore (Atomic.compare_and_set t.deliver_exn None (Some e))
+
+(* Retire one request: the last decrement wakes a coordinator that is
+   parked in [drain] waiting for the stream to go quiet. *)
+let finish_one t =
+  if Atomic.fetch_and_add t.inflight (-1) = 1 && Atomic.get t.coord_waiting
+  then begin
+    Mutex.lock t.qmu;
+    Condition.signal t.qcv;
+    Mutex.unlock t.qmu
+  end
+
+let exec_slot t idx slot =
+  let req = slot.s_req and deliver = slot.s_deliver in
+  slot.s_req <- dummy_request;
+  slot.s_deliver <- null_deliver;
+  let t0 = Timer.monotonic_s () in
+  Metrics.Histogram.observe t.dispatch_wait
+    (Float.max 0.0 (t0 -. slot.s_submitted));
+  let resp = execute t.sessions.(idx) req in
+  let dt = Float.max 0.0 (Timer.monotonic_s () -. t0) in
+  note_work t idx dt;
+  (try deliver resp dt with e -> record_deliver_exn t e);
+  finish_one t
+
+(* Coordinator-side help: claim and execute one queued request on the
+   coordinator's session. Keeps the caller's domain a full serving
+   participant during batch drains, and doubles as backpressure when
+   every ring is full. *)
+let help_one t =
+  let n = Array.length t.shards in
+  let rec scan k =
+    if k >= n then false
+    else if try_pop t.shards.((t.rr + k) mod n) t.coord_slot then begin
+      exec_slot t 0 t.coord_slot;
+      true
+    end
+    else scan (k + 1)
+  in
+  n > 0 && scan 0
 
 (* ------------------------------------------------------------------ *)
 (* Worker loop                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let worker_loop t idx =
-  let last = ref 0 in
+let worker_loop t w =
+  let slot = make_slot () in
+  let idx = w + 1 in
+  let n = Array.length t.shards in
+  let own = t.shards.(w) in
+  (* own shard first, then steal from siblings in ring order *)
+  let rec claim k = k < n && (try_pop t.shards.((w + k) mod n) slot || claim (k + 1)) in
   let rec go () =
-    Mutex.lock t.mu;
-    let rec await () =
-      if t.stop then begin
-        Mutex.unlock t.mu;
-        None
+    if not (Atomic.get t.stop) then
+      if claim 0 then begin
+        exec_slot t idx slot;
+        go ()
       end
-      else
-        match t.job with
-        | Some j when j.id <> !last ->
-          last := j.id;
-          Mutex.unlock t.mu;
-          Some j
-        | _ ->
-          Condition.wait t.work t.mu;
-          await ()
-    in
-    match await () with
-    | None -> ()
-    | Some j ->
-      drain t idx j;
-      Mutex.lock t.mu;
-      j.active <- j.active - 1;
-      if j.active = 0 then Condition.broadcast t.finished;
-      Mutex.unlock t.mu;
-      go ()
+      else begin
+        (* Park. Publishing [parked] before the final emptiness recheck
+           closes the lost-wakeup window: either the recheck sees the
+           producer's publication, or the producer's [wake] sees the
+           flag (both are SC atomics). The flag doubles as the wait
+           predicate — [unpark] clears it under the mutex. *)
+        Atomic.set own.parked true;
+        if has_work t || Atomic.get t.stop then Atomic.set own.parked false
+        else begin
+          Mutex.lock own.pmu;
+          while Atomic.get own.parked && not (Atomic.get t.stop) do
+            Condition.wait own.pcv own.pmu
+          done;
+          Mutex.unlock own.pmu;
+          Atomic.set own.parked false
+        end;
+        go ()
+      end
   in
   go ()
 
 (* ------------------------------------------------------------------ *)
 (* Construction / teardown                                            *)
 (* ------------------------------------------------------------------ *)
+
+let dispatch_wait_name = "olar_pool_dispatch_wait_seconds"
 
 let create ?domains ?budget_bytes engine =
   let d =
@@ -210,25 +372,37 @@ let create ?domains ?budget_bytes engine =
         if i = 0 then Session.create ?budget_bytes engine
         else Session.create ?budget_bytes (Engine.of_lattice ~obs lattice))
   in
+  let dispatch_wait =
+    match obs with
+    | Some ctx ->
+      Metrics.histogram (Obs.metrics ctx)
+        ~help:"Seconds between submit and a domain claiming the request"
+        dispatch_wait_name
+    | None -> Metrics.Histogram.create dispatch_wait_name
+  in
   let t =
     {
       engine;
       num_domains = d;
       sessions;
       workers = [||];
-      mu = Mutex.create ();
-      work = Condition.create ();
-      finished = Condition.create ();
-      job = None;
-      job_seq = 0;
-      stop = false;
+      shards = Array.init (d - 1) (fun _ -> make_shard ());
+      rr = 0;
+      inflight = Atomic.make 0;
+      qmu = Mutex.create ();
+      qcv = Condition.create ();
+      coord_waiting = Atomic.make false;
+      stop = Atomic.make false;
       closed = false;
       served = Array.init d (fun _ -> Atomic.make 0);
-      busy = Array.init d (fun _ -> Atomic.make 0.0);
+      busy_ns = Array.init d (fun _ -> Atomic.make 0);
+      dispatch_wait;
+      deliver_exn = Atomic.make None;
+      coord_slot = make_slot ();
     }
   in
   t.workers <-
-    Array.init (d - 1) (fun w -> Domain.spawn (fun () -> worker_loop t (w + 1)));
+    Array.init (d - 1) (fun w -> Domain.spawn (fun () -> worker_loop t w));
   t
 
 let domains t = t.num_domains
@@ -237,31 +411,53 @@ let stats t = Array.map Session.stats t.sessions
 
 let domain_stats t =
   Array.init t.num_domains (fun i ->
-      { requests = Atomic.get t.served.(i); busy_s = Atomic.get t.busy.(i) })
+      {
+        requests = Atomic.get t.served.(i);
+        busy_s = float_of_int (Atomic.get t.busy_ns.(i)) /. 1e9;
+      })
 
-let shutdown t =
-  if not t.closed then begin
-    t.closed <- true;
-    Mutex.lock t.mu;
-    t.stop <- true;
-    Condition.broadcast t.work;
-    Mutex.unlock t.mu;
-    Array.iter Domain.join t.workers;
-    t.workers <- [||]
+let dispatch_wait t = t.dispatch_wait
+
+let shard_depths t =
+  Array.map (fun sh -> max 0 (Atomic.get sh.tail - Atomic.get sh.head)) t.shards
+
+(* ------------------------------------------------------------------ *)
+(* Quiesce                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Wait out every submitted request. The coordinator is the only
+   producer, so once it is in here intake has stopped; it helps drain
+   the shards, and only parks — on its own condvar, woken by whichever
+   domain retires the last request — for requests a worker already
+   claimed. *)
+let drain_quiet t =
+  while help_one t do
+    ()
+  done;
+  if Atomic.get t.inflight > 0 then begin
+    Mutex.lock t.qmu;
+    Atomic.set t.coord_waiting true;
+    while Atomic.get t.inflight > 0 do
+      Condition.wait t.qcv t.qmu
+    done;
+    Atomic.set t.coord_waiting false;
+    Mutex.unlock t.qmu
   end
 
-let with_pool ?domains ?budget_bytes engine f =
-  let t = create ?domains ?budget_bytes engine in
-  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+let drain t =
+  drain_quiet t;
+  match Atomic.get t.deliver_exn with
+  | Some e ->
+    Atomic.set t.deliver_exn None;
+    raise e
+  | None -> ()
 
-(* ------------------------------------------------------------------ *)
-(* Batch execution                                                    *)
-(* ------------------------------------------------------------------ *)
-
-(* The append barrier: folds the delta exactly once through the
-   coordinator's session, then hands every worker session a fresh
-   engine view over the new lattice. Runs strictly between jobs, so no
-   domain is mid-query while engines are being swapped. *)
+(* The append barrier: with the pool quiesced, folds the delta exactly
+   once through the coordinator's session, then hands every worker
+   session a fresh engine view over the new lattice. No domain is
+   mid-query here, and the next claim a worker wins publishes the swap
+   to it (the claim's stamp read pairs with the coordinator's
+   post-adopt stamp write). *)
 let barrier_append t delta =
   let promoted = Session.append t.sessions.(0) delta in
   t.engine <- Session.engine t.sessions.(0);
@@ -272,83 +468,120 @@ let barrier_append t delta =
   done;
   R_promoted { promoted; db_size = Engine.db_size t.engine }
 
-let timed_append t delta =
+(* ------------------------------------------------------------------ *)
+(* Submission                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Execute synchronously on the coordinator (1-domain pools, append
+   folds): no shard crossed, so no dispatch wait is observed. *)
+let inline_exec t run_req deliver =
   let t0 = Timer.monotonic_s () in
-  let resp = try barrier_append t delta with e -> R_error (Printexc.to_string e) in
-  (resp, Float.max 0.0 (Timer.monotonic_s () -. t0))
+  let resp = run_req () in
+  let dt = Float.max 0.0 (Timer.monotonic_s () -. t0) in
+  note_work t 0 dt;
+  try deliver resp dt with e -> record_deliver_exn t e
 
-let run_segment t ~deliver out reqs lo hi =
-  if t.num_domains = 1 then
-    for i = lo to hi - 1 do
-      out.(i) <- timed t.sessions.(0) reqs.(i);
-      note_work t 0 (snd out.(i));
-      deliver i out.(i)
-    done
-  else begin
-    Mutex.lock t.mu;
-    t.job_seq <- t.job_seq + 1;
-    let job =
-      {
-        reqs;
-        out;
-        hi;
-        next = Atomic.make lo;
-        active = t.num_domains;
-        id = t.job_seq;
-        deliver;
-      }
-    in
-    t.job <- Some job;
-    Condition.broadcast t.work;
-    Mutex.unlock t.mu;
-    drain t 0 job;
-    Mutex.lock t.mu;
-    job.active <- job.active - 1;
-    while job.active > 0 do
-      Condition.wait t.finished t.mu
-    done;
-    t.job <- None;
-    Mutex.unlock t.mu
-  end
-
-let run_with t ~deliver reqs =
-  if t.closed then invalid_arg "Pool.run: pool is shut down";
-  let n = Array.length reqs in
-  let out = Array.make n (R_error "not executed", 0.0) in
-  let i = ref 0 in
-  while !i < n do
-    let lo = !i in
-    let hi = ref lo in
-    while
-      !hi < n && match reqs.(!hi) with Append _ -> false | _ -> true
-    do
-      incr hi
-    done;
-    if !hi > lo then run_segment t ~deliver out reqs lo !hi;
-    i := !hi;
-    if !i < n then begin
-      (match reqs.(!i) with
-      | Append delta ->
-        out.(!i) <- timed_append t delta;
-        note_work t 0 (snd out.(!i));
-        deliver !i out.(!i)
-      | _ -> assert false);
-      incr i
+let pick_shard t =
+  let n = Array.length t.shards in
+  let start = t.rr in
+  t.rr <- (if start + 1 >= n then 0 else start + 1);
+  let best = ref start and best_depth = ref max_int in
+  for k = 0 to n - 1 do
+    let i = (start + k) mod n in
+    let sh = t.shards.(i) in
+    let depth = Atomic.get sh.tail - Atomic.get sh.head in
+    if depth < !best_depth then begin
+      best := i;
+      best_depth := depth
     end
   done;
+  !best
+
+let submit_exn t msg req deliver =
+  if t.closed then invalid_arg msg;
+  match req with
+  | Append delta ->
+    (* quiesce: stop intake (trivially — this thread is the intake),
+       drain the shards, fold, adopt, resume *)
+    drain_quiet t;
+    inline_exec t
+      (fun () ->
+        try barrier_append t delta with e -> R_error (Printexc.to_string e))
+      deliver
+  | _ ->
+    if t.num_domains = 1 then
+      inline_exec t (fun () -> execute t.sessions.(0) req) deliver
+    else begin
+      ignore (Atomic.fetch_and_add t.inflight 1);
+      let now = Timer.monotonic_s () in
+      let rec push () =
+        let k = pick_shard t in
+        if try_push t.shards.(k) req deliver now then wake t k
+        else if help_one t then push ()
+          (* every ring full: drained one request inline (backpressure),
+             a slot is free somewhere now *)
+        else begin
+          (* full rings but nothing claimable — consumers hold claims
+             mid-copy; yield and re-probe *)
+          Domain.cpu_relax ();
+          push ()
+        end
+      in
+      push ()
+    end
+
+let submit t req deliver = submit_exn t "Pool.submit: pool is shut down" req deliver
+
+let shutdown t =
+  if not t.closed then begin
+    t.closed <- true;
+    (* retire anything already submitted before stopping the loops *)
+    drain_quiet t;
+    Atomic.set t.stop true;
+    Array.iter
+      (fun sh ->
+        Mutex.lock sh.pmu;
+        Condition.broadcast sh.pcv;
+        Mutex.unlock sh.pmu)
+      t.shards;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let with_pool ?domains ?budget_bytes engine f =
+  let t = create ?domains ?budget_bytes engine in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* ------------------------------------------------------------------ *)
+(* Batch wrappers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_msg = "Pool.run: pool is shut down"
+
+let run_with t ~deliver reqs =
+  if t.closed then invalid_arg run_msg;
+  let n = Array.length reqs in
+  let out = Array.make n (R_error "not executed", 0.0) in
+  for i = 0 to n - 1 do
+    submit_exn t run_msg reqs.(i) (fun resp dt ->
+        let r = (resp, dt) in
+        out.(i) <- r;
+        deliver i r)
+  done;
+  drain_quiet t;
+  (* every completion's inflight decrement happened-before the drain's
+     zero read, so the [out] writes are visible here *)
   out
 
 let no_deliver _ _ = ()
-
 let run_timed t reqs = run_with t ~deliver:no_deliver reqs
-
 let run t reqs = Array.map fst (run_timed t reqs)
 
 (* Per-completion delivery. The callback runs on whichever domain
    finishes the request, so it must be domain-safe; a callback that
-   raises must not kill a worker loop (that would hang the batch
-   barrier forever), so exceptions are caught at the delivery site and
-   the first one re-raised on the caller's domain after the batch. *)
+   raises must not kill a worker loop, so exceptions are caught at the
+   delivery site and the first one re-raised on the caller's domain
+   after the batch. *)
 let run_deliver t ~on_complete reqs =
   let first_exn = Atomic.make None in
   let deliver i r =

@@ -18,23 +18,36 @@
       its own buffer, domain-tagged, and merge into the sink when the
       coordinator calls {!Olar_obs.Obs.flush}.
 
-    {2 Batches and the append barrier}
+    {2 Continuous dispatch}
 
-    Work arrives as a batch of {!type-request}s (the same query keys
-    {!Olar_replay.Record} captures — a replay log is the natural wire
-    format). Queries in a batch are claimed by whichever domain is free
-    (an atomic cursor over the batch, so skew cannot idle a domain) and
-    results land in submission order. An {!Append} request is a
-    {b barrier}: every query before it completes first, the coordinator
-    folds the delta exactly once, every worker session then adopts a
-    fresh engine view over the new lattice, and only then does the
-    batch continue. Queries after an append therefore see the new
-    epoch on every domain — the same sequential semantics a single
+    Requests are dispatched {b continuously}, not in rounds: each
+    worker domain owns a bounded submission shard (a fixed ring of
+    pooled cells, so the steady-state dispatch path allocates nothing),
+    and {!submit} places each request into the least-loaded shard. An
+    idle worker drains its own shard first, then {b steals} from
+    sibling shards, and only parks — on its own condvar, nobody else's —
+    when every shard is empty. Waking is therefore one signal to one
+    domain; there is no global broadcast and no batch barrier between
+    requests. The submitting thread is the {e coordinator}: exactly one
+    thread may call {!submit} / {!run} / {!drain} on a pool (the
+    single-producer invariant of the shard rings). When every shard is
+    full, {!submit} applies backpressure by executing one queued
+    request inline on the coordinator's own session before retrying.
+
+    {2 The append barrier}
+
+    An {!Append} request is a {b barrier}, preserved under continuous
+    dispatch by a quiesce protocol: the coordinator (the only intake)
+    stops submitting, helps drain the shards, waits for the last
+    in-flight request to deliver, folds the delta exactly once, hands
+    every worker session a fresh engine view over the new lattice, and
+    only then resumes intake. Queries after an append therefore see the
+    new epoch on every domain — the same sequential semantics a single
     {!Session} gives, which is what makes pool-vs-serial digest
     equality a meaningful stress invariant.
 
     A request that raises (e.g. {!Olar_core.Query.Below_primary_threshold})
-    yields {!R_error} rather than poisoning the batch; the same
+    yields {!R_error} rather than poisoning the stream; the same
     exception raises identically in serial execution, so error
     responses are digest-stable too. *)
 
@@ -44,7 +57,7 @@ type t
 
 (** One query, by value — the pool-side mirror of the
     {!Olar_replay.Record} key. [Append] folds a delta into the store
-    and acts as a batch-wide barrier. *)
+    and acts as a stream-wide barrier. *)
 type request =
   | Find_itemsets of { containing : Itemset.t; minsup : float }
   | Count_itemsets of { containing : Itemset.t; minsup : float }
@@ -92,8 +105,8 @@ type response =
 (** [create engine] spawns the pool.
     @param domains total domains serving queries, including the
       caller's (default [Domain.recommended_domain_count ()]); [1]
-      means no domains are spawned and batches run inline. Raises
-      [Invalid_argument] when [< 1].
+      means no domains are spawned and every request executes inline
+      in {!submit}. Raises [Invalid_argument] when [< 1].
     @param budget_bytes per-domain session-cache budget, as
       {!Session.create} (so a pool holds [domains] caches of this size
       each); [0] disables caching.
@@ -109,15 +122,44 @@ val domains : t -> int
     append barrier). *)
 val engine : t -> Olar_core.Engine.t
 
-(** [run t reqs] executes the batch and returns responses in
-    submission order: [(run t reqs).(i)] answers [reqs.(i)].
-    Concurrent calls to [run] on the same pool are not allowed (one
-    coordinator); distinct pools are independent. Raises
+(** {1 Continuous submission}
+
+    The hot path of the {!Olar_net.Server} drainer: one request in, one
+    callback out, no batch arrays in between. *)
+
+(** [submit t req k] dispatches [req] into a worker shard and returns
+    immediately; [k resp dt] fires when the request completes, on
+    {b whichever domain} executed it, with [dt] the execution seconds
+    (claim-to-completion, shard wait excluded). Coordinator-only (the
+    single-producer invariant above); callbacks must be domain-safe and
+    fast, and should not raise — an exception from [k] is recorded and
+    re-raised at the next {!drain}, never propagated into a worker
+    loop. An [Append] quiesces as described above and is folded (and
+    delivered) synchronously before [submit] returns; with
+    [domains = 1] every request is synchronous. Raises
+    [Invalid_argument] after {!shutdown}. *)
+val submit : t -> request -> (response -> float -> unit) -> unit
+
+(** [drain t] blocks until every submitted request has delivered. While
+    shards are non-empty the coordinator executes queued requests
+    itself (it only parks for requests already claimed by a worker), so
+    a drain is never slower than serial execution of the backlog.
+    Re-raises the first callback exception recorded since the last
+    drain, after the pool is quiet. *)
+val drain : t -> unit
+
+(** {1 Batch wrappers}
+
+    Thin compatibility layers over {!submit} + {!drain}; same
+    coordinator-only constraint. *)
+
+(** [run t reqs] submits the batch and returns responses in submission
+    order: [(run t reqs).(i)] answers [reqs.(i)]. Raises
     [Invalid_argument] after {!shutdown}. *)
 val run : t -> request array -> response array
 
 (** [run_timed t reqs] is {!run} with each response paired with its
-    service latency in seconds (monotonic clock, queue wait excluded —
+    service latency in seconds (monotonic clock, shard wait excluded —
     the time from a domain claiming the request to its completion). *)
 val run_timed : t -> request array -> (response * float) array
 
@@ -127,24 +169,23 @@ val run_timed : t -> request array -> (response * float) array
     possibly concurrently with other completions and in any order. The
     returned array is still the full batch in submission order
     ([out.(i)] answers [reqs.(i)], always), so the two views are
-    redundant by construction; the callback exists for callers — the
-    {!Olar_net.Server} drainer — that unblock per-request waiters
-    without paying the whole batch's tail latency first.
+    redundant by construction; the callback exists for callers that
+    unblock per-request waiters without paying the whole batch's tail
+    latency first.
 
-    Constraints on [on_complete]: it must be domain-safe (it is called
-    from worker domains) and fast (it runs inside the claim loop, so a
-    slow callback idles a serving domain). It is called exactly once
-    per request, including [Append] barriers (delivered by the
-    coordinator) and [R_error] responses. If it raises, the exception
-    is swallowed at the delivery site — letting it escape would kill a
-    worker loop and hang the batch barrier — and the first such
-    exception is re-raised on the caller's domain after the batch
-    completes. *)
+    Constraints on [on_complete] are those of {!submit}'s callback. It
+    is called exactly once per request, including [Append] barriers
+    (delivered by the coordinator) and [R_error] responses. If it
+    raises, the exception is swallowed at the delivery site — letting
+    it escape would kill a worker loop — and the first such exception
+    is re-raised on the caller's domain after the batch completes. *)
 val run_deliver :
   t ->
   on_complete:(int -> response * float -> unit) ->
   request array ->
   (response * float) array
+
+(** {1 Introspection} *)
 
 (** [stats t] is each domain's session-cache accounting, index 0 the
     coordinator. *)
@@ -152,8 +193,11 @@ val stats : t -> Session.stats array
 
 (** Cumulative execution accounting for one pool slot: how many
     requests the slot has executed since {!create} and the seconds it
-    spent executing them (claim-to-completion, queue wait excluded).
-    Appends are charged to the coordinator (slot 0). *)
+    spent executing them (claim-to-completion, shard wait excluded).
+    Appends are charged to the coordinator (slot 0). Internally the
+    seconds accumulate as integer nanoseconds under
+    [Atomic.fetch_and_add] — no CAS retry under contention — and
+    convert on read. *)
 type domain_stat = {
   requests : int;
   busy_s : float;
@@ -164,8 +208,22 @@ type domain_stat = {
     is an independent atomic read. *)
 val domain_stats : t -> domain_stat array
 
-(** [shutdown t] joins the worker domains. Idempotent; the pool
-    rejects batches afterwards. *)
+(** [dispatch_wait t] is the pool's dispatch-wait histogram
+    ([olar_pool_dispatch_wait_seconds]): for every request that crossed
+    a shard, the seconds between {!submit} placing it and a domain
+    claiming it. Registered in the engine's metrics registry when its
+    obs context is enabled; maintained privately (for this accessor)
+    otherwise. Inline executions (a 1-domain pool, append barriers,
+    backpressure) never waited and are not observed. *)
+val dispatch_wait : t -> Olar_obs.Metrics.Histogram.t
+
+(** [shard_depths t] samples each worker shard's queued-request count,
+    index [k] the shard owned by pool slot [k+1]; empty for a 1-domain
+    pool. Racy-but-consistent snapshot reads, safe from any thread. *)
+val shard_depths : t -> int array
+
+(** [shutdown t] drains outstanding requests, then joins the worker
+    domains. Idempotent; the pool rejects new work afterwards. *)
 val shutdown : t -> unit
 
 (** [with_pool engine f] is [f pool] with a guaranteed {!shutdown}. *)

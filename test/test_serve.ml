@@ -444,6 +444,42 @@ let pool_differential_uncached_prop =
     ~print:pool_scenario_print pool_scenario_gen
     (run_pool_differential ~budget_bytes:0)
 
+(* The same differential through the continuous path: every request is
+   [Pool.submit]ted with no drain in between, so submissions land while
+   earlier requests are still executing and every [Append] quiesces a
+   live stream. Callbacks fill a slot array, so the comparison is still
+   positional against serial. *)
+let run_pool_stream_differential ~budget_bytes (db, threshold, reqs) =
+  let reqs = Array.of_list reqs in
+  let lat = lattice_of db ~threshold in
+  let serial = Session.create ~budget_bytes (Engine.of_lattice lat) in
+  let expected =
+    Array.map (fun r -> digest_of_response (serial_execute serial r)) reqs
+  in
+  let actual =
+    Pool.with_pool ~domains:4 ~budget_bytes (Engine.of_lattice lat)
+      (fun pool ->
+        let out = Array.make (Array.length reqs) (Pool.R_error "unserved") in
+        Array.iteri
+          (fun i req -> Pool.submit pool req (fun resp _dt -> out.(i) <- resp))
+          reqs;
+        Pool.drain pool;
+        Array.map digest_of_response out)
+  in
+  expected = actual
+
+let pool_stream_differential_prop =
+  QCheck2.Test.make
+    ~name:"interleaved submit digests = serial session (8 MiB cache)" ~count:10
+    ~print:pool_scenario_print pool_scenario_gen
+    (run_pool_stream_differential ~budget_bytes:(8 * 1024 * 1024))
+
+let pool_stream_differential_uncached_prop =
+  QCheck2.Test.make
+    ~name:"interleaved submit digests = serial session (cache off)" ~count:10
+    ~print:pool_scenario_print pool_scenario_gen
+    (run_pool_stream_differential ~budget_bytes:0)
+
 (* ------------------------------------------------------------------ *)
 (* Pool units *)
 
@@ -860,5 +896,10 @@ let suites =
           test_pool_run_deliver;
       ] );
     Helpers.qsuite "serve.pool.diff"
-      [ pool_differential_prop; pool_differential_uncached_prop ];
+      [
+        pool_differential_prop;
+        pool_differential_uncached_prop;
+        pool_stream_differential_prop;
+        pool_stream_differential_uncached_prop;
+      ];
   ]

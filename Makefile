@@ -1,6 +1,6 @@
 .PHONY: all build test test-quick bench-smoke bench-json bench-cache \
-	replay-smoke serve-smoke trace-smoke bench-compare dispatch-bench \
-	stress clean
+	replay-smoke serve-smoke trace-smoke health-smoke bench-compare \
+	dispatch-bench stress clean
 
 all: build
 
@@ -26,9 +26,11 @@ bench-smoke:
 # merged into the same document, validate it with bench/check_json.exe,
 # gate it against the committed baseline (bench/compare_json.exe), run
 # the pool-vs-serial digest stress, the serve -> capture -> replay
-# loopback round trip, and the request-tracing smoke.
+# loopback round trip, the request-tracing smoke and the live-health
+# smoke.
 bench-json:
-	dune build @bench-json @bench-compare @stress @serve-smoke @trace-smoke
+	dune build @bench-json @bench-compare @stress @serve-smoke @trace-smoke \
+		@health-smoke
 
 # Session-cache benchmark: Zipf-repeated query streams, cached vs
 # uncached (lib/serve).
@@ -51,6 +53,12 @@ serve-smoke:
 # domain tags, child-first order) plus the /statusz phase accounting.
 trace-smoke:
 	dune build @trace-smoke
+
+# Live-health smoke: healthy daemon grades ok with live windows and GC
+# attribution; a flooded tiny-queue daemon sheds and /healthz agrees
+# exactly with the pure Health engine over the /statusz window.
+health-smoke:
+	dune build @health-smoke
 
 # Perf-regression gate on its own: rerun the benchmark and diff qps
 # against BENCH_T10I4.json (default tolerance -20%).

@@ -171,7 +171,25 @@ let () =
             if c < queries then
               fail "serve.%s.phases.%s.count %g < queries %g" name phase c
                 queries)
-          [ "parse"; "queue"; "dispatch"; "execute"; "deliver"; "write" ])
+          [ "parse"; "queue"; "dispatch"; "execute"; "deliver"; "write" ];
+        (* the sliding-window view: rates plus a rolling p99 per phase *)
+        check "window.qps" (J.path [ "window"; "qps" ] s);
+        check "window.covered_s" (J.path [ "window"; "covered_s" ] s);
+        check "window.queries" (J.path [ "window"; "queries" ] s);
+        List.iter
+          (fun phase ->
+            check ("window.phases." ^ phase ^ ".p99_us")
+              (J.path [ "window"; "phases"; phase; "p99_us" ] s);
+            check ("window.phases." ^ phase ^ ".count")
+              (J.path [ "window"; "phases"; phase; "count" ] s))
+          [ "parse"; "queue"; "dispatch"; "execute"; "deliver"; "write" ];
+        (* the GC eventring summary: pause count plus windowed pause
+           quantiles (the olar_gc_pause_seconds series' /statusz view) *)
+        (match J.member "gc" s with
+        | None -> fail "serve.%s lacks the gc section" name
+        | Some gc ->
+          check "gc.pauses" (J.member "pauses" gc);
+          check "gc.window.p99_us" (J.path [ "window"; "p99_us" ] gc)))
       scenarios);
   (* dispatch is optional (only present when the dispatch microbench
      merged its sweep in); when present each point is one (mode,

@@ -147,8 +147,13 @@ let dispatch_series doc =
           | _ -> die "dispatch point lacks mode/domains/qps")
         l)
 
-(* The serve experiment's per-phase p99s as (label, p99_us) pairs.
-   Absent phases (a pre-attribution document) contribute nothing. *)
+(* The serve experiment's per-phase p99s as (label, p99_us) pairs —
+   both the cumulative /statusz attribution and, when present, the
+   sliding-window rolling p99s ([.../window/<phase>]), gated under the
+   same loose phase tolerance (windowed quantiles over a ~1s bench
+   point are noisier still; the gate is for order-of-magnitude
+   blowups). Absent phases (a pre-attribution document) contribute
+   nothing. *)
 let phase_series doc =
   let num path v = Option.bind (Jsonx.path path v) Jsonx.number in
   let name v =
@@ -164,19 +169,44 @@ let phase_series doc =
     | Some l ->
       List.concat_map
         (fun s ->
-          match (num [ "clients" ] s, Jsonx.member "phases" s) with
-          | Some c, Some phases ->
-            List.filter_map
-              (fun phase ->
-                match num [ phase; "p99_us" ] phases with
-                | Some p ->
-                  Some
-                    ( Printf.sprintf "serve/%s/c%d/phase/%s" (name s)
-                        (int_of_float c) phase,
-                      p )
-                | None -> die "serve scenario %S phase %s lacks p99_us" (name s) phase)
-              [ "parse"; "queue"; "dispatch"; "execute"; "deliver"; "write" ]
-          | _ -> [])
+          let phase_names =
+            [ "parse"; "queue"; "dispatch"; "execute"; "deliver"; "write" ]
+          in
+          let cumulative =
+            match (num [ "clients" ] s, Jsonx.member "phases" s) with
+            | Some c, Some phases ->
+              List.filter_map
+                (fun phase ->
+                  match num [ phase; "p99_us" ] phases with
+                  | Some p ->
+                    Some
+                      ( Printf.sprintf "serve/%s/c%d/phase/%s" (name s)
+                          (int_of_float c) phase,
+                        p )
+                  | None ->
+                    die "serve scenario %S phase %s lacks p99_us" (name s)
+                      phase)
+                phase_names
+            | _ -> []
+          in
+          let windowed =
+            match
+              (num [ "clients" ] s, Jsonx.path [ "window"; "phases" ] s)
+            with
+            | Some c, Some phases ->
+              List.filter_map
+                (fun phase ->
+                  match num [ phase; "p99_us" ] phases with
+                  | Some p ->
+                    Some
+                      ( Printf.sprintf "serve/%s/c%d/window/%s" (name s)
+                          (int_of_float c) phase,
+                        p )
+                  | None -> None)
+                phase_names
+            | _ -> []
+          in
+          cumulative @ windowed)
         l)
 
 let () =

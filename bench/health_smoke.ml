@@ -1,0 +1,194 @@
+(* Live-health smoke check (the @health-smoke alias).
+
+   Two phases against in-process olar-serve daemons over real loopback
+   sockets, driven through the same lib/net Client that olar top uses:
+
+   1. A healthy server under a steady single-client load must grade
+      "ok" on /healthz, expose a live sliding window on /statusz
+      (non-zero qps and windowed execute quantiles), bring the
+      eventring consumer up (GC pauses observed, clock bridge
+      calibrated) and export the per-domain GC series plus the health
+      gauge on /metrics.
+
+   2. A queue_depth=1 server under a multi-client flood sheds; the
+      /healthz verdict must then agree exactly with the pure
+      Olar_net.Health engine evaluated over the window /statusz itself
+      reports — the differential that pins endpoint, window folding
+      and grading together.
+
+   Exit 0 on success, 1 with a message otherwise. *)
+
+module Engine = Olar_core.Engine
+module Server = Olar_net.Server
+module Client = Olar_net.Client
+module Health = Olar_net.Health
+module Jsonx = Olar_obs.Jsonx
+
+let die fmt =
+  Printf.ksprintf (fun m -> prerr_endline ("health_smoke: " ^ m); exit 1) fmt
+
+(* Same deterministic dataset as serve_smoke.ml. *)
+let params =
+  Olar_datagen.Params.make
+    ~over:
+      {
+        Olar_datagen.Params.default with
+        num_items = 120;
+        num_potential = 200;
+        seed = 7;
+      }
+    ~avg_transaction_size:8.0 ~avg_itemset_size:3.0 ~num_transactions:2000 ()
+
+let get_json url path =
+  match Client.get ~url path with
+  | Ok (status, body) -> (
+    match Jsonx.of_string body with
+    | Ok j -> (status, j)
+    | Error e -> die "%s body not JSON: %s" path e)
+  | Error e -> die "GET %s failed: %s" path e
+
+let num j p =
+  match Option.bind (Jsonx.path p j) Jsonx.number with
+  | Some f -> f
+  | None -> die "document lacks numeric %s" (String.concat "." p)
+
+let str j name =
+  match Option.bind (Jsonx.member name j) Jsonx.to_str with
+  | Some s -> s
+  | None -> die "document lacks string %S" name
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* All bodies stay at or above the primary threshold so every served
+   answer is a 200; all_rules at a low minconf is the allocation-heavy
+   one that keeps the minor GC busy. *)
+let bodies =
+  [|
+    {|{"kind":"all_rules","minsup":0.02,"minconf":0.2}|};
+    {|{"kind":"find","minsup":0.015}|};
+    {|{"kind":"count","minsup":0.01}|};
+    {|{"kind":"essential_rules","minsup":0.02,"minconf":0.5}|};
+  |]
+
+let healthy_phase engine config =
+  Server.with_server ~config ~domains:2 ~budget_bytes:0 engine (fun srv ->
+      let url = Server.url srv in
+      for i = 0 to 399 do
+        let body = bodies.(i mod Array.length bodies) in
+        match Client.post ~url "/query" body with
+        | Ok (200, _) -> ()
+        | Ok (s, b) -> die "query %d answered %d: %s" i s b
+        | Error e -> die "query %d failed: %s" i e
+      done;
+      (* the verdict *)
+      let status, hz = get_json url "/healthz" in
+      if status <> 200 then die "healthz answered %d" status;
+      (match str hz "state" with
+      | "ok" -> ()
+      | s -> die "healthy server grades %S" s);
+      if num hz [ "queries" ] <= 0.0 then die "healthz window saw no queries";
+      (* the sliding window *)
+      let _, sz = get_json url "/statusz" in
+      if num sz [ "window"; "qps" ] <= 0.0 then die "windowed qps is zero";
+      if num sz [ "window"; "phases"; "execute"; "count" ] <= 0.0 then
+        die "no windowed execute samples";
+      if num sz [ "window"; "phases"; "execute"; "p99_us" ] <= 0.0 then
+        die "windowed execute p99 is zero";
+      (* the eventring consumer: pauses observed, clock bridge up. The
+         poller ticks every 50ms, so allow it a beat. *)
+      let rec gc_live attempts =
+        let _, sz = get_json url "/statusz" in
+        let pauses = num sz [ "gc"; "pauses" ] in
+        let calibrated =
+          match Jsonx.path [ "gc"; "calibrated" ] sz with
+          | Some (Jsonx.Bool b) -> b
+          | _ -> die "gc section lacks calibrated"
+        in
+        if pauses > 0.0 && calibrated then pauses
+        else if attempts >= 100 then
+          die "gc never materialized (pauses %g, calibrated %b)" pauses
+            calibrated
+        else begin
+          Unix.sleepf 0.05;
+          gc_live (attempts + 1)
+        end
+      in
+      let pauses = gc_live 0 in
+      (* the exposition *)
+      (match Client.get ~url "/metrics" with
+      | Ok (200, body) ->
+        List.iter
+          (fun series ->
+            if not (contains body series) then die "metrics lack %s" series)
+          [
+            "olar_gc_pause_seconds_bucket{";
+            "olar_gc_minor_total{";
+            "olar_health_state";
+          ]
+      | Ok (s, _) -> die "metrics answered %d" s
+      | Error e -> die "metrics scrape failed: %s" e);
+      Printf.printf
+        "health smoke: healthy phase ok (400 queries, %.0f GC pauses attributed)\n"
+        pauses)
+
+let flood_phase engine config =
+  let config = { config with Server.queue_depth = 1 } in
+  Server.with_server ~config ~domains:2 ~budget_bytes:0 engine (fun srv ->
+      let url = Server.url srv in
+      let flood_body = {|{"kind":"all_rules","minsup":0.01,"minconf":0.05}|} in
+      let threads =
+        List.init 6 (fun ci ->
+            Thread.create
+              (fun () ->
+                for i = 0 to 39 do
+                  match Client.post ~url "/query" flood_body with
+                  | Ok ((200 | 429 | 503), _) -> ()
+                  | Ok (s, b) -> die "flood client %d/%d got %d: %s" ci i s b
+                  | Error e -> die "flood client %d/%d failed: %s" ci i e
+                done)
+              ())
+      in
+      List.iter Thread.join threads;
+      (* fold the server's own window into a reading and grade it with
+         the pure engine; /healthz must say exactly the same thing *)
+      let _, sz = get_json url "/statusz" in
+      let queries = int_of_float (num sz [ "window"; "queries" ]) in
+      let shed = int_of_float (num sz [ "window"; "shed" ]) in
+      let errors_5xx = int_of_float (num sz [ "window"; "http_5xx" ]) in
+      if shed = 0 then die "flood shed nothing - the queue bound never bit";
+      let expected =
+        Health.evaluate Health.default_thresholds
+          {
+            Health.window_s = num sz [ "window"; "covered_s" ];
+            queries;
+            shed;
+            errors_5xx;
+            exec_p99_s = nan;
+          }
+      in
+      let status, hz = get_json url "/healthz" in
+      let state = str hz "state" in
+      if state <> Health.state_name expected then
+        die
+          "healthz grades %S but the statusz window (queries %d, shed %d, \
+           5xx %d) grades %S"
+          state queries shed errors_5xx
+          (Health.state_name expected);
+      if status <> Health.status_code expected then
+        die "healthz answered %d, the %S verdict demands %d" status state
+          (Health.status_code expected);
+      Printf.printf
+        "health smoke: flood phase ok (%d windowed queries, %d shed -> %s)\n"
+        queries shed state)
+
+let () =
+  let db = Olar_datagen.Quest.generate params in
+  let engine =
+    Engine.at_threshold ~obs:(Olar_obs.Obs.create ()) db ~primary_support:0.01
+  in
+  let config = { Server.default_config with Server.port = 0 } in
+  healthy_phase engine config;
+  flood_phase engine config

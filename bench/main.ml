@@ -1102,8 +1102,14 @@ let serve_client_get port target =
 let serve_bench config =
   section
     "Network serving: loopback HTTP clients against olar serve\n\
-     (end-to-end wire qps: socket + HTTP + admission queue + pool round)";
-  let e = engine config ~t:10 ~i:4 ~primary:0.002 in
+     (end-to-end wire qps: socket + HTTP + admission queue + pool)";
+  (* an obs context so the server starts its eventring consumer: the
+     emitted JSON then carries the gc section next to the windows *)
+  let e =
+    Olar_core.Engine.with_obs
+      (engine config ~t:10 ~i:4 ~primary:0.002)
+      (Olar_obs.Obs.create ())
+  in
   let lat = Olar_core.Engine.lattice e in
   let singles = Olar_util.Vec.create () in
   Olar_core.Lattice.iter_vertices
@@ -1201,24 +1207,23 @@ let serve_bench config =
            write phase is observed by a post-send hook that can lag the
            client's receive by a beat, so retry briefly until the write
            count has caught up with everything the clients saw served. *)
-        let phases =
+        let statusz =
           let rec scrape attempts =
-            let p =
+            let json =
               match Jsonx.of_string (serve_client_get port "/statusz") with
-              | Ok json -> (
-                match Jsonx.member "phases" json with
-                | Some p -> p
-                | None -> failwith "serve bench: statusz lacks phases")
+              | Ok json -> json
               | Error e -> failwith ("serve bench: statusz not JSON: " ^ e)
             in
             let write_count =
               match
-                Option.bind (Jsonx.path [ "write"; "count" ] p) Jsonx.number
+                Option.bind
+                  (Jsonx.path [ "phases"; "write"; "count" ] json)
+                  Jsonx.number
               with
               | Some c -> int_of_float c
               | None -> failwith "serve bench: statusz lacks write phase"
             in
-            if write_count >= Atomic.get served || attempts >= 50 then p
+            if write_count >= Atomic.get served || attempts >= 50 then json
             else begin
               Thread.delay 0.01;
               scrape (attempts + 1)
@@ -1226,12 +1231,19 @@ let serve_bench config =
           in
           scrape 0
         in
+        let statusz_section what =
+          match Jsonx.member what statusz with
+          | Some v -> v
+          | None -> failwith ("serve bench: statusz lacks " ^ what)
+        in
         ( Olar_serve.Pool.domains (Olar_net.Server.pool srv),
           Atomic.get served,
           Atomic.get shed,
           dt,
           hist,
-          phases ))
+          ( statusz_section "phases",
+            statusz_section "window",
+            statusz_section "gc" ) ))
   in
   Printf.printf "%-14s %-8s %-10s %-12s %-6s %-10s %-10s\n" "scenario"
     "clients" "served" "qps" "shed" "p50 us" "p99 us";
@@ -1241,7 +1253,7 @@ let serve_bench config =
     (fun (name, bodies) ->
       List.iter
         (fun clients ->
-          let domains, served, shed, dt, hist, phases =
+          let domains, served, shed, dt, hist, (phases, window, gc) =
             run_point bodies clients
           in
           domains_seen := domains;
@@ -1271,6 +1283,8 @@ let serve_bench config =
                       ("p99_us", Jsonx.Float (q 0.99));
                     ] );
                 ("phases", phases);
+                ("window", window);
+                ("gc", gc);
               ]
             :: !jscenarios)
         [ 1; 4 ])

@@ -1477,13 +1477,38 @@ let serve_cmd =
              emitted)."
           ~docv:"N")
   in
+  let slo_p99_ms_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "slo-p99-ms" ]
+          ~doc:
+            "Latency SLO for $(b,GET /healthz): the rolling 60s \
+             execute-phase p99 crossing $(docv) ms marks the server \
+             degraded; crossing four times it answers 503 unhealthy. 0 \
+             disables the latency check (shed/5xx-rate checks stay on)."
+          ~docv:"MS")
+  in
+  let slow_ring_arg =
+    Arg.(
+      value & opt int Olar_net.Server.default_config.slow_ring
+      & info [ "slow-ring" ]
+          ~doc:
+            "Capacity of the $(b,GET /statusz) slow-request ring; 0 \
+             disables the ring (the stderr log and over-threshold count \
+             remain)."
+          ~docv:"N")
+  in
   let run lattice_path host port domains cache_mb queue_depth deadline_ms
-      record trace_sample slow_ms metrics trace =
+      record trace_sample slow_ms slo_p99_ms slow_ring metrics trace =
     warn_domains domains;
     if queue_depth <= 0 then
       or_die (Error "queue depth must be positive");
     if trace_sample < 0 then
       or_die (Error "--trace-sample must be non-negative");
+    if slow_ring < 0 then
+      or_die (Error "--slow-ring must be non-negative");
+    if slo_p99_ms < 0.0 then
+      or_die (Error "--slo-p99-ms must be non-negative");
     (* the server scrapes its registry over /metrics, so observability is
        always on; --metrics additionally prints the registry on exit *)
     let obs, finish_obs = make_obs ~force:true metrics trace in
@@ -1501,6 +1526,8 @@ let serve_cmd =
           (* absent --slow-ms disables the slow log; an explicit 0 logs
              every request (the Recorder >= convention) *)
           (match slow_ms with None -> infinity | Some ms -> ms /. 1000.0);
+        slow_ring;
+        slo_p99_s = slo_p99_ms /. 1000.0;
       }
     in
     let server =
@@ -1547,7 +1574,171 @@ let serve_cmd =
     Term.(
       const run $ lattice_arg $ host_arg $ port_arg $ domains_arg
       $ cache_mb_arg $ queue_depth_arg $ deadline_ms_arg $ record_arg
-      $ trace_sample_arg $ slow_ms_arg $ metrics_flag $ trace_out_arg)
+      $ trace_sample_arg $ slow_ms_arg $ slo_p99_ms_arg $ slow_ring_arg
+      $ metrics_flag $ trace_out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* top *)
+
+module Jx = Olar_obs.Jsonx
+
+(* One dashboard frame from a parsed /statusz document. Missing fields
+   (an older server, gc off) degrade to "-", never to a crash: top is
+   an operator tool pointed at whatever happens to be running. *)
+let render_top ~url v =
+  let num p = Option.bind (Jx.path p v) Jx.number in
+  let str p = Option.bind (Jx.path p v) Jx.to_str in
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let fnum ?(scale = 1.0) ?(prec = 1) p =
+    match num p with
+    | Some x -> Printf.sprintf "%.*f" prec (x *. scale)
+    | None -> "-"
+  in
+  let inum p =
+    match num p with Some x -> Printf.sprintf "%.0f" x | None -> "-"
+  in
+  let health =
+    match str [ "health"; "state" ] with
+    | None -> "-"
+    | Some s ->
+      let reasons =
+        match Jx.path [ "health"; "reasons" ] v with
+        | Some (Jx.Arr (_ :: _ as rs)) ->
+          " (" ^ String.concat "; " (List.filter_map Jx.to_str rs) ^ ")"
+        | _ -> ""
+      in
+      String.uppercase_ascii s ^ reasons
+  in
+  line "olar top — %s   up %ss   domains %s   health %s" url
+    (fnum ~prec:0 [ "uptime_s" ])
+    (inum [ "domains" ]) health;
+  line "window %ss (covered %ss): qps %s   shed %s   5xx %s   request p99 %sms"
+    (fnum ~prec:0 [ "window"; "span_s" ])
+    (fnum [ "window"; "covered_s" ])
+    (fnum [ "window"; "qps" ])
+    (inum [ "window"; "shed" ])
+    (inum [ "window"; "http_5xx" ])
+    (fnum ~scale:1e-3 ~prec:2 [ "window"; "request"; "p99_us" ]);
+  line "phase p99 (ms): %s"
+    (String.concat "  "
+       (List.map
+          (fun ph ->
+            Printf.sprintf "%s %s" ph
+              (fnum ~scale:1e-3 ~prec:2 [ "window"; "phases"; ph; "p99_us" ]))
+          [ "parse"; "queue"; "dispatch"; "execute"; "deliver"; "write" ]));
+  (match Jx.path [ "gc" ] v with
+  | Some (Jx.Obj _) ->
+    line "gc: pauses %s   windowed pause p99 %sms   calibrated %s"
+      (inum [ "gc"; "pauses" ])
+      (fnum ~scale:1e-3 ~prec:2 [ "gc"; "window"; "p99_us" ])
+      (match Jx.path [ "gc"; "calibrated" ] v with
+      | Some (Jx.Bool b) -> string_of_bool b
+      | _ -> "-")
+  | _ -> line "gc: (eventring consumer off)");
+  line "queue depth %s (peak %s, limit %s)"
+    (inum [ "queue"; "depth" ])
+    (inum [ "queue"; "peak" ])
+    (inum [ "queue"; "limit" ]);
+  (match Jx.path [ "pool" ] v with
+  | Some (Jx.Arr doms) ->
+    line "domains: %s"
+      (String.concat "  "
+         (List.filter_map
+            (fun d ->
+              match
+                ( Option.bind (Jx.member "domain" d) Jx.number,
+                  Option.bind (Jx.member "utilization" d) Jx.number )
+              with
+              | Some k, Some u ->
+                Some (Printf.sprintf "%.0f busy %.1f%%" k (u *. 100.0))
+              | _ -> None)
+            doms))
+  | _ -> ());
+  (match Jx.path [ "shards" ] v with
+  | Some (Jx.Arr depths) ->
+    line "shards: [%s]"
+      (String.concat " "
+         (List.filter_map
+            (fun d -> Option.map (Printf.sprintf "%.0f") (Jx.number d))
+            depths))
+  | _ -> ());
+  line "slow: seen %s (threshold %sms, ring %s)"
+    (inum [ "slow"; "seen" ])
+    (fnum [ "slow"; "threshold_ms" ])
+    (inum [ "slow"; "capacity" ]);
+  Buffer.contents buf
+
+let top_cmd =
+  let url_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info []
+          ~doc:
+            "Base URL of a running $(b,olar serve) (e.g. \
+             http://127.0.0.1:8080)."
+          ~docv:"URL")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~doc:"Refresh period in seconds." ~docv:"S")
+  in
+  let once_flag =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:
+            "Print one snapshot and exit (implied when stdout is not a \
+             tty).")
+  in
+  let run url interval once =
+    if not (interval > 0.0) then or_die (Error "--interval must be positive");
+    let live = (not once) && Unix.isatty Unix.stdout in
+    let fetch () =
+      match Olar_net.Client.get ~url "/statusz" with
+      | Error e -> Error e
+      | Ok (200, body) -> (
+        match Jx.of_string body with
+        | Ok v -> Ok v
+        | Error e -> Error ("malformed /statusz: " ^ e))
+      | Ok (status, _) -> Error (Printf.sprintf "/statusz answered %d" status)
+    in
+    let show () =
+      match fetch () with
+      | Ok v ->
+        if live then print_string "\027[H\027[2J";
+        print_string (render_top ~url v);
+        flush stdout;
+        true
+      | Error e ->
+        (* in live mode a restarting server should not kill the view *)
+        if live then begin
+          print_string "\027[H\027[2J";
+          Printf.printf "olar top — %s: %s (retrying)\n%!" url e;
+          true
+        end
+        else begin
+          Printf.eprintf "olar top: %s\n%!" e;
+          false
+        end
+    in
+    if live then
+      while show () || true do
+        Thread.delay interval
+      done
+    else if not (show ()) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal dashboard over a running server's $(b,GET \
+          /statusz): windowed qps, rolling per-phase p99s, per-domain \
+          utilization, shard depths, GC pause quantiles and the health \
+          verdict, refreshed every $(b,--interval) seconds. Outside a tty \
+          (or with $(b,--once)) prints a single plain-text snapshot.")
+    Term.(const run $ url_arg $ interval_arg $ once_flag)
 
 (* ------------------------------------------------------------------ *)
 
@@ -1562,5 +1753,5 @@ let () =
             count_cmd;
             support_for_cmd; direct_cmd; update_cmd; condense_cmd;
             baskets_cmd; extend_cmd; dbinfo_cmd; replay_cmd; metrics_cmd;
-            serve_cmd;
+            serve_cmd; top_cmd;
           ]))

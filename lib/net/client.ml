@@ -1,0 +1,156 @@
+let parse_url url =
+  let rest =
+    match String.index_opt url ':' with
+    | Some i
+      when i + 2 < String.length url
+           && url.[i + 1] = '/'
+           && url.[i + 2] = '/' ->
+      String.sub url (i + 3) (String.length url - i - 3)
+    | _ -> url
+  in
+  if rest = "" then Error "empty url"
+  else begin
+    let hostport, path =
+      match String.index_opt rest '/' with
+      | Some i ->
+        (String.sub rest 0 i, String.sub rest i (String.length rest - i))
+      | None -> (rest, "/")
+    in
+    match String.index_opt hostport ':' with
+    | None -> Ok (hostport, 80, path)
+    | Some i -> (
+      let host = String.sub hostport 0 i in
+      let port = String.sub hostport (i + 1) (String.length hostport - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 && host <> "" -> Ok (host, p, path)
+      | _ -> Error ("invalid host:port: " ^ hostport))
+  end
+
+let write_all fd s =
+  let len = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < len then
+      let n = Unix.write fd b off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+(* Read until the header/body split, then until Content-Length bytes of
+   body are in (or EOF for a response without the header). *)
+let read_response fd =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 8192 in
+  let header_end b =
+    let s = Buffer.contents b in
+    let rec find i =
+      if i + 3 >= String.length s then None
+      else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+      then Some (i + 4)
+      else find (i + 1)
+    in
+    find 0
+  in
+  let rec fill_headers () =
+    match header_end buf with
+    | Some split -> Some split
+    | None -> (
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> None
+      | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        fill_headers ())
+  in
+  match fill_headers () with
+  | None -> Error "connection closed before response headers"
+  | Some split -> (
+    let head = Buffer.sub buf 0 split in
+    let lines = String.split_on_char '\n' head in
+    let status =
+      match lines with
+      | first :: _ -> (
+        match String.split_on_char ' ' (String.trim first) with
+        | _ :: code :: _ -> int_of_string_opt code
+        | _ -> None)
+      | [] -> None
+    in
+    match status with
+    | None -> Error "malformed status line"
+    | Some status ->
+      let content_length =
+        List.fold_left
+          (fun acc line ->
+            match String.index_opt line ':' with
+            | Some i
+              when String.lowercase_ascii (String.trim (String.sub line 0 i))
+                   = "content-length" ->
+              int_of_string_opt
+                (String.trim
+                   (String.sub line (i + 1) (String.length line - i - 1)))
+            | _ -> acc)
+          None lines
+      in
+      let rec fill_body target =
+        if Buffer.length buf - split >= target then ()
+        else
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> ()
+          | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            fill_body target
+      in
+      (match content_length with
+      | Some n -> fill_body n
+      | None ->
+        (* no Content-Length: read to EOF *)
+        let rec drain () =
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> ()
+          | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            drain ()
+        in
+        drain ());
+      let body_len =
+        match content_length with
+        | Some n -> min n (Buffer.length buf - split)
+        | None -> Buffer.length buf - split
+      in
+      Ok (status, Buffer.sub buf split body_len))
+
+let request ?(timeout_s = 5.0) ~url ~meth ?(body = "") path =
+  match parse_url url with
+  | Error e -> Error e
+  | Ok (host, port, _) -> (
+    match
+      try Ok (Unix.inet_addr_of_string host)
+      with _ -> (
+        match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+        | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> Ok a
+        | _ -> Error ("cannot resolve host: " ^ host))
+    with
+    | Error e -> Error e
+    | Ok addr -> (
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      let finally () = try Unix.close fd with _ -> () in
+      try
+        Fun.protect ~finally (fun () ->
+            Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
+            Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s;
+            Unix.connect fd (Unix.ADDR_INET (addr, port));
+            (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
+            let extra =
+              if body = "" then ""
+              else Printf.sprintf "content-length: %d\r\n" (String.length body)
+            in
+            write_all fd
+              (Printf.sprintf
+                 "%s %s HTTP/1.1\r\nhost: %s:%d\r\nconnection: close\r\n%s\r\n%s"
+                 meth path host port extra body);
+            read_response fd)
+      with
+      | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+      | Failure e -> Error e))
+
+let get ?timeout_s ~url path = request ?timeout_s ~url ~meth:"GET" path
+let post ?timeout_s ~url path body = request ?timeout_s ~url ~meth:"POST" ~body path

@@ -1,0 +1,23 @@
+(** Minimal blocking HTTP/1.1 client for olar's own endpoints.
+
+    Just enough client to let [olar top], the health smoke bench and
+    tests poll a running daemon's [/statusz]-family endpoints without
+    an external HTTP dependency: one request per call over a fresh
+    connection, [Content-Length] bodies only (which is all the server
+    emits), no TLS, no redirects. *)
+
+(** [parse_url url] splits ["http://host:port/path"] into
+    [(host, port, path)]. The scheme is optional; the port defaults to
+    80; the path defaults to ["/"]. *)
+val parse_url : string -> (string * int * string, string) result
+
+(** [get ~url path] issues [GET path] against the host/port of [url]
+    (any path inside [url] itself is ignored) and returns
+    [(status, body)]. [timeout_s] bounds connect and each read
+    (default 5s). Errors — refused connection, timeout, malformed
+    response — come back as [Error message], never an exception. *)
+val get : ?timeout_s:float -> url:string -> string -> (int * string, string) result
+
+(** [post ~url path body] likewise, with a request body. *)
+val post :
+  ?timeout_s:float -> url:string -> string -> string -> (int * string, string) result

@@ -1,0 +1,93 @@
+type limits = {
+  degraded : float;
+  unhealthy : float;
+}
+
+type thresholds = {
+  shed_rate : limits;
+  error_rate : limits;
+  p99_s : limits;
+  min_events : int;
+}
+
+let default_thresholds =
+  {
+    shed_rate = { degraded = 0.01; unhealthy = 0.25 };
+    error_rate = { degraded = 0.01; unhealthy = 0.25 };
+    p99_s = { degraded = infinity; unhealthy = infinity };
+    min_events = 20;
+  }
+
+let with_slo_p99 t ~slo_s =
+  if slo_s > 0.0 then
+    { t with p99_s = { degraded = slo_s; unhealthy = 4.0 *. slo_s } }
+  else t
+
+type reading = {
+  window_s : float;
+  queries : int;
+  shed : int;
+  errors_5xx : int;
+  exec_p99_s : float;
+}
+
+type state =
+  | Ok
+  | Degraded of string list
+  | Unhealthy of string list
+
+(* A measured value only trips a limit when the limit is a real number:
+   [nan] and [infinity] both read as "check disabled", and a [nan]
+   value (empty windowed histogram) trips nothing. *)
+let over value limit = Float.is_finite limit && value > limit
+
+(* Grade one check against its two limits; worst verdict wins overall.
+   Reason strings are stable prefixes ("shed_rate ...") so tests and
+   operators can match on them without parsing numbers. *)
+let check name value fmt limits (degraded, unhealthy) =
+  if over value limits.unhealthy then
+    ( degraded,
+      Printf.sprintf "%s %s > %s" name (fmt value) (fmt limits.unhealthy)
+      :: unhealthy )
+  else if over value limits.degraded then
+    ( Printf.sprintf "%s %s > %s" name (fmt value) (fmt limits.degraded)
+      :: degraded,
+      unhealthy )
+  else (degraded, unhealthy)
+
+let evaluate t r =
+  if r.queries < t.min_events then Ok
+  else begin
+    let rate n = float_of_int n /. float_of_int (max 1 r.queries) in
+    let pct v = Printf.sprintf "%.1f%%" (v *. 100.0) in
+    let ms v = Printf.sprintf "%.1fms" (v *. 1e3) in
+    let acc = ([], []) in
+    let acc = check "shed_rate" (rate r.shed) pct t.shed_rate acc in
+    let acc = check "5xx_rate" (rate r.errors_5xx) pct t.error_rate acc in
+    let acc = check "exec_p99" r.exec_p99_s ms t.p99_s acc in
+    match acc with
+    (* an unhealthy verdict keeps the degraded reasons too — the 503
+       body should show everything that is wrong, worst first *)
+    | degraded, (_ :: _ as unhealthy) ->
+      Unhealthy (List.rev unhealthy @ List.rev degraded)
+    | (_ :: _ as degraded), [] -> Degraded (List.rev degraded)
+    | [], [] -> Ok
+  end
+
+let state_name = function
+  | Ok -> "ok"
+  | Degraded _ -> "degraded"
+  | Unhealthy _ -> "unhealthy"
+
+let status_code = function
+  | Ok | Degraded _ -> 200
+  | Unhealthy _ -> 503
+
+let state_value = function
+  | Ok -> 0
+  | Degraded _ -> 1
+  | Unhealthy _ -> 2
+
+let reasons = function
+  | Ok -> []
+  | Degraded r | Unhealthy r -> r

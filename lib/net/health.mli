@@ -1,0 +1,72 @@
+(** Windowed SLO checks behind [GET /healthz].
+
+    A pure decision engine: the server folds its sliding-window
+    telemetry into a {!reading}, [evaluate] grades it against
+    {!thresholds}, and the endpoint renders the resulting {!state}.
+    Keeping the grading side-effect-free is what makes the
+    ok→degraded→unhealthy→recovered transitions unit-testable without
+    standing up a server.
+
+    Each check (shed rate, 5xx rate, execute-phase p99) carries two
+    limits: crossing [degraded] marks the server degraded (still
+    [200], so naive probes keep routing to it while operators see the
+    reason), crossing [unhealthy] answers [503] so load balancers pull
+    it. A reading over fewer than [min_events] windowed queries is
+    never judged unhealthy — a cold or idle server is [Ok], and one
+    unlucky request out of three cannot flip the fleet. *)
+
+(** Two severity cut-offs for one check; [nan]/[infinity] disable a
+    level. *)
+type limits = {
+  degraded : float;
+  unhealthy : float;
+}
+
+type thresholds = {
+  shed_rate : limits;
+      (** shed (429 + 503-deadline) queries / windowed queries *)
+  error_rate : limits;  (** 5xx responses / windowed queries *)
+  p99_s : limits;
+      (** windowed execute-phase p99 in seconds — wire [--slo-p99-ms]
+          to [degraded] and a multiple of it to [unhealthy] *)
+  min_events : int;
+      (** below this many windowed queries the rates and p99 are not
+          judged (default 20) *)
+}
+
+(** Defaults: shed 1% / 25%, 5xx 1% / 25%, p99 disabled,
+    [min_events = 20]. *)
+val default_thresholds : thresholds
+
+(** [with_slo_p99 thresholds ~slo_s] enables the latency check:
+    [degraded] at [slo_s], [unhealthy] at [4 *. slo_s]. [slo_s <= 0]
+    returns [thresholds] unchanged. *)
+val with_slo_p99 : thresholds -> slo_s:float -> thresholds
+
+(** One windowed snapshot of the server's load-bearing signals. *)
+type reading = {
+  window_s : float;  (** seconds of telemetry the window covers *)
+  queries : int;  (** /query requests admitted or shed in the window *)
+  shed : int;  (** 429 + deadline-503 sheds in the window *)
+  errors_5xx : int;  (** 5xx responses in the window *)
+  exec_p99_s : float;
+      (** windowed execute-phase p99; [nan] when no sample *)
+}
+
+type state =
+  | Ok
+  | Degraded of string list  (** human-readable reasons, worst first *)
+  | Unhealthy of string list
+
+val evaluate : thresholds -> reading -> state
+
+(** ["ok"], ["degraded"], ["unhealthy"]. *)
+val state_name : state -> string
+
+(** HTTP status for the /healthz answer: 200, 200, 503. *)
+val status_code : state -> int
+
+(** Gauge encoding for [olar_health_state]: 0, 1, 2. *)
+val state_value : state -> int
+
+val reasons : state -> string list

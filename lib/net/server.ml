@@ -11,6 +11,8 @@ module Engine = Olar_core.Engine
 module Rule = Olar_core.Rule
 module Timer = Olar_util.Timer
 module Counter = Timer.Counter
+module Window = Olar_obs.Window
+module Runtime_obs = Olar_obs.Runtime_obs
 
 type config = {
   host : string;
@@ -22,6 +24,8 @@ type config = {
   record : string option;
   trace_sample : int;
   slow_s : float;
+  slow_ring : int;
+  slo_p99_s : float;
 }
 
 let default_config =
@@ -35,6 +39,8 @@ let default_config =
     record = None;
     trace_sample = 0;
     slow_s = infinity;
+    slow_ring = 64;
+    slo_p99_s = 0.0;
   }
 
 (* The six attribution phases of one wire request, in wall-clock order.
@@ -90,9 +96,12 @@ type slow_entry = {
   s_total_s : float;
   s_phases : float array; (* length num_phases, seconds *)
   s_uptime_s : float; (* server uptime at completion *)
+  (* absolute execute window, for lazy GC-pause tainting at /statusz
+     render time (the eventring poller may record a pause after this
+     entry is pushed; matching at read time misses nothing) *)
+  s_exec_t0 : float;
+  s_exec_t1 : float;
 }
-
-let slow_ring_capacity = 64
 
 type t = {
   cfg : config;
@@ -108,10 +117,26 @@ type t = {
   c_bad : Counter.t;
   c_shed_queue : Counter.t;
   c_shed_deadline : Counter.t;
+  c_5xx : Counter.t;
   g_queue_depth : Metrics.Gauge.t;
   g_queue_peak : Metrics.Gauge.t;
+  g_health : Metrics.Gauge.t;
   h_request : Metrics.Histogram.t;
   h_phase : Metrics.Histogram.t array; (* indexed by phase, length num_phases *)
+  (* sliding-window views over the cumulative instruments above: the
+     health engine and /statusz's "window" section read rates and
+     rolling quantiles from these; the ticker thread advances the
+     boundaries *)
+  win : Window.t;
+  w_queries : Window.counter_view;
+  w_shed_queue : Window.counter_view;
+  w_shed_deadline : Window.counter_view;
+  w_5xx : Window.counter_view;
+  w_request : Window.histogram_view;
+  w_phase : Window.histogram_view array;
+  w_gc : Window.histogram_view option;
+  thresholds : Health.thresholds;
+  runtime_obs : Runtime_obs.t option;
   (* request identity and tracing *)
   req_seq : int Atomic.t;
   started_s : float; (* monotonic at create; anchors /statusz uptime *)
@@ -138,6 +163,7 @@ type t = {
   (* threads *)
   mutable accept_thread : Thread.t option;
   mutable drainer_thread : Thread.t option;
+  mutable ticker_thread : Thread.t option;
   conns_mu : Mutex.t;
   mutable conns : (Unix.file_descr * Thread.t) list;
 }
@@ -381,18 +407,70 @@ let refresh_domain_gauges t =
         depth)
     (Pool.shard_depths t.pool)
 
+(* ------------------------------------------------------------------ *)
+(* Windowed health                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Fold the sliding windows into one reading for the health engine.
+   Ticks first so a reading taken after an idle stretch reflects the
+   idle window, not the last busy one. *)
+let health_reading t =
+  Window.tick t.win;
+  {
+    Health.window_s = Window.covered_s t.win;
+    queries = Window.counter_delta t.w_queries;
+    shed =
+      Window.counter_delta t.w_shed_queue
+      + Window.counter_delta t.w_shed_deadline;
+    errors_5xx = Window.counter_delta t.w_5xx;
+    exec_p99_s = (Window.histogram_window t.w_phase.(3)).Window.p99;
+  }
+
+(* Evaluate and publish: the [olar_health_state] gauge follows every
+   evaluation, whether a probe or the ticker asked. *)
+let health_state t =
+  let reading = health_reading t in
+  let state = Health.evaluate t.thresholds reading in
+  Metrics.Gauge.set_int t.g_health (Health.state_value state);
+  (state, reading)
+
 (* Keep runtime/domain gauges fresh and merge buffered trace shards
    even when nobody scrapes /metrics: called from the drainer between
-   rounds, at most once a second. Only the drainer writes
-   [last_sample_s]. *)
+   dispatches and from the ticker thread when the drainer is parked,
+   at most once a second. [last_sample_s] is a benign float race
+   between those two writers — worst case one extra sample. *)
 let sample_runtime t =
   let now = Timer.monotonic_s () in
   if now -. t.last_sample_s >= 1.0 then begin
     t.last_sample_s <- now;
     Option.iter Obs.update_runtime_gauges t.obs_ctx;
     refresh_domain_gauges t;
+    ignore (health_state t);
     Option.iter Obs.flush t.obs_ctx
   end
+
+(* The GC-observer systhread: the eventring consumer's poll loop, the
+   window ticker, and the idle-time heartbeat in one. The drainer only
+   samples while dispatching (it parks on the queue condvar when
+   idle), so without this thread an idle server's windows and gauges
+   would freeze at the last request. Recalibrates the eventring clock
+   offset about once a minute against gettimeofday drift. *)
+let ticker_loop t =
+  let rec go n =
+    if not t.stopping then begin
+      Thread.delay 0.05;
+      Window.tick t.win;
+      (match t.runtime_obs with
+      | None -> ()
+      | Some ro ->
+        (try ignore (Runtime_obs.poll ro)
+         with _ -> () (* a torn ring must not kill the heartbeat *));
+        if n mod 1200 = 0 then Runtime_obs.calibrate ro);
+      sample_runtime t;
+      go (n + 1)
+    end
+  in
+  go 1
 
 (* The drainer is a thin submit loop: pop one ticket, stamp its claim
    time, submit, repeat. The pool's bounded shards carry the
@@ -443,7 +521,8 @@ let phase_durations ticket ~t_awake =
 
 let push_slow t entry =
   Mutex.lock t.slow_mu;
-  t.slow_ring.(t.slow_seen mod slow_ring_capacity) <- Some entry;
+  let cap = Array.length t.slow_ring in
+  if cap > 0 then t.slow_ring.(t.slow_seen mod cap) <- Some entry;
   t.slow_seen <- t.slow_seen + 1;
   Mutex.unlock t.slow_mu;
   let ms i = entry.s_phases.(i) *. 1e3 in
@@ -502,6 +581,8 @@ let finish_query t ticket ~status ~sampled ~phases ~write_s =
         s_total_s = total_s;
         s_phases = phases;
         s_uptime_s = clamp0 (Timer.monotonic_s () -. t.started_s);
+        s_exec_t0 = ticket.t_exec_start;
+        s_exec_t1 = ticket.t_exec_done;
       }
 
 (* ------------------------------------------------------------------ *)
@@ -529,7 +610,75 @@ let phases_json t =
                 ] ))
           phase_names))
 
-let slow_entry_json e =
+(* One windowed-histogram summary in the same shape as [phases_json]'s
+   cumulative ones, plus the window's event rate. *)
+let hist_window_json (w : Window.hist_window) =
+  let us x = Jsonx.Float (if Float.is_finite x then x *. 1e6 else 0.0) in
+  Jsonx.Obj
+    [
+      ("count", Jsonx.Int w.Window.count);
+      ("rate", Jsonx.Float w.Window.rate);
+      ("p50_us", us w.Window.p50);
+      ("p90_us", us w.Window.p90);
+      ("p99_us", us w.Window.p99);
+    ]
+
+(* The rolling view: per-second rates and windowed quantiles over the
+   last window span, where everything above is process-cumulative. *)
+let window_json t =
+  Window.tick t.win;
+  Jsonx.Obj
+    [
+      ("span_s", Jsonx.Float (Window.span_s t.win));
+      ("covered_s", Jsonx.Float (Window.covered_s t.win));
+      ("qps", Jsonx.Float (Window.counter_rate t.w_queries));
+      ("queries", Jsonx.Int (Window.counter_delta t.w_queries));
+      ( "shed",
+        Jsonx.Int
+          (Window.counter_delta t.w_shed_queue
+          + Window.counter_delta t.w_shed_deadline) );
+      ("http_5xx", Jsonx.Int (Window.counter_delta t.w_5xx));
+      ("request", hist_window_json (Window.histogram_window t.w_request));
+      ( "phases",
+        Jsonx.Obj
+          (Array.to_list
+             (Array.mapi
+                (fun i name ->
+                  (name, hist_window_json (Window.histogram_window t.w_phase.(i))))
+                phase_names)) );
+    ]
+
+let gc_json t =
+  match (t.runtime_obs, t.w_gc) with
+  | Some ro, Some wg ->
+    Jsonx.Obj
+      [
+        ("pauses", Jsonx.Int (Runtime_obs.pause_count ro));
+        ("calibrated", Jsonx.Bool (Runtime_obs.calibrated ro));
+        ("window", hist_window_json (Window.histogram_window wg));
+      ]
+  | _ -> Jsonx.Null
+
+let health_json t =
+  let state, reading = health_state t in
+  Jsonx.Obj
+    [
+      ("state", Jsonx.Str (Health.state_name state));
+      ( "reasons",
+        Jsonx.Arr (List.map (fun r -> Jsonx.Str r) (Health.reasons state)) );
+      ("window_s", Jsonx.Float reading.Health.window_s);
+      ("queries", Jsonx.Int reading.Health.queries);
+      ("shed", Jsonx.Int reading.Health.shed);
+      ("http_5xx", Jsonx.Int reading.Health.errors_5xx);
+      ( "exec_p99_ms",
+        let p = reading.Health.exec_p99_s in
+        if Float.is_finite p then Jsonx.Float (p *. 1e3) else Jsonx.Null );
+    ]
+
+(* [gc_pause_s] is the tainting verdict: the longest recorded GC pause
+   overlapping this entry's execute window, resolved lazily at render
+   time so pauses polled after the entry was pushed still count. *)
+let slow_entry_json ?gc_pause_s e =
   Jsonx.Obj
     [
       ("id", Jsonx.Int e.s_id);
@@ -543,17 +692,28 @@ let slow_entry_json e =
              (Array.mapi
                 (fun i name -> (name, Jsonx.Float (e.s_phases.(i) *. 1e3)))
                 phase_names)) );
+      ( "gc_pause_ms",
+        match gc_pause_s with
+        | Some s -> Jsonx.Float (s *. 1e3)
+        | None -> Jsonx.Null );
       ("uptime_s", Jsonx.Float e.s_uptime_s);
     ]
+
+let taint_slow t e =
+  match t.runtime_obs with
+  | None -> None
+  | Some ro ->
+    Runtime_obs.pause_overlapping ro ~t0:e.s_exec_t0 ~t1:e.s_exec_t1 ()
 
 (* Snapshot the slow ring, newest first. *)
 let slow_snapshot t =
   Mutex.lock t.slow_mu;
   let seen = t.slow_seen in
-  let n = min seen slow_ring_capacity in
+  let cap = Array.length t.slow_ring in
+  let n = if cap = 0 then 0 else min seen cap in
   let entries =
     List.filter_map
-      (fun k -> t.slow_ring.((seen - 1 - k) mod slow_ring_capacity))
+      (fun k -> t.slow_ring.((seen - 1 - k) mod cap))
       (List.init n Fun.id)
   in
   Mutex.unlock t.slow_mu;
@@ -632,6 +792,9 @@ let statusz_json t =
       ("dispatch", dispatch_json);
       ("shards", shards_json);
       ("phases", phases_json t);
+      ("window", window_json t);
+      ("gc", gc_json t);
+      ("health", health_json t);
       ( "slow",
         Jsonx.Obj
           [
@@ -639,8 +802,13 @@ let statusz_json t =
               if Float.is_finite t.cfg.slow_s then
                 Jsonx.Float (t.cfg.slow_s *. 1e3)
               else Jsonx.Null );
+            ("capacity", Jsonx.Int (Array.length t.slow_ring));
             ("seen", Jsonx.Int seen);
-            ("entries", Jsonx.Arr (List.map slow_entry_json slow_entries));
+            ( "entries",
+              Jsonx.Arr
+                (List.map
+                   (fun e -> slow_entry_json ?gc_pause_s:(taint_slow t e) e)
+                   slow_entries) );
           ] );
     ]
 
@@ -740,6 +908,7 @@ let handle_query t ~rid ~t0 body =
       in
       (match admit t ticket with
       | Error (status, msg) ->
+        if status >= 500 then Counter.incr t.c_5xx;
         release_ticket t ticket;
         (error_response ~status msg, None)
       | Ok () -> (
@@ -747,6 +916,7 @@ let handle_query t ~rid ~t0 body =
         | Pending -> assert false
         | Shed (status, msg) ->
           (* shed before execution: no phase account to close *)
+          if status >= 500 then Counter.incr t.c_5xx;
           release_ticket t ticket;
           (error_response ~status msg, None)
         | Served (resp, latency_s) ->
@@ -768,21 +938,43 @@ let handle_query t ~rid ~t0 body =
                 finish_query t ticket ~status ~sampled ~phases ~write_s;
                 release_ticket t ticket) ))))
 
-(* The GET body of each read-only endpoint, shared by HEAD (which
-   renders the same status/headers with the body omitted). *)
+(* /healthz: the health engine's verdict as JSON. Degraded stays 200 —
+   naive probes keep routing while the reasons are on display —
+   unhealthy answers 503 so load balancers pull the instance. *)
+let healthz t =
+  let state, reading = health_state t in
+  let body =
+    Jsonx.to_string
+      (Jsonx.Obj
+         [
+           ("state", Jsonx.Str (Health.state_name state));
+           ( "reasons",
+             Jsonx.Arr (List.map (fun r -> Jsonx.Str r) (Health.reasons state))
+           );
+           ("window_s", Jsonx.Float reading.Health.window_s);
+           ("queries", Jsonx.Int reading.Health.queries);
+         ])
+    ^ "\n"
+  in
+  (Health.status_code state, json_headers, body)
+
+(* The GET status/headers/body of each read-only endpoint, shared by
+   HEAD (which renders the same status/headers with the body
+   omitted). *)
 let endpoint_get t target =
   match target with
   | "/metrics" ->
     Option.iter Obs.update_runtime_gauges t.obs_ctx;
     refresh_domain_gauges t;
     Some
-      ( [ ("content-type", "text/plain; version=0.0.4; charset=utf-8") ],
+      ( 200,
+        [ ("content-type", "text/plain; version=0.0.4; charset=utf-8") ],
         Exposition.to_prometheus t.registry )
-  | "/healthz" -> Some ([ ("content-type", "text/plain") ], "ok\n")
+  | "/healthz" -> Some (healthz t)
   | "/statusz" ->
     Option.iter Obs.update_runtime_gauges t.obs_ctx;
     refresh_domain_gauges t;
-    Some (json_headers, Jsonx.to_string (statusz_json t) ^ "\n")
+    Some (200, json_headers, Jsonx.to_string (statusz_json t) ^ "\n")
   | _ -> None
 
 let handle t (req : Http.request) ~rid ~t0 =
@@ -796,9 +988,8 @@ let handle t (req : Http.request) ~rid ~t0 =
     | "POST", "/query" -> handle_query t ~rid ~t0 req.body
     | ("GET" | "HEAD"), target -> (
       match endpoint_get t target with
-      | Some (headers, body) ->
-        ( Http.render_response ~headers ~head:(req.meth = "HEAD") ~status:200
-            body,
+      | Some (status, headers, body) ->
+        ( Http.render_response ~headers ~head:(req.meth = "HEAD") ~status body,
           None )
       | None -> (error_response ~status:404 "no such endpoint", None))
     | "POST", _ -> (error_response ~status:404 "no such endpoint", None)
@@ -916,6 +1107,10 @@ let accept_loop t =
 (* ------------------------------------------------------------------ *)
 
 let create ?(config = default_config) ?domains ?budget_bytes engine =
+  if config.slow_ring < 0 then
+    invalid_arg "Server.create: slow_ring must be >= 0";
+  if config.slo_p99_s < 0.0 || Float.is_nan config.slo_p99_s then
+    invalid_arg "Server.create: slo_p99_s must be >= 0";
   (* a client hanging up mid-response must surface as EPIPE on the
      write, not kill the process *)
   ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
@@ -946,6 +1141,52 @@ let create ?(config = default_config) ?domains ?budget_bytes engine =
       config.record
   in
   let counter name help = Metrics.counter registry ~help name in
+  let c_conns = counter "olar_http_connections_total" "TCP connections accepted" in
+  let c_requests = counter "olar_http_requests_total" "HTTP requests parsed" in
+  let c_queries = counter "olar_http_queries_total" "well-formed /query requests" in
+  let c_bad =
+    counter "olar_http_bad_requests_total"
+      "malformed requests answered 400/413/431/501"
+  in
+  let c_shed_queue =
+    counter "olar_http_shed_queue_total"
+      "queries shed with 429 (admission queue full)"
+  in
+  let c_shed_deadline =
+    counter "olar_http_shed_deadline_total"
+      "queries shed with 503 (deadline passed while queued)"
+  in
+  let c_5xx =
+    counter "olar_http_5xx_total" "responses answered with a 5xx status"
+  in
+  let h_request =
+    Metrics.histogram registry
+      ~help:"end-to-end /query latency (admission to response build)"
+      "olar_http_request_seconds"
+  in
+  let h_phase =
+    Array.map
+      (fun phase ->
+        Metrics.histogram registry ~help:"per-phase /query latency attribution"
+          ~labels:[ ("phase", phase) ]
+          "olar_http_phase_seconds")
+      phase_names
+  in
+  (* The eventring consumer rides the obs gate: a bare test server
+     (no --metrics/--trace) pays nothing for GC attribution. Start
+     failure (an exotic runtime without eventring support) degrades to
+     the unattributed server rather than refusing to serve. *)
+  let runtime_obs =
+    match obs_ctx with
+    | None -> None
+    | Some _ -> (
+      try
+        Some (Runtime_obs.start ~metrics:registry ~clock:Timer.monotonic_s ())
+      with _ -> None)
+  in
+  (* 60 one-second buckets over the same monotonic clock the tickets
+     are stamped with. *)
+  let win = Window.create ~clock:Timer.monotonic_s () in
   let t =
     {
       cfg = config;
@@ -954,42 +1195,43 @@ let create ?(config = default_config) ?domains ?budget_bytes engine =
       bound_port;
       registry;
       obs_ctx;
-      c_conns =
-        counter "olar_http_connections_total" "TCP connections accepted";
-      c_requests = counter "olar_http_requests_total" "HTTP requests parsed";
-      c_queries =
-        counter "olar_http_queries_total" "well-formed /query requests";
-      c_bad =
-        counter "olar_http_bad_requests_total"
-          "malformed requests answered 400/413/431/501";
-      c_shed_queue =
-        counter "olar_http_shed_queue_total"
-          "queries shed with 429 (admission queue full)";
-      c_shed_deadline =
-        counter "olar_http_shed_deadline_total"
-          "queries shed with 503 (deadline passed while queued)";
+      c_conns;
+      c_requests;
+      c_queries;
+      c_bad;
+      c_shed_queue;
+      c_shed_deadline;
+      c_5xx;
       g_queue_depth =
         Metrics.gauge registry ~help:"admission queue depth at last change"
           "olar_http_queue_depth";
       g_queue_peak =
         Metrics.gauge registry ~help:"peak admission queue depth"
           "olar_http_queue_depth_peak";
-      h_request =
-        Metrics.histogram registry
-          ~help:"end-to-end /query latency (admission to response build)"
-          "olar_http_request_seconds";
-      h_phase =
-        Array.map
-          (fun phase ->
-            Metrics.histogram registry
-              ~help:"per-phase /query latency attribution"
-              ~labels:[ ("phase", phase) ]
-              "olar_http_phase_seconds")
-          phase_names;
+      g_health =
+        Metrics.gauge registry
+          ~help:"health engine verdict: 0 ok, 1 degraded, 2 unhealthy"
+          "olar_health_state";
+      h_request;
+      h_phase;
+      win;
+      w_queries = Window.track_counter win c_queries;
+      w_shed_queue = Window.track_counter win c_shed_queue;
+      w_shed_deadline = Window.track_counter win c_shed_deadline;
+      w_5xx = Window.track_counter win c_5xx;
+      w_request = Window.track_histogram win h_request;
+      w_phase = Array.map (Window.track_histogram win) h_phase;
+      w_gc =
+        Option.map
+          (fun ro -> Window.track_histogram win (Runtime_obs.pauses ro))
+          runtime_obs;
+      thresholds =
+        Health.with_slo_p99 Health.default_thresholds ~slo_s:config.slo_p99_s;
+      runtime_obs;
       req_seq = Atomic.make 0;
       started_s = Timer.monotonic_s ();
       slow_mu = Mutex.create ();
-      slow_ring = Array.make slow_ring_capacity None;
+      slow_ring = Array.make config.slow_ring None;
       slow_seen = 0;
       last_sample_s = neg_infinity;
       qmu = Mutex.create ();
@@ -1005,12 +1247,14 @@ let create ?(config = default_config) ?domains ?budget_bytes engine =
       free_count = 0;
       accept_thread = None;
       drainer_thread = None;
+      ticker_thread = None;
       conns_mu = Mutex.create ();
       conns = [];
     }
   in
   t.accept_thread <- Some (Thread.create accept_loop t);
   t.drainer_thread <- Some (Thread.create drainer_loop t);
+  t.ticker_thread <- Some (Thread.create ticker_loop t);
   t
 
 let port t = t.bound_port
@@ -1033,6 +1277,9 @@ let stop t =
     (try Unix.close t.lsock with _ -> ());
     (* every already-admitted query is served before the drainer exits *)
     Option.iter Thread.join t.drainer_thread;
+    (* the ticker notices [stopping] within one 50ms delay *)
+    Option.iter Thread.join t.ticker_thread;
+    Option.iter Runtime_obs.stop t.runtime_obs;
     (* unblock idle keep-alive readers; in-flight responses still go
        out because only the receive side is shut down *)
     Mutex.lock t.conns_mu;

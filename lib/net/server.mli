@@ -29,14 +29,33 @@
       [olar_pool_dispatch_wait_seconds], per-domain
       [olar_pool_domain_busy_seconds]/[olar_pool_domain_requests]
       gauges and per-shard [olar_pool_shard_depth{shard="..."}] depth
-      gauges).
-    - [GET /healthz] — 200 ["ok"] while serving.
+      gauges). When the engine has an obs context, an
+      {!Olar_obs.Runtime_obs} eventring consumer additionally exports
+      per-domain GC pause histograms
+      [olar_gc_pause_seconds{domain="..."}] and collection counters
+      [olar_gc_minor_total]/[olar_gc_major_total], polled by a
+      dedicated systhread that doubles as the idle-time heartbeat for
+      the sliding windows and sampled gauges.
+    - [GET /healthz] — the {!Health} engine's verdict over the last
+      minute of sliding-window telemetry, as JSON
+      ([{"state":..,"reasons":[..],..}]): [200] with state ["ok"] or
+      ["degraded"] (reasons listed, e.g. a shed rate over 1%), [503]
+      with state ["unhealthy"] once a check crosses its hard limit —
+      so load balancers pull the instance while operators read why.
+      The same verdict is exported as the [olar_health_state] gauge
+      (0/1/2).
     - [GET /statusz] — JSON debug state: build version, uptime, queue
       depth/peak/limit, request counters, per-domain utilization, a
       dispatch-wait histogram summary, per-shard submission-queue
-      depths, the six phase-histogram summaries, and the last N
-      requests over the [slow_s] threshold (a bounded ring, newest
-      first).
+      depths, the six phase-histogram summaries, a ["window"] section
+      (per-second qps/shed/5xx rates and rolling p50/p90/p99 per phase
+      over the last 60 s, from {!Olar_obs.Window}), a ["gc"] section
+      (eventring pause count, clock-calibration state, windowed pause
+      quantiles), a ["health"] section mirroring /healthz, and the
+      last N requests over the [slow_s] threshold (a bounded ring,
+      newest first) — each slow entry carrying [gc_pause_ms], the
+      longest recorded GC pause overlapping its execute window ([null]
+      when none did).
     - [HEAD] on any of the three read-only endpoints answers with the
       GET status and headers (including the GET body's
       [Content-Length]) and an empty body.
@@ -102,6 +121,15 @@ type config = {
           stderr and the /statusz ring ([>=], the {!Olar_replay.Recorder}
           slow-query convention — [0.] logs everything); [infinity]
           disables (default) *)
+  slow_ring : int;
+      (** capacity of the /statusz slow-request ring (default 64);
+          [0] disables the ring while keeping the stderr log and the
+          over-threshold count *)
+  slo_p99_s : float;
+      (** latency SLO for the health engine: the windowed execute-phase
+          p99 crossing this marks the server degraded, crossing four
+          times it marks it unhealthy; [0.] disables the latency check
+          (default) *)
 }
 
 val default_config : config

@@ -25,6 +25,7 @@ let labelled name labels =
     ^ "}"
 
 let pp ppf registry =
+  Metrics.collect registry;
   Metrics.iter registry (fun { Metrics.name; labels; metric; _ } ->
       let name = labelled name labels in
       match metric with
@@ -63,6 +64,7 @@ let histogram_json h =
         quantiles)
 
 let to_json registry =
+  Metrics.collect registry;
   let fields = ref [] in
   Metrics.iter registry (fun { Metrics.name; labels; metric; _ } ->
       let v =
@@ -130,6 +132,7 @@ let prom_float f =
   else Printf.sprintf "%.12g" f
 
 let to_prometheus registry =
+  Metrics.collect registry;
   let buf = Buffer.create 1024 in
   (* With labelled series, one metric name may appear as several entries
      (olar_http_phase_seconds{phase="..."}); HELP/TYPE must be emitted

@@ -108,11 +108,12 @@ module Histogram = struct
   (* Upper bound of the smallest bucket at which the cumulative count
      reaches q * total (Prometheus-style upper-bound estimate). The
      overflow bucket reports [infinity]; an empty histogram [nan].
-     Bucket counts are snapshotted once so a concurrent [observe]
-     cannot make the cumulative walk inconsistent. *)
-  let quantile h q =
+     Shared by the live [quantile] below and by {!Window}, which walks
+     diffed (windowed) bucket counts against the same bounds. *)
+  let quantile_of ~bounds ~counts q =
     if not (q >= 0.0 && q <= 1.0) then invalid_arg "Histogram.quantile";
-    let counts = Array.map Atomic.get h.counts in
+    if Array.length counts <> Array.length bounds + 1 then
+      invalid_arg "Histogram.quantile_of: counts/bounds length mismatch";
     let total = Array.fold_left ( + ) 0 counts in
     if total = 0 then Float.nan
     else begin
@@ -126,8 +127,13 @@ module Histogram = struct
         incr i;
         cum := !cum + counts.(!i)
       done;
-      if !i < Array.length h.bounds then h.bounds.(!i) else Float.infinity
+      if !i < Array.length bounds then bounds.(!i) else Float.infinity
     end
+
+  (* Bucket counts are snapshotted once so a concurrent [observe]
+     cannot make the cumulative walk inconsistent. *)
+  let quantile h q =
+    quantile_of ~bounds:h.bounds ~counts:(Array.map Atomic.get h.counts) q
 end
 
 type metric =
@@ -152,9 +158,16 @@ type t = {
   mu : Mutex.t;
   by_name : (string, entry) Hashtbl.t;
   mutable order_rev : string list; (* registration order, newest first *)
+  mutable collect_hooks : (unit -> unit) list; (* newest first *)
 }
 
-let create () = { mu = Mutex.create (); by_name = Hashtbl.create 32; order_rev = [] }
+let create () =
+  {
+    mu = Mutex.create ();
+    by_name = Hashtbl.create 32;
+    order_rev = [];
+    collect_hooks = [];
+  }
 
 let locked t f =
   Mutex.lock t.mu;
@@ -192,18 +205,19 @@ let register t ~key name help labels metric =
 
 let kind_error name = invalid_arg ("Metrics: " ^ name ^ " registered with another kind")
 
-let counter t ?(help = "") name =
+let counter t ?(help = "") ?(labels = []) name =
   locked t (fun () ->
-      match Hashtbl.find_opt t.by_name name with
+      let key = series_key name labels in
+      match Hashtbl.find_opt t.by_name key with
       | Some { metric = M_counter c; _ } -> c
       | Some _ -> kind_error name
       | None -> (
-        match find_base_locked t name with
+        match if labels = [] then find_base_locked t name else None with
         | Some { metric = M_counter c; _ } -> c
         | Some _ -> kind_error name
         | None ->
           let c = Counter.create name in
-          register t ~key:name name help [] (M_counter c);
+          register t ~key name help labels (M_counter c);
           c))
 
 let gauge t ?(help = "") ?(labels = []) name =
@@ -260,6 +274,18 @@ let find t name =
       match Hashtbl.find_opt t.by_name name with
       | Some e -> Some e
       | None -> find_base_locked t name)
+
+(* Collect hooks run right before a registry is exposed, so sampled
+   state (GC gauges, uptime, domain utilization) is fresh on every
+   scrape without the hot path maintaining it. Registration takes the
+   lock; [collect] runs the hooks outside it — a hook typically
+   interns/sets gauges, which re-enters the registry. *)
+let on_collect t hook =
+  locked t (fun () -> t.collect_hooks <- hook :: t.collect_hooks)
+
+let collect t =
+  let hooks = locked t (fun () -> List.rev t.collect_hooks) in
+  List.iter (fun hook -> hook ()) hooks
 
 (* Snapshot under the lock, then visit outside it, so [f] may intern
    further instruments without deadlocking. *)

@@ -86,6 +86,13 @@ module Histogram : sig
       empty histogram reports [nan]. Raises [Invalid_argument] unless
       [0. <= q <= 1.]. *)
   val quantile : t -> float -> float
+
+  (** [quantile_of ~bounds ~counts q] is the same walk over an explicit
+      counts array (one more slot than [bounds]; the final slot is
+      overflow) — the primitive {!Window} uses to take quantiles of
+      windowed (diffed) bucket counts. Raises [Invalid_argument] on a
+      length mismatch or [q] outside [0, 1]. *)
+  val quantile_of : bounds:float array -> counts:int array -> float -> float
 end
 
 type metric =
@@ -108,8 +115,9 @@ type t
 val create : unit -> t
 
 (** [counter t name] interns a counter. [help] is kept from the first
-    registration. *)
-val counter : t -> ?help:string -> string -> Counter.t
+    registration. [labels] selects a labelled series of [name], as for
+    {!gauge} (e.g. the per-domain GC collection counters). *)
+val counter : t -> ?help:string -> ?labels:(string * string) list -> string -> Counter.t
 
 (** [gauge t name] interns a gauge. [labels] (constant key/value pairs,
     in the Prometheus style) selects a labelled series of [name]; the
@@ -138,6 +146,19 @@ val attach_counter : t -> ?help:string -> ?name:string -> Counter.t -> unit
 (** [find t name] is the entry registered under [name] — for a name
     that only exists as labelled series, the first registered one. *)
 val find : t -> string -> entry option
+
+(** [on_collect t hook] registers [hook] to run at every {!collect} —
+    i.e. right before the registry is exposed. Hooks refresh sampled
+    state (GC/heap/uptime gauges, pool utilization) so one-shot CLI
+    runs and scrapes alike see current values without any caller
+    remembering to sample first. Hooks run in registration order,
+    outside the registry lock (they may intern instruments), and must
+    not raise. *)
+val on_collect : t -> (unit -> unit) -> unit
+
+(** [collect t] runs the registered hooks. {!Exposition} calls this
+    before rendering any format. *)
+val collect : t -> unit
 
 (** [iter t f] visits entries in registration order. *)
 val iter : t -> (entry -> unit) -> unit

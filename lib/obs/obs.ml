@@ -19,6 +19,30 @@ type t = ctx option
 
 let disabled : t = None
 
+let counter ctx ?help name = Metrics.counter ctx.metrics ?help name
+let gauge ctx ?help ?labels name = Metrics.gauge ctx.metrics ?help ?labels name
+
+(* Process-level gauges are sampled, not incrementally maintained.
+   Registered as a collect hook in [create], so any exposition of the
+   registry refreshes them; callers may also invoke it directly. *)
+let update_runtime_gauges ctx =
+  let s = Gc.quick_stat () in
+  Metrics.Gauge.set_int
+    (gauge ctx ~help:"Minor collections since process start"
+       "olar_gc_minor_collections_total")
+    s.Gc.minor_collections;
+  Metrics.Gauge.set_int
+    (gauge ctx ~help:"Major collection cycles since process start"
+       "olar_gc_major_collections_total")
+    s.Gc.major_collections;
+  Metrics.Gauge.set_int
+    (gauge ctx ~help:"Major-heap size in words" "olar_heap_words")
+    s.Gc.heap_words;
+  Metrics.Gauge.set
+    (gauge ctx ~help:"Seconds since this context was created"
+       "olar_uptime_seconds")
+    (ctx.clock () -. ctx.start_s)
+
 let create ?(clock = Unix.gettimeofday) ?trace () : t =
   let metrics = Metrics.create () in
   let queries =
@@ -39,7 +63,7 @@ let create ?(clock = Unix.gettimeofday) ?trace () : t =
       (fun sink -> Trace.Sharded.create ~clock ~emit:(Sink.emit sink) ())
       trace
   in
-  Some
+  let ctx =
     {
       metrics;
       tracing;
@@ -50,6 +74,12 @@ let create ?(clock = Unix.gettimeofday) ?trace () : t =
       vertices_visited;
       heap_pops;
     }
+  in
+  (* Exposition triggers [Metrics.collect], so a one-shot CLI run that
+     renders the registry (olar metrics, --metrics) sees live GC/heap/
+     uptime gauges without anyone remembering to sample them first. *)
+  Metrics.on_collect metrics (fun () -> update_runtime_gauges ctx);
+  Some ctx
 
 let metrics ctx = ctx.metrics
 let tracing ctx = ctx.tracing
@@ -112,30 +142,7 @@ let query_span ctx ~name ~work f =
     in
     Trace.with_span (Trace.Sharded.tracer sh) ("query." ^ name) ~attrs run
 
-let counter ctx ?help name = Metrics.counter ctx.metrics ?help name
-let gauge ctx ?help ?labels name = Metrics.gauge ctx.metrics ?help ?labels name
 let attach_counter ctx ?help ?name c = Metrics.attach_counter ctx.metrics ?help ?name c
-
-(* Process-level gauges are sampled, not incrementally maintained: call
-   this immediately before exposition so a scrape sees current values
-   without taxing the query hot path. *)
-let update_runtime_gauges ctx =
-  let s = Gc.quick_stat () in
-  Metrics.Gauge.set_int
-    (gauge ctx ~help:"Minor collections since process start"
-       "olar_gc_minor_collections_total")
-    s.Gc.minor_collections;
-  Metrics.Gauge.set_int
-    (gauge ctx ~help:"Major collection cycles since process start"
-       "olar_gc_major_collections_total")
-    s.Gc.major_collections;
-  Metrics.Gauge.set_int
-    (gauge ctx ~help:"Major-heap size in words" "olar_heap_words")
-    s.Gc.heap_words;
-  Metrics.Gauge.set
-    (gauge ctx ~help:"Seconds since this context was created"
-       "olar_uptime_seconds")
-    (ctx.clock () -. ctx.start_s)
 
 let set_build_info ctx ~version =
   Metrics.Gauge.set

@@ -1,0 +1,215 @@
+module RE = Runtime_events
+
+(* The clock-sync user event is registered once per process:
+   [Runtime_events.User.register] owns a global name table, and tests
+   start/stop several servers in one binary. *)
+type RE.User.tag += Clock_sync
+
+let clock_sync_ev =
+  lazy (RE.User.register "olar.clock_sync" Clock_sync RE.Type.unit)
+
+(* One recorded pause, in eventring time (CLOCK_MONOTONIC ns). Wall
+   conversion happens at query time so pauses recorded before the
+   first calibration pair still become attributable afterwards. *)
+type pause = {
+  dom : int;
+  t0_ns : int64;
+  t1_ns : int64;
+}
+
+type kind =
+  | Minor
+  | Major
+
+(* Per-domain instruments, interned lazily the first time a domain
+   reports a pause. *)
+type dom_cells = {
+  hist : Metrics.Histogram.t;
+  minor : Metrics.Counter.t;
+  major : Metrics.Counter.t;
+}
+
+type t = {
+  metrics : Metrics.t;
+  clock : unit -> float;
+  mutable cursor : RE.cursor option; (* None once stopped *)
+  callbacks : RE.Callbacks.t Lazy.t;
+  all_pauses : Metrics.Histogram.t;
+      (* cross-domain aggregate, deliberately NOT registered: the
+         per-domain series are the exposition truth, and a registered
+         unlabelled twin would double-count in PromQL sums. The server
+         window-tracks this cell for its rolling GC pause p99. *)
+  (* poller-thread-only state *)
+  opens : (int * kind, int64) Hashtbl.t; (* (domain, kind) -> begin ts *)
+  cells : (int, dom_cells) Hashtbl.t;
+  (* shared state: pause ring + calibration, guarded by [mu] *)
+  mu : Mutex.t;
+  ring : pause array;
+  mutable ring_len : int; (* pauses recorded; slot = (len-1) mod cap *)
+  mutable pending_mid : float list; (* wall midpoints of unseen sync writes, oldest first *)
+  mutable offset_s : float option; (* wall = ring_seconds + offset *)
+  lost : Metrics.Counter.t;
+}
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let no_pause = { dom = -1; t0_ns = 0L; t1_ns = 0L }
+
+let dom_cells t dom =
+  match Hashtbl.find_opt t.cells dom with
+  | Some c -> c
+  | None ->
+    let labels = [ ("domain", string_of_int dom) ] in
+    let c =
+      {
+        hist =
+          Metrics.histogram t.metrics ~labels
+            ~help:"GC pause durations from the runtime eventring"
+            "olar_gc_pause_seconds";
+        minor =
+          Metrics.counter t.metrics ~labels
+            ~help:"Minor collections observed on the eventring"
+            "olar_gc_minor_total";
+        major =
+          Metrics.counter t.metrics ~labels
+            ~help:"Major GC slices observed on the eventring"
+            "olar_gc_major_total";
+      }
+    in
+    Hashtbl.add t.cells dom c;
+    c
+
+let record_pause t dom kind t0_ns t1_ns =
+  let dur_s = Int64.to_float (Int64.sub t1_ns t0_ns) *. 1e-9 in
+  let cells = dom_cells t dom in
+  Metrics.Histogram.observe cells.hist dur_s;
+  Metrics.Histogram.observe t.all_pauses dur_s;
+  Metrics.Counter.incr (match kind with Minor -> cells.minor | Major -> cells.major);
+  locked t (fun () ->
+      t.ring.(t.ring_len mod Array.length t.ring) <- { dom; t0_ns; t1_ns };
+      t.ring_len <- t.ring_len + 1)
+
+let kind_of_phase = function
+  | RE.EV_MINOR -> Some Minor
+  | RE.EV_MAJOR -> Some Major
+  | _ -> None
+
+let on_begin t ring_id ts phase =
+  match kind_of_phase phase with
+  | None -> ()
+  | Some k -> Hashtbl.replace t.opens (ring_id, k) (RE.Timestamp.to_int64 ts)
+
+let on_end t ring_id ts phase =
+  match kind_of_phase phase with
+  | None -> ()
+  | Some k -> (
+    let key = (ring_id, k) in
+    match Hashtbl.find_opt t.opens key with
+    | None -> () (* begin predates our cursor; skip the partial span *)
+    | Some t0_ns ->
+      Hashtbl.remove t.opens key;
+      record_pause t ring_id k t0_ns (RE.Timestamp.to_int64 ts))
+
+(* Pair the oldest outstanding sync write with this event's ring
+   timestamp. Writes and polls happen on different threads, so the
+   pending queue is under the mutex; pairing oldest-first is correct
+   because the ring delivers our own writes in order. *)
+let on_clock_sync t _ring_id ts ev () =
+  match RE.User.tag ev with
+  | Clock_sync ->
+    locked t (fun () ->
+        match t.pending_mid with
+        | [] -> ()
+        | mid :: rest ->
+          t.pending_mid <- rest;
+          t.offset_s <-
+            Some (mid -. (Int64.to_float (RE.Timestamp.to_int64 ts) *. 1e-9)))
+  | _ -> ()
+
+let calibrate t =
+  let ev = Lazy.force clock_sync_ev in
+  let before = t.clock () in
+  RE.User.write ev ();
+  let after = t.clock () in
+  let mid = (before +. after) /. 2.0 in
+  locked t (fun () -> t.pending_mid <- t.pending_mid @ [ mid ])
+
+let start ~metrics ?(clock = Unix.gettimeofday) ?(ring_capacity = 512) () =
+  if ring_capacity < 1 then invalid_arg "Runtime_obs.start: ring_capacity < 1";
+  (try RE.start ()
+   with exn ->
+     failwith ("Runtime_obs.start: eventring unavailable: " ^ Printexc.to_string exn));
+  let cursor = RE.create_cursor None in
+  let rec t =
+    {
+      metrics;
+      clock;
+      cursor = Some cursor;
+      callbacks =
+        lazy
+          (RE.Callbacks.create
+             ~runtime_begin:(fun ring_id ts phase -> on_begin t ring_id ts phase)
+             ~runtime_end:(fun ring_id ts phase -> on_end t ring_id ts phase)
+             ~lost_events:(fun _ring_id n -> Metrics.Counter.add t.lost n)
+             ()
+          |> RE.Callbacks.add_user_event RE.Type.unit (fun ring_id ts ev v ->
+                 on_clock_sync t ring_id ts ev v));
+      all_pauses = Metrics.Histogram.create "olar_gc_pause_seconds_all";
+      opens = Hashtbl.create 16;
+      cells = Hashtbl.create 16;
+      mu = Mutex.create ();
+      ring = Array.make ring_capacity no_pause;
+      ring_len = 0;
+      pending_mid = [];
+      offset_s = None;
+      lost =
+        Metrics.counter metrics
+          ~help:"Eventring events dropped before this consumer read them"
+          "olar_gc_events_lost_total";
+    }
+  in
+  calibrate t;
+  t
+
+let poll t =
+  match t.cursor with
+  | None -> 0
+  | Some cursor -> RE.read_poll cursor (Lazy.force t.callbacks) None
+
+let calibrated t = locked t (fun () -> t.offset_s <> None)
+
+let pause_count t = locked t (fun () -> t.ring_len)
+
+let pauses t = t.all_pauses
+
+let pause_overlapping t ?domain ~t0 ~t1 () =
+  locked t (fun () ->
+      match t.offset_s with
+      | None -> None
+      | Some off ->
+        let cap = Array.length t.ring in
+        let n = min t.ring_len cap in
+        let best = ref None in
+        for i = 0 to n - 1 do
+          let p = t.ring.((t.ring_len - 1 - i) mod cap) in
+          if domain = None || domain = Some p.dom then begin
+            let w0 = (Int64.to_float p.t0_ns *. 1e-9) +. off in
+            let w1 = (Int64.to_float p.t1_ns *. 1e-9) +. off in
+            if w0 <= t1 && w1 >= t0 then begin
+              let dur = Int64.to_float (Int64.sub p.t1_ns p.t0_ns) *. 1e-9 in
+              match !best with
+              | Some b when b >= dur -> ()
+              | _ -> best := Some dur
+            end
+          end
+        done;
+        !best)
+
+let stop t =
+  match t.cursor with
+  | None -> ()
+  | Some cursor ->
+    t.cursor <- None;
+    RE.free_cursor cursor

@@ -1,0 +1,178 @@
+module Counter = Olar_util.Timer.Counter
+
+(* A tracked counter: one ring slot per boundary holding the cumulative
+   value at that boundary. *)
+type counter_view = {
+  cw : t;
+  c : Counter.t;
+  csnaps : int array; (* ring, indexed boundary_seq mod buckets *)
+}
+
+(* A tracked histogram: cumulative bucket counts and sum per boundary.
+   Bucket arrays are copied whole at each tick — 47 ints per tracked
+   histogram per second is nothing next to one served query. *)
+and histogram_view = {
+  hw : t;
+  h : Metrics.Histogram.t;
+  hsnaps : int array array; (* ring of cumulative per-bucket counts *)
+  ssnaps : float array; (* ring of cumulative sums *)
+}
+
+and t = {
+  clock : unit -> float;
+  buckets : int;
+  width_s : float;
+  mu : Mutex.t;
+  times : float array; (* ring of boundary timestamps *)
+  mutable seq : int; (* boundaries pushed since create; slot = (seq-1) mod buckets *)
+  mutable counters : counter_view list; (* newest first; order is irrelevant *)
+  mutable histograms : histogram_view list;
+}
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let span_s t = float_of_int t.buckets *. t.width_s
+
+let snapshot_counter v slot = v.csnaps.(slot) <- Counter.value v.c
+
+let snapshot_histogram v slot =
+  v.hsnaps.(slot) <- Metrics.Histogram.counts v.h;
+  v.ssnaps.(slot) <- Metrics.Histogram.sum v.h
+
+(* Push one boundary at [now]: stamp the slot and snapshot every
+   tracked instrument into it. Call under the lock. *)
+let push_locked t now =
+  let slot = t.seq mod t.buckets in
+  t.times.(slot) <- now;
+  t.seq <- t.seq + 1;
+  List.iter (fun v -> snapshot_counter v slot) t.counters;
+  List.iter (fun v -> snapshot_histogram v slot) t.histograms
+
+let create ?(clock = Olar_util.Timer.monotonic_s) ?(buckets = 60)
+    ?(width_s = 1.0) () =
+  if buckets < 1 then invalid_arg "Window.create: buckets < 1";
+  if not (width_s > 0.0) then invalid_arg "Window.create: width_s <= 0";
+  let t =
+    {
+      clock;
+      buckets;
+      width_s;
+      mu = Mutex.create ();
+      times = Array.make buckets neg_infinity;
+      seq = 0;
+      counters = [];
+      histograms = [];
+    }
+  in
+  push_locked t (clock ());
+  t
+
+let tick t =
+  locked t (fun () ->
+      let now = t.clock () in
+      let newest = t.times.((t.seq - 1) mod t.buckets) in
+      if now -. newest >= t.width_s then push_locked t now)
+
+(* The start boundary for a reading at [now]: the oldest retained
+   boundary still inside the span, or the newest boundary when a
+   stalled ticker / clock jump has aged them all out (a short fresh
+   window beats a stale long one). Call under the lock; at least one
+   boundary always exists ([create] pushes the first). *)
+let start_slot_locked t now =
+  let retained = min t.seq t.buckets in
+  let horizon = now -. span_s t in
+  let rec go k =
+    (* k-th oldest retained boundary, k = 0 the oldest *)
+    if k = retained - 1 then (t.seq - 1) mod t.buckets
+    else
+      let slot = (t.seq - retained + k) mod t.buckets in
+      if t.times.(slot) >= horizon then slot else go (k + 1)
+  in
+  go 0
+
+let covered_s t =
+  locked t (fun () ->
+      let now = t.clock () in
+      Float.max 0.0 (now -. t.times.(start_slot_locked t now)))
+
+let track_counter t c =
+  locked t (fun () ->
+      let v = { cw = t; c; csnaps = Array.make t.buckets (Counter.value c) } in
+      t.counters <- v :: t.counters;
+      v)
+
+let track_histogram t h =
+  locked t (fun () ->
+      let v =
+        {
+          hw = t;
+          h;
+          hsnaps = Array.make t.buckets (Metrics.Histogram.counts h);
+          ssnaps = Array.make t.buckets (Metrics.Histogram.sum h);
+        }
+      in
+      t.histograms <- v :: t.histograms;
+      v)
+
+(* Clamped at 0: an external [Counter.reset] between boundaries would
+   otherwise read as a negative burst. *)
+let counter_delta v =
+  locked v.cw (fun () ->
+      let now = v.cw.clock () in
+      let slot = start_slot_locked v.cw now in
+      max 0 (Counter.value v.c - v.csnaps.(slot)))
+
+let counter_rate v =
+  locked v.cw (fun () ->
+      let now = v.cw.clock () in
+      let slot = start_slot_locked v.cw now in
+      let dt = now -. v.cw.times.(slot) in
+      if dt > 0.0 then float_of_int (max 0 (Counter.value v.c - v.csnaps.(slot))) /. dt
+      else 0.0)
+
+type hist_window = {
+  count : int;
+  sum : float;
+  rate : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+(* Windowed bucket counts: current cumulative minus the start
+   boundary's snapshot, per bucket (clamped like the counter delta). *)
+let window_counts_locked v now =
+  let slot = start_slot_locked v.hw now in
+  let cur = Metrics.Histogram.counts v.h in
+  let base = v.hsnaps.(slot) in
+  Array.iteri (fun i c -> cur.(i) <- max 0 (c - base.(i))) cur;
+  (cur, slot)
+
+let histogram_window v =
+  locked v.hw (fun () ->
+      let now = v.hw.clock () in
+      let counts, slot = window_counts_locked v now in
+      let count = Array.fold_left ( + ) 0 counts in
+      let sum = Metrics.Histogram.sum v.h -. v.ssnaps.(slot) in
+      let dt = now -. v.hw.times.(slot) in
+      let bounds = Metrics.Histogram.bounds v.h in
+      let q p = Metrics.Histogram.quantile_of ~bounds ~counts p in
+      {
+        count;
+        sum = (if count = 0 then 0.0 else Float.max 0.0 sum);
+        rate = (if dt > 0.0 then float_of_int count /. dt else 0.0);
+        p50 = q 0.5;
+        p90 = q 0.9;
+        p99 = q 0.99;
+      })
+
+let histogram_quantile v q =
+  if not (q >= 0.0 && q <= 1.0) then invalid_arg "Window.histogram_quantile";
+  locked v.hw (fun () ->
+      let now = v.hw.clock () in
+      let counts, _ = window_counts_locked v now in
+      Metrics.Histogram.quantile_of
+        ~bounds:(Metrics.Histogram.bounds v.h)
+        ~counts q)

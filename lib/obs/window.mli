@@ -1,0 +1,103 @@
+(** Sliding-window aggregation over interned metric cells.
+
+    Everything in {!Metrics} is cumulative-since-start: after an hour
+    of uptime, a ten-second burst of shed requests moves the counters
+    by an invisible fraction. A [Window.t] is a ring of bucket
+    boundaries (default 60 × 1 s) holding {e snapshots} of existing
+    instruments, so the serving stack can answer "what happened over
+    the last minute": windowed rates for counters, rolling
+    p50/p90/p99 for histograms.
+
+    The design is snapshot-based on purpose: the query/serving hot
+    path keeps bumping the very same interned {!Metrics} cells it
+    already bumps — attaching a window adds {b zero} work per
+    observation (and when observability is disabled no window exists
+    at all). A periodic {!tick} — the serving daemon's sampler thread,
+    at most once per bucket width — copies each tracked instrument's
+    cumulative state into the newest ring slot; windowed readings diff
+    the current state against the oldest in-range boundary.
+
+    {2 Semantics}
+
+    [tick] pushes a boundary (timestamp + snapshots) whenever at least
+    [width_s] has elapsed since the newest boundary; creation pushes
+    the first. The ring retains the newest [buckets] boundaries. A
+    windowed reading at time [now] measures from the {b start
+    boundary}: the oldest retained boundary with
+    [time >= now - span_s] — or, when every retained boundary is older
+    (the ticker stalled, the clock jumped), the {e newest} boundary,
+    so a reading after a gap covers a short fresh window rather than a
+    stale long one. Readings are exact diffs of cumulative state, not
+    estimates: windowed count = current count − count at the start
+    boundary.
+
+    Thread-safety: [tick] and every reading take the window's mutex;
+    tracked instruments stay lock-free. Call [tick] from one sampler
+    thread; read from any thread. *)
+
+module Counter = Olar_util.Timer.Counter
+
+type t
+
+(** [create ()] is an empty window ring with one boundary at the
+    current clock reading. [buckets] (default 60) and [width_s]
+    (default 1.0) size the ring: the window spans up to
+    [buckets * width_s] seconds. [clock] defaults to
+    {!Olar_util.Timer.monotonic_s}; inject a fake for deterministic
+    tests. Raises [Invalid_argument] when [buckets < 1] or
+    [width_s <= 0]. *)
+val create : ?clock:(unit -> float) -> ?buckets:int -> ?width_s:float -> unit -> t
+
+(** [span_s t] is [buckets * width_s] — the maximum window coverage. *)
+val span_s : t -> float
+
+(** [covered_s t] is the seconds actually covered by a reading taken
+    now: clock minus the start boundary's time (less than {!span_s}
+    while the ring warms up or right after a stall). *)
+val covered_s : t -> float
+
+(** [tick t] pushes a new boundary if at least [width_s] has elapsed
+    since the newest one, snapshotting every tracked instrument;
+    otherwise it is a cheap no-op. *)
+val tick : t -> unit
+
+(** A counter tracked by a window. *)
+type counter_view
+
+(** A histogram tracked by a window. *)
+type histogram_view
+
+(** [track_counter t c] starts windowing [c]. Boundaries already in
+    the ring are back-filled with the counter's current value, so the
+    view's deltas count only from attachment. *)
+val track_counter : t -> Counter.t -> counter_view
+
+val track_histogram : t -> Metrics.Histogram.t -> histogram_view
+
+(** [counter_delta v] is the events recorded over the window (current
+    value minus the start boundary's snapshot, clamped at 0 so an
+    external [Counter.reset] cannot yield a negative reading). *)
+val counter_delta : counter_view -> int
+
+(** [counter_rate v] is {!counter_delta} divided by the covered
+    seconds; [0.] when the window covers no time yet. *)
+val counter_rate : counter_view -> float
+
+(** One windowed histogram reading. Quantiles follow
+    {!Metrics.Histogram.quantile}: bucket-upper-bound estimates,
+    [nan] when the window holds no samples, [infinity] when the
+    quantile falls in the overflow bucket. *)
+type hist_window = {
+  count : int;  (** samples observed over the window *)
+  sum : float;  (** their summed value *)
+  rate : float;  (** samples per covered second *)
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val histogram_window : histogram_view -> hist_window
+
+(** [histogram_quantile v q] is the windowed [q]-quantile alone.
+    Raises [Invalid_argument] unless [0. <= q <= 1.]. *)
+val histogram_quantile : histogram_view -> float -> float

@@ -473,7 +473,10 @@ let test_wire_errors_and_endpoints () =
       let conn = connect (Server.port srv) in
       let h = request conn ~meth:"GET" ~target:"/healthz" "" in
       check Alcotest.int "healthz" 200 h.Http.status;
-      check Alcotest.string "healthz body" "ok\n" h.Http.resp_body;
+      check Alcotest.string "healthz verdict" "ok" (json_str h "state");
+      (match json_field h "reasons" with
+      | Some (Jsonx.Arr []) -> ()
+      | _ -> Alcotest.fail "a healthy verdict must carry no reasons");
       let nf = request conn ~meth:"GET" ~target:"/nope" "" in
       check Alcotest.int "unknown endpoint is 404" 404 nf.Http.status;
       let mna = request conn ~meth:"PUT" ~target:"/query" "{}" in
@@ -604,8 +607,9 @@ let test_head_requests () =
           let b = Buffer.create 1024 in
           let rec fill () =
             let s = Buffer.contents b in
-            if count_substring s "\r\n\r\n" >= 2 && String.length s >= 3
-               && String.sub s (String.length s - 3) 3 = "ok\n"
+            (* the healthz GET body is one flat JSON object + newline *)
+            if count_substring s "\r\n\r\n" >= 2 && String.length s >= 2
+               && String.sub s (String.length s - 2) 2 = "}\n"
             then s
             else
               match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
@@ -633,13 +637,17 @@ let test_head_requests () =
           in
           check Alcotest.bool (target ^ " Content-Length reflects the GET body")
             true (cl > 0);
-          if target = "/healthz" then
-            check Alcotest.int "healthz HEAD length is len(\"ok\\n\")" 3 cl;
           match Http.parse_response s ~off:head_end with
           | Http.Complete (g, used) ->
             check Alcotest.int (target ^ ": GET parses right after HEAD") 200
               g.Http.status;
-            check Alcotest.string "GET body intact" "ok\n" g.Http.resp_body;
+            (match Jsonx.of_string g.Http.resp_body with
+            | Ok j ->
+              check
+                (Alcotest.option Alcotest.string)
+                "GET body intact" (Some "ok")
+                (Option.bind (Jsonx.member "state" j) Jsonx.to_str)
+            | Error e -> Alcotest.failf "GET body unparsable: %s" e);
             check Alcotest.int "stream fully consumed" (String.length s)
               (head_end + used)
           | _ -> Alcotest.failf "GET did not parse after HEAD %s" target)
@@ -840,6 +848,157 @@ let test_deadline_sheds_with_503 () =
       disconnect conn)
 
 (* ------------------------------------------------------------------ *)
+(* Health grading and the status client                                *)
+(* ------------------------------------------------------------------ *)
+
+module Health = Olar_net.Health
+module Client = Olar_net.Client
+
+let reading ?(window_s = 60.0) ?(queries = 1000) ?(shed = 0) ?(errors_5xx = 0)
+    ?(exec_p99_s = nan) () =
+  { Health.window_s; queries; shed; errors_5xx; exec_p99_s }
+
+let state_of r = Health.evaluate Health.default_thresholds r
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(* The engine is pure and stateless, so the ok → degraded → unhealthy
+   → recovered cycle is just four evaluations of four readings. *)
+let test_health_transitions () =
+  check Alcotest.string "baseline is ok" "ok"
+    (Health.state_name (state_of (reading ())));
+  check Alcotest.int "ok answers 200" 200
+    (Health.status_code (state_of (reading ())));
+  check Alcotest.int "ok gauge encoding" 0
+    (Health.state_value (state_of (reading ())));
+  (* 2% shed crosses the 1% soft limit but not the 25% hard one *)
+  (match state_of (reading ~shed:20 ()) with
+  | Health.Degraded [ r ] ->
+    check Alcotest.bool "reason names the check" true (has_prefix "shed_rate" r)
+  | s ->
+    Alcotest.failf "2%% shed: expected degraded, got %s" (Health.state_name s));
+  check Alcotest.int "degraded still answers 200" 200
+    (Health.status_code (state_of (reading ~shed:20 ())));
+  check Alcotest.int "degraded gauge encoding" 1
+    (Health.state_value (state_of (reading ~shed:20 ())));
+  (* 30% shed crosses the hard limit: the instance asks to be pulled *)
+  (match state_of (reading ~shed:300 ()) with
+  | Health.Unhealthy [ r ] ->
+    check Alcotest.bool "unhealthy reason names the check" true
+      (has_prefix "shed_rate" r)
+  | s ->
+    Alcotest.failf "30%% shed: expected unhealthy, got %s"
+      (Health.state_name s));
+  check Alcotest.int "unhealthy answers 503" 503
+    (Health.status_code (state_of (reading ~shed:300 ())));
+  check Alcotest.int "unhealthy gauge encoding" 2
+    (Health.state_value (state_of (reading ~shed:300 ())));
+  (* the next clean window grades ok again — history cannot pin the
+     verdict *)
+  check Alcotest.string "recovered" "ok"
+    (Health.state_name (state_of (reading ())));
+  (* a hard 5xx breach keeps the soft shed reason too, worst first *)
+  match state_of (reading ~errors_5xx:300 ~shed:20 ()) with
+  | Health.Unhealthy [ worst; soft ] ->
+    check Alcotest.bool "hard 5xx breach listed first" true
+      (has_prefix "5xx_rate" worst);
+    check Alcotest.bool "soft shed reason kept" true (has_prefix "shed_rate" soft)
+  | s ->
+    Alcotest.failf "mixed breach: expected two unhealthy reasons, got %s"
+      (Health.state_name s)
+
+let test_health_min_events_floor () =
+  (* 2 of 3 queries shed would be catastrophic at scale, but one cold
+     or idle server with three requests cannot flip the fleet *)
+  check Alcotest.string "tiny sample is never judged" "ok"
+    (Health.state_name (state_of (reading ~queries:3 ~shed:2 ())));
+  check Alcotest.string "zero queries is ok" "ok"
+    (Health.state_name (state_of (reading ~queries:0 ())));
+  check Alcotest.string "at the floor the rates are judged" "unhealthy"
+    (Health.state_name (state_of (reading ~queries:20 ~shed:19 ())))
+
+let test_health_slo_p99 () =
+  let t = Health.with_slo_p99 Health.default_thresholds ~slo_s:0.1 in
+  let eval p99 = Health.evaluate t (reading ~exec_p99_s:p99 ()) in
+  check Alcotest.string "under the SLO" "ok" (Health.state_name (eval 0.05));
+  (match eval 0.2 with
+  | Health.Degraded [ r ] ->
+    check Alcotest.bool "latency reason names the check" true
+      (has_prefix "exec_p99" r)
+  | s ->
+    Alcotest.failf "2x the SLO: expected degraded, got %s"
+      (Health.state_name s));
+  check Alcotest.string "past 4x the SLO is unhealthy" "unhealthy"
+    (Health.state_name (eval 0.5));
+  (* nan p99 (no execute sample in the window) trips nothing *)
+  check Alcotest.string "empty-window p99 is ok" "ok"
+    (Health.state_name (Health.evaluate t (reading ())));
+  (* the latency check is off by default: infinity limits never trip *)
+  check Alcotest.string "p99 disabled by default" "ok"
+    (Health.state_name (state_of (reading ~exec_p99_s:99.0 ())));
+  check Alcotest.bool "non-positive slo leaves thresholds unchanged" true
+    (Health.with_slo_p99 Health.default_thresholds ~slo_s:0.0
+    = Health.default_thresholds)
+
+let test_client_parse_url () =
+  let ok url expect =
+    match Client.parse_url url with
+    | Ok got ->
+      check
+        (Alcotest.triple Alcotest.string Alcotest.int Alcotest.string)
+        url expect got
+    | Error e -> Alcotest.failf "%s unexpectedly rejected: %s" url e
+  in
+  ok "http://localhost:7447" ("localhost", 7447, "/");
+  ok "http://10.0.0.1:80/statusz" ("10.0.0.1", 80, "/statusz");
+  ok "localhost:7447/metrics" ("localhost", 7447, "/metrics");
+  ok "http://example.org/healthz" ("example.org", 80, "/healthz");
+  match Client.parse_url "http://bad:port" with
+  | Ok _ -> Alcotest.fail "non-numeric port accepted"
+  | Error _ -> ()
+
+(* The client against a live server: /healthz grades ok over the wire,
+   and the /statusz document carries the window, gc and health
+   sections olar top renders. *)
+let test_client_and_health_over_the_wire () =
+  Server.with_server
+    ~config:{ default_cfg with Server.port = 0 }
+    (table2_engine ())
+    (fun srv ->
+      let url = Server.url srv in
+      (match Client.get ~url "/healthz" with
+      | Error e -> Alcotest.failf "healthz GET failed: %s" e
+      | Ok (status, body) ->
+        check Alcotest.int "healthz over the client" 200 status;
+        (match Jsonx.of_string body with
+        | Ok j ->
+          check
+            (Alcotest.option Alcotest.string)
+            "fresh server grades ok" (Some "ok")
+            (Option.bind (Jsonx.member "state" j) Jsonx.to_str)
+        | Error e -> Alcotest.failf "healthz body unparsable: %s" e));
+      (match Client.get ~url "/statusz" with
+      | Error e -> Alcotest.failf "statusz GET failed: %s" e
+      | Ok (status, body) -> (
+        check Alcotest.int "statusz over the client" 200 status;
+        match Jsonx.of_string body with
+        | Error e -> Alcotest.failf "statusz body unparsable: %s" e
+        | Ok j ->
+          List.iter
+            (fun section ->
+              if Jsonx.member section j = None then
+                Alcotest.failf "statusz lacks the %S section" section)
+            [ "window"; "gc"; "health" ];
+          check
+            (Alcotest.option Alcotest.string)
+            "health section mirrors /healthz" (Some "ok")
+            (Option.bind (Jsonx.path [ "health"; "state" ] j) Jsonx.to_str)));
+      match Client.get ~url "/nope" with
+      | Ok (status, _) -> check Alcotest.int "404 passes through" 404 status
+      | Error e -> Alcotest.failf "unexpected client error: %s" e)
+
+(* ------------------------------------------------------------------ *)
 
 let suites =
   [
@@ -879,5 +1038,15 @@ let suites =
         case "HEAD mirrors GET without a body" test_head_requests;
         case "phase attribution and statusz" test_phase_attribution_and_statusz;
         case "trace sampling emits request trees" test_trace_sampling;
+      ] );
+    ( "net.health",
+      [
+        case "ok/degraded/unhealthy/recovered transitions"
+          test_health_transitions;
+        case "min_events floor" test_health_min_events_floor;
+        case "SLO p99 check" test_health_slo_p99;
+        case "client URL parsing" test_client_parse_url;
+        case "client and health over the wire"
+          test_client_and_health_over_the_wire;
       ] );
   ]

@@ -629,6 +629,216 @@ let test_sharded_tracer () =
     | l -> Alcotest.failf "expected 2 injected spans, got %d" (List.length l))
   | [] -> Alcotest.fail "second flush emitted nothing"
 
+(* ------------------------------------------------------------------ *)
+(* Sliding windows *)
+
+let test_collect_hook_samples_at_exposition () =
+  let now = ref 100.0 in
+  match Obs.create ~clock:(fun () -> !now) () with
+  | None -> Alcotest.fail "create returned disabled"
+  | Some ctx ->
+    let r = Obs.metrics ctx in
+    let uptime () =
+      match Metrics.find r "olar_uptime_seconds" with
+      | Some { Metrics.metric = Metrics.M_gauge g; _ } -> Metrics.Gauge.value g
+      | _ -> Alcotest.fail "uptime gauge missing"
+    in
+    (* no explicit [update_runtime_gauges]: rendering runs the
+       registry's collect hooks, so the scrape itself samples the
+       runtime gauges at exposition time *)
+    now := 107.0;
+    ignore (Exposition.to_prometheus r);
+    check (Alcotest.float 1e-9) "prometheus scrape sampled uptime" 7.0
+      (uptime ());
+    now := 111.5;
+    ignore (Exposition.to_json r);
+    check (Alcotest.float 1e-9) "json render resampled uptime" 11.5 (uptime ())
+
+let test_window_basics () =
+  let now = ref 0.0 in
+  let w = Window.create ~clock:(fun () -> !now) ~buckets:3 ~width_s:1.0 () in
+  check (Alcotest.float 1e-12) "span" 3.0 (Window.span_s w);
+  let c = Window.Counter.create "reqs" in
+  let cv = Window.track_counter w c in
+  let h = H.of_bounds "lat" [| 0.01; 0.1; 1.0 |] in
+  let hv = Window.track_histogram w h in
+  Window.Counter.add c 5;
+  List.iter (H.observe h) [ 0.005; 0.005; 0.05; 0.5 ];
+  check Alcotest.int "delta before any tick" 5 (Window.counter_delta cv);
+  check (Alcotest.float 1e-12) "rate over zero elapsed time" 0.0
+    (Window.counter_rate cv);
+  let hw = Window.histogram_window hv in
+  check Alcotest.int "windowed sample count" 4 hw.Window.count;
+  check (Alcotest.float 1e-9) "windowed sum" 0.56 hw.Window.sum;
+  check (Alcotest.float 1e-12) "windowed p50 is a bucket upper bound" 0.01
+    hw.Window.p50;
+  check (Alcotest.float 1e-12) "windowed p99" 1.0 hw.Window.p99;
+  now := 1.0;
+  Window.tick w;
+  check (Alcotest.float 1e-12) "rate over one second" 5.0
+    (Window.counter_rate cv);
+  (* rotate the ring past the span: boundaries at t=2,3,4 remain, the
+     start boundary (t=2) postdates all the activity above *)
+  now := 2.0;
+  Window.tick w;
+  now := 3.0;
+  Window.tick w;
+  now := 4.0;
+  Window.tick w;
+  check Alcotest.int "counter activity aged out" 0 (Window.counter_delta cv);
+  check Alcotest.int "histogram activity aged out" 0
+    (Window.histogram_window hv).Window.count;
+  Window.Counter.add c 2;
+  check Alcotest.int "fresh activity visible" 2 (Window.counter_delta cv);
+  (* attaching back-fills every boundary with the current value, so a
+     pre-existing count never reads as a windowed burst *)
+  let late = Window.Counter.create "late" in
+  Window.Counter.add late 100;
+  let lv = Window.track_counter w late in
+  check Alcotest.int "attach back-fills history" 0 (Window.counter_delta lv);
+  Window.Counter.incr late;
+  check Alcotest.int "post-attach increments count" 1 (Window.counter_delta lv);
+  Window.Counter.reset late;
+  check Alcotest.int "external reset clamps at zero" 0 (Window.counter_delta lv)
+
+let test_window_clock_jump () =
+  let now = ref 0.0 in
+  let w = Window.create ~clock:(fun () -> !now) ~buckets:4 ~width_s:1.0 () in
+  let c = Window.Counter.create "jump" in
+  let cv = Window.track_counter w c in
+  Window.Counter.add c 7;
+  now := 1.0;
+  Window.tick w;
+  Window.Counter.add c 3;
+  (* the ticker stalls while the clock runs far past the span: every
+     boundary is stale, so readings fall back to the newest one *)
+  now := 500.0;
+  check Alcotest.int "stale ring falls back to the newest boundary" 3
+    (Window.counter_delta cv);
+  check (Alcotest.float 1e-9) "covered since the newest boundary" 499.0
+    (Window.covered_s w);
+  (* the next tick starts a short fresh window instead of a stale long
+     one *)
+  Window.tick w;
+  check Alcotest.int "fresh window after the jump" 0 (Window.counter_delta cv);
+  check (Alcotest.float 1e-12) "fresh window covers nothing yet" 0.0
+    (Window.covered_s w);
+  Window.Counter.incr c;
+  now := 500.5;
+  check Alcotest.int "new activity visible after the jump" 1
+    (Window.counter_delta cv);
+  check (Alcotest.float 1e-9) "rate over the fresh half second" 2.0
+    (Window.counter_rate cv)
+
+let test_window_validation () =
+  let clock () = 0.0 in
+  (match Window.create ~clock ~buckets:0 () with
+  | _ -> Alcotest.fail "buckets=0 accepted"
+  | exception Invalid_argument _ -> ());
+  (match Window.create ~clock ~width_s:0.0 () with
+  | _ -> Alcotest.fail "width_s=0 accepted"
+  | exception Invalid_argument _ -> ());
+  let w = Window.create ~clock () in
+  let hv = Window.track_histogram w (H.create "q") in
+  (match Window.histogram_quantile hv 1.5 with
+  | _ -> Alcotest.fail "quantile out of range accepted"
+  | exception Invalid_argument _ -> ());
+  check Alcotest.bool "empty windowed quantile is nan" true
+    (Float.is_nan (Window.histogram_quantile hv 0.5))
+
+(* Differential: drive a ring-of-buckets window and a brute-force list
+   model through the same op sequence (bumps, observations, clock
+   advances including jumps past the span, ticks) and demand identical
+   readings after every op. The model restates the spec directly —
+   retained boundaries newest-last, start = oldest retained inside the
+   span else the newest — so any ring-index slip in the implementation
+   shows up as a divergence. *)
+let window_differential_prop =
+  QCheck2.Test.make ~name:"obs: window matches a brute-force model" ~count:150
+    QCheck2.Gen.(
+      let op =
+        frequency
+          [
+            (3, map (fun n -> `Add n) (int_range 1 40));
+            (3, map (fun x -> `Obs x) (float_range 1e-6 50.0));
+            (4, map (fun dt -> `Advance dt) (float_range 0.0 2.5));
+            (1, return (`Advance 400.0));
+            (3, return `Tick);
+          ]
+      in
+      list_size (int_range 1 120) op)
+    (fun ops ->
+      let now = ref 1000.0 in
+      let buckets = 5 and width_s = 1.0 in
+      let w = Window.create ~clock:(fun () -> !now) ~buckets ~width_s () in
+      let c = Window.Counter.create "m" in
+      let h = H.create "mh" in
+      let cv = Window.track_counter w c in
+      let hv = Window.track_histogram w h in
+      let bounds = H.bounds h in
+      let span = float_of_int buckets *. width_s in
+      (* model boundaries, oldest first, at most [buckets] retained *)
+      let snap () = (!now, Window.Counter.value c, H.counts h, H.sum h) in
+      let bnds = ref [ snap () ] in
+      let newest_time () =
+        match List.rev !bnds with
+        | (t, _, _, _) :: _ -> t
+        | [] -> assert false
+      in
+      let start_boundary () =
+        let horizon = !now -. span in
+        let rec go = function
+          | [ last ] -> last
+          | ((t, _, _, _) as b) :: rest -> if t >= horizon then b else go rest
+          | [] -> assert false
+        in
+        go !bnds
+      in
+      let feq a b = (Float.is_nan a && Float.is_nan b) || a = b in
+      let agrees () =
+        let bt, bc, bcounts, bsum = start_boundary () in
+        let exp_delta = max 0 (Window.Counter.value c - bc) in
+        let dt = !now -. bt in
+        let exp_rate = if dt > 0.0 then float_of_int exp_delta /. dt else 0.0 in
+        let exp_counts =
+          Array.mapi (fun i x -> max 0 (x - bcounts.(i))) (H.counts h)
+        in
+        let exp_count = Array.fold_left ( + ) 0 exp_counts in
+        let exp_sum =
+          if exp_count = 0 then 0.0 else Float.max 0.0 (H.sum h -. bsum)
+        in
+        let exp_hrate =
+          if dt > 0.0 then float_of_int exp_count /. dt else 0.0
+        in
+        let q p = H.quantile_of ~bounds ~counts:exp_counts p in
+        let hw = Window.histogram_window hv in
+        Window.counter_delta cv = exp_delta
+        && feq (Window.counter_rate cv) exp_rate
+        && hw.Window.count = exp_count
+        && feq hw.Window.sum exp_sum
+        && feq hw.Window.rate exp_hrate
+        && feq hw.Window.p50 (q 0.5)
+        && feq hw.Window.p90 (q 0.9)
+        && feq hw.Window.p99 (q 0.99)
+        && feq (Window.covered_s w) (Float.max 0.0 dt)
+      in
+      List.for_all
+        (fun op ->
+          (match op with
+          | `Add n -> Window.Counter.add c n
+          | `Obs x -> H.observe h x
+          | `Advance dt -> now := !now +. dt
+          | `Tick ->
+            if !now -. newest_time () >= width_s then begin
+              bnds := !bnds @ [ snap () ];
+              let extra = List.length !bnds - buckets in
+              if extra > 0 then
+                bnds := List.filteri (fun i _ -> i >= extra) !bnds
+            end;
+            Window.tick w);
+          agrees ())
+        ops)
+
 let case name f = Alcotest.test_case name `Quick f
 
 let suites =
@@ -659,6 +869,15 @@ let suites =
         case "gauge max" test_gauge_max;
         case "labelled histogram" test_labelled_histogram_exposition;
         case "runtime and build gauges" test_runtime_and_build_gauges;
+        case "collect hooks sample at exposition"
+          test_collect_hook_samples_at_exposition;
+      ] );
+    ( "obs.window",
+      [
+        case "tracking, rotation and aging" test_window_basics;
+        case "clock-jump fallback" test_window_clock_jump;
+        case "argument validation" test_window_validation;
+        QCheck_alcotest.to_alcotest window_differential_prop;
       ] );
     ( "obs.jsonx",
       [

@@ -120,6 +120,34 @@ let () =
             check "latency.samples" (J.path [ "latency"; "samples" ] p))
           points)
       scenarios);
+  (* append is optional (only present when that experiment ran); when
+     present it carries both phases of the read-latency-under-appends
+     comparison: the baseline and during-appends sides each with qps
+     and latency quantiles, plus the append accounting and the p99
+     ratio the acceptance gate reads. *)
+  (match J.member "append" experiments with
+  | None -> ()
+  | Some append ->
+    let domains = number "append.domains" (J.member "domains" append) in
+    if domains < 1.0 then fail "append.domains < 1";
+    let check what v =
+      let x = number ("append." ^ what) v in
+      if x < 0.0 then fail "append.%s is negative" what
+    in
+    List.iter
+      (fun phase ->
+        check (phase ^ ".qps") (J.path [ phase; "qps" ] append);
+        check (phase ^ ".queries") (J.path [ phase; "queries" ] append);
+        check (phase ^ ".latency.p50_us") (J.path [ phase; "latency"; "p50_us" ] append);
+        check (phase ^ ".latency.p99_us") (J.path [ phase; "latency"; "p99_us" ] append);
+        check (phase ^ ".latency.samples")
+          (J.path [ phase; "latency"; "samples" ] append))
+      [ "baseline"; "during" ];
+    let appends = number "append.appends" (J.member "appends" append) in
+    if appends < 1.0 then fail "append.appends < 1 - no live appends folded";
+    check "promoted" (J.member "promoted" append);
+    check "generations" (J.member "generations" append);
+    check "p99_ratio" (J.member "p99_ratio" append));
   (* serve is optional (only present when that experiment ran); when
      present each scenario is one (name, clients) point of the loopback
      HTTP sweep and must carry wire qps, the shed count and latency

@@ -5,8 +5,9 @@
    Pairs up every qps series the two documents share — the qps
    experiment's scenarios, the cached/uncached sides of each session
    scenario, each (scenario, domain count) point of the concurrent
-   experiment and each (scenario, client count) point of the serve
-   experiment — and fails (exit 1) when NEW is slower than OLD by more
+   experiment, each (scenario, client count) point of the serve
+   experiment and the append experiment's baseline read phase — and
+   fails (exit 1) when NEW is slower than OLD by more
    than the tolerance (default 20%). A series present in OLD but absent
    from NEW is also a failure: silently dropping a benchmark must not
    pass the gate. End-to-end latency percentiles are reported for
@@ -14,9 +15,10 @@
    stabler signal.
 
    The serve experiment's per-phase p99s (the /statusz attribution)
-   ARE gated, in the opposite direction — NEW must not be slower —
-   under their own much looser --phase-tolerance (default 400%) plus a
-   500us absolute slack, because microsecond-scale phases are noisy
+   and the append experiment's read p99s (baseline and during a live
+   append stream) ARE gated, in the opposite direction — NEW must not
+   be slower — under their own much looser --phase-tolerance (default
+   400%) plus a 500us absolute slack, because microsecond-scale phases are noisy
    where whole-window qps is not. The gate exists to catch a phase
    blowing up by an order of magnitude (a queue suddenly dominating, a
    write path gone quadratic), not to litigate scheduler jitter.
@@ -123,7 +125,19 @@ let series doc =
             | _ -> die "serve scenario %S lacks clients/qps" (name s))
           l)
   in
+  let append_sides =
+    match Jsonx.path [ "experiments"; "append" ] doc with
+    | None -> []
+    | Some a ->
+      List.filter_map
+        (fun side ->
+          match num [ side; "qps" ] a with
+          | Some q -> Some ("append/" ^ side, q)
+          | None -> die "experiments.append.%s has no qps" side)
+        [ "baseline" ]
+  in
   qps_scenarios @ session_scenarios @ concurrent_scenarios @ serve_scenarios
+  @ append_sides
 
 (* The dispatch microbench's (mode, domains) points as (label, qps)
    pairs, gated separately under the loose dispatch tolerance. *)
@@ -161,6 +175,22 @@ let phase_series doc =
     | Some s -> s
     | None -> die "scenario without a name field"
   in
+  (* the append experiment's read p99s ride the same inverse gate:
+     "read latency under a live append stream must not blow up" is
+     exactly the regression this experiment exists to catch *)
+  let append_p99s =
+    match Jsonx.path [ "experiments"; "append" ] doc with
+    | None -> []
+    | Some a ->
+      List.filter_map
+        (fun side ->
+          match num [ side; "latency"; "p99_us" ] a with
+          | Some p -> Some (Printf.sprintf "append/%s/read_p99" side, p)
+          | None -> die "experiments.append.%s lacks latency.p99_us" side)
+        [ "baseline"; "during" ]
+  in
+  append_p99s
+  @
   match Jsonx.path [ "experiments"; "serve"; "scenarios" ] doc with
   | None -> []
   | Some v -> (

@@ -155,7 +155,7 @@ let flood_phase engine config =
       (* fold the server's own window into a reading and grade it with
          the pure engine; /healthz must say exactly the same thing *)
       let _, sz = get_json url "/statusz" in
-      let queries = int_of_float (num sz [ "window"; "queries" ]) in
+      let executed = int_of_float (num sz [ "window"; "executed" ]) in
       let shed = int_of_float (num sz [ "window"; "shed" ]) in
       let errors_5xx = int_of_float (num sz [ "window"; "http_5xx" ]) in
       if shed = 0 then die "flood shed nothing - the queue bound never bit";
@@ -163,7 +163,7 @@ let flood_phase engine config =
         Health.evaluate Health.default_thresholds
           {
             Health.window_s = num sz [ "window"; "covered_s" ];
-            queries;
+            executed;
             shed;
             errors_5xx;
             exec_p99_s = nan;
@@ -173,16 +173,16 @@ let flood_phase engine config =
       let state = str hz "state" in
       if state <> Health.state_name expected then
         die
-          "healthz grades %S but the statusz window (queries %d, shed %d, \
+          "healthz grades %S but the statusz window (executed %d, shed %d, \
            5xx %d) grades %S"
-          state queries shed errors_5xx
+          state executed shed errors_5xx
           (Health.state_name expected);
       if status <> Health.status_code expected then
         die "healthz answered %d, the %S verdict demands %d" status state
           (Health.status_code expected);
       Printf.printf
-        "health smoke: flood phase ok (%d windowed queries, %d shed -> %s)\n"
-        queries shed state)
+        "health smoke: flood phase ok (%d windowed executed, %d shed -> %s)\n"
+        executed shed state)
 
 let () =
   let db = Olar_datagen.Quest.generate params in

@@ -1033,6 +1033,146 @@ let concurrent config =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Append latency: read service under a live append stream. The old
+   pool quiesced on every append — a fold stalled every in-flight
+   reader behind a barrier. Snapshot publication folds the delta off
+   to the side and swaps a pointer, so a read's wall-clock latency
+   (submit to completion) should stay put while appends stream
+   through. Two phases over the same closed loop of raw [Pool.submit]
+   reads with no drains: a baseline without appends, then the same
+   loop with a small Append folded after every [append_every] reads.
+   compare_json holds both phases' read p99 against the recorded
+   BENCH_T10I4.json values. *)
+
+let append_bench config =
+  section
+    "Append latency: read p99 under a live append stream\n\
+     (RCU snapshot publication; raw Pool.submit, no drains)";
+  let e = engine config ~t:10 ~i:4 ~primary:0.002 in
+  let _, db = dataset config ~t:10 ~i:4 in
+  let lat = Olar_core.Engine.lattice e in
+  let singles = Olar_util.Vec.create () in
+  Olar_core.Lattice.iter_vertices
+    (fun v ->
+      if Olar_core.Lattice.cardinal lat v = 1 then Olar_util.Vec.push singles v)
+    lat;
+  let single k =
+    Olar_core.Lattice.itemset lat
+      (Olar_util.Vec.get singles (k mod Olar_util.Vec.length singles))
+  in
+  let read k =
+    match k mod 4 with
+    | 0 ->
+      Olar_serve.Pool.Find_itemsets { containing = single k; minsup = 0.002 }
+    | 1 ->
+      Olar_serve.Pool.Count_itemsets
+        { containing = Itemset.empty; minsup = 0.005 }
+    | 2 ->
+      Olar_serve.Pool.Single_consequent_rules
+        { containing = Itemset.empty; minsup = 0.0075; minconf = 0.5 }
+    | _ ->
+      Olar_serve.Pool.Support_for_k_itemsets { containing = single k; k = 100 }
+  in
+  let rng = Random.State.make [| config.seed; 0xa99e |] in
+  let delta () =
+    let rows =
+      List.init 5 (fun _ -> Itemset.to_list (single (Random.State.int rng 4096)))
+    in
+    Database.of_lists ~num_items:(Database.num_items db) rows
+  in
+  let domains = max 1 (min 4 (Domain.recommended_domain_count ())) in
+  let append_every = 500 in
+  let cap = 1 lsl 18 in
+  (* One phase. Wall-clock latency per read is captured from submit in
+     the callback's closure; callbacks run on whichever domain executed
+     the request, so each writes its own pre-assigned slot and the
+     histogram is folded after the drain. *)
+  let phase ~with_appends pool =
+    let lats = Array.make cap 0.0 in
+    let budget = 1.0 in
+    let timer = Olar_util.Timer.start () in
+    let submitted = ref 0 in
+    let appends = ref 0 in
+    let promoted = ref 0 in
+    while Olar_util.Timer.elapsed_s timer < budget && !submitted < cap do
+      let idx = !submitted in
+      let t0 = Olar_util.Timer.elapsed_s timer in
+      Olar_serve.Pool.submit pool (read idx) (fun _ _ ->
+          lats.(idx) <- Olar_util.Timer.elapsed_s timer -. t0);
+      incr submitted;
+      if with_appends && !submitted mod append_every = 0 then begin
+        incr appends;
+        (* folds inline on the coordinator; reads already submitted
+           keep executing on the old snapshot meanwhile *)
+        Olar_serve.Pool.submit pool
+          (Olar_serve.Pool.Append (delta ()))
+          (fun resp _ ->
+            match resp with
+            | Olar_serve.Pool.R_promoted _ -> incr promoted
+            | _ -> ())
+      end
+    done;
+    Olar_serve.Pool.drain pool;
+    let dt = Olar_util.Timer.elapsed_s timer in
+    let hist = Olar_obs.Metrics.Histogram.create "read_latency" in
+    for i = 0 to !submitted - 1 do
+      Olar_obs.Metrics.Histogram.observe hist lats.(i)
+    done;
+    (!submitted, dt, hist, !appends, !promoted)
+  in
+  let run_phase ~with_appends =
+    Olar_serve.Pool.with_pool ~domains ~budget_bytes:0 e (fun pool ->
+        let r = phase ~with_appends pool in
+        let gen = Olar_serve.Pool.generation pool in
+        (r, gen))
+  in
+  let (bq, bdt, bh, _, _), _ = run_phase ~with_appends:false in
+  let (dq, ddt, dh, da, dp), dgen = run_phase ~with_appends:true in
+  let q hist p = 1e6 *. Olar_obs.Metrics.Histogram.quantile hist p in
+  let bp99 = q bh 0.99 and dp99 = q dh 0.99 in
+  let ratio = if bp99 > 0.0 then dp99 /. bp99 else 0.0 in
+  Printf.printf "%-22s %-10s %-12s %-10s %-10s %-9s\n" "phase" "reads" "qps"
+    "p50 us" "p99 us" "appends";
+  Printf.printf "%-22s %-10d %-12.0f %-10.1f %-10.1f %-9s\n" "baseline" bq
+    (float_of_int bq /. bdt)
+    (q bh 0.5) bp99 "-";
+  Printf.printf "%-22s %-10d %-12.0f %-10.1f %-10.1f %d (%d ok)\n"
+    "during appends" dq
+    (float_of_int dq /. ddt)
+    (q dh 0.5) dp99 da dp;
+  Printf.printf "read p99 during appends / baseline: %.2fx (%d generations)\n"
+    ratio dgen;
+  let side (queries, dt, hist, _, _) =
+    Jsonx.Obj
+      [
+        ("queries", Jsonx.Int queries);
+        ("seconds", Jsonx.Float dt);
+        ("qps", Jsonx.Float (float_of_int queries /. dt));
+        ( "latency",
+          Jsonx.Obj
+            [
+              ("samples", Jsonx.Int (Olar_obs.Metrics.Histogram.count hist));
+              ("mean_us", Jsonx.Float (1e6 *. Olar_obs.Metrics.Histogram.mean hist));
+              ("p50_us", Jsonx.Float (q hist 0.5));
+              ("p90_us", Jsonx.Float (q hist 0.9));
+              ("p99_us", Jsonx.Float (q hist 0.99));
+            ] );
+      ]
+  in
+  record_json "append"
+    (Jsonx.Obj
+       [
+         ("domains", Jsonx.Int domains);
+         ("append_every", Jsonx.Int append_every);
+         ("baseline", side (bq, bdt, bh, 0, 0));
+         ("during", side (dq, ddt, dh, da, dp));
+         ("appends", Jsonx.Int da);
+         ("promoted", Jsonx.Int dp);
+         ("generations", Jsonx.Int dgen);
+         ("p99_ratio", Jsonx.Float ratio);
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* Network serving: closed-loop loopback HTTP clients against an
    in-process olar serve (lib/net). Where the concurrent experiment
    measures raw pool rounds, this one measures the whole wire path —
@@ -1385,6 +1525,7 @@ let all_experiments =
     ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("table3", table3);
     ("fig11", fig11); ("fig12", fig12); ("scaling", scaling); ("qps", qps);
     ("session", session_bench); ("concurrent", concurrent);
+    ("append", append_bench);
     ("serve", serve_bench); ("miners", miners);
     ("ablate-sort", ablate_sort);
     ("ablate-cache", ablate_cache); ("ablate-miner", ablate_miner);

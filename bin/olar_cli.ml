@@ -1206,8 +1206,9 @@ let replay_cmd =
       & info [ "domains" ]
           ~doc:
             "Replay through a serving pool of $(docv) domains (one shared \
-             lattice, per-domain sessions; requests stream continuously and \
-             appends quiesce the stream) instead \
+             lattice, per-domain sessions; requests stream continuously, and \
+             the replay drains the stream before each append so the log's \
+             sequential epochs are reproduced exactly) instead \
              of a single serial session. With $(b,--trace), each domain's \
              spans are buffered in its own shard and merged domain-tagged \
              into the trace file."
@@ -1293,8 +1294,9 @@ let replay_cmd =
        ~doc:
          "Re-execute a captured query log against a lattice, verifying every \
           result digest and reporting latency/work deltas versus the recorded \
-          run. With $(b,--domains) the log is served by a domain pool (appends \
-          act as barriers). Exits nonzero on any digest mismatch.")
+          run. With $(b,--domains) the log is served by a domain pool, \
+          draining at each append to reproduce the log's sequential epochs. \
+          Exits nonzero on any digest mismatch.")
     Term.(
       const run $ lattice_arg $ log_arg $ cache_mb_arg $ serve_domains_arg
       $ explain_flag $ metrics_flag $ trace_out_arg)

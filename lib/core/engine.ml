@@ -52,6 +52,13 @@ let with_obs t obs =
   set_lattice_gauges obs t.lattice;
   { t with obs }
 
+(* A per-domain view: same lattice, same obs, same epoch — only the
+   scratch is private. Views of one engine are interchangeable for
+   answers (the lattice is immutable) and distinguishable for nothing:
+   keeping the epoch shared is what lets the serving pool stamp every
+   response of one published snapshot with one generation. *)
+let view t = { t with scratch = Scratch.create t.lattice }
+
 (* Surface the mining work counters in the registry. The attached
    counters ARE the [Stats.t] fields — the miner keeps bumping the same
    cells the registry reads, so there is no copying step to forget. *)

@@ -96,6 +96,15 @@ val of_lattice : ?obs:Olar_obs.Obs.t -> Lattice.t -> t
     are structurally impossible. *)
 val epoch : t -> int
 
+(** [view t] is a per-domain view of [t]: the {b same} lattice, obs
+    context and epoch, with a private {!Olar_core.Scratch}. Because the
+    lattice is immutable once built (see [lattice.mli]), views answer
+    identically to [t] and may run concurrently on other domains; the
+    shared epoch means a result cache treats [t] and its views as the
+    same database state. This is the unit the serving pool publishes:
+    one snapshot = one engine + one view per worker domain. *)
+val view : t -> t
+
 (** {1 Telemetry access} *)
 
 (** [obs t] is the engine's telemetry context (possibly disabled). *)

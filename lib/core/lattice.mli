@@ -39,9 +39,14 @@
     accident: the serving pool ({!module:Olar_serve} [Pool]) shares one
     lattice by reference across every worker domain with no locking,
     and each domain layers its own mutable state ({!Scratch},
-    session caches) on top. Any future change that adds interior
-    mutability must also add synchronization there. Query kernels must
-    route all per-query mutable state through {!Scratch}. *)
+    session caches) on top. The pool's non-blocking appends lean on it
+    even harder: an append folds into a {e new} lattice published as an
+    immutable snapshot by a single atomic pointer swap, while readers
+    keep traversing the old one untouched — RCU with no read-side
+    barrier, sound only because neither lattice ever changes under
+    them. Any future change that adds interior mutability must also
+    add synchronization there. Query kernels must route all per-query
+    mutable state through {!Scratch}. *)
 
 open Olar_data
 

@@ -26,15 +26,35 @@ let parse_url url =
       | _ -> Error ("invalid host:port: " ^ hostport))
   end
 
+(* A signal mid-send must not abort the request (EINTR: written = 0,
+   retry), and a send that times out against a peer that stopped
+   reading (SO_SNDTIMEO surfaces it as EAGAIN/EWOULDBLOCK) must come
+   back as a message callers can match on — [request] turns the
+   [Failure] into [Error "send timeout"]. *)
 let write_all fd s =
   let len = String.length s in
   let b = Bytes.unsafe_of_string s in
   let rec go off =
     if off < len then
-      let n = Unix.write fd b off (len - off) in
+      let n =
+        try Unix.write fd b off (len - off) with
+        | Unix.Unix_error (Unix.EINTR, _, _) -> 0
+        | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          failwith "send timeout"
+      in
       go (off + n)
   in
   go 0
+
+(* The read-side mirror: retry EINTR, name a receive timeout. *)
+let read_chunk fd chunk =
+  let rec go () =
+    try Unix.read fd chunk 0 (Bytes.length chunk) with
+    | Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      failwith "receive timeout"
+  in
+  go ()
 
 (* Read until the header/body split, then until Content-Length bytes of
    body are in (or EOF for a response without the header). *)
@@ -55,7 +75,7 @@ let read_response fd =
     match header_end buf with
     | Some split -> Some split
     | None -> (
-      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      match read_chunk fd chunk with
       | 0 -> None
       | n ->
         Buffer.add_subbytes buf chunk 0 n;
@@ -93,30 +113,33 @@ let read_response fd =
       let rec fill_body target =
         if Buffer.length buf - split >= target then ()
         else
-          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          match read_chunk fd chunk with
           | 0 -> ()
           | n ->
             Buffer.add_subbytes buf chunk 0 n;
             fill_body target
       in
       (match content_length with
-      | Some n -> fill_body n
+      | Some n ->
+        fill_body n;
+        (* a peer that closes before Content-Length bytes arrive has
+           truncated the body — an error, never an Ok with a short
+           body the caller would misparse downstream *)
+        let got = Buffer.length buf - split in
+        if got < n then
+          Error (Printf.sprintf "truncated body (got %d of %d bytes)" got n)
+        else Ok (status, Buffer.sub buf split n)
       | None ->
         (* no Content-Length: read to EOF *)
         let rec drain () =
-          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          match read_chunk fd chunk with
           | 0 -> ()
           | n ->
             Buffer.add_subbytes buf chunk 0 n;
             drain ()
         in
-        drain ());
-      let body_len =
-        match content_length with
-        | Some n -> min n (Buffer.length buf - split)
-        | None -> Buffer.length buf - split
-      in
-      Ok (status, Buffer.sub buf split body_len))
+        drain ();
+        Ok (status, Buffer.sub buf split (Buffer.length buf - split))))
 
 let request ?(timeout_s = 5.0) ~url ~meth ?(body = "") path =
   match parse_url url with

@@ -11,6 +11,26 @@
     80; the path defaults to ["/"]. *)
 val parse_url : string -> (string * int * string, string) result
 
+(** {1 Wire-level helpers}
+
+    The send/receive halves of {!get}/{!post}, exposed so the loopback
+    tests can drive them against raw sockets (tiny [SO_SNDBUF],
+    half-closed peers) without a server in the way. *)
+
+(** [write_all fd s] writes all of [s], looping over short writes and
+    retrying [EINTR]. A send timeout ([SO_SNDTIMEO] expiring as
+    [EAGAIN]/[EWOULDBLOCK]) raises [Failure "send timeout"] — which
+    {!get}/{!post} surface as [Error "send timeout"]. *)
+val write_all : Unix.file_descr -> string -> unit
+
+(** [read_response fd] reads one HTTP/1.1 response: headers, then
+    [Content-Length] bytes of body (or to EOF without the header).
+    A peer that closes before [Content-Length] bytes arrive yields
+    [Error "truncated body (got N of M bytes)"], never a silently
+    short [Ok]. [EINTR] is retried; a receive timeout raises
+    [Failure "receive timeout"]. *)
+val read_response : Unix.file_descr -> (int * string, string) result
+
 (** [get ~url path] issues [GET path] against the host/port of [url]
     (any path inside [url] itself is ignored) and returns
     [(status, body)]. [timeout_s] bounds connect and each read

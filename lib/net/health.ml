@@ -25,11 +25,21 @@ let with_slo_p99 t ~slo_s =
 
 type reading = {
   window_s : float;
-  queries : int;
+  executed : int;
   shed : int;
   errors_5xx : int;
   exec_p99_s : float;
 }
+
+(* Everything that arrived and was decided in the window: executed to
+   completion or shed. The denominator of every rate, and the
+   [min_events] activity floor. Using executed alone for either is the
+   bug this replaces: sheds land at decision time while arrivals are
+   stamped on intake, so a wedged server shedding 100% of its backlog
+   with no fresh intake would never trip the floor and grade Ok — and
+   windowed skew between the two stamps could push shed_rate past
+   100%. *)
+let arrivals r = r.executed + r.shed
 
 type state =
   | Ok
@@ -56,9 +66,10 @@ let check name value fmt limits (degraded, unhealthy) =
   else (degraded, unhealthy)
 
 let evaluate t r =
-  if r.queries < t.min_events then Ok
+  let events = arrivals r in
+  if events < t.min_events then Ok
   else begin
-    let rate n = float_of_int n /. float_of_int (max 1 r.queries) in
+    let rate n = float_of_int n /. float_of_int (max 1 events) in
     let pct v = Printf.sprintf "%.1f%%" (v *. 100.0) in
     let ms v = Printf.sprintf "%.1fms" (v *. 1e3) in
     let acc = ([], []) in

@@ -11,9 +11,12 @@
     limits: crossing [degraded] marks the server degraded (still
     [200], so naive probes keep routing to it while operators see the
     reason), crossing [unhealthy] answers [503] so load balancers pull
-    it. A reading over fewer than [min_events] windowed queries is
-    never judged unhealthy — a cold or idle server is [Ok], and one
-    unlucky request out of three cannot flip the fleet. *)
+    it. Every rate is over {!arrivals} — executed {b plus} shed — so
+    shed traffic is graded: a server shedding 100% of its load is
+    unhealthy even when nothing executes. A reading over fewer than
+    [min_events] windowed arrivals is never judged unhealthy — a cold
+    or idle server is [Ok], and one unlucky request out of three
+    cannot flip the fleet. *)
 
 (** Two severity cut-offs for one check; [nan]/[infinity] disable a
     level. *)
@@ -24,14 +27,14 @@ type limits = {
 
 type thresholds = {
   shed_rate : limits;
-      (** shed (429 + 503-deadline) queries / windowed queries *)
-  error_rate : limits;  (** 5xx responses / windowed queries *)
+      (** shed (429 + 503-deadline) queries / windowed {!arrivals} *)
+  error_rate : limits;  (** 5xx responses / windowed {!arrivals} *)
   p99_s : limits;
       (** windowed execute-phase p99 in seconds — wire [--slo-p99-ms]
           to [degraded] and a multiple of it to [unhealthy] *)
   min_events : int;
-      (** below this many windowed queries the rates and p99 are not
-          judged (default 20) *)
+      (** below this many windowed {!arrivals} the rates and p99 are
+          not judged (default 20) *)
 }
 
 (** Defaults: shed 1% / 25%, 5xx 1% / 25%, p99 disabled,
@@ -46,12 +49,20 @@ val with_slo_p99 : thresholds -> slo_s:float -> thresholds
 (** One windowed snapshot of the server's load-bearing signals. *)
 type reading = {
   window_s : float;  (** seconds of telemetry the window covers *)
-  queries : int;  (** /query requests admitted or shed in the window *)
+  executed : int;
+      (** /query requests executed to completion in the window
+          (including 422 query errors) *)
   shed : int;  (** 429 + deadline-503 sheds in the window *)
   errors_5xx : int;  (** 5xx responses in the window *)
   exec_p99_s : float;
       (** windowed execute-phase p99; [nan] when no sample *)
 }
+
+(** [arrivals r] is [r.executed + r.shed]: every request decided in the
+    window. The denominator of all rates and the [min_events] floor —
+    both counted at decision time, so a full-shed outage with no
+    executed queries still trips the floor and grades unhealthy. *)
+val arrivals : reading -> int
 
 type state =
   | Ok

@@ -326,7 +326,7 @@ let admit t ticket =
    preserving the digest-exact replay property of single-client
    captures. Mirrors Recorder: a query that errored emits nothing and
    does not advance the sequence. *)
-let record_one t (ticket : ticket) resp latency_s =
+let record_one t (ticket : ticket) resp (c : Pool.completion) =
   match t.rec_oc with
   | None -> ()
   | Some oc -> (
@@ -341,10 +341,14 @@ let record_one t (ticket : ticket) resp latency_s =
           cache = Record.Passthrough;
           digest;
           result_size = result_size resp;
-          latency_s;
+          latency_s = c.Pool.latency_s;
           vertices = 0;
           heap_pops = 0;
-          epoch = Engine.epoch (Pool.engine t.pool);
+          (* the executing domain's adopted view, never the
+             coordinator's: with non-blocking appends,
+             [Pool.engine t.pool] may already be a generation ahead of
+             the snapshot this response was computed on *)
+          epoch = c.Pool.epoch;
         }
       in
       t.rec_seq <- t.rec_seq + 1;
@@ -368,12 +372,13 @@ let dispatch_one t ticket =
   end
   else begin
     ticket.t_claim <- now;
-    Pool.submit t.pool ticket.req (fun resp dt ->
+    Pool.submit t.pool ticket.req (fun resp c ->
+        let dt = c.Pool.latency_s in
         let done_s = Timer.monotonic_s () in
         ticket.t_exec_done <- done_s;
         ticket.t_exec_start <- done_s -. dt;
         ticket.exec_domain <- (Domain.self () :> int);
-        (try record_one t ticket resp dt
+        (try record_one t ticket resp c
          with e ->
            Printf.eprintf "olar-serve: capture write failed: %s\n%!"
              (Printexc.to_string e));
@@ -417,8 +422,13 @@ let refresh_domain_gauges t =
 let health_reading t =
   Window.tick t.win;
   {
+    (* [executed] comes from the request histogram — observed only on
+       Served outcomes — not from [c_queries], which stamps arrivals at
+       intake: health rates divide by executed + shed, both counted at
+       decision time, so a wedged server shedding its backlog with no
+       fresh intake still trips the [min_events] floor. *)
     Health.window_s = Window.covered_s t.win;
-    queries = Window.counter_delta t.w_queries;
+    executed = (Window.histogram_window t.w_request).Window.count;
     shed =
       Window.counter_delta t.w_shed_queue
       + Window.counter_delta t.w_shed_deadline;
@@ -633,6 +643,9 @@ let window_json t =
       ("covered_s", Jsonx.Float (Window.covered_s t.win));
       ("qps", Jsonx.Float (Window.counter_rate t.w_queries));
       ("queries", Jsonx.Int (Window.counter_delta t.w_queries));
+      (* decided-to-completion in the window — what health grades
+         against, where [queries] above is stamped at intake *)
+      ("executed", Jsonx.Int (Window.histogram_window t.w_request).Window.count);
       ( "shed",
         Jsonx.Int
           (Window.counter_delta t.w_shed_queue
@@ -667,7 +680,8 @@ let health_json t =
       ( "reasons",
         Jsonx.Arr (List.map (fun r -> Jsonx.Str r) (Health.reasons state)) );
       ("window_s", Jsonx.Float reading.Health.window_s);
-      ("queries", Jsonx.Int reading.Health.queries);
+      ("queries", Jsonx.Int (Health.arrivals reading));
+      ("executed", Jsonx.Int reading.Health.executed);
       ("shed", Jsonx.Int reading.Health.shed);
       ("http_5xx", Jsonx.Int reading.Health.errors_5xx);
       ( "exec_p99_ms",
@@ -952,7 +966,9 @@ let healthz t =
              Jsonx.Arr (List.map (fun r -> Jsonx.Str r) (Health.reasons state))
            );
            ("window_s", Jsonx.Float reading.Health.window_s);
-           ("queries", Jsonx.Int reading.Health.queries);
+           ("queries", Jsonx.Int (Health.arrivals reading));
+           ("executed", Jsonx.Int reading.Health.executed);
+           ("shed", Jsonx.Int reading.Health.shed);
          ])
     ^ "\n"
   in

@@ -256,10 +256,13 @@ let run_pool ?(on_response = fun _ _ ~ok:_ -> ()) pool records =
   (* Convert every record up front; a structurally incomplete record is
      an error outcome without executing anything. The valid requests
      are streamed through {!Pool.submit} — the same continuous path the
-     server drainer uses — with appends quiescing mid-stream, so the
-     replay sees exactly the capture's sequential epochs. Each callback
-     writes a distinct slot of [out], so completion order is free to
-     differ from submission order. *)
+     server drainer uses — except that the stream drains before each
+     append: pool appends publish without quiescing, and a capture's
+     digests are only meaningful if every query replays on the same
+     database state it was recorded against, so the replay re-imposes
+     the capture's sequential epochs at append boundaries. Each
+     callback writes a distinct slot of [out], so completion order is
+     free to differ from submission order. *)
   let converted = List.map (fun r -> (r, request_of_record r)) records in
   let reqs =
     Array.of_list (List.filter_map (fun (_, q) -> Result.to_option q) converted)
@@ -273,7 +276,10 @@ let run_pool ?(on_response = fun _ _ ~ok:_ -> ()) pool records =
   let v0 = value v_cell and h0 = value h_cell in
   let out = Array.make (Array.length reqs) (Pool.R_error "unreplayed", 0.0) in
   Array.iteri
-    (fun i req -> Pool.submit pool req (fun resp dt -> out.(i) <- (resp, dt)))
+    (fun i req ->
+      (match req with Pool.Append _ -> Pool.drain pool | _ -> ());
+      Pool.submit pool req (fun resp c ->
+          out.(i) <- (resp, c.Pool.latency_s)))
     reqs;
   Pool.drain pool;
   let idx = ref 0 in

@@ -43,8 +43,29 @@ type response =
   | R_promoted of { promoted : Itemset.t list; db_size : int }
   | R_error of string
 
-let null_deliver (_ : response) (_ : float) = ()
+type completion = {
+  latency_s : float;
+  epoch : int;
+  gen : int;
+}
+
+let null_deliver (_ : response) (_ : completion) = ()
 let dummy_request = Count_itemsets { containing = Itemset.empty; minsup = 1.0 }
+
+(* ------------------------------------------------------------------ *)
+(* Published snapshots                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* One published database state: the engine the coordinator serves on
+   plus a pre-built per-worker view ({!Engine.view}: same lattice, same
+   epoch, private scratch) for every worker slot. The record is
+   immutable; appends build the next one off to the side and swap the
+   [published] pointer. *)
+type snapshot = {
+  gen : int; (* 0 at [create], +1 per successful append fold *)
+  engine : Engine.t;
+  views : Engine.t array; (* length num_domains - 1; views.(w) = slot w+1 *)
+}
 
 (* ------------------------------------------------------------------ *)
 (* Submission shards                                                  *)
@@ -61,7 +82,7 @@ let dummy_request = Count_itemsets { containing = Itemset.empty; minsup = 1.0 }
    request in flight costs zero allocation inside the pool. *)
 type cell = {
   mutable c_req : request;
-  mutable c_deliver : response -> float -> unit;
+  mutable c_deliver : response -> completion -> unit;
   mutable c_submitted : float; (* Timer.monotonic_s at submit *)
   c_seq : int Atomic.t;
 }
@@ -87,7 +108,7 @@ type shard = {
    nothing and the producer can reuse the slot immediately. *)
 type slot = {
   mutable s_req : request;
-  mutable s_deliver : response -> float -> unit;
+  mutable s_deliver : response -> completion -> unit;
   mutable s_submitted : float;
 }
 
@@ -115,9 +136,11 @@ let make_slot () =
   { s_req = dummy_request; s_deliver = null_deliver; s_submitted = 0.0 }
 
 type t = {
-  mutable engine : Engine.t; (* the coordinator's view; swapped at appends *)
+  published : snapshot Atomic.t; (* swapped by the coordinator at appends *)
   num_domains : int;
   sessions : Session.t array; (* slot 0 = coordinator, 1.. = workers *)
+  adopted : int Atomic.t array; (* per-slot adopted generation *)
+  mutable retired : snapshot list; (* coordinator-only; see [reclaim] *)
   mutable workers : unit Domain.t array;
   shards : shard array; (* length num_domains - 1; shard k feeds slot k+1 *)
   mutable rr : int; (* coordinator-only rotation seed for shard picks *)
@@ -184,9 +207,44 @@ let execute session req =
     | Boundary { target; constraints; minconf } ->
       R_entries (Session.boundary ~constraints session ~target ~minconf)
     | Append _ ->
-      (* appends quiesce and fold on the coordinator, never in a shard *)
+      (* appends fold on the coordinator inside [submit], never in a shard *)
       R_error "Pool: append reached a worker"
   with e -> R_error (Printexc.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot adoption and reclamation                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Move slot [idx] onto the currently published snapshot if it is
+   behind. Called by a worker right after a winning claim (the claim's
+   stamp read happened after the producer's stamp write, which happened
+   after any publish that preceded the submit — SC atomics — so a
+   request submitted after an append can never execute on the
+   pre-append snapshot) and again before parking, so an idle domain
+   never pins a retired snapshot. [adopted.(idx)] is written only by
+   the slot's own domain (slot 0 by the coordinator inside the fold);
+   it is atomic so [reclaim] can read every slot from the
+   coordinator. *)
+let maybe_adopt t idx =
+  let snap = Atomic.get t.published in
+  if snap.gen > Atomic.get t.adopted.(idx) then begin
+    Session.adopt_engine t.sessions.(idx) snap.views.(idx - 1);
+    Atomic.set t.adopted.(idx) snap.gen
+  end
+
+(* Drop every retired snapshot that no slot can still be executing on:
+   once min(adopted) has advanced past gen g, no future claim can run
+   on the gen-g snapshot (claims adopt forward, never backward), so it
+   is unreachable and the GC may have it. Coordinator-only — [retired]
+   is an ordinary mutable field. *)
+let reclaim t =
+  match t.retired with
+  | [] -> ()
+  | retired ->
+    let floor =
+      Array.fold_left (fun m a -> min m (Atomic.get a)) max_int t.adopted
+    in
+    t.retired <- List.filter (fun s -> s.gen >= floor) retired
 
 (* ------------------------------------------------------------------ *)
 (* Shard operations                                                   *)
@@ -266,6 +324,16 @@ let wake t k =
     in
     scan 1
 
+(* Wake every parked worker — the publish-side half of adoption. Pairs
+   with the worker's park sequence the same way [wake] pairs with the
+   emptiness recheck: either this scan sees the worker's [parked] flag
+   and signals it awake (it adopts at the top of its loop), or the
+   worker set the flag after the scan read it, in which case the
+   worker's own pre-park [maybe_adopt] — which runs after setting the
+   flag — is ordered after the publish and sees the new snapshot. *)
+let wake_all t =
+  Array.iter (fun sh -> if Atomic.get sh.parked then unpark sh) t.shards
+
 (* ------------------------------------------------------------------ *)
 (* Execution of a claimed request                                     *)
 (* ------------------------------------------------------------------ *)
@@ -283,6 +351,10 @@ let finish_one t =
     Mutex.unlock t.qmu
   end
 
+(* The completion stamps the view the request actually executed on:
+   [adopted.(idx)] is written only by this slot's domain, so even if an
+   append publishes mid-execution the recorded gen/epoch stay those of
+   the snapshot this execution read. *)
 let exec_slot t idx slot =
   let req = slot.s_req and deliver = slot.s_deliver in
   slot.s_req <- dummy_request;
@@ -293,13 +365,21 @@ let exec_slot t idx slot =
   let resp = execute t.sessions.(idx) req in
   let dt = Float.max 0.0 (Timer.monotonic_s () -. t0) in
   note_work t idx dt;
-  (try deliver resp dt with e -> record_deliver_exn t e);
+  let c =
+    {
+      latency_s = dt;
+      epoch = Engine.epoch (Session.engine t.sessions.(idx));
+      gen = Atomic.get t.adopted.(idx);
+    }
+  in
+  (try deliver resp c with e -> record_deliver_exn t e);
   finish_one t
 
 (* Coordinator-side help: claim and execute one queued request on the
    coordinator's session. Keeps the caller's domain a full serving
    participant during batch drains, and doubles as backpressure when
-   every ring is full. *)
+   every ring is full. The coordinator is always on the latest
+   snapshot (it is the one that publishes), so no adoption check. *)
 let help_one t =
   let n = Array.length t.shards in
   let rec scan k =
@@ -326,6 +406,8 @@ let worker_loop t w =
   let rec go () =
     if not (Atomic.get t.stop) then
       if claim 0 then begin
+        (* adopt after the claim, before executing: see [maybe_adopt] *)
+        maybe_adopt t idx;
         exec_slot t idx slot;
         go ()
       end
@@ -338,6 +420,10 @@ let worker_loop t w =
         Atomic.set own.parked true;
         if has_work t || Atomic.get t.stop then Atomic.set own.parked false
         else begin
+          (* adopt before sleeping: after setting [parked], so the
+             ordering against [wake_all] holds (see its comment), and an
+             idle domain releases its reference to a retired snapshot *)
+          maybe_adopt t idx;
           Mutex.lock own.pmu;
           while Atomic.get own.parked && not (Atomic.get t.stop) do
             Condition.wait own.pcv own.pmu
@@ -364,13 +450,13 @@ let create ?domains ?budget_bytes engine =
   in
   if d < 1 then invalid_arg "Pool.create: domains must be >= 1";
   let obs = Engine.obs engine in
-  let lattice = Engine.lattice engine in
+  (* Snapshot gen 0: the caller's engine plus one view per worker —
+     same lattice, same epoch, private scratch each. *)
+  let views = Array.init (d - 1) (fun _ -> Engine.view engine) in
   let sessions =
     Array.init d (fun i ->
-        (* slot 0 serves on the caller's engine; every worker gets its
-           own engine view — private scratch — over the same lattice *)
         if i = 0 then Session.create ?budget_bytes engine
-        else Session.create ?budget_bytes (Engine.of_lattice ~obs lattice))
+        else Session.create ?budget_bytes views.(i - 1))
   in
   let dispatch_wait =
     match obs with
@@ -382,9 +468,11 @@ let create ?domains ?budget_bytes engine =
   in
   let t =
     {
-      engine;
+      published = Atomic.make { gen = 0; engine; views };
       num_domains = d;
       sessions;
+      adopted = Array.init d (fun _ -> Atomic.make 0);
+      retired = [];
       workers = [||];
       shards = Array.init (d - 1) (fun _ -> make_shard ());
       rr = 0;
@@ -406,7 +494,8 @@ let create ?domains ?budget_bytes engine =
   t
 
 let domains t = t.num_domains
-let engine t = t.engine
+let engine t = (Atomic.get t.published).engine
+let generation t = (Atomic.get t.published).gen
 let stats t = Array.map Session.stats t.sessions
 
 let domain_stats t =
@@ -420,6 +509,10 @@ let dispatch_wait t = t.dispatch_wait
 
 let shard_depths t =
   Array.map (fun sh -> max 0 (Atomic.get sh.tail - Atomic.get sh.head)) t.shards
+
+let retired_snapshots t =
+  reclaim t;
+  List.length t.retired
 
 (* ------------------------------------------------------------------ *)
 (* Quiesce                                                            *)
@@ -452,21 +545,34 @@ let drain t =
     raise e
   | None -> ()
 
-(* The append barrier: with the pool quiesced, folds the delta exactly
-   once through the coordinator's session, then hands every worker
-   session a fresh engine view over the new lattice. No domain is
-   mid-query here, and the next claim a worker wins publishes the swap
-   to it (the claim's stamp read pairs with the coordinator's
-   post-adopt stamp write). *)
-let barrier_append t delta =
+(* Snapshot publication — the append path, and the one place the
+   published pointer moves. No quiesce: readers in flight keep
+   traversing the old snapshot (immutable, still referenced from
+   [retired]) while this builds and swaps in the new one. The fold
+   itself is the serial [Session.append] through the coordinator's
+   session — the single mutation path, so pool appends and serial
+   appends are the same code. Publication order matters: the pointer
+   swap precedes any subsequent cell stamp, so every request submitted
+   after this append is claimed after the swap and adopts gen >=
+   [snap.gen] (see [maybe_adopt]). *)
+let publish_append t delta =
   let promoted = Session.append t.sessions.(0) delta in
-  t.engine <- Session.engine t.sessions.(0);
-  let obs = Engine.obs t.engine in
-  let lattice = Engine.lattice t.engine in
-  for w = 1 to t.num_domains - 1 do
-    Session.adopt_engine t.sessions.(w) (Engine.of_lattice ~obs lattice)
-  done;
-  R_promoted { promoted; db_size = Engine.db_size t.engine }
+  let engine = Session.engine t.sessions.(0) in
+  let old = Atomic.get t.published in
+  let snap =
+    {
+      gen = old.gen + 1;
+      engine;
+      views = Array.init (t.num_domains - 1) (fun _ -> Engine.view engine);
+    }
+  in
+  Atomic.set t.published snap;
+  Atomic.set t.adopted.(0) snap.gen;
+  t.retired <- old :: t.retired;
+  reclaim t;
+  (* parked workers have no next claim to adopt at — wake them all *)
+  wake_all t;
+  R_promoted { promoted; db_size = Engine.db_size engine }
 
 (* ------------------------------------------------------------------ *)
 (* Submission                                                         *)
@@ -479,7 +585,14 @@ let inline_exec t run_req deliver =
   let resp = run_req () in
   let dt = Float.max 0.0 (Timer.monotonic_s () -. t0) in
   note_work t 0 dt;
-  try deliver resp dt with e -> record_deliver_exn t e
+  let c =
+    {
+      latency_s = dt;
+      epoch = Engine.epoch (Session.engine t.sessions.(0));
+      gen = Atomic.get t.adopted.(0);
+    }
+  in
+  try deliver resp c with e -> record_deliver_exn t e
 
 let pick_shard t =
   let n = Array.length t.shards in
@@ -501,12 +614,10 @@ let submit_exn t msg req deliver =
   if t.closed then invalid_arg msg;
   match req with
   | Append delta ->
-    (* quiesce: stop intake (trivially — this thread is the intake),
-       drain the shards, fold, adopt, resume *)
-    drain_quiet t;
+    (* non-blocking: fold and publish while reads stay in flight *)
     inline_exec t
       (fun () ->
-        try barrier_append t delta with e -> R_error (Printexc.to_string e))
+        try publish_append t delta with e -> R_error (Printexc.to_string e))
       deliver
   | _ ->
     if t.num_domains = 1 then
@@ -558,13 +669,21 @@ let with_pool ?domains ?budget_bytes engine f =
 
 let run_msg = "Pool.run: pool is shut down"
 
+(* The batch wrappers keep the old sequential semantics on top of
+   non-blocking appends by draining before each [Append] submission:
+   within one batch, every request before an append executes on the
+   pre-append snapshot and every request after it on the post-append
+   one — exactly what a serial [Session] does, so positional digest
+   equality against serial execution still holds. Streaming callers
+   that want appends to overlap reads use {!submit} directly. *)
 let run_with t ~deliver reqs =
   if t.closed then invalid_arg run_msg;
   let n = Array.length reqs in
   let out = Array.make n (R_error "not executed", 0.0) in
   for i = 0 to n - 1 do
-    submit_exn t run_msg reqs.(i) (fun resp dt ->
-        let r = (resp, dt) in
+    (match reqs.(i) with Append _ -> drain_quiet t | _ -> ());
+    submit_exn t run_msg reqs.(i) (fun resp c ->
+        let r = (resp, c.latency_s) in
         out.(i) <- r;
         deliver i r)
   done;

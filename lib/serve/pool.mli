@@ -34,17 +34,32 @@
     full, {!submit} applies backpressure by executing one queued
     request inline on the coordinator's own session before retrying.
 
-    {2 The append barrier}
+    {2 Snapshot publication (non-blocking appends)}
 
-    An {!Append} request is a {b barrier}, preserved under continuous
-    dispatch by a quiesce protocol: the coordinator (the only intake)
-    stops submitting, helps drain the shards, waits for the last
-    in-flight request to deliver, folds the delta exactly once, hands
-    every worker session a fresh engine view over the new lattice, and
-    only then resumes intake. Queries after an append therefore see the
-    new epoch on every domain — the same sequential semantics a single
-    {!Session} gives, which is what makes pool-vs-serial digest
-    equality a meaningful stress invariant.
+    An {!Append} does {b not} quiesce the pool. The coordinator folds
+    the delta through its own serial {!Session.append} — the single
+    mutation path — into a {e new} immutable engine, wraps it with one
+    {!Olar_core.Engine.view} per worker as a {e snapshot} (generation
+    [g+1]), and publishes it with a single atomic pointer swap. Reads
+    in flight keep traversing the old snapshot untouched; a worker
+    adopts the newest published snapshot at its next claim (and before
+    parking), so reads never block on an append and an append never
+    waits for reads — RCU over the lattice's immutability invariant.
+    Retired snapshots are reclaimed by generation: each slot records
+    the generation it has adopted, and a retired snapshot is dropped
+    once every slot has advanced past it (no future claim can reach it,
+    since adoption only moves forward).
+
+    Ordering is still deterministic where it matters: the pointer swap
+    happens before the append's {!submit} returns, so every request
+    submitted {e after} an append executes on generation [>= g+1]
+    (the claim's stamp read pairs with the publish). Each completion
+    records the generation and engine epoch its request actually
+    executed on, which is what the differential tests check digests
+    against. The batch wrappers ({!run} and friends) additionally drain
+    before each [Append], preserving the old sequential semantics —
+    positional digest equality with a serial {!Session} — for batch
+    callers and capture replay.
 
     A request that raises (e.g. {!Olar_core.Query.Below_primary_threshold})
     yields {!R_error} rather than poisoning the stream; the same
@@ -57,7 +72,7 @@ type t
 
 (** One query, by value — the pool-side mirror of the
     {!Olar_replay.Record} key. [Append] folds a delta into the store
-    and acts as a stream-wide barrier. *)
+    and publishes a new snapshot generation. *)
 type request =
   | Find_itemsets of { containing : Itemset.t; minsup : float }
   | Count_itemsets of { containing : Itemset.t; minsup : float }
@@ -102,6 +117,20 @@ type response =
   | R_promoted of { promoted : Itemset.t list; db_size : int }
   | R_error of string
 
+(** What a delivery callback learns about the execution it is being
+    handed: [latency_s] is the execution seconds (claim-to-completion,
+    shard wait excluded); [gen] is the snapshot generation the request
+    executed on (0 before any append, +1 per append); [epoch] is the
+    {!Olar_core.Engine.epoch} of that snapshot's engine — the value a
+    capture records, taken from the {b executing} domain's adopted
+    view, never from a coordinator that may already have published a
+    newer one. *)
+type completion = {
+  latency_s : float;
+  epoch : int;
+  gen : int;
+}
+
 (** [create engine] spawns the pool.
     @param domains total domains serving queries, including the
       caller's (default [Domain.recommended_domain_count ()]); [1]
@@ -118,9 +147,15 @@ val create : ?domains:int -> ?budget_bytes:int -> Olar_core.Engine.t -> t
 (** [domains t] is the serving width, including the caller's domain. *)
 val domains : t -> int
 
-(** [engine t] is the coordinator's current engine (replaced at every
-    append barrier). *)
+(** [engine t] is the currently published snapshot's engine (replaced
+    at every append). Racy by design when read off the coordinator
+    thread: a worker mid-request may still be executing on an older
+    snapshot — per-response state belongs in {!completion}. *)
 val engine : t -> Olar_core.Engine.t
+
+(** [generation t] is the currently published snapshot generation: 0
+    at {!create}, +1 per successful append fold. *)
+val generation : t -> int
 
 (** {1 Continuous submission}
 
@@ -128,17 +163,17 @@ val engine : t -> Olar_core.Engine.t
     callback out, no batch arrays in between. *)
 
 (** [submit t req k] dispatches [req] into a worker shard and returns
-    immediately; [k resp dt] fires when the request completes, on
-    {b whichever domain} executed it, with [dt] the execution seconds
-    (claim-to-completion, shard wait excluded). Coordinator-only (the
-    single-producer invariant above); callbacks must be domain-safe and
-    fast, and should not raise — an exception from [k] is recorded and
-    re-raised at the next {!drain}, never propagated into a worker
-    loop. An [Append] quiesces as described above and is folded (and
-    delivered) synchronously before [submit] returns; with
-    [domains = 1] every request is synchronous. Raises
-    [Invalid_argument] after {!shutdown}. *)
-val submit : t -> request -> (response -> float -> unit) -> unit
+    immediately; [k resp c] fires when the request completes, on
+    {b whichever domain} executed it, with [c] the {!completion} for
+    that execution. Coordinator-only (the single-producer invariant
+    above); callbacks must be domain-safe and fast, and should not
+    raise — an exception from [k] is recorded and re-raised at the next
+    {!drain}, never propagated into a worker loop. An [Append] is
+    folded and published (and delivered) synchronously before [submit]
+    returns, {b without} waiting for in-flight reads — they complete on
+    the old snapshot; with [domains = 1] every request is synchronous.
+    Raises [Invalid_argument] after {!shutdown}. *)
+val submit : t -> request -> (response -> completion -> unit) -> unit
 
 (** [drain t] blocks until every submitted request has delivered. While
     shards are non-empty the coordinator executes queued requests
@@ -151,7 +186,10 @@ val drain : t -> unit
 (** {1 Batch wrappers}
 
     Thin compatibility layers over {!submit} + {!drain}; same
-    coordinator-only constraint. *)
+    coordinator-only constraint. Unlike raw {!submit}, the wrappers
+    drain before each [Append] in the batch, so a batch keeps the
+    sequential semantics of a serial {!Session}: responses are
+    positionally digest-equal to serial execution of the same array. *)
 
 (** [run t reqs] submits the batch and returns responses in submission
     order: [(run t reqs).(i)] answers [reqs.(i)]. Raises
@@ -174,11 +212,11 @@ val run_timed : t -> request array -> (response * float) array
     latency first.
 
     Constraints on [on_complete] are those of {!submit}'s callback. It
-    is called exactly once per request, including [Append] barriers
-    (delivered by the coordinator) and [R_error] responses. If it
-    raises, the exception is swallowed at the delivery site — letting
-    it escape would kill a worker loop — and the first such exception
-    is re-raised on the caller's domain after the batch completes. *)
+    is called exactly once per request, including [Append]s (delivered
+    by the coordinator) and [R_error] responses. If it raises, the
+    exception is swallowed at the delivery site — letting it escape
+    would kill a worker loop — and the first such exception is
+    re-raised on the caller's domain after the batch completes. *)
 val run_deliver :
   t ->
   on_complete:(int -> response * float -> unit) ->
@@ -213,7 +251,7 @@ val domain_stats : t -> domain_stat array
     a shard, the seconds between {!submit} placing it and a domain
     claiming it. Registered in the engine's metrics registry when its
     obs context is enabled; maintained privately (for this accessor)
-    otherwise. Inline executions (a 1-domain pool, append barriers,
+    otherwise. Inline executions (a 1-domain pool, append folds,
     backpressure) never waited and are not observed. *)
 val dispatch_wait : t -> Olar_obs.Metrics.Histogram.t
 
@@ -221,6 +259,14 @@ val dispatch_wait : t -> Olar_obs.Metrics.Histogram.t
     index [k] the shard owned by pool slot [k+1]; empty for a 1-domain
     pool. Racy-but-consistent snapshot reads, safe from any thread. *)
 val shard_depths : t -> int array
+
+(** [retired_snapshots t] is the number of superseded snapshots not yet
+    reclaimed — published generations some domain may still be reading.
+    Runs a reclamation sweep first, so the count reflects current
+    adoption. Coordinator-only (it mutates the retired list). Converges
+    to 0 once every domain has claimed a request or parked since the
+    last append. *)
+val retired_snapshots : t -> int
 
 (** [shutdown t] drains outstanding requests, then joins the worker
     domains. Idempotent; the pool rejects new work afterwards. *)

@@ -663,10 +663,11 @@ let append ?domains t delta =
      lazily and the LRU budget bounds them meanwhile *)
   promoted
 
-(* Adopt an engine built elsewhere. The pool's append barrier folds the
-   delta once on the coordinator, then hands every worker session a
-   fresh engine view over the new shared lattice; the new epoch makes
-   the old entries unservable exactly as in [append]. *)
+(* Adopt an engine built elsewhere. The pool folds an append delta once
+   on the coordinator and publishes the result as a snapshot; each
+   worker session adopts its per-domain view of that snapshot at its
+   next claim. The new epoch makes the old entries unservable exactly
+   as in [append]. *)
 let adopt_engine t engine' =
   t.engine <- engine';
   t.scratch <- Scratch.create (Engine.lattice engine')

@@ -165,11 +165,12 @@ val boundary :
 val append : ?domains:int -> t -> Database.t -> Itemset.t list
 
 (** [adopt_engine t engine] swaps [engine] into the session without
-    running an append — used by {!Pool} at its append barrier, where
-    the delta is folded once and every worker session then adopts a
-    fresh engine view over the new shared lattice. Cache consequences
-    are the same as {!append}: entries stamped with the old epoch stop
-    being servable. *)
+    running an append — used by {!Pool} when a worker adopts a newly
+    published snapshot at its next claim: the append delta is folded
+    once on the coordinator and each worker session then adopts its
+    {!Olar_core.Engine.view} of the published engine. Cache
+    consequences are the same as {!append}: entries stamped with the
+    old epoch stop being servable. *)
 val adopt_engine : t -> Olar_core.Engine.t -> unit
 
 (** [flush t] drops every cached entry (accounting counters are kept). *)

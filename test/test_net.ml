@@ -854,9 +854,9 @@ let test_deadline_sheds_with_503 () =
 module Health = Olar_net.Health
 module Client = Olar_net.Client
 
-let reading ?(window_s = 60.0) ?(queries = 1000) ?(shed = 0) ?(errors_5xx = 0)
+let reading ?(window_s = 60.0) ?(executed = 1000) ?(shed = 0) ?(errors_5xx = 0)
     ?(exec_p99_s = nan) () =
-  { Health.window_s; queries; shed; errors_5xx; exec_p99_s }
+  { Health.window_s; executed; shed; errors_5xx; exec_p99_s }
 
 let state_of r = Health.evaluate Health.default_thresholds r
 
@@ -882,8 +882,9 @@ let test_health_transitions () =
     (Health.status_code (state_of (reading ~shed:20 ())));
   check Alcotest.int "degraded gauge encoding" 1
     (Health.state_value (state_of (reading ~shed:20 ())));
-  (* 30% shed crosses the hard limit: the instance asks to be pulled *)
-  (match state_of (reading ~shed:300 ()) with
+  (* 30% of arrivals shed crosses the hard limit: the instance asks to
+     be pulled *)
+  (match state_of (reading ~executed:700 ~shed:300 ()) with
   | Health.Unhealthy [ r ] ->
     check Alcotest.bool "unhealthy reason names the check" true
       (has_prefix "shed_rate" r)
@@ -891,9 +892,9 @@ let test_health_transitions () =
     Alcotest.failf "30%% shed: expected unhealthy, got %s"
       (Health.state_name s));
   check Alcotest.int "unhealthy answers 503" 503
-    (Health.status_code (state_of (reading ~shed:300 ())));
+    (Health.status_code (state_of (reading ~executed:700 ~shed:300 ())));
   check Alcotest.int "unhealthy gauge encoding" 2
-    (Health.state_value (state_of (reading ~shed:300 ())));
+    (Health.state_value (state_of (reading ~executed:700 ~shed:300 ())));
   (* the next clean window grades ok again — history cannot pin the
      verdict *)
   check Alcotest.string "recovered" "ok"
@@ -909,14 +910,51 @@ let test_health_transitions () =
       (Health.state_name s)
 
 let test_health_min_events_floor () =
-  (* 2 of 3 queries shed would be catastrophic at scale, but one cold
-     or idle server with three requests cannot flip the fleet *)
+  (* 2 of 5 arrivals shed would be catastrophic at scale, but one cold
+     or idle server with five requests cannot flip the fleet *)
   check Alcotest.string "tiny sample is never judged" "ok"
-    (Health.state_name (state_of (reading ~queries:3 ~shed:2 ())));
-  check Alcotest.string "zero queries is ok" "ok"
-    (Health.state_name (state_of (reading ~queries:0 ())));
+    (Health.state_name (state_of (reading ~executed:3 ~shed:2 ())));
+  check Alcotest.string "zero arrivals is ok" "ok"
+    (Health.state_name (state_of (reading ~executed:0 ())));
+  (* the floor counts arrivals (executed + shed), not executed: 1
+     executed + 19 shed = 20 arrivals, exactly at the floor, judged *)
   check Alcotest.string "at the floor the rates are judged" "unhealthy"
-    (Health.state_name (state_of (reading ~queries:20 ~shed:19 ())))
+    (Health.state_name (state_of (reading ~executed:1 ~shed:19 ())))
+
+(* The regression table for the full-shed grading bug: rates divide by
+   executed + shed, so an outage where nothing executes is judged, and
+   shed_rate is a true fraction (never past 100%). *)
+let test_health_case_table () =
+  let name r = Health.state_name (state_of r) in
+  (* shed-only outage: zero executed queries still grades unhealthy —
+     the old executed-based floor returned ok here *)
+  check Alcotest.string "full-shed outage" "unhealthy"
+    (name (reading ~executed:0 ~shed:50 ()));
+  check Alcotest.int "full-shed outage answers 503" 503
+    (Health.status_code (state_of (reading ~executed:0 ~shed:50 ())));
+  check Alcotest.int "arrivals is executed + shed" 50
+    (Health.arrivals (reading ~executed:0 ~shed:50 ()));
+  (* mixed traffic: 30 shed of 40 arrivals = 75%, far past the hard
+     25% limit even though the executed count alone (10) sits under
+     the old floor *)
+  check Alcotest.string "mostly-shed mix" "unhealthy"
+    (name (reading ~executed:10 ~shed:30 ()));
+  (* 1% shed of arrivals sits exactly at (not over) the soft limit *)
+  check Alcotest.string "1% shed is not degraded" "ok"
+    (name (reading ~executed:990 ~shed:10 ()));
+  check Alcotest.string "2% shed is degraded" "degraded"
+    (name (reading ~executed:980 ~shed:20 ()));
+  (* sub-min-events: 19 arrivals, shed-only or executed-only, are
+     never judged; the 20th arrival starts grading *)
+  check Alcotest.string "19 shed-only arrivals not judged" "ok"
+    (name (reading ~executed:0 ~shed:19 ()));
+  check Alcotest.string "19 executed-only arrivals not judged" "ok"
+    (name (reading ~executed:19 ()));
+  check Alcotest.string "20 shed-only arrivals judged" "unhealthy"
+    (name (reading ~executed:0 ~shed:20 ()));
+  (* 5xx rate uses the same arrivals denominator *)
+  check Alcotest.string "5xx over arrivals" "unhealthy"
+    (name (reading ~executed:30 ~shed:10 ~errors_5xx:11 ()))
 
 let test_health_slo_p99 () =
   let t = Health.with_slo_p99 Health.default_thresholds ~slo_s:0.1 in
@@ -999,6 +1037,191 @@ let test_client_and_health_over_the_wire () =
       | Error e -> Alcotest.failf "unexpected client error: %s" e)
 
 (* ------------------------------------------------------------------ *)
+(* Client robustness: truncation, short writes, send timeouts         *)
+(* ------------------------------------------------------------------ *)
+
+(* A one-shot fake HTTP server: accept one connection, read until the
+   request's blank line, write [response] verbatim, close. Lets the
+   tests hand the real client a wire-level misbehaviour no correct
+   server produces. *)
+let with_fake_server response f =
+  let srv = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt srv Unix.SO_REUSEADDR true;
+  Unix.bind srv (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen srv 1;
+  let port =
+    match Unix.getsockname srv with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let th =
+    Thread.create
+      (fun () ->
+        let c, _ = Unix.accept srv in
+        let buf = Bytes.create 4096 in
+        let seen = Buffer.create 256 in
+        let have_blank_line () =
+          let s = Buffer.contents seen in
+          let n = String.length s in
+          let rec go i =
+            i + 3 < n
+            && ((s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r'
+                 && s.[i + 3] = '\n')
+               || go (i + 1))
+          in
+          go 0
+        in
+        let rec drain_request () =
+          if not (have_blank_line ()) then
+            match Unix.read c buf 0 (Bytes.length buf) with
+            | 0 -> ()
+            | n ->
+              Buffer.add_subbytes seen buf 0 n;
+              drain_request ()
+        in
+        drain_request ();
+        let b = Bytes.of_string response in
+        let rec send off =
+          if off < Bytes.length b then
+            send (off + Unix.write c b off (Bytes.length b - off))
+        in
+        send 0;
+        Unix.close c)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Thread.join th;
+      Unix.close srv)
+    (fun () -> f (Printf.sprintf "http://127.0.0.1:%d" port))
+
+(* The peer promises 100 body bytes, delivers 10 and half-closes: the
+   client must answer Error, not a silently short Ok body the caller
+   would misparse downstream. *)
+let test_client_truncated_body () =
+  let response =
+    "HTTP/1.1 200 OK\r\ncontent-length: 100\r\n\r\n0123456789"
+  in
+  with_fake_server response (fun url ->
+      match Client.get ~url "/statusz" with
+      | Ok (status, body) ->
+        Alcotest.failf "truncated body accepted: %d %S" status body
+      | Error e ->
+        check Alcotest.string "truncation is named precisely"
+          "truncated body (got 10 of 100 bytes)" e)
+
+(* An intact short body with a matching Content-Length still parses. *)
+let test_client_exact_body_still_ok () =
+  let response = "HTTP/1.1 200 OK\r\ncontent-length: 2\r\n\r\nok" in
+  with_fake_server response (fun url ->
+      match Client.get ~url "/healthz" with
+      | Ok (200, body) -> check Alcotest.string "body intact" "ok" body
+      | Ok (s, _) -> Alcotest.failf "unexpected status %d" s
+      | Error e -> Alcotest.failf "exact body rejected: %s" e)
+
+(* Push a payload much larger than a deliberately tiny send buffer
+   through [write_all] while the peer drains slowly: every short write
+   must be resumed until the last byte arrives intact. *)
+let test_client_short_writes () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.setsockopt_int a Unix.SO_SNDBUF 4096 with _ -> ());
+  let payload =
+    String.init 1_000_000 (fun i -> Char.chr (((i * 131) + (i / 997)) land 0xff))
+  in
+  let received = Buffer.create (String.length payload) in
+  let reader =
+    Thread.create
+      (fun () ->
+        let chunk = Bytes.create 799 in
+        let rec go () =
+          match Unix.read b chunk 0 (Bytes.length chunk) with
+          | 0 -> ()
+          | n ->
+            Buffer.add_subbytes received chunk 0 n;
+            (* drain slower than the writer can fill the tiny buffer *)
+            if Buffer.length received land 0xfff = 0 then Thread.yield ();
+            go ()
+        in
+        go ())
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with _ -> ());
+      try Unix.close b with _ -> ())
+    (fun () ->
+      Client.write_all a payload;
+      Unix.shutdown a Unix.SHUTDOWN_SEND;
+      Thread.join reader;
+      check Alcotest.int "every byte arrived" (String.length payload)
+        (Buffer.length received);
+      check Alcotest.bool "bytes arrived in order, uncorrupted" true
+        (String.equal payload (Buffer.contents received)))
+
+(* Nobody reads the peer and the send buffer is tiny: once SO_SNDTIMEO
+   expires the blocked send surfaces as the stable "send timeout"
+   failure, not a raw EAGAIN message. *)
+let test_client_send_timeout () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.setsockopt_int a Unix.SO_SNDBUF 4096 with _ -> ());
+  Unix.setsockopt_float a Unix.SO_SNDTIMEO 0.1;
+  let payload = String.make 4_000_000 'x' in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with _ -> ());
+      try Unix.close b with _ -> ())
+    (fun () ->
+      match Client.write_all a payload with
+      | () -> Alcotest.fail "blocked send returned without timing out"
+      | exception Failure e -> check Alcotest.string "stable error" "send timeout" e)
+
+(* ------------------------------------------------------------------ *)
+(* Loopback: full-shed outage grades unhealthy                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The /healthz regression for the shed-grading fix: a server whose
+   every query sheds (queue_depth 1 plus an immediately-expiring
+   deadline, so zero queries execute) must grade unhealthy — under the
+   old executed-only reading the min_events floor never tripped and
+   the outage graded ok. *)
+let test_full_shed_flood_grades_unhealthy () =
+  Server.with_server
+    ~config:
+      { default_cfg with Server.port = 0; queue_depth = 1; deadline_s = 1e-9 }
+    ~domains:2
+    (table2_engine ())
+    (fun srv ->
+      let url = Server.url srv in
+      let sheds = ref 0 in
+      for i = 0 to 39 do
+        match Client.post ~url "/query" {|{"kind":"count","minsup":0.003}|} with
+        | Ok (503, _) -> incr sheds
+        | Ok (429, _) -> () (* queue-full shed also counts toward rates *)
+        | Ok (s, b) -> Alcotest.failf "flood %d: unexpected %d %s" i s b
+        | Error e -> Alcotest.failf "flood %d failed: %s" i e
+      done;
+      check Alcotest.bool "everything shed" true (!sheds > 0);
+      match Client.get ~url "/healthz" with
+      | Error e -> Alcotest.failf "healthz GET failed: %s" e
+      | Ok (status, body) -> (
+        check Alcotest.int "full-shed outage answers 503" 503 status;
+        match Jsonx.of_string body with
+        | Error e -> Alcotest.failf "healthz body unparsable: %s" e
+        | Ok j ->
+          check
+            (Alcotest.option Alcotest.string)
+            "full-shed outage grades unhealthy" (Some "unhealthy")
+            (Option.bind (Jsonx.member "state" j) Jsonx.to_str);
+          check
+            (Alcotest.option (Alcotest.float 0.0))
+            "zero executed queries in the window" (Some 0.0)
+            (Option.bind (Jsonx.member "executed" j) Jsonx.number);
+          check Alcotest.bool "the floor tripped on shed arrivals" true
+            (match Option.bind (Jsonx.member "shed" j) Jsonx.number with
+            | Some shed -> shed >= 20.0
+            | None -> false)))
+
+(* ------------------------------------------------------------------ *)
 
 let suites =
   [
@@ -1044,9 +1267,23 @@ let suites =
         case "ok/degraded/unhealthy/recovered transitions"
           test_health_transitions;
         case "min_events floor" test_health_min_events_floor;
+        case "shed-only, mixed and sub-min-events readings"
+          test_health_case_table;
         case "SLO p99 check" test_health_slo_p99;
         case "client URL parsing" test_client_parse_url;
         case "client and health over the wire"
           test_client_and_health_over_the_wire;
+        case "full-shed flood grades unhealthy"
+          test_full_shed_flood_grades_unhealthy;
+      ] );
+    ( "net.client",
+      [
+        case "truncated body is an error" test_client_truncated_body;
+        case "exact content-length still parses"
+          test_client_exact_body_still_ok;
+        case "short writes resume through a tiny SO_SNDBUF"
+          test_client_short_writes;
+        case "blocked send times out with a stable error"
+          test_client_send_timeout;
       ] );
   ]

@@ -444,40 +444,104 @@ let pool_differential_uncached_prop =
     ~print:pool_scenario_print pool_scenario_gen
     (run_pool_differential ~budget_bytes:0)
 
-(* The same differential through the continuous path: every request is
-   [Pool.submit]ted with no drain in between, so submissions land while
-   earlier requests are still executing and every [Append] quiesces a
-   live stream. Callbacks fill a slot array, so the comparison is still
-   positional against serial. *)
+(* The same differential through the continuous path, now epoch-aware:
+   every request is [Pool.submit]ted with no drain in between, and an
+   [Append] publishes a new snapshot without quiescing — so a read
+   submitted before an append may legitimately execute on either side
+   of it. The oracle is therefore per-generation: a first serial pass
+   folds the appends once, snapshotting the (immutable) engine after
+   each fold; the pooled pass records each response's completion
+   generation; a second serial pass re-executes every read against the
+   exact generation the pool says it ran on and demands bitwise-equal
+   digests. Appends themselves stay positional (the coordinator folds
+   them in submission order), and each read's recorded generation must
+   be at least the number of appends submitted before it — the
+   publish-before-push ordering the pool guarantees. *)
 let run_pool_stream_differential ~budget_bytes (db, threshold, reqs) =
   let reqs = Array.of_list reqs in
+  let n = Array.length reqs in
   let lat = lattice_of db ~threshold in
-  let serial = Session.create ~budget_bytes (Engine.of_lattice lat) in
-  let expected =
-    Array.map (fun r -> digest_of_response (serial_execute serial r)) reqs
+  (* serial pass 1: fold appends, snapshotting each generation *)
+  let fold_session = Session.create ~budget_bytes:0 (Engine.of_lattice lat) in
+  let engines = ref [ Session.engine fold_session ] in
+  let append_digest = Hashtbl.create 8 in
+  let append_gen = Hashtbl.create 8 in
+  let gens = ref 0 in
+  Array.iteri
+    (fun i req ->
+      match req with
+      | Pool.Append _ ->
+        let resp = serial_execute fold_session req in
+        Hashtbl.replace append_digest i (digest_of_response resp);
+        (* a failing append (below-threshold delta) publishes nothing
+           on either side: the generation advances only on success *)
+        (match resp with
+        | Pool.R_promoted _ ->
+          incr gens;
+          engines := Session.engine fold_session :: !engines
+        | _ -> ());
+        Hashtbl.replace append_gen i !gens
+      | _ -> ())
+    reqs;
+  let engines = Array.of_list (List.rev !engines) in
+  let total_gens = !gens in
+  (* generation lower bound per position: appends submitted before it *)
+  let appends_before = Array.make (max n 1) 0 in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    appends_before.(i) <- !acc;
+    match reqs.(i) with
+    | Pool.Append _ -> acc := Hashtbl.find append_gen i
+    | _ -> ()
+  done;
+  (* pooled pass: stream everything, no drains, appends fully live *)
+  let out = Array.make n (Pool.R_error "unserved", -1) in
+  Pool.with_pool ~domains:4 ~budget_bytes (Engine.of_lattice lat)
+    (fun pool ->
+      Array.iteri
+        (fun i req ->
+          Pool.submit pool req (fun resp c -> out.(i) <- (resp, c.Pool.gen)))
+        reqs;
+      Pool.drain pool);
+  (* serial pass 2: replay each read at its recorded generation *)
+  let sessions = Array.make (total_gens + 1) None in
+  let session_at g =
+    match sessions.(g) with
+    | Some s -> s
+    | None ->
+      let s = Session.create ~budget_bytes engines.(g) in
+      sessions.(g) <- Some s;
+      s
   in
-  let actual =
-    Pool.with_pool ~domains:4 ~budget_bytes (Engine.of_lattice lat)
-      (fun pool ->
-        let out = Array.make (Array.length reqs) (Pool.R_error "unserved") in
-        Array.iteri
-          (fun i req -> Pool.submit pool req (fun resp _dt -> out.(i) <- resp))
-          reqs;
-        Pool.drain pool;
-        Array.map digest_of_response out)
-  in
-  expected = actual
+  let ok = ref true in
+  Array.iteri
+    (fun i req ->
+      let resp, g = out.(i) in
+      match req with
+      | Pool.Append _ ->
+        if digest_of_response resp <> Hashtbl.find append_digest i then
+          ok := false;
+        if g <> Hashtbl.find append_gen i then ok := false
+      | _ ->
+        if g < appends_before.(i) || g > total_gens then ok := false
+        else if
+          digest_of_response resp
+          <> digest_of_response (serial_execute (session_at g) req)
+        then ok := false)
+    reqs;
+  !ok
 
 let pool_stream_differential_prop =
   QCheck2.Test.make
-    ~name:"interleaved submit digests = serial session (8 MiB cache)" ~count:10
-    ~print:pool_scenario_print pool_scenario_gen
+    ~name:
+      "live-append submit digests = serial at recorded gen (8 MiB cache)"
+    ~count:10 ~print:pool_scenario_print pool_scenario_gen
     (run_pool_stream_differential ~budget_bytes:(8 * 1024 * 1024))
 
 let pool_stream_differential_uncached_prop =
   QCheck2.Test.make
-    ~name:"interleaved submit digests = serial session (cache off)" ~count:10
-    ~print:pool_scenario_print pool_scenario_gen
+    ~name:"live-append submit digests = serial at recorded gen (cache off)"
+    ~count:10 ~print:pool_scenario_print pool_scenario_gen
     (run_pool_stream_differential ~budget_bytes:0)
 
 (* ------------------------------------------------------------------ *)
@@ -634,6 +698,48 @@ let test_pool_run_deliver () =
         check Alcotest.string "the callback's exception" "callback boom" msg;
         check Alcotest.int "every request still delivered"
           (Array.length reqs) !seen)
+
+(* Snapshot bookkeeping: each successful [Append] publishes the next
+   generation, its completion records that generation, and once the
+   stream drains every slot has adopted the newest snapshot — so the
+   retired list reclaims down to empty (workers adopt at next claim or
+   just before parking, so give the idle path a beat). *)
+let test_pool_generation_reclaim () =
+  let engine = Engine.of_lattice (Helpers.table2_lattice ()) in
+  Pool.with_pool ~domains:3 engine (fun pool ->
+      check Alcotest.int "fresh pool is generation 0" 0 (Pool.generation pool);
+      let delta = Database.of_lists ~num_items:6 [ [ 1; 2; 3 ]; [ 1; 2 ] ] in
+      let gens = ref [] in
+      for _round = 1 to 3 do
+        Array.iter
+          (fun req -> Pool.submit pool req (fun _ _ -> ()))
+          (count_requests ());
+        (* appends run inline on the coordinator, so the callback's
+           mutation of [gens] is unsynchronized on purpose *)
+        Pool.submit pool
+          (Pool.Append delta)
+          (fun resp c ->
+            (match resp with
+            | Pool.R_promoted _ -> ()
+            | _ -> Alcotest.fail "append must promote");
+            gens := c.Pool.gen :: !gens)
+      done;
+      Pool.drain pool;
+      check
+        (Alcotest.list Alcotest.int)
+        "each append publishes the next generation" [ 3; 2; 1 ] !gens;
+      check Alcotest.int "published generation" 3 (Pool.generation pool);
+      let rec wait n =
+        if Pool.retired_snapshots pool = 0 then ()
+        else if n = 0 then
+          Alcotest.failf "retired snapshots never reclaimed (%d left)"
+            (Pool.retired_snapshots pool)
+        else begin
+          Unix.sleepf 0.01;
+          wait (n - 1)
+        end
+      in
+      wait 500)
 
 (* ------------------------------------------------------------------ *)
 (* Units *)
@@ -894,6 +1000,8 @@ let suites =
         case "responses land in submission order" test_pool_submission_order;
         case "run_deliver delivers each result exactly once"
           test_pool_run_deliver;
+        case "generations publish and retired snapshots reclaim"
+          test_pool_generation_reclaim;
       ] );
     Helpers.qsuite "serve.pool.diff"
       [
